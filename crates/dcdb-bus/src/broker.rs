@@ -1,0 +1,546 @@
+//! The in-process message broker.
+//!
+//! DCDB runs an MQTT broker inside every Collect Agent; Pushers publish
+//! sensor frames to it and any component may subscribe with topic
+//! filters. This module reproduces those semantics in-process:
+//!
+//! * QoS 0 (fire-and-forget) delivery, like DCDB's data path;
+//! * wildcard subscriptions backed by a topic trie, so routing cost is
+//!   proportional to topic depth rather than subscriber count;
+//! * an asynchronous router thread decoupling publishers from slow
+//!   subscribers (publishers never block on delivery), with an optional
+//!   synchronous mode for deterministic tests.
+
+use crate::filter::{FilterSegment, TopicFilter};
+use bytes::Bytes;
+use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
+use dcdb_common::error::DcdbError;
+use dcdb_common::topic::Topic;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A routed message: topic plus opaque payload.
+///
+/// `Topic` and [`Bytes`] are both reference-counted, so cloning a message
+/// for fan-out is two atomic increments.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// The topic the message was published to.
+    pub topic: Topic,
+    /// Opaque payload (sensor frames use [`crate::codec`]).
+    pub payload: Bytes,
+}
+
+/// Unique id of one subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SubId(u64);
+
+/// Counters exposed by the broker for footprint accounting.
+#[derive(Debug, Default)]
+pub struct BusStats {
+    published: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+}
+
+/// A point-in-time snapshot of [`BusStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusStatsSnapshot {
+    /// Messages accepted from publishers.
+    pub published: u64,
+    /// Message copies enqueued to subscribers.
+    pub delivered: u64,
+    /// Copies dropped because the subscriber had disconnected.
+    pub dropped: u64,
+}
+
+/// Subscription trie: one node per filter path prefix.
+#[derive(Default)]
+struct TrieNode {
+    literal: HashMap<String, TrieNode>,
+    single: Option<Box<TrieNode>>,
+    /// Subscriptions whose filter ends with `#` here.
+    multi: Vec<SubId>,
+    /// Subscriptions whose filter ends exactly here.
+    terminal: Vec<SubId>,
+}
+
+impl TrieNode {
+    fn insert(&mut self, segs: &[FilterSegment], id: SubId) {
+        match segs.first() {
+            None => self.terminal.push(id),
+            Some(FilterSegment::MultiLevel) => self.multi.push(id),
+            Some(FilterSegment::Literal(l)) => self
+                .literal
+                .entry(l.clone())
+                .or_default()
+                .insert(&segs[1..], id),
+            Some(FilterSegment::SingleLevel) => self
+                .single
+                .get_or_insert_with(Default::default)
+                .insert(&segs[1..], id),
+        }
+    }
+
+    fn remove(&mut self, segs: &[FilterSegment], id: SubId) {
+        match segs.first() {
+            None => self.terminal.retain(|&x| x != id),
+            Some(FilterSegment::MultiLevel) => self.multi.retain(|&x| x != id),
+            Some(FilterSegment::Literal(l)) => {
+                if let Some(child) = self.literal.get_mut(l) {
+                    child.remove(&segs[1..], id);
+                }
+            }
+            Some(FilterSegment::SingleLevel) => {
+                if let Some(child) = self.single.as_mut() {
+                    child.remove(&segs[1..], id);
+                }
+            }
+        }
+    }
+
+    fn collect<'a>(&'a self, segs: &[&str], out: &mut Vec<SubId>) {
+        out.extend_from_slice(&self.multi);
+        match segs.first() {
+            None => out.extend_from_slice(&self.terminal),
+            Some(&seg) => {
+                if let Some(child) = self.literal.get(seg) {
+                    child.collect(&segs[1..], out);
+                }
+                if let Some(child) = self.single.as_deref() {
+                    child.collect(&segs[1..], out);
+                }
+            }
+        }
+    }
+}
+
+enum RouterMsg {
+    Data(Message),
+    /// Barrier: acknowledged once every message before it was routed.
+    Flush(Sender<()>),
+}
+
+struct Inner {
+    trie: RwLock<TrieNode>,
+    sinks: RwLock<HashMap<SubId, Sender<Message>>>,
+    input: RwLock<Option<Sender<RouterMsg>>>,
+    next_id: AtomicU64,
+    stats: BusStats,
+}
+
+impl Inner {
+    fn route(&self, msg: Message) {
+        let mut ids = Vec::new();
+        self.trie.read().collect(
+            &msg.topic.segments().collect::<Vec<_>>(),
+            &mut ids,
+        );
+        if ids.is_empty() {
+            return;
+        }
+        let sinks = self.sinks.read();
+        let mut dead: Vec<SubId> = Vec::new();
+        for id in ids {
+            if let Some(tx) = sinks.get(&id) {
+                if tx.send(msg.clone()).is_ok() {
+                    self.stats.delivered.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    dead.push(id);
+                }
+            }
+        }
+        drop(sinks);
+        if !dead.is_empty() {
+            let mut sinks = self.sinks.write();
+            for id in dead {
+                sinks.remove(&id);
+            }
+        }
+    }
+
+    fn publish(&self, topic: Topic, payload: Bytes) -> Result<(), DcdbError> {
+        self.stats.published.fetch_add(1, Ordering::Relaxed);
+        let msg = Message { topic, payload };
+        let guard = self.input.read();
+        match guard.as_ref() {
+            Some(tx) => tx
+                .send(RouterMsg::Data(msg))
+                .map_err(|_| DcdbError::Disconnected("broker router stopped".into())),
+            None => {
+                // Synchronous mode (or broker shut down and drained).
+                self.route(msg);
+                Ok(())
+            }
+        }
+    }
+
+    fn subscribe(self: &Arc<Self>, filter: TopicFilter) -> Subscription {
+        let id = SubId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = channel::unbounded();
+        self.trie.write().insert(filter.segments(), id);
+        self.sinks.write().insert(id, tx);
+        Subscription {
+            id,
+            filter,
+            rx,
+            inner: Arc::clone(self),
+        }
+    }
+
+    fn unsubscribe(&self, filter: &TopicFilter, id: SubId) {
+        self.trie.write().remove(filter.segments(), id);
+        self.sinks.write().remove(&id);
+    }
+}
+
+/// The broker. Owns the router thread; dropped last-in-line it drains
+/// and stops the router. Cheap [`BusHandle`]s are handed to every
+/// component that needs to publish or subscribe.
+pub struct Broker {
+    inner: Arc<Inner>,
+    router: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Broker {
+    /// Creates a broker with an asynchronous router thread (the
+    /// production configuration).
+    pub fn new() -> Broker {
+        let inner = Arc::new(Inner {
+            trie: RwLock::new(TrieNode::default()),
+            sinks: RwLock::new(HashMap::new()),
+            input: RwLock::new(None),
+            next_id: AtomicU64::new(0),
+            stats: BusStats::default(),
+        });
+        let (tx, rx): (Sender<RouterMsg>, Receiver<RouterMsg>) = channel::unbounded();
+        *inner.input.write() = Some(tx);
+        let router_inner = Arc::clone(&inner);
+        let handle = std::thread::Builder::new()
+            .name("dcdb-bus-router".into())
+            .spawn(move || {
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        RouterMsg::Data(m) => router_inner.route(m),
+                        RouterMsg::Flush(ack) => {
+                            let _ = ack.send(());
+                        }
+                    }
+                }
+            })
+            .expect("failed to spawn bus router");
+        Broker {
+            inner,
+            router: Mutex::new(Some(handle)),
+        }
+    }
+
+    /// Creates a broker that routes inline inside `publish` — fully
+    /// deterministic, for tests and single-threaded simulation.
+    pub fn new_sync() -> Broker {
+        let inner = Arc::new(Inner {
+            trie: RwLock::new(TrieNode::default()),
+            sinks: RwLock::new(HashMap::new()),
+            input: RwLock::new(None),
+            next_id: AtomicU64::new(0),
+            stats: BusStats::default(),
+        });
+        Broker {
+            inner,
+            router: Mutex::new(None),
+        }
+    }
+
+    /// A cloneable handle for publishing and subscribing.
+    pub fn handle(&self) -> BusHandle {
+        BusHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Blocks until every message published before this call has been
+    /// routed. No-op in synchronous mode.
+    pub fn flush(&self) {
+        let guard = self.inner.input.read();
+        if let Some(tx) = guard.as_ref() {
+            let (ack_tx, ack_rx) = channel::bounded(1);
+            if tx.send(RouterMsg::Flush(ack_tx)).is_ok() {
+                drop(guard);
+                let _ = ack_rx.recv();
+            }
+        }
+    }
+
+    /// Snapshot of the broker counters.
+    pub fn stats(&self) -> BusStatsSnapshot {
+        BusStatsSnapshot {
+            published: self.inner.stats.published.load(Ordering::Relaxed),
+            delivered: self.inner.stats.delivered.load(Ordering::Relaxed),
+            dropped: self.inner.stats.dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscriber_count(&self) -> usize {
+        self.inner.sinks.read().len()
+    }
+}
+
+impl Default for Broker {
+    fn default() -> Self {
+        Broker::new()
+    }
+}
+
+impl Drop for Broker {
+    fn drop(&mut self) {
+        // Close the router input so the thread drains and exits.
+        *self.inner.input.write() = None;
+        if let Some(handle) = self.router.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Cloneable publish/subscribe handle onto a [`Broker`].
+#[derive(Clone)]
+pub struct BusHandle {
+    inner: Arc<Inner>,
+}
+
+impl BusHandle {
+    /// Publishes a payload to `topic` (QoS 0).
+    pub fn publish(&self, topic: Topic, payload: Bytes) -> Result<(), DcdbError> {
+        self.inner.publish(topic, payload)
+    }
+
+    /// Publishes a batch of readings using the standard frame codec.
+    pub fn publish_readings(
+        &self,
+        topic: Topic,
+        readings: &[dcdb_common::reading::SensorReading],
+    ) -> Result<(), DcdbError> {
+        self.publish(topic, crate::codec::encode_readings(readings))
+    }
+
+    /// Subscribes with a topic filter; messages matching the filter are
+    /// queued on the returned [`Subscription`].
+    pub fn subscribe(&self, filter: TopicFilter) -> Subscription {
+        self.inner.subscribe(filter)
+    }
+
+    /// Convenience: subscribe to a filter string, parsing it first.
+    pub fn subscribe_str(&self, filter: &str) -> Result<Subscription, DcdbError> {
+        Ok(self.subscribe(TopicFilter::parse(filter)?))
+    }
+}
+
+/// A live subscription; unsubscribes on drop.
+pub struct Subscription {
+    id: SubId,
+    filter: TopicFilter,
+    rx: Receiver<Message>,
+    inner: Arc<Inner>,
+}
+
+impl Subscription {
+    /// The filter this subscription was created with.
+    pub fn filter(&self) -> &TopicFilter {
+        &self.filter
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self) -> Result<Message, DcdbError> {
+        self.rx
+            .recv()
+            .map_err(|_| DcdbError::Disconnected("broker closed".into()))
+    }
+
+    /// Non-blocking receive; `Ok(None)` when the queue is empty.
+    pub fn try_recv(&self) -> Result<Option<Message>, DcdbError> {
+        match self.rx.try_recv() {
+            Ok(m) => Ok(Some(m)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => {
+                Err(DcdbError::Disconnected("broker closed".into()))
+            }
+        }
+    }
+
+    /// Receive with a timeout; `Ok(None)` on timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<Message>, DcdbError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => Ok(Some(m)),
+            Err(channel::RecvTimeoutError::Timeout) => Ok(None),
+            Err(channel::RecvTimeoutError::Disconnected) => {
+                Err(DcdbError::Disconnected("broker closed".into()))
+            }
+        }
+    }
+
+    /// Drains everything currently queued.
+    pub fn drain(&self) -> Vec<Message> {
+        let mut out = Vec::new();
+        while let Ok(Some(m)) = self.try_recv() {
+            out.push(m);
+        }
+        out
+    }
+
+    /// Number of messages currently queued.
+    pub fn queued(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        self.inner.unsubscribe(&self.filter, self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdb_common::reading::SensorReading;
+    use dcdb_common::time::Timestamp;
+
+    fn t(s: &str) -> Topic {
+        Topic::parse(s).unwrap()
+    }
+
+    #[test]
+    fn sync_publish_routes_to_matching_subscribers() {
+        let broker = Broker::new_sync();
+        let bus = broker.handle();
+        let power = bus.subscribe_str("/+/power").unwrap();
+        let all = bus.subscribe_str("/#").unwrap();
+        let temps = bus.subscribe_str("/+/temp").unwrap();
+
+        bus.publish(t("/n1/power"), Bytes::from_static(b"x")).unwrap();
+        assert_eq!(power.queued(), 1);
+        assert_eq!(all.queued(), 1);
+        assert_eq!(temps.queued(), 0);
+        let m = power.try_recv().unwrap().unwrap();
+        assert_eq!(m.topic.as_str(), "/n1/power");
+        assert_eq!(&m.payload[..], b"x");
+    }
+
+    #[test]
+    fn async_router_delivers_after_flush() {
+        let broker = Broker::new();
+        let bus = broker.handle();
+        let sub = bus.subscribe_str("/a/#").unwrap();
+        for i in 0..100 {
+            bus.publish(t(&format!("/a/s{i}")), Bytes::new()).unwrap();
+        }
+        broker.flush();
+        assert_eq!(sub.queued(), 100);
+        let stats = broker.stats();
+        assert_eq!(stats.published, 100);
+        assert_eq!(stats.delivered, 100);
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn unsubscribe_on_drop() {
+        let broker = Broker::new_sync();
+        let bus = broker.handle();
+        {
+            let _sub = bus.subscribe_str("/x/#").unwrap();
+            assert_eq!(broker.subscriber_count(), 1);
+        }
+        assert_eq!(broker.subscriber_count(), 0);
+        bus.publish(t("/x/y"), Bytes::new()).unwrap();
+        assert_eq!(broker.stats().delivered, 0);
+    }
+
+    #[test]
+    fn overlapping_filters_each_get_a_copy() {
+        let broker = Broker::new_sync();
+        let bus = broker.handle();
+        let a = bus.subscribe_str("/r1/#").unwrap();
+        let b = bus.subscribe_str("/r1/+/power").unwrap();
+        let c = bus.subscribe_str("/r1/n1/power").unwrap();
+        bus.publish(t("/r1/n1/power"), Bytes::new()).unwrap();
+        assert_eq!(a.queued() + b.queued() + c.queued(), 3);
+    }
+
+    #[test]
+    fn readings_round_trip_over_bus() {
+        let broker = Broker::new_sync();
+        let bus = broker.handle();
+        let sub = bus.subscribe_str("/n1/power").unwrap();
+        let batch = vec![
+            SensorReading::new(100, Timestamp::from_secs(1)),
+            SensorReading::new(105, Timestamp::from_secs(2)),
+        ];
+        bus.publish_readings(t("/n1/power"), &batch).unwrap();
+        let msg = sub.try_recv().unwrap().unwrap();
+        assert_eq!(crate::codec::decode_readings(msg.payload).unwrap(), batch);
+    }
+
+    #[test]
+    fn no_subscribers_is_fine() {
+        let broker = Broker::new_sync();
+        let bus = broker.handle();
+        bus.publish(t("/lonely"), Bytes::new()).unwrap();
+        assert_eq!(broker.stats().published, 1);
+        assert_eq!(broker.stats().delivered, 0);
+    }
+
+    #[test]
+    fn publish_after_broker_drop_fails_or_routes_sync() {
+        let broker = Broker::new();
+        let bus = broker.handle();
+        drop(broker);
+        // Router gone: inline routing still works (no subscribers).
+        bus.publish(t("/a/b"), Bytes::new()).unwrap();
+    }
+
+    #[test]
+    fn multithreaded_publishers() {
+        let broker = Broker::new();
+        let bus = broker.handle();
+        let sub = bus.subscribe_str("/#").unwrap();
+        let mut handles = vec![];
+        for p in 0..4 {
+            let bus = bus.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250 {
+                    bus.publish(t(&format!("/p{p}/s{i}")), Bytes::new()).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        broker.flush();
+        assert_eq!(sub.queued(), 1000);
+    }
+
+    #[test]
+    fn recv_timeout_returns_none_when_idle() {
+        let broker = Broker::new();
+        let bus = broker.handle();
+        let sub = bus.subscribe_str("/quiet/#").unwrap();
+        let got = sub.recv_timeout(Duration::from_millis(10)).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn drain_empties_queue() {
+        let broker = Broker::new_sync();
+        let bus = broker.handle();
+        let sub = bus.subscribe_str("/d/#").unwrap();
+        for i in 0..5 {
+            bus.publish(t(&format!("/d/{i}")), Bytes::new()).unwrap();
+        }
+        assert_eq!(sub.drain().len(), 5);
+        assert_eq!(sub.queued(), 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Wire format for sensor-data messages.
+//!
+//! Although the bus is in-process, Pushers marshal readings into the
+//! same compact binary frames a networked MQTT deployment would use, so
+//! the serialization cost the paper's overhead numbers include is paid
+//! here too.
+//!
+//! Frame layout (little-endian):
+//!
+//! ```text
+//! [u8  version = 1]
+//! [u32 reading count = n]
+//! n × { [i64 value] [u64 timestamp_ns] }
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dcdb_common::error::DcdbError;
+use dcdb_common::reading::SensorReading;
+use dcdb_common::time::Timestamp;
+
+/// Current frame format version.
+pub const FRAME_VERSION: u8 = 1;
+
+/// Bytes occupied by one encoded reading.
+pub const READING_WIRE_SIZE: usize = 16;
+
+/// Encodes a batch of readings into a frame.
+pub fn encode_readings(readings: &[SensorReading]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(5 + readings.len() * READING_WIRE_SIZE);
+    buf.put_u8(FRAME_VERSION);
+    buf.put_u32_le(readings.len() as u32);
+    for r in readings {
+        buf.put_i64_le(r.value);
+        buf.put_u64_le(r.ts.as_nanos());
+    }
+    buf.freeze()
+}
+
+/// Decodes a frame back into readings.
+pub fn decode_readings(mut frame: Bytes) -> Result<Vec<SensorReading>, DcdbError> {
+    if frame.len() < 5 {
+        return Err(DcdbError::Parse(format!(
+            "sensor frame too short: {} bytes",
+            frame.len()
+        )));
+    }
+    let version = frame.get_u8();
+    if version != FRAME_VERSION {
+        return Err(DcdbError::Parse(format!(
+            "unsupported frame version {version}"
+        )));
+    }
+    let n = frame.get_u32_le() as usize;
+    if frame.remaining() != n * READING_WIRE_SIZE {
+        return Err(DcdbError::Parse(format!(
+            "frame length mismatch: {} readings declared, {} bytes remain",
+            n,
+            frame.remaining()
+        )));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let value = frame.get_i64_le();
+        let ts = Timestamp(frame.get_u64_le());
+        out.push(SensorReading::new(value, ts));
+    }
+    Ok(out)
+}
+
+/// Encodes a single reading (the common per-sample publish).
+pub fn encode_reading(r: SensorReading) -> Bytes {
+    encode_readings(std::slice::from_ref(&r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: i64, ns: u64) -> SensorReading {
+        SensorReading::new(v, Timestamp(ns))
+    }
+
+    #[test]
+    fn round_trip_empty() {
+        let frame = encode_readings(&[]);
+        assert_eq!(decode_readings(frame).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn round_trip_batch() {
+        let batch = vec![r(-5, 0), r(i64::MAX, u64::MAX), r(0, 42)];
+        let frame = encode_readings(&batch);
+        assert_eq!(frame.len(), 5 + 3 * READING_WIRE_SIZE);
+        assert_eq!(decode_readings(frame).unwrap(), batch);
+    }
+
+    #[test]
+    fn round_trip_single() {
+        let frame = encode_reading(r(7, 9));
+        assert_eq!(decode_readings(frame).unwrap(), vec![r(7, 9)]);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let frame = encode_readings(&[r(1, 1), r(2, 2)]);
+        let cut = frame.slice(0..frame.len() - 3);
+        assert!(decode_readings(cut).is_err());
+        assert!(decode_readings(Bytes::from_static(&[1])).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut raw = encode_readings(&[r(1, 1)]).to_vec();
+        raw[0] = 9;
+        assert!(decode_readings(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut raw = encode_readings(&[r(1, 1)]).to_vec();
+        raw.push(0);
+        assert!(decode_readings(Bytes::from(raw)).is_err());
+    }
+}

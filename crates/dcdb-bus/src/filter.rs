@@ -1,0 +1,230 @@
+//! MQTT topic filters.
+//!
+//! DCDB transports all sensor data over MQTT; subscribers select topics
+//! with the standard MQTT wildcards:
+//!
+//! * `+` matches exactly one path segment,
+//! * `#` matches any number of trailing segments (including zero), and
+//!   may only appear as the last segment.
+//!
+//! `/rack1/+/power` matches `/rack1/chassis2/power` but not
+//! `/rack1/chassis2/server3/power`; `/rack1/#` matches everything below
+//! `/rack1` and `/rack1` itself.
+
+use dcdb_common::error::DcdbError;
+use dcdb_common::topic::Topic;
+use std::fmt;
+
+/// One segment of a parsed topic filter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum FilterSegment {
+    /// Literal segment that must match exactly.
+    Literal(String),
+    /// `+`: any single segment.
+    SingleLevel,
+    /// `#`: the rest of the topic (terminal).
+    MultiLevel,
+}
+
+/// A parsed, validated MQTT topic filter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TopicFilter {
+    segments: Vec<FilterSegment>,
+    raw: String,
+}
+
+impl TopicFilter {
+    /// Parses a filter string such as `/rack1/+/power` or `/#`.
+    pub fn parse(raw: &str) -> Result<TopicFilter, DcdbError> {
+        let trimmed = raw.trim();
+        let body = trimmed.trim_start_matches('/').trim_end_matches('/');
+        if body.is_empty() {
+            // "/" or "#" alone: treat bare "#" below; bare "/" is invalid.
+            if trimmed == "#" || trimmed == "/#" {
+                return Ok(TopicFilter {
+                    segments: vec![FilterSegment::MultiLevel],
+                    raw: "/#".to_string(),
+                });
+            }
+            return Err(DcdbError::Topic(format!("empty filter: {raw:?}")));
+        }
+        let mut segments = Vec::new();
+        let parts: Vec<&str> = body.split('/').collect();
+        for (i, seg) in parts.iter().enumerate() {
+            match *seg {
+                "" => return Err(DcdbError::Topic(format!("empty segment in filter {raw:?}"))),
+                "+" => segments.push(FilterSegment::SingleLevel),
+                "#" => {
+                    if i + 1 != parts.len() {
+                        return Err(DcdbError::Topic(format!(
+                            "'#' must be the last segment in {raw:?}"
+                        )));
+                    }
+                    segments.push(FilterSegment::MultiLevel);
+                }
+                s => {
+                    if s.contains(['+', '#']) {
+                        return Err(DcdbError::Topic(format!(
+                            "wildcard inside segment {s:?} in {raw:?}"
+                        )));
+                    }
+                    segments.push(FilterSegment::Literal(s.to_string()));
+                }
+            }
+        }
+        let mut norm = String::new();
+        for s in &segments {
+            norm.push('/');
+            match s {
+                FilterSegment::Literal(l) => norm.push_str(l),
+                FilterSegment::SingleLevel => norm.push('+'),
+                FilterSegment::MultiLevel => norm.push('#'),
+            }
+        }
+        Ok(TopicFilter { segments, raw: norm })
+    }
+
+    /// Builds a filter matching exactly one topic.
+    pub fn exact(topic: &Topic) -> TopicFilter {
+        TopicFilter {
+            segments: topic
+                .segments()
+                .map(|s| FilterSegment::Literal(s.to_string()))
+                .collect(),
+            raw: topic.as_str().to_string(),
+        }
+    }
+
+    /// The normalized filter string.
+    pub fn as_str(&self) -> &str {
+        &self.raw
+    }
+
+    /// The parsed segments.
+    pub fn segments(&self) -> &[FilterSegment] {
+        &self.segments
+    }
+
+    /// True if this filter matches `topic` under MQTT semantics.
+    pub fn matches(&self, topic: &Topic) -> bool {
+        let topic_segs: Vec<&str> = topic.segments().collect();
+        Self::match_rec(&self.segments, &topic_segs)
+    }
+
+    fn match_rec(filter: &[FilterSegment], topic: &[&str]) -> bool {
+        match (filter.first(), topic.first()) {
+            (None, None) => true,
+            (Some(FilterSegment::MultiLevel), _) => true, // matches rest, even empty
+            (None, Some(_)) => false,
+            (Some(_), None) => false,
+            (Some(FilterSegment::Literal(l)), Some(t)) => {
+                l == t && Self::match_rec(&filter[1..], &topic[1..])
+            }
+            (Some(FilterSegment::SingleLevel), Some(_)) => {
+                Self::match_rec(&filter[1..], &topic[1..])
+            }
+        }
+    }
+
+    /// True if the filter contains no wildcards (matches one topic).
+    pub fn is_exact(&self) -> bool {
+        self.segments
+            .iter()
+            .all(|s| matches!(s, FilterSegment::Literal(_)))
+    }
+}
+
+impl fmt::Display for TopicFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.raw)
+    }
+}
+
+impl std::str::FromStr for TopicFilter {
+    type Err = DcdbError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        TopicFilter::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> Topic {
+        Topic::parse(s).unwrap()
+    }
+    fn f(s: &str) -> TopicFilter {
+        TopicFilter::parse(s).unwrap()
+    }
+
+    #[test]
+    fn literal_filters() {
+        let filt = f("/rack1/node2/power");
+        assert!(filt.matches(&t("/rack1/node2/power")));
+        assert!(!filt.matches(&t("/rack1/node2/temp")));
+        assert!(!filt.matches(&t("/rack1/node2")));
+        assert!(!filt.matches(&t("/rack1/node2/power/extra")));
+        assert!(filt.is_exact());
+    }
+
+    #[test]
+    fn single_level_wildcard() {
+        let filt = f("/rack1/+/power");
+        assert!(filt.matches(&t("/rack1/node2/power")));
+        assert!(filt.matches(&t("/rack1/node9/power")));
+        assert!(!filt.matches(&t("/rack1/power")));
+        assert!(!filt.matches(&t("/rack1/a/b/power")));
+        assert!(!filt.is_exact());
+    }
+
+    #[test]
+    fn multi_level_wildcard() {
+        let filt = f("/rack1/#");
+        assert!(filt.matches(&t("/rack1/node2/power")));
+        assert!(filt.matches(&t("/rack1/x")));
+        assert!(filt.matches(&t("/rack1")));
+        assert!(!filt.matches(&t("/rack2/x")));
+    }
+
+    #[test]
+    fn root_multi_level_matches_all() {
+        let filt = f("/#");
+        assert!(filt.matches(&t("/a")));
+        assert!(filt.matches(&t("/a/b/c/d")));
+        let bare = f("#");
+        assert!(bare.matches(&t("/anything")));
+    }
+
+    #[test]
+    fn leading_plus_combinations() {
+        let filt = f("/+/+/power");
+        assert!(filt.matches(&t("/r1/n1/power")));
+        assert!(!filt.matches(&t("/r1/power")));
+        let tail = f("/+/#");
+        assert!(tail.matches(&t("/r1")));
+        assert!(tail.matches(&t("/r1/n1/s1")));
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in ["", "/", "/a/#/b", "/a/b#", "/a/+x/b", "/a//b"] {
+            assert!(TopicFilter::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn exact_from_topic() {
+        let topic = t("/r1/n1/power");
+        let filt = TopicFilter::exact(&topic);
+        assert!(filt.is_exact());
+        assert!(filt.matches(&topic));
+        assert_eq!(filt.as_str(), "/r1/n1/power");
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(f("rack1/+/power").as_str(), "/rack1/+/power");
+        assert_eq!(f("/rack1/#/").as_str(), "/rack1/#");
+    }
+}

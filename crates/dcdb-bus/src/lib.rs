@@ -1,0 +1,25 @@
+//! # dcdb-bus — MQTT-like transport for DCDB
+//!
+//! DCDB moves all monitoring data over MQTT: Pushers publish sensor
+//! frames, Collect Agents broker and consume them (paper §IV-A, Fig. 3).
+//! This crate reproduces that transport in-process:
+//!
+//! * [`filter`] — MQTT topic filters with `+` / `#` wildcards;
+//! * [`codec`] — the compact binary frame format for reading batches;
+//! * [`broker`] — a QoS-0 [`Broker`](broker::Broker) with trie-based
+//!   routing and an asynchronous router thread.
+//!
+//! The broker is deliberately faithful to how the paper uses MQTT —
+//! topic-based fan-out with publisher/consumer decoupling — while
+//! replacing sockets with channels; the frame codec keeps the
+//! serialization cost on the data path.
+
+#![warn(missing_docs)]
+
+pub mod broker;
+pub mod codec;
+pub mod filter;
+
+pub use broker::{Broker, BusHandle, BusStatsSnapshot, Message, Subscription};
+pub use codec::{decode_readings, encode_reading, encode_readings};
+pub use filter::{FilterSegment, TopicFilter};

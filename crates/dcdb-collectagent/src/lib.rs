@@ -1,0 +1,386 @@
+//! # dcdb-collectagent — the DCDB data broker with embedded Wintermute
+//!
+//! Collect Agents receive all sensor data published by Pushers over
+//! MQTT and forward it to the Storage Backend (paper §IV-A, Fig. 3).
+//! With Wintermute embedded, "access to the entire system's sensor
+//! space is available. Data is retrieved from the local sensor cache,
+//! if possible, or otherwise queried from the Storage Backend" — the
+//! deployment location for system- and infrastructure-level analyses
+//! (paper §IV-B a).
+
+#![warn(missing_docs)]
+
+use dcdb_bus::{decode_readings, BusHandle, Subscription};
+use dcdb_common::error::Result;
+use dcdb_common::time::Timestamp;
+use dcdb_common::topic::Topic;
+use dcdb_rest::{Method, Response, Router, Status};
+use dcdb_storage::StorageBackend;
+use parking_lot::Mutex;
+use sim_cluster::ClusterSimulator;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use wintermute::prelude::*;
+
+/// Collect Agent configuration.
+#[derive(Debug, Clone)]
+pub struct CollectAgentConfig {
+    /// Sensor cache window, seconds.
+    pub cache_secs: u64,
+    /// Expected sampling interval of incoming data, milliseconds (sizes
+    /// the caches).
+    pub expected_interval_ms: u64,
+}
+
+impl Default for CollectAgentConfig {
+    fn default() -> Self {
+        CollectAgentConfig {
+            cache_secs: 180,
+            expected_interval_ms: 1000,
+        }
+    }
+}
+
+/// Counters for footprint reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectAgentStats {
+    /// Messages consumed from the bus.
+    pub messages: u64,
+    /// Readings ingested into cache + storage.
+    pub readings: u64,
+    /// Malformed frames dropped.
+    pub decode_errors: u64,
+}
+
+/// One DCDB Collect Agent.
+pub struct CollectAgent {
+    subscription: Subscription,
+    manager: Arc<OperatorManager>,
+    storage: Arc<StorageBackend>,
+    messages: AtomicU64,
+    readings: AtomicU64,
+    decode_errors: AtomicU64,
+    /// Count of sensors first seen since the last navigator rebuild.
+    dirty_sensors: AtomicU64,
+}
+
+impl CollectAgent {
+    /// Creates an agent subscribed to all sensor data on `bus`, backed
+    /// by `storage`.
+    pub fn new(
+        config: CollectAgentConfig,
+        bus: &BusHandle,
+        storage: Arc<StorageBackend>,
+    ) -> Result<CollectAgent> {
+        let cache_slots = (config.cache_secs * 1000 / config.expected_interval_ms.max(1))
+            .max(2) as usize
+            + 1;
+        let query = Arc::new(QueryEngine::with_storage(cache_slots, Arc::clone(&storage)));
+        let manager = OperatorManager::new(query);
+        Ok(CollectAgent {
+            subscription: bus.subscribe_str("/#")?,
+            manager,
+            storage,
+            messages: AtomicU64::new(0),
+            readings: AtomicU64::new(0),
+            decode_errors: AtomicU64::new(0),
+            dirty_sensors: AtomicU64::new(0),
+        })
+    }
+
+    /// The embedded Wintermute manager.
+    pub fn manager(&self) -> &Arc<OperatorManager> {
+        &self.manager
+    }
+
+    /// The system-wide query engine (caches + storage fallback).
+    pub fn query_engine(&self) -> &Arc<QueryEngine> {
+        self.manager.query_engine()
+    }
+
+    /// The storage backend.
+    pub fn storage(&self) -> &Arc<StorageBackend> {
+        &self.storage
+    }
+
+    /// Drains all pending bus messages into caches and storage.
+    /// Returns the number of readings ingested.
+    pub fn process_pending(&self) -> usize {
+        let mut ingested = 0;
+        while let Ok(Some(msg)) = self.subscription.try_recv() {
+            self.messages.fetch_add(1, Ordering::Relaxed);
+            match decode_readings(msg.payload) {
+                Ok(readings) => {
+                    let known = self.query_engine().knows(&msg.topic);
+                    self.query_engine().insert_batch(&msg.topic, &readings);
+                    ingested += readings.len();
+                    self.readings
+                        .fetch_add(readings.len() as u64, Ordering::Relaxed);
+                    if !known {
+                        self.dirty_sensors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(_) => {
+                    self.decode_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        // New sensors appeared: refresh the tree so operators can bind.
+        if self.dirty_sensors.swap(0, Ordering::AcqRel) > 0 {
+            self.query_engine().rebuild_navigator();
+        }
+        ingested
+    }
+
+    /// One tick: ingest pending data, then run due operators.
+    pub fn tick(&self, now: Timestamp) -> TickReport {
+        self.process_pending();
+        self.manager.tick(now)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CollectAgentStats {
+        CollectAgentStats {
+            messages: self.messages.load(Ordering::Relaxed),
+            readings: self.readings.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Mounts the Collect Agent REST API: Wintermute management routes
+    /// plus raw sensor queries
+    /// (`GET /sensors/<topic>?from_s=..&to_s=..`).
+    pub fn mount_routes(self: &Arc<Self>, router: &mut Router) {
+        self.manager.mount_routes(router);
+        let agent = Arc::clone(self);
+        router.route(Method::Get, "/sensors/*topic", move |req| {
+            let raw = format!("/{}", req.path_param("topic").unwrap_or_default());
+            let Ok(topic) = Topic::parse(&raw) else {
+                return Response::error(Status::BadRequest, "malformed topic");
+            };
+            let from = req
+                .query_param("from_s")
+                .and_then(|v| v.parse::<u64>().ok())
+                .map(Timestamp::from_secs)
+                .unwrap_or(Timestamp::ZERO);
+            let to = req
+                .query_param("to_s")
+                .and_then(|v| v.parse::<u64>().ok())
+                .map(Timestamp::from_secs)
+                .unwrap_or(Timestamp::MAX);
+            let readings = agent
+                .query_engine()
+                .query(&topic, QueryMode::Absolute { t0: from, t1: to });
+            let rows: Vec<serde_json::Value> = readings
+                .iter()
+                .map(|r| serde_json::json!({"value": r.value, "timestamp": r.ts.as_nanos()}))
+                .collect();
+            Response::json(serde_json::Value::Array(rows).to_string())
+        });
+    }
+}
+
+/// Adapts the simulated cluster's job scheduler into the
+/// [`JobDataSource`] job operators consume — the stand-in for the
+/// resource-manager integration of a production Collect Agent.
+pub struct SimJobSource {
+    sim: Arc<Mutex<ClusterSimulator>>,
+}
+
+impl SimJobSource {
+    /// Wraps a shared simulator.
+    pub fn new(sim: Arc<Mutex<ClusterSimulator>>) -> Self {
+        SimJobSource { sim }
+    }
+}
+
+impl JobDataSource for SimJobSource {
+    fn running_jobs(&self, now: Timestamp) -> Vec<JobInfo> {
+        let sim = self.sim.lock();
+        let topology = sim.topology().clone();
+        sim.scheduler()
+            .running_at(now)
+            .into_iter()
+            .map(|job| JobInfo {
+                id: job.id,
+                user: job.user.clone(),
+                node_paths: job
+                    .nodes
+                    .iter()
+                    .filter(|&&n| n < topology.total_nodes)
+                    .map(|&n| topology.node_topic(n))
+                    .collect(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdb_bus::Broker;
+    use dcdb_common::reading::SensorReading;
+    use sim_cluster::{AppModel, ClusterConfig};
+
+    fn t(s: &str) -> Topic {
+        Topic::parse(s).unwrap()
+    }
+
+    fn setup() -> (Broker, Arc<CollectAgent>) {
+        let broker = Broker::new_sync();
+        let storage = Arc::new(StorageBackend::new());
+        let agent = Arc::new(
+            CollectAgent::new(CollectAgentConfig::default(), &broker.handle(), storage)
+                .unwrap(),
+        );
+        (broker, agent)
+    }
+
+    #[test]
+    fn ingests_bus_data_into_cache_and_storage() {
+        let (broker, agent) = setup();
+        let bus = broker.handle();
+        for i in 1..=5u64 {
+            bus.publish_readings(
+                t("/r0/n0/power"),
+                &[SensorReading::new(100 + i as i64, Timestamp::from_secs(i))],
+            )
+            .unwrap();
+        }
+        let ingested = agent.process_pending();
+        assert_eq!(ingested, 5);
+        let stats = agent.stats();
+        assert_eq!(stats.messages, 5);
+        assert_eq!(stats.readings, 5);
+        // Cache answer.
+        let got = agent.query_engine().query(&t("/r0/n0/power"), QueryMode::Latest);
+        assert_eq!(got[0].value, 105);
+        // Storage answer.
+        assert_eq!(agent.storage().stats().readings, 5);
+        // Navigator was rebuilt.
+        assert!(agent.query_engine().navigator().has_sensor(&t("/r0/n0/power")));
+    }
+
+    #[test]
+    fn malformed_frames_are_counted_not_fatal() {
+        let (broker, agent) = setup();
+        broker
+            .handle()
+            .publish(t("/bad/frame"), bytes::Bytes::from_static(&[1, 2, 3]))
+            .unwrap();
+        agent.process_pending();
+        assert_eq!(agent.stats().decode_errors, 1);
+        assert_eq!(agent.stats().readings, 0);
+    }
+
+    #[test]
+    fn operators_run_on_ingested_data() {
+        let (broker, agent) = setup();
+        wintermute_plugins::register_all(agent.manager(), None);
+        let bus = broker.handle();
+        for i in 1..=5u64 {
+            for n in 0..3 {
+                bus.publish_readings(
+                    t(&format!("/r0/n{n}/power")),
+                    &[SensorReading::new(
+                        100 * (n + 1) as i64,
+                        Timestamp::from_secs(i),
+                    )],
+                )
+                .unwrap();
+            }
+        }
+        agent.process_pending();
+        agent
+            .manager()
+            .load(
+                PluginConfig::online("avg", "aggregator", 1000)
+                    .with_patterns(&["<bottomup>power"], &["<bottomup>power-avg"])
+                    .with_option("window_ms", 10_000u64),
+            )
+            .unwrap();
+        let report = agent.tick(Timestamp::from_secs(6));
+        assert!(report.errors.is_empty());
+        assert_eq!(report.outputs_published, 3);
+    }
+
+    #[test]
+    fn rest_sensor_queries() {
+        let (broker, agent) = setup();
+        let bus = broker.handle();
+        for i in 1..=3u64 {
+            bus.publish_readings(
+                t("/r0/n0/temp"),
+                &[SensorReading::new(40 + i as i64, Timestamp::from_secs(i))],
+            )
+            .unwrap();
+        }
+        agent.process_pending();
+        let mut router = Router::new();
+        agent.mount_routes(&mut router);
+        let resp = router.dispatch(dcdb_rest::Request::new(
+            Method::Get,
+            "/sensors/r0/n0/temp?from_s=2&to_s=3",
+        ));
+        assert_eq!(resp.status.code(), 200);
+        let body = resp.body_str();
+        assert!(body.contains("\"value\":42"), "{body}");
+        assert!(body.contains("\"value\":43"));
+        assert!(!body.contains("\"value\":41"));
+    }
+
+    #[test]
+    fn sim_job_source_exposes_running_jobs() {
+        let mut sim = ClusterSimulator::new(ClusterConfig::small_manual(3));
+        sim.submit_job(
+            "alice",
+            AppModel::Kripke,
+            vec![0, 1],
+            Timestamp::from_secs(10),
+            Timestamp::from_secs(100),
+        );
+        let source = SimJobSource::new(Arc::new(Mutex::new(sim)));
+        assert!(source.running_jobs(Timestamp::from_secs(5)).is_empty());
+        let jobs = source.running_jobs(Timestamp::from_secs(50));
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].user, "alice");
+        assert_eq!(
+            jobs[0].node_paths,
+            vec![t("/rack00/node00"), t("/rack00/node01")]
+        );
+    }
+
+    #[test]
+    fn storage_fallback_after_cache_eviction() {
+        let broker = Broker::new_sync();
+        let storage = Arc::new(StorageBackend::new());
+        let agent = CollectAgent::new(
+            CollectAgentConfig {
+                cache_secs: 5,
+                expected_interval_ms: 1000,
+            },
+            &broker.handle(),
+            storage,
+        )
+        .unwrap();
+        let bus = broker.handle();
+        for i in 1..=50u64 {
+            bus.publish_readings(
+                t("/r0/n0/power"),
+                &[SensorReading::new(i as i64, Timestamp::from_secs(i))],
+            )
+            .unwrap();
+        }
+        agent.process_pending();
+        // Old range: cache evicted it, storage still has it.
+        let got = agent.query_engine().query(
+            &t("/r0/n0/power"),
+            QueryMode::Absolute {
+                t0: Timestamp::from_secs(1),
+                t1: Timestamp::from_secs(10),
+            },
+        );
+        assert_eq!(got.len(), 10);
+        assert!(agent.query_engine().stats().storage_fallbacks >= 1);
+    }
+}

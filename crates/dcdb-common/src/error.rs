@@ -1,0 +1,75 @@
+//! The shared error type for DCDB components.
+
+use std::fmt;
+
+/// Errors produced anywhere in the DCDB / Wintermute stack.
+#[derive(Debug)]
+pub enum DcdbError {
+    /// Malformed sensor topic.
+    Topic(String),
+    /// Malformed configuration (missing key, wrong type, bad value).
+    Config(String),
+    /// Parse failure (pattern expressions, regexes, protocol frames).
+    Parse(String),
+    /// A named entity (sensor, unit, operator, plugin) does not exist.
+    NotFound(String),
+    /// An operation was attempted in an invalid state (e.g. starting an
+    /// already-running operator).
+    InvalidState(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A bus or channel endpoint disconnected.
+    Disconnected(String),
+}
+
+impl fmt::Display for DcdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DcdbError::Topic(m) => write!(f, "topic error: {m}"),
+            DcdbError::Config(m) => write!(f, "config error: {m}"),
+            DcdbError::Parse(m) => write!(f, "parse error: {m}"),
+            DcdbError::NotFound(m) => write!(f, "not found: {m}"),
+            DcdbError::InvalidState(m) => write!(f, "invalid state: {m}"),
+            DcdbError::Io(e) => write!(f, "io error: {e}"),
+            DcdbError::Disconnected(m) => write!(f, "disconnected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DcdbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DcdbError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DcdbError {
+    fn from(e: std::io::Error) -> Self {
+        DcdbError::Io(e)
+    }
+}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, DcdbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = DcdbError::Config("missing interval".into());
+        assert!(e.to_string().contains("config error"));
+        assert!(e.to_string().contains("missing interval"));
+    }
+
+    #[test]
+    fn io_conversion_preserves_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe");
+        let e: DcdbError = io.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("pipe"));
+    }
+}

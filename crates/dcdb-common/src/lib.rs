@@ -1,0 +1,36 @@
+//! # dcdb-common — shared primitives for the DCDB/Wintermute stack
+//!
+//! This crate holds the data model every other crate builds on, matching
+//! the DCDB monitoring framework the Wintermute paper extends
+//! (Netti et al., *DCDB Wintermute*, HPDC 2020):
+//!
+//! * [`time`] — nanosecond [`Timestamp`](time::Timestamp)s and a
+//!   deterministic [`VirtualClock`](time::VirtualClock) for simulation;
+//! * [`reading`] — [`SensorReading`](reading::SensorReading)s (value +
+//!   timestamp) and single-pass aggregate statistics;
+//! * [`topic`] — MQTT-style sensor [`Topic`](topic::Topic)s, metadata,
+//!   and the interning [`SensorRegistry`](topic::SensorRegistry);
+//! * [`cache`] — the per-sensor [`SensorCache`](cache::SensorCache) ring
+//!   buffer with O(1) relative and O(log N) absolute views (paper §V-B);
+//! * [`regex`] — a from-scratch linear-time regular-expression engine
+//!   used by Unit System filters (paper §III-B);
+//! * [`config`] — typed and key-value configuration blocks;
+//! * [`error`] — the shared [`DcdbError`](error::DcdbError) type.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod error;
+pub mod reading;
+pub mod regex;
+pub mod time;
+pub mod topic;
+
+pub use cache::{CacheView, PushOutcome, SensorCache};
+pub use config::{KvConfig, SamplingConfig};
+pub use error::{DcdbError, Result};
+pub use reading::{decode_f64, encode_f64, ReadingStats, SensorReading, FIXED_POINT_SCALE};
+pub use regex::Regex;
+pub use time::{Timestamp, VirtualClock, NS_PER_MS, NS_PER_SEC, NS_PER_US};
+pub use topic::{SensorId, SensorMetadata, SensorRegistry, Topic};

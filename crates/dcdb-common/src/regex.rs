@@ -1,0 +1,638 @@
+//! A small regular-expression engine for Unit System filters.
+//!
+//! Pattern expressions in Wintermute configurations carry a `filter`
+//! clause that restricts, by name, which sensor-tree nodes a pattern
+//! matches (paper §III-B, "horizontal navigation"). DCDB uses full
+//! regular expressions there; this module implements the subset that
+//! covers every filter in the paper and the DCDB documentation, from
+//! scratch, with guaranteed linear-time matching:
+//!
+//! * literals, `.`
+//! * postfix `*`, `+`, `?`
+//! * character classes `[abc]`, ranges `[a-z0-9]`, negation `[^...]`
+//! * alternation `|` and grouping `(...)`
+//! * anchors `^` and `$`
+//! * escapes `\.` `\*` etc., plus `\d`, `\w`, `\s` shorthands
+//!
+//! The implementation is a classic Thompson construction: the pattern is
+//! parsed into an AST, compiled to an NFA, and matched by breadth-first
+//! simulation (no backtracking, so pathological patterns cannot blow up
+//! an operator's sampling interval).
+//!
+//! Matching is *unanchored* (`is_match` finds the pattern anywhere)
+//! unless anchors are used, mirroring common regex library behaviour.
+
+use crate::error::DcdbError;
+use std::fmt;
+
+/// A parsed, compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pattern: String,
+    prog: Vec<Inst>,
+    start: usize,
+}
+
+/// AST of the pattern language.
+#[derive(Debug, Clone, PartialEq)]
+enum Ast {
+    Empty,
+    Char(char),
+    AnyChar,
+    Class { negated: bool, items: Vec<ClassItem> },
+    Concat(Vec<Ast>),
+    Alternate(Vec<Ast>),
+    Star(Box<Ast>),
+    Plus(Box<Ast>),
+    Optional(Box<Ast>),
+    AnchorStart,
+    AnchorEnd,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ClassItem {
+    Single(char),
+    Range(char, char),
+}
+
+/// NFA instruction set (Thompson VM).
+#[derive(Debug, Clone)]
+enum Inst {
+    Char(char),
+    Any,
+    Class { negated: bool, items: Vec<ClassItem> },
+    Split(usize, usize),
+    Jmp(usize),
+    AssertStart,
+    AssertEnd,
+    Match,
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pattern: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser { chars: pattern.chars().peekable(), pattern }
+    }
+
+    fn err(&self, msg: &str) -> DcdbError {
+        DcdbError::Parse(format!("regex {:?}: {msg}", self.pattern))
+    }
+
+    /// alternation := concat ('|' concat)*
+    fn parse_alternate(&mut self) -> Result<Ast, DcdbError> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            branches.push(self.parse_concat()?);
+        }
+        if branches.len() == 1 {
+            Ok(branches.pop().unwrap())
+        } else {
+            Ok(Ast::Alternate(branches))
+        }
+    }
+
+    /// concat := repeat*
+    fn parse_concat(&mut self) -> Result<Ast, DcdbError> {
+        let mut items = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.parse_repeat()?);
+        }
+        match items.len() {
+            0 => Ok(Ast::Empty),
+            1 => Ok(items.pop().unwrap()),
+            _ => Ok(Ast::Concat(items)),
+        }
+    }
+
+    /// repeat := atom ('*' | '+' | '?')*
+    fn parse_repeat(&mut self) -> Result<Ast, DcdbError> {
+        let mut node = self.parse_atom()?;
+        while let Some(&c) = self.chars.peek() {
+            match c {
+                '*' | '+' | '?' => {
+                    if matches!(node, Ast::AnchorStart | Ast::AnchorEnd) {
+                        return Err(self.err("quantifier applied to anchor"));
+                    }
+                    self.chars.next();
+                    node = match c {
+                        '*' => Ast::Star(Box::new(node)),
+                        '+' => Ast::Plus(Box::new(node)),
+                        _ => Ast::Optional(Box::new(node)),
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(node)
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, DcdbError> {
+        let c = self.chars.next().ok_or_else(|| self.err("unexpected end"))?;
+        match c {
+            '(' => {
+                let inner = self.parse_alternate()?;
+                if self.chars.next() != Some(')') {
+                    return Err(self.err("unclosed group"));
+                }
+                Ok(inner)
+            }
+            '[' => self.parse_class(),
+            '.' => Ok(Ast::AnyChar),
+            '^' => Ok(Ast::AnchorStart),
+            '$' => Ok(Ast::AnchorEnd),
+            '\\' => {
+                let e = self.chars.next().ok_or_else(|| self.err("dangling escape"))?;
+                Ok(match e {
+                    'd' => Ast::Class {
+                        negated: false,
+                        items: vec![ClassItem::Range('0', '9')],
+                    },
+                    'w' => Ast::Class {
+                        negated: false,
+                        items: vec![
+                            ClassItem::Range('a', 'z'),
+                            ClassItem::Range('A', 'Z'),
+                            ClassItem::Range('0', '9'),
+                            ClassItem::Single('_'),
+                        ],
+                    },
+                    's' => Ast::Class {
+                        negated: false,
+                        items: vec![
+                            ClassItem::Single(' '),
+                            ClassItem::Single('\t'),
+                            ClassItem::Single('\n'),
+                            ClassItem::Single('\r'),
+                        ],
+                    },
+                    other => Ast::Char(other),
+                })
+            }
+            '*' | '+' | '?' => Err(self.err("quantifier with nothing to repeat")),
+            ')' => Err(self.err("unmatched ')'")),
+            other => Ok(Ast::Char(other)),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Ast, DcdbError> {
+        let mut negated = false;
+        if self.chars.peek() == Some(&'^') {
+            negated = true;
+            self.chars.next();
+        }
+        let mut items = Vec::new();
+        loop {
+            let c = match self.chars.next() {
+                Some(']') if !items.is_empty() || negated => break,
+                Some(']') => ']', // literal ']' as the first item
+                Some('\\') => self
+                    .chars
+                    .next()
+                    .ok_or_else(|| self.err("dangling escape in class"))?,
+                Some(c) => c,
+                None => return Err(self.err("unclosed character class")),
+            };
+            if self.chars.peek() == Some(&'-') {
+                // Lookahead: range only if a non-']' follows the '-'.
+                self.chars.next();
+                match self.chars.peek() {
+                    Some(&']') | None => {
+                        items.push(ClassItem::Single(c));
+                        items.push(ClassItem::Single('-'));
+                    }
+                    Some(&hi) => {
+                        self.chars.next();
+                        if hi < c {
+                            return Err(self.err("invalid class range"));
+                        }
+                        items.push(ClassItem::Range(c, hi));
+                    }
+                }
+            } else {
+                items.push(ClassItem::Single(c));
+            }
+        }
+        Ok(Ast::Class { negated, items })
+    }
+}
+
+/// Compiles an AST into NFA instructions appended to `prog`.
+fn compile(ast: &Ast, prog: &mut Vec<Inst>) {
+    match ast {
+        Ast::Empty => {}
+        Ast::Char(c) => prog.push(Inst::Char(*c)),
+        Ast::AnyChar => prog.push(Inst::Any),
+        Ast::Class { negated, items } => prog.push(Inst::Class {
+            negated: *negated,
+            items: items.clone(),
+        }),
+        Ast::AnchorStart => prog.push(Inst::AssertStart),
+        Ast::AnchorEnd => prog.push(Inst::AssertEnd),
+        Ast::Concat(items) => {
+            for item in items {
+                compile(item, prog);
+            }
+        }
+        Ast::Alternate(branches) => {
+            // Chain of splits; each branch jumps to the common end.
+            let mut jmp_slots = Vec::new();
+            let n = branches.len();
+            for (i, b) in branches.iter().enumerate() {
+                if i + 1 < n {
+                    let split_at = prog.len();
+                    prog.push(Inst::Split(0, 0)); // patched below
+                    let b_start = prog.len();
+                    compile(b, prog);
+                    jmp_slots.push(prog.len());
+                    prog.push(Inst::Jmp(0)); // patched below
+                    let next_branch = prog.len();
+                    prog[split_at] = Inst::Split(b_start, next_branch);
+                } else {
+                    compile(b, prog);
+                }
+            }
+            let end = prog.len();
+            for slot in jmp_slots {
+                prog[slot] = Inst::Jmp(end);
+            }
+        }
+        Ast::Star(inner) => {
+            let split_at = prog.len();
+            prog.push(Inst::Split(0, 0));
+            let body = prog.len();
+            compile(inner, prog);
+            prog.push(Inst::Jmp(split_at));
+            let end = prog.len();
+            prog[split_at] = Inst::Split(body, end);
+        }
+        Ast::Plus(inner) => {
+            let body = prog.len();
+            compile(inner, prog);
+            let split_at = prog.len();
+            prog.push(Inst::Split(body, 0));
+            let end = prog.len();
+            prog[split_at] = Inst::Split(body, end);
+        }
+        Ast::Optional(inner) => {
+            let split_at = prog.len();
+            prog.push(Inst::Split(0, 0));
+            let body = prog.len();
+            compile(inner, prog);
+            let end = prog.len();
+            prog[split_at] = Inst::Split(body, end);
+        }
+    }
+}
+
+fn class_matches(negated: bool, items: &[ClassItem], c: char) -> bool {
+    let hit = items.iter().any(|it| match *it {
+        ClassItem::Single(s) => s == c,
+        ClassItem::Range(lo, hi) => (lo..=hi).contains(&c),
+    });
+    hit != negated
+}
+
+impl Regex {
+    /// Parses and compiles `pattern`.
+    pub fn new(pattern: &str) -> Result<Regex, DcdbError> {
+        let mut parser = Parser::new(pattern);
+        let ast = parser.parse_alternate()?;
+        if parser.chars.next().is_some() {
+            return Err(DcdbError::Parse(format!(
+                "regex {pattern:?}: trailing characters (unmatched ')'?)"
+            )));
+        }
+        let mut prog = Vec::new();
+        compile(&ast, &mut prog);
+        prog.push(Inst::Match);
+        Ok(Regex {
+            pattern: pattern.to_string(),
+            prog,
+            start: 0,
+        })
+    }
+
+    /// The original pattern string.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// True if the pattern matches anywhere in `text` (unanchored unless
+    /// the pattern itself uses `^`/`$`).
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        for start_pos in 0..=chars.len() {
+            if self.match_from(&chars, start_pos) {
+                return true;
+            }
+            // An initial `^` can only match at position 0; skip the scan.
+            if matches!(self.prog.first(), Some(Inst::AssertStart)) {
+                break;
+            }
+        }
+        false
+    }
+
+    /// True if the pattern matches the *entire* input, regardless of
+    /// anchors. This is the semantics Unit System filters use when a
+    /// filter is declared `exact`.
+    pub fn is_full_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        self.match_exact(&chars)
+    }
+
+    /// BFS simulation from a fixed starting offset; accepts as soon as
+    /// `Match` is reached (prefix match).
+    fn match_from(&self, chars: &[char], start_pos: usize) -> bool {
+        let mut current = SparseSet::new(self.prog.len());
+        let mut next = SparseSet::new(self.prog.len());
+        self.add_thread(&mut current, self.start, chars, start_pos);
+        let mut pos = start_pos;
+        loop {
+            if current.iter().any(|pc| matches!(self.prog[pc], Inst::Match)) {
+                return true;
+            }
+            if pos >= chars.len() || current.is_empty() {
+                return false;
+            }
+            let c = chars[pos];
+            next.clear();
+            for pc in current.iter() {
+                let advance = match &self.prog[pc] {
+                    Inst::Char(x) => *x == c,
+                    Inst::Any => true,
+                    Inst::Class { negated, items } => class_matches(*negated, items, c),
+                    _ => false,
+                };
+                if advance {
+                    self.add_thread(&mut next, pc + 1, chars, pos + 1);
+                }
+            }
+            std::mem::swap(&mut current, &mut next);
+            pos += 1;
+        }
+    }
+
+    /// Simulation accepting only if `Match` is reached exactly at the end
+    /// of the input.
+    fn match_exact(&self, chars: &[char]) -> bool {
+        let mut current = SparseSet::new(self.prog.len());
+        let mut next = SparseSet::new(self.prog.len());
+        self.add_thread(&mut current, self.start, chars, 0);
+        for pos in 0..chars.len() {
+            if current.is_empty() {
+                return false;
+            }
+            let c = chars[pos];
+            next.clear();
+            for pc in current.iter() {
+                let advance = match &self.prog[pc] {
+                    Inst::Char(x) => *x == c,
+                    Inst::Any => true,
+                    Inst::Class { negated, items } => class_matches(*negated, items, c),
+                    _ => false,
+                };
+                if advance {
+                    self.add_thread(&mut next, pc + 1, chars, pos + 1);
+                }
+            }
+            std::mem::swap(&mut current, &mut next);
+        }
+        let matched = current.iter().any(|pc| matches!(self.prog[pc], Inst::Match));
+        matched
+    }
+
+    /// Follows epsilon transitions (splits, jumps, satisfied anchors).
+    fn add_thread(&self, set: &mut SparseSet, pc: usize, chars: &[char], pos: usize) {
+        // Every pc is marked visited, including epsilon instructions:
+        // patterns like `(a*)*` produce epsilon cycles that would
+        // otherwise recurse forever.
+        if set.contains(pc) {
+            return;
+        }
+        set.insert(pc);
+        match &self.prog[pc] {
+            Inst::Jmp(t) => self.add_thread(set, *t, chars, pos),
+            Inst::Split(a, b) => {
+                self.add_thread(set, *a, chars, pos);
+                self.add_thread(set, *b, chars, pos);
+            }
+            Inst::AssertStart => {
+                if pos == 0 {
+                    self.add_thread(set, pc + 1, chars, pos);
+                }
+            }
+            Inst::AssertEnd => {
+                if pos == chars.len() {
+                    self.add_thread(set, pc + 1, chars, pos);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.pattern)
+    }
+}
+
+/// Sparse integer set for NFA thread lists: O(1) insert/contains/clear.
+struct SparseSet {
+    dense: Vec<usize>,
+    sparse: Vec<usize>,
+}
+
+impl SparseSet {
+    fn new(universe: usize) -> Self {
+        SparseSet {
+            dense: Vec::with_capacity(universe),
+            sparse: vec![usize::MAX; universe],
+        }
+    }
+    fn insert(&mut self, v: usize) {
+        if !self.contains(v) {
+            self.sparse[v] = self.dense.len();
+            self.dense.push(v);
+        }
+    }
+    fn contains(&self, v: usize) -> bool {
+        self.sparse
+            .get(v)
+            .map(|&i| i < self.dense.len() && self.dense[i] == v)
+            .unwrap_or(false)
+    }
+    fn clear(&mut self) {
+        self.dense.clear();
+    }
+    fn is_empty(&self) -> bool {
+        self.dense.is_empty()
+    }
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.dense.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn re(p: &str) -> Regex {
+        Regex::new(p).unwrap_or_else(|e| panic!("pattern {p:?} failed: {e}"))
+    }
+
+    #[test]
+    fn literal_substring_semantics() {
+        let r = re("cpu");
+        assert!(r.is_match("cpu"));
+        assert!(r.is_match("cpu0"));
+        assert!(r.is_match("xcpu7"));
+        assert!(!r.is_match("cp"));
+        assert!(!r.is_match(""));
+    }
+
+    #[test]
+    fn dot_and_quantifiers() {
+        assert!(re("c.u").is_match("cpu"));
+        assert!(re("c.u").is_match("ccu"));
+        assert!(!re("c.u").is_match("cu"));
+        assert!(re("ab*c").is_match("ac"));
+        assert!(re("ab*c").is_match("abbbc"));
+        assert!(re("ab+c").is_match("abc"));
+        assert!(!re("ab+c").is_match("ac"));
+        assert!(re("ab?c").is_match("ac"));
+        assert!(re("ab?c").is_match("abc"));
+        assert!(!re("ab?c").is_match("abbc"));
+    }
+
+    #[test]
+    fn classes_and_ranges() {
+        let r = re("cpu[0-9]+");
+        assert!(r.is_match("cpu0"));
+        assert!(r.is_match("cpu63"));
+        assert!(!r.is_match("cpux"));
+        let neg = re("[^0-9]+");
+        assert!(neg.is_match("abc"));
+        assert!(!neg.is_match("123"));
+        let multi = re("[a-cx-z]");
+        assert!(multi.is_match("b"));
+        assert!(multi.is_match("y"));
+        assert!(!multi.is_match("m"));
+    }
+
+    #[test]
+    fn class_edge_cases() {
+        // ']' as the first item is a literal.
+        assert!(re("[]]").is_match("]"));
+        // trailing '-' is a literal.
+        assert!(re("[a-]").is_match("-"));
+        assert!(re("[a-]").is_match("a"));
+        // escape inside class.
+        assert!(re(r"[\]]").is_match("]"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        let r = re("power|temp");
+        assert!(r.is_match("power"));
+        assert!(r.is_match("temperature"));
+        assert!(!r.is_match("energy"));
+        let g = re("s(0[12]|99)");
+        assert!(g.is_match("s01"));
+        assert!(g.is_match("s02"));
+        assert!(g.is_match("s99"));
+        assert!(!g.is_match("s03"));
+        let three = re("a|b|c");
+        assert!(three.is_match("xbz"));
+        assert!(!three.is_match("xyz"));
+    }
+
+    #[test]
+    fn anchors() {
+        let r = re("^cpu$");
+        assert!(r.is_match("cpu"));
+        assert!(!r.is_match("cpu0"));
+        assert!(!r.is_match("xcpu"));
+        let s = re("^rack");
+        assert!(s.is_match("rack4"));
+        assert!(!s.is_match("arack"));
+        let e = re("power$");
+        assert!(e.is_match("node-power"));
+        assert!(!e.is_match("powerx"));
+    }
+
+    #[test]
+    fn escapes_and_shorthands() {
+        assert!(re(r"\d+").is_match("node42"));
+        assert!(!re(r"^\d+$").is_match("node42"));
+        assert!(re(r"^\w+$").is_match("cache_misses"));
+        assert!(!re(r"^\w+$").is_match("a b"));
+        assert!(re(r"\s").is_match("a b"));
+        assert!(re(r"a\.b").is_match("a.b"));
+        assert!(!re(r"a\.b").is_match("axb"));
+        assert!(re(r"a\*").is_match("a*"));
+    }
+
+    #[test]
+    fn full_match_semantics() {
+        let r = re("cpu[0-9]");
+        assert!(r.is_full_match("cpu5"));
+        assert!(!r.is_full_match("cpu55"));
+        assert!(!r.is_full_match("xcpu5"));
+        assert!(re("").is_full_match(""));
+        assert!(!re("a").is_full_match(""));
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        let r = re("");
+        assert!(r.is_match(""));
+        assert!(r.is_match("anything"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in ["*a", "+", "?x", "(ab", "a)", "[abc", "a\\", "[z-a]"] {
+            assert!(Regex::new(bad).is_err(), "{bad:?} should fail to parse");
+        }
+    }
+
+    #[test]
+    fn nested_quantifiers_terminate() {
+        // (a*)* style patterns are catastrophic for backtrackers; the
+        // Thompson simulation must stay linear.
+        let r = re("(a*)*b");
+        let input = "a".repeat(2000);
+        assert!(!r.is_match(&input));
+        assert!(r.is_match(&format!("{input}b")));
+    }
+
+    #[test]
+    fn unicode_input() {
+        let r = re("^näme$");
+        assert!(r.is_match("näme"));
+        assert!(re(".").is_match("ü"));
+    }
+
+    #[test]
+    fn paper_filter_examples() {
+        // §III-C: `filter cpu` keeps cpu0, cpu1 at the bottom level.
+        let f = re("cpu");
+        assert!(f.is_match("cpu0"));
+        assert!(f.is_match("cpu1"));
+        assert!(!f.is_match("gpu0"));
+        // A rack filter selecting rows r00-r03.
+        let rack = re("^r0[0-3]$");
+        assert!(rack.is_match("r02"));
+        assert!(!rack.is_match("r04"));
+    }
+}

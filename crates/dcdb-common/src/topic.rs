@@ -1,0 +1,361 @@
+//! Sensor topics and the sensor registry.
+//!
+//! DCDB identifies sensors by MQTT-style topics: forward-slash separated
+//! strings such as `/rack4/chassis2/server3/power` that encode the
+//! physical or logical placement of the sensor in the HPC system
+//! (paper §III-A). The last segment is the *sensor name*; the preceding
+//! path locates the component it belongs to.
+//!
+//! Topic strings are expensive to hash and compare in hot paths, so this
+//! module also provides a [`SensorRegistry`] interning topics into dense
+//! [`SensorId`]s; caches, the bus and the storage backend all key on the
+//! id and translate back to strings only at API boundaries.
+
+use crate::error::DcdbError;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A normalized sensor topic: `/seg1/seg2/.../name`.
+///
+/// Invariants (enforced by [`Topic::parse`]):
+/// * starts with `/`,
+/// * no trailing `/` (except the bare root `/`),
+/// * no empty segments,
+/// * segments contain no whitespace, `+`, `#` or `/`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(try_from = "String", into = "String")]
+pub struct Topic(Arc<str>);
+
+impl Topic {
+    /// Parses and normalizes a topic string.
+    ///
+    /// Accepts missing leading slash and a trailing slash, normalizing
+    /// both; rejects empty segments and MQTT wildcard characters (these
+    /// belong to *topic filters*, not topics).
+    pub fn parse(raw: &str) -> Result<Topic, DcdbError> {
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed == "/" {
+            return Err(DcdbError::Topic(format!("empty topic: {raw:?}")));
+        }
+        let body = trimmed.trim_start_matches('/').trim_end_matches('/');
+        if body.is_empty() {
+            return Err(DcdbError::Topic(format!("empty topic: {raw:?}")));
+        }
+        let mut out = String::with_capacity(body.len() + 1);
+        for seg in body.split('/') {
+            if seg.is_empty() {
+                return Err(DcdbError::Topic(format!("empty segment in {raw:?}")));
+            }
+            if seg.contains(['+', '#']) {
+                return Err(DcdbError::Topic(format!(
+                    "wildcard character in topic {raw:?}; use TopicFilter instead"
+                )));
+            }
+            if seg.chars().any(char::is_whitespace) {
+                return Err(DcdbError::Topic(format!("whitespace in segment {seg:?}")));
+            }
+            out.push('/');
+            out.push_str(seg);
+        }
+        Ok(Topic(out.into()))
+    }
+
+    /// The full normalized topic string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Iterator over the path segments (without slashes).
+    pub fn segments(&self) -> impl Iterator<Item = &str> {
+        self.0.split('/').skip(1)
+    }
+
+    /// Number of segments; a top-level sensor `/power` has depth 1.
+    pub fn depth(&self) -> usize {
+        self.segments().count()
+    }
+
+    /// The sensor name: the last segment.
+    pub fn name(&self) -> &str {
+        self.0.rsplit('/').next().unwrap_or("")
+    }
+
+    /// The parent path (component the sensor/component belongs to), or
+    /// `None` for a top-level topic.
+    pub fn parent(&self) -> Option<Topic> {
+        let idx = self.0.rfind('/')?;
+        if idx == 0 {
+            return None;
+        }
+        Some(Topic(self.0[..idx].into()))
+    }
+
+    /// Appends a child segment, producing a deeper topic.
+    pub fn child(&self, segment: &str) -> Result<Topic, DcdbError> {
+        Topic::parse(&format!("{}/{}", self.0, segment))
+    }
+
+    /// True if `self` is a strict prefix (ancestor path) of `other`.
+    pub fn is_ancestor_of(&self, other: &Topic) -> bool {
+        other.0.len() > self.0.len()
+            && other.0.starts_with(self.0.as_ref())
+            && other.0.as_bytes()[self.0.len()] == b'/'
+    }
+}
+
+impl fmt::Display for Topic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl TryFrom<String> for Topic {
+    type Error = DcdbError;
+    fn try_from(s: String) -> Result<Self, Self::Error> {
+        Topic::parse(&s)
+    }
+}
+
+impl From<Topic> for String {
+    fn from(t: Topic) -> String {
+        t.0.to_string()
+    }
+}
+
+impl std::str::FromStr for Topic {
+    type Err = DcdbError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Topic::parse(s)
+    }
+}
+
+/// Dense integer handle for an interned topic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct SensorId(pub u32);
+
+/// Per-sensor metadata carried alongside the topic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorMetadata {
+    /// Physical unit of the readings (free-form, e.g. `"W"`, `"C"`).
+    pub unit: String,
+    /// Fixed-point divisor applied when interpreting values as reals.
+    pub scale: f64,
+    /// True for monotonically increasing counters (cycles, instructions);
+    /// consumers typically differentiate these.
+    pub monotonic: bool,
+    /// Expected sampling interval in nanoseconds, 0 if unknown.
+    pub interval_ns: u64,
+}
+
+impl Default for SensorMetadata {
+    fn default() -> Self {
+        SensorMetadata {
+            unit: String::new(),
+            scale: 1.0,
+            monotonic: false,
+            interval_ns: 0,
+        }
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    by_topic: HashMap<Topic, SensorId>,
+    by_id: Vec<(Topic, SensorMetadata)>,
+}
+
+/// Thread-safe interner mapping topics to dense [`SensorId`]s.
+///
+/// A single registry is shared by all components of one process
+/// (Pusher or Collect Agent); ids are stable for the process lifetime.
+#[derive(Default)]
+pub struct SensorRegistry {
+    inner: RwLock<RegistryInner>,
+}
+
+impl SensorRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `topic`, returning its id; registers default metadata on
+    /// first sight.
+    pub fn intern(&self, topic: &Topic) -> SensorId {
+        if let Some(&id) = self.inner.read().by_topic.get(topic) {
+            return id;
+        }
+        let mut inner = self.inner.write();
+        if let Some(&id) = inner.by_topic.get(topic) {
+            return id;
+        }
+        let id = SensorId(inner.by_id.len() as u32);
+        inner.by_id.push((topic.clone(), SensorMetadata::default()));
+        inner.by_topic.insert(topic.clone(), id);
+        id
+    }
+
+    /// Interns `topic` and attaches `meta` (overwriting existing
+    /// metadata: the sampling plugin is the authority).
+    pub fn intern_with_meta(&self, topic: &Topic, meta: SensorMetadata) -> SensorId {
+        let id = self.intern(topic);
+        self.inner.write().by_id[id.0 as usize].1 = meta;
+        id
+    }
+
+    /// Looks up the id of an already-interned topic.
+    pub fn lookup(&self, topic: &Topic) -> Option<SensorId> {
+        self.inner.read().by_topic.get(topic).copied()
+    }
+
+    /// Returns the topic for `id`, if valid.
+    pub fn topic(&self, id: SensorId) -> Option<Topic> {
+        self.inner.read().by_id.get(id.0 as usize).map(|e| e.0.clone())
+    }
+
+    /// Returns the metadata for `id`, if valid.
+    pub fn metadata(&self, id: SensorId) -> Option<SensorMetadata> {
+        self.inner.read().by_id.get(id.0 as usize).map(|e| e.1.clone())
+    }
+
+    /// Number of interned sensors.
+    pub fn len(&self) -> usize {
+        self.inner.read().by_id.len()
+    }
+
+    /// True when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all `(id, topic)` pairs, ordered by id.
+    pub fn all(&self) -> Vec<(SensorId, Topic)> {
+        self.inner
+            .read()
+            .by_id
+            .iter()
+            .enumerate()
+            .map(|(i, (t, _))| (SensorId(i as u32), t.clone()))
+            .collect()
+    }
+}
+
+impl fmt::Debug for SensorRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SensorRegistry")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_normalizes() {
+        assert_eq!(Topic::parse("rack0/node1/power").unwrap().as_str(), "/rack0/node1/power");
+        assert_eq!(Topic::parse("/rack0/node1/power/").unwrap().as_str(), "/rack0/node1/power");
+        assert_eq!(Topic::parse("  /a/b  ").unwrap().as_str(), "/a/b");
+    }
+
+    #[test]
+    fn parse_rejects_bad_topics() {
+        for bad in ["", "/", "//", "/a//b", "/a/+/b", "/a/#", "/a b/c"] {
+            assert!(Topic::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let t = Topic::parse("/r03/c02/s02/healthy").unwrap();
+        assert_eq!(t.name(), "healthy");
+        assert_eq!(t.depth(), 4);
+        assert_eq!(t.segments().collect::<Vec<_>>(), vec!["r03", "c02", "s02", "healthy"]);
+        assert_eq!(t.parent().unwrap().as_str(), "/r03/c02/s02");
+        let top = Topic::parse("/power").unwrap();
+        assert_eq!(top.parent(), None);
+        assert_eq!(top.depth(), 1);
+    }
+
+    #[test]
+    fn child_and_ancestor() {
+        let node = Topic::parse("/r1/c1/s1").unwrap();
+        let sensor = node.child("power").unwrap();
+        assert_eq!(sensor.as_str(), "/r1/c1/s1/power");
+        assert!(node.is_ancestor_of(&sensor));
+        assert!(!sensor.is_ancestor_of(&node));
+        // Prefix of a segment is not an ancestor.
+        let other = Topic::parse("/r1/c1/s11/power").unwrap();
+        assert!(!node.is_ancestor_of(&other));
+        assert!(!node.is_ancestor_of(&node.clone()));
+    }
+
+    #[test]
+    fn registry_interns_stably() {
+        let reg = SensorRegistry::new();
+        let a = Topic::parse("/n0/power").unwrap();
+        let b = Topic::parse("/n0/temp").unwrap();
+        let ia = reg.intern(&a);
+        let ib = reg.intern(&b);
+        assert_ne!(ia, ib);
+        assert_eq!(reg.intern(&a), ia);
+        assert_eq!(reg.lookup(&a), Some(ia));
+        assert_eq!(reg.topic(ia).unwrap(), a);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn registry_metadata() {
+        let reg = SensorRegistry::new();
+        let t = Topic::parse("/n0/cycles").unwrap();
+        let id = reg.intern_with_meta(
+            &t,
+            SensorMetadata {
+                unit: "cycles".into(),
+                scale: 1.0,
+                monotonic: true,
+                interval_ns: 1_000_000_000,
+            },
+        );
+        let m = reg.metadata(id).unwrap();
+        assert!(m.monotonic);
+        assert_eq!(m.unit, "cycles");
+        assert_eq!(reg.metadata(SensorId(99)), None);
+    }
+
+    #[test]
+    fn registry_concurrent_interning_is_consistent() {
+        let reg = std::sync::Arc::new(SensorRegistry::new());
+        let topics: Vec<Topic> = (0..64)
+            .map(|i| Topic::parse(&format!("/n{}/s{}", i % 8, i)).unwrap())
+            .collect();
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let reg = reg.clone();
+            let topics = topics.clone();
+            handles.push(std::thread::spawn(move || {
+                topics.iter().map(|t| reg.intern(t)).collect::<Vec<_>>()
+            }));
+        }
+        let results: Vec<Vec<SensorId>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+        assert_eq!(reg.len(), 64);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Topic::parse("/a/b/c").unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        assert_eq!(json, "\"/a/b/c\"");
+        let back: Topic = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+        assert!(serde_json::from_str::<Topic>("\"/a/+/c\"").is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the regex engine: on a restricted pattern class
+//! we can compute matches with a trivial reference implementation and
+//! require exact agreement; on the full syntax we require parser
+//! robustness and semantic invariants.
+
+use dcdb_common::Regex;
+use proptest::prelude::*;
+
+/// Reference matcher for patterns that are plain literals.
+fn literal_contains(haystack: &str, needle: &str) -> bool {
+    haystack.contains(needle)
+}
+
+fn literal_text() -> impl Strategy<Value = String> {
+    "[a-z0-9-]{0,12}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn literal_patterns_match_like_contains(
+        pattern in "[a-z0-9-]{1,6}",
+        text in literal_text(),
+    ) {
+        let re = Regex::new(&pattern).unwrap();
+        prop_assert_eq!(re.is_match(&text), literal_contains(&text, &pattern));
+    }
+
+    #[test]
+    fn anchored_literals_match_like_equality(
+        pattern in "[a-z0-9-]{1,6}",
+        text in literal_text(),
+    ) {
+        let re = Regex::new(&format!("^{pattern}$")).unwrap();
+        prop_assert_eq!(re.is_match(&text), text == pattern);
+        // Full-match mode agrees with anchors for literals.
+        let unanchored = Regex::new(&pattern).unwrap();
+        prop_assert_eq!(unanchored.is_full_match(&text), text == pattern);
+    }
+
+    #[test]
+    fn dot_star_wrapping_matches_everything_containing(
+        pattern in "[a-z]{1,4}",
+        text in literal_text(),
+    ) {
+        let re = Regex::new(&format!(".*{pattern}.*")).unwrap();
+        prop_assert_eq!(re.is_match(&text), text.contains(&pattern));
+    }
+
+    #[test]
+    fn parser_never_panics(pattern in "\\PC{0,20}") {
+        let _ = Regex::new(&pattern); // Ok or Err, never panic
+    }
+
+    #[test]
+    fn matching_never_panics_on_valid_patterns(
+        pattern in "[a-z+*?()\\[\\]|^$.]{0,10}",
+        text in "\\PC{0,20}",
+    ) {
+        if let Ok(re) = Regex::new(&pattern) {
+            let _ = re.is_match(&text);
+            let _ = re.is_full_match(&text);
+        }
+    }
+
+    #[test]
+    fn char_class_agrees_with_direct_check(
+        lo in proptest::char::range('a', 'm'),
+        span in 0u8..12,
+        text in literal_text(),
+    ) {
+        let hi = char::from_u32(lo as u32 + span as u32).unwrap();
+        let re = Regex::new(&format!("[{lo}-{hi}]")).unwrap();
+        let expected = text.chars().any(|c| (lo..=hi).contains(&c));
+        prop_assert_eq!(re.is_match(&text), expected);
+    }
+
+    #[test]
+    fn alternation_is_union(
+        a in "[a-z]{1,4}",
+        b in "[a-z]{1,4}",
+        text in literal_text(),
+    ) {
+        let re = Regex::new(&format!("{a}|{b}")).unwrap();
+        prop_assert_eq!(
+            re.is_match(&text),
+            text.contains(&a) || text.contains(&b)
+        );
+    }
+
+    #[test]
+    fn plus_means_one_or_more(
+        c in proptest::char::range('a', 'z'),
+        reps in 0usize..5,
+    ) {
+        let re = Regex::new(&format!("^{c}+$")).unwrap();
+        let text: String = std::iter::repeat(c).take(reps).collect();
+        prop_assert_eq!(re.is_match(&text), reps >= 1);
+    }
+}

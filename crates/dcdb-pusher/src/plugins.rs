@@ -1,0 +1,342 @@
+//! Monitoring plugins: the Pusher's data sources (paper §IV-A).
+//!
+//! DCDB Pushers sample sensors through a plugin interface; CooLMUC-3
+//! runs the perfevent, sysFS, ProcFS and OPA plugins (paper §VI). Real
+//! hardware is not available here, so the same plugin interface is fed
+//! by the cluster simulator:
+//!
+//! * [`SimMonitoringPlugin`] — one node's full sensor set (power, temp,
+//!   memfree, cpu-idle + per-core counters), standing in for the
+//!   perfevent/sysFS/ProcFS trio;
+//! * [`TesterMonitoringPlugin`] — the paper's tester plugin: "a total
+//!   of 1000 monotonic sensors with negligible overhead, so as to
+//!   provide a reliable baseline" (§VI-A).
+
+use dcdb_common::error::Result;
+use dcdb_common::reading::SensorReading;
+use dcdb_common::time::Timestamp;
+use dcdb_common::topic::Topic;
+use parking_lot::Mutex;
+use sim_cluster::{ClusterSimulator, Sample};
+use std::sync::Arc;
+
+/// The monitoring-plugin interface of the Pusher.
+pub trait MonitoringPlugin: Send {
+    /// Plugin name (diagnostics, REST listing).
+    fn name(&self) -> &str;
+
+    /// The topics this plugin will publish (known up front so the
+    /// sensor tree can be built before the first sample).
+    fn sensor_topics(&self) -> Vec<Topic>;
+
+    /// Samples all sensors at `now`.
+    fn sample(&mut self, now: Timestamp) -> Result<Vec<Sample>>;
+}
+
+/// Simulator-backed monitoring of one compute node.
+pub struct SimMonitoringPlugin {
+    sim: Arc<Mutex<ClusterSimulator>>,
+    node: usize,
+    topics: Vec<Topic>,
+}
+
+impl SimMonitoringPlugin {
+    /// Creates the plugin for `node` of a shared simulator.
+    pub fn new(sim: Arc<Mutex<ClusterSimulator>>, node: usize) -> Self {
+        let topics = sim.lock().topology().node_sensor_topics(node);
+        SimMonitoringPlugin { sim, node, topics }
+    }
+}
+
+impl MonitoringPlugin for SimMonitoringPlugin {
+    fn name(&self) -> &str {
+        "sim"
+    }
+
+    fn sensor_topics(&self) -> Vec<Topic> {
+        self.topics.clone()
+    }
+
+    fn sample(&mut self, now: Timestamp) -> Result<Vec<Sample>> {
+        Ok(self.sim.lock().tick_node(self.node, now))
+    }
+}
+
+/// Shares one node's simulator tick between several monitoring
+/// plugins: the simulator advances once per distinct timestamp and the
+/// sampled set is cached, so the perfevent / sysFS / ProcFS plugin
+/// *views* below can each deliver their slice without double-advancing
+/// counters.
+pub struct SharedNodeSampler {
+    sim: Arc<Mutex<ClusterSimulator>>,
+    node: usize,
+    cache: Mutex<Option<(Timestamp, Arc<Vec<Sample>>)>>,
+}
+
+impl SharedNodeSampler {
+    /// Creates the shared sampler for `node`.
+    pub fn new(sim: Arc<Mutex<ClusterSimulator>>, node: usize) -> Arc<SharedNodeSampler> {
+        Arc::new(SharedNodeSampler {
+            sim,
+            node,
+            cache: Mutex::new(None),
+        })
+    }
+
+    /// All of the node's samples at `now`, advancing the simulator only
+    /// on the first call for this timestamp.
+    pub fn samples_at(&self, now: Timestamp) -> Arc<Vec<Sample>> {
+        let mut cache = self.cache.lock();
+        if let Some((ts, samples)) = cache.as_ref() {
+            if *ts == now {
+                return Arc::clone(samples);
+            }
+        }
+        let samples = Arc::new(self.sim.lock().tick_node(self.node, now));
+        *cache = Some((now, Arc::clone(&samples)));
+        samples
+    }
+
+    fn topics_for(&self, class: SensorClass) -> Vec<Topic> {
+        self.sim
+            .lock()
+            .topology()
+            .node_sensor_topics(self.node)
+            .into_iter()
+            .filter(|t| class.owns(t.name()))
+            .collect()
+    }
+}
+
+/// The sensor classes of CooLMUC-3's production plugin set (paper §VI:
+/// "Pushers in compute nodes sampling data from the perfevent, sysFS,
+/// ProcFS and OPA plugins").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SensorClass {
+    /// Per-core hardware counters.
+    Perfevent,
+    /// Node power and temperature.
+    SysFs,
+    /// Memory and CPU idle accounting.
+    ProcFs,
+    /// Omni-Path interconnect byte counters.
+    Opa,
+}
+
+impl SensorClass {
+    /// True if this class samples the sensor with the given name.
+    pub fn owns(self, sensor_name: &str) -> bool {
+        match self {
+            SensorClass::Perfevent => {
+                matches!(sensor_name, "cycles" | "instructions" | "cache-misses" | "flops")
+            }
+            SensorClass::SysFs => matches!(sensor_name, "power" | "temp"),
+            SensorClass::ProcFs => matches!(sensor_name, "memfree" | "cpu-idle"),
+            SensorClass::Opa => {
+                matches!(sensor_name, "opa-xmit-bytes" | "opa-rcv-bytes")
+            }
+        }
+    }
+
+    /// The plugin name DCDB would use.
+    pub fn plugin_name(self) -> &'static str {
+        match self {
+            SensorClass::Perfevent => "perfevent",
+            SensorClass::SysFs => "sysfs",
+            SensorClass::ProcFs => "procfs",
+            SensorClass::Opa => "opa",
+        }
+    }
+}
+
+/// One class-restricted view over a [`SharedNodeSampler`].
+pub struct ClassMonitoringPlugin {
+    sampler: Arc<SharedNodeSampler>,
+    class: SensorClass,
+    topics: Vec<Topic>,
+}
+
+impl ClassMonitoringPlugin {
+    /// Creates the plugin view for `class`.
+    pub fn new(sampler: Arc<SharedNodeSampler>, class: SensorClass) -> Self {
+        let topics = sampler.topics_for(class);
+        ClassMonitoringPlugin {
+            sampler,
+            class,
+            topics,
+        }
+    }
+}
+
+impl MonitoringPlugin for ClassMonitoringPlugin {
+    fn name(&self) -> &str {
+        self.class.plugin_name()
+    }
+
+    fn sensor_topics(&self) -> Vec<Topic> {
+        self.topics.clone()
+    }
+
+    fn sample(&mut self, now: Timestamp) -> Result<Vec<Sample>> {
+        let all = self.sampler.samples_at(now);
+        Ok(all
+            .iter()
+            .filter(|(t, _)| self.class.owns(t.name()))
+            .cloned()
+            .collect())
+    }
+}
+
+/// Adds the full CooLMUC-3-style plugin set (perfevent + sysfs +
+/// procfs) for one node to a plugin list, sharing a single sampler.
+pub fn standard_plugin_set(
+    sim: Arc<Mutex<ClusterSimulator>>,
+    node: usize,
+) -> Vec<Box<dyn MonitoringPlugin>> {
+    let sampler = SharedNodeSampler::new(sim, node);
+    vec![
+        Box::new(ClassMonitoringPlugin::new(
+            Arc::clone(&sampler),
+            SensorClass::Perfevent,
+        )),
+        Box::new(ClassMonitoringPlugin::new(
+            Arc::clone(&sampler),
+            SensorClass::SysFs,
+        )),
+        Box::new(ClassMonitoringPlugin::new(
+            Arc::clone(&sampler),
+            SensorClass::ProcFs,
+        )),
+        Box::new(ClassMonitoringPlugin::new(sampler, SensorClass::Opa)),
+    ]
+}
+
+/// The tester monitoring plugin: `count` monotonic sensors at
+/// `<prefix>/tNNN/value`, each incremented by 1 per sample.
+pub struct TesterMonitoringPlugin {
+    topics: Vec<Topic>,
+    counter: i64,
+}
+
+impl TesterMonitoringPlugin {
+    /// Creates `count` tester sensors under `prefix`.
+    pub fn new(prefix: &Topic, count: usize) -> Result<Self> {
+        let mut topics = Vec::with_capacity(count);
+        for i in 0..count {
+            topics.push(prefix.child(&format!("t{i:03}"))?.child("value")?);
+        }
+        Ok(TesterMonitoringPlugin { topics, counter: 0 })
+    }
+}
+
+impl MonitoringPlugin for TesterMonitoringPlugin {
+    fn name(&self) -> &str {
+        "tester"
+    }
+
+    fn sensor_topics(&self) -> Vec<Topic> {
+        self.topics.clone()
+    }
+
+    fn sample(&mut self, now: Timestamp) -> Result<Vec<Sample>> {
+        self.counter += 1;
+        Ok(self
+            .topics
+            .iter()
+            .map(|t| (t.clone(), SensorReading::new(self.counter, now)))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_cluster::ClusterConfig;
+
+    #[test]
+    fn sim_plugin_topics_and_samples() {
+        let sim = Arc::new(Mutex::new(ClusterSimulator::new(
+            ClusterConfig::small_manual(1),
+        )));
+        let mut plugin = SimMonitoringPlugin::new(Arc::clone(&sim), 2);
+        let topics = plugin.sensor_topics();
+        assert_eq!(topics.len(), 6 + 4 * 4);
+        let samples = plugin.sample(Timestamp::from_secs(1)).unwrap();
+        assert_eq!(samples.len(), topics.len());
+        // Sampled topics match the declared set.
+        for (topic, _) in &samples {
+            assert!(topics.contains(topic), "{topic}");
+        }
+    }
+
+    #[test]
+    fn tester_plugin_monotonic() {
+        let prefix = Topic::parse("/host/tester").unwrap();
+        let mut plugin = TesterMonitoringPlugin::new(&prefix, 10).unwrap();
+        assert_eq!(plugin.sensor_topics().len(), 10);
+        let s1 = plugin.sample(Timestamp::from_secs(1)).unwrap();
+        let s2 = plugin.sample(Timestamp::from_secs(2)).unwrap();
+        assert!(s1.iter().all(|(_, r)| r.value == 1));
+        assert!(s2.iter().all(|(_, r)| r.value == 2));
+        assert_eq!(s1[0].0.as_str(), "/host/tester/t000/value");
+        assert_eq!(s1[9].0.as_str(), "/host/tester/t009/value");
+    }
+
+    #[test]
+    fn tester_plugin_1000_sensors_like_the_paper() {
+        let prefix = Topic::parse("/host/tester").unwrap();
+        let plugin = TesterMonitoringPlugin::new(&prefix, 1000).unwrap();
+        assert_eq!(plugin.sensor_topics().len(), 1000);
+    }
+
+    #[test]
+    fn class_plugins_partition_the_node_sensors() {
+        let sim = Arc::new(Mutex::new(ClusterSimulator::new(
+            ClusterConfig::small_manual(2),
+        )));
+        let plugins = standard_plugin_set(Arc::clone(&sim), 1);
+        assert_eq!(plugins.len(), 4);
+        let mut all_topics = Vec::new();
+        for p in &plugins {
+            all_topics.extend(p.sensor_topics());
+        }
+        all_topics.sort();
+        let mut expected = sim.lock().topology().node_sensor_topics(1);
+        expected.sort();
+        assert_eq!(all_topics, expected, "classes must partition exactly");
+    }
+
+    #[test]
+    fn shared_sampler_advances_once_per_timestamp() {
+        let sim = Arc::new(Mutex::new(ClusterSimulator::new(
+            ClusterConfig::small_manual(3),
+        )));
+        let mut plugins = standard_plugin_set(Arc::clone(&sim), 0);
+        // Sample all three views at the same timestamps; monotonic
+        // counters must advance as if sampled once per tick.
+        let mut cycle_values = Vec::new();
+        for sec in 1..=5u64 {
+            for p in plugins.iter_mut() {
+                let samples = p.sample(Timestamp::from_secs(sec)).unwrap();
+                for (t, r) in samples {
+                    if t.as_str() == "/rack00/node00/cpu00/cycles" {
+                        cycle_values.push(r.value);
+                    }
+                }
+            }
+        }
+        // One cycles reading per tick (only perfevent yields it).
+        assert_eq!(cycle_values.len(), 5);
+        assert!(cycle_values.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn class_plugin_names_match_dcdb() {
+        let sim = Arc::new(Mutex::new(ClusterSimulator::new(
+            ClusterConfig::small_manual(4),
+        )));
+        let plugins = standard_plugin_set(sim, 0);
+        let names: Vec<&str> = plugins.iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["perfevent", "sysfs", "procfs", "opa"]);
+    }
+}

@@ -1,0 +1,275 @@
+//! The DCDB Pusher (paper §IV-A, Fig. 3).
+//!
+//! "Pushers perform the sampling of sensors on monitored components,
+//! using a plugin-based architecture ... All collected data is sent via
+//! the MQTT protocol to Collect Agents." With Wintermute embedded, the
+//! Pusher also hosts an Operator Manager whose operators see the
+//! locally-sampled sensors through the local sensor caches — "optimal
+//! for runtime models requiring data liveness, low latency and
+//! horizontal scalability" (§IV-B a).
+//!
+//! The Pusher is tick-driven: each [`Pusher::tick`] samples every due
+//! monitoring plugin, stores readings in the local caches, publishes
+//! them on the bus, then runs due Wintermute operators. Production
+//! deployments drive ticks from a wall-clock thread; simulations from a
+//! virtual clock.
+
+use crate::plugins::MonitoringPlugin;
+use dcdb_bus::BusHandle;
+use dcdb_common::error::Result;
+use dcdb_common::time::Timestamp;
+use dcdb_rest::Router;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use wintermute::prelude::*;
+
+/// Pusher configuration.
+#[derive(Debug, Clone)]
+pub struct PusherConfig {
+    /// Sampling interval for monitoring plugins, milliseconds.
+    pub sampling_interval_ms: u64,
+    /// Sensor cache window, seconds (paper default: 180 s).
+    pub cache_secs: u64,
+    /// Publish samples on the MQTT bus (disable for overhead baselines).
+    pub publish: bool,
+}
+
+impl Default for PusherConfig {
+    fn default() -> Self {
+        PusherConfig {
+            sampling_interval_ms: 1000,
+            cache_secs: 180,
+            publish: true,
+        }
+    }
+}
+
+struct PluginSlot {
+    plugin: Mutex<Box<dyn MonitoringPlugin>>,
+    next_due: AtomicU64,
+}
+
+/// Counters for the footprint experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PusherStats {
+    /// Readings sampled from monitoring plugins.
+    pub sampled: u64,
+    /// Messages published to the bus.
+    pub published: u64,
+}
+
+/// One DCDB Pusher instance.
+pub struct Pusher {
+    config: PusherConfig,
+    plugins: Vec<PluginSlot>,
+    manager: Arc<OperatorManager>,
+    bus: Option<BusHandle>,
+    sampled: AtomicU64,
+    published: AtomicU64,
+}
+
+impl Pusher {
+    /// Creates a Pusher with its own cache-only Query Engine (no
+    /// storage: Pushers only see local data).
+    pub fn new(config: PusherConfig, bus: Option<BusHandle>) -> Pusher {
+        let cache_slots =
+            (config.cache_secs * 1000 / config.sampling_interval_ms.max(1)).max(2) as usize + 1;
+        let query = Arc::new(QueryEngine::new(cache_slots));
+        let manager = OperatorManager::new(query);
+        Pusher {
+            config,
+            plugins: Vec::new(),
+            manager,
+            bus,
+            sampled: AtomicU64::new(0),
+            published: AtomicU64::new(0),
+        }
+    }
+
+    /// The embedded Wintermute manager (register and load operator
+    /// plugins through it).
+    pub fn manager(&self) -> &Arc<OperatorManager> {
+        &self.manager
+    }
+
+    /// The local query engine (sensor caches).
+    pub fn query_engine(&self) -> &Arc<QueryEngine> {
+        self.manager.query_engine()
+    }
+
+    /// Adds a monitoring plugin and extends the sensor tree with its
+    /// topics.
+    pub fn add_monitoring_plugin(&mut self, plugin: Box<dyn MonitoringPlugin>) {
+        // Prime caches so the navigator knows the sensors before the
+        // first sample (operators may be configured before data flows).
+        for topic in plugin.sensor_topics() {
+            // Touching the engine creates the cache without data.
+            let _ = self.query_engine().knows(&topic);
+        }
+        self.plugins.push(PluginSlot {
+            plugin: Mutex::new(plugin),
+            next_due: AtomicU64::new(0),
+        });
+    }
+
+    /// Rebuilds the navigator from all declared sensors. Call after
+    /// adding monitoring plugins and before loading operator plugins.
+    pub fn refresh_sensor_tree(&self) {
+        let mut topics = Vec::new();
+        for slot in &self.plugins {
+            topics.extend(slot.plugin.lock().sensor_topics());
+        }
+        // Include any derived sensors already cached.
+        let nav_topics: Vec<_> = topics.iter().collect();
+        self.query_engine()
+            .set_navigator(SensorNavigator::build(nav_topics));
+    }
+
+    /// One tick: sample due monitoring plugins, cache + publish their
+    /// readings, then run due Wintermute operators.
+    pub fn tick(&self, now: Timestamp) -> Result<TickReport> {
+        let interval_ns = self.config.sampling_interval_ms * 1_000_000;
+        for slot in &self.plugins {
+            let due = slot.next_due.load(Ordering::Acquire);
+            if due > now.as_nanos() {
+                continue;
+            }
+            let mut next = if due == 0 { now.as_nanos() } else { due };
+            while next <= now.as_nanos() {
+                next += interval_ns;
+            }
+            slot.next_due.store(next, Ordering::Release);
+
+            let samples = slot.plugin.lock().sample(now)?;
+            self.sampled.fetch_add(samples.len() as u64, Ordering::Relaxed);
+            for (topic, reading) in &samples {
+                self.query_engine().insert(topic, *reading);
+            }
+            if self.config.publish {
+                if let Some(bus) = &self.bus {
+                    for (topic, reading) in &samples {
+                        bus.publish_readings(topic.clone(), std::slice::from_ref(reading))?;
+                        self.published.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        Ok(self.manager.tick(now))
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PusherStats {
+        PusherStats {
+            sampled: self.sampled.load(Ordering::Relaxed),
+            published: self.published.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Mounts the Pusher's REST API (Wintermute management routes).
+    pub fn mount_routes(&self, router: &mut Router) {
+        self.manager.mount_routes(router);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plugins::{SimMonitoringPlugin, TesterMonitoringPlugin};
+    use dcdb_bus::Broker;
+    use dcdb_common::topic::Topic;
+    use sim_cluster::{ClusterConfig, ClusterSimulator};
+
+    fn t(s: &str) -> Topic {
+        Topic::parse(s).unwrap()
+    }
+
+    fn sim_pusher(publish: bool) -> (Pusher, Broker) {
+        let broker = Broker::new_sync();
+        let sim = Arc::new(Mutex::new(ClusterSimulator::new(
+            ClusterConfig::small_manual(7),
+        )));
+        let mut pusher = Pusher::new(
+            PusherConfig {
+                sampling_interval_ms: 1000,
+                cache_secs: 60,
+                publish,
+            },
+            Some(broker.handle()),
+        );
+        pusher.add_monitoring_plugin(Box::new(SimMonitoringPlugin::new(sim, 0)));
+        pusher.refresh_sensor_tree();
+        (pusher, broker)
+    }
+
+    #[test]
+    fn tick_samples_and_publishes() {
+        let (pusher, broker) = sim_pusher(true);
+        let sub = broker.handle().subscribe_str("/#").unwrap();
+        pusher.tick(Timestamp::from_secs(1)).unwrap();
+        let stats = pusher.stats();
+        assert_eq!(stats.sampled, 22); // 6 node-level + 16 core sensors
+        assert_eq!(stats.published, 22);
+        assert_eq!(sub.queued(), 22);
+        // Local cache has the data.
+        let got = pusher
+            .query_engine()
+            .query(&t("/rack00/node00/power"), QueryMode::Latest);
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn publish_can_be_disabled() {
+        let (pusher, broker) = sim_pusher(false);
+        let sub = broker.handle().subscribe_str("/#").unwrap();
+        pusher.tick(Timestamp::from_secs(1)).unwrap();
+        assert_eq!(pusher.stats().published, 0);
+        assert_eq!(sub.queued(), 0);
+        assert_eq!(pusher.stats().sampled, 22);
+    }
+
+    #[test]
+    fn sampling_respects_interval() {
+        let (pusher, _broker) = sim_pusher(true);
+        pusher.tick(Timestamp::from_millis(1000)).unwrap();
+        pusher.tick(Timestamp::from_millis(1500)).unwrap(); // not due
+        assert_eq!(pusher.stats().sampled, 22);
+        pusher.tick(Timestamp::from_millis(2100)).unwrap();
+        assert_eq!(pusher.stats().sampled, 44);
+    }
+
+    #[test]
+    fn wintermute_operators_run_on_local_data() {
+        let (pusher, _broker) = sim_pusher(true);
+        wintermute_plugins::register_all(pusher.manager(), None);
+        pusher
+            .manager()
+            .load(
+                PluginConfig::online("avg", "aggregator", 1000)
+                    .with_patterns(&["<bottomup-1>power"], &["<bottomup-1>power-avg"])
+                    .with_option("window_ms", 10_000u64),
+            )
+            .unwrap();
+        for s in 1..=5u64 {
+            let report = pusher.tick(Timestamp::from_secs(s)).unwrap();
+            assert!(report.errors.is_empty(), "{:?}", report.errors);
+        }
+        let got = pusher
+            .query_engine()
+            .query(&t("/rack00/node00/power-avg"), QueryMode::Latest);
+        assert!(!got.is_empty(), "operator output missing");
+    }
+
+    #[test]
+    fn tester_plugin_in_pusher() {
+        let broker = Broker::new_sync();
+        let mut pusher = Pusher::new(PusherConfig::default(), Some(broker.handle()));
+        pusher.add_monitoring_plugin(Box::new(
+            TesterMonitoringPlugin::new(&t("/host/tester"), 100).unwrap(),
+        ));
+        pusher.refresh_sensor_tree();
+        pusher.tick(Timestamp::from_secs(1)).unwrap();
+        assert_eq!(pusher.stats().sampled, 100);
+        assert_eq!(pusher.query_engine().navigator().sensor_count(), 100);
+    }
+}

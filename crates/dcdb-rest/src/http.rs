@@ -1,0 +1,409 @@
+//! Minimal HTTP/1.1 request/response types and codec.
+//!
+//! Every DCDB component exposes a RESTful control API (paper §IV-A);
+//! Wintermute routes its management and on-demand-operator requests
+//! through it (paper §V-A). The control plane is low-rate, so this
+//! implementation favours clarity: blocking reads, no keep-alive
+//! pipelining, no chunked encoding (bodies carry `Content-Length`).
+
+use dcdb_common::error::DcdbError;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Supported request methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Retrieve a resource.
+    Get,
+    /// Invoke an action / submit data.
+    Put,
+    /// Invoke an action / submit data (treated like PUT by DCDB).
+    Post,
+    /// Remove a resource.
+    Delete,
+}
+
+impl Method {
+    /// Parses the method token.
+    pub fn parse(s: &str) -> Result<Method, DcdbError> {
+        match s {
+            "GET" => Ok(Method::Get),
+            "PUT" => Ok(Method::Put),
+            "POST" => Ok(Method::Post),
+            "DELETE" => Ok(Method::Delete),
+            other => Err(DcdbError::Parse(format!("unsupported method {other:?}"))),
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Method::Get => "GET",
+            Method::Put => "PUT",
+            Method::Post => "POST",
+            Method::Delete => "DELETE",
+        })
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Decoded path, without the query string.
+    pub path: String,
+    /// Query parameters in order-independent form.
+    pub query: BTreeMap<String, String>,
+    /// Header map, keys lower-cased.
+    pub headers: BTreeMap<String, String>,
+    /// Request body.
+    pub body: Vec<u8>,
+    /// Path parameters filled in by the router (`:name` segments).
+    pub params: BTreeMap<String, String>,
+}
+
+impl Request {
+    /// Builds a request programmatically (used by in-process dispatch
+    /// and tests).
+    pub fn new(method: Method, path_and_query: &str) -> Request {
+        let (path, query) = split_query(path_and_query);
+        Request {
+            method,
+            path,
+            query,
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+            params: BTreeMap::new(),
+        }
+    }
+
+    /// Builder-style body attachment.
+    pub fn with_body(mut self, body: impl Into<Vec<u8>>) -> Request {
+        self.body = body.into();
+        self
+    }
+
+    /// A query parameter by name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.get(name).map(String::as_str)
+    }
+
+    /// A router path parameter by name.
+    pub fn path_param(&self, name: &str) -> Option<&str> {
+        self.params.get(name).map(String::as_str)
+    }
+
+    /// Reads and parses one request from a stream.
+    pub fn read_from<R: Read>(stream: R) -> Result<Request, DcdbError> {
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let mut parts = line.split_whitespace();
+        let method = Method::parse(parts.next().unwrap_or(""))?;
+        let target = parts
+            .next()
+            .ok_or_else(|| DcdbError::Parse("missing request target".into()))?;
+        let version = parts.next().unwrap_or("");
+        if !version.starts_with("HTTP/1.") {
+            return Err(DcdbError::Parse(format!("bad HTTP version {version:?}")));
+        }
+        let (path, query) = split_query(target);
+
+        let mut headers = BTreeMap::new();
+        loop {
+            let mut hline = String::new();
+            reader.read_line(&mut hline)?;
+            let trimmed = hline.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = trimmed.split_once(':') {
+                headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+            } else {
+                return Err(DcdbError::Parse(format!("malformed header {trimmed:?}")));
+            }
+        }
+
+        let len: usize = headers
+            .get("content-length")
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| DcdbError::Parse("bad Content-Length".into()))
+            })
+            .transpose()?
+            .unwrap_or(0);
+        const MAX_BODY: usize = 16 * 1024 * 1024;
+        if len > MAX_BODY {
+            return Err(DcdbError::Parse(format!("body too large: {len} bytes")));
+        }
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body)?;
+
+        Ok(Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+            params: BTreeMap::new(),
+        })
+    }
+}
+
+fn split_query(target: &str) -> (String, BTreeMap<String, String>) {
+    match target.split_once('?') {
+        None => (percent_decode(target), BTreeMap::new()),
+        Some((p, q)) => {
+            let mut map = BTreeMap::new();
+            for pair in q.split('&').filter(|s| !s.is_empty()) {
+                match pair.split_once('=') {
+                    Some((k, v)) => map.insert(percent_decode(k), percent_decode(v)),
+                    None => map.insert(percent_decode(pair), String::new()),
+                };
+            }
+            (percent_decode(p), map)
+        }
+    }
+}
+
+/// Decodes `%XX` escapes and `+`-as-space.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok())
+                {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// HTTP status codes used by the DCDB control APIs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// 200
+    Ok,
+    /// 201
+    Created,
+    /// 204
+    NoContent,
+    /// 400
+    BadRequest,
+    /// 404
+    NotFound,
+    /// 405
+    MethodNotAllowed,
+    /// 409
+    Conflict,
+    /// 500
+    InternalError,
+}
+
+impl Status {
+    /// Numeric code.
+    pub fn code(self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::Created => 201,
+            Status::NoContent => 204,
+            Status::BadRequest => 400,
+            Status::NotFound => 404,
+            Status::MethodNotAllowed => 405,
+            Status::Conflict => 409,
+            Status::InternalError => 500,
+        }
+    }
+
+    /// Reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self {
+            Status::Ok => "OK",
+            Status::Created => "Created",
+            Status::NoContent => "No Content",
+            Status::BadRequest => "Bad Request",
+            Status::NotFound => "Not Found",
+            Status::MethodNotAllowed => "Method Not Allowed",
+            Status::Conflict => "Conflict",
+            Status::InternalError => "Internal Server Error",
+        }
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status line code.
+    pub status: Status,
+    /// Content type header value.
+    pub content_type: String,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// 200 with a plain-text body.
+    pub fn text(body: impl Into<String>) -> Response {
+        Response {
+            status: Status::Ok,
+            content_type: "text/plain; charset=utf-8".into(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// 200 with a JSON body.
+    pub fn json(body: impl Into<String>) -> Response {
+        Response {
+            status: Status::Ok,
+            content_type: "application/json".into(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// An error response with a plain-text message.
+    pub fn error(status: Status, msg: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8".into(),
+            body: msg.into().into_bytes(),
+        }
+    }
+
+    /// 204 without a body.
+    pub fn no_content() -> Response {
+        Response {
+            status: Status::NoContent,
+            content_type: String::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Changes the status keeping body/type.
+    pub fn with_status(mut self, status: Status) -> Response {
+        self.status = status;
+        self
+    }
+
+    /// Body interpreted as UTF-8 (tests / in-process callers).
+    pub fn body_str(&self) -> std::borrow::Cow<'_, str> {
+        String::from_utf8_lossy(&self.body)
+    }
+
+    /// Serializes the response to a stream.
+    pub fn write_to<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\n",
+            self.status.code(),
+            self.status.reason()
+        )?;
+        if !self.content_type.is_empty() {
+            write!(w, "Content-Type: {}\r\n", self.content_type)?;
+        }
+        write!(w, "Content-Length: {}\r\n", self.body.len())?;
+        write!(w, "Connection: close\r\n\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_get() {
+        let raw = b"GET /analytics/plugins?detail=full HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = Request::read_from(&raw[..]).unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path, "/analytics/plugins");
+        assert_eq!(req.query_param("detail"), Some("full"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parse_put_with_body() {
+        let raw = b"PUT /analytics/start HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let req = Request::read_from(&raw[..]).unwrap();
+        assert_eq!(req.method, Method::Put);
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Request::read_from(&b"NOPE / HTTP/1.1\r\n\r\n"[..]).is_err());
+        assert!(Request::read_from(&b"GET /\r\n\r\n"[..]).is_err());
+        assert!(Request::read_from(&b"GET / HTTP/1.1\r\nBadHeader\r\n\r\n"[..]).is_err());
+        assert!(
+            Request::read_from(&b"GET / HTTP/1.1\r\nContent-Length: zap\r\n\r\n"[..]).is_err()
+        );
+    }
+
+    #[test]
+    fn parse_truncated_body_errors() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(Request::read_from(&raw[..]).is_err());
+    }
+
+    #[test]
+    fn query_decoding() {
+        let req = Request::new(Method::Get, "/q?a=1&b=two%20words&flag&c=x+y");
+        assert_eq!(req.query_param("a"), Some("1"));
+        assert_eq!(req.query_param("b"), Some("two words"));
+        assert_eq!(req.query_param("flag"), Some(""));
+        assert_eq!(req.query_param("c"), Some("x y"));
+        assert_eq!(req.query_param("missing"), None);
+    }
+
+    #[test]
+    fn percent_decode_edge_cases() {
+        assert_eq!(percent_decode("%2Fpath"), "/path");
+        assert_eq!(percent_decode("a%"), "a%");
+        assert_eq!(percent_decode("a%2"), "a%2");
+        assert_eq!(percent_decode("a%zz"), "a%zz");
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = Response::json("{\"ok\":true}");
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.contains("Content-Type: application/json"));
+        assert!(s.contains("Content-Length: 11"));
+        assert!(s.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn response_constructors() {
+        assert_eq!(Response::no_content().status.code(), 204);
+        assert_eq!(Response::error(Status::NotFound, "x").status.code(), 404);
+        assert_eq!(Response::text("t").with_status(Status::Created).status.code(), 201);
+        assert_eq!(Status::InternalError.reason(), "Internal Server Error");
+    }
+}

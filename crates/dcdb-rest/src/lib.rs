@@ -1,0 +1,23 @@
+//! # dcdb-rest — RESTful control plane for DCDB components
+//!
+//! Every DCDB component exposes a control RESTful API (paper §IV-A);
+//! Wintermute forwards its ODA management requests — plugin start/stop/
+//! reload and on-demand operator triggers — through it (paper §V-A).
+//!
+//! * [`http`] — minimal HTTP/1.1 request/response codec;
+//! * [`router`] — pattern routing with `:param` and `*rest` captures;
+//! * [`server`] — blocking TCP server plus a tiny client helper.
+//!
+//! The router is usable fully in-process (no sockets) via
+//! [`Router::dispatch`](router::Router::dispatch), which is how the
+//! simulation harness drives on-demand operators deterministically.
+
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod router;
+pub mod server;
+
+pub use http::{Method, Request, Response, Status};
+pub use router::{Handler, Router};
+pub use server::{http_request, RestServer};

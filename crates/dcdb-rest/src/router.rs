@@ -1,0 +1,216 @@
+//! Request routing with path parameters.
+//!
+//! Routes are registered as `(method, pattern)` pairs where the pattern
+//! may contain `:name` segments (captured into [`Request::params`]) and
+//! a trailing `*rest` segment capturing the remainder of the path. The
+//! Operator Manager mounts its management actions here, e.g.
+//! `PUT /analytics/:plugin/:action` (paper §V-A).
+
+use crate::http::{Method, Request, Response, Status};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A route handler.
+pub type Handler = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
+
+#[derive(Clone)]
+enum Seg {
+    Literal(String),
+    Param(String),
+    Rest(String),
+}
+
+struct Route {
+    method: Method,
+    segs: Vec<Seg>,
+    handler: Handler,
+}
+
+/// An ordered route table: first match wins.
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl Router {
+    /// Creates an empty router.
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Registers a handler for `method` + `pattern`.
+    ///
+    /// Pattern syntax: `/a/:x/b` captures segment 2 as `x`;
+    /// `/files/*path` captures everything after `/files/` as `path`.
+    pub fn route<F>(&mut self, method: Method, pattern: &str, handler: F) -> &mut Self
+    where
+        F: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        let segs = pattern
+            .trim_matches('/')
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                if let Some(name) = s.strip_prefix(':') {
+                    Seg::Param(name.to_string())
+                } else if let Some(name) = s.strip_prefix('*') {
+                    Seg::Rest(name.to_string())
+                } else {
+                    Seg::Literal(s.to_string())
+                }
+            })
+            .collect();
+        self.routes.push(Route {
+            method,
+            segs,
+            handler: Arc::new(handler),
+        });
+        self
+    }
+
+    /// Convenience: GET route.
+    pub fn get<F>(&mut self, pattern: &str, handler: F) -> &mut Self
+    where
+        F: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        self.route(Method::Get, pattern, handler)
+    }
+
+    /// Convenience: PUT route.
+    pub fn put<F>(&mut self, pattern: &str, handler: F) -> &mut Self
+    where
+        F: Fn(&Request) -> Response + Send + Sync + 'static,
+    {
+        self.route(Method::Put, pattern, handler)
+    }
+
+    /// Dispatches a request, filling `params` on a match.
+    ///
+    /// 404 when no pattern matches the path, 405 when a pattern matches
+    /// but with a different method.
+    pub fn dispatch(&self, mut req: Request) -> Response {
+        let path_segs: Vec<&str> = req
+            .path
+            .trim_matches('/')
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .collect();
+        let mut path_matched = false;
+        for route in &self.routes {
+            if let Some(params) = match_segs(&route.segs, &path_segs) {
+                path_matched = true;
+                if route.method == req.method {
+                    req.params = params;
+                    return (route.handler)(&req);
+                }
+            }
+        }
+        if path_matched {
+            Response::error(Status::MethodNotAllowed, "method not allowed")
+        } else {
+            Response::error(Status::NotFound, format!("no route for {}", req.path))
+        }
+    }
+}
+
+fn match_segs(pattern: &[Seg], path: &[&str]) -> Option<BTreeMap<String, String>> {
+    let mut params = BTreeMap::new();
+    let mut pi = 0;
+    for (i, seg) in pattern.iter().enumerate() {
+        match seg {
+            Seg::Rest(name) => {
+                params.insert(name.clone(), path[pi..].join("/"));
+                return Some(params);
+            }
+            Seg::Literal(l) => {
+                if path.get(pi) != Some(&l.as_str()) {
+                    return None;
+                }
+                pi += 1;
+            }
+            Seg::Param(name) => {
+                let v = path.get(pi)?;
+                params.insert(name.clone(), v.to_string());
+                pi += 1;
+            }
+        }
+        let _ = i;
+    }
+    if pi == path.len() {
+        Some(params)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(method: Method, path: &str) -> Request {
+        Request::new(method, path)
+    }
+
+    #[test]
+    fn literal_routes() {
+        let mut r = Router::new();
+        r.get("/health", |_| Response::text("ok"));
+        assert_eq!(r.dispatch(req(Method::Get, "/health")).body_str(), "ok");
+        assert_eq!(r.dispatch(req(Method::Get, "/nope")).status.code(), 404);
+    }
+
+    #[test]
+    fn params_are_captured() {
+        let mut r = Router::new();
+        r.put("/analytics/:plugin/:action", |rq| {
+            Response::text(format!(
+                "{}:{}",
+                rq.path_param("plugin").unwrap(),
+                rq.path_param("action").unwrap()
+            ))
+        });
+        let resp = r.dispatch(req(Method::Put, "/analytics/regressor/start"));
+        assert_eq!(resp.body_str(), "regressor:start");
+    }
+
+    #[test]
+    fn rest_capture() {
+        let mut r = Router::new();
+        r.get("/sensors/*topic", |rq| {
+            Response::text(rq.path_param("topic").unwrap().to_string())
+        });
+        let resp = r.dispatch(req(Method::Get, "/sensors/rack1/node2/power"));
+        assert_eq!(resp.body_str(), "rack1/node2/power");
+    }
+
+    #[test]
+    fn wrong_method_is_405() {
+        let mut r = Router::new();
+        r.get("/only-get", |_| Response::text("x"));
+        assert_eq!(r.dispatch(req(Method::Put, "/only-get")).status.code(), 405);
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let mut r = Router::new();
+        r.get("/a/specific", |_| Response::text("specific"));
+        r.get("/a/:x", |_| Response::text("param"));
+        assert_eq!(r.dispatch(req(Method::Get, "/a/specific")).body_str(), "specific");
+        assert_eq!(r.dispatch(req(Method::Get, "/a/other")).body_str(), "param");
+    }
+
+    #[test]
+    fn length_mismatch_no_match() {
+        let mut r = Router::new();
+        r.get("/a/:x", |_| Response::text("x"));
+        assert_eq!(r.dispatch(req(Method::Get, "/a")).status.code(), 404);
+        assert_eq!(r.dispatch(req(Method::Get, "/a/b/c")).status.code(), 404);
+    }
+
+    #[test]
+    fn trailing_slashes_are_tolerated() {
+        let mut r = Router::new();
+        r.get("/x/y", |_| Response::text("ok"));
+        assert_eq!(r.dispatch(req(Method::Get, "/x/y/")).body_str(), "ok");
+    }
+}

@@ -1,0 +1,234 @@
+//! Blocking TCP server for the REST control APIs.
+//!
+//! One acceptor thread, one short-lived worker thread per connection:
+//! the control plane sees a handful of requests per second at most
+//! (management actions and on-demand operator triggers), so simplicity
+//! and predictable teardown win over connection pooling.
+
+use crate::http::{Request, Response, Status};
+use crate::router::Router;
+use dcdb_common::error::DcdbError;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running REST server; shuts down on drop.
+pub struct RestServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RestServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and serves
+    /// `router` until shutdown.
+    pub fn serve(addr: &str, router: Router) -> Result<RestServer, DcdbError> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        // Periodic accept timeouts let the acceptor observe `stop`.
+        listener.set_nonblocking(false)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let router = Arc::new(router);
+        let acceptor = std::thread::Builder::new()
+            .name("dcdb-rest-acceptor".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop2.load(Ordering::Acquire) {
+                        break;
+                    }
+                    match conn {
+                        Ok(stream) => {
+                            let router = Arc::clone(&router);
+                            let _ = std::thread::Builder::new()
+                                .name("dcdb-rest-conn".into())
+                                .spawn(move || handle_connection(stream, &router));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .map_err(DcdbError::Io)?;
+        Ok(RestServer {
+            addr: local,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the acceptor to stop and joins it.
+    pub fn shutdown(&mut self) {
+        if self.acceptor.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::Release);
+        // Unblock the acceptor with a wake-up connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RestServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(stream: TcpStream, router: &Router) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let response = match Request::read_from(&stream) {
+        Ok(req) => router.dispatch(req),
+        Err(e) => Response::error(Status::BadRequest, format!("bad request: {e}")),
+    };
+    let _ = response.write_to(&mut write_half);
+    let _ = write_half.flush();
+}
+
+/// Blocking HTTP client helper used by tests, examples and the
+/// on-demand harness: sends one request, reads one response.
+pub fn http_request(
+    addr: SocketAddr,
+    method: crate::http::Method,
+    path: &str,
+    body: &[u8],
+) -> Result<(u16, String), DcdbError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: dcdb\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    // Parse the status line + headers + body.
+    use std::io::{BufRead, BufReader, Read};
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let code: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| DcdbError::Parse(format!("bad status line {status_line:?}")))?;
+    let mut content_length = None;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = trimmed.split_once(':') {
+            if k.trim().eq_ignore_ascii_case("content-length") {
+                content_length = v.trim().parse::<usize>().ok();
+            }
+        }
+    }
+    let body = match content_length {
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            reader.read_exact(&mut buf)?;
+            buf
+        }
+        None => {
+            let mut buf = Vec::new();
+            reader.read_to_end(&mut buf)?;
+            buf
+        }
+    };
+    Ok((code, String::from_utf8_lossy(&body).into_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Method;
+
+    fn test_router() -> Router {
+        let mut r = Router::new();
+        r.get("/ping", |_| Response::text("pong"));
+        r.put("/echo", |req| {
+            Response::text(String::from_utf8_lossy(&req.body).into_owned())
+        });
+        r.get("/sensors/*topic", |req| {
+            Response::json(format!("{{\"topic\":\"{}\"}}", req.path_param("topic").unwrap()))
+        });
+        r
+    }
+
+    #[test]
+    fn serves_requests_over_tcp() {
+        let server = RestServer::serve("127.0.0.1:0", test_router()).unwrap();
+        let (code, body) = http_request(server.addr(), Method::Get, "/ping", b"").unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(body, "pong");
+    }
+
+    #[test]
+    fn put_with_body() {
+        let server = RestServer::serve("127.0.0.1:0", test_router()).unwrap();
+        let (code, body) =
+            http_request(server.addr(), Method::Put, "/echo", b"payload").unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(body, "payload");
+    }
+
+    #[test]
+    fn not_found_and_bad_method() {
+        let server = RestServer::serve("127.0.0.1:0", test_router()).unwrap();
+        let (code, _) = http_request(server.addr(), Method::Get, "/missing", b"").unwrap();
+        assert_eq!(code, 404);
+        let (code, _) = http_request(server.addr(), Method::Put, "/ping", b"").unwrap();
+        assert_eq!(code, 405);
+    }
+
+    #[test]
+    fn path_params_over_tcp() {
+        let server = RestServer::serve("127.0.0.1:0", test_router()).unwrap();
+        let (code, body) =
+            http_request(server.addr(), Method::Get, "/sensors/r1/n2/power", b"").unwrap();
+        assert_eq!(code, 200);
+        assert!(body.contains("r1/n2/power"));
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = RestServer::serve("127.0.0.1:0", test_router()).unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let (code, body) = http_request(addr, Method::Get, "/ping", b"").unwrap();
+                    assert_eq!(code, 200);
+                    assert_eq!(body, "pong");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let mut server = RestServer::serve("127.0.0.1:0", test_router()).unwrap();
+        server.shutdown();
+        server.shutdown();
+        // After shutdown new connections are not served.
+        assert!(http_request(server.addr(), Method::Get, "/ping", b"").is_err());
+    }
+}

@@ -1,0 +1,256 @@
+//! The storage backend: a keyspace of per-sensor series.
+//!
+//! Stands in for the Apache Cassandra cluster DCDB writes to
+//! (paper §IV-A). The API surface is exactly what the Collect Agent and
+//! the Wintermute Query Engine need: batched inserts keyed by topic,
+//! time-range queries, latest-value lookups, and retention eviction.
+//!
+//! Concurrency model: a `RwLock` over the topic map plus a `Mutex` per
+//! series, so concurrent writers to *different* sensors never contend
+//! (the common case: one collect agent thread per pusher stream).
+
+use crate::series::{Series, DEFAULT_PARTITION_NS};
+use dcdb_common::reading::SensorReading;
+use dcdb_common::time::Timestamp;
+use dcdb_common::topic::Topic;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Aggregate counters for footprint reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StorageStats {
+    /// Total readings currently stored.
+    pub readings: usize,
+    /// Number of sensors with at least one reading.
+    pub sensors: usize,
+    /// Total inserts performed (including overwrites).
+    pub inserts: u64,
+    /// Total range queries served.
+    pub queries: u64,
+}
+
+/// The embedded time-series store.
+pub struct StorageBackend {
+    series: RwLock<HashMap<Topic, Arc<Mutex<Series>>>>,
+    partition_ns: u64,
+    inserts: AtomicU64,
+    queries: AtomicU64,
+}
+
+impl StorageBackend {
+    /// Creates a backend with the default (10-minute) partitioning.
+    pub fn new() -> Self {
+        Self::with_partition_ns(DEFAULT_PARTITION_NS)
+    }
+
+    /// Creates a backend with a custom partition duration.
+    pub fn with_partition_ns(partition_ns: u64) -> Self {
+        StorageBackend {
+            series: RwLock::new(HashMap::new()),
+            partition_ns,
+            inserts: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+        }
+    }
+
+    fn series_for(&self, topic: &Topic) -> Arc<Mutex<Series>> {
+        if let Some(s) = self.series.read().get(topic) {
+            return Arc::clone(s);
+        }
+        let mut map = self.series.write();
+        Arc::clone(
+            map.entry(topic.clone())
+                .or_insert_with(|| Arc::new(Mutex::new(Series::new(self.partition_ns)))),
+        )
+    }
+
+    /// Inserts one reading for `topic`.
+    pub fn insert(&self, topic: &Topic, r: SensorReading) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.series_for(topic).lock().insert(r);
+    }
+
+    /// Inserts a batch of readings for `topic` under one series lock.
+    pub fn insert_batch(&self, topic: &Topic, readings: &[SensorReading]) {
+        self.inserts
+            .fetch_add(readings.len() as u64, Ordering::Relaxed);
+        self.series_for(topic).lock().insert_batch(readings);
+    }
+
+    /// Range query: readings of `topic` with `t0 <= ts <= t1`.
+    /// Returns an empty vector for unknown sensors.
+    pub fn query(&self, topic: &Topic, t0: Timestamp, t1: Timestamp) -> Vec<SensorReading> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        match self.series.read().get(topic) {
+            Some(s) => s.lock().query(t0, t1),
+            None => Vec::new(),
+        }
+    }
+
+    /// The most recent reading of `topic`.
+    pub fn latest(&self, topic: &Topic) -> Option<SensorReading> {
+        self.series.read().get(topic).and_then(|s| s.lock().latest())
+    }
+
+    /// True if the backend has ever stored data for `topic`.
+    pub fn contains(&self, topic: &Topic) -> bool {
+        self.series.read().contains_key(topic)
+    }
+
+    /// All topics with stored data, unordered.
+    pub fn topics(&self) -> Vec<Topic> {
+        self.series.read().keys().cloned().collect()
+    }
+
+    /// Evicts data older than `cutoff` from every series (retention).
+    /// Returns the total number of evicted readings.
+    pub fn evict_before(&self, cutoff: Timestamp) -> usize {
+        let all: Vec<Arc<Mutex<Series>>> =
+            self.series.read().values().map(Arc::clone).collect();
+        all.iter().map(|s| s.lock().evict_before(cutoff)).sum()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StorageStats {
+        let map = self.series.read();
+        let mut readings = 0;
+        let mut sensors = 0;
+        for s in map.values() {
+            let len = s.lock().len();
+            readings += len;
+            if len > 0 {
+                sensors += 1;
+            }
+        }
+        StorageStats {
+            readings,
+            sensors,
+            inserts: self.inserts.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for StorageBackend {
+    fn default() -> Self {
+        StorageBackend::new()
+    }
+}
+
+impl std::fmt::Debug for StorageBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("StorageBackend")
+            .field("sensors", &s.sensors)
+            .field("readings", &s.readings)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> Topic {
+        Topic::parse(s).unwrap()
+    }
+    fn r(v: i64, s: u64) -> SensorReading {
+        SensorReading::new(v, Timestamp::from_secs(s))
+    }
+
+    #[test]
+    fn insert_query_per_topic() {
+        let db = StorageBackend::new();
+        db.insert(&t("/n1/power"), r(100, 1));
+        db.insert(&t("/n1/power"), r(110, 2));
+        db.insert(&t("/n2/power"), r(200, 1));
+        let q = db.query(&t("/n1/power"), Timestamp::ZERO, Timestamp::from_secs(10));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q[1].value, 110);
+        assert_eq!(db.latest(&t("/n2/power")).unwrap().value, 200);
+        assert!(db.query(&t("/nope/x"), Timestamp::ZERO, Timestamp::MAX).is_empty());
+    }
+
+    #[test]
+    fn batch_insert() {
+        let db = StorageBackend::new();
+        let batch: Vec<SensorReading> = (0..100).map(|i| r(i, i as u64)).collect();
+        db.insert_batch(&t("/n/s"), &batch);
+        let s = db.stats();
+        assert_eq!(s.readings, 100);
+        assert_eq!(s.sensors, 1);
+        assert_eq!(s.inserts, 100);
+    }
+
+    #[test]
+    fn eviction_across_sensors() {
+        let db = StorageBackend::with_partition_ns(10 * 1_000_000_000);
+        for n in 0..4 {
+            let topic = t(&format!("/n{n}/s"));
+            for i in 0..40u64 {
+                db.insert(&topic, r(i as i64, i));
+            }
+        }
+        let evicted = db.evict_before(Timestamp::from_secs(20));
+        assert_eq!(evicted, 4 * 20);
+        assert_eq!(db.stats().readings, 4 * 20);
+    }
+
+    #[test]
+    fn concurrent_writers_distinct_sensors() {
+        let db = Arc::new(StorageBackend::new());
+        let mut handles = vec![];
+        for n in 0..8 {
+            let db = Arc::clone(&db);
+            handles.push(std::thread::spawn(move || {
+                let topic = t(&format!("/n{n}/s"));
+                for i in 0..1000u64 {
+                    db.insert(&topic, r(i as i64, i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = db.stats();
+        assert_eq!(s.readings, 8000);
+        assert_eq!(s.sensors, 8);
+    }
+
+    #[test]
+    fn concurrent_same_sensor_is_consistent() {
+        let db = Arc::new(StorageBackend::new());
+        let topic = t("/shared/s");
+        let mut handles = vec![];
+        for part in 0..4u64 {
+            let db = Arc::clone(&db);
+            let topic = topic.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    db.insert(&topic, r(0, part * 10_000 + i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.stats().readings, 2000);
+        let q = db.query(&topic, Timestamp::ZERO, Timestamp::MAX);
+        assert!(q.windows(2).all(|w| w[0].ts < w[1].ts));
+    }
+
+    #[test]
+    fn topics_lists_known_sensors() {
+        let db = StorageBackend::new();
+        db.insert(&t("/a/x"), r(1, 1));
+        db.insert(&t("/b/y"), r(1, 1));
+        let mut topics: Vec<String> =
+            db.topics().iter().map(|t| t.as_str().to_string()).collect();
+        topics.sort();
+        assert_eq!(topics, vec!["/a/x", "/b/y"]);
+        assert!(db.contains(&t("/a/x")));
+        assert!(!db.contains(&t("/c/z")));
+    }
+}

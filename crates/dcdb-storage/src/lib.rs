@@ -1,0 +1,22 @@
+//! # dcdb-storage — embedded time-series storage backend
+//!
+//! DCDB persists all monitoring data in Apache Cassandra (paper §IV-A).
+//! This crate provides an embedded substitute with the same shape: a
+//! keyspace of per-sensor series partitioned by time window, serving the
+//! two access patterns the stack needs — append-mostly writes from the
+//! Collect Agent and time-range reads from the Wintermute Query Engine
+//! when a request misses the sensor caches (paper §V-B).
+//!
+//! * [`series`] — one sensor's partitioned series;
+//! * [`backend`] — the concurrent keyspace;
+//! * [`snapshot`] — binary snapshot persistence for the in-memory
+//!   store (the durability Cassandra provides for free).
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod series;
+pub mod snapshot;
+
+pub use backend::{StorageBackend, StorageStats};
+pub use series::{Series, DEFAULT_PARTITION_NS};

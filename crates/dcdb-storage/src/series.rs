@@ -1,0 +1,248 @@
+//! A single sensor's time series, partitioned by time.
+//!
+//! DCDB's Storage Backend is Apache Cassandra with rows partitioned by
+//! (sensor, time window); this module reproduces the same layout in
+//! memory: readings live in fixed-duration *partitions* keyed by their
+//! start timestamp, so range queries touch only the partitions that
+//! overlap the requested window and retention eviction drops whole
+//! partitions at once.
+
+use dcdb_common::reading::SensorReading;
+use dcdb_common::time::Timestamp;
+use std::collections::BTreeMap;
+
+/// Default partition duration: 10 minutes, mirroring DCDB's Cassandra
+/// schema granularity.
+pub const DEFAULT_PARTITION_NS: u64 = 600 * 1_000_000_000;
+
+/// One sensor's partitioned series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    partition_ns: u64,
+    /// partition start timestamp (ns) -> readings sorted by timestamp.
+    partitions: BTreeMap<u64, Vec<SensorReading>>,
+    len: usize,
+}
+
+impl Series {
+    /// Creates a series with the given partition duration.
+    pub fn new(partition_ns: u64) -> Self {
+        assert!(partition_ns > 0, "partition duration must be positive");
+        Series {
+            partition_ns,
+            partitions: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of stored readings.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no readings are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of partitions currently held.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    fn partition_start(&self, ts: Timestamp) -> u64 {
+        ts.as_nanos() / self.partition_ns * self.partition_ns
+    }
+
+    /// Inserts one reading. Readings may arrive out of order (facility
+    /// data is asynchronous, paper §II-B); each partition keeps itself
+    /// sorted. Duplicate timestamps overwrite the previous value, which
+    /// makes replays idempotent.
+    pub fn insert(&mut self, r: SensorReading) {
+        let key = self.partition_start(r.ts);
+        let part = self.partitions.entry(key).or_default();
+        match part.binary_search_by_key(&r.ts, |x| x.ts) {
+            Ok(i) => part[i] = r,
+            Err(i) => {
+                part.insert(i, r);
+                self.len += 1;
+            }
+        }
+    }
+
+    /// Inserts a batch (the collect agent's normal write path).
+    pub fn insert_batch(&mut self, readings: &[SensorReading]) {
+        for &r in readings {
+            self.insert(r);
+        }
+    }
+
+    /// All readings with `t0 <= ts <= t1`, in timestamp order.
+    pub fn query(&self, t0: Timestamp, t1: Timestamp) -> Vec<SensorReading> {
+        if t1 < t0 || self.len == 0 {
+            return Vec::new();
+        }
+        let first_part = self.partition_start(t0);
+        let mut out = Vec::new();
+        for (_, part) in self.partitions.range(first_part..=t1.as_nanos()) {
+            let lo = part.partition_point(|r| r.ts < t0);
+            let hi = part.partition_point(|r| r.ts <= t1);
+            out.extend_from_slice(&part[lo..hi]);
+        }
+        out
+    }
+
+    /// The most recent reading.
+    pub fn latest(&self) -> Option<SensorReading> {
+        self.partitions
+            .iter()
+            .next_back()
+            .and_then(|(_, p)| p.last())
+            .copied()
+    }
+
+    /// The oldest stored reading.
+    pub fn oldest(&self) -> Option<SensorReading> {
+        self.partitions
+            .iter()
+            .next()
+            .and_then(|(_, p)| p.first())
+            .copied()
+    }
+
+    /// Drops all partitions that end before `cutoff` (retention).
+    /// Returns the number of readings evicted.
+    pub fn evict_before(&mut self, cutoff: Timestamp) -> usize {
+        let mut evicted = 0;
+        // A partition [start, start + partition_ns) ends at or before the
+        // cutoff iff start <= cutoff - partition_ns.
+        let Some(last_evictable) = cutoff.as_nanos().checked_sub(self.partition_ns) else {
+            return 0;
+        };
+        let keys: Vec<u64> = self
+            .partitions
+            .range(..=last_evictable)
+            .map(|(&k, _)| k)
+            .collect();
+        for k in keys {
+            if let Some(p) = self.partitions.remove(&k) {
+                evicted += p.len();
+            }
+        }
+        self.len -= evicted;
+        evicted
+    }
+
+    /// Iterates all readings in timestamp order.
+    pub fn iter(&self) -> impl Iterator<Item = &SensorReading> {
+        self.partitions.values().flat_map(|p| p.iter())
+    }
+}
+
+impl Default for Series {
+    fn default() -> Self {
+        Series::new(DEFAULT_PARTITION_NS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdb_common::time::NS_PER_SEC;
+
+    fn r(v: i64, s: u64) -> SensorReading {
+        SensorReading::new(v, Timestamp::from_secs(s))
+    }
+
+    #[test]
+    fn insert_and_query_in_order() {
+        let mut s = Series::new(100 * NS_PER_SEC);
+        for i in 0..500 {
+            s.insert(r(i as i64, i));
+        }
+        assert_eq!(s.len(), 500);
+        assert_eq!(s.partition_count(), 5);
+        let q = s.query(Timestamp::from_secs(98), Timestamp::from_secs(103));
+        let vals: Vec<i64> = q.iter().map(|x| x.value).collect();
+        assert_eq!(vals, vec![98, 99, 100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn out_of_order_inserts_stay_sorted() {
+        let mut s = Series::default();
+        for &sec in &[5u64, 1, 9, 3, 7] {
+            s.insert(r(sec as i64, sec));
+        }
+        let q = s.query(Timestamp::ZERO, Timestamp::from_secs(100));
+        let ts: Vec<u64> = q.iter().map(|x| x.ts.as_secs()).collect();
+        assert_eq!(ts, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn duplicate_timestamp_overwrites() {
+        let mut s = Series::default();
+        s.insert(r(1, 10));
+        s.insert(r(2, 10));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.latest().unwrap().value, 2);
+    }
+
+    #[test]
+    fn query_boundaries_inclusive() {
+        let mut s = Series::default();
+        s.insert_batch(&[r(1, 1), r(2, 2), r(3, 3)]);
+        let q = s.query(Timestamp::from_secs(2), Timestamp::from_secs(2));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].value, 2);
+        assert!(s.query(Timestamp::from_secs(3), Timestamp::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn query_across_partition_boundary() {
+        let mut s = Series::new(10 * NS_PER_SEC);
+        for i in 0..30 {
+            s.insert(r(i as i64, i));
+        }
+        let q = s.query(Timestamp::from_secs(8), Timestamp::from_secs(21));
+        assert_eq!(q.len(), 14);
+        assert_eq!(q.first().unwrap().value, 8);
+        assert_eq!(q.last().unwrap().value, 21);
+    }
+
+    #[test]
+    fn latest_and_oldest() {
+        let mut s = Series::new(10 * NS_PER_SEC);
+        assert!(s.latest().is_none());
+        assert!(s.oldest().is_none());
+        s.insert_batch(&[r(5, 5), r(25, 25), r(15, 15)]);
+        assert_eq!(s.latest().unwrap().value, 25);
+        assert_eq!(s.oldest().unwrap().value, 5);
+    }
+
+    #[test]
+    fn eviction_drops_whole_partitions() {
+        let mut s = Series::new(10 * NS_PER_SEC);
+        for i in 0..40 {
+            s.insert(r(i as i64, i));
+        }
+        // Partitions: [0,10) [10,20) [20,30) [30,40).
+        let evicted = s.evict_before(Timestamp::from_secs(20));
+        assert_eq!(evicted, 20);
+        assert_eq!(s.len(), 20);
+        assert_eq!(s.oldest().unwrap().ts.as_secs(), 20);
+        // Cutoff inside a partition does not evict it.
+        let evicted = s.evict_before(Timestamp::from_secs(35));
+        assert_eq!(evicted, 10);
+        assert_eq!(s.oldest().unwrap().ts.as_secs(), 30);
+    }
+
+    #[test]
+    fn iter_is_globally_sorted() {
+        let mut s = Series::new(NS_PER_SEC);
+        for &sec in &[9u64, 2, 7, 4, 0] {
+            s.insert(r(0, sec));
+        }
+        let ts: Vec<u64> = s.iter().map(|x| x.ts.as_secs()).collect();
+        assert_eq!(ts, vec![0, 2, 4, 7, 9]);
+    }
+}

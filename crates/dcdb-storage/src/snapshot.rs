@@ -1,0 +1,203 @@
+//! Snapshot persistence for the storage backend.
+//!
+//! DCDB's Cassandra cluster is durable; the embedded store is
+//! in-memory, so long-lived deployments persist periodic snapshots.
+//! The format is a simple length-prefixed binary layout (no external
+//! serialization dependency on this hot-path crate):
+//!
+//! ```text
+//! [8B magic "DCDBSNAP"] [u32 version = 1] [u32 sensor count]
+//! per sensor:
+//!   [u32 topic length] [topic utf-8 bytes]
+//!   [u64 reading count] count × { [i64 value] [u64 ts] }
+//! ```
+
+use crate::backend::StorageBackend;
+use dcdb_common::error::DcdbError;
+use dcdb_common::reading::SensorReading;
+use dcdb_common::time::Timestamp;
+use dcdb_common::topic::Topic;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"DCDBSNAP";
+const VERSION: u32 = 1;
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn write_u64<W: Write>(w: &mut W, v: u64) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn write_i64<W: Write>(w: &mut W, v: i64) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn read_u32<R: Read>(r: &mut R) -> std::io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+fn read_u64<R: Read>(r: &mut R) -> std::io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+fn read_i64<R: Read>(r: &mut R) -> std::io::Result<i64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(i64::from_le_bytes(b))
+}
+
+impl StorageBackend {
+    /// Writes the full contents of the backend to `path` atomically
+    /// (write to a temp file, then rename).
+    pub fn snapshot_to(&self, path: &Path) -> Result<(), DcdbError> {
+        let tmp = path.with_extension("tmp");
+        {
+            let file = std::fs::File::create(&tmp)?;
+            let mut w = BufWriter::new(file);
+            w.write_all(MAGIC)?;
+            write_u32(&mut w, VERSION)?;
+            let topics = self.topics();
+            write_u32(&mut w, topics.len() as u32)?;
+            for topic in &topics {
+                let bytes = topic.as_str().as_bytes();
+                write_u32(&mut w, bytes.len() as u32)?;
+                w.write_all(bytes)?;
+                let readings = self.query(topic, Timestamp::ZERO, Timestamp::MAX);
+                write_u64(&mut w, readings.len() as u64)?;
+                for r in &readings {
+                    write_i64(&mut w, r.value)?;
+                    write_u64(&mut w, r.ts.as_nanos())?;
+                }
+            }
+            w.flush()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads a snapshot into this backend (merging with any existing
+    /// data; duplicate timestamps overwrite, so restore is idempotent).
+    pub fn restore_from(&self, path: &Path) -> Result<usize, DcdbError> {
+        let file = std::fs::File::open(path)?;
+        let mut r = BufReader::new(file);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(DcdbError::Parse("not a DCDB snapshot".into()));
+        }
+        let version = read_u32(&mut r)?;
+        if version != VERSION {
+            return Err(DcdbError::Parse(format!(
+                "unsupported snapshot version {version}"
+            )));
+        }
+        let sensors = read_u32(&mut r)? as usize;
+        let mut restored = 0usize;
+        for _ in 0..sensors {
+            let len = read_u32(&mut r)? as usize;
+            if len > 4096 {
+                return Err(DcdbError::Parse(format!("implausible topic length {len}")));
+            }
+            let mut buf = vec![0u8; len];
+            r.read_exact(&mut buf)?;
+            let topic = Topic::parse(
+                std::str::from_utf8(&buf)
+                    .map_err(|_| DcdbError::Parse("non-utf8 topic in snapshot".into()))?,
+            )?;
+            let count = read_u64(&mut r)? as usize;
+            let mut batch = Vec::with_capacity(count.min(65536));
+            for _ in 0..count {
+                let value = read_i64(&mut r)?;
+                let ts = Timestamp(read_u64(&mut r)?);
+                batch.push(SensorReading::new(value, ts));
+                if batch.len() == batch.capacity() {
+                    self.insert_batch(&topic, &batch);
+                    restored += batch.len();
+                    batch.clear();
+                }
+            }
+            if !batch.is_empty() {
+                restored += batch.len();
+                self.insert_batch(&topic, &batch);
+            }
+        }
+        Ok(restored)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> Topic {
+        Topic::parse(s).unwrap()
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dcdb-snap-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn seeded() -> StorageBackend {
+        let db = StorageBackend::new();
+        for n in 0..3 {
+            let topic = t(&format!("/n{n}/power"));
+            for i in 1..=100u64 {
+                db.insert(&topic, SensorReading::new((n * 1000 + i) as i64, Timestamp::from_secs(i)));
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn snapshot_round_trips_exactly() {
+        let db = seeded();
+        let path = temp_path("roundtrip");
+        db.snapshot_to(&path).unwrap();
+
+        let restored = StorageBackend::new();
+        let count = restored.restore_from(&path).unwrap();
+        assert_eq!(count, 300);
+        for n in 0..3 {
+            let topic = t(&format!("/n{n}/power"));
+            assert_eq!(
+                db.query(&topic, Timestamp::ZERO, Timestamp::MAX),
+                restored.query(&topic, Timestamp::ZERO, Timestamp::MAX),
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn restore_is_idempotent() {
+        let db = seeded();
+        let path = temp_path("idempotent");
+        db.snapshot_to(&path).unwrap();
+        db.restore_from(&path).unwrap(); // restore over itself
+        assert_eq!(db.stats().readings, 300); // duplicates overwrite
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage_files() {
+        let path = temp_path("garbage");
+        std::fs::write(&path, b"definitely not a snapshot").unwrap();
+        let db = StorageBackend::new();
+        assert!(db.restore_from(&path).is_err());
+        std::fs::remove_file(&path).ok();
+        assert!(db.restore_from(&temp_path("missing")).is_err());
+    }
+
+    #[test]
+    fn empty_backend_snapshots_fine() {
+        let db = StorageBackend::new();
+        let path = temp_path("empty");
+        db.snapshot_to(&path).unwrap();
+        let restored = StorageBackend::new();
+        assert_eq!(restored.restore_from(&path).unwrap(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,62 @@
+//! `ablate_bgmm_vs_gmm` — why the paper's clustering case study uses a
+//! *Bayesian* gaussian mixture (§VI-D): ordinary GMMs need the cluster
+//! count supplied by hand, while the BGMM "determine[s] autonomously
+//! the optimal number of clusters from data". This ablation measures
+//! what that autonomy costs (fit time at the case study's 148 × 3
+//! shape) and sanity-checks that the BGMM actually recovers the true
+//! component count where a misspecified GMM cannot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oda_ml::bgmm::{fit_bgmm, BgmmConfig};
+use oda_ml::gmm::{fit_gmm, GmmConfig};
+use oda_ml::kmeans::kmeans;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Three separated 3-D blobs (the node-behaviour shape).
+fn node_data(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let c = (i % 3) as f64 * 2.5;
+            vec![
+                c + rng.gen_range(-0.3..0.3),
+                c + rng.gen_range(-0.3..0.3),
+                -c + rng.gen_range(-0.3..0.3),
+            ]
+        })
+        .collect()
+}
+
+fn ablate_bgmm_vs_gmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_bgmm_vs_gmm");
+    group.sample_size(10);
+    let data = node_data(148, 42);
+
+    // Correctness precondition for the ablation to be meaningful.
+    let bgmm = fit_bgmm(&data, &BgmmConfig::default());
+    assert_eq!(bgmm.n_effective(), 3, "BGMM must recover k=3 from cap 8");
+
+    group.bench_function("bgmm_cap8_autoselect", |b| {
+        b.iter(|| black_box(fit_bgmm(&data, &BgmmConfig::default())))
+    });
+    for k in [3usize, 8] {
+        group.bench_with_input(BenchmarkId::new("gmm_fixed_k", k), &k, |b, &k| {
+            b.iter(|| {
+                black_box(fit_gmm(
+                    &data,
+                    &GmmConfig { k, ..GmmConfig::default() },
+                ))
+            })
+        });
+    }
+    group.bench_function("kmeans_k3", |b| {
+        b.iter(|| black_box(kmeans(&data, 3, 50, 42)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablate_bgmm_vs_gmm);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! `ablate_unit_parallelism` — sequential vs parallel unit management
+//! (paper §IV-B c): sequential packs every unit into one operator;
+//! parallel creates one operator per unit, which the manager fans out
+//! over rayon. On multicore hosts parallel wins at scale; on one core
+//! they should tie (the fan-out must not cost anything) — both halves
+//! of that claim are measurable here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcdb_common::reading::SensorReading;
+use dcdb_common::time::Timestamp;
+use dcdb_common::topic::Topic;
+use std::hint::black_box;
+use std::sync::Arc;
+use wintermute::prelude::*;
+use wintermute_plugins::AggregatorPlugin;
+
+fn manager_with_nodes(nodes: usize) -> Arc<OperatorManager> {
+    let qe = Arc::new(QueryEngine::new(128));
+    for n in 0..nodes {
+        let topic = Topic::parse(&format!("/rack0/n{n}/power")).unwrap();
+        for s in 1..=60u64 {
+            qe.insert(&topic, SensorReading::new(100 + s as i64, Timestamp::from_secs(s)));
+        }
+    }
+    qe.rebuild_navigator();
+    let mgr = OperatorManager::new(qe);
+    mgr.register_plugin(Box::new(AggregatorPlugin));
+    mgr
+}
+
+fn ablate_unit_parallelism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_unit_parallelism");
+    group.sample_size(20);
+    for nodes in [16usize, 128] {
+        for (label, unit_mode) in [
+            ("sequential", UnitMode::Sequential),
+            ("parallel", UnitMode::Parallel),
+        ] {
+            let mgr = manager_with_nodes(nodes);
+            mgr.load(
+                PluginConfig::online("agg", "aggregator", 1)
+                    .with_patterns(&["<bottomup>power"], &["<bottomup>power-avg"])
+                    .with_unit_mode(unit_mode)
+                    .with_option("window_ms", 30_000u64),
+            )
+            .unwrap();
+            let mut now = Timestamp::from_secs(61);
+            group.bench_with_input(
+                BenchmarkId::new(label, nodes),
+                &nodes,
+                |b, _| {
+                    b.iter(|| {
+                        now = now.saturating_add_ns(1_000_000);
+                        black_box(mgr.tick(now))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablate_unit_parallelism);
+criterion_main!(benches);

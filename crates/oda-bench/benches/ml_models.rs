@@ -1,0 +1,83 @@
+//! Model-kernel benchmarks: the per-interval costs the paper's plugins
+//! pay (feature extraction + forest prediction for the regressor; BGMM
+//! fitting for the hourly clustering; decile aggregation for persyst).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oda_ml::bgmm::{fit_bgmm, BgmmConfig};
+use oda_ml::features::FeatureExtractor;
+use oda_ml::forest::{ForestConfig, RandomForest};
+use oda_ml::stats::deciles;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn synthetic(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.gen_range(0.0..10.0)).collect())
+        .collect();
+    let y: Vec<f64> = x.iter().map(|r| r.iter().sum::<f64>() + rng.gen_range(-1.0..1.0)).collect();
+    (x, y)
+}
+
+fn forest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_forest");
+    group.sample_size(10);
+    for n in [1_000usize, 5_000] {
+        let (x, y) = synthetic(n, 12, 1);
+        group.bench_with_input(BenchmarkId::new("fit_20_trees", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(RandomForest::fit(&x, &y, &ForestConfig::default()))
+            })
+        });
+    }
+    let (x, y) = synthetic(5_000, 12, 1);
+    let model = RandomForest::fit(&x, &y, &ForestConfig::default());
+    group.bench_function("predict", |b| {
+        b.iter(|| black_box(model.predict(black_box(&x[17]))))
+    });
+    group.finish();
+}
+
+fn bgmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bgmm");
+    group.sample_size(10);
+    // 148 nodes × 3 features: the exact shape of the hourly clustering.
+    let mut rng = StdRng::seed_from_u64(2);
+    let data: Vec<Vec<f64>> = (0..148)
+        .map(|i| {
+            let center = (i % 3) as f64 * 3.0;
+            vec![
+                center + rng.gen_range(-0.4..0.4),
+                center + rng.gen_range(-0.4..0.4),
+                -center + rng.gen_range(-0.4..0.4),
+            ]
+        })
+        .collect();
+    group.bench_function("fit_148_nodes_3d", |b| {
+        b.iter(|| black_box(fit_bgmm(&data, &BgmmConfig::default())))
+    });
+    group.finish();
+}
+
+fn aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aggregation_kernels");
+    // 2048 per-core CPI samples: one persyst decile computation.
+    let mut rng = StdRng::seed_from_u64(3);
+    let cpis: Vec<f64> = (0..2048).map(|_| rng.gen_range(1.0..30.0)).collect();
+    group.bench_function("deciles_2048", |b| b.iter(|| black_box(deciles(&cpis))));
+
+    // One regressor feature vector: 7 sensors × 32-sample windows.
+    let extractor = FeatureExtractor::default_extractor();
+    let windows: Vec<Vec<f64>> = (0..7)
+        .map(|_| (0..32).map(|_| rng.gen_range(0.0..300.0)).collect())
+        .collect();
+    group.bench_function("feature_vector_7x32", |b| {
+        b.iter(|| black_box(extractor.extract(&windows)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, forest, bgmm, aggregation);
+criterion_main!(benches);

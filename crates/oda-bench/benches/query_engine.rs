@@ -1,0 +1,113 @@
+//! Query Engine microbenchmarks + the §V-B ablations:
+//!
+//! * `ablate_query_modes` — relative (O(1)) vs absolute (O(log N))
+//!   cache views across cache sizes, quantifying the complexity claim;
+//! * `ablate_cache_vs_storage` — cache hit vs storage fallback latency,
+//!   quantifying the "higher priority to data in the local sensor
+//!   caches" design choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcdb_common::reading::SensorReading;
+use dcdb_common::time::{Timestamp, NS_PER_SEC};
+use dcdb_common::topic::Topic;
+use dcdb_storage::StorageBackend;
+use std::hint::black_box;
+use std::sync::Arc;
+use wintermute::prelude::*;
+
+fn seeded_engine(n_readings: u64, cache_slots: usize, storage: bool) -> (QueryEngine, Topic) {
+    let topic = Topic::parse("/n0/power").unwrap();
+    let qe = if storage {
+        QueryEngine::with_storage(cache_slots, Arc::new(StorageBackend::new()))
+    } else {
+        QueryEngine::new(cache_slots)
+    };
+    for i in 1..=n_readings {
+        qe.insert(&topic, SensorReading::new(i as i64, Timestamp::from_secs(i)));
+    }
+    (qe, topic)
+}
+
+fn ablate_query_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_query_modes");
+    for cache_size in [1_000u64, 10_000, 100_000] {
+        let (qe, topic) = seeded_engine(cache_size, cache_size as usize + 1, false);
+        // 60-second window at 1 Hz: same data volume both modes.
+        group.bench_with_input(
+            BenchmarkId::new("relative", cache_size),
+            &cache_size,
+            |b, _| {
+                b.iter(|| {
+                    black_box(qe.query(
+                        &topic,
+                        QueryMode::Relative { offset_ns: 60 * NS_PER_SEC },
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("absolute", cache_size),
+            &cache_size,
+            |b, &n| {
+                let t1 = Timestamp::from_secs(n);
+                let t0 = Timestamp::from_secs(n - 60);
+                b.iter(|| black_box(qe.query(&topic, QueryMode::Absolute { t0, t1 })))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn ablate_cache_vs_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_cache_vs_storage");
+    // 100k readings, cache holds only the newest 1k.
+    let (qe, topic) = seeded_engine(100_000, 1_000, true);
+    group.bench_function("cache_hit_recent_range", |b| {
+        let t0 = Timestamp::from_secs(99_500);
+        let t1 = Timestamp::from_secs(99_560);
+        b.iter(|| black_box(qe.query(&topic, QueryMode::Absolute { t0, t1 })))
+    });
+    group.bench_function("storage_fallback_old_range", |b| {
+        let t0 = Timestamp::from_secs(500);
+        let t1 = Timestamp::from_secs(560);
+        b.iter(|| black_box(qe.query(&topic, QueryMode::Absolute { t0, t1 })))
+    });
+    group.finish();
+}
+
+fn insert_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_engine_insert");
+    group.bench_function("insert_single_sensor", |b| {
+        let topic = Topic::parse("/n0/power").unwrap();
+        let qe = QueryEngine::new(10_000);
+        let mut ts = 0u64;
+        b.iter(|| {
+            ts += 1_000_000;
+            qe.insert(&topic, SensorReading::new(1, Timestamp(ts)));
+        })
+    });
+    group.bench_function("insert_1000_sensors_round_robin", |b| {
+        let topics: Vec<Topic> = (0..1000)
+            .map(|i| Topic::parse(&format!("/n0/s{i}")).unwrap())
+            .collect();
+        let qe = QueryEngine::new(200);
+        let mut i = 0usize;
+        let mut ts = 0u64;
+        b.iter(|| {
+            i = (i + 1) % topics.len();
+            if i == 0 {
+                ts += 1_000_000_000;
+            }
+            qe.insert(&topics[i], SensorReading::new(1, Timestamp(ts + i as u64)));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_query_modes,
+    ablate_cache_vs_storage,
+    insert_throughput
+);
+criterion_main!(benches);

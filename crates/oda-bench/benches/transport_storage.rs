@@ -1,0 +1,90 @@
+//! Transport and storage microbenchmarks: MQTT-like routing, frame
+//! codec, and the embedded time-series store — the substrates whose
+//! latency hierarchy (cache ≪ storage, publish ≪ query) the Query
+//! Engine's design assumes.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcdb_bus::{decode_readings, encode_readings, Broker, TopicFilter};
+use dcdb_common::reading::SensorReading;
+use dcdb_common::time::Timestamp;
+use dcdb_common::topic::Topic;
+use dcdb_storage::StorageBackend;
+use std::hint::black_box;
+
+fn codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_codec");
+    for n in [1usize, 16, 256] {
+        let batch: Vec<SensorReading> = (0..n)
+            .map(|i| SensorReading::new(i as i64, Timestamp::from_secs(i as u64)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("encode", n), &batch, |b, batch| {
+            b.iter(|| black_box(encode_readings(batch)))
+        });
+        let frame = encode_readings(&batch);
+        group.bench_with_input(BenchmarkId::new("decode", n), &frame, |b, frame| {
+            b.iter(|| black_box(decode_readings(frame.clone()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bus_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bus_routing");
+    // Sync broker: measures pure matching + delivery cost.
+    for subs in [10usize, 100, 1000] {
+        let broker = Broker::new_sync();
+        let bus = broker.handle();
+        let _subscriptions: Vec<_> = (0..subs)
+            .map(|i| bus.subscribe(TopicFilter::parse(&format!("/n{i}/#")).unwrap()))
+            .collect();
+        let topic = Topic::parse(&format!("/n{}/power", subs / 2)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("publish_one_match", subs),
+            &subs,
+            |b, _| {
+                b.iter(|| bus.publish(topic.clone(), Bytes::from_static(b"x")).unwrap())
+            },
+        );
+    }
+    // Wildcard fan-out: every subscriber matches.
+    let broker = Broker::new_sync();
+    let bus = broker.handle();
+    let _subs: Vec<_> = (0..50)
+        .map(|_| bus.subscribe(TopicFilter::parse("/#").unwrap()))
+        .collect();
+    let topic = Topic::parse("/n0/power").unwrap();
+    group.bench_function("publish_fanout_50", |b| {
+        b.iter(|| bus.publish(topic.clone(), Bytes::from_static(b"x")).unwrap())
+    });
+    group.finish();
+}
+
+fn storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage_backend");
+    group.bench_function("insert", |b| {
+        let db = StorageBackend::new();
+        let topic = Topic::parse("/n0/power").unwrap();
+        let mut ts = 0u64;
+        b.iter(|| {
+            ts += 1_000_000_000;
+            db.insert(&topic, SensorReading::new(1, Timestamp(ts)));
+        })
+    });
+    for n in [10_000u64, 100_000] {
+        let db = StorageBackend::new();
+        let topic = Topic::parse("/n0/power").unwrap();
+        for i in 1..=n {
+            db.insert(&topic, SensorReading::new(i as i64, Timestamp::from_secs(i)));
+        }
+        group.bench_with_input(BenchmarkId::new("query_60s_range", n), &n, |b, &n| {
+            let t0 = Timestamp::from_secs(n / 2);
+            let t1 = Timestamp::from_secs(n / 2 + 60);
+            b.iter(|| black_box(db.query(&topic, t0, t1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, codec, bus_routing, storage);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! `ablate_pattern_resolution` — Unit System resolution cost against
+//! sensor-tree size, backing §III's claim that pattern units make
+//! large-scale instantiation cheap ("thousands of independent ODA
+//! models ... using only a small configuration block"), plus sensor
+//! tree construction itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcdb_common::topic::Topic;
+use std::hint::black_box;
+use wintermute::prelude::*;
+
+/// Builds a CooLMUC-3-like topic population: `nodes` compute nodes with
+/// 4 node-level sensors and `cores` CPUs × 2 counters each.
+fn topics(nodes: usize, cores: usize) -> Vec<Topic> {
+    let mut out = Vec::new();
+    for n in 0..nodes {
+        let rack = n / 37;
+        let base = format!("/rack{rack:02}/node{:02}", n % 37);
+        for s in ["power", "temp", "memfree", "cpu-idle"] {
+            out.push(Topic::parse(&format!("{base}/{s}")).unwrap());
+        }
+        for c in 0..cores {
+            for s in ["cycles", "instructions"] {
+                out.push(Topic::parse(&format!("{base}/cpu{c:02}/{s}")).unwrap());
+            }
+        }
+    }
+    out
+}
+
+fn tree_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sensor_tree_build");
+    group.sample_size(20);
+    for nodes in [37usize, 148, 592] {
+        let t = topics(nodes, 16);
+        group.bench_with_input(
+            BenchmarkId::new("nodes", nodes),
+            &t,
+            |b, topics| b.iter(|| black_box(SensorNavigator::build(topics.iter()))),
+        );
+    }
+    group.finish();
+}
+
+fn ablate_pattern_resolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_pattern_resolution");
+    group.sample_size(20);
+    // The paper's per-node health template: per-core inputs + chassis
+    // power, one unit per node.
+    let template = UnitTemplate::parse(
+        &[
+            "<bottomup-1>power",
+            "<bottomup, filter cpu>cycles",
+            "<bottomup, filter cpu>instructions",
+        ],
+        &["<bottomup-1>healthy"],
+    )
+    .unwrap();
+    for nodes in [37usize, 148, 592] {
+        let nav = SensorNavigator::build(topics(nodes, 16).iter());
+        group.bench_with_input(
+            BenchmarkId::new("nodes", nodes),
+            &nav,
+            |b, nav| {
+                b.iter(|| {
+                    let resolution = resolve_units(black_box(&template), nav).unwrap();
+                    assert_eq!(resolution.units.len(), nodes);
+                    black_box(resolution)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn pattern_parse(c: &mut Criterion) {
+    c.bench_function("pattern_expr_parse", |b| {
+        b.iter(|| {
+            black_box(PatternExpr::parse(black_box(
+                "<bottomup, filter ^cpu[0-9]+$>cache-misses",
+            )))
+        })
+    });
+}
+
+criterion_group!(benches, tree_build, ablate_pattern_resolution, pattern_parse);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Regenerates Figure 5 (paper §VI-A): Query Engine overhead heatmaps
+//! in absolute and relative mode, plus the §VI-A footprint numbers
+//! (per-core CPU load, cache memory).
+//!
+//! ```text
+//! cargo run --release -p oda-bench --bin fig5_overhead            # paper grid
+//! cargo run --release -p oda-bench --bin fig5_overhead -- --quick # smoke run
+//! cargo run --release -p oda-bench --bin fig5_overhead -- --footprint
+//! ```
+
+use oda_bench::fig5::{footprint, run_grid, Fig5Config};
+use oda_bench::{format_heatmap, write_json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let footprint_only = args.iter().any(|a| a == "--footprint");
+
+    if footprint_only {
+        println!("measuring Pusher footprint (1000 tester sensors, 100 queries)...");
+        let (cpu_pct, mem_bytes) = footprint(1000, 100, 5.0);
+        println!("pusher CPU load : {cpu_pct:.2} % (paper: peaks at 1.2 %)");
+        println!(
+            "cache memory    : {:.1} MiB (paper: never exceeded 25 MB)",
+            mem_bytes as f64 / (1024.0 * 1024.0)
+        );
+        return;
+    }
+
+    let config = if quick { Fig5Config::quick() } else { Fig5Config::paper() };
+    println!(
+        "victim kernel: {}x{} matmul × {} rounds; {} repeats per cell; {} tester sensors\n",
+        config.kernel_dim, config.kernel_dim, config.kernel_rounds, config.repeats, config.sensors
+    );
+
+    for mode in ["absolute", "relative"] {
+        println!("=== Fig. 5{} — overhead heatmap, {mode} mode ===",
+            if mode == "absolute" { "a" } else { "b" });
+        let cells = run_grid(&config, mode);
+        print!("{}", format_heatmap(&cells));
+        let max = cells.iter().map(|c| c.overhead_pct).fold(0.0, f64::max);
+        let avg = cells.iter().map(|c| c.overhead_pct).sum::<f64>() / cells.len() as f64;
+        println!(
+            "max overhead {max:.2} %, mean {avg:.2} % (paper: below 0.5 % in all cases)\n"
+        );
+        let path = write_json(&format!("fig5_{mode}"), &cells).expect("write json");
+        println!("raw data -> {}\n", path.display());
+    }
+}

@@ -1,0 +1,64 @@
+//! Regenerates Figure 6 (paper §VI-B): power-prediction time series,
+//! relative error per power bin with the fitted PDF, and the interval
+//! sweep of the accompanying text (125 / 250 / 500 ms).
+//!
+//! ```text
+//! cargo run --release -p oda-bench --bin fig6_power_prediction            # default (scaled)
+//! cargo run --release -p oda-bench --bin fig6_power_prediction -- --full  # paper-size training
+//! cargo run --release -p oda-bench --bin fig6_power_prediction -- --sweep # 125/250/500 ms
+//! ```
+
+use oda_bench::fig6::{run, Fig6Config};
+use oda_bench::write_json;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let sweep = args.iter().any(|a| a == "--sweep");
+
+    if sweep {
+        println!("=== §VI-B interval sweep (paper: 10.4% @125ms, 6.2% @250ms, 6.7% @500ms) ===");
+        for interval_ms in [125u64, 250, 500] {
+            let mut cfg = Fig6Config::quick();
+            cfg.interval_ms = interval_ms;
+            let result = run(&cfg);
+            println!(
+                "interval {interval_ms:>4} ms -> avg relative error {:.1} % over {} points",
+                result.avg_rel_error * 100.0,
+                result.series.len()
+            );
+            write_json(&format!("fig6_sweep_{interval_ms}ms"), &result).expect("write json");
+        }
+        return;
+    }
+
+    let config = if full { Fig6Config::paper() } else { Fig6Config::quick() };
+    println!(
+        "training {} samples at {} ms on a {}-core node ({} trees)...\n",
+        config.training_size, config.interval_ms, config.cores, config.trees
+    );
+    let result = run(&config);
+
+    println!("=== Fig. 6a — real vs predicted node power (excerpt) ===");
+    println!("{:>8} | {:>9} | {:>12}", "t[s]", "power[W]", "predicted[W]");
+    for p in result.series.iter().step_by(result.series.len().max(40) / 40) {
+        println!("{:>8.1} | {:>9.0} | {:>12.0}", p.t_s, p.real_w, p.predicted_w);
+    }
+
+    println!("\n=== Fig. 6b — relative error by power bin (with empirical PDF) ===");
+    println!("{:>9} | {:>10} | {:>11}", "power[W]", "rel.error", "probability");
+    for b in result.bins.iter().filter(|b| b.probability > 0.0) {
+        println!(
+            "{:>9.0} | {:>9.1}% | {:>11.4}",
+            b.power_w,
+            b.rel_error * 100.0,
+            b.probability
+        );
+    }
+    println!(
+        "\naverage relative error: {:.1} % (paper: 6.2 % at 250 ms)",
+        result.avg_rel_error * 100.0
+    );
+    let path = write_json("fig6", &result).expect("write json");
+    println!("raw data -> {}", path.display());
+}

@@ -1,0 +1,81 @@
+//! # oda-bench — reproduction harness for the Wintermute evaluation
+//!
+//! One module per figure of the paper's §VI, plus shared reporting
+//! helpers. Each module exposes a `run`-style function returning a
+//! serializable result; the `src/bin/` binaries print the same rows and
+//! series the paper's figures show and write the raw data as JSON; the
+//! `benches/` directory holds the criterion microbenchmarks and
+//! ablation studies.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fig5`] | Fig. 5a/5b — Query Engine overhead heatmaps + §VI-A footprint |
+//! | [`fig6`] | Fig. 6a/6b — power prediction series and error PDF |
+//! | [`fig7`] | Fig. 7 — per-job CPI deciles for four CORAL-2 apps |
+//! | [`fig8`] | Fig. 8 — BGMM clustering of node behaviour |
+
+#![warn(missing_docs)]
+
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+
+use std::path::Path;
+
+/// Writes a serializable result next to the repository root so the
+/// figure data survives the run (`bench-results/<name>.json`).
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
+    let dir = Path::new("bench-results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Formats a heatmap-style table of overhead cells (rows = range,
+/// columns = query counts), mirroring the layout of Fig. 5.
+pub fn format_heatmap(cells: &[fig5::OverheadCell]) -> String {
+    use std::collections::BTreeSet;
+    let queries: BTreeSet<usize> = cells.iter().map(|c| c.queries).collect();
+    let ranges: BTreeSet<u64> = cells.iter().map(|c| c.range_ms).collect();
+    let mut out = String::from("range_ms \\ queries |");
+    for q in &queries {
+        out.push_str(&format!(" {q:>7} |"));
+    }
+    out.push('\n');
+    for r in ranges.iter().rev() {
+        out.push_str(&format!("{r:>18} |"));
+        for q in &queries {
+            let cell = cells
+                .iter()
+                .find(|c| c.queries == *q && c.range_ms == *r)
+                .map(|c| c.overhead_pct)
+                .unwrap_or(f64::NAN);
+            out.push_str(&format!(" {cell:>6.2}% |"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_formatting() {
+        let cells = vec![
+            fig5::OverheadCell { queries: 2, range_ms: 0, overhead_pct: 0.1 },
+            fig5::OverheadCell { queries: 10, range_ms: 0, overhead_pct: 0.2 },
+            fig5::OverheadCell { queries: 2, range_ms: 1000, overhead_pct: 0.3 },
+            fig5::OverheadCell { queries: 10, range_ms: 1000, overhead_pct: 0.4 },
+        ];
+        let table = format_heatmap(&cells);
+        assert!(table.contains("0.10%"));
+        assert!(table.contains("0.40%"));
+        assert_eq!(table.lines().count(), 3);
+    }
+}

@@ -1,0 +1,271 @@
+//! Random-forest regression.
+//!
+//! Bagged ensemble of CART trees (bootstrap sampling + per-split feature
+//! subsampling), trained in parallel with rayon. This is the model the
+//! paper's regressor plugin uses for online power prediction (§VI-B); a
+//! downstream operator retrains it whenever its training buffer fills.
+
+use crate::tree::{RegressionTree, TreeConfig};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the forest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree configuration. When `max_features` is `None` the forest
+    /// substitutes `max(1, d/3)` — the standard regression default.
+    pub tree: TreeConfig,
+    /// RNG seed for reproducible training.
+    pub seed: u64,
+    /// Train trees in parallel with rayon.
+    pub parallel: bool,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 20,
+            tree: TreeConfig::default(),
+            seed: 0xDCDB,
+            parallel: true,
+        }
+    }
+}
+
+/// A trained random forest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+    n_features: usize,
+}
+
+impl RandomForest {
+    /// Fits the ensemble on row-major features and targets.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], config: &ForestConfig) -> RandomForest {
+        assert_eq!(x.len(), y.len(), "feature/target length mismatch");
+        assert!(!x.is_empty(), "cannot fit a forest on an empty dataset");
+        assert!(config.n_trees > 0, "forest needs at least one tree");
+        let n_features = x[0].len();
+        let mut tree_cfg = config.tree.clone();
+        if tree_cfg.max_features.is_none() {
+            tree_cfg.max_features = Some((n_features / 3).max(1));
+        }
+
+        let fit_one = |t: usize| -> RegressionTree {
+            let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(t as u64));
+            // Bootstrap sample with replacement.
+            let n = x.len();
+            let mut bx = Vec::with_capacity(n);
+            let mut by = Vec::with_capacity(n);
+            for _ in 0..n {
+                let i = rng.gen_range(0..n);
+                bx.push(x[i].clone());
+                by.push(y[i]);
+            }
+            RegressionTree::fit(&bx, &by, &tree_cfg, rng.gen())
+        };
+
+        let trees: Vec<RegressionTree> = if config.parallel {
+            (0..config.n_trees).into_par_iter().map(fit_one).collect()
+        } else {
+            (0..config.n_trees).map(fit_one).collect()
+        };
+        RandomForest { trees, n_features }
+    }
+
+    /// Predicts the target as the mean of the trees' predictions.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        let sum: f64 = self.trees.iter().map(|t| t.predict(features)).sum();
+        sum / self.trees.len() as f64
+    }
+
+    /// Batch prediction.
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// Number of trees.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Input dimensionality the forest was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Mean squared error over a labelled set.
+    pub fn mse(&self, x: &[Vec<f64>], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), y.len());
+        if x.is_empty() {
+            return 0.0;
+        }
+        x.iter()
+            .zip(y.iter())
+            .map(|(xi, yi)| {
+                let d = self.predict(xi) - yi;
+                d * d
+            })
+            .sum::<f64>()
+            / x.len() as f64
+    }
+
+    /// Mean absolute relative error (the paper's Fig. 6 metric),
+    /// skipping targets with magnitude below `eps`.
+    pub fn mean_relative_error(&self, x: &[Vec<f64>], y: &[f64], eps: f64) -> f64 {
+        assert_eq!(x.len(), y.len());
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (xi, &yi) in x.iter().zip(y.iter()) {
+            if yi.abs() < eps {
+                continue;
+            }
+            total += ((self.predict(xi) - yi) / yi).abs();
+            count += 1;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = 3*x0 + noise-free interaction with x1.
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![(i % 17) as f64, ((i * 5) % 11) as f64, ((i * 3) % 7) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0] + 2.0 * r[1] - r[2]).collect();
+        (x, y)
+    }
+
+    fn small_cfg(parallel: bool) -> ForestConfig {
+        ForestConfig {
+            n_trees: 10,
+            parallel,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fits_linear_signal_reasonably() {
+        let (x, y) = synthetic(600);
+        let forest = RandomForest::fit(&x, &y, &small_cfg(false));
+        let rel = forest.mean_relative_error(&x, &y, 1.0);
+        assert!(rel < 0.25, "relative error {rel}");
+        // With all features available per split the fit tightens.
+        let mut cfg = small_cfg(false);
+        cfg.tree.max_features = Some(3);
+        let full = RandomForest::fit(&x, &y, &cfg);
+        let rel_full = full.mean_relative_error(&x, &y, 1.0);
+        assert!(rel_full < 0.1, "full-feature relative error {rel_full}");
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let (x, y) = synthetic(300);
+        let seq = RandomForest::fit(&x, &y, &small_cfg(false));
+        let par = RandomForest::fit(&x, &y, &small_cfg(true));
+        // Same seeds per tree index => identical ensembles.
+        for xi in x.iter().take(20) {
+            assert!((seq.predict(xi) - par.predict(xi)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reproducible_with_seed() {
+        let (x, y) = synthetic(200);
+        let a = RandomForest::fit(&x, &y, &small_cfg(true));
+        let b = RandomForest::fit(&x, &y, &small_cfg(true));
+        for xi in x.iter().take(10) {
+            assert_eq!(a.predict(xi), b.predict(xi));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (x, y) = synthetic(200);
+        let a = RandomForest::fit(&x, &y, &small_cfg(true));
+        let mut cfg = small_cfg(true);
+        cfg.seed = 999;
+        let b = RandomForest::fit(&x, &y, &cfg);
+        let diverges = x
+            .iter()
+            .take(50)
+            .any(|xi| (a.predict(xi) - b.predict(xi)).abs() > 1e-9);
+        assert!(diverges);
+    }
+
+    #[test]
+    fn ensemble_beats_single_tree_on_noise() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(7);
+        let x: Vec<Vec<f64>> = (0..400)
+            .map(|_| vec![rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)])
+            .collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| r[0] * 2.0 + rng.gen_range(-1.0..1.0))
+            .collect();
+        // Held-out set from the same generator.
+        let xt: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)])
+            .collect();
+        let yt: Vec<f64> = xt.iter().map(|r| r[0] * 2.0).collect();
+
+        let single = RandomForest::fit(
+            &x,
+            &y,
+            &ForestConfig { n_trees: 1, parallel: false, ..Default::default() },
+        );
+        let forest = RandomForest::fit(
+            &x,
+            &y,
+            &ForestConfig { n_trees: 30, parallel: true, ..Default::default() },
+        );
+        assert!(
+            forest.mse(&xt, &yt) < single.mse(&xt, &yt),
+            "forest {} vs single {}",
+            forest.mse(&xt, &yt),
+            single.mse(&xt, &yt)
+        );
+    }
+
+    #[test]
+    fn batch_predict_matches_scalar() {
+        let (x, y) = synthetic(100);
+        let forest = RandomForest::fit(&x, &y, &small_cfg(false));
+        let batch = forest.predict_batch(&x[..5]);
+        for (i, b) in batch.iter().enumerate() {
+            assert_eq!(*b, forest.predict(&x[i]));
+        }
+    }
+
+    #[test]
+    fn relative_error_skips_near_zero_targets() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0.0, 10.0];
+        let forest = RandomForest::fit(&x, &y, &small_cfg(false));
+        // Only the y=10 sample contributes.
+        let rel = forest.mean_relative_error(&x, &y, 0.5);
+        assert!(rel.is_finite());
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let (x, y) = synthetic(50);
+        let forest = RandomForest::fit(&x, &y, &small_cfg(false));
+        assert_eq!(forest.tree_count(), 10);
+        assert_eq!(forest.n_features(), 3);
+    }
+}

@@ -1,0 +1,195 @@
+//! k-means clustering (k-means++ seeding + Lloyd iterations).
+//!
+//! Used to initialize the mixture models' responsibilities and as the
+//! simplest clustering baseline in the ablation benches: the paper picks
+//! a *Bayesian* gaussian mixture precisely because simpler models need
+//! the cluster count tuned by hand (§VI-D).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster centroids, `k × d`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Per-point cluster assignment.
+    pub labels: Vec<usize>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Runs k-means on row-major `data` with `k` clusters.
+///
+/// Panics if `data` is empty or `k == 0`; if `k > n` the effective k is
+/// clamped to n.
+pub fn kmeans(data: &[Vec<f64>], k: usize, max_iters: usize, seed: u64) -> KMeansResult {
+    assert!(!data.is_empty(), "kmeans on empty data");
+    assert!(k > 0, "k must be positive");
+    let k = k.min(data.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(data[rng.gen_range(0..data.len())].clone());
+    let mut dists: Vec<f64> = data.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = dists.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining points coincide with a centroid.
+            rng.gen_range(0..data.len())
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = data.len() - 1;
+            for (i, &d) in dists.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            chosen
+        };
+        centroids.push(data[next].clone());
+        for (i, p) in data.iter().enumerate() {
+            let d = sq_dist(p, centroids.last().unwrap());
+            if d < dists[i] {
+                dists[i] = d;
+            }
+        }
+    }
+
+    // Lloyd iterations.
+    let d = data[0].len();
+    let mut labels = vec![0usize; data.len()];
+    let mut iterations = 0;
+    for iter in 0..max_iters {
+        iterations = iter + 1;
+        let mut changed = false;
+        for (i, p) in data.iter().enumerate() {
+            let (best, _) = centroids
+                .iter()
+                .enumerate()
+                .map(|(c, cent)| (c, sq_dist(p, cent)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap();
+            if labels[i] != best {
+                labels[i] = best;
+                changed = true;
+            }
+        }
+        let mut sums = vec![vec![0.0; d]; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (p, &l) in data.iter().zip(labels.iter()) {
+            counts[l] += 1;
+            for (s, &x) in sums[l].iter_mut().zip(p.iter()) {
+                *s += x;
+            }
+        }
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            if counts[c] > 0 {
+                for (j, s) in sums[c].iter().enumerate() {
+                    centroid[j] = s / counts[c] as f64;
+                }
+            }
+            // Empty clusters keep their old centroid; k-means++ makes
+            // this rare and the mixture init tolerates it.
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+    }
+
+    let inertia = data
+        .iter()
+        .zip(labels.iter())
+        .map(|(p, &l)| sq_dist(p, &centroids[l]))
+        .sum();
+    KMeansResult {
+        centroids,
+        labels,
+        inertia,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> Vec<Vec<f64>> {
+        let mut data = Vec::new();
+        for i in 0..30 {
+            let jitter = (i % 5) as f64 * 0.01;
+            data.push(vec![0.0 + jitter, 0.0]);
+            data.push(vec![10.0 + jitter, 10.0]);
+            data.push(vec![-10.0, 10.0 + jitter]);
+        }
+        data
+    }
+
+    #[test]
+    fn separates_well_separated_blobs() {
+        let data = three_blobs();
+        let res = kmeans(&data, 3, 100, 1);
+        // Points from the same blob share a label.
+        for chunk in data.chunks(3) {
+            let _ = chunk;
+        }
+        let l0 = res.labels[0];
+        let l1 = res.labels[1];
+        let l2 = res.labels[2];
+        assert!(l0 != l1 && l1 != l2 && l0 != l2);
+        for (i, &l) in res.labels.iter().enumerate() {
+            assert_eq!(l, [l0, l1, l2][i % 3], "point {i}");
+        }
+        assert!(res.inertia < 1.0);
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let data = vec![vec![1.0], vec![2.0]];
+        let res = kmeans(&data, 10, 10, 0);
+        assert_eq!(res.centroids.len(), 2);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let data = vec![vec![1.0, 0.0], vec![3.0, 0.0], vec![5.0, 6.0]];
+        let res = kmeans(&data, 1, 10, 0);
+        assert!((res.centroids[0][0] - 3.0).abs() < 1e-12);
+        assert!((res.centroids[0][1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_points_do_not_crash() {
+        let data = vec![vec![4.0, 4.0]; 12];
+        let res = kmeans(&data, 3, 10, 0);
+        assert_eq!(res.labels.len(), 12);
+        assert!(res.inertia < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let data = three_blobs();
+        let a = kmeans(&data, 3, 100, 42);
+        let b = kmeans(&data, 3, 100, 42);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let data = three_blobs();
+        let k1 = kmeans(&data, 1, 100, 0).inertia;
+        let k3 = kmeans(&data, 3, 100, 0).inertia;
+        assert!(k3 < k1 / 10.0, "k1={k1} k3={k3}");
+    }
+}

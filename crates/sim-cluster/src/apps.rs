@@ -1,0 +1,320 @@
+//! Phase-based application behaviour models.
+//!
+//! The paper's case studies run HPL and four CORAL-2 applications —
+//! Kripke, AMG, Nekbone and LAMMPS — on CooLMUC-3 (§VI). We cannot run
+//! the real binaries against simulated hardware, so each application is
+//! modelled by the *shape* of its per-core CPI distribution and node
+//! power draw over time, calibrated to what the paper's Figures 6 and 7
+//! report:
+//!
+//! * **LAMMPS** — compute-bound: CPI ≈ 1.6, minimal spread;
+//! * **AMG** — network-bound: CPI low up to the median, but the upper
+//!   deciles spike to ≈ 30 from communication latency;
+//! * **Kripke** — iterative sweeps: CPI rises and falls across *all*
+//!   deciles once per iteration;
+//! * **Nekbone** — batch of growing problem sizes: compute-bound early,
+//!   then ≥ 20 % of cores go memory-limited and the decile spread blows
+//!   up;
+//! * **HPL** — steady dense-linear-algebra burn at near-peak power
+//!   (the overhead experiments' victim).
+//!
+//! Models are deterministic functions of `(seed, core, time)` so every
+//! experiment is reproducible.
+
+use serde::{Deserialize, Serialize};
+
+/// The modelled applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum AppModel {
+    /// High-Performance Linpack.
+    Hpl,
+    /// Kripke (deterministic transport, CORAL-2).
+    Kripke,
+    /// AMG (algebraic multigrid, CORAL-2).
+    Amg,
+    /// Nekbone (spectral elements, CORAL-2).
+    Nekbone,
+    /// LAMMPS (molecular dynamics, CORAL-2).
+    Lammps,
+    /// No job: OS noise only.
+    Idle,
+}
+
+impl AppModel {
+    /// All four CORAL-2 applications used by the paper's case studies.
+    pub fn coral2() -> [AppModel; 4] {
+        [AppModel::Kripke, AppModel::Amg, AppModel::Nekbone, AppModel::Lammps]
+    }
+
+    /// Parse from a configuration string.
+    pub fn parse(name: &str) -> Option<AppModel> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "hpl" => AppModel::Hpl,
+            "kripke" => AppModel::Kripke,
+            "amg" => AppModel::Amg,
+            "nekbone" => AppModel::Nekbone,
+            "lammps" => AppModel::Lammps,
+            "idle" => AppModel::Idle,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AppModel::Hpl => "HPL",
+            AppModel::Kripke => "Kripke",
+            AppModel::Amg => "AMG",
+            AppModel::Nekbone => "Nekbone",
+            AppModel::Lammps => "LAMMPS",
+            AppModel::Idle => "idle",
+        }
+    }
+
+    /// Nominal run duration in seconds (Fig. 7's x-axis extents).
+    pub fn nominal_duration_s(&self) -> f64 {
+        match self {
+            AppModel::Hpl => 600.0,
+            AppModel::Kripke => 450.0,
+            AppModel::Amg => 520.0,
+            AppModel::Nekbone => 800.0,
+            AppModel::Lammps => 620.0,
+            AppModel::Idle => f64::INFINITY,
+        }
+    }
+
+    /// Cycles-per-instruction of one core at `t` seconds into the run.
+    ///
+    /// `noise` must be a deterministic uniform sample in [0,1) supplied
+    /// by the caller's RNG stream.
+    pub fn core_cpi(&self, core: usize, t: f64, noise: f64) -> f64 {
+        match self {
+            AppModel::Hpl => 1.0 + 0.1 * noise,
+            AppModel::Lammps => {
+                // Low CPI, tight distribution around 1.6.
+                1.5 + 0.25 * noise + 0.05 * phase_wave(t, 60.0, core)
+            }
+            AppModel::Amg => {
+                // Base is compute-like; the unlucky upper tail stalls on
+                // network latency. Which cores stall varies over time.
+                let base = 1.8 + 0.8 * noise;
+                let stall_phase = hash01(core as u64, (t / 12.0) as u64);
+                if stall_phase > 0.8 {
+                    // ~20% of (core, window) pairs spike; height up to ~30.
+                    base + 28.0 * ((stall_phase - 0.8) / 0.2) * (0.5 + 0.5 * noise)
+                } else {
+                    base
+                }
+            }
+            AppModel::Kripke => {
+                // Sawtooth per iteration (~45 s): all deciles breathe
+                // together between ~4 and ~14.
+                let period = 45.0;
+                let phase = (t % period) / period;
+                let sweep = 4.0 + 10.0 * (1.0 - (2.0 * phase - 1.0).abs());
+                sweep + 1.5 * noise
+            }
+            AppModel::Nekbone => {
+                // First ~55%: compute bound, CPI ~ 2. After that the
+                // problem outgrows HBM and a growing fraction of cores
+                // becomes memory-limited.
+                let frac = (t / self.nominal_duration_s()).clamp(0.0, 1.0);
+                if frac < 0.55 {
+                    1.8 + 0.5 * noise
+                } else {
+                    let victim = hash01(core as u64, 0xBEEF);
+                    let severity = (frac - 0.55) / 0.45;
+                    if victim < 0.25 + 0.25 * severity {
+                        // Memory-limited cores: high, growing CPI.
+                        8.0 + 30.0 * severity * (0.4 + 0.6 * noise)
+                    } else {
+                        2.0 + 0.8 * noise
+                    }
+                }
+            }
+            AppModel::Idle => 2.0 + 6.0 * noise, // sparse OS housekeeping
+        }
+    }
+
+    /// Fraction of peak dynamic power the node draws at `t` seconds into
+    /// the run, in [0, 1].
+    pub fn power_utilization(&self, t: f64, noise: f64) -> f64 {
+        match self {
+            AppModel::Hpl => 0.95 + 0.03 * noise,
+            AppModel::Lammps => 0.82 + 0.05 * noise + 0.04 * phase_wave(t, 90.0, 0),
+            AppModel::Amg => {
+                // Communication phases drop power periodically.
+                let p = phase_wave(t, 30.0, 1);
+                0.55 + 0.25 * p + 0.05 * noise
+            }
+            AppModel::Kripke => {
+                let period = 45.0;
+                let phase = (t % period) / period;
+                // Power is anti-correlated with CPI: sweeps stall memory.
+                0.85 - 0.3 * (1.0 - (2.0 * phase - 1.0).abs()) + 0.05 * noise
+            }
+            AppModel::Nekbone => {
+                let frac = (t / self.nominal_duration_s()).clamp(0.0, 1.0);
+                let base = if frac < 0.55 { 0.85 } else { 0.65 };
+                base + 0.05 * noise + 0.05 * phase_wave(t, 120.0, 2)
+            }
+            AppModel::Idle => 0.02 + 0.02 * noise,
+        }
+    }
+
+    /// Network traffic intensity in bytes/s over the Omni-Path fabric
+    /// (drives the OPA plugin's monotonic byte counters). AMG is the
+    /// heavily network-bound application of the paper's case study.
+    pub fn network_bytes_per_s(&self, t: f64, noise: f64) -> f64 {
+        let base: f64 = match self {
+            AppModel::Amg => 2.2e9,
+            AppModel::Kripke => 9.0e8,
+            AppModel::Nekbone => 6.0e8,
+            AppModel::Hpl => 3.0e8,
+            AppModel::Lammps => 2.0e8,
+            AppModel::Idle => 1.0e5,
+        };
+        // Communication phases pulse with the app's own rhythm.
+        base * (0.7 + 0.3 * phase_wave(t, 20.0, 3)) * (0.9 + 0.2 * noise)
+    }
+
+    /// Fraction of time a core is idle under this application (drives
+    /// the `cpu-idle` sensor).
+    pub fn idle_fraction(&self, t: f64, noise: f64) -> f64 {
+        match self {
+            AppModel::Idle => 0.96 + 0.03 * noise,
+            AppModel::Amg => 0.15 + 0.1 * phase_wave(t, 30.0, 1) + 0.02 * noise,
+            _ => 0.02 + 0.03 * noise,
+        }
+    }
+}
+
+/// A smooth deterministic wave in [0,1] with the given period, phase
+/// shifted per stream id.
+fn phase_wave(t: f64, period_s: f64, stream: usize) -> f64 {
+    let shift = stream as f64 * 0.37;
+    0.5 + 0.5 * (2.0 * std::f64::consts::PI * (t / period_s + shift)).sin()
+}
+
+/// A deterministic hash-based uniform sample in [0,1) from two keys.
+/// Used for "which core misbehaves in which window" decisions that must
+/// be stable across reruns without threading RNG state everywhere.
+pub fn hash01(a: u64, b: u64) -> f64 {
+    // SplitMix64 over the combined key.
+    let mut z = a
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(b)
+        .wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oda_ml_test_support::*;
+
+    /// Tiny local helpers so this crate does not depend on oda-ml.
+    mod oda_ml_test_support {
+        pub fn mean(xs: &[f64]) -> f64 {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+        pub fn quantile(xs: &[f64], q: f64) -> f64 {
+            let mut v = xs.to_vec();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let pos = (q * (v.len() - 1) as f64).round() as usize;
+            v[pos]
+        }
+    }
+
+    fn cpi_sample(app: AppModel, t: f64, cores: usize) -> Vec<f64> {
+        (0..cores)
+            .map(|c| app.core_cpi(c, t, hash01(c as u64, (t * 1000.0) as u64)))
+            .collect()
+    }
+
+    #[test]
+    fn hash01_is_uniformish_and_deterministic() {
+        assert_eq!(hash01(3, 4), hash01(3, 4));
+        assert_ne!(hash01(3, 4), hash01(4, 3));
+        let samples: Vec<f64> = (0..10_000).map(|i| hash01(i, 7)).collect();
+        let m = mean(&samples);
+        assert!((m - 0.5).abs() < 0.02, "mean {m}");
+        assert!(samples.iter().all(|&x| (0.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn lammps_is_low_and_tight() {
+        let cpis = cpi_sample(AppModel::Lammps, 100.0, 2048);
+        let m = mean(&cpis);
+        assert!((1.4..1.9).contains(&m), "mean {m}");
+        let spread = quantile(&cpis, 1.0) - quantile(&cpis, 0.0);
+        assert!(spread < 1.0, "spread {spread}");
+    }
+
+    #[test]
+    fn amg_has_heavy_upper_tail() {
+        let cpis = cpi_sample(AppModel::Amg, 200.0, 2048);
+        let median = quantile(&cpis, 0.5);
+        let top = quantile(&cpis, 1.0);
+        assert!(median < 4.0, "median {median}");
+        assert!(top > 15.0, "max {top}");
+    }
+
+    #[test]
+    fn kripke_breathes_across_iterations() {
+        // CPI at the sweep peak vs trough differs strongly for the
+        // median core.
+        let peak = mean(&cpi_sample(AppModel::Kripke, 22.5, 512));
+        let trough = mean(&cpi_sample(AppModel::Kripke, 1.0, 512));
+        assert!(peak > trough + 5.0, "peak {peak} trough {trough}");
+    }
+
+    #[test]
+    fn nekbone_spread_grows_late() {
+        let early = cpi_sample(AppModel::Nekbone, 100.0, 2048);
+        let late = cpi_sample(AppModel::Nekbone, 700.0, 2048);
+        let spread = |v: &[f64]| quantile(v, 0.9) - quantile(v, 0.1);
+        assert!(spread(&late) > spread(&early) * 3.0);
+        // A sizeable fraction of late cores is memory-limited.
+        let high = late.iter().filter(|&&c| c > 8.0).count();
+        assert!(high as f64 / late.len() as f64 > 0.2, "high frac {high}");
+    }
+
+    #[test]
+    fn power_utilization_in_range() {
+        for app in [
+            AppModel::Hpl,
+            AppModel::Kripke,
+            AppModel::Amg,
+            AppModel::Nekbone,
+            AppModel::Lammps,
+            AppModel::Idle,
+        ] {
+            for i in 0..200 {
+                let t = i as f64 * 5.0;
+                let u = app.power_utilization(t, hash01(i, 1));
+                assert!((0.0..=1.05).contains(&u), "{app:?} at {t}: {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn idle_draws_little_power() {
+        let u = AppModel::Idle.power_utilization(50.0, 0.5);
+        assert!(u < 0.1);
+        assert!(AppModel::Idle.idle_fraction(50.0, 0.5) > 0.9);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for app in AppModel::coral2() {
+            assert_eq!(AppModel::parse(app.name()), Some(app));
+        }
+        assert_eq!(AppModel::parse("HPL"), Some(AppModel::Hpl));
+        assert_eq!(AppModel::parse("unknown"), None);
+    }
+}

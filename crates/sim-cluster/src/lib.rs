@@ -1,0 +1,31 @@
+//! # sim-cluster — a synthetic HPC system for driving the ODA stack
+//!
+//! The paper evaluates Wintermute on the CooLMUC-3 production cluster
+//! (148 Xeon Phi nodes) running HPL and CORAL-2 applications. This crate
+//! is the simulation substitute: it produces the same *sensor streams* a
+//! real deployment would, so every DCDB/Wintermute code path is
+//! exercised unmodified.
+//!
+//! * [`topology`] — rack/node/core hierarchy and sensor topic layout;
+//! * [`apps`] — phase-based CPI/power/idle models of HPL, Kripke, AMG,
+//!   Nekbone and LAMMPS, calibrated to the shapes in the paper's
+//!   Figures 6-7;
+//! * [`node`] — per-node simulation with monotonic perf counters and a
+//!   behavioural profile system reproducing Fig. 8's node variation;
+//! * [`scheduler`] — job table + workload generation (persyst's "set of
+//!   running jobs" source);
+//! * [`cluster`] — the whole system ticked on a virtual clock.
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod cluster;
+pub mod node;
+pub mod scheduler;
+pub mod topology;
+
+pub use apps::AppModel;
+pub use cluster::{ClusterConfig, ClusterSimulator};
+pub use node::{NodeSimulator, ProfileClass, Sample};
+pub use scheduler::{Job, JobScheduler, WorkloadGenerator};
+pub use topology::Topology;

@@ -1,0 +1,178 @@
+//! Cluster topology: the component hierarchy behind the sensor tree.
+//!
+//! The paper's experiments run on CooLMUC-3: 148 compute nodes with 64
+//! Xeon Phi cores each (§VI). The simulator reproduces that scale and
+//! hands every component a slash-separated topic path, which is exactly
+//! what the Wintermute sensor tree is built from (§III-A).
+
+use dcdb_common::topic::Topic;
+use serde::{Deserialize, Serialize};
+
+/// Shape of a simulated cluster.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Number of racks.
+    pub racks: usize,
+    /// Compute nodes per rack.
+    pub nodes_per_rack: usize,
+    /// Nodes in the whole system (allows a ragged last rack, like the
+    /// 148-node CooLMUC-3).
+    pub total_nodes: usize,
+    /// CPU cores per node.
+    pub cores_per_node: usize,
+}
+
+impl Topology {
+    /// A small topology for tests and examples.
+    pub fn small() -> Topology {
+        Topology {
+            racks: 2,
+            nodes_per_rack: 4,
+            total_nodes: 8,
+            cores_per_node: 4,
+        }
+    }
+
+    /// The CooLMUC-3 production system: 148 nodes × 64 cores, laid out
+    /// here as 4 racks of 37.
+    pub fn coolmuc3() -> Topology {
+        Topology {
+            racks: 4,
+            nodes_per_rack: 37,
+            total_nodes: 148,
+            cores_per_node: 64,
+        }
+    }
+
+    /// A custom topology.
+    pub fn new(racks: usize, nodes_per_rack: usize, cores_per_node: usize) -> Topology {
+        assert!(racks > 0 && nodes_per_rack > 0 && cores_per_node > 0);
+        Topology {
+            racks,
+            nodes_per_rack,
+            total_nodes: racks * nodes_per_rack,
+            cores_per_node,
+        }
+    }
+
+    /// Global index -> (rack, node-in-rack).
+    pub fn locate(&self, node: usize) -> (usize, usize) {
+        (node / self.nodes_per_rack, node % self.nodes_per_rack)
+    }
+
+    /// The component path of a compute node, e.g. `/rack02/node05`.
+    pub fn node_topic(&self, node: usize) -> Topic {
+        assert!(node < self.total_nodes, "node {node} out of range");
+        let (rack, slot) = self.locate(node);
+        Topic::parse(&format!("/rack{rack:02}/node{slot:02}")).expect("valid path")
+    }
+
+    /// The component path of a core, e.g. `/rack02/node05/cpu17`.
+    pub fn core_topic(&self, node: usize, core: usize) -> Topic {
+        assert!(core < self.cores_per_node, "core {core} out of range");
+        self.node_topic(node)
+            .child(&format!("cpu{core:02}"))
+            .expect("valid path")
+    }
+
+    /// The component path of a rack, e.g. `/rack01`.
+    pub fn rack_topic(&self, rack: usize) -> Topic {
+        assert!(rack < self.racks, "rack {rack} out of range");
+        Topic::parse(&format!("/rack{rack:02}")).expect("valid path")
+    }
+
+    /// Iterates all node indices.
+    pub fn nodes(&self) -> impl Iterator<Item = usize> {
+        0..self.total_nodes
+    }
+
+    /// Total core count across the system.
+    pub fn total_cores(&self) -> usize {
+        self.total_nodes * self.cores_per_node
+    }
+
+    /// Every sensor topic a node's Pusher publishes: node-level sensors
+    /// plus per-core counters. This is the ground truth the monitoring
+    /// plugins register against.
+    pub fn node_sensor_topics(&self, node: usize) -> Vec<Topic> {
+        let node_topic = self.node_topic(node);
+        let mut out = Vec::with_capacity(6 + self.cores_per_node * NODE_CORE_SENSORS.len());
+        for s in NODE_LEVEL_SENSORS.iter().chain(NODE_OPA_SENSORS) {
+            out.push(node_topic.child(s).expect("valid sensor"));
+        }
+        for core in 0..self.cores_per_node {
+            let core_topic = self.core_topic(node, core);
+            for s in NODE_CORE_SENSORS {
+                out.push(core_topic.child(s).expect("valid sensor"));
+            }
+        }
+        out
+    }
+}
+
+/// Node-level sensor names (power supply, thermal, memory, idle time).
+pub const NODE_LEVEL_SENSORS: &[&str] = &["power", "temp", "memfree", "cpu-idle"];
+
+/// Omni-Path interconnect counters (the OPA plugin's sensor set).
+pub const NODE_OPA_SENSORS: &[&str] = &["opa-xmit-bytes", "opa-rcv-bytes"];
+
+/// Per-core performance-counter names (the perfevent plugin's set).
+pub const NODE_CORE_SENSORS: &[&str] = &["cycles", "instructions", "cache-misses", "flops"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coolmuc3_scale() {
+        let t = Topology::coolmuc3();
+        assert_eq!(t.total_nodes, 148);
+        assert_eq!(t.cores_per_node, 64);
+        assert_eq!(t.total_cores(), 148 * 64);
+        assert_eq!(t.nodes().count(), 148);
+    }
+
+    #[test]
+    fn locate_is_consistent_with_topics() {
+        let t = Topology::coolmuc3();
+        assert_eq!(t.locate(0), (0, 0));
+        assert_eq!(t.locate(36), (0, 36));
+        assert_eq!(t.locate(37), (1, 0));
+        assert_eq!(t.locate(147), (3, 36));
+        assert_eq!(t.node_topic(147).as_str(), "/rack03/node36");
+        assert_eq!(t.core_topic(0, 63).as_str(), "/rack00/node00/cpu63");
+        assert_eq!(t.rack_topic(2).as_str(), "/rack02");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn node_bounds_checked() {
+        Topology::coolmuc3().node_topic(148);
+    }
+
+    #[test]
+    fn sensor_topics_cover_node_and_cores() {
+        let t = Topology::small();
+        let topics = t.node_sensor_topics(3);
+        assert_eq!(topics.len(), 6 + 4 * 4);
+        assert!(topics
+            .iter()
+            .any(|x| x.as_str() == "/rack00/node03/opa-xmit-bytes"));
+        assert!(topics.iter().any(|x| x.as_str() == "/rack00/node03/power"));
+        assert!(topics
+            .iter()
+            .any(|x| x.as_str() == "/rack00/node03/cpu02/cache-misses"));
+        // All topics are unique.
+        let mut dedup = topics.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), topics.len());
+    }
+
+    #[test]
+    fn custom_topology() {
+        let t = Topology::new(3, 5, 2);
+        assert_eq!(t.total_nodes, 15);
+        assert_eq!(t.node_topic(14).as_str(), "/rack02/node04");
+    }
+}

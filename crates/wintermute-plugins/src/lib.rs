@@ -1,0 +1,60 @@
+//! # wintermute-plugins — the paper's analysis plugins
+//!
+//! Every operator plugin the Wintermute paper's evaluation uses
+//! (Netti et al., HPDC 2020, §VI), implemented against the agnostic
+//! plugin interface of the `wintermute` crate:
+//!
+//! * [`tester`] — query-load generator for the Query Engine overhead
+//!   heatmaps (Fig. 5);
+//! * [`regressor`] — online random-forest power prediction
+//!   (Case Study 1, Fig. 6);
+//! * [`perfmetrics`] — per-core derived metrics (CPI, FLOPS rate, cache
+//!   miss ratio), the first stage of the job-analysis pipeline
+//!   (Case Study 2, Fig. 7);
+//! * [`persyst`] — per-job decile aggregation, the second pipeline
+//!   stage (Case Study 2, Fig. 7);
+//! * [`clustering`] — Bayesian gaussian mixture clustering of node
+//!   behaviour with outlier detection (Case Study 3, Fig. 8);
+//! * [`aggregator`] / [`smoother`] — generic production-style metric
+//!   aggregation (§VII's deployment);
+//! * [`health`] — online fault detection via rolling-baseline deviation
+//!   scoring (the taxonomy's fault-detection use case, §II-A, and the
+//!   `healthy` output sensor of the paper's Fig. 2 example).
+
+#![warn(missing_docs)]
+
+pub mod aggregator;
+pub mod clustering;
+pub mod health;
+pub mod perfmetrics;
+pub mod persyst;
+pub mod regressor;
+pub mod smoother;
+pub mod tester;
+
+pub use aggregator::AggregatorPlugin;
+pub use clustering::ClusteringPlugin;
+pub use health::HealthPlugin;
+pub use perfmetrics::PerfMetricsPlugin;
+pub use persyst::PersystPlugin;
+pub use regressor::RegressorPlugin;
+pub use smoother::SmootherPlugin;
+pub use tester::TesterPlugin;
+
+use std::sync::Arc;
+use wintermute::prelude::*;
+
+/// Registers every plugin in this crate on a manager. Job-aware plugins
+/// (persyst) are only registered when a job data source is supplied.
+pub fn register_all(manager: &OperatorManager, jobs: Option<Arc<dyn JobDataSource>>) {
+    manager.register_plugin(Box::new(AggregatorPlugin));
+    manager.register_plugin(Box::new(SmootherPlugin));
+    manager.register_plugin(Box::new(PerfMetricsPlugin));
+    manager.register_plugin(Box::new(RegressorPlugin));
+    manager.register_plugin(Box::new(ClusteringPlugin));
+    manager.register_plugin(Box::new(HealthPlugin));
+    manager.register_plugin(Box::new(TesterPlugin));
+    if let Some(source) = jobs {
+        manager.register_plugin(Box::new(PersystPlugin::new(source)));
+    }
+}

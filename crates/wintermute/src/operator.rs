@@ -1,0 +1,254 @@
+//! The operator abstraction (paper §IV-B, §V-C.1).
+//!
+//! Operators are the computational entities performing ODA tasks. Each
+//! operator owns a set of [`Unit`]s; when computation is invoked it
+//! iterates its units, queries the input sensors through the Query
+//! Engine, and writes results into the output sensors.
+//!
+//! The two *operational modes* and two *unit-management* strategies of
+//! the paper map directly onto this module:
+//!
+//! * [`OperatorMode::Online`] — invoked at regular intervals by the
+//!   [`OperatorManager`](crate::manager::OperatorManager), producing
+//!   time-series outputs;
+//! * [`OperatorMode::OnDemand`] — invoked only via the RESTful API;
+//! * [`UnitMode::Sequential`] — one operator instance processes all
+//!   units in order (shared model, no race conditions);
+//! * [`UnitMode::Parallel`] — "one distinct model (and thus operator) is
+//!   created for each unit", letting the manager run them concurrently.
+
+use crate::query::QueryEngine;
+use crate::unit::Unit;
+use dcdb_common::error::Result;
+use dcdb_common::reading::SensorReading;
+use dcdb_common::time::Timestamp;
+use dcdb_common::topic::Topic;
+use serde::{Deserialize, Serialize};
+
+/// When an operator computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case", tag = "mode")]
+pub enum OperatorMode {
+    /// Continuous operation at a fixed interval.
+    Online {
+        /// Computation interval in milliseconds.
+        interval_ms: u64,
+    },
+    /// Explicit invocation through the RESTful API.
+    OnDemand,
+}
+
+/// How a plugin's units are distributed across operator instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum UnitMode {
+    /// All units share one operator (and one model), processed in order.
+    #[default]
+    Sequential,
+    /// One operator per unit; the manager parallelizes across them.
+    Parallel,
+}
+
+/// One output sample produced by a computation.
+pub type Output = (Topic, SensorReading);
+
+/// Everything an operator may touch during one computation: the Query
+/// Engine (sensor data + navigator) and the logical time of the tick.
+pub struct ComputeContext<'a> {
+    /// The process-wide query engine.
+    pub query: &'a QueryEngine,
+    /// Time of this computation (virtual in simulation, wall in
+    /// production).
+    pub now: Timestamp,
+}
+
+impl<'a> ComputeContext<'a> {
+    /// Convenience: the input window of `topic` covering the last
+    /// `window_ns`, as `f64` values in timestamp order.
+    pub fn window_values(&self, topic: &Topic, window_ns: u64) -> Vec<f64> {
+        self.query
+            .query(topic, crate::query::QueryMode::Relative { offset_ns: window_ns })
+            .iter()
+            .map(|r| r.value as f64)
+            .collect()
+    }
+
+    /// Convenience: the most recent value of `topic`, if any.
+    pub fn latest_value(&self, topic: &Topic) -> Option<f64> {
+        self.query
+            .query(topic, crate::query::QueryMode::Latest)
+            .first()
+            .map(|r| r.value as f64)
+    }
+}
+
+/// The agnostic code interface every operator plugin complies to
+/// (paper §V: "these follow an agnostic code interface").
+pub trait Operator: Send {
+    /// Instance name (unique within its plugin).
+    fn name(&self) -> &str;
+
+    /// The units this operator computes on.
+    fn units(&self) -> &[Unit];
+
+    /// Computes one unit, returning output readings. The manager
+    /// publishes them to the caches / bus / storage; on-demand requests
+    /// return them directly instead.
+    ///
+    /// "When performing analysis for a certain unit, access to the
+    /// operator's other units is allowed for correlation purposes" —
+    /// hence the index-based API over `&mut self`.
+    fn compute(&mut self, unit_index: usize, ctx: &ComputeContext<'_>) -> Result<Vec<Output>>;
+
+    /// Operator-level outputs computed after all units of a tick (e.g.
+    /// the average model error across units, §V-C.2). Default: none.
+    fn operator_outputs(&mut self, _ctx: &ComputeContext<'_>) -> Vec<Output> {
+        Vec::new()
+    }
+
+    /// Hook for operators whose unit set is dynamic (job operators
+    /// regenerate one unit per running job each tick, §VI-C). Called
+    /// before `compute` on every tick. Default: keep units as resolved.
+    fn refresh_units(&mut self, _ctx: &ComputeContext<'_>) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Runs every unit of an operator and collects outputs — the shared
+/// "iterate through its units" loop of §V-C.1 used by both the manager
+/// (online ticks) and tests.
+pub fn compute_all_units(
+    op: &mut dyn Operator,
+    ctx: &ComputeContext<'_>,
+) -> Result<Vec<Output>> {
+    op.refresh_units(ctx)?;
+    let n = op.units().len();
+    let mut out = Vec::new();
+    for i in 0..n {
+        out.extend(op.compute(i, ctx)?);
+    }
+    out.extend(op.operator_outputs(ctx));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdb_common::error::DcdbError;
+
+    fn t(s: &str) -> Topic {
+        Topic::parse(s).unwrap()
+    }
+
+    /// A minimal operator: averages its unit's input window into the
+    /// unit's first output.
+    struct AvgOperator {
+        name: String,
+        units: Vec<Unit>,
+        window_ns: u64,
+        computed: usize,
+    }
+
+    impl Operator for AvgOperator {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn units(&self) -> &[Unit] {
+            &self.units
+        }
+        fn compute(&mut self, i: usize, ctx: &ComputeContext<'_>) -> Result<Vec<Output>> {
+            self.computed += 1;
+            let unit = &self.units[i];
+            let mut values = Vec::new();
+            for input in &unit.inputs {
+                values.extend(ctx.window_values(input, self.window_ns));
+            }
+            if values.is_empty() {
+                return Err(DcdbError::NotFound(format!("no data for unit {}", unit.name)));
+            }
+            let avg = values.iter().sum::<f64>() / values.len() as f64;
+            Ok(vec![(
+                unit.outputs[0].clone(),
+                SensorReading::new(avg.round() as i64, ctx.now),
+            )])
+        }
+    }
+
+    fn engine_with_data() -> QueryEngine {
+        let qe = QueryEngine::new(32);
+        for i in 1..=10u64 {
+            qe.insert(
+                &t("/n1/power"),
+                SensorReading::new(100 + i as i64, Timestamp::from_secs(i)),
+            );
+            qe.insert(
+                &t("/n2/power"),
+                SensorReading::new(200 + i as i64, Timestamp::from_secs(i)),
+            );
+        }
+        qe
+    }
+
+    fn unit(node: &str) -> Unit {
+        Unit {
+            name: t(node),
+            inputs: vec![t(&format!("{node}/power"))],
+            outputs: vec![t(&format!("{node}/power-avg"))],
+        }
+    }
+
+    #[test]
+    fn compute_all_units_runs_each_unit_once() {
+        let qe = engine_with_data();
+        let mut op = AvgOperator {
+            name: "avg".into(),
+            units: vec![unit("/n1"), unit("/n2")],
+            window_ns: 5 * dcdb_common::time::NS_PER_SEC,
+            computed: 0,
+        };
+        let ctx = ComputeContext { query: &qe, now: Timestamp::from_secs(11) };
+        let outputs = compute_all_units(&mut op, &ctx).unwrap();
+        assert_eq!(op.computed, 2);
+        assert_eq!(outputs.len(), 2);
+        assert_eq!(outputs[0].0.as_str(), "/n1/power-avg");
+        // Average of the ~last 5 readings of 101..=110.
+        assert!(outputs[0].1.value >= 105 && outputs[0].1.value <= 110);
+        assert_eq!(outputs[1].0.as_str(), "/n2/power-avg");
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let qe = QueryEngine::new(8); // empty engine: no data
+        let mut op = AvgOperator {
+            name: "avg".into(),
+            units: vec![unit("/n1")],
+            window_ns: 1,
+            computed: 0,
+        };
+        let ctx = ComputeContext { query: &qe, now: Timestamp::from_secs(1) };
+        assert!(compute_all_units(&mut op, &ctx).is_err());
+    }
+
+    #[test]
+    fn context_helpers() {
+        let qe = engine_with_data();
+        let ctx = ComputeContext { query: &qe, now: Timestamp::from_secs(11) };
+        assert_eq!(ctx.latest_value(&t("/n1/power")), Some(110.0));
+        assert_eq!(ctx.latest_value(&t("/missing")), None);
+        let w = ctx.window_values(&t("/n1/power"), 3 * dcdb_common::time::NS_PER_SEC);
+        assert!(!w.is_empty());
+        assert_eq!(*w.last().unwrap(), 110.0);
+    }
+
+    #[test]
+    fn mode_serde() {
+        let m: OperatorMode =
+            serde_json::from_str(r#"{"mode":"online","interval_ms":250}"#).unwrap();
+        assert_eq!(m, OperatorMode::Online { interval_ms: 250 });
+        let m: OperatorMode = serde_json::from_str(r#"{"mode":"on_demand"}"#).unwrap();
+        assert_eq!(m, OperatorMode::OnDemand);
+        let u: UnitMode = serde_json::from_str(r#""parallel""#).unwrap();
+        assert_eq!(u, UnitMode::Parallel);
+        assert_eq!(UnitMode::default(), UnitMode::Sequential);
+    }
+}

@@ -1,0 +1,476 @@
+//! The Query Engine (paper §V-B).
+//!
+//! A singleton component exposing the space of available sensors to
+//! operator plugins. It:
+//!
+//! * hands out the current [`SensorNavigator`] (the Unit System's tree);
+//! * serves time-range queries, **preferring the local sensor caches**
+//!   and falling back to the Storage Backend only when the requested
+//!   range reaches past what the cache holds (Collect Agent deployments)
+//!   or the sensor is not cached at all;
+//! * supports the two query modes of the paper: *relative* (offset
+//!   against the most recent reading, O(1) cache view) and *absolute*
+//!   (timestamp pair, O(log N) binary search).
+//!
+//! Writes go through [`QueryEngine::insert`], which updates the cache
+//! and is the hook through which operator outputs become inputs of other
+//! operators (analysis pipelines, §IV-B d).
+
+use crate::tree::SensorNavigator;
+use dcdb_common::cache::SensorCache;
+use dcdb_common::reading::SensorReading;
+use dcdb_common::time::Timestamp;
+use dcdb_common::topic::Topic;
+use dcdb_storage::StorageBackend;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How a query addresses time (paper §V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryMode {
+    /// The most recent reading only.
+    Latest,
+    /// Readings within `offset_ns` of the most recent one (O(1) cache
+    /// path).
+    Relative {
+        /// Window size counted back from the newest reading.
+        offset_ns: u64,
+    },
+    /// Readings in the absolute range `[t0, t1]` (O(log N) cache path,
+    /// storage fallback for older data).
+    Absolute {
+        /// Range start (inclusive).
+        t0: Timestamp,
+        /// Range end (inclusive).
+        t1: Timestamp,
+    },
+}
+
+/// Counters for the cache-vs-storage ablation and footprint reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Queries answered purely from the sensor cache.
+    pub cache_hits: u64,
+    /// Queries that had to touch the storage backend.
+    pub storage_fallbacks: u64,
+    /// Queries for sensors with no data anywhere.
+    pub misses: u64,
+    /// Readings inserted.
+    pub inserts: u64,
+}
+
+/// The per-process query engine.
+pub struct QueryEngine {
+    navigator: RwLock<Arc<SensorNavigator>>,
+    caches: RwLock<HashMap<Topic, Arc<RwLock<SensorCache>>>>,
+    storage: Option<Arc<StorageBackend>>,
+    cache_capacity: usize,
+    cache_hits: AtomicU64,
+    storage_fallbacks: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl QueryEngine {
+    /// Creates an engine with per-sensor caches of `cache_capacity`
+    /// readings and no storage backend (Pusher deployment: "operators
+    /// have only access to locally-sampled sensors and their sensor
+    /// cache data").
+    pub fn new(cache_capacity: usize) -> QueryEngine {
+        QueryEngine {
+            navigator: RwLock::new(Arc::new(SensorNavigator::build(
+                std::iter::empty::<&Topic>(),
+            ))),
+            caches: RwLock::new(HashMap::new()),
+            storage: None,
+            cache_capacity,
+            cache_hits: AtomicU64::new(0),
+            storage_fallbacks: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates an engine backed by a storage backend (Collect Agent
+    /// deployment: "data is retrieved from the local sensor cache, if
+    /// possible, or otherwise queried from the Storage Backend").
+    pub fn with_storage(cache_capacity: usize, storage: Arc<StorageBackend>) -> QueryEngine {
+        QueryEngine {
+            storage: Some(storage),
+            ..QueryEngine::new(cache_capacity)
+        }
+    }
+
+    /// Replaces the sensor navigator (called after sensor discovery or
+    /// when plugins add output sensors).
+    pub fn set_navigator(&self, nav: SensorNavigator) {
+        *self.navigator.write() = Arc::new(nav);
+    }
+
+    /// Rebuilds the navigator from every sensor currently known to the
+    /// engine (cached or stored).
+    pub fn rebuild_navigator(&self) {
+        let mut topics: Vec<Topic> = self.caches.read().keys().cloned().collect();
+        if let Some(storage) = &self.storage {
+            topics.extend(storage.topics());
+        }
+        topics.sort();
+        topics.dedup();
+        *self.navigator.write() = Arc::new(SensorNavigator::build(topics.iter()));
+    }
+
+    /// The current navigator snapshot.
+    pub fn navigator(&self) -> Arc<SensorNavigator> {
+        Arc::clone(&self.navigator.read())
+    }
+
+    /// Inserts a reading for `topic`, creating its cache on first sight,
+    /// and forwarding to the storage backend when one is attached.
+    pub fn insert(&self, topic: &Topic, reading: SensorReading) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        let cache = self.cache_for(topic);
+        cache.write().push(reading);
+        if let Some(storage) = &self.storage {
+            storage.insert(topic, reading);
+        }
+    }
+
+    /// Batch insert under a single cache lock.
+    pub fn insert_batch(&self, topic: &Topic, readings: &[SensorReading]) {
+        self.inserts
+            .fetch_add(readings.len() as u64, Ordering::Relaxed);
+        let cache = self.cache_for(topic);
+        {
+            let mut guard = cache.write();
+            for &r in readings {
+                guard.push(r);
+            }
+        }
+        if let Some(storage) = &self.storage {
+            storage.insert_batch(topic, readings);
+        }
+    }
+
+    fn cache_for(&self, topic: &Topic) -> Arc<RwLock<SensorCache>> {
+        if let Some(c) = self.caches.read().get(topic) {
+            return Arc::clone(c);
+        }
+        let mut caches = self.caches.write();
+        Arc::clone(caches.entry(topic.clone()).or_insert_with(|| {
+            Arc::new(RwLock::new(SensorCache::new(self.cache_capacity)))
+        }))
+    }
+
+    /// True if the engine has a cache for `topic`.
+    pub fn knows(&self, topic: &Topic) -> bool {
+        self.caches.read().contains_key(topic)
+    }
+
+    /// Executes a query. Cache-first; falls back to storage for
+    /// absolute ranges that reach past the cache contents.
+    pub fn query(&self, topic: &Topic, mode: QueryMode) -> Vec<SensorReading> {
+        let cache = self.caches.read().get(topic).map(Arc::clone);
+        match mode {
+            QueryMode::Latest => {
+                if let Some(c) = cache {
+                    if let Some(&latest) = c.read().latest() {
+                        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        return vec![latest];
+                    }
+                }
+                if let Some(storage) = &self.storage {
+                    if let Some(latest) = storage.latest(topic) {
+                        self.storage_fallbacks.fetch_add(1, Ordering::Relaxed);
+                        return vec![latest];
+                    }
+                }
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Vec::new()
+            }
+            QueryMode::Relative { offset_ns } => {
+                if let Some(c) = cache {
+                    let guard = c.read();
+                    let view = guard.view_relative(offset_ns);
+                    if !view.is_empty() {
+                        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        return view.to_vec();
+                    }
+                }
+                // Relative queries are defined against live data; if the
+                // cache is empty, answer from storage's most recent span.
+                if let Some(storage) = &self.storage {
+                    if let Some(latest) = storage.latest(topic) {
+                        self.storage_fallbacks.fetch_add(1, Ordering::Relaxed);
+                        return storage.query(
+                            topic,
+                            latest.ts.saturating_sub_ns(offset_ns),
+                            latest.ts,
+                        );
+                    }
+                }
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Vec::new()
+            }
+            QueryMode::Absolute { t0, t1 } => {
+                if let Some(c) = cache {
+                    let guard = c.read();
+                    let cache_oldest = guard.oldest().map(|r| r.ts);
+                    if let Some(oldest) = cache_oldest {
+                        if t0 >= oldest {
+                            // Fully answerable from cache.
+                            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                            return guard.view_absolute(t0, t1).to_vec();
+                        }
+                        if let Some(storage) = &self.storage {
+                            // Stitch: storage for the old part, cache for
+                            // the recent part.
+                            self.storage_fallbacks.fetch_add(1, Ordering::Relaxed);
+                            let boundary = oldest.saturating_sub_ns(1);
+                            let mut out = storage.query(topic, t0, boundary.min(t1));
+                            if t1 >= oldest {
+                                out.extend(guard.view_absolute(oldest, t1).iter().copied());
+                            }
+                            return out;
+                        }
+                        // No storage: clip to the cache.
+                        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        return guard.view_absolute(t0, t1).to_vec();
+                    }
+                }
+                if let Some(storage) = &self.storage {
+                    let out = storage.query(topic, t0, t1);
+                    if !out.is_empty() {
+                        self.storage_fallbacks.fetch_add(1, Ordering::Relaxed);
+                        return out;
+                    }
+                }
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> QueryStats {
+        QueryStats {
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            storage_fallbacks: self.storage_fallbacks.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Approximate bytes held by the sensor caches (footprint metric).
+    pub fn cache_memory_bytes(&self) -> usize {
+        let caches = self.caches.read();
+        caches.len()
+            * (std::mem::size_of::<SensorCache>()
+                + self.cache_capacity * std::mem::size_of::<SensorReading>())
+    }
+
+    /// Number of sensors with caches.
+    pub fn sensor_count(&self) -> usize {
+        self.caches.read().len()
+    }
+}
+
+impl std::fmt::Debug for QueryEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryEngine")
+            .field("sensors", &self.sensor_count())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdb_common::time::NS_PER_SEC;
+
+    fn t(s: &str) -> Topic {
+        Topic::parse(s).unwrap()
+    }
+    fn r(v: i64, s: u64) -> SensorReading {
+        SensorReading::new(v, Timestamp::from_secs(s))
+    }
+
+    fn seeded_engine() -> QueryEngine {
+        let qe = QueryEngine::new(64);
+        for i in 1..=50u64 {
+            qe.insert(&t("/n1/power"), r(i as i64, i));
+        }
+        qe
+    }
+
+    #[test]
+    fn latest_query() {
+        let qe = seeded_engine();
+        let got = qe.query(&t("/n1/power"), QueryMode::Latest);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].value, 50);
+        assert!(qe.query(&t("/nope"), QueryMode::Latest).is_empty());
+        let s = qe.stats();
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.inserts, 50);
+    }
+
+    #[test]
+    fn relative_query_returns_recent_window() {
+        let qe = seeded_engine();
+        let got = qe.query(
+            &t("/n1/power"),
+            QueryMode::Relative { offset_ns: 5 * NS_PER_SEC },
+        );
+        assert!((5..=7).contains(&got.len()), "{}", got.len());
+        assert_eq!(got.last().unwrap().value, 50);
+    }
+
+    #[test]
+    fn absolute_query_exact() {
+        let qe = seeded_engine();
+        let got = qe.query(
+            &t("/n1/power"),
+            QueryMode::Absolute {
+                t0: Timestamp::from_secs(10),
+                t1: Timestamp::from_secs(12),
+            },
+        );
+        let vals: Vec<i64> = got.iter().map(|x| x.value).collect();
+        assert_eq!(vals, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn storage_fallback_for_old_ranges() {
+        let storage = Arc::new(StorageBackend::new());
+        let qe = QueryEngine::with_storage(8, Arc::clone(&storage));
+        // 50 readings but the cache only holds the last 8.
+        for i in 1..=50u64 {
+            qe.insert(&t("/n1/power"), r(i as i64, i));
+        }
+        // Range entirely in the evicted past.
+        let got = qe.query(
+            &t("/n1/power"),
+            QueryMode::Absolute {
+                t0: Timestamp::from_secs(5),
+                t1: Timestamp::from_secs(10),
+            },
+        );
+        assert_eq!(got.len(), 6);
+        assert_eq!(qe.stats().storage_fallbacks, 1);
+        // Range straddling cache and storage stitches both.
+        let got = qe.query(
+            &t("/n1/power"),
+            QueryMode::Absolute {
+                t0: Timestamp::from_secs(40),
+                t1: Timestamp::from_secs(50),
+            },
+        );
+        let vals: Vec<i64> = got.iter().map(|x| x.value).collect();
+        assert_eq!(vals, (40..=50).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn no_storage_clips_to_cache() {
+        let qe = QueryEngine::new(8);
+        for i in 1..=50u64 {
+            qe.insert(&t("/n1/power"), r(i as i64, i));
+        }
+        let got = qe.query(
+            &t("/n1/power"),
+            QueryMode::Absolute {
+                t0: Timestamp::from_secs(1),
+                t1: Timestamp::from_secs(50),
+            },
+        );
+        assert_eq!(got.len(), 8); // only what the cache holds
+        assert_eq!(got.first().unwrap().value, 43);
+    }
+
+    #[test]
+    fn relative_falls_back_to_storage_when_cache_empty() {
+        let storage = Arc::new(StorageBackend::new());
+        storage.insert_batch(
+            &t("/cold/sensor"),
+            &(1..=20u64).map(|i| r(i as i64, i)).collect::<Vec<_>>(),
+        );
+        let qe = QueryEngine::with_storage(8, storage);
+        let got = qe.query(
+            &t("/cold/sensor"),
+            QueryMode::Relative { offset_ns: 5 * NS_PER_SEC },
+        );
+        assert_eq!(got.last().unwrap().value, 20);
+        assert!(got.len() >= 5);
+        assert_eq!(qe.stats().storage_fallbacks, 1);
+    }
+
+    #[test]
+    fn insert_batch_matches_individual() {
+        let qe = QueryEngine::new(32);
+        let batch: Vec<SensorReading> = (1..=10u64).map(|i| r(i as i64, i)).collect();
+        qe.insert_batch(&t("/b/s"), &batch);
+        let got = qe.query(
+            &t("/b/s"),
+            QueryMode::Absolute { t0: Timestamp::ZERO, t1: Timestamp::MAX },
+        );
+        assert_eq!(got, batch);
+        assert_eq!(qe.stats().inserts, 10);
+    }
+
+    #[test]
+    fn navigator_rebuild_reflects_sensors() {
+        let qe = seeded_engine();
+        qe.insert(&t("/n2/temp"), r(1, 1));
+        qe.rebuild_navigator();
+        let nav = qe.navigator();
+        assert_eq!(nav.sensor_count(), 2);
+        assert!(nav.has_sensor(&t("/n1/power")));
+        assert!(nav.has_sensor(&t("/n2/temp")));
+    }
+
+    #[test]
+    fn pipeline_outputs_become_queryable() {
+        // An operator output inserted through the engine is immediately
+        // visible to the next operator (pipelines, §IV-B d).
+        let qe = QueryEngine::new(16);
+        qe.insert(&t("/n1/derived/cpi"), r(15, 1));
+        let got = qe.query(&t("/n1/derived/cpi"), QueryMode::Latest);
+        assert_eq!(got[0].value, 15);
+    }
+
+    #[test]
+    fn concurrent_inserts_and_queries() {
+        let qe = Arc::new(QueryEngine::new(128));
+        let mut handles = vec![];
+        for n in 0..4 {
+            let qe = Arc::clone(&qe);
+            handles.push(std::thread::spawn(move || {
+                let topic = t(&format!("/n{n}/s"));
+                for i in 1..=500u64 {
+                    qe.insert(&topic, r(i as i64, i));
+                    if i % 100 == 0 {
+                        let got = qe.query(&topic, QueryMode::Latest);
+                        assert_eq!(got[0].value, i as i64);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(qe.sensor_count(), 4);
+        assert_eq!(qe.stats().inserts, 2000);
+    }
+
+    #[test]
+    fn memory_accounting_is_positive() {
+        let qe = seeded_engine();
+        assert!(qe.cache_memory_bytes() > 0);
+        assert_eq!(qe.sensor_count(), 1);
+        assert!(qe.knows(&t("/n1/power")));
+        assert!(!qe.knows(&t("/other")));
+    }
+}

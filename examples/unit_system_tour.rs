@@ -1,0 +1,112 @@
+//! A guided tour of the Unit System (paper §III), using the exact
+//! sensor tree of the paper's Figure 2 and the exact pattern unit of
+//! §III-C. No daemons, no data — just the abstractions that let one
+//! small configuration block instantiate thousands of models.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example unit_system_tour
+//! ```
+
+use dcdb_common::Topic;
+use wintermute::prelude::*;
+
+fn main() {
+    // --- The sensor tree of Figure 2. ---
+    // Racks r01..r04; chassis c01..c03 with a power sensor; servers
+    // s01..s04 with memfree; cpus cpu0/cpu1 with counters; and two
+    // root-level database sensors.
+    let mut topics: Vec<Topic> = vec![
+        Topic::parse("/db-uptime").unwrap(),
+        Topic::parse("/time-to-live").unwrap(),
+    ];
+    for r in 1..=4 {
+        topics.push(Topic::parse(&format!("/r{r:02}/inlet-temp")).unwrap());
+        for c in 1..=3 {
+            topics.push(Topic::parse(&format!("/r{r:02}/c{c:02}/power")).unwrap());
+            for s in 1..=4 {
+                let node = format!("/r{r:02}/c{c:02}/s{s:02}");
+                topics.push(Topic::parse(&format!("{node}/memfree")).unwrap());
+                for cpu in 0..2 {
+                    for sensor in ["cpu-cycles", "cache-misses"] {
+                        topics
+                            .push(Topic::parse(&format!("{node}/cpu{cpu}/{sensor}")).unwrap());
+                    }
+                }
+            }
+        }
+    }
+    let nav = SensorNavigator::build(topics.iter());
+    println!(
+        "sensor tree: {} sensors, {} component levels",
+        nav.sensor_count(),
+        nav.depth()
+    );
+    for level in 0..nav.depth() {
+        println!("  level {level}: {} nodes (e.g. {})",
+            nav.nodes_at_level(level).len(),
+            nav.nodes_at_level(level)[0]);
+    }
+
+    // --- The paper's §III-C pattern unit, verbatim. ---
+    println!("\npattern unit (paper §III-C):");
+    println!("  input:  <topdown+1>power");
+    println!("  input:  <bottomup, filter cpu>cpu-cycles");
+    println!("  input:  <bottomup, filter cpu>cache-misses");
+    println!("  output: <bottomup-1>healthy\n");
+    let template = UnitTemplate::parse(
+        &[
+            "<topdown+1>power",
+            "<bottomup, filter cpu>cpu-cycles",
+            "<bottomup, filter cpu>cache-misses",
+        ],
+        &["<bottomup-1>healthy"],
+    )
+    .unwrap();
+
+    // --- Resolution: one unit per server. ---
+    let resolution = resolve_units(&template, &nav).unwrap();
+    println!(
+        "resolved {} units ({} skipped) from one configuration block",
+        resolution.units.len(),
+        resolution.skipped.len()
+    );
+
+    // The paper's worked example: the unit named /r03/c02/s02.
+    let unit = resolution
+        .units
+        .iter()
+        .find(|u| u.name.as_str() == "/r03/c02/s02")
+        .expect("the paper's unit");
+    println!("\nthe paper's example unit, {}:", unit.name);
+    for input in &unit.inputs {
+        println!("  input : {input}");
+    }
+    for output in &unit.outputs {
+        println!("  output: {output}");
+    }
+
+    // --- Horizontal navigation: filters. ---
+    let filtered = UnitTemplate::parse(
+        &["<bottomup-1>memfree"],
+        &["<bottomup-1, filter ^s0[12]$>mem-watch"],
+    )
+    .unwrap();
+    let resolution = resolve_units(&filtered, &nav).unwrap();
+    println!(
+        "\nwith filter ^s0[12]$ on the output domain: {} units (s01+s02 per chassis)",
+        resolution.units.len()
+    );
+
+    // --- Vertical navigation: a rack-level aggregation unit. ---
+    let rack = UnitTemplate::parse(&["<topdown+1>power"], &["<topdown>rack-power"]).unwrap();
+    let resolution = resolve_units(&rack, &nav).unwrap();
+    println!("\nrack-level template: {} units", resolution.units.len());
+    for unit in &resolution.units {
+        println!(
+            "  {} aggregates {} chassis power sensors",
+            unit.name,
+            unit.inputs.len()
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! `wintermute-sim` — a complete, live DCDB/Wintermute deployment over
+//! the simulated cluster, driven on the wall clock.
+//!
+//! One process plays every role of the paper's Figure 3: per-node
+//! Pushers with the production plugin set (perfevent / sysfs / procfs)
+//! and in-band Wintermute operators, the MQTT-like broker, a Collect
+//! Agent with storage and system-level operators, and the REST control
+//! API on a real TCP port. Point `curl` at the printed address while it
+//! runs.
+//!
+//! ```text
+//! cargo run --release --bin wintermute-sim -- [--nodes N] [--duration SECS] [--port P]
+//! ```
+
+use dcdb_wintermute::dcdb_bus::Broker;
+use dcdb_wintermute::dcdb_collectagent::{CollectAgent, CollectAgentConfig, SimJobSource};
+use dcdb_wintermute::dcdb_common::{Timestamp, Topic};
+use dcdb_wintermute::dcdb_pusher::{standard_plugin_set, Pusher, PusherConfig};
+use dcdb_wintermute::dcdb_rest::{RestServer, Router};
+use dcdb_wintermute::dcdb_storage::StorageBackend;
+use dcdb_wintermute::sim_cluster::{ClusterConfig, ClusterSimulator, Topology};
+use dcdb_wintermute::wintermute::manager::BusSink;
+use dcdb_wintermute::wintermute::prelude::*;
+use dcdb_wintermute::wintermute_plugins::{self, perfmetrics::cpi_config};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn arg(name: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let nodes = arg("--nodes", 4) as usize;
+    let duration_s = arg("--duration", 30);
+    let port = arg("--port", 0);
+
+    // --- The simulated system with background workload. ---
+    let sim = Arc::new(Mutex::new(ClusterSimulator::new(ClusterConfig {
+        topology: Topology::new(1, nodes, 8),
+        seed: 0x51D,
+        auto_workload: true,
+    })));
+
+    // --- Per-node Pushers: production plugin set + in-band operators. ---
+    let broker = Broker::new();
+    let mut pushers = Vec::new();
+    for node in 0..nodes {
+        let mut pusher = Pusher::new(
+            PusherConfig {
+                sampling_interval_ms: 1000,
+                cache_secs: 180,
+                publish: true,
+            },
+            Some(broker.handle()),
+        );
+        for plugin in standard_plugin_set(Arc::clone(&sim), node) {
+            pusher.add_monitoring_plugin(plugin);
+        }
+        pusher.refresh_sensor_tree();
+        wintermute_plugins::register_all(pusher.manager(), None);
+        pusher.manager().add_sink(Arc::new(BusSink::new(broker.handle())));
+        pusher
+            .manager()
+            .load(cpi_config("cpi", 1000).with_option("window_ms", 3000u64))
+            .expect("perfmetrics loads");
+        pushers.push(Arc::new(pusher));
+    }
+
+    // --- The Collect Agent: storage + job analytics + health. ---
+    let storage = Arc::new(StorageBackend::new());
+    let agent = Arc::new(
+        CollectAgent::new(
+            CollectAgentConfig::default(),
+            &broker.handle(),
+            Arc::clone(&storage),
+        )
+        .expect("collect agent"),
+    );
+    let jobs: Arc<dyn JobDataSource> = Arc::new(SimJobSource::new(Arc::clone(&sim)));
+    wintermute_plugins::register_all(agent.manager(), Some(jobs));
+    agent
+        .manager()
+        .load(PluginConfig::online("persyst", "persyst", 2000).with_option("window_ms", 5000u64))
+        .expect("persyst loads");
+
+    // --- REST control plane. ---
+    let mut router = Router::new();
+    agent.mount_routes(&mut router);
+    let server =
+        RestServer::serve(&format!("127.0.0.1:{port}"), router).expect("bind REST server");
+    println!("wintermute-sim: {nodes} nodes, REST on http://{}", server.addr());
+    println!("try: curl http://{}/analytics/plugins\n", server.addr());
+
+    // --- Drive everything on the wall clock. ---
+    let start = std::time::Instant::now();
+    let mut last_status = 0u64;
+    while start.elapsed().as_secs() < duration_s {
+        let now = Timestamp::now();
+        for pusher in &pushers {
+            if let Err(e) = pusher.tick(now) {
+                eprintln!("pusher tick failed: {e}");
+            }
+        }
+        let report = agent.tick(now);
+        if !report.errors.is_empty() {
+            eprintln!("operator errors: {:?}", report.errors);
+        }
+
+        let elapsed = start.elapsed().as_secs();
+        if elapsed > last_status && elapsed % 5 == 0 {
+            last_status = elapsed;
+            let a = agent.stats();
+            let jobs_running = sim
+                .lock()
+                .scheduler()
+                .running_at(now)
+                .len();
+            println!(
+                "[{elapsed:>3}s] ingested {} readings, {} jobs running, storage holds {} readings",
+                a.readings,
+                jobs_running,
+                storage.stats().readings
+            );
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+
+    // --- Final report. ---
+    println!("\nshutting down after {duration_s}s:");
+    for (name, kind, running, ops, units) in agent.manager().list() {
+        println!(
+            "  plugin {name} ({kind}): {} operators, {units} units, {}",
+            ops,
+            if running { "running" } else { "stopped" }
+        );
+    }
+    let example_cpi = Topic::parse("/rack00/node00/cpu00/cpi").unwrap();
+    let cpi = agent.query_engine().query(&example_cpi, QueryMode::Latest);
+    if let Some(r) = cpi.first() {
+        println!(
+            "  sample derived metric {example_cpi} = {:.2}",
+            dcdb_wintermute::dcdb_common::decode_f64(r.value)
+        );
+    }
+    println!("  storage: {:?}", storage.stats());
+}

@@ -1,0 +1,43 @@
+//! # dcdb-wintermute — a Rust reproduction of DCDB Wintermute
+//!
+//! This workspace re-implements, from scratch, the system described in
+//! Netti et al., *DCDB Wintermute: Enabling Online and Holistic
+//! Operational Data Analytics on HPC Systems* (HPDC 2020): the DCDB
+//! monitoring framework (sensors, caches, MQTT transport, storage
+//! backend, Pushers and Collect Agents), the Wintermute ODA layer
+//! (sensor tree, Unit System, Query Engine, operator plugins, Operator
+//! Manager), the analysis plugins of the paper's case studies, and a
+//! synthetic CooLMUC-3-scale cluster that stands in for the production
+//! system the authors evaluated on.
+//!
+//! This crate is the facade: it re-exports every workspace crate and
+//! hosts the runnable examples and cross-crate integration tests.
+//!
+//! ## Map of the workspace
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`dcdb_common`] | readings, topics, sensor caches, regex, config |
+//! | [`dcdb_bus`] | MQTT-like broker with topic wildcards |
+//! | [`dcdb_storage`] | embedded time-series storage backend |
+//! | [`dcdb_rest`] | HTTP/1.1 + REST router/server |
+//! | [`wintermute`] | the ODA framework itself |
+//! | [`wintermute_plugins`] | tester, regressor, perfmetrics, persyst, clustering, aggregator, smoother |
+//! | [`dcdb_pusher`] | sampling daemon with embedded Wintermute |
+//! | [`dcdb_collectagent`] | broker-to-storage daemon with embedded Wintermute |
+//! | [`oda_ml`] | random forests, Bayesian GMM, statistics |
+//! | [`sim_cluster`] | synthetic cluster, application models, job scheduler |
+//!
+//! See `examples/` for runnable end-to-end scenarios and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction methodology.
+
+pub use dcdb_bus;
+pub use dcdb_collectagent;
+pub use dcdb_common;
+pub use dcdb_pusher;
+pub use dcdb_rest;
+pub use dcdb_storage;
+pub use oda_ml;
+pub use sim_cluster;
+pub use wintermute;
+pub use wintermute_plugins;

@@ -1,0 +1,218 @@
+//! Failure-injection integration tests: the stack must degrade
+//! gracefully under the faults a production monitoring system actually
+//! sees — clock hiccups producing stale samples, corrupt frames on the
+//! bus, operators failing mid-tick, subscribers vanishing, and plugins
+//! being reconfigured against a sensor space that shrank.
+
+use dcdb_wintermute::dcdb_bus::Broker;
+use dcdb_wintermute::dcdb_collectagent::{CollectAgent, CollectAgentConfig};
+use dcdb_wintermute::dcdb_common::error::Result as DcdbResult;
+use dcdb_wintermute::dcdb_common::{SensorReading, Timestamp, Topic};
+use dcdb_wintermute::dcdb_storage::StorageBackend;
+use dcdb_wintermute::wintermute::prelude::*;
+use dcdb_wintermute::wintermute_plugins;
+use std::sync::Arc;
+
+fn t(s: &str) -> Topic {
+    Topic::parse(s).unwrap()
+}
+
+#[test]
+fn stale_samples_are_rejected_but_do_not_poison_the_cache() {
+    let qe = QueryEngine::new(16);
+    let topic = t("/n0/power");
+    qe.insert(&topic, SensorReading::new(1, Timestamp::from_secs(10)));
+    // Clock hiccup: a sample from the past.
+    qe.insert(&topic, SensorReading::new(2, Timestamp::from_secs(5)));
+    qe.insert(&topic, SensorReading::new(3, Timestamp::from_secs(11)));
+    let got = qe.query(
+        &topic,
+        QueryMode::Absolute { t0: Timestamp::ZERO, t1: Timestamp::MAX },
+    );
+    let vals: Vec<i64> = got.iter().map(|r| r.value).collect();
+    assert_eq!(vals, vec![1, 3]);
+}
+
+#[test]
+fn corrupt_frames_interleaved_with_good_ones() {
+    let broker = Broker::new_sync();
+    let storage = Arc::new(StorageBackend::new());
+    let agent =
+        CollectAgent::new(CollectAgentConfig::default(), &broker.handle(), storage).unwrap();
+    let bus = broker.handle();
+    for i in 1..=10u64 {
+        if i % 3 == 0 {
+            // Corrupt frame.
+            bus.publish(t("/n0/power"), bytes::Bytes::from_static(&[0xFF, 0x00]))
+                .unwrap();
+        } else {
+            bus.publish_readings(
+                t("/n0/power"),
+                &[SensorReading::new(i as i64, Timestamp::from_secs(i))],
+            )
+            .unwrap();
+        }
+    }
+    agent.process_pending();
+    let stats = agent.stats();
+    assert_eq!(stats.decode_errors, 3);
+    assert_eq!(stats.readings, 7);
+    // Good data is fully usable.
+    let got = agent.query_engine().query(&t("/n0/power"), QueryMode::Latest);
+    assert_eq!(got[0].value, 10);
+}
+
+/// An operator that fails on every odd tick.
+struct FlakyOperator {
+    units: Vec<Unit>,
+    tick: usize,
+}
+
+impl Operator for FlakyOperator {
+    fn name(&self) -> &str {
+        "flaky"
+    }
+    fn units(&self) -> &[Unit] {
+        &self.units
+    }
+    fn compute(&mut self, i: usize, ctx: &ComputeContext<'_>) -> DcdbResult<Vec<Output>> {
+        if i == 0 {
+            self.tick += 1;
+        }
+        if self.tick % 2 == 1 {
+            return Err(dcdb_wintermute::dcdb_common::DcdbError::InvalidState(
+                "injected failure".into(),
+            ));
+        }
+        Ok(vec![(
+            self.units[i].outputs[0].clone(),
+            SensorReading::new(self.tick as i64, ctx.now),
+        )])
+    }
+}
+
+struct FlakyPlugin;
+impl OperatorPlugin for FlakyPlugin {
+    fn kind(&self) -> &str {
+        "flaky"
+    }
+    fn configure(
+        &self,
+        config: &PluginConfig,
+        nav: &SensorNavigator,
+    ) -> DcdbResult<Vec<Box<dyn Operator>>> {
+        let resolution = config.resolve(nav)?;
+        instantiate(config, resolution.units, |_, units| {
+            Ok(Box::new(FlakyOperator { units, tick: 0 }) as Box<dyn Operator>)
+        })
+    }
+}
+
+#[test]
+fn failing_operator_does_not_starve_healthy_ones() {
+    let qe = Arc::new(QueryEngine::new(16));
+    qe.insert(&t("/n0/power"), SensorReading::new(100, Timestamp::from_secs(1)));
+    qe.rebuild_navigator();
+    let mgr = OperatorManager::new(qe);
+    mgr.register_plugin(Box::new(FlakyPlugin));
+    wintermute_plugins::register_all(&mgr, None);
+    mgr.load(
+        PluginConfig::online("bad", "flaky", 1000)
+            .with_patterns(&["<bottomup>power"], &["<bottomup>flaky-out"]),
+    )
+    .unwrap();
+    mgr.load(
+        PluginConfig::online("good", "aggregator", 1000)
+            .with_patterns(&["<bottomup>power"], &["<bottomup>power-avg"])
+            .with_option("window_ms", 10_000u64),
+    )
+    .unwrap();
+
+    // Tick 1: flaky fails, aggregator succeeds.
+    let report = mgr.tick(Timestamp::from_secs(2));
+    assert_eq!(report.operators_run, 2);
+    assert_eq!(report.errors.len(), 1);
+    assert!(report.errors[0].contains("injected failure"));
+    assert!(!mgr
+        .query_engine()
+        .query(&t("/n0/power-avg"), QueryMode::Latest)
+        .is_empty());
+
+    // Tick 2: flaky recovers on even ticks.
+    let report = mgr.tick(Timestamp::from_secs(3));
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    assert!(!mgr
+        .query_engine()
+        .query(&t("/n0/flaky-out"), QueryMode::Latest)
+        .is_empty());
+}
+
+#[test]
+fn dropped_subscriber_does_not_break_publishing() {
+    let broker = Broker::new_sync();
+    let bus = broker.handle();
+    let sub = bus.subscribe_str("/#").unwrap();
+    bus.publish(t("/n0/a"), bytes::Bytes::new()).unwrap();
+    assert_eq!(sub.queued(), 1);
+    drop(sub);
+    // Publishing continues; nothing delivered, nothing broken.
+    bus.publish(t("/n0/b"), bytes::Bytes::new()).unwrap();
+    let stats = broker.stats();
+    assert_eq!(stats.published, 2);
+    assert_eq!(stats.delivered, 1);
+}
+
+#[test]
+fn reload_fails_loudly_when_sensors_disappear() {
+    // A plugin bound to sensors that exist; after a navigator rebuild
+    // from an engine that no longer exposes them (e.g. topology
+    // change), reload must fail with a diagnostic instead of silently
+    // running with zero units.
+    let qe = Arc::new(QueryEngine::new(16));
+    qe.insert(&t("/n0/power"), SensorReading::new(1, Timestamp::from_secs(1)));
+    qe.rebuild_navigator();
+    let mgr = OperatorManager::new(qe);
+    wintermute_plugins::register_all(&mgr, None);
+    mgr.load(
+        PluginConfig::online("agg", "aggregator", 1000)
+            .with_patterns(&["<bottomup>power"], &["<bottomup>power-avg"]),
+    )
+    .unwrap();
+    // The sensor space "shrinks": an empty navigator replaces the tree.
+    mgr.query_engine().set_navigator(SensorNavigator::build(
+        std::iter::empty::<&Topic>(),
+    ));
+    let err = mgr.reload("agg").unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("no units") || msg.contains("level"),
+        "unexpected diagnostic: {msg}"
+    );
+    // The previous instance remains loaded and functional.
+    assert!(mgr.is_running("agg"));
+}
+
+#[test]
+fn on_demand_on_stopped_plugin_still_answers() {
+    // Stopping pauses *online* computation; explicit on-demand requests
+    // keep working (they are how operators in OnDemand mode are driven
+    // at all).
+    let qe = Arc::new(QueryEngine::new(16));
+    qe.insert(&t("/n0/power"), SensorReading::new(42, Timestamp::from_secs(1)));
+    qe.rebuild_navigator();
+    let mgr = OperatorManager::new(qe);
+    wintermute_plugins::register_all(&mgr, None);
+    mgr.load(
+        PluginConfig::online("agg", "aggregator", 1000)
+            .with_patterns(&["<bottomup>power"], &["<bottomup>power-avg"])
+            .with_option("window_ms", 10_000u64),
+    )
+    .unwrap();
+    mgr.stop("agg").unwrap();
+    assert_eq!(mgr.tick(Timestamp::from_secs(2)).operators_run, 0);
+    let outputs = mgr
+        .on_demand("agg", &t("/n0"), Timestamp::from_secs(2))
+        .unwrap();
+    assert_eq!(outputs.len(), 1);
+    assert_eq!(outputs[0].1.value, 42);
+}

@@ -1,0 +1,164 @@
+//! Full REST control-plane integration over real TCP sockets: the
+//! paper's management workflow (§V-A) and on-demand operator mode
+//! (§IV-B b) driven exactly as an external tool would.
+
+use dcdb_wintermute::dcdb_bus::Broker;
+use dcdb_wintermute::dcdb_collectagent::{CollectAgent, CollectAgentConfig};
+use dcdb_wintermute::dcdb_common::{SensorReading, Timestamp, Topic};
+use dcdb_wintermute::dcdb_rest::{http_request, Method, RestServer, Router};
+use dcdb_wintermute::dcdb_storage::StorageBackend;
+use dcdb_wintermute::wintermute::prelude::*;
+use dcdb_wintermute::wintermute_plugins;
+use std::sync::Arc;
+
+fn served_agent() -> (RestServer, Arc<CollectAgent>, Broker) {
+    let broker = Broker::new_sync();
+    let storage = Arc::new(StorageBackend::new());
+    let agent = Arc::new(
+        CollectAgent::new(CollectAgentConfig::default(), &broker.handle(), storage).unwrap(),
+    );
+    wintermute_plugins::register_all(agent.manager(), None);
+    let bus = broker.handle();
+    for node in 0..2 {
+        for sec in 1..=20u64 {
+            bus.publish_readings(
+                Topic::parse(&format!("/r0/n{node}/power")).unwrap(),
+                &[SensorReading::new(
+                    100 + node as i64 * 50 + (sec % 5) as i64,
+                    Timestamp::from_secs(sec),
+                )],
+            )
+            .unwrap();
+        }
+    }
+    agent.process_pending();
+    agent
+        .manager()
+        .load(
+            PluginConfig::online("avg", "aggregator", 1000)
+                .with_patterns(&["<bottomup>power"], &["<bottomup>power-avg"])
+                .with_option("window_ms", 20_000u64),
+        )
+        .unwrap();
+    agent.tick(Timestamp::from_secs(21));
+
+    let mut router = Router::new();
+    agent.mount_routes(&mut router);
+    let server = RestServer::serve("127.0.0.1:0", router).unwrap();
+    (server, agent, broker)
+}
+
+#[test]
+fn plugin_listing_and_lifecycle() {
+    let (server, agent, _broker) = served_agent();
+    let addr = server.addr();
+
+    let (code, body) = http_request(addr, Method::Get, "/analytics/plugins", b"").unwrap();
+    assert_eq!(code, 200);
+    assert!(body.contains("\"avg\""));
+    assert!(body.contains("\"running\""));
+
+    let (code, _) = http_request(addr, Method::Put, "/analytics/plugins/avg/stop", b"").unwrap();
+    assert_eq!(code, 200);
+    assert!(!agent.manager().is_running("avg"));
+
+    let (code, _) =
+        http_request(addr, Method::Put, "/analytics/plugins/avg/start", b"").unwrap();
+    assert_eq!(code, 200);
+    assert!(agent.manager().is_running("avg"));
+
+    let (code, _) =
+        http_request(addr, Method::Put, "/analytics/plugins/avg/explode", b"").unwrap();
+    assert_eq!(code, 400);
+    let (code, _) =
+        http_request(addr, Method::Put, "/analytics/plugins/ghost/stop", b"").unwrap();
+    assert_eq!(code, 404);
+}
+
+#[test]
+fn on_demand_compute_over_tcp() {
+    let (server, _agent, _broker) = served_agent();
+    let addr = server.addr();
+
+    let (code, body) =
+        http_request(addr, Method::Get, "/analytics/plugins/avg/units", b"").unwrap();
+    assert_eq!(code, 200);
+    assert!(body.contains("/r0/n0"), "{body}");
+
+    let (code, body) = http_request(
+        addr,
+        Method::Get,
+        "/analytics/compute/avg?unit=/r0/n1",
+        b"",
+    )
+    .unwrap();
+    assert_eq!(code, 200);
+    assert!(body.contains("power-avg"), "{body}");
+    assert!(body.contains("\"value\""));
+
+    let (code, _) = http_request(
+        addr,
+        Method::Get,
+        "/analytics/compute/avg?unit=/r0/ghost",
+        b"",
+    )
+    .unwrap();
+    assert_eq!(code, 404);
+}
+
+#[test]
+fn raw_sensor_queries_over_tcp() {
+    let (server, _agent, _broker) = served_agent();
+    let addr = server.addr();
+    let (code, body) = http_request(
+        addr,
+        Method::Get,
+        "/sensors/r0/n0/power?from_s=10&to_s=12",
+        b"",
+    )
+    .unwrap();
+    assert_eq!(code, 200);
+    let rows: serde_json::Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(rows.as_array().unwrap().len(), 3);
+
+    // Unknown sensor: empty list, not an error (query semantics).
+    let (code, body) =
+        http_request(addr, Method::Get, "/sensors/r9/none/power", b"").unwrap();
+    assert_eq!(code, 200);
+    assert_eq!(body.trim(), "[]");
+}
+
+#[test]
+fn unload_over_tcp_removes_the_instance() {
+    let (server, agent, _broker) = served_agent();
+    let addr = server.addr();
+    let (code, _) =
+        http_request(addr, Method::Delete, "/analytics/plugins/avg", b"").unwrap();
+    assert_eq!(code, 204);
+    assert!(agent.manager().units_of("avg").is_err());
+    let (code, _) =
+        http_request(addr, Method::Delete, "/analytics/plugins/avg", b"").unwrap();
+    assert_eq!(code, 404);
+}
+
+#[test]
+fn reload_over_tcp_rebinds_units() {
+    let (server, agent, broker) = served_agent();
+    let addr = server.addr();
+    assert_eq!(agent.manager().units_of("avg").unwrap().len(), 2);
+
+    // A third node starts reporting.
+    broker
+        .handle()
+        .publish_readings(
+            Topic::parse("/r0/n2/power").unwrap(),
+            &[SensorReading::new(250, Timestamp::from_secs(21))],
+        )
+        .unwrap();
+    agent.process_pending();
+
+    let (code, _) =
+        http_request(addr, Method::Put, "/analytics/plugins/avg/reload", b"").unwrap();
+    assert_eq!(code, 200);
+    assert_eq!(agent.manager().units_of("avg").unwrap().len(), 3);
+}
