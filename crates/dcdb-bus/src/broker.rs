@@ -102,7 +102,7 @@ impl TrieNode {
         }
     }
 
-    fn collect<'a>(&'a self, segs: &[&str], out: &mut Vec<SubId>) {
+    fn collect(&self, segs: &[&str], out: &mut Vec<SubId>) {
         out.extend_from_slice(&self.multi);
         match segs.first() {
             None => out.extend_from_slice(&self.terminal),

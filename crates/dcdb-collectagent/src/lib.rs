@@ -15,7 +15,7 @@ use dcdb_common::error::Result;
 use dcdb_common::time::Timestamp;
 use dcdb_common::topic::Topic;
 use dcdb_rest::{Method, Response, Router, Status};
-use dcdb_storage::StorageBackend;
+use dcdb_storage::StorageEngine;
 use parking_lot::Mutex;
 use sim_cluster::ClusterSimulator;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,27 +50,34 @@ pub struct CollectAgentStats {
     pub readings: u64,
     /// Malformed frames dropped.
     pub decode_errors: u64,
+    /// Storage maintenance passes (sealing/compaction/retention) that
+    /// reported an error.
+    pub maintenance_errors: u64,
 }
 
 /// One DCDB Collect Agent.
 pub struct CollectAgent {
     subscription: Subscription,
     manager: Arc<OperatorManager>,
-    storage: Arc<StorageBackend>,
+    storage: Arc<dyn StorageEngine>,
     messages: AtomicU64,
     readings: AtomicU64,
     decode_errors: AtomicU64,
+    maintenance_errors: AtomicU64,
     /// Count of sensors first seen since the last navigator rebuild.
     dirty_sensors: AtomicU64,
 }
 
 impl CollectAgent {
     /// Creates an agent subscribed to all sensor data on `bus`, backed
-    /// by `storage`.
+    /// by `storage` — either the in-memory
+    /// [`dcdb_storage::StorageBackend`] or, for durable deployments,
+    /// a [`dcdb_storage::DurableBackend`] that journals every reading
+    /// before it is acknowledged.
     pub fn new(
         config: CollectAgentConfig,
         bus: &BusHandle,
-        storage: Arc<StorageBackend>,
+        storage: Arc<dyn StorageEngine>,
     ) -> Result<CollectAgent> {
         let cache_slots = (config.cache_secs * 1000 / config.expected_interval_ms.max(1))
             .max(2) as usize
@@ -84,6 +91,7 @@ impl CollectAgent {
             messages: AtomicU64::new(0),
             readings: AtomicU64::new(0),
             decode_errors: AtomicU64::new(0),
+            maintenance_errors: AtomicU64::new(0),
             dirty_sensors: AtomicU64::new(0),
         })
     }
@@ -98,8 +106,8 @@ impl CollectAgent {
         self.manager.query_engine()
     }
 
-    /// The storage backend.
-    pub fn storage(&self) -> &Arc<StorageBackend> {
+    /// The storage engine.
+    pub fn storage(&self) -> &Arc<dyn StorageEngine> {
         &self.storage
     }
 
@@ -132,10 +140,16 @@ impl CollectAgent {
         ingested
     }
 
-    /// One tick: ingest pending data, then run due operators.
+    /// One tick: ingest pending data, run due operators, then give the
+    /// storage engine a maintenance pass (sealing / compaction /
+    /// retention for durable engines; a no-op for the in-memory one).
     pub fn tick(&self, now: Timestamp) -> TickReport {
         self.process_pending();
-        self.manager.tick(now)
+        let report = self.manager.tick(now);
+        if self.storage.maintain(now).is_err() {
+            self.maintenance_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        report
     }
 
     /// Counter snapshot.
@@ -144,6 +158,7 @@ impl CollectAgent {
             messages: self.messages.load(Ordering::Relaxed),
             readings: self.readings.load(Ordering::Relaxed),
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            maintenance_errors: self.maintenance_errors.load(Ordering::Relaxed),
         }
     }
 
@@ -220,6 +235,7 @@ mod tests {
     use super::*;
     use dcdb_bus::Broker;
     use dcdb_common::reading::SensorReading;
+    use dcdb_storage::{DurableBackend, DurableConfig, StorageBackend};
     use sim_cluster::{AppModel, ClusterConfig};
 
     fn t(s: &str) -> Topic {
@@ -348,6 +364,52 @@ mod tests {
             jobs[0].node_paths,
             vec![t("/rack00/node00"), t("/rack00/node01")]
         );
+    }
+
+    #[test]
+    fn durable_storage_survives_agent_restart() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("dcdb-agent-durable-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let broker = Broker::new_sync();
+            let storage =
+                Arc::new(DurableBackend::open(&dir, DurableConfig::default()).unwrap());
+            let agent = CollectAgent::new(
+                CollectAgentConfig::default(),
+                &broker.handle(),
+                storage,
+            )
+            .unwrap();
+            let bus = broker.handle();
+            for i in 1..=20u64 {
+                bus.publish_readings(
+                    t("/r0/n0/power"),
+                    &[SensorReading::new(i as i64, Timestamp::from_secs(i))],
+                )
+                .unwrap();
+            }
+            agent.tick(Timestamp::from_secs(21));
+            assert_eq!(agent.stats().readings, 20);
+            agent.storage().flush().unwrap();
+        }
+        // "Restart": a fresh agent over the same data directory serves
+        // the old range from recovered segments/WAL on a cold cache.
+        let broker = Broker::new_sync();
+        let storage =
+            Arc::new(DurableBackend::open(&dir, DurableConfig::default()).unwrap());
+        let agent =
+            CollectAgent::new(CollectAgentConfig::default(), &broker.handle(), storage)
+                .unwrap();
+        let got = agent.query_engine().query(
+            &t("/r0/n0/power"),
+            QueryMode::Absolute {
+                t0: Timestamp::from_secs(1),
+                t1: Timestamp::from_secs(20),
+            },
+        );
+        assert_eq!(got.len(), 20);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -425,16 +425,14 @@ impl Regex {
                 self.add_thread(set, *a, chars, pos);
                 self.add_thread(set, *b, chars, pos);
             }
-            Inst::AssertStart => {
-                if pos == 0 {
+            Inst::AssertStart
+                if pos == 0 => {
                     self.add_thread(set, pc + 1, chars, pos);
                 }
-            }
-            Inst::AssertEnd => {
-                if pos == chars.len() {
+            Inst::AssertEnd
+                if pos == chars.len() => {
                     self.add_thread(set, pc + 1, chars, pos);
                 }
-            }
             _ => {}
         }
     }

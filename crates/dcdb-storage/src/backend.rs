@@ -5,8 +5,11 @@
 //! the Wintermute Query Engine need: batched inserts keyed by topic,
 //! time-range queries, latest-value lookups, and retention eviction.
 //!
-//! Concurrency model: a `RwLock` over the topic map plus a `Mutex` per
-//! series, so concurrent writers to *different* sensors never contend
+//! Concurrency model: the topic map is split into [`SHARD_COUNT`]
+//! shards, each a `RwLock<HashMap>` selected by topic hash, plus a
+//! `Mutex` per series. Concurrent writers to *different* sensors never
+//! contend on a series lock, and first-insert map writes only stall the
+//! 1-in-[`SHARD_COUNT`] slice of readers that hash to the same shard
 //! (the common case: one collect agent thread per pusher stream).
 
 use crate::series::{Series, DEFAULT_PARTITION_NS};
@@ -15,8 +18,12 @@ use dcdb_common::time::Timestamp;
 use dcdb_common::topic::Topic;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Number of independently locked topic-map shards.
+pub const SHARD_COUNT: usize = 16;
 
 /// Aggregate counters for footprint reporting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -31,9 +38,12 @@ pub struct StorageStats {
     pub queries: u64,
 }
 
+type Shard = RwLock<HashMap<Topic, Arc<Mutex<Series>>>>;
+
 /// The embedded time-series store.
 pub struct StorageBackend {
-    series: RwLock<HashMap<Topic, Arc<Mutex<Series>>>>,
+    shards: [Shard; SHARD_COUNT],
+    hasher: BuildHasherDefault<DefaultHasher>,
     partition_ns: u64,
     inserts: AtomicU64,
     queries: AtomicU64,
@@ -48,18 +58,24 @@ impl StorageBackend {
     /// Creates a backend with a custom partition duration.
     pub fn with_partition_ns(partition_ns: u64) -> Self {
         StorageBackend {
-            series: RwLock::new(HashMap::new()),
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            hasher: BuildHasherDefault::default(),
             partition_ns,
             inserts: AtomicU64::new(0),
             queries: AtomicU64::new(0),
         }
     }
 
+    fn shard(&self, topic: &Topic) -> &Shard {
+        &self.shards[self.hasher.hash_one(topic) as usize % SHARD_COUNT]
+    }
+
     fn series_for(&self, topic: &Topic) -> Arc<Mutex<Series>> {
-        if let Some(s) = self.series.read().get(topic) {
+        let shard = self.shard(topic);
+        if let Some(s) = shard.read().get(topic) {
             return Arc::clone(s);
         }
-        let mut map = self.series.write();
+        let mut map = shard.write();
         Arc::clone(
             map.entry(topic.clone())
                 .or_insert_with(|| Arc::new(Mutex::new(Series::new(self.partition_ns)))),
@@ -83,7 +99,7 @@ impl StorageBackend {
     /// Returns an empty vector for unknown sensors.
     pub fn query(&self, topic: &Topic, t0: Timestamp, t1: Timestamp) -> Vec<SensorReading> {
         self.queries.fetch_add(1, Ordering::Relaxed);
-        match self.series.read().get(topic) {
+        match self.shard(topic).read().get(topic) {
             Some(s) => s.lock().query(t0, t1),
             None => Vec::new(),
         }
@@ -91,37 +107,54 @@ impl StorageBackend {
 
     /// The most recent reading of `topic`.
     pub fn latest(&self, topic: &Topic) -> Option<SensorReading> {
-        self.series.read().get(topic).and_then(|s| s.lock().latest())
+        self.shard(topic)
+            .read()
+            .get(topic)
+            .and_then(|s| s.lock().latest())
     }
 
     /// True if the backend has ever stored data for `topic`.
     pub fn contains(&self, topic: &Topic) -> bool {
-        self.series.read().contains_key(topic)
+        self.shard(topic).read().contains_key(topic)
     }
 
     /// All topics with stored data, unordered.
     pub fn topics(&self) -> Vec<Topic> {
-        self.series.read().keys().cloned().collect()
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            all.extend(shard.read().keys().cloned());
+        }
+        all
     }
 
     /// Evicts data older than `cutoff` from every series (retention).
-    /// Returns the total number of evicted readings.
+    /// Returns the total number of evicted readings. Shards are visited
+    /// one at a time so eviction never stalls the whole keyspace.
     pub fn evict_before(&self, cutoff: Timestamp) -> usize {
-        let all: Vec<Arc<Mutex<Series>>> =
-            self.series.read().values().map(Arc::clone).collect();
-        all.iter().map(|s| s.lock().evict_before(cutoff)).sum()
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let all: Vec<Arc<Mutex<Series>>> =
+                shard.read().values().map(Arc::clone).collect();
+            evicted += all
+                .iter()
+                .map(|s| s.lock().evict_before(cutoff))
+                .sum::<usize>();
+        }
+        evicted
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot, aggregated across shards.
     pub fn stats(&self) -> StorageStats {
-        let map = self.series.read();
         let mut readings = 0;
         let mut sensors = 0;
-        for s in map.values() {
-            let len = s.lock().len();
-            readings += len;
-            if len > 0 {
-                sensors += 1;
+        for shard in &self.shards {
+            let map = shard.read();
+            for s in map.values() {
+                let len = s.lock().len();
+                readings += len;
+                if len > 0 {
+                    sensors += 1;
+                }
             }
         }
         StorageStats {
@@ -130,6 +163,39 @@ impl StorageBackend {
             inserts: self.inserts.load(Ordering::Relaxed),
             queries: self.queries.load(Ordering::Relaxed),
         }
+    }
+}
+
+impl crate::StorageEngine for StorageBackend {
+    fn insert(&self, topic: &Topic, r: SensorReading) -> dcdb_common::error::Result<()> {
+        StorageBackend::insert(self, topic, r);
+        Ok(())
+    }
+    fn insert_batch(
+        &self,
+        topic: &Topic,
+        readings: &[SensorReading],
+    ) -> dcdb_common::error::Result<()> {
+        StorageBackend::insert_batch(self, topic, readings);
+        Ok(())
+    }
+    fn query(&self, topic: &Topic, t0: Timestamp, t1: Timestamp) -> Vec<SensorReading> {
+        StorageBackend::query(self, topic, t0, t1)
+    }
+    fn latest(&self, topic: &Topic) -> Option<SensorReading> {
+        StorageBackend::latest(self, topic)
+    }
+    fn contains(&self, topic: &Topic) -> bool {
+        StorageBackend::contains(self, topic)
+    }
+    fn topics(&self) -> Vec<Topic> {
+        StorageBackend::topics(self)
+    }
+    fn evict_before(&self, cutoff: Timestamp) -> usize {
+        StorageBackend::evict_before(self, cutoff)
+    }
+    fn stats(&self) -> StorageStats {
+        StorageBackend::stats(self)
     }
 }
 
@@ -239,6 +305,39 @@ mod tests {
         assert_eq!(db.stats().readings, 2000);
         let q = db.query(&topic, Timestamp::ZERO, Timestamp::MAX);
         assert!(q.windows(2).all(|w| w[0].ts < w[1].ts));
+    }
+
+    #[test]
+    fn topics_spread_across_shards() {
+        let db = StorageBackend::new();
+        for n in 0..200 {
+            db.insert(&t(&format!("/rack{}/node{n}/power", n % 8)), r(n, 1));
+        }
+        let populated = db
+            .shards
+            .iter()
+            .filter(|s| !s.read().is_empty())
+            .count();
+        // 200 hashed topics should land in (nearly) every one of the 16
+        // shards; require a clear majority to keep the test robust.
+        assert!(populated > SHARD_COUNT / 2, "only {populated} shards used");
+        assert_eq!(db.stats().sensors, 200);
+        assert_eq!(db.topics().len(), 200);
+    }
+
+    #[test]
+    fn trait_object_round_trip() {
+        use crate::StorageEngine;
+        let db: Arc<dyn StorageEngine> = Arc::new(StorageBackend::new());
+        db.insert(&t("/n/s"), r(5, 9)).unwrap();
+        db.insert_batch(&t("/n/s"), &[r(6, 10), r(7, 11)]).unwrap();
+        assert_eq!(db.latest(&t("/n/s")).unwrap().value, 7);
+        assert_eq!(db.query(&t("/n/s"), Timestamp::ZERO, Timestamp::MAX).len(), 3);
+        assert!(db.contains(&t("/n/s")));
+        assert_eq!(db.stats().readings, 3);
+        db.flush().unwrap();
+        db.maintain(Timestamp::MAX).unwrap();
+        assert_eq!(db.evict_before(Timestamp::MAX), 3);
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! Gorilla-style compression for runs of [`SensorReading`]s.
+//!
+//! Sealed segments store each sensor's readings as one compressed
+//! block. Monitoring data is extremely regular — near-constant sampling
+//! intervals and slowly drifting values — so the classic time-series
+//! tricks (Facebook's Gorilla, §4.1) apply directly:
+//!
+//! * **timestamps**: delta-of-delta. The first timestamp is stored raw;
+//!   every subsequent one stores the *change in sampling interval*,
+//!   zig-zag + varint encoded, which is `0` (one byte) for perfectly
+//!   periodic data.
+//! * **values**: delta against the previous value, zig-zag + varint
+//!   encoded — sensor values are integers here (fixed-point for real
+//!   valued metrics), so integer deltas compress better than the
+//!   float-oriented XOR scheme and remain byte-exact.
+//!
+//! ```text
+//! block := [u32 count]                      (0 terminates immediately)
+//!          [u64 first_ts] [i64 first_value]
+//!          (count-1) × { varint zz(ddts) , varint zz(dvalue) }
+//! ```
+//!
+//! Decompression reproduces the input byte-identically: this is a
+//! lossless code over arbitrary `(i64, u64)` sequences, not just sorted
+//! ones, so replays and proptests can exercise any input.
+
+use dcdb_common::error::{DcdbError, Result};
+use dcdb_common::reading::SensorReading;
+use dcdb_common::time::Timestamp;
+
+/// Zig-zag encodes a signed 64-bit integer into an unsigned one.
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends `v` as a LEB128 varint.
+#[inline]
+fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Reads a LEB128 varint, advancing `pos`.
+#[inline]
+fn get_uvarint(data: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &b = data.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None; // over-long varint
+        }
+        v |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Compresses a run of readings into one block.
+pub fn compress_block(readings: &[SensorReading]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(20 + readings.len() * 2);
+    out.extend_from_slice(&(readings.len() as u32).to_le_bytes());
+    let Some(first) = readings.first() else {
+        return out;
+    };
+    out.extend_from_slice(&first.ts.as_nanos().to_le_bytes());
+    out.extend_from_slice(&first.value.to_le_bytes());
+    let mut prev_ts = first.ts.as_nanos();
+    let mut prev_delta = 0i64;
+    let mut prev_value = first.value;
+    for r in &readings[1..] {
+        let delta = r.ts.as_nanos().wrapping_sub(prev_ts) as i64;
+        put_uvarint(&mut out, zigzag(delta.wrapping_sub(prev_delta)));
+        put_uvarint(&mut out, zigzag(r.value.wrapping_sub(prev_value)));
+        prev_ts = r.ts.as_nanos();
+        prev_delta = delta;
+        prev_value = r.value;
+    }
+    out
+}
+
+/// Decompresses a block produced by [`compress_block`].
+pub fn decompress_block(data: &[u8]) -> Result<Vec<SensorReading>> {
+    let corrupt = || DcdbError::Parse("corrupt compressed block".into());
+    if data.len() < 4 {
+        return Err(corrupt());
+    }
+    let count = u32::from_le_bytes(data[0..4].try_into().unwrap()) as usize;
+    if count == 0 {
+        return Ok(Vec::new());
+    }
+    if data.len() < 20 {
+        return Err(corrupt());
+    }
+    let mut prev_ts = u64::from_le_bytes(data[4..12].try_into().unwrap());
+    let mut prev_value = i64::from_le_bytes(data[12..20].try_into().unwrap());
+    let mut out = Vec::with_capacity(count);
+    out.push(SensorReading::new(prev_value, Timestamp(prev_ts)));
+    let mut pos = 20;
+    let mut prev_delta = 0i64;
+    for _ in 1..count {
+        let ddts = unzigzag(get_uvarint(data, &mut pos).ok_or_else(corrupt)?);
+        let dvalue = unzigzag(get_uvarint(data, &mut pos).ok_or_else(corrupt)?);
+        let delta = prev_delta.wrapping_add(ddts);
+        prev_ts = prev_ts.wrapping_add(delta as u64);
+        prev_value = prev_value.wrapping_add(dvalue);
+        prev_delta = delta;
+        out.push(SensorReading::new(prev_value, Timestamp(prev_ts)));
+    }
+    if pos != data.len() {
+        return Err(corrupt()); // trailing garbage
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdb_common::time::NS_PER_SEC;
+
+    fn r(v: i64, ns: u64) -> SensorReading {
+        SensorReading::new(v, Timestamp(ns))
+    }
+
+    #[test]
+    fn round_trips_periodic_data_compactly() {
+        // Perfectly periodic sampling with a slow ramp: the common case.
+        let readings: Vec<SensorReading> = (0..1000)
+            .map(|i| r(100_000 + i as i64, 1_700_000_000 * NS_PER_SEC + i * NS_PER_SEC))
+            .collect();
+        let block = compress_block(&readings);
+        assert_eq!(decompress_block(&block).unwrap(), readings);
+        // 16 B/reading raw → ~2 B/reading compressed for this shape.
+        let raw = readings.len() * 16;
+        assert!(
+            block.len() * 4 < raw,
+            "block {} B vs raw {} B — expected >4x compression",
+            block.len(),
+            raw
+        );
+    }
+
+    #[test]
+    fn round_trips_adversarial_sequences() {
+        let cases: Vec<Vec<SensorReading>> = vec![
+            vec![],
+            vec![r(0, 0)],
+            vec![r(i64::MAX, u64::MAX), r(i64::MIN, 0)],
+            vec![r(-5, 10), r(-5, 10), r(-5, 10)],
+            vec![r(7, 3), r(-900, 1), r(12345, u64::MAX / 2)],
+        ];
+        for case in cases {
+            let block = compress_block(&case);
+            assert_eq!(decompress_block(&block).unwrap(), case, "case {case:?}");
+        }
+    }
+
+    #[test]
+    fn round_trips_randomized_sequences() {
+        // Deterministic xorshift so the test needs no external crate.
+        let mut state = 0x853C_49E6_748F_EA9Bu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for len in [0usize, 1, 2, 3, 17, 256, 1024] {
+            let readings: Vec<SensorReading> =
+                (0..len).map(|_| r(next() as i64, next())).collect();
+            let block = compress_block(&readings);
+            assert_eq!(decompress_block(&block).unwrap(), readings, "len {len}");
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_blocks() {
+        let readings: Vec<SensorReading> = (0..50).map(|i| r(i, i as u64 * 100)).collect();
+        let block = compress_block(&readings);
+        for cut in [0, 3, 10, block.len() - 1] {
+            assert!(
+                decompress_block(&block[..cut]).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+        // Trailing garbage is also rejected.
+        let mut extended = block.clone();
+        extended.push(0);
+        assert!(decompress_block(&extended).is_err());
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

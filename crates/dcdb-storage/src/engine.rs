@@ -1,0 +1,873 @@
+//! The durable engine: WAL + memtable + sealed segments + compaction.
+//!
+//! [`DurableBackend`] is the log-structured persistence tier standing in
+//! for the durability DCDB gets from Cassandra (paper §IV-A). It wraps
+//! the existing in-memory [`StorageBackend`] as its *memtable* and adds:
+//!
+//! * a write-ahead log ([`crate::wal`]): every insert batch is journaled
+//!   before it is acknowledged, under a configurable fsync policy;
+//! * *sealing*: when the memtable exceeds a size threshold (or on
+//!   explicit flush) its contents are written as an immutable compressed
+//!   segment ([`crate::segment`]) and the WAL generation is retired;
+//! * *recovery*: on open, sealed segments are indexed and the WAL tail
+//!   is replayed into a fresh memtable — every acknowledged insert
+//!   survives a process kill, tolerating a torn final record;
+//! * *merged reads*: range queries stitch segment blocks and memtable
+//!   partitions, deduplicating by timestamp with newest-generation-wins
+//!   semantics (identical to overwrite behaviour of the memtable);
+//! * *compaction* and *retention*: background maintenance merges small
+//!   segments and drops whole segments past the retention horizon,
+//!   honoring the same `evict_before` semantics as the memtable.
+//!
+//! Directory layout: `wal-<seq>.log` journal generations and
+//! `seg-<seq>.seg` sealed segments, sharing one monotonic sequence
+//! counter; `*.tmp` files are crash leftovers and deleted on open.
+
+use crate::backend::{StorageBackend, StorageStats};
+use crate::segment::{write_segment, SegmentReader};
+use crate::wal::{replay, FsyncPolicy, WalReplay, WalWriter};
+use crate::StorageEngine;
+use dcdb_common::error::Result;
+use dcdb_common::reading::SensorReading;
+use dcdb_common::time::Timestamp;
+use dcdb_common::topic::Topic;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Tuning knobs for the durable engine.
+#[derive(Debug, Clone, Copy)]
+pub struct DurableConfig {
+    /// WAL fsync policy (durability vs ingest throughput).
+    pub fsync: FsyncPolicy,
+    /// Seal the memtable into a segment once it holds this many readings.
+    pub memtable_max_readings: usize,
+    /// Compact once this many sealed segments exist.
+    pub compact_min_segments: usize,
+    /// Drop data older than `now - retention_ns` during [`DurableBackend::maintain`].
+    pub retention_ns: Option<u64>,
+    /// Partition duration of the memtable (see [`crate::series`]).
+    pub partition_ns: u64,
+}
+
+impl Default for DurableConfig {
+    fn default() -> Self {
+        DurableConfig {
+            fsync: FsyncPolicy::EveryN(64),
+            memtable_max_readings: 200_000,
+            compact_min_segments: 4,
+            retention_ns: None,
+            partition_ns: crate::series::DEFAULT_PARTITION_NS,
+        }
+    }
+}
+
+/// What [`DurableBackend::open`] found and restored.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Sealed segments indexed.
+    pub segments: usize,
+    /// Readings held by those segments.
+    pub segment_readings: usize,
+    /// WAL files replayed.
+    pub wal_files: usize,
+    /// Complete batches recovered from the WALs.
+    pub wal_batches: usize,
+    /// Readings recovered from the WALs into the memtable.
+    pub wal_readings: usize,
+    /// WAL files that ended in a torn or corrupt tail (each lost only
+    /// its final, never-acknowledged record).
+    pub torn_tails: usize,
+}
+
+/// Operational counters beyond [`StorageStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Memtable→segment seals performed.
+    pub seals: u64,
+    /// Compaction passes performed.
+    pub compactions: u64,
+    /// Segment block reads that failed checksum or decode (served
+    /// degraded from the remaining sources).
+    pub read_errors: u64,
+    /// Current number of sealed segments.
+    pub sealed_segments: usize,
+    /// Readings currently in the memtable (approximate; overwrites of
+    /// duplicate timestamps are counted as inserts).
+    pub memtable_readings: usize,
+}
+
+struct Active {
+    memtable: Arc<StorageBackend>,
+    wal: Mutex<WalWriter>,
+    wal_path: PathBuf,
+}
+
+/// The durable storage engine. See the module docs for the design.
+pub struct DurableBackend {
+    dir: PathBuf,
+    config: DurableConfig,
+    active: RwLock<Active>,
+    /// Memtable currently being written out as a segment; still visible
+    /// to reads so sealing never hides acknowledged data.
+    sealing: RwLock<Option<Arc<StorageBackend>>>,
+    /// Sealed segments as `(seq, reader)`, ascending by `seq`; later
+    /// sequence numbers win timestamp ties during merges.
+    segments: RwLock<Vec<(u64, Arc<SegmentReader>)>>,
+    /// WAL files (paths) whose contents live in the active memtable and
+    /// are deleted once that data is sealed into a segment.
+    unsealed_wals: Mutex<Vec<PathBuf>>,
+    next_seq: AtomicU64,
+    memtable_readings: AtomicUsize,
+    /// Serializes seal / compact / retention passes.
+    seal_lock: Mutex<()>,
+    recovery: RecoveryReport,
+    inserts: AtomicU64,
+    queries: AtomicU64,
+    seals: AtomicU64,
+    compactions: AtomicU64,
+    read_errors: AtomicU64,
+}
+
+fn parse_seq(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?.strip_suffix(suffix)?.parse().ok()
+}
+
+impl DurableBackend {
+    /// Opens (or initializes) a durable engine rooted at `dir`,
+    /// recovering all sealed segments and replaying the WAL tail.
+    pub fn open(dir: &Path, config: DurableConfig) -> Result<DurableBackend> {
+        std::fs::create_dir_all(dir)?;
+        let mut seg_files: Vec<(u64, PathBuf)> = Vec::new();
+        let mut wal_files: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if name.ends_with(".tmp") {
+                // Crash leftover from an interrupted seal; the data it
+                // was written from is still covered by the WALs.
+                std::fs::remove_file(&path).ok();
+            } else if let Some(seq) = parse_seq(name, "seg-", ".seg") {
+                seg_files.push((seq, path));
+            } else if let Some(seq) = parse_seq(name, "wal-", ".log") {
+                wal_files.push((seq, path));
+            }
+        }
+        seg_files.sort();
+        wal_files.sort();
+
+        let mut recovery = RecoveryReport::default();
+        let mut segments = Vec::with_capacity(seg_files.len());
+        let mut max_seq = 0u64;
+        for (seq, path) in seg_files {
+            let reader = SegmentReader::open(&path)?;
+            recovery.segments += 1;
+            recovery.segment_readings += reader.reading_count();
+            segments.push((seq, Arc::new(reader)));
+            max_seq = max_seq.max(seq);
+        }
+
+        let memtable = Arc::new(StorageBackend::with_partition_ns(config.partition_ns));
+        let mut unsealed = Vec::new();
+        for (seq, path) in wal_files {
+            let rep: WalReplay = replay(&path, |topic, readings| {
+                memtable.insert_batch(&topic, &readings);
+            })?;
+            recovery.wal_files += 1;
+            recovery.wal_batches += rep.batches;
+            recovery.wal_readings += rep.readings;
+            if rep.torn_tail {
+                recovery.torn_tails += 1;
+            }
+            unsealed.push(path);
+            max_seq = max_seq.max(seq);
+        }
+
+        let wal_seq = max_seq + 1;
+        let wal_path = dir.join(format!("wal-{wal_seq:010}.log"));
+        let wal = WalWriter::create(&wal_path, config.fsync)?;
+
+        Ok(DurableBackend {
+            dir: dir.to_path_buf(),
+            config,
+            active: RwLock::new(Active {
+                memtable,
+                wal: Mutex::new(wal),
+                wal_path,
+            }),
+            sealing: RwLock::new(None),
+            segments: RwLock::new(segments),
+            unsealed_wals: Mutex::new(unsealed),
+            next_seq: AtomicU64::new(wal_seq + 1),
+            memtable_readings: AtomicUsize::new(recovery.wal_readings),
+            seal_lock: Mutex::new(()),
+            recovery,
+            inserts: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            seals: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            read_errors: AtomicU64::new(0),
+        })
+    }
+
+    /// What `open` recovered from disk.
+    pub fn recovery(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    /// The engine's data directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Inserts one reading, journaled before acknowledgement.
+    pub fn insert(&self, topic: &Topic, r: SensorReading) -> Result<()> {
+        self.insert_batch(topic, std::slice::from_ref(&r))
+    }
+
+    /// Inserts a batch, journaled before acknowledgement: when this
+    /// returns `Ok`, the batch is in the WAL file (and fsynced, under
+    /// `FsyncPolicy::Always`) — it will survive a process kill.
+    pub fn insert_batch(&self, topic: &Topic, readings: &[SensorReading]) -> Result<()> {
+        if readings.is_empty() {
+            return Ok(());
+        }
+        {
+            let active = self.active.read();
+            active.wal.lock().append(topic, readings)?;
+            active.memtable.insert_batch(topic, readings);
+            self.memtable_readings.fetch_add(readings.len(), Ordering::Relaxed);
+        }
+        self.inserts.fetch_add(readings.len() as u64, Ordering::Relaxed);
+        if self.memtable_readings.load(Ordering::Relaxed) >= self.config.memtable_max_readings {
+            self.seal()?;
+        }
+        Ok(())
+    }
+
+    /// Range query merging sealed segments, the sealing memtable (if a
+    /// seal is in flight) and the active memtable. Duplicate timestamps
+    /// resolve newest-generation-wins, matching memtable overwrites.
+    pub fn query(&self, topic: &Topic, t0: Timestamp, t1: Timestamp) -> Vec<SensorReading> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        if t1 < t0 {
+            return Vec::new();
+        }
+        let segments = self.segments.read().clone();
+        let sealing = self.sealing.read().clone();
+        if segments.is_empty() && sealing.is_none() {
+            // Fast path: everything lives in the active memtable.
+            return self.active.read().memtable.query(topic, t0, t1);
+        }
+        let mut merged: BTreeMap<Timestamp, SensorReading> = BTreeMap::new();
+        for (_, seg) in &segments {
+            match seg.query(topic, t0, t1) {
+                Ok(readings) => {
+                    for r in readings {
+                        merged.insert(r.ts, r);
+                    }
+                }
+                Err(_) => {
+                    self.read_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        if let Some(mem) = &sealing {
+            for r in mem.query(topic, t0, t1) {
+                merged.insert(r.ts, r);
+            }
+        }
+        for r in self.active.read().memtable.query(topic, t0, t1) {
+            merged.insert(r.ts, r);
+        }
+        merged.into_values().collect()
+    }
+
+    /// The newest reading of `topic` across all generations.
+    pub fn latest(&self, topic: &Topic) -> Option<SensorReading> {
+        let mut best: Option<SensorReading> = None;
+        for (_, seg) in self.segments.read().iter() {
+            let worth_reading = match (seg.block_max_ts(topic), &best) {
+                (Some(mts), Some(b)) => mts >= b.ts,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if worth_reading {
+                match seg.read_topic(topic) {
+                    Ok(Some(readings)) => {
+                        if let Some(&last) = readings.last() {
+                            best = Some(last);
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(_) => {
+                        self.read_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        if let Some(mem) = self.sealing.read().clone() {
+            if let Some(r) = mem.latest(topic) {
+                if best.is_none_or(|b| r.ts >= b.ts) {
+                    best = Some(r);
+                }
+            }
+        }
+        if let Some(r) = self.active.read().memtable.latest(topic) {
+            if best.is_none_or(|b| r.ts >= b.ts) {
+                best = Some(r);
+            }
+        }
+        best
+    }
+
+    /// True when any generation holds data for `topic`.
+    pub fn contains(&self, topic: &Topic) -> bool {
+        self.active.read().memtable.contains(topic)
+            || self.sealing.read().as_ref().is_some_and(|m| m.contains(topic))
+            || self.segments.read().iter().any(|(_, s)| s.contains(topic))
+    }
+
+    /// All topics with data in any generation, unordered.
+    pub fn topics(&self) -> Vec<Topic> {
+        let mut set: BTreeSet<Topic> =
+            self.active.read().memtable.topics().into_iter().collect();
+        if let Some(mem) = self.sealing.read().clone() {
+            set.extend(mem.topics());
+        }
+        for (_, seg) in self.segments.read().iter() {
+            set.extend(seg.topics().cloned());
+        }
+        set.into_iter().collect()
+    }
+
+    /// Seals the current memtable into an immutable segment and retires
+    /// the covered WAL generations. Returns the readings sealed (0 when
+    /// the memtable was empty).
+    pub fn seal(&self) -> Result<usize> {
+        let _guard = self.seal_lock.lock();
+        if self.memtable_readings.load(Ordering::Relaxed) == 0 {
+            return Ok(0);
+        }
+        let seg_seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let wal_seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let new_wal_path = self.dir.join(format!("wal-{wal_seq:010}.log"));
+        let new_wal = WalWriter::create(&new_wal_path, self.config.fsync)?;
+        let fresh =
+            Arc::new(StorageBackend::with_partition_ns(self.config.partition_ns));
+
+        // Publish the outgoing memtable to the `sealing` slot *before*
+        // swapping it out, so reads never lose sight of it (brief double
+        // visibility is harmless — merges dedupe by timestamp).
+        let old = {
+            let active = self.active.read();
+            *self.sealing.write() = Some(Arc::clone(&active.memtable));
+            drop(active);
+            let mut active = self.active.write();
+            let old = std::mem::replace(
+                &mut *active,
+                Active {
+                    memtable: fresh,
+                    wal: Mutex::new(new_wal),
+                    wal_path: new_wal_path,
+                },
+            );
+            self.memtable_readings.store(0, Ordering::Relaxed);
+            old
+        };
+
+        let mut topics = old.memtable.topics();
+        topics.sort();
+        let entries: Vec<(Topic, Vec<SensorReading>)> = topics
+            .into_iter()
+            .map(|t| {
+                let readings = old.memtable.query(&t, Timestamp::ZERO, Timestamp::MAX);
+                (t, readings)
+            })
+            .collect();
+        let sealed: usize = entries.iter().map(|(_, r)| r.len()).sum();
+        let seg_path = self.dir.join(format!("seg-{seg_seq:010}.seg"));
+
+        let written = write_segment(&seg_path, &entries)
+            .and_then(|()| SegmentReader::open(&seg_path));
+        match written {
+            Ok(reader) => {
+                self.segments.write().push((seg_seq, Arc::new(reader)));
+                *self.sealing.write() = None;
+                // The sealed data is durable in the segment; retire the
+                // WAL generations that covered it.
+                let mut retired: Vec<PathBuf> =
+                    std::mem::take(&mut *self.unsealed_wals.lock());
+                retired.push(old.wal_path);
+                for path in retired {
+                    std::fs::remove_file(&path).ok();
+                }
+                self.seals.fetch_add(1, Ordering::Relaxed);
+                Ok(sealed)
+            }
+            Err(e) => {
+                // Seal failed (e.g. disk full): fold the outgoing
+                // memtable back into the active one. Its WAL files stay
+                // on disk, so crash recovery still covers every
+                // acknowledged insert; the next seal retries.
+                {
+                    let active = self.active.read();
+                    for (topic, readings) in &entries {
+                        active.memtable.insert_batch(topic, readings);
+                    }
+                    self.memtable_readings.fetch_add(sealed, Ordering::Relaxed);
+                }
+                *self.sealing.write() = None;
+                self.unsealed_wals.lock().push(old.wal_path);
+                std::fs::remove_file(&seg_path).ok();
+                Err(e)
+            }
+        }
+    }
+
+    /// Merges all sealed segments into one when at least
+    /// `compact_min_segments` exist. Returns true if a pass ran.
+    pub fn compact(&self) -> Result<bool> {
+        let _guard = self.seal_lock.lock();
+        let old: Vec<(u64, Arc<SegmentReader>)> = self.segments.read().clone();
+        if old.len() < self.config.compact_min_segments.max(2) {
+            return Ok(false);
+        }
+        let mut merged: BTreeMap<Topic, BTreeMap<Timestamp, SensorReading>> = BTreeMap::new();
+        for (_, seg) in &old {
+            for topic in seg.topics().cloned().collect::<Vec<_>>() {
+                let readings = seg.read_topic(&topic)?.unwrap_or_default();
+                let per_topic = merged.entry(topic).or_default();
+                for r in readings {
+                    per_topic.insert(r.ts, r);
+                }
+            }
+        }
+        let entries: Vec<(Topic, Vec<SensorReading>)> = merged
+            .into_iter()
+            .map(|(t, m)| (t, m.into_values().collect()))
+            .collect();
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let path = self.dir.join(format!("seg-{seq:010}.seg"));
+        write_segment(&path, &entries)?;
+        let reader = Arc::new(SegmentReader::open(&path)?);
+        {
+            let mut segments = self.segments.write();
+            segments.retain(|(s, _)| !old.iter().any(|(o, _)| o == s));
+            segments.push((seq, reader));
+            segments.sort_by_key(|(s, _)| *s);
+        }
+        for (_, seg) in &old {
+            std::fs::remove_file(seg.path()).ok();
+        }
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Evicts data older than `cutoff`: memtable partitions (exact
+    /// semantics of [`StorageBackend::evict_before`]) plus whole sealed
+    /// segments entirely below the cutoff. Returns readings evicted.
+    pub fn evict_before(&self, cutoff: Timestamp) -> usize {
+        let _guard = self.seal_lock.lock();
+        let mut evicted = self.active.read().memtable.evict_before(cutoff);
+        let mut dropped: Vec<Arc<SegmentReader>> = Vec::new();
+        {
+            let mut segments = self.segments.write();
+            segments.retain(|(_, seg)| match seg.time_range() {
+                Some((_, max_ts)) if max_ts < cutoff => {
+                    dropped.push(Arc::clone(seg));
+                    false
+                }
+                _ => true,
+            });
+        }
+        for seg in dropped {
+            evicted += seg.reading_count();
+            std::fs::remove_file(seg.path()).ok();
+        }
+        evicted
+    }
+
+    /// One maintenance pass: seal when the memtable is over threshold,
+    /// compact when enough segments accumulated, apply retention.
+    pub fn maintain(&self, now: Timestamp) -> Result<()> {
+        if self.memtable_readings.load(Ordering::Relaxed) >= self.config.memtable_max_readings {
+            self.seal()?;
+        }
+        if self.segments.read().len() >= self.config.compact_min_segments.max(2) {
+            self.compact()?;
+        }
+        if let Some(retention) = self.config.retention_ns {
+            self.evict_before(now.saturating_sub_ns(retention));
+        }
+        Ok(())
+    }
+
+    /// Seals outstanding memtable data and fsyncs the WAL — call before
+    /// a graceful shutdown.
+    pub fn flush(&self) -> Result<()> {
+        self.seal()?;
+        self.active.read().wal.lock().sync()
+    }
+
+    /// Counter snapshot in the shape the rest of the stack expects.
+    /// `readings` can double-count a timestamp that exists both in a
+    /// segment and the memtable (pre-compaction); queries deduplicate.
+    pub fn stats(&self) -> StorageStats {
+        let mem = self.active.read().memtable.stats();
+        let seg_readings: usize = self
+            .segments
+            .read()
+            .iter()
+            .map(|(_, s)| s.reading_count())
+            .sum();
+        StorageStats {
+            readings: mem.readings + seg_readings,
+            sensors: self.topics().len(),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Engine-specific counters.
+    pub fn engine_stats(&self) -> EngineStats {
+        EngineStats {
+            seals: self.seals.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            read_errors: self.read_errors.load(Ordering::Relaxed),
+            sealed_segments: self.segments.read().len(),
+            memtable_readings: self.memtable_readings.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total bytes currently on disk (WALs + segments).
+    pub fn disk_bytes(&self) -> u64 {
+        std::fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .flatten()
+                    .filter_map(|e| e.metadata().ok())
+                    .map(|m| m.len())
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+}
+
+impl Drop for DurableBackend {
+    fn drop(&mut self) {
+        // Best-effort: make acknowledged-but-unsynced appends durable.
+        let active = self.active.read();
+        let _ = active.wal.lock().sync();
+    }
+}
+
+impl std::fmt::Debug for DurableBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let e = self.engine_stats();
+        f.debug_struct("DurableBackend")
+            .field("dir", &self.dir)
+            .field("segments", &e.sealed_segments)
+            .field("memtable_readings", &e.memtable_readings)
+            .field("seals", &e.seals)
+            .field("compactions", &e.compactions)
+            .finish()
+    }
+}
+
+impl StorageEngine for DurableBackend {
+    fn insert(&self, topic: &Topic, r: SensorReading) -> Result<()> {
+        DurableBackend::insert(self, topic, r)
+    }
+    fn insert_batch(&self, topic: &Topic, readings: &[SensorReading]) -> Result<()> {
+        DurableBackend::insert_batch(self, topic, readings)
+    }
+    fn query(&self, topic: &Topic, t0: Timestamp, t1: Timestamp) -> Vec<SensorReading> {
+        DurableBackend::query(self, topic, t0, t1)
+    }
+    fn latest(&self, topic: &Topic) -> Option<SensorReading> {
+        DurableBackend::latest(self, topic)
+    }
+    fn contains(&self, topic: &Topic) -> bool {
+        DurableBackend::contains(self, topic)
+    }
+    fn topics(&self) -> Vec<Topic> {
+        DurableBackend::topics(self)
+    }
+    fn evict_before(&self, cutoff: Timestamp) -> usize {
+        DurableBackend::evict_before(self, cutoff)
+    }
+    fn stats(&self) -> StorageStats {
+        DurableBackend::stats(self)
+    }
+    fn flush(&self) -> Result<()> {
+        DurableBackend::flush(self)
+    }
+    fn maintain(&self, now: Timestamp) -> Result<()> {
+        DurableBackend::maintain(self, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> Topic {
+        Topic::parse(s).unwrap()
+    }
+    fn r(v: i64, s: u64) -> SensorReading {
+        SensorReading::new(v, Timestamp::from_secs(s))
+    }
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(name: &str) -> TempDir {
+            let mut p = std::env::temp_dir();
+            p.push(format!("dcdb-engine-test-{}-{name}", std::process::id()));
+            std::fs::remove_dir_all(&p).ok();
+            TempDir(p)
+        }
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            std::fs::remove_dir_all(&self.0).ok();
+        }
+    }
+
+    fn small_config() -> DurableConfig {
+        DurableConfig {
+            fsync: FsyncPolicy::Never,
+            memtable_max_readings: 100,
+            compact_min_segments: 3,
+            retention_ns: None,
+            partition_ns: 10 * 1_000_000_000,
+        }
+    }
+
+    #[test]
+    fn insert_query_without_seal() {
+        let dir = TempDir::new("basic");
+        let db = DurableBackend::open(dir.path(), small_config()).unwrap();
+        db.insert_batch(&t("/n0/power"), &[r(1, 1), r(2, 2), r(3, 3)]).unwrap();
+        let q = db.query(&t("/n0/power"), Timestamp::from_secs(2), Timestamp::MAX);
+        assert_eq!(q.iter().map(|x| x.value).collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(db.latest(&t("/n0/power")).unwrap().value, 3);
+        assert!(db.contains(&t("/n0/power")));
+        assert!(!db.contains(&t("/nope")));
+    }
+
+    #[test]
+    fn recovery_from_wal_only() {
+        let dir = TempDir::new("wal-recovery");
+        {
+            let db = DurableBackend::open(dir.path(), small_config()).unwrap();
+            for i in 1..=50u64 {
+                db.insert(&t("/n0/power"), r(i as i64, i)).unwrap();
+            }
+            // No flush: drop re-syncs but data stays only in the WAL.
+        }
+        let db = DurableBackend::open(dir.path(), small_config()).unwrap();
+        let rep = db.recovery();
+        assert_eq!(rep.wal_readings, 50);
+        assert_eq!(rep.segments, 0);
+        assert_eq!(rep.torn_tails, 0);
+        let q = db.query(&t("/n0/power"), Timestamp::ZERO, Timestamp::MAX);
+        assert_eq!(q.len(), 50);
+    }
+
+    #[test]
+    fn seal_moves_data_to_segments_and_retires_wals() {
+        let dir = TempDir::new("seal");
+        let db = DurableBackend::open(dir.path(), small_config()).unwrap();
+        for i in 1..=120u64 {
+            db.insert(&t("/n0/power"), r(i as i64, i)).unwrap();
+        }
+        // Threshold of 100 crossed → at least one automatic seal.
+        let e = db.engine_stats();
+        assert!(e.seals >= 1, "{e:?}");
+        assert!(e.sealed_segments >= 1);
+        // All data still queryable across generations.
+        let q = db.query(&t("/n0/power"), Timestamp::ZERO, Timestamp::MAX);
+        assert_eq!(q.len(), 120);
+        assert_eq!(q.iter().map(|x| x.value).sum::<i64>(), (1..=120).sum::<i64>());
+        // WAL generations covered by the segment were deleted.
+        let wals = std::fs::read_dir(dir.path())
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().starts_with("wal-"))
+            .count();
+        assert_eq!(wals, 1, "only the active WAL should remain");
+    }
+
+    #[test]
+    fn recovery_from_segments_and_wal() {
+        let dir = TempDir::new("mixed-recovery");
+        {
+            let db = DurableBackend::open(dir.path(), small_config()).unwrap();
+            for i in 1..=250u64 {
+                db.insert(&t("/n0/power"), r(i as i64, i)).unwrap();
+            }
+            for i in 1..=30u64 {
+                db.insert(&t("/n1/temp"), r(-(i as i64), i)).unwrap();
+            }
+        }
+        let db = DurableBackend::open(dir.path(), small_config()).unwrap();
+        let rep = db.recovery();
+        assert!(rep.segments >= 2, "{rep:?}");
+        assert!(rep.wal_readings > 0, "{rep:?}");
+        assert_eq!(rep.segment_readings + rep.wal_readings, 280);
+        let q = db.query(&t("/n0/power"), Timestamp::ZERO, Timestamp::MAX);
+        assert_eq!(q.len(), 250);
+        let q = db.query(&t("/n1/temp"), Timestamp::ZERO, Timestamp::MAX);
+        assert_eq!(q.len(), 30);
+        assert_eq!(db.latest(&t("/n0/power")).unwrap().value, 250);
+    }
+
+    #[test]
+    fn segment_readings_are_byte_identical() {
+        let dir = TempDir::new("identical");
+        let readings: Vec<SensorReading> = (0..500)
+            .map(|i| SensorReading::new(i64::MAX - i as i64 * 7, Timestamp(1_000_000 + i * 333)))
+            .collect();
+        let db = DurableBackend::open(dir.path(), small_config()).unwrap();
+        db.insert_batch(&t("/n0/exact"), &readings).unwrap();
+        db.flush().unwrap();
+        assert!(db.engine_stats().sealed_segments >= 1);
+        let q = db.query(&t("/n0/exact"), Timestamp::ZERO, Timestamp::MAX);
+        assert_eq!(q, readings);
+    }
+
+    #[test]
+    fn merge_prefers_newest_generation_on_duplicate_ts() {
+        let dir = TempDir::new("dup-ts");
+        let db = DurableBackend::open(dir.path(), small_config()).unwrap();
+        db.insert(&t("/n0/s"), r(1, 10)).unwrap();
+        db.flush().unwrap(); // sealed: value 1 @ ts 10
+        db.insert(&t("/n0/s"), r(2, 10)).unwrap(); // memtable overwrite
+        let q = db.query(&t("/n0/s"), Timestamp::ZERO, Timestamp::MAX);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].value, 2);
+        assert_eq!(db.latest(&t("/n0/s")).unwrap().value, 2);
+        // Seal the overwrite too: later segment wins.
+        db.flush().unwrap();
+        let q = db.query(&t("/n0/s"), Timestamp::ZERO, Timestamp::MAX);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].value, 2);
+    }
+
+    #[test]
+    fn compaction_merges_segments() {
+        let dir = TempDir::new("compact");
+        let db = DurableBackend::open(dir.path(), small_config()).unwrap();
+        for round in 0..4u64 {
+            for i in 0..50u64 {
+                let ts = round * 50 + i + 1;
+                db.insert(&t("/n0/power"), r(ts as i64, ts)).unwrap();
+            }
+            db.seal().unwrap();
+        }
+        assert_eq!(db.engine_stats().sealed_segments, 4);
+        assert!(db.compact().unwrap());
+        let e = db.engine_stats();
+        assert_eq!(e.sealed_segments, 1);
+        assert_eq!(e.compactions, 1);
+        let q = db.query(&t("/n0/power"), Timestamp::ZERO, Timestamp::MAX);
+        assert_eq!(q.len(), 200);
+        assert!(q.windows(2).all(|w| w[0].ts < w[1].ts));
+        // Old segment files are gone from disk.
+        let segs = std::fs::read_dir(dir.path())
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().starts_with("seg-"))
+            .count();
+        assert_eq!(segs, 1);
+    }
+
+    #[test]
+    fn eviction_drops_old_segments_and_memtable_partitions() {
+        let dir = TempDir::new("evict");
+        let db = DurableBackend::open(dir.path(), small_config()).unwrap();
+        for i in 0..100u64 {
+            db.insert(&t("/n0/power"), r(i as i64, i)).unwrap();
+        }
+        db.seal().unwrap(); // segment spans [0, 99]
+        for i in 100..140u64 {
+            db.insert(&t("/n0/power"), r(i as i64, i)).unwrap();
+        }
+        // Cutoff above the sealed segment's max: segment dropped whole.
+        let evicted = db.evict_before(Timestamp::from_secs(120));
+        assert!(evicted >= 100, "evicted {evicted}");
+        let q = db.query(&t("/n0/power"), Timestamp::ZERO, Timestamp::MAX);
+        assert!(q.iter().all(|x| x.ts >= Timestamp::from_secs(120)));
+        assert_eq!(db.engine_stats().sealed_segments, 0);
+    }
+
+    #[test]
+    fn maintain_applies_retention() {
+        let dir = TempDir::new("retention");
+        let config = DurableConfig {
+            retention_ns: Some(50 * 1_000_000_000),
+            ..small_config()
+        };
+        let db = DurableBackend::open(dir.path(), config).unwrap();
+        for i in 0..100u64 {
+            db.insert(&t("/n0/power"), r(i as i64, i)).unwrap();
+        }
+        db.seal().unwrap();
+        db.maintain(Timestamp::from_secs(200)).unwrap();
+        // Everything is older than 200s - 50s = 150s.
+        let q = db.query(&t("/n0/power"), Timestamp::ZERO, Timestamp::MAX);
+        assert!(q.is_empty(), "{} readings survive", q.len());
+    }
+
+    #[test]
+    fn concurrent_ingest_with_seals() {
+        let dir = TempDir::new("concurrent");
+        let db = Arc::new(DurableBackend::open(dir.path(), small_config()).unwrap());
+        let mut handles = vec![];
+        for n in 0..4 {
+            let db = Arc::clone(&db);
+            handles.push(std::thread::spawn(move || {
+                let topic = t(&format!("/n{n}/s"));
+                for i in 1..=500u64 {
+                    db.insert(&topic, r(i as i64, i)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for n in 0..4 {
+            let q = db.query(&t(&format!("/n{n}/s")), Timestamp::ZERO, Timestamp::MAX);
+            assert_eq!(q.len(), 500, "topic /n{n}/s");
+        }
+        assert!(db.engine_stats().seals >= 1);
+    }
+
+    #[test]
+    fn stats_and_debug_cover_generations() {
+        let dir = TempDir::new("stats");
+        let db = DurableBackend::open(dir.path(), small_config()).unwrap();
+        db.insert_batch(&t("/a/x"), &[r(1, 1), r(2, 2)]).unwrap();
+        db.seal().unwrap();
+        db.insert(&t("/b/y"), r(3, 3)).unwrap();
+        let s = db.stats();
+        assert_eq!(s.readings, 3);
+        assert_eq!(s.sensors, 2);
+        assert_eq!(s.inserts, 3);
+        assert!(db.disk_bytes() > 0);
+        let dbg = format!("{db:?}");
+        assert!(dbg.contains("DurableBackend"));
+        let mut topics = db.topics();
+        topics.sort();
+        assert_eq!(topics, vec![t("/a/x"), t("/b/y")]);
+    }
+}

@@ -7,16 +7,70 @@
 //! Collect Agent and time-range reads from the Wintermute Query Engine
 //! when a request misses the sensor caches (paper §V-B).
 //!
-//! * [`series`] — one sensor's partitioned series;
-//! * [`backend`] — the concurrent keyspace;
-//! * [`snapshot`] — binary snapshot persistence for the in-memory
-//!   store (the durability Cassandra provides for free).
+//! Two engines implement the common [`StorageEngine`] trait:
+//!
+//! * [`backend::StorageBackend`] — the sharded in-memory keyspace;
+//! * [`engine::DurableBackend`] — the log-structured durable engine
+//!   layering a write-ahead log ([`wal`]), compressed immutable sealed
+//!   segments ([`segment`], [`compress`]) and compaction on top of the
+//!   in-memory backend used as its memtable.
+//!
+//! Supporting modules: [`series`] (one sensor's partitioned series),
+//! [`snapshot`] (binary full-store snapshots), [`crc`] (checksums shared
+//! by the on-disk formats).
 
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod compress;
+pub mod crc;
+pub mod engine;
+pub mod segment;
 pub mod series;
 pub mod snapshot;
+pub mod wal;
 
 pub use backend::{StorageBackend, StorageStats};
+pub use engine::{DurableBackend, DurableConfig, EngineStats, RecoveryReport};
 pub use series::{Series, DEFAULT_PARTITION_NS};
+pub use wal::FsyncPolicy;
+
+use dcdb_common::error::Result;
+use dcdb_common::reading::SensorReading;
+use dcdb_common::time::Timestamp;
+use dcdb_common::topic::Topic;
+
+/// The storage abstraction the rest of the stack programs against.
+///
+/// Both the volatile [`StorageBackend`] and the durable
+/// [`DurableBackend`] implement it, so the Collect Agent and the Query
+/// Engine take an `Arc<dyn StorageEngine>` and pick durability at
+/// deployment time. Write methods return a [`Result`] so a durable
+/// engine can refuse to acknowledge data it failed to journal; the
+/// in-memory engine never fails.
+pub trait StorageEngine: Send + Sync + std::fmt::Debug {
+    /// Inserts one reading for `topic`.
+    fn insert(&self, topic: &Topic, r: SensorReading) -> Result<()>;
+    /// Inserts a batch of readings for `topic`.
+    fn insert_batch(&self, topic: &Topic, readings: &[SensorReading]) -> Result<()>;
+    /// Readings for `topic` with `t0 <= ts <= t1`, timestamp-ordered.
+    fn query(&self, topic: &Topic, t0: Timestamp, t1: Timestamp) -> Vec<SensorReading>;
+    /// The newest reading for `topic`.
+    fn latest(&self, topic: &Topic) -> Option<SensorReading>;
+    /// True when any data exists for `topic`.
+    fn contains(&self, topic: &Topic) -> bool;
+    /// All topics with stored data.
+    fn topics(&self) -> Vec<Topic>;
+    /// Drops data strictly older than `cutoff`; returns readings evicted.
+    fn evict_before(&self, cutoff: Timestamp) -> usize;
+    /// Counter snapshot.
+    fn stats(&self) -> StorageStats;
+    /// Makes all acknowledged data durable (no-op for volatile engines).
+    fn flush(&self) -> Result<()> {
+        Ok(())
+    }
+    /// One background maintenance pass (sealing, compaction, retention).
+    fn maintain(&self, _now: Timestamp) -> Result<()> {
+        Ok(())
+    }
+}

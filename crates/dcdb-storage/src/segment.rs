@@ -1,0 +1,375 @@
+//! Immutable sealed segment files.
+//!
+//! When the engine's memtable fills (or a flush is requested), its
+//! contents are written out as one *segment*: an immutable file holding
+//! every sensor's readings as a compressed block (see [`crate::compress`]),
+//! plus a footer index mapping topic → block location and time range.
+//! Queries open the index once at startup and then read only the blocks
+//! that can contain the requested topic and window.
+//!
+//! ```text
+//! [8B magic "DCDBSEG1"]
+//! block*:   compress_block bytes, back to back
+//! index:    [u32 topic_count]
+//!           topic_count × { [u16 topic_len][topic utf-8]
+//!                           [u64 offset][u32 len][u32 crc32(block)]
+//!                           [u32 count][u64 min_ts][u64 max_ts] }
+//! trailer:  [u64 index_offset][u32 crc32(index)][8B magic "DCDBSEGE"]
+//! ```
+//!
+//! Segments are written to a temp file, fsynced, then renamed into
+//! place — a crash mid-seal leaves no partial segment behind.
+
+use crate::compress::{compress_block, decompress_block};
+use crate::crc::crc32;
+use dcdb_common::error::{DcdbError, Result};
+use dcdb_common::reading::SensorReading;
+use dcdb_common::time::Timestamp;
+use dcdb_common::topic::Topic;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Leading file magic.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"DCDBSEG1";
+/// Trailing file magic.
+pub const SEGMENT_MAGIC_END: &[u8; 8] = b"DCDBSEGE";
+
+/// Index entry for one topic's block inside a segment.
+#[derive(Debug, Clone)]
+struct BlockMeta {
+    offset: u64,
+    len: u32,
+    crc: u32,
+    count: u32,
+    min_ts: Timestamp,
+    max_ts: Timestamp,
+}
+
+/// Writes a segment file from per-topic reading runs.
+///
+/// `entries` must contain each reading run sorted by timestamp (the
+/// memtable guarantees this); topics may come in any order.
+pub fn write_segment(path: &Path, entries: &[(Topic, Vec<SensorReading>)]) -> Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(SEGMENT_MAGIC)?;
+        let mut offset = SEGMENT_MAGIC.len() as u64;
+        let mut index = Vec::new();
+        let mut metas: Vec<(&Topic, BlockMeta)> = Vec::with_capacity(entries.len());
+        for (topic, readings) in entries {
+            if readings.is_empty() {
+                continue;
+            }
+            let block = compress_block(readings);
+            file.write_all(&block)?;
+            metas.push((
+                topic,
+                BlockMeta {
+                    offset,
+                    len: block.len() as u32,
+                    crc: crc32(&block),
+                    count: readings.len() as u32,
+                    min_ts: readings.first().unwrap().ts,
+                    max_ts: readings.last().unwrap().ts,
+                },
+            ));
+            offset += block.len() as u64;
+        }
+        index.extend_from_slice(&(metas.len() as u32).to_le_bytes());
+        for (topic, m) in &metas {
+            let bytes = topic.as_str().as_bytes();
+            index.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+            index.extend_from_slice(bytes);
+            index.extend_from_slice(&m.offset.to_le_bytes());
+            index.extend_from_slice(&m.len.to_le_bytes());
+            index.extend_from_slice(&m.crc.to_le_bytes());
+            index.extend_from_slice(&m.count.to_le_bytes());
+            index.extend_from_slice(&m.min_ts.as_nanos().to_le_bytes());
+            index.extend_from_slice(&m.max_ts.as_nanos().to_le_bytes());
+        }
+        file.write_all(&index)?;
+        file.write_all(&offset.to_le_bytes())?;
+        file.write_all(&crc32(&index).to_le_bytes())?;
+        file.write_all(SEGMENT_MAGIC_END)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // Fsync the directory so the rename itself is durable.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Read handle over one sealed segment: in-memory index, on-demand
+/// block reads.
+pub struct SegmentReader {
+    path: PathBuf,
+    index: HashMap<Topic, BlockMeta>,
+    min_ts: Timestamp,
+    max_ts: Timestamp,
+    readings: usize,
+}
+
+impl SegmentReader {
+    /// Opens a segment, validating magics and the index checksum.
+    pub fn open(path: &Path) -> Result<SegmentReader> {
+        let corrupt = |what: &str| {
+            DcdbError::Parse(format!("segment {}: {what}", path.display()))
+        };
+        let mut file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let trailer_len = 8 + 4 + 8;
+        if file_len < (SEGMENT_MAGIC.len() + trailer_len) as u64 {
+            return Err(corrupt("file too short"));
+        }
+        let mut magic = [0u8; 8];
+        file.read_exact(&mut magic)?;
+        if &magic != SEGMENT_MAGIC {
+            return Err(corrupt("bad leading magic"));
+        }
+        file.seek(SeekFrom::End(-(trailer_len as i64)))?;
+        let mut trailer = [0u8; 8 + 4 + 8];
+        file.read_exact(&mut trailer)?;
+        if &trailer[12..20] != SEGMENT_MAGIC_END {
+            return Err(corrupt("bad trailing magic"));
+        }
+        let index_offset = u64::from_le_bytes(trailer[0..8].try_into().unwrap());
+        let index_crc = u32::from_le_bytes(trailer[8..12].try_into().unwrap());
+        let index_end = file_len - trailer_len as u64;
+        if index_offset < SEGMENT_MAGIC.len() as u64 || index_offset > index_end {
+            return Err(corrupt("index offset out of range"));
+        }
+        let mut index_bytes = vec![0u8; (index_end - index_offset) as usize];
+        file.seek(SeekFrom::Start(index_offset))?;
+        file.read_exact(&mut index_bytes)?;
+        if crc32(&index_bytes) != index_crc {
+            return Err(corrupt("index checksum mismatch"));
+        }
+
+        fn take<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Option<&'a [u8]> {
+            let s = buf.get(*pos..pos.checked_add(n)?)?;
+            *pos += n;
+            Some(s)
+        }
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| {
+            take(&index_bytes, pos, n).ok_or_else(|| corrupt("truncated index"))
+        };
+        let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let mut index = HashMap::with_capacity(count);
+        let mut min_ts = Timestamp::MAX;
+        let mut max_ts = Timestamp::ZERO;
+        let mut readings = 0usize;
+        for _ in 0..count {
+            let topic_len =
+                u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+            let topic = Topic::parse(
+                std::str::from_utf8(take(&mut pos, topic_len)?)
+                    .map_err(|_| corrupt("non-utf8 topic"))?,
+            )?;
+            let meta = BlockMeta {
+                offset: u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()),
+                len: u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()),
+                crc: u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()),
+                count: u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()),
+                min_ts: Timestamp(u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap())),
+                max_ts: Timestamp(u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap())),
+            };
+            min_ts = min_ts.min(meta.min_ts);
+            max_ts = max_ts.max(meta.max_ts);
+            readings += meta.count as usize;
+            index.insert(topic, meta);
+        }
+        if pos != index_bytes.len() {
+            return Err(corrupt("index has trailing bytes"));
+        }
+        Ok(SegmentReader {
+            path: path.to_path_buf(),
+            index,
+            min_ts,
+            max_ts,
+            readings,
+        })
+    }
+
+    /// The segment file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Topics indexed by this segment.
+    pub fn topics(&self) -> impl Iterator<Item = &Topic> {
+        self.index.keys()
+    }
+
+    /// True when this segment holds data for `topic`.
+    pub fn contains(&self, topic: &Topic) -> bool {
+        self.index.contains_key(topic)
+    }
+
+    /// Newest timestamp indexed for `topic`, without touching the block.
+    pub fn block_max_ts(&self, topic: &Topic) -> Option<Timestamp> {
+        self.index.get(topic).map(|m| m.max_ts)
+    }
+
+    /// Total readings across all blocks.
+    pub fn reading_count(&self) -> usize {
+        self.readings
+    }
+
+    /// The segment's overall `[min_ts, max_ts]` span; `None` when empty.
+    pub fn time_range(&self) -> Option<(Timestamp, Timestamp)> {
+        if self.index.is_empty() {
+            None
+        } else {
+            Some((self.min_ts, self.max_ts))
+        }
+    }
+
+    /// Readings stored for `topic` in this segment (whole block),
+    /// timestamp-ordered. `None` when the topic has no block here.
+    pub fn read_topic(&self, topic: &Topic) -> Result<Option<Vec<SensorReading>>> {
+        let Some(meta) = self.index.get(topic) else {
+            return Ok(None);
+        };
+        let mut file = File::open(&self.path)?;
+        file.seek(SeekFrom::Start(meta.offset))?;
+        let mut block = vec![0u8; meta.len as usize];
+        file.read_exact(&mut block)?;
+        if crc32(&block) != meta.crc {
+            return Err(DcdbError::Parse(format!(
+                "segment {}: block checksum mismatch for {topic}",
+                self.path.display()
+            )));
+        }
+        Ok(Some(decompress_block(&block)?))
+    }
+
+    /// Range query against one topic's block, pruned by the indexed
+    /// time range before any I/O happens.
+    pub fn query(&self, topic: &Topic, t0: Timestamp, t1: Timestamp) -> Result<Vec<SensorReading>> {
+        let Some(meta) = self.index.get(topic) else {
+            return Ok(Vec::new());
+        };
+        if t1 < t0 || meta.max_ts < t0 || t1 < meta.min_ts {
+            return Ok(Vec::new());
+        }
+        let readings = self.read_topic(topic)?.unwrap_or_default();
+        let lo = readings.partition_point(|r| r.ts < t0);
+        let hi = readings.partition_point(|r| r.ts <= t1);
+        Ok(readings[lo..hi].to_vec())
+    }
+}
+
+impl std::fmt::Debug for SegmentReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentReader")
+            .field("path", &self.path)
+            .field("topics", &self.index.len())
+            .field("readings", &self.readings)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> Topic {
+        Topic::parse(s).unwrap()
+    }
+    fn r(v: i64, s: u64) -> SensorReading {
+        SensorReading::new(v, Timestamp::from_secs(s))
+    }
+
+    fn temp_seg(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dcdb-seg-test-{}-{name}.seg", std::process::id()));
+        p
+    }
+
+    fn entries() -> Vec<(Topic, Vec<SensorReading>)> {
+        vec![
+            (t("/n0/power"), (1..=100).map(|i| r(i, i as u64)).collect()),
+            (t("/n1/temp"), (50..=80).map(|i| r(-i, i as u64)).collect()),
+        ]
+    }
+
+    #[test]
+    fn write_open_query_round_trip() {
+        let path = temp_seg("roundtrip");
+        write_segment(&path, &entries()).unwrap();
+        let seg = SegmentReader::open(&path).unwrap();
+        assert_eq!(seg.reading_count(), 131);
+        assert!(seg.contains(&t("/n0/power")));
+        assert!(!seg.contains(&t("/nope")));
+        assert_eq!(
+            seg.time_range(),
+            Some((Timestamp::from_secs(1), Timestamp::from_secs(100)))
+        );
+        let q = seg
+            .query(&t("/n0/power"), Timestamp::from_secs(10), Timestamp::from_secs(12))
+            .unwrap();
+        assert_eq!(q.iter().map(|x| x.value).collect::<Vec<_>>(), vec![10, 11, 12]);
+        // Out-of-range queries are pruned by the index alone.
+        assert!(seg
+            .query(&t("/n0/power"), Timestamp::from_secs(200), Timestamp::MAX)
+            .unwrap()
+            .is_empty());
+        assert_eq!(seg.read_topic(&t("/n1/temp")).unwrap().unwrap().len(), 31);
+        assert!(seg.read_topic(&t("/nope")).unwrap().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_runs_are_skipped() {
+        let path = temp_seg("empty-runs");
+        write_segment(&path, &[(t("/a/b"), vec![]), (t("/c/d"), vec![r(1, 1)])]).unwrap();
+        let seg = SegmentReader::open(&path).unwrap();
+        assert!(!seg.contains(&t("/a/b")));
+        assert_eq!(seg.reading_count(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_index_is_rejected() {
+        let path = temp_seg("corrupt-index");
+        write_segment(&path, &entries()).unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        // Flip a byte inside the index (between index_offset and trailer).
+        let index_offset =
+            u64::from_le_bytes(data[data.len() - 20..data.len() - 12].try_into().unwrap());
+        data[index_offset as usize + 2] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        assert!(SegmentReader::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_block_is_detected_on_read() {
+        let path = temp_seg("corrupt-block");
+        write_segment(&path, &entries()).unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        data[10] ^= 0xFF; // inside the first block
+        std::fs::write(&path, &data).unwrap();
+        let seg = SegmentReader::open(&path).unwrap(); // index still fine
+        assert!(seg.read_topic(&t("/n0/power")).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_files_are_rejected() {
+        let path = temp_seg("garbage");
+        std::fs::write(&path, b"garbage").unwrap();
+        assert!(SegmentReader::open(&path).is_err());
+        std::fs::write(&path, vec![0u8; 64]).unwrap();
+        assert!(SegmentReader::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,385 @@
+//! Append-only write-ahead log: the durability point of the engine.
+//!
+//! Every insert batch is journaled here *before* it is acknowledged, so
+//! a crash can lose at most what the configured [`FsyncPolicy`] allows.
+//! The format is deliberately boring — self-delimiting records with a
+//! per-record CRC-32, so replay can stop cleanly at a torn tail left by
+//! a crash mid-append:
+//!
+//! ```text
+//! [8B magic "DCDBWAL1"]
+//! record*:
+//!   [u32 payload_len] [u32 crc32(payload)] [payload]
+//! payload:
+//!   [u16 topic_len] [topic utf-8]
+//!   [u32 count] count × { [i64 value] [u64 ts] }
+//! ```
+//!
+//! All integers little-endian. A record whose length field reaches past
+//! the end of the file, or whose CRC does not match, terminates replay:
+//! everything before it is recovered, everything after is discarded
+//! (it was never acknowledged durable).
+
+use crate::crc::crc32;
+use dcdb_common::error::{DcdbError, Result};
+use dcdb_common::reading::SensorReading;
+use dcdb_common::time::Timestamp;
+use dcdb_common::topic::Topic;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// File magic for WAL files.
+pub const WAL_MAGIC: &[u8; 8] = b"DCDBWAL1";
+
+/// Largest accepted payload (1 GiB): guards replay against reading a
+/// corrupt length field as an allocation size.
+const MAX_PAYLOAD: u32 = 1 << 30;
+
+/// When the WAL calls `fsync` relative to appends.
+///
+/// `Always` makes every acknowledged batch crash-durable; `EveryN`
+/// amortizes the syscall over a batch window (at most `N - 1` batches
+/// at risk); `Never` leaves flushing to the OS page cache (data still
+/// survives a process kill, but not a machine crash).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every append.
+    Always,
+    /// `fsync` after every `N` appends (and on explicit [`WalWriter::sync`]).
+    EveryN(u32),
+    /// Never `fsync` implicitly.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses the CLI spelling used by `wintermute-sim` and `oda-bench`
+    /// (`always`, `batch`, `never`).
+    pub fn parse(s: &str) -> Result<FsyncPolicy> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "batch" => Ok(FsyncPolicy::EveryN(64)),
+            "never" => Ok(FsyncPolicy::Never),
+            other => Err(DcdbError::Config(format!(
+                "unknown fsync policy {other:?} (expected always|batch|never)"
+            ))),
+        }
+    }
+}
+
+/// Appender over one WAL file.
+///
+/// Appends are single `write_all` calls of a fully assembled record, so
+/// nothing acknowledged is ever buffered in user space — a process kill
+/// after an append cannot lose the record (only a machine crash can,
+/// subject to the fsync policy).
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    appends_since_sync: u32,
+    bytes: u64,
+}
+
+impl WalWriter {
+    /// Creates a fresh WAL at `path`, truncating any existing file.
+    pub fn create(path: &Path, policy: FsyncPolicy) -> Result<WalWriter> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(WAL_MAGIC)?;
+        file.sync_all()?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            appends_since_sync: 0,
+            bytes: WAL_MAGIC.len() as u64,
+        })
+    }
+
+    /// Reopens an existing WAL for appending, truncating it to
+    /// `good_len` first (the clean prefix a prior [`replay`] validated).
+    pub fn open_append(path: &Path, policy: FsyncPolicy, good_len: u64) -> Result<WalWriter> {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(good_len)?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            appends_since_sync: 0,
+            bytes: good_len,
+        })
+    }
+
+    /// Journals one batch of readings for `topic`. On return the record
+    /// is in the file (and fsynced, under `FsyncPolicy::Always`).
+    pub fn append(&mut self, topic: &Topic, readings: &[SensorReading]) -> Result<()> {
+        let topic_bytes = topic.as_str().as_bytes();
+        let payload_len = 2 + topic_bytes.len() + 4 + readings.len() * 16;
+        let mut buf = Vec::with_capacity(8 + payload_len);
+        buf.extend_from_slice(&(payload_len as u32).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 4]); // CRC placeholder
+        buf.extend_from_slice(&(topic_bytes.len() as u16).to_le_bytes());
+        buf.extend_from_slice(topic_bytes);
+        buf.extend_from_slice(&(readings.len() as u32).to_le_bytes());
+        for r in readings {
+            buf.extend_from_slice(&r.value.to_le_bytes());
+            buf.extend_from_slice(&r.ts.as_nanos().to_le_bytes());
+        }
+        let crc = crc32(&buf[8..]);
+        buf[4..8].copy_from_slice(&crc.to_le_bytes());
+        self.file.write_all(&buf)?;
+        self.bytes += buf.len() as u64;
+        self.appends_since_sync += 1;
+        match self.policy {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                if self.appends_since_sync >= n {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(())
+    }
+
+    /// Forces an fsync of everything appended so far.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
+    /// Bytes written so far, including the header.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Outcome of a [`replay`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalReplay {
+    /// Complete record batches recovered.
+    pub batches: usize,
+    /// Readings recovered across those batches.
+    pub readings: usize,
+    /// True when a torn or corrupt tail stopped replay early.
+    pub torn_tail: bool,
+    /// Length of the validated prefix — reopen for append with
+    /// [`WalWriter::open_append`] at this offset to drop the torn tail.
+    pub good_len: u64,
+}
+
+/// Replays a WAL, calling `sink(topic, readings)` per recovered record.
+///
+/// Tolerates a torn tail: a truncated or CRC-corrupt record terminates
+/// replay without error, reporting `torn_tail = true` and the length of
+/// the clean prefix.
+pub fn replay(
+    path: &Path,
+    mut sink: impl FnMut(Topic, Vec<SensorReading>),
+) -> Result<WalReplay> {
+    let mut data = Vec::new();
+    File::open(path)?.read_to_end(&mut data)?;
+    if data.len() < WAL_MAGIC.len() || &data[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(DcdbError::Parse(format!(
+            "{} is not a DCDB WAL file",
+            path.display()
+        )));
+    }
+    let mut report = WalReplay {
+        good_len: WAL_MAGIC.len() as u64,
+        ..WalReplay::default()
+    };
+    let mut pos = WAL_MAGIC.len();
+    loop {
+        if pos == data.len() {
+            return Ok(report); // clean end
+        }
+        if pos + 8 > data.len() {
+            report.torn_tail = true;
+            return Ok(report); // torn header
+        }
+        let payload_len =
+            u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc_expected = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
+        if payload_len as u32 > MAX_PAYLOAD || pos + 8 + payload_len > data.len() {
+            report.torn_tail = true;
+            return Ok(report); // torn or corrupt length
+        }
+        let payload = &data[pos + 8..pos + 8 + payload_len];
+        if crc32(payload) != crc_expected {
+            report.torn_tail = true;
+            return Ok(report); // corrupt payload
+        }
+        match decode_payload(payload) {
+            Some((topic, readings)) => {
+                report.batches += 1;
+                report.readings += readings.len();
+                sink(topic, readings);
+            }
+            None => {
+                // CRC passed but the structure is inconsistent — treat
+                // as corruption and stop, like a torn tail.
+                report.torn_tail = true;
+                return Ok(report);
+            }
+        }
+        pos += 8 + payload_len;
+        report.good_len = pos as u64;
+    }
+}
+
+fn decode_payload(payload: &[u8]) -> Option<(Topic, Vec<SensorReading>)> {
+    if payload.len() < 6 {
+        return None;
+    }
+    let topic_len = u16::from_le_bytes(payload[0..2].try_into().unwrap()) as usize;
+    if payload.len() < 2 + topic_len + 4 {
+        return None;
+    }
+    let topic = Topic::parse(std::str::from_utf8(&payload[2..2 + topic_len]).ok()?).ok()?;
+    let count =
+        u32::from_le_bytes(payload[2 + topic_len..2 + topic_len + 4].try_into().unwrap())
+            as usize;
+    let body = &payload[2 + topic_len + 4..];
+    if body.len() != count * 16 {
+        return None;
+    }
+    let mut readings = Vec::with_capacity(count);
+    for chunk in body.chunks_exact(16) {
+        let value = i64::from_le_bytes(chunk[0..8].try_into().unwrap());
+        let ts = u64::from_le_bytes(chunk[8..16].try_into().unwrap());
+        readings.push(SensorReading::new(value, Timestamp(ts)));
+    }
+    Some((topic, readings))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> Topic {
+        Topic::parse(s).unwrap()
+    }
+    fn r(v: i64, s: u64) -> SensorReading {
+        SensorReading::new(v, Timestamp::from_secs(s))
+    }
+
+    fn temp_wal(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dcdb-wal-test-{}-{name}.log", std::process::id()));
+        p
+    }
+
+    fn collect_replay(path: &Path) -> (Vec<(Topic, Vec<SensorReading>)>, WalReplay) {
+        let mut got = Vec::new();
+        let rep = replay(path, |topic, readings| got.push((topic, readings))).unwrap();
+        (got, rep)
+    }
+
+    #[test]
+    fn append_replay_round_trip() {
+        let path = temp_wal("roundtrip");
+        let mut w = WalWriter::create(&path, FsyncPolicy::Never).unwrap();
+        w.append(&t("/n0/power"), &[r(1, 1), r(2, 2)]).unwrap();
+        w.append(&t("/n1/temp"), &[r(-7, 3)]).unwrap();
+        w.sync().unwrap();
+        let (got, rep) = collect_replay(&path);
+        assert_eq!(rep.batches, 2);
+        assert_eq!(rep.readings, 3);
+        assert!(!rep.torn_tail);
+        assert_eq!(rep.good_len, w.bytes_written());
+        assert_eq!(got[0].0, t("/n0/power"));
+        assert_eq!(got[0].1, vec![r(1, 1), r(2, 2)]);
+        assert_eq!(got[1].1, vec![r(-7, 3)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_and_prefix_recovered() {
+        let path = temp_wal("torn");
+        let mut w = WalWriter::create(&path, FsyncPolicy::Never).unwrap();
+        w.append(&t("/a/b"), &[r(1, 1)]).unwrap();
+        let good = w.bytes_written();
+        w.append(&t("/a/b"), &[r(2, 2), r(3, 3)]).unwrap();
+        drop(w);
+        // Crash mid-append: cut the last record in half.
+        let full = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(good + (full - good) / 2).unwrap();
+        drop(f);
+        let (got, rep) = collect_replay(&path);
+        assert!(rep.torn_tail);
+        assert_eq!(rep.batches, 1);
+        assert_eq!(rep.good_len, good);
+        assert_eq!(got[0].1, vec![r(1, 1)]);
+        // Reopening at good_len drops the tail; appends continue cleanly.
+        let mut w = WalWriter::open_append(&path, FsyncPolicy::Never, rep.good_len).unwrap();
+        w.append(&t("/a/b"), &[r(4, 4)]).unwrap();
+        w.sync().unwrap();
+        let (got, rep) = collect_replay(&path);
+        assert!(!rep.torn_tail);
+        assert_eq!(rep.batches, 2);
+        assert_eq!(got[1].1, vec![r(4, 4)]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_record_stops_replay() {
+        let path = temp_wal("corrupt");
+        let mut w = WalWriter::create(&path, FsyncPolicy::Never).unwrap();
+        w.append(&t("/a/b"), &[r(1, 1)]).unwrap();
+        let good = w.bytes_written();
+        w.append(&t("/a/b"), &[r(2, 2)]).unwrap();
+        w.append(&t("/a/b"), &[r(3, 3)]).unwrap();
+        drop(w);
+        // Flip one byte inside the second record's payload.
+        let mut data = std::fs::read(&path).unwrap();
+        data[good as usize + 12] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        let (got, rep) = collect_replay(&path);
+        assert!(rep.torn_tail);
+        assert_eq!(rep.batches, 1);
+        assert_eq!(got.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_non_wal_files() {
+        let path = temp_wal("garbage");
+        std::fs::write(&path, b"not a wal").unwrap();
+        assert!(replay(&path, |_, _| {}).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fsync_policies_parse() {
+        assert_eq!(FsyncPolicy::parse("always").unwrap(), FsyncPolicy::Always);
+        assert_eq!(FsyncPolicy::parse("batch").unwrap(), FsyncPolicy::EveryN(64));
+        assert_eq!(FsyncPolicy::parse("never").unwrap(), FsyncPolicy::Never);
+        assert!(FsyncPolicy::parse("sometimes").is_err());
+    }
+
+    #[test]
+    fn empty_wal_replays_clean() {
+        let path = temp_wal("empty");
+        let w = WalWriter::create(&path, FsyncPolicy::Always).unwrap();
+        drop(w);
+        let (got, rep) = collect_replay(&path);
+        assert!(got.is_empty());
+        assert!(!rep.torn_tail);
+        assert_eq!(rep.good_len, WAL_MAGIC.len() as u64);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,60 @@
+//! Durable storage engine throughput: ingest / scan / recovery.
+//!
+//! ```text
+//! cargo run --release -p oda-bench --bin storage_engine            # full run
+//! cargo run --release -p oda-bench --bin storage_engine -- --quick # smoke run
+//! cargo run --release -p oda-bench --bin storage_engine -- --fsync always
+//! ```
+
+use dcdb_storage::FsyncPolicy;
+use oda_bench::storage_engine::{run, StorageEngineConfig};
+use oda_bench::write_json;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut config = if quick {
+        StorageEngineConfig::quick()
+    } else {
+        StorageEngineConfig::paper()
+    };
+    if let Some(i) = args.iter().position(|a| a == "--fsync") {
+        let policy = args.get(i + 1).map(String::as_str).unwrap_or("batch");
+        config.fsync = FsyncPolicy::parse(policy).expect("--fsync must be always|batch|never");
+    }
+
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("oda-bench-storage-engine-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    println!(
+        "storage engine bench: {} sensors x {} readings (batch {}, fsync {:?})\n",
+        config.sensors, config.readings_per_sensor, config.batch, config.fsync
+    );
+    let result = run(&config, &dir);
+    std::fs::remove_dir_all(&dir).ok();
+
+    println!(
+        "ingest (durable)   : {:>12.0} readings/s",
+        result.ingest_per_sec
+    );
+    println!(
+        "ingest (memtable)  : {:>12.0} readings/s  (no WAL, no seals)",
+        result.memtable_ingest_per_sec
+    );
+    println!(
+        "scan (sealed)      : {:>12.0} readings/s",
+        result.scan_per_sec
+    );
+    println!(
+        "recovery           : {:>12.0} readings/s  ({:.1} ms for {} readings)",
+        result.recovery_per_sec, result.recovery_ms, result.readings
+    );
+    println!(
+        "on disk            : {:>12} bytes across {} segments ({} seals), {:.1}x compression",
+        result.disk_bytes, result.segments, result.seals, result.compression_ratio
+    );
+
+    let path = write_json("storage_engine", &result).expect("write json");
+    println!("\nraw data -> {}", path.display());
+}

@@ -188,8 +188,8 @@ pub fn run(config: &Fig6Config) -> Fig6Result {
     let mut series = Vec::new();
     let mut all_errors = Vec::new();
     let mut bin_hist = Histogram::new(48.0, 312.0, 22); // 12 W bins like Fig. 6b
-    let mut bin_err_sum = vec![0.0f64; 22];
-    let mut bin_err_count = vec![0usize; 22];
+    let mut bin_err_sum = [0.0f64; 22];
+    let mut bin_err_count = [0usize; 22];
 
     let t0 = preds.first().map(|p| p.ts).unwrap_or(Timestamp::ZERO);
     for p in &preds {

@@ -142,7 +142,7 @@ pub fn run(config: &Fig8Config) -> Fig8Result {
     let window_ns = config.duration_s * NS_PER_SEC;
     let mut points = Vec::with_capacity(total_nodes);
     let topology = sim.topology().clone();
-    for node in 0..total_nodes {
+    for (node, node_profile) in profiles.iter().enumerate().take(total_nodes) {
         let base = topology.node_topic(node);
         let avg_of = |name: &str, fixed: bool| -> f64 {
             let vals: Vec<f64> = query
@@ -176,7 +176,7 @@ pub fn run(config: &Fig8Config) -> Fig8Result {
             temp_c: avg_of("temp", true),
             idle_ms_per_s: idle_rate,
             label,
-            profile: format!("{:?}", profiles[node]),
+            profile: format!("{node_profile:?}"),
         });
     }
 

@@ -13,6 +13,7 @@
 //! | [`fig6`] | Fig. 6a/6b — power prediction series and error PDF |
 //! | [`fig7`] | Fig. 7 — per-job CPI deciles for four CORAL-2 apps |
 //! | [`fig8`] | Fig. 8 — BGMM clustering of node behaviour |
+//! | [`storage_engine`] | Durable engine ingest/scan/recovery throughput |
 
 #![warn(missing_docs)]
 
@@ -20,6 +21,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod storage_engine;
 
 use std::path::Path;
 

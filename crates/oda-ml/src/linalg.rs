@@ -85,9 +85,9 @@ impl SquareMatrix {
     pub fn mat_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n);
         let mut out = vec![0.0; self.n];
-        for i in 0..self.n {
+        for (i, out_i) in out.iter_mut().enumerate() {
             let row = &self.a[i * self.n..(i + 1) * self.n];
-            out[i] = row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+            *out_i = row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
         }
         out
     }
@@ -185,8 +185,8 @@ impl Cholesky {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut sum = b[i];
-            for k in 0..i {
-                sum -= self.l[i * n + k] * y[k];
+            for (k, yk) in y.iter().enumerate().take(i) {
+                sum -= self.l[i * n + k] * yk;
             }
             y[i] = sum / self.l[i * n + i];
         }
@@ -194,8 +194,8 @@ impl Cholesky {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = y[i];
-            for k in i + 1..n {
-                sum -= self.l[k * n + i] * x[k];
+            for (k, xk) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.l[k * n + i] * xk;
             }
             x[i] = sum / self.l[i * n + i];
         }

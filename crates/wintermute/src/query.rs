@@ -21,7 +21,7 @@ use dcdb_common::cache::SensorCache;
 use dcdb_common::reading::SensorReading;
 use dcdb_common::time::Timestamp;
 use dcdb_common::topic::Topic;
-use dcdb_storage::StorageBackend;
+use dcdb_storage::StorageEngine;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -59,18 +59,23 @@ pub struct QueryStats {
     pub misses: u64,
     /// Readings inserted.
     pub inserts: u64,
+    /// Inserts the storage engine refused to acknowledge (e.g. a
+    /// durable backend failing to journal); the reading stays cached
+    /// but is not guaranteed to survive a restart.
+    pub storage_errors: u64,
 }
 
 /// The per-process query engine.
 pub struct QueryEngine {
     navigator: RwLock<Arc<SensorNavigator>>,
     caches: RwLock<HashMap<Topic, Arc<RwLock<SensorCache>>>>,
-    storage: Option<Arc<StorageBackend>>,
+    storage: Option<Arc<dyn StorageEngine>>,
     cache_capacity: usize,
     cache_hits: AtomicU64,
     storage_fallbacks: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
+    storage_errors: AtomicU64,
 }
 
 impl QueryEngine {
@@ -90,13 +95,16 @@ impl QueryEngine {
             storage_fallbacks: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
+            storage_errors: AtomicU64::new(0),
         }
     }
 
-    /// Creates an engine backed by a storage backend (Collect Agent
+    /// Creates an engine backed by a storage engine (Collect Agent
     /// deployment: "data is retrieved from the local sensor cache, if
-    /// possible, or otherwise queried from the Storage Backend").
-    pub fn with_storage(cache_capacity: usize, storage: Arc<StorageBackend>) -> QueryEngine {
+    /// possible, or otherwise queried from the Storage Backend"). Both
+    /// the in-memory [`dcdb_storage::StorageBackend`] and the durable
+    /// [`dcdb_storage::DurableBackend`] fit here.
+    pub fn with_storage(cache_capacity: usize, storage: Arc<dyn StorageEngine>) -> QueryEngine {
         QueryEngine {
             storage: Some(storage),
             ..QueryEngine::new(cache_capacity)
@@ -133,7 +141,9 @@ impl QueryEngine {
         let cache = self.cache_for(topic);
         cache.write().push(reading);
         if let Some(storage) = &self.storage {
-            storage.insert(topic, reading);
+            if storage.insert(topic, reading).is_err() {
+                self.storage_errors.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -149,7 +159,9 @@ impl QueryEngine {
             }
         }
         if let Some(storage) = &self.storage {
-            storage.insert_batch(topic, readings);
+            if storage.insert_batch(topic, readings).is_err() {
+                self.storage_errors.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -259,7 +271,14 @@ impl QueryEngine {
             storage_fallbacks: self.storage_fallbacks.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
+            storage_errors: self.storage_errors.load(Ordering::Relaxed),
         }
+    }
+
+    /// The attached storage engine, if any (used by hosts for flush /
+    /// maintenance passes).
+    pub fn storage(&self) -> Option<&Arc<dyn StorageEngine>> {
+        self.storage.as_ref()
     }
 
     /// Approximate bytes held by the sensor caches (footprint metric).
@@ -289,6 +308,7 @@ impl std::fmt::Debug for QueryEngine {
 mod tests {
     use super::*;
     use dcdb_common::time::NS_PER_SEC;
+    use dcdb_storage::StorageBackend;
 
     fn t(s: &str) -> Topic {
         Topic::parse(s).unwrap()
@@ -345,7 +365,7 @@ mod tests {
 
     #[test]
     fn storage_fallback_for_old_ranges() {
-        let storage = Arc::new(StorageBackend::new());
+        let storage: Arc<dyn StorageEngine> = Arc::new(StorageBackend::new());
         let qe = QueryEngine::with_storage(8, Arc::clone(&storage));
         // 50 readings but the cache only holds the last 8.
         for i in 1..=50u64 {

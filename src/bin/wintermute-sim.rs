@@ -10,35 +10,60 @@
 //!
 //! ```text
 //! cargo run --release --bin wintermute-sim -- [--nodes N] [--duration SECS] [--port P]
+//!     [--data-dir DIR] [--fsync always|batch|never] [--retention-secs N]
+//!     [--snapshot-path FILE] [--snapshot-secs N]
 //! ```
+//!
+//! Persistence modes:
+//!
+//! * `--data-dir DIR` — durable mode: storage becomes a
+//!   [`DurableBackend`] journaling every reading to a WAL before it is
+//!   acknowledged and sealing compressed segments under `DIR`. On
+//!   restart the engine recovers every acked insert (a recovery report
+//!   is printed). `--fsync` picks the WAL sync policy, and
+//!   `--retention-secs` bounds how much history is kept on disk.
+//! * `--snapshot-path FILE` — volatile storage with periodic full
+//!   snapshots every `--snapshot-secs` (default 30) and on shutdown;
+//!   the snapshot is restored on the next start.
 
 use dcdb_wintermute::dcdb_bus::Broker;
 use dcdb_wintermute::dcdb_collectagent::{CollectAgent, CollectAgentConfig, SimJobSource};
 use dcdb_wintermute::dcdb_common::{Timestamp, Topic};
 use dcdb_wintermute::dcdb_pusher::{standard_plugin_set, Pusher, PusherConfig};
 use dcdb_wintermute::dcdb_rest::{RestServer, Router};
-use dcdb_wintermute::dcdb_storage::StorageBackend;
+use dcdb_wintermute::dcdb_storage::{
+    DurableBackend, DurableConfig, FsyncPolicy, StorageBackend, StorageEngine,
+};
 use dcdb_wintermute::sim_cluster::{ClusterConfig, ClusterSimulator, Topology};
 use dcdb_wintermute::wintermute::manager::BusSink;
 use dcdb_wintermute::wintermute::prelude::*;
 use dcdb_wintermute::wintermute_plugins::{self, perfmetrics::cpi_config};
 use parking_lot::Mutex;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
 fn arg(name: &str, default: u64) -> u64 {
+    arg_str(name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn arg_str(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+        .cloned()
 }
 
 fn main() {
     let nodes = arg("--nodes", 4) as usize;
     let duration_s = arg("--duration", 30);
     let port = arg("--port", 0);
+    let data_dir = arg_str("--data-dir").map(PathBuf::from);
+    let snapshot_path = arg_str("--snapshot-path").map(PathBuf::from);
+    let snapshot_secs = arg("--snapshot-secs", 30).max(1);
 
     // --- The simulated system with background workload. ---
     let sim = Arc::new(Mutex::new(ClusterSimulator::new(ClusterConfig {
@@ -72,8 +97,52 @@ fn main() {
         pushers.push(Arc::new(pusher));
     }
 
+    // --- The storage tier: durable, snapshotting, or plain volatile. ---
+    let mut volatile: Option<Arc<StorageBackend>> = None;
+    let storage: Arc<dyn StorageEngine> = match &data_dir {
+        Some(dir) => {
+            let fsync = FsyncPolicy::parse(&arg_str("--fsync").unwrap_or("batch".into()))
+                .expect("--fsync must be always|batch|never");
+            let config = DurableConfig {
+                fsync,
+                retention_ns: arg_str("--retention-secs")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .map(|s| s * 1_000_000_000),
+                ..DurableConfig::default()
+            };
+            let db = Arc::new(DurableBackend::open(dir, config).expect("open data dir"));
+            let rec = db.recovery();
+            println!(
+                "durable storage in {}: recovered {} segments ({} readings) + \
+                 {} WAL files ({} batches, {} readings, {} torn tails)",
+                dir.display(),
+                rec.segments,
+                rec.segment_readings,
+                rec.wal_files,
+                rec.wal_batches,
+                rec.wal_readings,
+                rec.torn_tails,
+            );
+            db
+        }
+        None => {
+            let db = Arc::new(StorageBackend::new());
+            if let Some(path) = &snapshot_path {
+                match db.restore_from(path) {
+                    Ok(restored) => println!(
+                        "restored {restored} readings from snapshot {}",
+                        path.display()
+                    ),
+                    Err(e) if path.exists() => eprintln!("snapshot restore failed: {e}"),
+                    Err(_) => {} // first run: nothing to restore yet
+                }
+            }
+            volatile = Some(Arc::clone(&db));
+            db
+        }
+    };
+
     // --- The Collect Agent: storage + job analytics + health. ---
-    let storage = Arc::new(StorageBackend::new());
     let agent = Arc::new(
         CollectAgent::new(
             CollectAgentConfig::default(),
@@ -100,6 +169,7 @@ fn main() {
     // --- Drive everything on the wall clock. ---
     let start = std::time::Instant::now();
     let mut last_status = 0u64;
+    let mut last_snapshot = 0u64;
     while start.elapsed().as_secs() < duration_s {
         let now = Timestamp::now();
         for pusher in &pushers {
@@ -113,7 +183,17 @@ fn main() {
         }
 
         let elapsed = start.elapsed().as_secs();
-        if elapsed > last_status && elapsed % 5 == 0 {
+        // Periodic full snapshots in volatile + snapshot mode.
+        if let (Some(db), Some(path)) = (&volatile, &snapshot_path) {
+            if elapsed >= last_snapshot + snapshot_secs {
+                last_snapshot = elapsed;
+                match db.snapshot_to(path) {
+                    Ok(()) => println!("[{elapsed:>3}s] snapshot written to {}", path.display()),
+                    Err(e) => eprintln!("snapshot failed: {e}"),
+                }
+            }
+        }
+        if elapsed > last_status && elapsed.is_multiple_of(5) {
             last_status = elapsed;
             let a = agent.stats();
             let jobs_running = sim
@@ -129,6 +209,22 @@ fn main() {
             );
         }
         std::thread::sleep(Duration::from_millis(200));
+    }
+
+    // --- Graceful shutdown: make everything acked durable. ---
+    match storage.flush() {
+        Ok(()) => {
+            if data_dir.is_some() {
+                println!("\nflushed durable storage (memtable sealed, WAL synced)");
+            }
+        }
+        Err(e) => eprintln!("storage flush failed: {e}"),
+    }
+    if let (Some(db), Some(path)) = (&volatile, &snapshot_path) {
+        match db.snapshot_to(path) {
+            Ok(()) => println!("\nfinal snapshot written to {}", path.display()),
+            Err(e) => eprintln!("final snapshot failed: {e}"),
+        }
     }
 
     // --- Final report. ---

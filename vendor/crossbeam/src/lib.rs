@@ -1,0 +1,281 @@
+//! Offline stand-in for the `crossbeam` crate (see `vendor/README.md`).
+//!
+//! Provides `crossbeam::channel`: multi-producer multi-consumer
+//! channels with the disconnect semantics the workspace relies on,
+//! implemented with a `Mutex<VecDeque>` + `Condvar`. Bounded capacity
+//! blocks senders; both halves are cloneable.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        /// Signalled when a message arrives or all senders drop.
+        readable: Condvar,
+        /// Signalled when space frees up or all receivers drop.
+        writable: Condvar,
+    }
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// The message could not be sent: all receivers disconnected.
+    pub struct SendError<T>(pub T);
+
+    /// Error from [`Receiver::recv`]: channel empty and disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error from [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message available right now.
+        Empty,
+        /// All senders disconnected and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error from [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// All senders disconnected and the queue is drained.
+        Disconnected,
+    }
+
+    /// Creates a channel with unlimited capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Creates a channel holding at most `cap` messages; sends block
+    /// when it is full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap))
+    }
+
+    fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking while a bounded channel is full.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut inner = self.0.inner.lock().unwrap();
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match inner.cap {
+                    Some(cap) if inner.queue.len() >= cap => {
+                        inner = self.0.writable.wait(inner).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            inner.queue.push_back(msg);
+            drop(inner);
+            self.0.readable.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.inner.lock().unwrap().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.0.inner.lock().unwrap();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                drop(inner);
+                self.0.readable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.0.inner.lock().unwrap().queue.len()
+        }
+
+        /// True when no message is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Receives a message, blocking until one arrives or every
+        /// sender disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.0.inner.lock().unwrap();
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.0.writable.notify_one();
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.0.readable.wait(inner).unwrap();
+            }
+        }
+
+        /// Receives without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.0.inner.lock().unwrap();
+            if let Some(msg) = inner.queue.pop_front() {
+                drop(inner);
+                self.0.writable.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Receives with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.0.inner.lock().unwrap();
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.0.writable.notify_one();
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, res) = self
+                    .0
+                    .readable
+                    .wait_timeout(inner, deadline - now)
+                    .unwrap();
+                inner = guard;
+                if res.timed_out() && inner.queue.is_empty() {
+                    if inner.senders == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.inner.lock().unwrap().receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.0.inner.lock().unwrap();
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                drop(inner);
+                self.0.writable.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender(..)")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver(..)")
+        }
+    }
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn unbounded_round_trip_and_disconnect() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn timeout_and_cross_thread() {
+            let (tx, rx) = bounded::<u32>(1);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            let h = std::thread::spawn(move || {
+                tx.send(7).unwrap();
+            });
+            assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(7));
+            h.join().unwrap();
+        }
+
+        #[test]
+        fn send_fails_without_receivers() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert!(tx.send(9).is_err());
+        }
+    }
+}

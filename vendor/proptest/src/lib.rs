@@ -1,0 +1,835 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Implements the strategy/runner surface this workspace uses:
+//! deterministic pseudo-random sampling per test (seeded from the test
+//! name), `prop_map`/`prop_flat_map`/`boxed` combinators, range and
+//! regex-subset string strategies, collection and tuple strategies,
+//! and the `proptest!`/`prop_assert*` macros. Failing cases panic with
+//! the case number and message; there is **no shrinking** — rerunning
+//! the test reproduces the same failing case deterministically.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of the values this strategy produces.
+        type Value;
+
+        /// Produces one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a dependent strategy from each generated value.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Filters generated values (retrying until `pred` holds).
+        fn prop_filter<F>(self, _whence: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, pred }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug)]
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O: Strategy, F: Fn(S::Value) -> O> Strategy for FlatMap<S, F> {
+        type Value = O::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> O::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug)]
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 candidates in a row");
+        }
+    }
+
+    /// A type-erased strategy, as returned by [`Strategy::boxed`].
+    pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate(rng)
+        }
+    }
+
+    impl<V> std::fmt::Debug for BoxedStrategy<V> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed strategies; built by `prop_oneof!`.
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds from a non-empty option list.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128) - (self.start as i128);
+                    let off = rng.below(span as u64) as i128;
+                    (self.start as i128 + off) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128) - (lo as i128) + 1;
+                    if span > u64::MAX as i128 {
+                        return rng.next_u64() as $t;
+                    }
+                    let off = rng.below(span as u64) as i128;
+                    (lo as i128 + off) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    macro_rules! impl_float_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (self.end - self.start) * (rng.unit_f64() as $t)
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    lo + (hi - lo) * (rng.unit_f64() as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_float_range!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+);)*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A: 0);
+        (A: 0, B: 1);
+        (A: 0, B: 1, C: 2);
+        (A: 0, B: 1, C: 2, D: 3);
+        (A: 0, B: 1, C: 2, D: 3, E: 4);
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+    }
+
+    /// String literals act as regex-subset generators.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+}
+
+pub mod string {
+    //! Generator for the regex subset used as string strategies:
+    //! literal characters, `[...]` classes (ranges, escapes, trailing
+    //! `-`), `\PC`/`\pC` category escapes, `\d`/`\w`/`\s`, and the
+    //! quantifiers `{n}`, `{m,n}`, `?`, `*`, `+`.
+
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum Atom {
+        /// One char drawn uniformly from this pool.
+        Class(Vec<char>),
+    }
+
+    const PRINTABLE_EXTRA: &[char] = &['\u{e9}', '\u{3bb}', '\u{2603}', '\u{fc}'];
+
+    fn printable_pool() -> Vec<char> {
+        let mut pool: Vec<char> = (0x20u8..=0x7e).map(|b| b as char).collect();
+        pool.extend_from_slice(PRINTABLE_EXTRA);
+        pool
+    }
+
+    fn named_class(tag: char) -> Vec<char> {
+        match tag {
+            'd' => ('0'..='9').collect(),
+            'w' => ('a'..='z').chain('A'..='Z').chain('0'..='9').chain(['_']).collect(),
+            's' => vec![' ', '\t', '\n'],
+            // Category escapes (`\PC` = "not control") and anything
+            // unrecognized fall back to the printable pool.
+            _ => printable_pool(),
+        }
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+        let mut pool = Vec::new();
+        let mut prev: Option<char> = None;
+        while let Some(c) = chars.next() {
+            match c {
+                ']' => return pool,
+                '\\' => {
+                    let esc = chars.next().expect("dangling escape in class");
+                    let lit = match esc {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    };
+                    pool.push(lit);
+                    prev = Some(lit);
+                }
+                '-' => {
+                    // Range if bracketed by chars; literal `-` otherwise.
+                    match (prev, chars.peek().copied()) {
+                        (Some(lo), Some(hi)) if hi != ']' => {
+                            chars.next();
+                            let hi = if hi == '\\' {
+                                chars.next().expect("dangling escape in class")
+                            } else {
+                                hi
+                            };
+                            for code in (lo as u32 + 1)..=(hi as u32) {
+                                if let Some(ch) = char::from_u32(code) {
+                                    pool.push(ch);
+                                }
+                            }
+                            prev = None;
+                        }
+                        _ => {
+                            pool.push('-');
+                            prev = Some('-');
+                        }
+                    }
+                }
+                other => {
+                    pool.push(other);
+                    prev = Some(other);
+                }
+            }
+        }
+        panic!("unterminated character class in string strategy");
+    }
+
+    fn parse_quantifier(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> (usize, usize) {
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut body = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    body.push(c);
+                }
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad quantifier"),
+                        hi.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 6)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 6)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    /// Generates one string matching `pattern`.
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut chars = pattern.chars().peekable();
+        let mut out = String::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => Atom::Class(parse_class(&mut chars)),
+                '\\' => {
+                    let esc = chars.next().expect("dangling escape in pattern");
+                    match esc {
+                        'P' | 'p' => {
+                            let tag = chars.next().expect("dangling category escape");
+                            Atom::Class(named_class(tag.to_ascii_lowercase()))
+                        }
+                        'd' | 'w' | 's' => Atom::Class(named_class(esc)),
+                        'n' => Atom::Class(vec!['\n']),
+                        't' => Atom::Class(vec!['\t']),
+                        other => Atom::Class(vec![other]),
+                    }
+                }
+                '.' => Atom::Class(printable_pool()),
+                other => Atom::Class(vec![other]),
+            };
+            let (lo, hi) = parse_quantifier(&mut chars);
+            let reps = lo + rng.below((hi - lo + 1) as u64) as usize;
+            let Atom::Class(pool) = &atom;
+            assert!(!pool.is_empty(), "empty character class in string strategy");
+            for _ in 0..reps {
+                out.push(pool[rng.below(pool.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A size specification for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    /// Generates `Vec`s whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi_inclusive - self.size.lo + 1;
+            let len = self.size.lo + rng.below(span as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod char {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform `char` in `[lo, hi]` (skipping invalid code points).
+    pub fn range(lo: ::core::primitive::char, hi: ::core::primitive::char) -> CharRange {
+        assert!(lo <= hi, "empty char range");
+        CharRange { lo, hi }
+    }
+
+    /// See [`range`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct CharRange {
+        lo: ::core::primitive::char,
+        hi: ::core::primitive::char,
+    }
+
+    impl Strategy for CharRange {
+        type Value = ::core::primitive::char;
+
+        fn generate(&self, rng: &mut TestRng) -> ::core::primitive::char {
+            let span = self.hi as u32 - self.lo as u32 + 1;
+            loop {
+                let code = self.lo as u32 + rng.below(span as u64) as u32;
+                if let Some(c) = ::core::primitive::char::from_u32(code) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary_with(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_with(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_with(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary_with(rng: &mut TestRng) -> f64 {
+            // Finite, sign-symmetric, wide dynamic range.
+            let mag = rng.unit_f64() * 1e12;
+            if rng.next_u64() & 1 == 1 { -mag } else { mag }
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary_with(rng: &mut TestRng) -> f32 {
+            f64::arbitrary_with(rng) as f32
+        }
+    }
+
+    /// Strategy for [`Arbitrary`] types, as returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_with(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`'s whole domain.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod test_runner {
+    /// Deterministic RNG driving all strategies (xorshift64*; seeded
+    /// from the test name so each test has a fixed, replayable stream).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds deterministically from an arbitrary label.
+        pub fn deterministic(label: &str) -> TestRng {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in label.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: seed | 1 }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below(0)");
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform in `[0, 1)` with 53-bit precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Per-block configuration, set via `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject(String),
+        /// `prop_assert*!` failed; the test fails.
+        Fail(String),
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// Namespace mirror so `prop::collection::vec(..)` works.
+    pub mod prop {
+        pub use crate::char;
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests: each `#[test] fn name(pat in strategy, ..)`
+/// item becomes a normal test running the configured number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut __ran: u32 = 0;
+            let mut __attempts: u32 = 0;
+            while __ran < __config.cases {
+                __attempts += 1;
+                if __attempts > __config.cases * 20 {
+                    panic!("proptest: too many rejected cases (prop_assume too strict?)");
+                }
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __ran += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("proptest case {} failed: {}", __ran, msg);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        $crate::prop_assert!(
+            __left == __right,
+            "assertion failed: `{:?}` == `{:?}`",
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __left = $left;
+        let __right = $right;
+        if !(__left == __right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "{} (`{:?}` != `{:?}`)",
+                    format!($($fmt)+),
+                    __left,
+                    __right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        $crate::prop_assert!(
+            __left != __right,
+            "assertion failed: `{:?}` != `{:?}`",
+            __left,
+            __right
+        );
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between the listed strategies (must share a value
+/// type; each arm is boxed).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = TestRng::deterministic("shape");
+        for _ in 0..200 {
+            let s = crate::string::generate_from_pattern("[a-z][a-z0-9-]{0,6}", &mut rng);
+            assert!((1..=7).contains(&s.len()));
+            let mut chars = s.chars();
+            let first = chars.next().unwrap();
+            assert!(first.is_ascii_lowercase(), "{s}");
+            assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+        let mut rng = TestRng::deterministic("esc");
+        for _ in 0..100 {
+            let s = crate::string::generate_from_pattern(
+                "[a-z+*?()\\[\\]|^$.]{0,10}",
+                &mut rng,
+            );
+            assert!(s.len() <= 10);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()
+                || "+*?()[]|^$.".contains(c)));
+        }
+    }
+
+    #[test]
+    fn ranges_are_bounded() {
+        let mut rng = TestRng::deterministic("bounds");
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(1u64..1000), &mut rng);
+            assert!((1..1000).contains(&v));
+            let f = Strategy::generate(&(-2.0f64..3.0), &mut rng);
+            assert!((-2.0..3.0).contains(&f));
+            let c = Strategy::generate(&crate::char::range('a', 'm'), &mut rng);
+            assert!(('a'..='m').contains(&c));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_wiring_works(
+            xs in prop::collection::vec((any::<i64>(), 1u64..10), 0..20),
+            flag in any::<bool>(),
+            s in prop_oneof![Just("+".to_string()), "[a-z]{1,3}"],
+        ) {
+            prop_assume!(xs.len() != 3);
+            prop_assert!(xs.len() <= 19);
+            prop_assert_eq!(flag, flag);
+            prop_assert!(s == "+" || (1..=3).contains(&s.len()), "s = {}", s);
+        }
+
+        #[test]
+        fn flat_map_dependent_sizes(
+            (n, v) in (1usize..5).prop_flat_map(|n| {
+                (Just(n), prop::collection::vec(0u32..10, n..=n))
+            }),
+        ) {
+            prop_assert_eq!(v.len(), n);
+        }
+    }
+}

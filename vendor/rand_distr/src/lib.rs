@@ -1,0 +1,70 @@
+//! Offline stand-in for the `rand_distr` crate (see `vendor/README.md`).
+//!
+//! The workspace currently declares but does not call into
+//! `rand_distr`; a Box–Muller [`Normal`] is provided so the manifest
+//! dependency resolves and basic use keeps working.
+
+use rand::RngCore;
+
+/// Sampling interface, mirroring `rand_distr::Distribution`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Normal (Gaussian) distribution via Box–Muller.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+/// Parameter error for [`Normal::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("invalid normal distribution parameters")
+    }
+}
+
+impl Normal {
+    /// Creates `N(mean, std_dev²)`; `std_dev` must be finite and ≥ 0.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal, NormalError> {
+        if std_dev.is_finite() && std_dev >= 0.0 && mean.is_finite() {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(NormalError)
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let unit = |rng: &mut R| (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let u1 = unit(rng).max(f64::MIN_POSITIVE);
+        let u2 = unit(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = Normal::new(5.0, 2.0).unwrap();
+        let samples: Vec<f64> = (0..20_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / samples.len() as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var {var}");
+        assert!(Normal::new(0.0, -1.0).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! Offline stand-in for the `rayon` crate (see `vendor/README.md`).
+//!
+//! `par_iter`/`into_par_iter` here return ordinary sequential
+//! iterators: results and side-effect ordering are identical to
+//! rayon's (rayon's `collect` preserves order), only the speedup is
+//! absent. Callers keep compiling unchanged because the combinators
+//! (`map`, `filter`, `collect`, `for_each`, `sum`, …) are the standard
+//! `Iterator` ones.
+
+/// Converts a collection into a "parallel" (here: sequential) iterator.
+pub trait IntoParallelIterator {
+    /// The iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item;
+    /// Mirrors `rayon::iter::IntoParallelIterator::into_par_iter`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    type Item = I::Item;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Borrowing counterpart of [`IntoParallelIterator`].
+pub trait IntoParallelRefIterator<'data> {
+    /// The iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type (a shared reference).
+    type Item: 'data;
+    /// Mirrors `rayon::iter::IntoParallelRefIterator::par_iter`.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+    <&'data C as IntoIterator>::Item: 'data,
+{
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+    type Item = <&'data C as IntoIterator>::Item;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Mutable counterpart of [`IntoParallelRefIterator`].
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The iterator produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type (an exclusive reference).
+    type Item: 'data;
+    /// Mirrors `rayon::iter::IntoParallelRefMutIterator::par_iter_mut`.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoIterator,
+    <&'data mut C as IntoIterator>::Item: 'data,
+{
+    type Iter = <&'data mut C as IntoIterator>::IntoIter;
+    type Item = <&'data mut C as IntoIterator>::Item;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+pub mod prelude {
+    //! Drop-in for `rayon::prelude`.
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn shims_behave_like_iterators() {
+        let doubled: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(doubled, vec![0, 2, 4, 6, 8]);
+
+        let v = vec![1, 2, 3];
+        let sum: i32 = v.par_iter().map(|x| x * x).sum();
+        assert_eq!(sum, 14);
+
+        let mut w = vec![1, 2, 3];
+        w.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(w, vec![2, 3, 4]);
+    }
+}

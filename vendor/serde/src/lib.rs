@@ -1,0 +1,397 @@
+//! Offline stand-in for the `serde` crate (see `vendor/README.md`).
+//!
+//! Instead of serde's visitor-based zero-copy architecture, this
+//! stand-in routes everything through one owned tree type,
+//! [`Content`] — the JSON-shaped data model the workspace actually
+//! needs. [`Serialize`] renders a value into a `Content` tree;
+//! [`Deserialize`] rebuilds a value from one. `serde_json` (also
+//! vendored) converts between `Content` and JSON text, and
+//! `serde_derive` generates the impls, honoring the attribute subset
+//! the workspace uses (`default`, `flatten`, `transparent`,
+//! `rename_all`, `tag`, `try_from`/`into`).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every value serializes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` / a missing value.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer too large for `i64`, or any non-negative
+    /// integer a serializer chose to keep unsigned.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Content>),
+    /// A string-keyed map, in insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The map entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in a map.
+    pub fn get_field(&self, key: &str) -> Option<&Content> {
+        self.as_map()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// A short name of the variant for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "boolean",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// (De)serialization error: a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Builds an error from anything displayable.
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `self` into the [`Content`] data model.
+pub trait Serialize {
+    /// Serializes into a content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Rebuilds `Self` from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Deserializes from a content tree.
+    fn from_content(content: &Content) -> Result<Self, Error>;
+}
+
+/// Resolves a missing struct field: `Option` (and `Content::Null`
+/// deserializable types generally) default to their null form, all
+/// others report the missing field. Used by the derive macro.
+pub fn missing_field<T: Deserialize>(name: &str) -> Result<T, Error> {
+    T::from_content(&Content::Null)
+        .map_err(|_| Error(format!("missing field `{name}`")))
+}
+
+fn type_error<T>(expected: &str, got: &Content) -> Result<T, Error> {
+    Err(Error(format!("invalid type: expected {expected}, found {}", got.kind())))
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => type_error("boolean", other),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let wide: i128 = match content {
+                    Content::I64(n) => *n as i128,
+                    Content::U64(n) => *n as i128,
+                    Content::F64(f) if f.fract() == 0.0 => *f as i128,
+                    other => return type_error("integer", other),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let wide: i128 = match content {
+                    Content::I64(n) => *n as i128,
+                    Content::U64(n) => *n as i128,
+                    Content::F64(f) if f.fract() == 0.0 => *f as i128,
+                    other => return type_error("integer", other),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                match content {
+                    Content::F64(f) => Ok(*f as $t),
+                    Content::I64(n) => Ok(*n as $t),
+                    Content::U64(n) => Ok(*n as $t),
+                    other => type_error("number", other),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => type_error("string", other),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => type_error("sequence", other),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        T::from_content(content).map(Arc::new)
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            other => type_error("map", other),
+        }
+    }
+}
+
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<String, V, S> {
+    fn to_content(&self) -> Content {
+        // Sorted for deterministic output.
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize for HashMap<String, V, S> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            other => type_error("map", other),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+) with $len:literal;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                match content {
+                    Content::Seq(items) if items.len() == $len => {
+                        Ok(($($name::from_content(&items[$idx])?,)+))
+                    }
+                    other => type_error("tuple", other),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0) with 1;
+    (A: 0, B: 1) with 2;
+    (A: 0, B: 1, C: 2) with 3;
+    (A: 0, B: 1, C: 2, D: 3) with 4;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_content(&42u64.to_content()).unwrap(), 42);
+        assert_eq!(i32::from_content(&Content::U64(7)).unwrap(), 7);
+        assert!(u8::from_content(&Content::I64(300)).is_err());
+        assert_eq!(f64::from_content(&Content::I64(2)).unwrap(), 2.0);
+        assert_eq!(Option::<u32>::from_content(&Content::Null).unwrap(), None);
+        let v = vec![(1u32, "x".to_string())];
+        assert_eq!(
+            Vec::<(u32, String)>::from_content(&v.to_content()).unwrap(),
+            v
+        );
+    }
+
+    #[test]
+    fn missing_field_semantics() {
+        assert_eq!(missing_field::<Option<u32>>("f").unwrap(), None);
+        let err = missing_field::<u32>("f").unwrap_err();
+        assert!(err.to_string().contains("missing field `f`"));
+    }
+}

@@ -1,0 +1,637 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Generates impls of the vendored serde's [`Serialize`]/
+//! [`Deserialize`] content-tree traits. Written against `proc_macro`
+//! directly (no `syn`/`quote` available offline), so it parses the
+//! token stream with a small hand-rolled parser covering the shapes
+//! the workspace uses:
+//!
+//! * named-field structs and tuple (newtype) structs, no generics;
+//! * enums with unit, newtype and named-field variants;
+//! * container attrs `transparent`, `rename_all = "snake_case" |
+//!   "lowercase"`, `tag = "..."`, `try_from = "T"`, `into = "T"`;
+//! * field attrs `default`, `default = "path"`, `flatten`.
+//!
+//! Unknown serde attributes are rejected at compile time rather than
+//! silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Serialize)
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, which: Trait) -> TokenStream {
+    match parse_item(input).map(|item| match which {
+        Trait::Serialize => gen_serialize(&item),
+        Trait::Deserialize => gen_deserialize(&item),
+    }) {
+        Ok(code) => code.parse().expect("serde_derive generated invalid code"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------- model
+
+struct Item {
+    name: String,
+    attrs: ContainerAttrs,
+    kind: Kind,
+}
+
+enum Kind {
+    /// `struct X { .. }`
+    NamedStruct(Vec<Field>),
+    /// `struct X(T, ..);` with the arity.
+    TupleStruct(usize),
+    /// `enum X { .. }`
+    Enum(Vec<Variant>),
+}
+
+#[derive(Default)]
+struct ContainerAttrs {
+    transparent: bool,
+    rename_all: Option<String>,
+    tag: Option<String>,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+struct Field {
+    name: String,
+    default: Option<DefaultKind>,
+    flatten: bool,
+}
+
+enum DefaultKind {
+    Std,
+    Path(String),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Newtype,
+    Named(Vec<Field>),
+}
+
+// --------------------------------------------------------------- parser
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Cursor {
+        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    /// Consumes `#[...]` attributes, folding `#[serde(...)]` contents
+    /// into `out` (attribute token lists), skipping everything else.
+    fn take_attrs(&mut self, out: &mut Vec<Vec<TokenTree>>) -> Result<(), String> {
+        while self.at_punct('#') {
+            self.next();
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let Some(TokenTree::Ident(first)) = inner.first() {
+                        if first.to_string() == "serde" {
+                            match inner.get(1) {
+                                Some(TokenTree::Group(args))
+                                    if args.delimiter() == Delimiter::Parenthesis =>
+                                {
+                                    out.push(args.stream().into_iter().collect());
+                                }
+                                _ => return Err("malformed #[serde] attribute".into()),
+                            }
+                        }
+                    }
+                }
+                _ => return Err("malformed attribute".into()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Consumes `pub`, `pub(crate)`, etc. if present.
+    fn skip_vis(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    /// Skips a type after `:` — everything up to a `,` at zero
+    /// angle-bracket depth.
+    fn skip_type(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    let mut serde_attrs = Vec::new();
+    c.take_attrs(&mut serde_attrs)?;
+    let attrs = parse_container_attrs(&serde_attrs)?;
+    c.skip_vis();
+
+    let keyword = c.expect_ident("`struct` or `enum`")?;
+    let name = c.expect_ident("item name")?;
+    if c.at_punct('<') {
+        return Err(format!("serde stub derive: generics on `{name}` are unsupported"));
+    }
+
+    let kind = match (keyword.as_str(), c.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::NamedStruct(parse_named_fields(g.stream())?)
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Kind::TupleStruct(tuple_arity(g.stream()))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::Enum(parse_variants(g.stream())?)
+        }
+        _ => return Err(format!("serde stub derive: unsupported item shape for `{name}`")),
+    };
+
+    Ok(Item { name, attrs, kind })
+}
+
+fn parse_container_attrs(attr_lists: &[Vec<TokenTree>]) -> Result<ContainerAttrs, String> {
+    let mut out = ContainerAttrs::default();
+    for list in attr_lists {
+        for (key, value) in parse_attr_pairs(list)? {
+            match (key.as_str(), value) {
+                ("transparent", None) => out.transparent = true,
+                ("rename_all", Some(v)) => out.rename_all = Some(v),
+                ("tag", Some(v)) => out.tag = Some(v),
+                ("try_from", Some(v)) => out.try_from = Some(v),
+                ("into", Some(v)) => out.into = Some(v),
+                ("default", _) | ("flatten", None) => {
+                    return Err(format!("serde attribute `{key}` is a field attribute"))
+                }
+                (other, _) => {
+                    return Err(format!("serde stub derive: unsupported attribute `{other}`"))
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Splits a `#[serde(...)]` token list into `ident` / `ident = "lit"`
+/// pairs.
+fn parse_attr_pairs(tokens: &[TokenTree]) -> Result<Vec<(String, Option<String>)>, String> {
+    let mut pairs = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let key = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("unexpected token in serde attribute: {other}")),
+        };
+        i += 1;
+        let mut value = None;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            match tokens.get(i) {
+                Some(TokenTree::Literal(lit)) => {
+                    let raw = lit.to_string();
+                    value = Some(raw.trim_matches('"').to_string());
+                    i += 1;
+                }
+                other => return Err(format!("expected string literal, found {other:?}")),
+            }
+        }
+        pairs.push((key, value));
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(pairs)
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let mut serde_attrs = Vec::new();
+        c.take_attrs(&mut serde_attrs)?;
+        c.skip_vis();
+        let name = c.expect_ident("field name")?;
+        if !c.at_punct(':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        c.next();
+        c.skip_type();
+        if c.at_punct(',') {
+            c.next();
+        }
+
+        let mut field = Field { name, default: None, flatten: false };
+        for list in &serde_attrs {
+            for (key, value) in parse_attr_pairs(list)? {
+                match (key.as_str(), value) {
+                    ("default", None) => field.default = Some(DefaultKind::Std),
+                    ("default", Some(path)) => field.default = Some(DefaultKind::Path(path)),
+                    ("flatten", None) => field.flatten = true,
+                    (other, _) => {
+                        return Err(format!(
+                            "serde stub derive: unsupported field attribute `{other}`"
+                        ))
+                    }
+                }
+            }
+        }
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens = false;
+    for t in stream {
+        saw_tokens = true;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => arity += 1,
+            _ => {}
+        }
+    }
+    // `(T)` has one field and zero top-level commas; `(T, U,)` has a
+    // trailing comma — both land on "commas + 1 capped by emptiness".
+    if saw_tokens {
+        arity + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        let mut serde_attrs = Vec::new();
+        c.take_attrs(&mut serde_attrs)?;
+        let name = c.expect_ident("variant name")?;
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                c.next();
+                VariantFields::Named(parse_named_fields(inner)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                c.next();
+                if arity != 1 {
+                    return Err(format!(
+                        "serde stub derive: tuple variant `{name}` must have exactly one field"
+                    ));
+                }
+                VariantFields::Newtype
+            }
+            _ => VariantFields::Unit,
+        };
+        if c.at_punct(',') {
+            c.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// -------------------------------------------------------------- codegen
+
+fn rename(name: &str, rule: Option<&str>) -> String {
+    match rule {
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, ch) in name.chars().enumerate() {
+                if ch.is_ascii_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.push(ch.to_ascii_lowercase());
+                } else {
+                    out.push(ch);
+                }
+            }
+            out
+        }
+        Some("lowercase") => name.to_ascii_lowercase(),
+        Some("UPPERCASE") => name.to_ascii_uppercase(),
+        _ => name.to_string(),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(into_ty) = &item.attrs.into {
+        format!(
+            "let __converted: {into_ty} = <Self as ::std::clone::Clone>::clone(self).into();\n\
+             serde::Serialize::to_content(&__converted)"
+        )
+    } else {
+        match &item.kind {
+            Kind::NamedStruct(fields) if item.attrs.transparent => {
+                let f = &fields[0].name;
+                format!("serde::Serialize::to_content(&self.{f})")
+            }
+            Kind::TupleStruct(_) if item.attrs.transparent => {
+                "serde::Serialize::to_content(&self.0)".to_string()
+            }
+            Kind::TupleStruct(1) => "serde::Serialize::to_content(&self.0)".to_string(),
+            Kind::TupleStruct(_) => {
+                format!("compile_error!(\"serde stub derive: multi-field tuple struct `{name}` needs #[serde(transparent)] or a newtype\")")
+            }
+            Kind::NamedStruct(fields) => {
+                let mut b = String::from(
+                    "let mut __map: Vec<(String, serde::Content)> = Vec::new();\n",
+                );
+                for f in fields {
+                    let key = rename(&f.name, item.attrs.rename_all.as_deref());
+                    if f.flatten {
+                        b.push_str(&format!(
+                            "if let serde::Content::Map(__entries) = serde::Serialize::to_content(&self.{}) {{ __map.extend(__entries); }}\n",
+                            f.name
+                        ));
+                    } else {
+                        b.push_str(&format!(
+                            "__map.push((String::from({key:?}), serde::Serialize::to_content(&self.{})));\n",
+                            f.name
+                        ));
+                    }
+                }
+                b.push_str("serde::Content::Map(__map)");
+                b
+            }
+            Kind::Enum(variants) => {
+                let mut b = String::from("match self {\n");
+                for v in variants {
+                    let vname = rename(&v.name, item.attrs.rename_all.as_deref());
+                    match (&v.fields, &item.attrs.tag) {
+                        (VariantFields::Unit, None) => b.push_str(&format!(
+                            "{name}::{} => serde::Content::Str(String::from({vname:?})),\n",
+                            v.name
+                        )),
+                        (VariantFields::Unit, Some(tag)) => b.push_str(&format!(
+                            "{name}::{} => serde::Content::Map(vec![(String::from({tag:?}), serde::Content::Str(String::from({vname:?})))]),\n",
+                            v.name
+                        )),
+                        (VariantFields::Newtype, None) => b.push_str(&format!(
+                            "{name}::{}(__v) => serde::Content::Map(vec![(String::from({vname:?}), serde::Serialize::to_content(__v))]),\n",
+                            v.name
+                        )),
+                        (VariantFields::Newtype, Some(_)) => b.push_str(
+                            "compile_error!(\"serde stub derive: tagged newtype variants unsupported\"),\n",
+                        ),
+                        (VariantFields::Named(fields), tag) => {
+                            let binders: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let mut inner = String::from(
+                                "let mut __m: Vec<(String, serde::Content)> = Vec::new();\n",
+                            );
+                            if let Some(tag) = tag {
+                                inner.push_str(&format!(
+                                    "__m.push((String::from({tag:?}), serde::Content::Str(String::from({vname:?}))));\n"
+                                ));
+                            }
+                            for f in fields {
+                                inner.push_str(&format!(
+                                    "__m.push((String::from({:?}), serde::Serialize::to_content({})));\n",
+                                    f.name, f.name
+                                ));
+                            }
+                            let payload = if tag.is_some() {
+                                "serde::Content::Map(__m)".to_string()
+                            } else {
+                                format!(
+                                    "serde::Content::Map(vec![(String::from({vname:?}), serde::Content::Map(__m))])"
+                                )
+                            };
+                            b.push_str(&format!(
+                                "{name}::{} {{ {} }} => {{ {inner} {payload} }},\n",
+                                v.name,
+                                binders.join(", ")
+                            ));
+                        }
+                    }
+                }
+                b.push('}');
+                b
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> serde::Content {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn field_expr(f: &Field, source: &str) -> String {
+    if f.flatten {
+        return format!("serde::Deserialize::from_content({source})?");
+    }
+    let missing = match &f.default {
+        Some(DefaultKind::Std) => "::std::default::Default::default()".to_string(),
+        Some(DefaultKind::Path(path)) => format!("{path}()"),
+        None => format!("serde::missing_field({:?})?", f.name),
+    };
+    format!(
+        "match {source}.get_field({:?}) {{ Some(__v) => serde::Deserialize::from_content(__v)?, None => {missing} }}",
+        f.name
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(from_ty) = &item.attrs.try_from {
+        format!(
+            "let __raw: {from_ty} = serde::Deserialize::from_content(__content)?;\n\
+             <Self as ::std::convert::TryFrom<{from_ty}>>::try_from(__raw).map_err(serde::Error::custom)"
+        )
+    } else {
+        match &item.kind {
+            Kind::NamedStruct(fields) if item.attrs.transparent => {
+                let f = &fields[0].name;
+                format!("Ok({name} {{ {f}: serde::Deserialize::from_content(__content)? }})")
+            }
+            Kind::TupleStruct(_) if item.attrs.transparent => {
+                format!("Ok({name}(serde::Deserialize::from_content(__content)?))")
+            }
+            Kind::TupleStruct(1) => {
+                format!("Ok({name}(serde::Deserialize::from_content(__content)?))")
+            }
+            Kind::TupleStruct(_) => format!(
+                "compile_error!(\"serde stub derive: multi-field tuple struct `{name}` needs #[serde(transparent)] or a newtype\")"
+            ),
+            Kind::NamedStruct(fields) => {
+                let mut b = format!(
+                    "if __content.as_map().is_none() {{\n\
+                         return Err(serde::Error(format!(\"invalid type: expected map for `{name}`, found {{}}\", __content.kind())));\n\
+                     }}\n\
+                     Ok({name} {{\n"
+                );
+                for f in fields {
+                    b.push_str(&format!("{}: {},\n", f.name, field_expr(f, "__content")));
+                }
+                b.push_str("})");
+                b
+            }
+            Kind::Enum(variants) => gen_enum_deserialize(name, &item.attrs, variants),
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Deserialize for {name} {{\n\
+             fn from_content(__content: &serde::Content) -> ::std::result::Result<Self, serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, attrs: &ContainerAttrs, variants: &[Variant]) -> String {
+    let rule = attrs.rename_all.as_deref();
+    if let Some(tag) = &attrs.tag {
+        // Internally tagged: the tag and the variant's fields share one
+        // map; extra keys (e.g. siblings under #[serde(flatten)]) are
+        // ignored, as in serde.
+        let mut b = format!(
+            "let __tag = match __content.get_field({tag:?}) {{\n\
+                 Some(serde::Content::Str(__s)) => __s.clone(),\n\
+                 _ => return Err(serde::Error(format!(\"missing or non-string tag `{{}}` for `{name}`\", {tag:?}))),\n\
+             }};\n\
+             match __tag.as_str() {{\n"
+        );
+        for v in variants {
+            let vname = rename(&v.name, rule);
+            match &v.fields {
+                VariantFields::Unit => {
+                    b.push_str(&format!("{vname:?} => Ok({name}::{}),\n", v.name));
+                }
+                VariantFields::Named(fields) => {
+                    let mut init = String::new();
+                    for f in fields {
+                        init.push_str(&format!("{}: {},\n", f.name, field_expr(f, "__content")));
+                    }
+                    b.push_str(&format!("{vname:?} => Ok({name}::{} {{ {init} }}),\n", v.name));
+                }
+                VariantFields::Newtype => {
+                    b.push_str(
+                        "_ => compile_error!(\"serde stub derive: tagged newtype variants unsupported\"),\n",
+                    );
+                }
+            }
+        }
+        b.push_str(&format!(
+            "__other => Err(serde::Error(format!(\"unknown {name} variant `{{__other}}`\"))),\n}}"
+        ));
+        return b;
+    }
+
+    // Externally tagged (serde's default): unit variants are strings,
+    // data variants single-entry maps.
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vname = rename(&v.name, rule);
+        match &v.fields {
+            VariantFields::Unit => {
+                unit_arms.push_str(&format!("{vname:?} => Ok({name}::{}),\n", v.name));
+            }
+            VariantFields::Newtype => {
+                data_arms.push_str(&format!(
+                    "{vname:?} => Ok({name}::{}(serde::Deserialize::from_content(__value)?)),\n",
+                    v.name
+                ));
+            }
+            VariantFields::Named(fields) => {
+                let mut init = String::new();
+                for f in fields {
+                    init.push_str(&format!("{}: {},\n", f.name, field_expr(f, "__value")));
+                }
+                data_arms.push_str(&format!(
+                    "{vname:?} => Ok({name}::{} {{ {init} }}),\n",
+                    v.name
+                ));
+            }
+        }
+    }
+    format!(
+        "match __content {{\n\
+             serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(serde::Error(format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+             }},\n\
+             serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__key, __value) = &__entries[0];\n\
+                 match __key.as_str() {{\n\
+                     {data_arms}\
+                     __other => Err(serde::Error(format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                 }}\n\
+             }},\n\
+             __other => Err(serde::Error(format!(\"invalid {name}: expected variant string or map, found {{}}\", __other.kind()))),\n\
+         }}"
+    )
+}
