@@ -8,18 +8,25 @@
 //! * wildcard subscriptions backed by a topic trie, so routing cost is
 //!   proportional to topic depth rather than subscriber count;
 //! * an asynchronous router thread decoupling publishers from slow
-//!   subscribers (publishers never block on delivery), with an optional
-//!   synchronous mode for deterministic tests.
+//!   subscribers, with an optional synchronous mode for deterministic
+//!   tests;
+//! * **bounded queues everywhere**: the router input and every
+//!   subscriber queue carry a capacity bound and an
+//!   [`OverflowPolicy`], so a slow subscriber or a publish storm
+//!   degrades by policy (block / drop-newest / drop-oldest) instead of
+//!   growing memory without limit. Queue depth, high-water marks and
+//!   drop counters are exported per subscriber via
+//!   [`Broker::metrics`] / [`BusHandle::metrics`].
 
 use crate::filter::{FilterSegment, TopicFilter};
+use crate::queue::{BoundedQueue, OverflowPolicy, PushOutcome, QueueMetricsSnapshot};
 use bytes::Bytes;
-use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
 use dcdb_common::error::DcdbError;
 use dcdb_common::topic::Topic;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::Duration;
 
 /// A routed message: topic plus opaque payload.
@@ -38,6 +45,63 @@ pub struct Message {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct SubId(u64);
 
+/// Queue sizing and overflow behaviour for a broker.
+#[derive(Debug, Clone, Copy)]
+pub struct BusConfig {
+    /// Capacity of the router input queue (messages awaiting routing).
+    pub router_depth: usize,
+    /// What the router input does when full. `DropOldest` keeps
+    /// publishers non-blocking (QoS 0); `Block` gives lossless
+    /// backpressure at the cost of stalling publishers.
+    pub router_policy: OverflowPolicy,
+    /// Default capacity of each subscriber queue.
+    pub sub_depth: usize,
+    /// Default overflow policy of each subscriber queue.
+    pub sub_policy: OverflowPolicy,
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        BusConfig {
+            router_depth: 65_536,
+            router_policy: OverflowPolicy::DropOldest,
+            sub_depth: 8_192,
+            sub_policy: OverflowPolicy::DropOldest,
+        }
+    }
+}
+
+/// Per-subscription overrides for [`BusHandle::subscribe_with`].
+#[derive(Debug, Clone, Default)]
+pub struct SubscribeOptions {
+    /// Queue capacity; broker default when `None`.
+    pub depth: Option<usize>,
+    /// Overflow policy; broker default when `None`.
+    pub policy: Option<OverflowPolicy>,
+    /// Human-readable label shown in the metrics registry.
+    pub label: Option<String>,
+}
+
+impl SubscribeOptions {
+    /// Sets the queue capacity.
+    pub fn depth(mut self, depth: usize) -> Self {
+        self.depth = Some(depth);
+        self
+    }
+
+    /// Sets the overflow policy.
+    pub fn policy(mut self, policy: OverflowPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Sets the metrics label.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+}
+
 /// Counters exposed by the broker for footprint accounting.
 #[derive(Debug, Default)]
 pub struct BusStats {
@@ -47,14 +111,52 @@ pub struct BusStats {
 }
 
 /// A point-in-time snapshot of [`BusStats`].
+///
+/// Accounting is per *copy* offered to a subscriber: every copy ends up
+/// either `delivered` (admitted to the subscriber queue and never
+/// evicted) or `dropped` (dead subscriber, drop-newest rejection, or
+/// drop-oldest eviction — an eviction moves the evicted copy from
+/// `delivered` to `dropped`). With a single subscriber matching every
+/// topic, `published == delivered + dropped` holds across policies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BusStatsSnapshot {
     /// Messages accepted from publishers.
     pub published: u64,
-    /// Message copies enqueued to subscribers.
+    /// Message copies currently admitted to subscriber queues (consumed
+    /// or still queued), net of later evictions.
     pub delivered: u64,
-    /// Copies dropped because the subscriber had disconnected.
+    /// Copies dropped: dead subscriber, full queue (drop-newest), or
+    /// evicted (drop-oldest).
     pub dropped: u64,
+    /// Messages lost at the router input queue before routing
+    /// (publish storms outpacing the router itself).
+    pub router_dropped: u64,
+}
+
+/// Metrics for one live subscription, as exported by
+/// [`Broker::metrics`].
+#[derive(Debug, Clone)]
+pub struct SubscriptionMetrics {
+    /// Label supplied at subscribe time (or a generated one).
+    pub label: String,
+    /// The subscription's topic filter.
+    pub filter: String,
+    /// Queue counters: depth, high-water, drops.
+    pub queue: QueueMetricsSnapshot,
+}
+
+/// Full bus metrics: broker counters, router lag, and one entry per
+/// live subscription.
+#[derive(Debug, Clone)]
+pub struct BusMetricsSnapshot {
+    /// Broker-level counters.
+    pub stats: BusStatsSnapshot,
+    /// Router input queue counters (`None` for synchronous brokers).
+    /// `depth` here is the router lag: messages published but not yet
+    /// routed.
+    pub router: Option<QueueMetricsSnapshot>,
+    /// Per-subscription queue metrics.
+    pub subscriptions: Vec<SubscriptionMetrics>,
 }
 
 /// Subscription trie: one node per filter path prefix.
@@ -118,47 +220,72 @@ impl TrieNode {
     }
 }
 
-enum RouterMsg {
-    Data(Message),
-    /// Barrier: acknowledged once every message before it was routed.
-    Flush(Sender<()>),
+struct SinkEntry {
+    queue: Arc<BoundedQueue<Message>>,
+    filter: TopicFilter,
+    label: String,
 }
 
 struct Inner {
+    config: BusConfig,
     trie: RwLock<TrieNode>,
-    sinks: RwLock<HashMap<SubId, Sender<Message>>>,
-    input: RwLock<Option<Sender<RouterMsg>>>,
+    sinks: RwLock<HashMap<SubId, SinkEntry>>,
+    input: RwLock<Option<Arc<BoundedQueue<Message>>>>,
     next_id: AtomicU64,
     stats: BusStats,
+    /// Messages fully routed by the router thread; together with the
+    /// input queue's drop counters this drives [`Broker::flush`].
+    routed_done: AtomicU64,
+    progress_lock: StdMutex<()>,
+    progress: Condvar,
 }
 
 impl Inner {
     fn route(&self, msg: Message) {
         let mut ids = Vec::new();
-        self.trie.read().collect(
-            &msg.topic.segments().collect::<Vec<_>>(),
-            &mut ids,
-        );
+        self.trie
+            .read()
+            .collect(&msg.topic.segments().collect::<Vec<_>>(), &mut ids);
         if ids.is_empty() {
             return;
         }
         let sinks = self.sinks.read();
         let mut dead: Vec<SubId> = Vec::new();
         for id in ids {
-            if let Some(tx) = sinks.get(&id) {
-                if tx.send(msg.clone()).is_ok() {
-                    self.stats.delivered.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    self.stats.dropped.fetch_add(1, Ordering::Relaxed);
-                    dead.push(id);
+            if let Some(entry) = sinks.get(&id) {
+                match entry.queue.push(msg.clone()) {
+                    PushOutcome::Enqueued => {
+                        self.stats.delivered.fetch_add(1, Ordering::Relaxed);
+                    }
+                    PushOutcome::Evicted => {
+                        // The new copy was admitted but an older
+                        // delivered copy was evicted: net effect is one
+                        // more drop, delivered unchanged.
+                        self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                    PushOutcome::DroppedNewest => {
+                        self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    }
+                    PushOutcome::Closed => {
+                        self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                        dead.push(id);
+                    }
                 }
             }
         }
         drop(sinks);
         if !dead.is_empty() {
+            // A disconnected subscriber must leave *both* indexes: the
+            // sink map and the routing trie. Leaving it in the trie
+            // would match every subsequent publish forever, inflating
+            // `dropped` and growing garbage nodes.
+            let mut trie = self.trie.write();
             let mut sinks = self.sinks.write();
             for id in dead {
-                sinks.remove(&id);
+                if let Some(entry) = sinks.remove(&id) {
+                    trie.remove(entry.filter.segments(), id);
+                    entry.queue.close_tx();
+                }
             }
         }
     }
@@ -168,9 +295,20 @@ impl Inner {
         let msg = Message { topic, payload };
         let guard = self.input.read();
         match guard.as_ref() {
-            Some(tx) => tx
-                .send(RouterMsg::Data(msg))
-                .map_err(|_| DcdbError::Disconnected("broker router stopped".into())),
+            Some(input) => {
+                match input.push(msg) {
+                    PushOutcome::Enqueued => {}
+                    PushOutcome::Evicted | PushOutcome::DroppedNewest => {
+                        // Lost before routing; flush waiters may now be
+                        // satisfiable.
+                        self.notify_progress();
+                    }
+                    PushOutcome::Closed => {
+                        return Err(DcdbError::Disconnected("broker router stopped".into()));
+                    }
+                }
+                Ok(())
+            }
             None => {
                 // Synchronous mode (or broker shut down and drained).
                 self.route(msg);
@@ -179,22 +317,82 @@ impl Inner {
         }
     }
 
-    fn subscribe(self: &Arc<Self>, filter: TopicFilter) -> Subscription {
+    fn notify_progress(&self) {
+        let _guard = self.progress_lock.lock().unwrap();
+        self.progress.notify_all();
+    }
+
+    fn subscribe(self: &Arc<Self>, filter: TopicFilter, opts: SubscribeOptions) -> Subscription {
         let id = SubId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        let (tx, rx) = channel::unbounded();
-        self.trie.write().insert(filter.segments(), id);
-        self.sinks.write().insert(id, tx);
+        let depth = opts.depth.unwrap_or(self.config.sub_depth);
+        let policy = opts.policy.unwrap_or(self.config.sub_policy);
+        let label = opts.label.unwrap_or_else(|| format!("sub-{}", id.0));
+        let queue = BoundedQueue::new(depth, policy);
+        let mut trie = self.trie.write();
+        let mut sinks = self.sinks.write();
+        trie.insert(filter.segments(), id);
+        sinks.insert(
+            id,
+            SinkEntry {
+                queue: Arc::clone(&queue),
+                filter: filter.clone(),
+                label,
+            },
+        );
+        drop(sinks);
+        drop(trie);
         Subscription {
             id,
             filter,
-            rx,
+            queue,
             inner: Arc::clone(self),
         }
     }
 
     fn unsubscribe(&self, filter: &TopicFilter, id: SubId) {
-        self.trie.write().remove(filter.segments(), id);
-        self.sinks.write().remove(&id);
+        let mut trie = self.trie.write();
+        let mut sinks = self.sinks.write();
+        trie.remove(filter.segments(), id);
+        if let Some(entry) = sinks.remove(&id) {
+            entry.queue.close_tx();
+        }
+    }
+
+    fn stats_snapshot(&self) -> BusStatsSnapshot {
+        let router_dropped = self
+            .input
+            .read()
+            .as_ref()
+            .map(|q| {
+                let m = q.metrics();
+                m.dropped_newest + m.dropped_oldest
+            })
+            .unwrap_or(0);
+        BusStatsSnapshot {
+            published: self.stats.published.load(Ordering::Relaxed),
+            delivered: self.stats.delivered.load(Ordering::Relaxed),
+            dropped: self.stats.dropped.load(Ordering::Relaxed),
+            router_dropped,
+        }
+    }
+
+    fn metrics_snapshot(&self) -> BusMetricsSnapshot {
+        let router = self.input.read().as_ref().map(|q| q.metrics());
+        let subscriptions = self
+            .sinks
+            .read()
+            .values()
+            .map(|entry| SubscriptionMetrics {
+                label: entry.label.clone(),
+                filter: entry.filter.as_str().to_string(),
+                queue: entry.queue.metrics(),
+            })
+            .collect();
+        BusMetricsSnapshot {
+            stats: self.stats_snapshot(),
+            router,
+            subscriptions,
+        }
     }
 }
 
@@ -207,29 +405,40 @@ pub struct Broker {
 }
 
 impl Broker {
-    /// Creates a broker with an asynchronous router thread (the
-    /// production configuration).
-    pub fn new() -> Broker {
-        let inner = Arc::new(Inner {
+    fn inner(config: BusConfig) -> Arc<Inner> {
+        Arc::new(Inner {
+            config,
             trie: RwLock::new(TrieNode::default()),
             sinks: RwLock::new(HashMap::new()),
             input: RwLock::new(None),
             next_id: AtomicU64::new(0),
             stats: BusStats::default(),
-        });
-        let (tx, rx): (Sender<RouterMsg>, Receiver<RouterMsg>) = channel::unbounded();
-        *inner.input.write() = Some(tx);
+            routed_done: AtomicU64::new(0),
+            progress_lock: StdMutex::new(()),
+            progress: Condvar::new(),
+        })
+    }
+
+    /// Creates a broker with an asynchronous router thread and default
+    /// queue bounds (the production configuration).
+    pub fn new() -> Broker {
+        Broker::with_config(BusConfig::default())
+    }
+
+    /// Creates an asynchronous broker with explicit queue bounds and
+    /// overflow policies.
+    pub fn with_config(config: BusConfig) -> Broker {
+        let inner = Broker::inner(config);
+        let input = BoundedQueue::new(config.router_depth, config.router_policy);
+        *inner.input.write() = Some(Arc::clone(&input));
         let router_inner = Arc::clone(&inner);
         let handle = std::thread::Builder::new()
             .name("dcdb-bus-router".into())
             .spawn(move || {
-                while let Ok(msg) = rx.recv() {
-                    match msg {
-                        RouterMsg::Data(m) => router_inner.route(m),
-                        RouterMsg::Flush(ack) => {
-                            let _ = ack.send(());
-                        }
-                    }
+                while let Ok(msg) = input.pop() {
+                    router_inner.route(msg);
+                    router_inner.routed_done.fetch_add(1, Ordering::Release);
+                    router_inner.notify_progress();
                 }
             })
             .expect("failed to spawn bus router");
@@ -242,15 +451,14 @@ impl Broker {
     /// Creates a broker that routes inline inside `publish` — fully
     /// deterministic, for tests and single-threaded simulation.
     pub fn new_sync() -> Broker {
-        let inner = Arc::new(Inner {
-            trie: RwLock::new(TrieNode::default()),
-            sinks: RwLock::new(HashMap::new()),
-            input: RwLock::new(None),
-            next_id: AtomicU64::new(0),
-            stats: BusStats::default(),
-        });
+        Broker::new_sync_with(BusConfig::default())
+    }
+
+    /// Synchronous broker with explicit queue bounds (subscriber queues
+    /// still apply their overflow policy; there is no router queue).
+    pub fn new_sync_with(config: BusConfig) -> Broker {
         Broker {
-            inner,
+            inner: Broker::inner(config),
             router: Mutex::new(None),
         }
     }
@@ -263,25 +471,44 @@ impl Broker {
     }
 
     /// Blocks until every message published before this call has been
-    /// routed. No-op in synchronous mode.
+    /// routed *or dropped at the router input* (QoS 0: a bounded router
+    /// queue may shed load under a publish storm; either way the
+    /// message's fate is decided when `flush` returns). No-op in
+    /// synchronous mode.
     pub fn flush(&self) {
-        let guard = self.inner.input.read();
-        if let Some(tx) = guard.as_ref() {
-            let (ack_tx, ack_rx) = channel::bounded(1);
-            if tx.send(RouterMsg::Flush(ack_tx)).is_ok() {
-                drop(guard);
-                let _ = ack_rx.recv();
-            }
+        let input = match self.inner.input.read().as_ref() {
+            Some(q) => Arc::clone(q),
+            None => return,
+        };
+        let target = input.metrics().offered;
+        let settled = |inner: &Inner| {
+            let m = input.metrics();
+            inner.routed_done.load(Ordering::Acquire)
+                + m.dropped_newest
+                + m.dropped_oldest
+                + m.dropped_closed
+                >= target
+        };
+        let mut guard = self.inner.progress_lock.lock().unwrap();
+        while !settled(&self.inner) {
+            let (g, _timeout) = self
+                .inner
+                .progress
+                .wait_timeout(guard, Duration::from_millis(50))
+                .unwrap();
+            guard = g;
         }
     }
 
     /// Snapshot of the broker counters.
     pub fn stats(&self) -> BusStatsSnapshot {
-        BusStatsSnapshot {
-            published: self.inner.stats.published.load(Ordering::Relaxed),
-            delivered: self.inner.stats.delivered.load(Ordering::Relaxed),
-            dropped: self.inner.stats.dropped.load(Ordering::Relaxed),
-        }
+        self.inner.stats_snapshot()
+    }
+
+    /// Full metrics: broker counters, router lag, and per-subscription
+    /// queue depth / high-water / drop counters.
+    pub fn metrics(&self) -> BusMetricsSnapshot {
+        self.inner.metrics_snapshot()
     }
 
     /// Number of live subscriptions.
@@ -298,11 +525,15 @@ impl Default for Broker {
 
 impl Drop for Broker {
     fn drop(&mut self) {
-        // Close the router input so the thread drains and exits.
-        *self.inner.input.write() = None;
+        // Close the router input so the thread drains and exits, then
+        // detach it so later publishes route inline.
+        if let Some(input) = self.inner.input.read().as_ref() {
+            input.close_tx();
+        }
         if let Some(handle) = self.router.lock().take() {
             let _ = handle.join();
         }
+        *self.inner.input.write() = None;
     }
 }
 
@@ -327,15 +558,31 @@ impl BusHandle {
         self.publish(topic, crate::codec::encode_readings(readings))
     }
 
-    /// Subscribes with a topic filter; messages matching the filter are
-    /// queued on the returned [`Subscription`].
+    /// Subscribes with a topic filter and the broker's default queue
+    /// bound and overflow policy.
     pub fn subscribe(&self, filter: TopicFilter) -> Subscription {
-        self.inner.subscribe(filter)
+        self.inner.subscribe(filter, SubscribeOptions::default())
+    }
+
+    /// Subscribes with explicit queue depth, overflow policy, and
+    /// metrics label.
+    pub fn subscribe_with(&self, filter: TopicFilter, opts: SubscribeOptions) -> Subscription {
+        self.inner.subscribe(filter, opts)
     }
 
     /// Convenience: subscribe to a filter string, parsing it first.
     pub fn subscribe_str(&self, filter: &str) -> Result<Subscription, DcdbError> {
         Ok(self.subscribe(TopicFilter::parse(filter)?))
+    }
+
+    /// Full bus metrics (same as [`Broker::metrics`]).
+    pub fn metrics(&self) -> BusMetricsSnapshot {
+        self.inner.metrics_snapshot()
+    }
+
+    /// Broker counter snapshot (same as [`Broker::stats`]).
+    pub fn stats(&self) -> BusStatsSnapshot {
+        self.inner.stats_snapshot()
     }
 }
 
@@ -343,7 +590,7 @@ impl BusHandle {
 pub struct Subscription {
     id: SubId,
     filter: TopicFilter,
-    rx: Receiver<Message>,
+    queue: Arc<BoundedQueue<Message>>,
     inner: Arc<Inner>,
 }
 
@@ -355,31 +602,23 @@ impl Subscription {
 
     /// Blocking receive.
     pub fn recv(&self) -> Result<Message, DcdbError> {
-        self.rx
-            .recv()
+        self.queue
+            .pop()
             .map_err(|_| DcdbError::Disconnected("broker closed".into()))
     }
 
     /// Non-blocking receive; `Ok(None)` when the queue is empty.
     pub fn try_recv(&self) -> Result<Option<Message>, DcdbError> {
-        match self.rx.try_recv() {
-            Ok(m) => Ok(Some(m)),
-            Err(TryRecvError::Empty) => Ok(None),
-            Err(TryRecvError::Disconnected) => {
-                Err(DcdbError::Disconnected("broker closed".into()))
-            }
-        }
+        self.queue
+            .try_pop()
+            .map_err(|_| DcdbError::Disconnected("broker closed".into()))
     }
 
     /// Receive with a timeout; `Ok(None)` on timeout.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<Message>, DcdbError> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(m) => Ok(Some(m)),
-            Err(channel::RecvTimeoutError::Timeout) => Ok(None),
-            Err(channel::RecvTimeoutError::Disconnected) => {
-                Err(DcdbError::Disconnected("broker closed".into()))
-            }
-        }
+        self.queue
+            .pop_timeout(timeout)
+            .map_err(|_| DcdbError::Disconnected("broker closed".into()))
     }
 
     /// Drains everything currently queued.
@@ -393,7 +632,22 @@ impl Subscription {
 
     /// Number of messages currently queued.
     pub fn queued(&self) -> usize {
-        self.rx.len()
+        self.queue.len()
+    }
+
+    /// Queue counters for this subscription: depth, high-water mark,
+    /// drop counters.
+    pub fn metrics(&self) -> QueueMetricsSnapshot {
+        self.queue.metrics()
+    }
+
+    /// Closes the receiving side without unsubscribing — simulates a
+    /// subscriber that died without cleanup. The broker detects this on
+    /// the next delivery attempt and garbage-collects the subscription
+    /// from both the sink map and the routing trie.
+    #[cfg(test)]
+    pub(crate) fn simulate_disconnect(&self) {
+        self.queue.close_rx();
     }
 }
 
@@ -421,7 +675,8 @@ mod tests {
         let all = bus.subscribe_str("/#").unwrap();
         let temps = bus.subscribe_str("/+/temp").unwrap();
 
-        bus.publish(t("/n1/power"), Bytes::from_static(b"x")).unwrap();
+        bus.publish(t("/n1/power"), Bytes::from_static(b"x"))
+            .unwrap();
         assert_eq!(power.queued(), 1);
         assert_eq!(all.queued(), 1);
         assert_eq!(temps.queued(), 0);
@@ -444,6 +699,7 @@ mod tests {
         assert_eq!(stats.published, 100);
         assert_eq!(stats.delivered, 100);
         assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.router_dropped, 0);
     }
 
     #[test]
@@ -512,7 +768,8 @@ mod tests {
             let bus = bus.clone();
             handles.push(std::thread::spawn(move || {
                 for i in 0..250 {
-                    bus.publish(t(&format!("/p{p}/s{i}")), Bytes::new()).unwrap();
+                    bus.publish(t(&format!("/p{p}/s{i}")), Bytes::new())
+                        .unwrap();
                 }
             }));
         }
@@ -542,5 +799,117 @@ mod tests {
         }
         assert_eq!(sub.drain().len(), 5);
         assert_eq!(sub.queued(), 0);
+    }
+
+    #[test]
+    fn dead_subscription_is_removed_from_trie() {
+        // Regression: a disconnected sink used to be removed from the
+        // sink map but never from the trie, so the stale SubId matched
+        // every subsequent publish and `dropped` grew forever.
+        let broker = Broker::new_sync();
+        let bus = broker.handle();
+        let sub = bus.subscribe_str("/x/#").unwrap();
+        sub.simulate_disconnect();
+
+        // First delivery attempt fails and garbage-collects the sub.
+        bus.publish(t("/x/1"), Bytes::new()).unwrap();
+        assert_eq!(broker.stats().dropped, 1);
+        assert_eq!(broker.subscriber_count(), 0);
+
+        // Subsequent publishes no longer match anything: the counter
+        // stays stable because the trie entry is gone too.
+        for i in 0..10 {
+            bus.publish(t(&format!("/x/{i}")), Bytes::new()).unwrap();
+        }
+        assert_eq!(broker.stats().dropped, 1);
+        assert_eq!(broker.stats().delivered, 0);
+        drop(sub); // second unsubscribe is harmless
+        assert_eq!(broker.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn bounded_subscription_drop_oldest_keeps_freshest() {
+        let broker = Broker::new_sync();
+        let bus = broker.handle();
+        let sub = bus.subscribe_with(
+            TopicFilter::parse("/s/#").unwrap(),
+            SubscribeOptions::default()
+                .depth(4)
+                .policy(OverflowPolicy::DropOldest)
+                .label("tiny"),
+        );
+        for i in 0..10u64 {
+            bus.publish_readings(
+                t("/s/x"),
+                &[SensorReading::new(i as i64, Timestamp::from_secs(i + 1))],
+            )
+            .unwrap();
+        }
+        assert_eq!(sub.queued(), 4);
+        let m = sub.metrics();
+        assert_eq!(m.high_water, 4);
+        assert_eq!(m.dropped_oldest, 6);
+        assert!(m.conserved());
+        // Survivors are the 4 freshest, in order.
+        let vals: Vec<i64> = sub
+            .drain()
+            .into_iter()
+            .map(|m| crate::codec::decode_readings(m.payload).unwrap()[0].value)
+            .collect();
+        assert_eq!(vals, vec![6, 7, 8, 9]);
+        // Bus-level invariant: every published copy is delivered or
+        // dropped.
+        let stats = broker.stats();
+        assert_eq!(stats.published, stats.delivered + stats.dropped);
+    }
+
+    #[test]
+    fn metrics_registry_reports_per_subscriber_queues() {
+        let broker = Broker::new();
+        let bus = broker.handle();
+        let _a = bus.subscribe_with(
+            TopicFilter::parse("/a/#").unwrap(),
+            SubscribeOptions::default().label("reader-a"),
+        );
+        let _b = bus.subscribe_str("/b/#").unwrap();
+        for i in 0..7 {
+            bus.publish(t(&format!("/a/{i}")), Bytes::new()).unwrap();
+        }
+        broker.flush();
+        let m = broker.metrics();
+        assert_eq!(m.subscriptions.len(), 2);
+        let a = m
+            .subscriptions
+            .iter()
+            .find(|s| s.label == "reader-a")
+            .expect("labelled sub");
+        assert_eq!(a.filter, "/a/#");
+        assert_eq!(a.queue.depth, 7);
+        assert_eq!(a.queue.high_water, 7);
+        let router = m.router.expect("async broker has a router queue");
+        assert_eq!(router.offered, 7);
+        assert_eq!(router.dequeued, 7);
+        assert_eq!(router.depth, 0);
+    }
+
+    #[test]
+    fn flush_settles_even_when_router_drops() {
+        let broker = Broker::with_config(BusConfig {
+            router_depth: 8,
+            router_policy: OverflowPolicy::DropOldest,
+            ..BusConfig::default()
+        });
+        let bus = broker.handle();
+        let sub = bus.subscribe_str("/#").unwrap();
+        for i in 0..5000 {
+            bus.publish(t(&format!("/f/{i}")), Bytes::new()).unwrap();
+        }
+        broker.flush(); // must not hang
+        let stats = broker.stats();
+        assert_eq!(
+            stats.published,
+            stats.delivered + stats.dropped + stats.router_dropped
+        );
+        assert!(sub.queued() <= 5000);
     }
 }

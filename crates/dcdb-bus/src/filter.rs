@@ -81,7 +81,10 @@ impl TopicFilter {
                 FilterSegment::MultiLevel => norm.push('#'),
             }
         }
-        Ok(TopicFilter { segments, raw: norm })
+        Ok(TopicFilter {
+            segments,
+            raw: norm,
+        })
     }
 
     /// Builds a filter matching exactly one topic.

@@ -6,20 +6,28 @@
 //!
 //! * [`filter`] — MQTT topic filters with `+` / `#` wildcards;
 //! * [`codec`] — the compact binary frame format for reading batches;
+//! * [`queue`] — bounded delivery queues with overflow policies
+//!   (block / drop-newest / drop-oldest) and lock-free metrics;
 //! * [`broker`] — a QoS-0 [`Broker`](broker::Broker) with trie-based
-//!   routing and an asynchronous router thread.
+//!   routing, an asynchronous router thread, and bounded queues on the
+//!   router input and every subscription.
 //!
 //! The broker is deliberately faithful to how the paper uses MQTT —
-//! topic-based fan-out with publisher/consumer decoupling — while
-//! replacing sockets with channels; the frame codec keeps the
-//! serialization cost on the data path.
+//! topic-based fan-out with publisher/consumer decoupling and explicit
+//! QoS-0 load shedding — while replacing sockets with queues; the frame
+//! codec keeps the serialization cost on the data path.
 
 #![warn(missing_docs)]
 
 pub mod broker;
 pub mod codec;
 pub mod filter;
+pub mod queue;
 
-pub use broker::{Broker, BusHandle, BusStatsSnapshot, Message, Subscription};
+pub use broker::{
+    Broker, BusConfig, BusHandle, BusMetricsSnapshot, BusStatsSnapshot, Message, SubscribeOptions,
+    Subscription, SubscriptionMetrics,
+};
 pub use codec::{decode_readings, encode_reading, encode_readings};
 pub use filter::{FilterSegment, TopicFilter};
+pub use queue::{OverflowPolicy, QueueMetricsSnapshot};

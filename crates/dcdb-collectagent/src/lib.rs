@@ -10,7 +10,7 @@
 
 #![warn(missing_docs)]
 
-use dcdb_bus::{decode_readings, BusHandle, Subscription};
+use dcdb_bus::{decode_readings, BusHandle, SubscribeOptions, Subscription};
 use dcdb_common::error::Result;
 use dcdb_common::time::Timestamp;
 use dcdb_common::topic::Topic;
@@ -30,6 +30,12 @@ pub struct CollectAgentConfig {
     /// Expected sampling interval of incoming data, milliseconds (sizes
     /// the caches).
     pub expected_interval_ms: u64,
+    /// Maximum bus messages ingested per [`CollectAgent::tick`] /
+    /// [`CollectAgent::process_pending`] call. Bounding the drain means
+    /// a publish storm can never starve the operator tick or storage
+    /// maintenance: surplus messages stay on the (bounded) subscriber
+    /// queue and are shed there by its overflow policy.
+    pub ingest_budget: usize,
 }
 
 impl Default for CollectAgentConfig {
@@ -37,6 +43,7 @@ impl Default for CollectAgentConfig {
         CollectAgentConfig {
             cache_secs: 180,
             expected_interval_ms: 1000,
+            ingest_budget: 4096,
         }
     }
 }
@@ -53,17 +60,25 @@ pub struct CollectAgentStats {
     /// Storage maintenance passes (sealing/compaction/retention) that
     /// reported an error.
     pub maintenance_errors: u64,
+    /// Ingest passes that hit their per-tick budget with messages still
+    /// queued (sustained-overload indicator).
+    pub budget_exhausted: u64,
 }
 
 /// One DCDB Collect Agent.
 pub struct CollectAgent {
     subscription: Subscription,
+    bus: BusHandle,
+    ingest_budget: usize,
     manager: Arc<OperatorManager>,
     storage: Arc<dyn StorageEngine>,
     messages: AtomicU64,
     readings: AtomicU64,
     decode_errors: AtomicU64,
     maintenance_errors: AtomicU64,
+    /// Ticks whose ingest budget was exhausted with messages still
+    /// queued (overload indicator).
+    budget_exhausted: AtomicU64,
     /// Count of sensors first seen since the last navigator rebuild.
     dirty_sensors: AtomicU64,
 }
@@ -79,19 +94,24 @@ impl CollectAgent {
         bus: &BusHandle,
         storage: Arc<dyn StorageEngine>,
     ) -> Result<CollectAgent> {
-        let cache_slots = (config.cache_secs * 1000 / config.expected_interval_ms.max(1))
-            .max(2) as usize
-            + 1;
+        let cache_slots =
+            (config.cache_secs * 1000 / config.expected_interval_ms.max(1)).max(2) as usize + 1;
         let query = Arc::new(QueryEngine::with_storage(cache_slots, Arc::clone(&storage)));
         let manager = OperatorManager::new(query);
+        let filter = dcdb_bus::TopicFilter::parse("/#")?;
+        let subscription =
+            bus.subscribe_with(filter, SubscribeOptions::default().label("collect-agent"));
         Ok(CollectAgent {
-            subscription: bus.subscribe_str("/#")?,
+            subscription,
+            bus: bus.clone(),
+            ingest_budget: config.ingest_budget.max(1),
             manager,
             storage,
             messages: AtomicU64::new(0),
             readings: AtomicU64::new(0),
             decode_errors: AtomicU64::new(0),
             maintenance_errors: AtomicU64::new(0),
+            budget_exhausted: AtomicU64::new(0),
             dirty_sensors: AtomicU64::new(0),
         })
     }
@@ -111,11 +131,20 @@ impl CollectAgent {
         &self.storage
     }
 
-    /// Drains all pending bus messages into caches and storage.
-    /// Returns the number of readings ingested.
+    /// Drains pending bus messages into caches and storage, bounded by
+    /// the configured per-tick ingest budget so a publish storm can
+    /// never starve operators or storage maintenance. Surplus messages
+    /// stay queued (and are shed by the subscription's overflow policy
+    /// under sustained overload). Returns the number of readings
+    /// ingested.
     pub fn process_pending(&self) -> usize {
         let mut ingested = 0;
-        while let Ok(Some(msg)) = self.subscription.try_recv() {
+        let mut consumed = 0usize;
+        while consumed < self.ingest_budget {
+            let Ok(Some(msg)) = self.subscription.try_recv() else {
+                break;
+            };
+            consumed += 1;
             self.messages.fetch_add(1, Ordering::Relaxed);
             match decode_readings(msg.payload) {
                 Ok(readings) => {
@@ -133,11 +162,19 @@ impl CollectAgent {
                 }
             }
         }
+        if consumed == self.ingest_budget && self.subscription.queued() > 0 {
+            self.budget_exhausted.fetch_add(1, Ordering::Relaxed);
+        }
         // New sensors appeared: refresh the tree so operators can bind.
         if self.dirty_sensors.swap(0, Ordering::AcqRel) > 0 {
             self.query_engine().rebuild_navigator();
         }
         ingested
+    }
+
+    /// Messages currently waiting on the agent's bus subscription.
+    pub fn ingest_backlog(&self) -> usize {
+        self.subscription.queued()
     }
 
     /// One tick: ingest pending data, run due operators, then give the
@@ -159,12 +196,86 @@ impl CollectAgent {
             readings: self.readings.load(Ordering::Relaxed),
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
             maintenance_errors: self.maintenance_errors.load(Ordering::Relaxed),
+            budget_exhausted: self.budget_exhausted.load(Ordering::Relaxed),
         }
     }
 
-    /// Mounts the Collect Agent REST API: Wintermute management routes
-    /// plus raw sensor queries
-    /// (`GET /sensors/<topic>?from_s=..&to_s=..`).
+    /// Live operational metrics as JSON: broker counters and router
+    /// lag, per-subscriber queue depth / high-water / drop counters,
+    /// agent ingest counters, query-engine and storage statistics.
+    pub fn metrics_json(&self) -> serde_json::Value {
+        let bus = self.bus.metrics();
+        let queue_json = |q: &dcdb_bus::QueueMetricsSnapshot| {
+            serde_json::json!({
+                "capacity": q.capacity,
+                "policy": q.policy.as_str(),
+                "depth": q.depth,
+                "high_water": q.high_water,
+                "offered": q.offered,
+                "enqueued": q.enqueued,
+                "dequeued": q.dequeued,
+                "dropped_newest": q.dropped_newest,
+                "dropped_oldest": q.dropped_oldest,
+                "dropped_closed": q.dropped_closed,
+            })
+        };
+        let subs: Vec<serde_json::Value> = bus
+            .subscriptions
+            .iter()
+            .map(|s| {
+                serde_json::json!({
+                    "label": s.label,
+                    "filter": s.filter,
+                    "queue": queue_json(&s.queue),
+                })
+            })
+            .collect();
+        let agent = self.stats();
+        let query = self.query_engine().stats();
+        let storage = self.storage.stats();
+        let bus_json = serde_json::json!({
+            "published": bus.stats.published,
+            "delivered": bus.stats.delivered,
+            "dropped": bus.stats.dropped,
+            "router_dropped": bus.stats.router_dropped,
+            "router_lag": bus.router.as_ref().map(|r| r.depth),
+            "router": bus.router.as_ref().map(queue_json),
+            "subscriptions": subs,
+        });
+        let agent_json = serde_json::json!({
+            "messages": agent.messages,
+            "readings": agent.readings,
+            "decode_errors": agent.decode_errors,
+            "maintenance_errors": agent.maintenance_errors,
+            "budget_exhausted": agent.budget_exhausted,
+            "ingest_backlog": self.ingest_backlog(),
+        });
+        let query_json = serde_json::json!({
+            "cache_hits": query.cache_hits,
+            "storage_fallbacks": query.storage_fallbacks,
+            "misses": query.misses,
+            "inserts": query.inserts,
+            "storage_errors": query.storage_errors,
+            "sensors": self.query_engine().sensor_count(),
+            "cache_memory_bytes": self.query_engine().cache_memory_bytes(),
+        });
+        let storage_json = serde_json::json!({
+            "readings": storage.readings,
+            "sensors": storage.sensors,
+            "inserts": storage.inserts,
+            "queries": storage.queries,
+        });
+        serde_json::json!({
+            "bus": bus_json,
+            "agent": agent_json,
+            "query": query_json,
+            "storage": storage_json,
+        })
+    }
+
+    /// Mounts the Collect Agent REST API: Wintermute management routes,
+    /// raw sensor queries (`GET /sensors/<topic>?from_s=..&to_s=..`),
+    /// and the operational metrics endpoint (`GET /metrics`).
     pub fn mount_routes(self: &Arc<Self>, router: &mut Router) {
         self.manager.mount_routes(router);
         let agent = Arc::clone(self);
@@ -173,16 +284,16 @@ impl CollectAgent {
             let Ok(topic) = Topic::parse(&raw) else {
                 return Response::error(Status::BadRequest, "malformed topic");
             };
-            let from = req
-                .query_param("from_s")
-                .and_then(|v| v.parse::<u64>().ok())
-                .map(Timestamp::from_secs)
-                .unwrap_or(Timestamp::ZERO);
-            let to = req
-                .query_param("to_s")
-                .and_then(|v| v.parse::<u64>().ok())
-                .map(Timestamp::from_secs)
-                .unwrap_or(Timestamp::MAX);
+            // Absent parameters default to the open range; present but
+            // unparsable ones are client errors, not open ranges.
+            let from = match parse_ts_param(req, "from_s") {
+                Ok(v) => v.unwrap_or(Timestamp::ZERO),
+                Err(resp) => return resp,
+            };
+            let to = match parse_ts_param(req, "to_s") {
+                Ok(v) => v.unwrap_or(Timestamp::MAX),
+                Err(resp) => return resp,
+            };
             let readings = agent
                 .query_engine()
                 .query(&topic, QueryMode::Absolute { t0: from, t1: to });
@@ -192,6 +303,31 @@ impl CollectAgent {
                 .collect();
             Response::json(serde_json::Value::Array(rows).to_string())
         });
+        let agent = Arc::clone(self);
+        router.route(Method::Get, "/metrics", move |_req| {
+            Response::json(agent.metrics_json().to_string())
+        });
+    }
+}
+
+/// Parses an optional `?name=<seconds>` query parameter. `Ok(None)`
+/// when absent; a `400 Bad Request` response when present but not a
+/// valid integer.
+fn parse_ts_param(
+    req: &dcdb_rest::Request,
+    name: &str,
+) -> std::result::Result<Option<Timestamp>, Response> {
+    match req.query_param(name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<u64>()
+            .map(|s| Some(Timestamp::from_secs(s)))
+            .map_err(|_| {
+                Response::error(
+                    Status::BadRequest,
+                    format!("malformed {name}: expected unsigned seconds, got {v:?}"),
+                )
+            }),
     }
 }
 
@@ -246,8 +382,7 @@ mod tests {
         let broker = Broker::new_sync();
         let storage = Arc::new(StorageBackend::new());
         let agent = Arc::new(
-            CollectAgent::new(CollectAgentConfig::default(), &broker.handle(), storage)
-                .unwrap(),
+            CollectAgent::new(CollectAgentConfig::default(), &broker.handle(), storage).unwrap(),
         );
         (broker, agent)
     }
@@ -269,12 +404,17 @@ mod tests {
         assert_eq!(stats.messages, 5);
         assert_eq!(stats.readings, 5);
         // Cache answer.
-        let got = agent.query_engine().query(&t("/r0/n0/power"), QueryMode::Latest);
+        let got = agent
+            .query_engine()
+            .query(&t("/r0/n0/power"), QueryMode::Latest);
         assert_eq!(got[0].value, 105);
         // Storage answer.
         assert_eq!(agent.storage().stats().readings, 5);
         // Navigator was rebuilt.
-        assert!(agent.query_engine().navigator().has_sensor(&t("/r0/n0/power")));
+        assert!(agent
+            .query_engine()
+            .navigator()
+            .has_sensor(&t("/r0/n0/power")));
     }
 
     #[test]
@@ -346,6 +486,107 @@ mod tests {
     }
 
     #[test]
+    fn rest_sensor_query_rejects_malformed_range_params() {
+        let (broker, agent) = setup();
+        broker
+            .handle()
+            .publish_readings(
+                t("/r0/n0/temp"),
+                &[SensorReading::new(40, Timestamp::from_secs(1))],
+            )
+            .unwrap();
+        agent.process_pending();
+        let mut router = Router::new();
+        agent.mount_routes(&mut router);
+        // Malformed bounds are client errors, not silent full-range
+        // queries.
+        for path in [
+            "/sensors/r0/n0/temp?from_s=abc",
+            "/sensors/r0/n0/temp?to_s=-5",
+            "/sensors/r0/n0/temp?from_s=1&to_s=2x",
+        ] {
+            let resp = router.dispatch(dcdb_rest::Request::new(Method::Get, path));
+            assert_eq!(resp.status.code(), 400, "{path} -> {}", resp.body_str());
+        }
+        // Absent params still default to the open range.
+        let resp = router.dispatch(dcdb_rest::Request::new(Method::Get, "/sensors/r0/n0/temp"));
+        assert_eq!(resp.status.code(), 200);
+        assert!(resp.body_str().contains("\"value\":40"));
+    }
+
+    #[test]
+    fn metrics_endpoint_reports_queues_and_counters() {
+        let (broker, agent) = setup();
+        let bus = broker.handle();
+        for i in 1..=4u64 {
+            bus.publish_readings(
+                t("/r0/n0/power"),
+                &[SensorReading::new(i as i64, Timestamp::from_secs(i))],
+            )
+            .unwrap();
+        }
+        agent.process_pending();
+        let mut router = Router::new();
+        agent.mount_routes(&mut router);
+        let resp = router.dispatch(dcdb_rest::Request::new(Method::Get, "/metrics"));
+        assert_eq!(resp.status.code(), 200);
+        let v: serde_json::Value = serde_json::from_str(&resp.body_str()).unwrap();
+        let bus_m = v.get("bus").unwrap();
+        assert_eq!(bus_m.get("published").unwrap().as_u64(), Some(4));
+        assert_eq!(
+            v.get("agent").unwrap().get("readings").unwrap().as_u64(),
+            Some(4)
+        );
+        assert_eq!(
+            v.get("storage").unwrap().get("readings").unwrap().as_u64(),
+            Some(4)
+        );
+        let subs = bus_m.get("subscriptions").unwrap().as_array().unwrap();
+        let agent_sub = subs
+            .iter()
+            .find(|s| s.get("label").unwrap().as_str() == Some("collect-agent"))
+            .expect("agent subscription is registered");
+        let q = agent_sub.get("queue").unwrap();
+        assert_eq!(q.get("depth").unwrap().as_u64(), Some(0));
+        assert_eq!(q.get("dequeued").unwrap().as_u64(), Some(4));
+        assert!(q.get("capacity").unwrap().as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn ingest_budget_bounds_one_pass_and_preserves_backlog() {
+        let broker = Broker::new_sync();
+        let storage = Arc::new(StorageBackend::new());
+        let agent = CollectAgent::new(
+            CollectAgentConfig {
+                ingest_budget: 10,
+                ..CollectAgentConfig::default()
+            },
+            &broker.handle(),
+            storage,
+        )
+        .unwrap();
+        let bus = broker.handle();
+        for i in 1..=25u64 {
+            bus.publish_readings(
+                t("/r0/n0/power"),
+                &[SensorReading::new(i as i64, Timestamp::from_secs(i))],
+            )
+            .unwrap();
+        }
+        // Each pass ingests at most the budget; the rest stays queued.
+        assert_eq!(agent.process_pending(), 10);
+        assert_eq!(agent.ingest_backlog(), 15);
+        assert_eq!(agent.stats().budget_exhausted, 1);
+        assert_eq!(agent.process_pending(), 10);
+        assert_eq!(agent.process_pending(), 5);
+        assert_eq!(agent.ingest_backlog(), 0);
+        assert_eq!(agent.stats().readings, 25);
+        // No further budget exhaustion once drained.
+        assert_eq!(agent.process_pending(), 0);
+        assert_eq!(agent.stats().budget_exhausted, 2);
+    }
+
+    #[test]
     fn sim_job_source_exposes_running_jobs() {
         let mut sim = ClusterSimulator::new(ClusterConfig::small_manual(3));
         sim.submit_job(
@@ -373,14 +614,9 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         {
             let broker = Broker::new_sync();
-            let storage =
-                Arc::new(DurableBackend::open(&dir, DurableConfig::default()).unwrap());
-            let agent = CollectAgent::new(
-                CollectAgentConfig::default(),
-                &broker.handle(),
-                storage,
-            )
-            .unwrap();
+            let storage = Arc::new(DurableBackend::open(&dir, DurableConfig::default()).unwrap());
+            let agent = CollectAgent::new(CollectAgentConfig::default(), &broker.handle(), storage)
+                .unwrap();
             let bus = broker.handle();
             for i in 1..=20u64 {
                 bus.publish_readings(
@@ -396,11 +632,9 @@ mod tests {
         // "Restart": a fresh agent over the same data directory serves
         // the old range from recovered segments/WAL on a cold cache.
         let broker = Broker::new_sync();
-        let storage =
-            Arc::new(DurableBackend::open(&dir, DurableConfig::default()).unwrap());
+        let storage = Arc::new(DurableBackend::open(&dir, DurableConfig::default()).unwrap());
         let agent =
-            CollectAgent::new(CollectAgentConfig::default(), &broker.handle(), storage)
-                .unwrap();
+            CollectAgent::new(CollectAgentConfig::default(), &broker.handle(), storage).unwrap();
         let got = agent.query_engine().query(
             &t("/r0/n0/power"),
             QueryMode::Absolute {
@@ -420,6 +654,7 @@ mod tests {
             CollectAgentConfig {
                 cache_secs: 5,
                 expected_interval_ms: 1000,
+                ..CollectAgentConfig::default()
             },
             &broker.handle(),
             storage,

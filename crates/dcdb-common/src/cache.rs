@@ -79,6 +79,16 @@ impl SensorCache {
         self.cap
     }
 
+    /// Bytes actually held by this cache: the struct itself plus the
+    /// ring storage *as allocated*, not as configured. `buf` grows
+    /// lazily (and starts at most 4096 slots), so a mostly-empty cache
+    /// reports far less than `cap * size_of::<SensorReading>()` —
+    /// footprint metrics must not charge capacity that was never
+    /// allocated.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.buf.capacity() * std::mem::size_of::<SensorReading>()
+    }
+
     /// Number of cached readings.
     pub fn len(&self) -> usize {
         self.len
@@ -167,7 +177,11 @@ impl SensorCache {
             PushOutcome::Stored
         } else {
             self.buf[self.head] = r;
-            self.head = if self.head + 1 == cap { 0 } else { self.head + 1 };
+            self.head = if self.head + 1 == cap {
+                0
+            } else {
+                self.head + 1
+            };
             PushOutcome::Evicted
         }
     }
@@ -288,7 +302,10 @@ pub struct CacheView<'a> {
 impl<'a> CacheView<'a> {
     /// An empty view.
     pub fn empty() -> Self {
-        CacheView { first: &[], second: &[] }
+        CacheView {
+            first: &[],
+            second: &[],
+        }
     }
 
     /// Number of readings in the view.
@@ -327,10 +344,8 @@ impl<'a> CacheView<'a> {
 
 impl<'a> IntoIterator for CacheView<'a> {
     type Item = &'a SensorReading;
-    type IntoIter = std::iter::Chain<
-        std::slice::Iter<'a, SensorReading>,
-        std::slice::Iter<'a, SensorReading>,
-    >;
+    type IntoIter =
+        std::iter::Chain<std::slice::Iter<'a, SensorReading>, std::slice::Iter<'a, SensorReading>>;
     fn into_iter(self) -> Self::IntoIter {
         self.first.iter().chain(self.second.iter())
     }
@@ -374,6 +389,20 @@ mod tests {
     }
 
     #[test]
+    fn memory_bytes_tracks_allocation_not_capacity() {
+        let reading = std::mem::size_of::<SensorReading>();
+        // Huge configured capacity, nothing stored: only the (bounded)
+        // initial allocation is charged.
+        let empty = SensorCache::new(1_000_000);
+        assert!(empty.memory_bytes() <= std::mem::size_of::<SensorCache>() + 4096 * reading);
+        // A filled small cache charges at least its contents.
+        let mut full = SensorCache::new(8);
+        fill(&mut full, 8);
+        assert!(full.memory_bytes() >= std::mem::size_of::<SensorCache>() + 8 * reading);
+        assert!(full.memory_bytes() < empty.memory_bytes());
+    }
+
+    #[test]
     fn with_window_sizes_by_interval() {
         let c = SensorCache::with_window(180 * NS_PER_SEC, NS_PER_SEC);
         assert!(c.capacity() >= 181);
@@ -400,8 +429,12 @@ mod tests {
     fn absolute_view_outside_range_is_empty() {
         let mut c = SensorCache::new(8);
         fill(&mut c, 8);
-        assert!(c.view_absolute(Timestamp::from_secs(100), Timestamp::from_secs(200)).is_empty());
-        assert!(c.view_absolute(Timestamp::from_secs(6), Timestamp::from_secs(2)).is_empty());
+        assert!(c
+            .view_absolute(Timestamp::from_secs(100), Timestamp::from_secs(200))
+            .is_empty());
+        assert!(c
+            .view_absolute(Timestamp::from_secs(6), Timestamp::from_secs(2))
+            .is_empty());
         assert!(c.view_absolute(Timestamp::ZERO, Timestamp::ZERO).is_empty());
     }
 

@@ -167,8 +167,18 @@ mod tests {
 
     #[test]
     fn sampling_validation() {
-        assert!(SamplingConfig { interval_ms: 0, cache_secs: 10 }.validate().is_err());
-        assert!(SamplingConfig { interval_ms: 10, cache_secs: 0 }.validate().is_err());
+        assert!(SamplingConfig {
+            interval_ms: 0,
+            cache_secs: 10
+        }
+        .validate()
+        .is_err());
+        assert!(SamplingConfig {
+            interval_ms: 10,
+            cache_secs: 0
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

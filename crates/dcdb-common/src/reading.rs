@@ -168,7 +168,16 @@ mod tests {
 
     #[test]
     fn stats_known_values() {
-        let rs = [r(2, 1), r(4, 2), r(4, 3), r(4, 4), r(5, 5), r(5, 6), r(7, 7), r(9, 8)];
+        let rs = [
+            r(2, 1),
+            r(4, 2),
+            r(4, 3),
+            r(4, 4),
+            r(5, 5),
+            r(5, 6),
+            r(7, 7),
+            r(9, 8),
+        ];
         let s = ReadingStats::from_readings(&rs).unwrap();
         assert_eq!(s.count, 8);
         assert!((s.mean - 5.0).abs() < 1e-12);

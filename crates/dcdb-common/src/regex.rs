@@ -39,7 +39,10 @@ enum Ast {
     Empty,
     Char(char),
     AnyChar,
-    Class { negated: bool, items: Vec<ClassItem> },
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
     Concat(Vec<Ast>),
     Alternate(Vec<Ast>),
     Star(Box<Ast>),
@@ -60,7 +63,10 @@ enum ClassItem {
 enum Inst {
     Char(char),
     Any,
-    Class { negated: bool, items: Vec<ClassItem> },
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
     Split(usize, usize),
     Jmp(usize),
     AssertStart,
@@ -75,7 +81,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(pattern: &'a str) -> Self {
-        Parser { chars: pattern.chars().peekable(), pattern }
+        Parser {
+            chars: pattern.chars().peekable(),
+            pattern,
+        }
     }
 
     fn err(&self, msg: &str) -> DcdbError {
@@ -135,7 +144,10 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_atom(&mut self) -> Result<Ast, DcdbError> {
-        let c = self.chars.next().ok_or_else(|| self.err("unexpected end"))?;
+        let c = self
+            .chars
+            .next()
+            .ok_or_else(|| self.err("unexpected end"))?;
         match c {
             '(' => {
                 let inner = self.parse_alternate()?;
@@ -149,7 +161,10 @@ impl<'a> Parser<'a> {
             '^' => Ok(Ast::AnchorStart),
             '$' => Ok(Ast::AnchorEnd),
             '\\' => {
-                let e = self.chars.next().ok_or_else(|| self.err("dangling escape"))?;
+                let e = self
+                    .chars
+                    .next()
+                    .ok_or_else(|| self.err("dangling escape"))?;
                 Ok(match e {
                     'd' => Ast::Class {
                         negated: false,
@@ -357,7 +372,10 @@ impl Regex {
         self.add_thread(&mut current, self.start, chars, start_pos);
         let mut pos = start_pos;
         loop {
-            if current.iter().any(|pc| matches!(self.prog[pc], Inst::Match)) {
+            if current
+                .iter()
+                .any(|pc| matches!(self.prog[pc], Inst::Match))
+            {
                 return true;
             }
             if pos >= chars.len() || current.is_empty() {
@@ -406,7 +424,9 @@ impl Regex {
             }
             std::mem::swap(&mut current, &mut next);
         }
-        let matched = current.iter().any(|pc| matches!(self.prog[pc], Inst::Match));
+        let matched = current
+            .iter()
+            .any(|pc| matches!(self.prog[pc], Inst::Match));
         matched
     }
 
@@ -425,14 +445,12 @@ impl Regex {
                 self.add_thread(set, *a, chars, pos);
                 self.add_thread(set, *b, chars, pos);
             }
-            Inst::AssertStart
-                if pos == 0 => {
-                    self.add_thread(set, pc + 1, chars, pos);
-                }
-            Inst::AssertEnd
-                if pos == chars.len() => {
-                    self.add_thread(set, pc + 1, chars, pos);
-                }
+            Inst::AssertStart if pos == 0 => {
+                self.add_thread(set, pc + 1, chars, pos);
+            }
+            Inst::AssertEnd if pos == chars.len() => {
+                self.add_thread(set, pc + 1, chars, pos);
+            }
             _ => {}
         }
     }

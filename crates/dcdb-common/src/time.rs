@@ -144,10 +144,7 @@ impl VirtualClock {
 
     /// Advances the clock by `ns` nanoseconds and returns the new time.
     pub fn advance(&self, ns: u64) -> Timestamp {
-        let new = self
-            .now
-            .fetch_add(ns, std::sync::atomic::Ordering::AcqRel)
-            + ns;
+        let new = self.now.fetch_add(ns, std::sync::atomic::Ordering::AcqRel) + ns;
         Timestamp(new)
     }
 
@@ -156,7 +153,11 @@ impl VirtualClock {
     /// assumes.
     pub fn set(&self, t: Timestamp) {
         let prev = self.now.swap(t.0, std::sync::atomic::Ordering::AcqRel);
-        assert!(prev <= t.0, "VirtualClock moved backwards: {prev} -> {}", t.0);
+        assert!(
+            prev <= t.0,
+            "VirtualClock moved backwards: {prev} -> {}",
+            t.0
+        );
     }
 }
 

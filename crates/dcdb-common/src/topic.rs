@@ -214,12 +214,20 @@ impl SensorRegistry {
 
     /// Returns the topic for `id`, if valid.
     pub fn topic(&self, id: SensorId) -> Option<Topic> {
-        self.inner.read().by_id.get(id.0 as usize).map(|e| e.0.clone())
+        self.inner
+            .read()
+            .by_id
+            .get(id.0 as usize)
+            .map(|e| e.0.clone())
     }
 
     /// Returns the metadata for `id`, if valid.
     pub fn metadata(&self, id: SensorId) -> Option<SensorMetadata> {
-        self.inner.read().by_id.get(id.0 as usize).map(|e| e.1.clone())
+        self.inner
+            .read()
+            .by_id
+            .get(id.0 as usize)
+            .map(|e| e.1.clone())
     }
 
     /// Number of interned sensors.
@@ -258,8 +266,14 @@ mod tests {
 
     #[test]
     fn parse_normalizes() {
-        assert_eq!(Topic::parse("rack0/node1/power").unwrap().as_str(), "/rack0/node1/power");
-        assert_eq!(Topic::parse("/rack0/node1/power/").unwrap().as_str(), "/rack0/node1/power");
+        assert_eq!(
+            Topic::parse("rack0/node1/power").unwrap().as_str(),
+            "/rack0/node1/power"
+        );
+        assert_eq!(
+            Topic::parse("/rack0/node1/power/").unwrap().as_str(),
+            "/rack0/node1/power"
+        );
         assert_eq!(Topic::parse("  /a/b  ").unwrap().as_str(), "/a/b");
     }
 
@@ -275,7 +289,10 @@ mod tests {
         let t = Topic::parse("/r03/c02/s02/healthy").unwrap();
         assert_eq!(t.name(), "healthy");
         assert_eq!(t.depth(), 4);
-        assert_eq!(t.segments().collect::<Vec<_>>(), vec!["r03", "c02", "s02", "healthy"]);
+        assert_eq!(
+            t.segments().collect::<Vec<_>>(),
+            vec!["r03", "c02", "s02", "healthy"]
+        );
         assert_eq!(t.parent().unwrap().as_str(), "/r03/c02/s02");
         let top = Topic::parse("/power").unwrap();
         assert_eq!(top.parent(), None);

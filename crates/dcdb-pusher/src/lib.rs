@@ -16,7 +16,7 @@ pub mod plugins;
 pub mod pusher;
 
 pub use plugins::{
-    standard_plugin_set, ClassMonitoringPlugin, MonitoringPlugin, SensorClass,
-    SharedNodeSampler, SimMonitoringPlugin, TesterMonitoringPlugin,
+    standard_plugin_set, ClassMonitoringPlugin, MonitoringPlugin, SensorClass, SharedNodeSampler,
+    SimMonitoringPlugin, TesterMonitoringPlugin,
 };
 pub use pusher::{Pusher, PusherConfig, PusherStats};

@@ -128,7 +128,10 @@ impl SensorClass {
     pub fn owns(self, sensor_name: &str) -> bool {
         match self {
             SensorClass::Perfevent => {
-                matches!(sensor_name, "cycles" | "instructions" | "cache-misses" | "flops")
+                matches!(
+                    sensor_name,
+                    "cycles" | "instructions" | "cache-misses" | "flops"
+                )
             }
             SensorClass::SysFs => matches!(sensor_name, "power" | "temp"),
             SensorClass::ProcFs => matches!(sensor_name, "memfree" | "cpu-idle"),

@@ -57,6 +57,9 @@ pub struct PusherStats {
     pub sampled: u64,
     /// Messages published to the bus.
     pub published: u64,
+    /// Publishes the bus refused (router stopped / disconnected). QoS 0:
+    /// the tick carries on; the loss is counted, not fatal.
+    pub publish_errors: u64,
 }
 
 /// One DCDB Pusher instance.
@@ -67,6 +70,7 @@ pub struct Pusher {
     bus: Option<BusHandle>,
     sampled: AtomicU64,
     published: AtomicU64,
+    publish_errors: AtomicU64,
 }
 
 impl Pusher {
@@ -84,6 +88,7 @@ impl Pusher {
             bus,
             sampled: AtomicU64::new(0),
             published: AtomicU64::new(0),
+            publish_errors: AtomicU64::new(0),
         }
     }
 
@@ -142,15 +147,27 @@ impl Pusher {
             slot.next_due.store(next, Ordering::Release);
 
             let samples = slot.plugin.lock().sample(now)?;
-            self.sampled.fetch_add(samples.len() as u64, Ordering::Relaxed);
+            self.sampled
+                .fetch_add(samples.len() as u64, Ordering::Relaxed);
             for (topic, reading) in &samples {
                 self.query_engine().insert(topic, *reading);
             }
             if self.config.publish {
                 if let Some(bus) = &self.bus {
                     for (topic, reading) in &samples {
-                        bus.publish_readings(topic.clone(), std::slice::from_ref(reading))?;
-                        self.published.fetch_add(1, Ordering::Relaxed);
+                        // QoS 0: a refused publish (router stopped,
+                        // broker gone) must not abort the tick and lose
+                        // the remaining plugins' samples — count it and
+                        // carry on. The reading is already cached
+                        // locally either way.
+                        match bus.publish_readings(topic.clone(), std::slice::from_ref(reading)) {
+                            Ok(()) => {
+                                self.published.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                self.publish_errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
                     }
                 }
             }
@@ -163,6 +180,7 @@ impl Pusher {
         PusherStats {
             sampled: self.sampled.load(Ordering::Relaxed),
             published: self.published.load(Ordering::Relaxed),
+            publish_errors: self.publish_errors.load(Ordering::Relaxed),
         }
     }
 

@@ -178,8 +178,7 @@ fn percent_decode(s: &str) -> String {
         match bytes[i] {
             b'%' => {
                 let hex = bytes.get(i + 1..i + 3);
-                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok())
-                {
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
                     Some(b) => {
                         out.push(b);
                         i += 3;
@@ -358,9 +357,7 @@ mod tests {
         assert!(Request::read_from(&b"NOPE / HTTP/1.1\r\n\r\n"[..]).is_err());
         assert!(Request::read_from(&b"GET /\r\n\r\n"[..]).is_err());
         assert!(Request::read_from(&b"GET / HTTP/1.1\r\nBadHeader\r\n\r\n"[..]).is_err());
-        assert!(
-            Request::read_from(&b"GET / HTTP/1.1\r\nContent-Length: zap\r\n\r\n"[..]).is_err()
-        );
+        assert!(Request::read_from(&b"GET / HTTP/1.1\r\nContent-Length: zap\r\n\r\n"[..]).is_err());
     }
 
     #[test]
@@ -403,7 +400,13 @@ mod tests {
     fn response_constructors() {
         assert_eq!(Response::no_content().status.code(), 204);
         assert_eq!(Response::error(Status::NotFound, "x").status.code(), 404);
-        assert_eq!(Response::text("t").with_status(Status::Created).status.code(), 201);
+        assert_eq!(
+            Response::text("t")
+                .with_status(Status::Created)
+                .status
+                .code(),
+            201
+        );
         assert_eq!(Status::InternalError.reason(), "Internal Server Error");
     }
 }

@@ -195,7 +195,10 @@ mod tests {
         let mut r = Router::new();
         r.get("/a/specific", |_| Response::text("specific"));
         r.get("/a/:x", |_| Response::text("param"));
-        assert_eq!(r.dispatch(req(Method::Get, "/a/specific")).body_str(), "specific");
+        assert_eq!(
+            r.dispatch(req(Method::Get, "/a/specific")).body_str(),
+            "specific"
+        );
         assert_eq!(r.dispatch(req(Method::Get, "/a/other")).body_str(), "param");
     }
 

@@ -165,7 +165,10 @@ mod tests {
             Response::text(String::from_utf8_lossy(&req.body).into_owned())
         });
         r.get("/sensors/*topic", |req| {
-            Response::json(format!("{{\"topic\":\"{}\"}}", req.path_param("topic").unwrap()))
+            Response::json(format!(
+                "{{\"topic\":\"{}\"}}",
+                req.path_param("topic").unwrap()
+            ))
         });
         r
     }
@@ -181,8 +184,7 @@ mod tests {
     #[test]
     fn put_with_body() {
         let server = RestServer::serve("127.0.0.1:0", test_router()).unwrap();
-        let (code, body) =
-            http_request(server.addr(), Method::Put, "/echo", b"payload").unwrap();
+        let (code, body) = http_request(server.addr(), Method::Put, "/echo", b"payload").unwrap();
         assert_eq!(code, 200);
         assert_eq!(body, "payload");
     }

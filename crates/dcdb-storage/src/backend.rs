@@ -133,8 +133,7 @@ impl StorageBackend {
     pub fn evict_before(&self, cutoff: Timestamp) -> usize {
         let mut evicted = 0;
         for shard in &self.shards {
-            let all: Vec<Arc<Mutex<Series>>> =
-                shard.read().values().map(Arc::clone).collect();
+            let all: Vec<Arc<Mutex<Series>>> = shard.read().values().map(Arc::clone).collect();
             evicted += all
                 .iter()
                 .map(|s| s.lock().evict_before(cutoff))
@@ -236,7 +235,9 @@ mod tests {
         assert_eq!(q.len(), 2);
         assert_eq!(q[1].value, 110);
         assert_eq!(db.latest(&t("/n2/power")).unwrap().value, 200);
-        assert!(db.query(&t("/nope/x"), Timestamp::ZERO, Timestamp::MAX).is_empty());
+        assert!(db
+            .query(&t("/nope/x"), Timestamp::ZERO, Timestamp::MAX)
+            .is_empty());
     }
 
     #[test]
@@ -313,11 +314,7 @@ mod tests {
         for n in 0..200 {
             db.insert(&t(&format!("/rack{}/node{n}/power", n % 8)), r(n, 1));
         }
-        let populated = db
-            .shards
-            .iter()
-            .filter(|s| !s.read().is_empty())
-            .count();
+        let populated = db.shards.iter().filter(|s| !s.read().is_empty()).count();
         // 200 hashed topics should land in (nearly) every one of the 16
         // shards; require a clear majority to keep the test robust.
         assert!(populated > SHARD_COUNT / 2, "only {populated} shards used");
@@ -332,7 +329,10 @@ mod tests {
         db.insert(&t("/n/s"), r(5, 9)).unwrap();
         db.insert_batch(&t("/n/s"), &[r(6, 10), r(7, 11)]).unwrap();
         assert_eq!(db.latest(&t("/n/s")).unwrap().value, 7);
-        assert_eq!(db.query(&t("/n/s"), Timestamp::ZERO, Timestamp::MAX).len(), 3);
+        assert_eq!(
+            db.query(&t("/n/s"), Timestamp::ZERO, Timestamp::MAX).len(),
+            3
+        );
         assert!(db.contains(&t("/n/s")));
         assert_eq!(db.stats().readings, 3);
         db.flush().unwrap();
@@ -345,8 +345,7 @@ mod tests {
         let db = StorageBackend::new();
         db.insert(&t("/a/x"), r(1, 1));
         db.insert(&t("/b/y"), r(1, 1));
-        let mut topics: Vec<String> =
-            db.topics().iter().map(|t| t.as_str().to_string()).collect();
+        let mut topics: Vec<String> = db.topics().iter().map(|t| t.as_str().to_string()).collect();
         topics.sort();
         assert_eq!(topics, vec!["/a/x", "/b/y"]);
         assert!(db.contains(&t("/a/x")));

@@ -139,7 +139,12 @@ mod tests {
     fn round_trips_periodic_data_compactly() {
         // Perfectly periodic sampling with a slow ramp: the common case.
         let readings: Vec<SensorReading> = (0..1000)
-            .map(|i| r(100_000 + i as i64, 1_700_000_000 * NS_PER_SEC + i * NS_PER_SEC))
+            .map(|i| {
+                r(
+                    100_000 + i as i64,
+                    1_700_000_000 * NS_PER_SEC + i * NS_PER_SEC,
+                )
+            })
             .collect();
         let block = compress_block(&readings);
         assert_eq!(decompress_block(&block).unwrap(), readings);
@@ -179,8 +184,7 @@ mod tests {
             state
         };
         for len in [0usize, 1, 2, 3, 17, 256, 1024] {
-            let readings: Vec<SensorReading> =
-                (0..len).map(|_| r(next() as i64, next())).collect();
+            let readings: Vec<SensorReading> = (0..len).map(|_| r(next() as i64, next())).collect();
             let block = compress_block(&readings);
             assert_eq!(decompress_block(&block).unwrap(), readings, "len {len}");
         }

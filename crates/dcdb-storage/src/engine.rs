@@ -132,7 +132,10 @@ pub struct DurableBackend {
 }
 
 fn parse_seq(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
-    name.strip_prefix(prefix)?.strip_suffix(suffix)?.parse().ok()
+    name.strip_prefix(prefix)?
+        .strip_suffix(suffix)?
+        .parse()
+        .ok()
 }
 
 impl DurableBackend {
@@ -241,9 +244,11 @@ impl DurableBackend {
             let active = self.active.read();
             active.wal.lock().append(topic, readings)?;
             active.memtable.insert_batch(topic, readings);
-            self.memtable_readings.fetch_add(readings.len(), Ordering::Relaxed);
+            self.memtable_readings
+                .fetch_add(readings.len(), Ordering::Relaxed);
         }
-        self.inserts.fetch_add(readings.len() as u64, Ordering::Relaxed);
+        self.inserts
+            .fetch_add(readings.len() as u64, Ordering::Relaxed);
         if self.memtable_readings.load(Ordering::Relaxed) >= self.config.memtable_max_readings {
             self.seal()?;
         }
@@ -329,14 +334,17 @@ impl DurableBackend {
     /// True when any generation holds data for `topic`.
     pub fn contains(&self, topic: &Topic) -> bool {
         self.active.read().memtable.contains(topic)
-            || self.sealing.read().as_ref().is_some_and(|m| m.contains(topic))
+            || self
+                .sealing
+                .read()
+                .as_ref()
+                .is_some_and(|m| m.contains(topic))
             || self.segments.read().iter().any(|(_, s)| s.contains(topic))
     }
 
     /// All topics with data in any generation, unordered.
     pub fn topics(&self) -> Vec<Topic> {
-        let mut set: BTreeSet<Topic> =
-            self.active.read().memtable.topics().into_iter().collect();
+        let mut set: BTreeSet<Topic> = self.active.read().memtable.topics().into_iter().collect();
         if let Some(mem) = self.sealing.read().clone() {
             set.extend(mem.topics());
         }
@@ -358,8 +366,7 @@ impl DurableBackend {
         let wal_seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let new_wal_path = self.dir.join(format!("wal-{wal_seq:010}.log"));
         let new_wal = WalWriter::create(&new_wal_path, self.config.fsync)?;
-        let fresh =
-            Arc::new(StorageBackend::with_partition_ns(self.config.partition_ns));
+        let fresh = Arc::new(StorageBackend::with_partition_ns(self.config.partition_ns));
 
         // Publish the outgoing memtable to the `sealing` slot *before*
         // swapping it out, so reads never lose sight of it (brief double
@@ -393,16 +400,15 @@ impl DurableBackend {
         let sealed: usize = entries.iter().map(|(_, r)| r.len()).sum();
         let seg_path = self.dir.join(format!("seg-{seg_seq:010}.seg"));
 
-        let written = write_segment(&seg_path, &entries)
-            .and_then(|()| SegmentReader::open(&seg_path));
+        let written =
+            write_segment(&seg_path, &entries).and_then(|()| SegmentReader::open(&seg_path));
         match written {
             Ok(reader) => {
                 self.segments.write().push((seg_seq, Arc::new(reader)));
                 *self.sealing.write() = None;
                 // The sealed data is durable in the segment; retire the
                 // WAL generations that covered it.
-                let mut retired: Vec<PathBuf> =
-                    std::mem::take(&mut *self.unsealed_wals.lock());
+                let mut retired: Vec<PathBuf> = std::mem::take(&mut *self.unsealed_wals.lock());
                 retired.push(old.wal_path);
                 for path in retired {
                     std::fs::remove_file(&path).ok();
@@ -656,7 +662,8 @@ mod tests {
     fn insert_query_without_seal() {
         let dir = TempDir::new("basic");
         let db = DurableBackend::open(dir.path(), small_config()).unwrap();
-        db.insert_batch(&t("/n0/power"), &[r(1, 1), r(2, 2), r(3, 3)]).unwrap();
+        db.insert_batch(&t("/n0/power"), &[r(1, 1), r(2, 2), r(3, 3)])
+            .unwrap();
         let q = db.query(&t("/n0/power"), Timestamp::from_secs(2), Timestamp::MAX);
         assert_eq!(q.iter().map(|x| x.value).collect::<Vec<_>>(), vec![2, 3]);
         assert_eq!(db.latest(&t("/n0/power")).unwrap().value, 3);
@@ -697,7 +704,10 @@ mod tests {
         // All data still queryable across generations.
         let q = db.query(&t("/n0/power"), Timestamp::ZERO, Timestamp::MAX);
         assert_eq!(q.len(), 120);
-        assert_eq!(q.iter().map(|x| x.value).sum::<i64>(), (1..=120).sum::<i64>());
+        assert_eq!(
+            q.iter().map(|x| x.value).sum::<i64>(),
+            (1..=120).sum::<i64>()
+        );
         // WAL generations covered by the segment were deleted.
         let wals = std::fs::read_dir(dir.path())
             .unwrap()

@@ -119,9 +119,7 @@ pub struct SegmentReader {
 impl SegmentReader {
     /// Opens a segment, validating magics and the index checksum.
     pub fn open(path: &Path) -> Result<SegmentReader> {
-        let corrupt = |what: &str| {
-            DcdbError::Parse(format!("segment {}: {what}", path.display()))
-        };
+        let corrupt = |what: &str| DcdbError::Parse(format!("segment {}: {what}", path.display()));
         let mut file = File::open(path)?;
         let file_len = file.metadata()?.len();
         let trailer_len = 8 + 4 + 8;
@@ -167,8 +165,7 @@ impl SegmentReader {
         let mut max_ts = Timestamp::ZERO;
         let mut readings = 0usize;
         for _ in 0..count {
-            let topic_len =
-                u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+            let topic_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
             let topic = Topic::parse(
                 std::str::from_utf8(take(&mut pos, topic_len)?)
                     .map_err(|_| corrupt("non-utf8 topic"))?,
@@ -314,9 +311,16 @@ mod tests {
             Some((Timestamp::from_secs(1), Timestamp::from_secs(100)))
         );
         let q = seg
-            .query(&t("/n0/power"), Timestamp::from_secs(10), Timestamp::from_secs(12))
+            .query(
+                &t("/n0/power"),
+                Timestamp::from_secs(10),
+                Timestamp::from_secs(12),
+            )
             .unwrap();
-        assert_eq!(q.iter().map(|x| x.value).collect::<Vec<_>>(), vec![10, 11, 12]);
+        assert_eq!(
+            q.iter().map(|x| x.value).collect::<Vec<_>>(),
+            vec![10, 11, 12]
+        );
         // Out-of-range queries are pruned by the index alone.
         assert!(seg
             .query(&t("/n0/power"), Timestamp::from_secs(200), Timestamp::MAX)

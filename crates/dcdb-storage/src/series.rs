@@ -194,7 +194,9 @@ mod tests {
         let q = s.query(Timestamp::from_secs(2), Timestamp::from_secs(2));
         assert_eq!(q.len(), 1);
         assert_eq!(q[0].value, 2);
-        assert!(s.query(Timestamp::from_secs(3), Timestamp::from_secs(1)).is_empty());
+        assert!(s
+            .query(Timestamp::from_secs(3), Timestamp::from_secs(1))
+            .is_empty());
     }
 
     #[test]

@@ -146,7 +146,10 @@ mod tests {
         for n in 0..3 {
             let topic = t(&format!("/n{n}/power"));
             for i in 1..=100u64 {
-                db.insert(&topic, SensorReading::new((n * 1000 + i) as i64, Timestamp::from_secs(i)));
+                db.insert(
+                    &topic,
+                    SensorReading::new((n * 1000 + i) as i64, Timestamp::from_secs(i)),
+                );
             }
         }
         db

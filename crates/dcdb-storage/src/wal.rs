@@ -185,10 +185,7 @@ pub struct WalReplay {
 /// Tolerates a torn tail: a truncated or CRC-corrupt record terminates
 /// replay without error, reporting `torn_tail = true` and the length of
 /// the clean prefix.
-pub fn replay(
-    path: &Path,
-    mut sink: impl FnMut(Topic, Vec<SensorReading>),
-) -> Result<WalReplay> {
+pub fn replay(path: &Path, mut sink: impl FnMut(Topic, Vec<SensorReading>)) -> Result<WalReplay> {
     let mut data = Vec::new();
     File::open(path)?.read_to_end(&mut data)?;
     if data.len() < WAL_MAGIC.len() || &data[..WAL_MAGIC.len()] != WAL_MAGIC {
@@ -210,8 +207,7 @@ pub fn replay(
             report.torn_tail = true;
             return Ok(report); // torn header
         }
-        let payload_len =
-            u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
+        let payload_len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
         let crc_expected = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
         if payload_len as u32 > MAX_PAYLOAD || pos + 8 + payload_len > data.len() {
             report.torn_tail = true;
@@ -249,9 +245,11 @@ fn decode_payload(payload: &[u8]) -> Option<(Topic, Vec<SensorReading>)> {
         return None;
     }
     let topic = Topic::parse(std::str::from_utf8(&payload[2..2 + topic_len]).ok()?).ok()?;
-    let count =
-        u32::from_le_bytes(payload[2 + topic_len..2 + topic_len + 4].try_into().unwrap())
-            as usize;
+    let count = u32::from_le_bytes(
+        payload[2 + topic_len..2 + topic_len + 4]
+            .try_into()
+            .unwrap(),
+    ) as usize;
     let body = &payload[2 + topic_len + 4..];
     if body.len() != count * 16 {
         return None;
@@ -366,7 +364,10 @@ mod tests {
     #[test]
     fn fsync_policies_parse() {
         assert_eq!(FsyncPolicy::parse("always").unwrap(), FsyncPolicy::Always);
-        assert_eq!(FsyncPolicy::parse("batch").unwrap(), FsyncPolicy::EveryN(64));
+        assert_eq!(
+            FsyncPolicy::parse("batch").unwrap(),
+            FsyncPolicy::EveryN(64)
+        );
         assert_eq!(FsyncPolicy::parse("never").unwrap(), FsyncPolicy::Never);
         assert!(FsyncPolicy::parse("sometimes").is_err());
     }

@@ -47,7 +47,10 @@ fn ablate_bgmm_vs_gmm(c: &mut Criterion) {
             b.iter(|| {
                 black_box(fit_gmm(
                     &data,
-                    &GmmConfig { k, ..GmmConfig::default() },
+                    &GmmConfig {
+                        k,
+                        ..GmmConfig::default()
+                    },
                 ))
             })
         });

@@ -19,7 +19,10 @@ fn manager_with_nodes(nodes: usize) -> Arc<OperatorManager> {
     for n in 0..nodes {
         let topic = Topic::parse(&format!("/rack0/n{n}/power")).unwrap();
         for s in 1..=60u64 {
-            qe.insert(&topic, SensorReading::new(100 + s as i64, Timestamp::from_secs(s)));
+            qe.insert(
+                &topic,
+                SensorReading::new(100 + s as i64, Timestamp::from_secs(s)),
+            );
         }
     }
     qe.rebuild_navigator();
@@ -45,16 +48,12 @@ fn ablate_unit_parallelism(c: &mut Criterion) {
             )
             .unwrap();
             let mut now = Timestamp::from_secs(61);
-            group.bench_with_input(
-                BenchmarkId::new(label, nodes),
-                &nodes,
-                |b, _| {
-                    b.iter(|| {
-                        now = now.saturating_add_ns(1_000_000);
-                        black_box(mgr.tick(now))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, nodes), &nodes, |b, _| {
+                b.iter(|| {
+                    now = now.saturating_add_ns(1_000_000);
+                    black_box(mgr.tick(now))
+                })
+            });
         }
     }
     group.finish();

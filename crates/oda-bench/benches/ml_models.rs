@@ -17,7 +17,10 @@ fn synthetic(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
     let x: Vec<Vec<f64>> = (0..n)
         .map(|_| (0..d).map(|_| rng.gen_range(0.0..10.0)).collect())
         .collect();
-    let y: Vec<f64> = x.iter().map(|r| r.iter().sum::<f64>() + rng.gen_range(-1.0..1.0)).collect();
+    let y: Vec<f64> = x
+        .iter()
+        .map(|r| r.iter().sum::<f64>() + rng.gen_range(-1.0..1.0))
+        .collect();
     (x, y)
 }
 
@@ -27,9 +30,7 @@ fn forest(c: &mut Criterion) {
     for n in [1_000usize, 5_000] {
         let (x, y) = synthetic(n, 12, 1);
         group.bench_with_input(BenchmarkId::new("fit_20_trees", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(RandomForest::fit(&x, &y, &ForestConfig::default()))
-            })
+            b.iter(|| black_box(RandomForest::fit(&x, &y, &ForestConfig::default())))
         });
     }
     let (x, y) = synthetic(5_000, 12, 1);

@@ -23,7 +23,10 @@ fn seeded_engine(n_readings: u64, cache_slots: usize, storage: bool) -> (QueryEn
         QueryEngine::new(cache_slots)
     };
     for i in 1..=n_readings {
-        qe.insert(&topic, SensorReading::new(i as i64, Timestamp::from_secs(i)));
+        qe.insert(
+            &topic,
+            SensorReading::new(i as i64, Timestamp::from_secs(i)),
+        );
     }
     (qe, topic)
 }
@@ -40,7 +43,9 @@ fn ablate_query_modes(c: &mut Criterion) {
                 b.iter(|| {
                     black_box(qe.query(
                         &topic,
-                        QueryMode::Relative { offset_ns: 60 * NS_PER_SEC },
+                        QueryMode::Relative {
+                            offset_ns: 60 * NS_PER_SEC,
+                        },
                     ))
                 })
             },

@@ -43,7 +43,10 @@ fn bus_routing(c: &mut Criterion) {
             BenchmarkId::new("publish_one_match", subs),
             &subs,
             |b, _| {
-                b.iter(|| bus.publish(topic.clone(), Bytes::from_static(b"x")).unwrap())
+                b.iter(|| {
+                    bus.publish(topic.clone(), Bytes::from_static(b"x"))
+                        .unwrap()
+                })
             },
         );
     }
@@ -55,7 +58,10 @@ fn bus_routing(c: &mut Criterion) {
         .collect();
     let topic = Topic::parse("/n0/power").unwrap();
     group.bench_function("publish_fanout_50", |b| {
-        b.iter(|| bus.publish(topic.clone(), Bytes::from_static(b"x")).unwrap())
+        b.iter(|| {
+            bus.publish(topic.clone(), Bytes::from_static(b"x"))
+                .unwrap()
+        })
     });
     group.finish();
 }
@@ -75,7 +81,10 @@ fn storage(c: &mut Criterion) {
         let db = StorageBackend::new();
         let topic = Topic::parse("/n0/power").unwrap();
         for i in 1..=n {
-            db.insert(&topic, SensorReading::new(i as i64, Timestamp::from_secs(i)));
+            db.insert(
+                &topic,
+                SensorReading::new(i as i64, Timestamp::from_secs(i)),
+            );
         }
         group.bench_with_input(BenchmarkId::new("query_60s_range", n), &n, |b, &n| {
             let t0 = Timestamp::from_secs(n / 2);

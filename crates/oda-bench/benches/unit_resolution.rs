@@ -33,11 +33,9 @@ fn tree_build(c: &mut Criterion) {
     group.sample_size(20);
     for nodes in [37usize, 148, 592] {
         let t = topics(nodes, 16);
-        group.bench_with_input(
-            BenchmarkId::new("nodes", nodes),
-            &t,
-            |b, topics| b.iter(|| black_box(SensorNavigator::build(topics.iter()))),
-        );
+        group.bench_with_input(BenchmarkId::new("nodes", nodes), &t, |b, topics| {
+            b.iter(|| black_box(SensorNavigator::build(topics.iter())))
+        });
     }
     group.finish();
 }
@@ -58,17 +56,13 @@ fn ablate_pattern_resolution(c: &mut Criterion) {
     .unwrap();
     for nodes in [37usize, 148, 592] {
         let nav = SensorNavigator::build(topics(nodes, 16).iter());
-        group.bench_with_input(
-            BenchmarkId::new("nodes", nodes),
-            &nav,
-            |b, nav| {
-                b.iter(|| {
-                    let resolution = resolve_units(black_box(&template), nav).unwrap();
-                    assert_eq!(resolution.units.len(), nodes);
-                    black_box(resolution)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("nodes", nodes), &nav, |b, nav| {
+            b.iter(|| {
+                let resolution = resolve_units(black_box(&template), nav).unwrap();
+                assert_eq!(resolution.units.len(), nodes);
+                black_box(resolution)
+            })
+        });
     }
     group.finish();
 }
@@ -83,5 +77,10 @@ fn pattern_parse(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, tree_build, ablate_pattern_resolution, pattern_parse);
+criterion_group!(
+    benches,
+    tree_build,
+    ablate_pattern_resolution,
+    pattern_parse
+);
 criterion_main!(benches);

@@ -27,22 +27,26 @@ fn main() {
         return;
     }
 
-    let config = if quick { Fig5Config::quick() } else { Fig5Config::paper() };
+    let config = if quick {
+        Fig5Config::quick()
+    } else {
+        Fig5Config::paper()
+    };
     println!(
         "victim kernel: {}x{} matmul × {} rounds; {} repeats per cell; {} tester sensors\n",
         config.kernel_dim, config.kernel_dim, config.kernel_rounds, config.repeats, config.sensors
     );
 
     for mode in ["absolute", "relative"] {
-        println!("=== Fig. 5{} — overhead heatmap, {mode} mode ===",
-            if mode == "absolute" { "a" } else { "b" });
+        println!(
+            "=== Fig. 5{} — overhead heatmap, {mode} mode ===",
+            if mode == "absolute" { "a" } else { "b" }
+        );
         let cells = run_grid(&config, mode);
         print!("{}", format_heatmap(&cells));
         let max = cells.iter().map(|c| c.overhead_pct).fold(0.0, f64::max);
         let avg = cells.iter().map(|c| c.overhead_pct).sum::<f64>() / cells.len() as f64;
-        println!(
-            "max overhead {max:.2} %, mean {avg:.2} % (paper: below 0.5 % in all cases)\n"
-        );
+        println!("max overhead {max:.2} %, mean {avg:.2} % (paper: below 0.5 % in all cases)\n");
         let path = write_json(&format!("fig5_{mode}"), &cells).expect("write json");
         println!("raw data -> {}\n", path.display());
     }

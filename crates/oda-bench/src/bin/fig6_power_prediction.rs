@@ -32,7 +32,11 @@ fn main() {
         return;
     }
 
-    let config = if full { Fig6Config::paper() } else { Fig6Config::quick() };
+    let config = if full {
+        Fig6Config::paper()
+    } else {
+        Fig6Config::quick()
+    };
     println!(
         "training {} samples at {} ms on a {}-core node ({} trees)...\n",
         config.training_size, config.interval_ms, config.cores, config.trees
@@ -41,12 +45,22 @@ fn main() {
 
     println!("=== Fig. 6a — real vs predicted node power (excerpt) ===");
     println!("{:>8} | {:>9} | {:>12}", "t[s]", "power[W]", "predicted[W]");
-    for p in result.series.iter().step_by(result.series.len().max(40) / 40) {
-        println!("{:>8.1} | {:>9.0} | {:>12.0}", p.t_s, p.real_w, p.predicted_w);
+    for p in result
+        .series
+        .iter()
+        .step_by(result.series.len().max(40) / 40)
+    {
+        println!(
+            "{:>8.1} | {:>9.0} | {:>12.0}",
+            p.t_s, p.real_w, p.predicted_w
+        );
     }
 
     println!("\n=== Fig. 6b — relative error by power bin (with empirical PDF) ===");
-    println!("{:>9} | {:>10} | {:>11}", "power[W]", "rel.error", "probability");
+    println!(
+        "{:>9} | {:>10} | {:>11}",
+        "power[W]", "rel.error", "probability"
+    );
     for b in result.bins.iter().filter(|b| b.probability > 0.0) {
         println!(
             "{:>9.0} | {:>9.1}% | {:>11.4}",

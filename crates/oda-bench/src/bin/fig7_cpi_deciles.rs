@@ -12,7 +12,11 @@ use oda_bench::write_json;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
-    let config = if full { Fig7Config::paper() } else { Fig7Config::quick() };
+    let config = if full {
+        Fig7Config::paper()
+    } else {
+        Fig7Config::quick()
+    };
     println!(
         "{} nodes × {} cores per job, {} s interval ({} samples per decile)\n",
         config.nodes_per_job,
@@ -44,9 +48,10 @@ fn main() {
             oda_ml::stats::mean(&spreads),
             result.series.iter().map(|p| p.d10).fold(0.0, f64::max),
         );
-        write_json(&format!("fig7_{}", result.app.to_lowercase()), result)
-            .expect("write json");
+        write_json(&format!("fig7_{}", result.app.to_lowercase()), result).expect("write json");
     }
-    println!("expected shapes (paper): LAMMPS low/tight ~1.6; AMG low median with d8/d10 spikes to ~30;");
+    println!(
+        "expected shapes (paper): LAMMPS low/tight ~1.6; AMG low median with d8/d10 spikes to ~30;"
+    );
     println!("Kripke sawtooth across all deciles; Nekbone tight early, spread blow-up late.");
 }

@@ -47,7 +47,9 @@ fn main() {
         result.profile_agreement * 100.0,
         result.anomalies_flagged
     );
-    println!("(paper: one outlier node consumed ~20% more power than nodes with similar idle time)");
+    println!(
+        "(paper: one outlier node consumed ~20% more power than nodes with similar idle time)"
+    );
     let path = write_json("fig8", &result).expect("write json");
     println!("raw data -> {}", path.display());
 }

@@ -116,12 +116,7 @@ fn minimum(xs: &[f64]) -> f64 {
 /// Builds the Figure 5 Pusher: tester monitoring plugin (`sensors`
 /// monotonic sensors @ 1 s) plus one tester operator with the given
 /// query load. Returns the pusher, ready to tick.
-pub fn build_tester_pusher(
-    sensors: usize,
-    queries: usize,
-    mode: &str,
-    range_ms: u64,
-) -> Pusher {
+pub fn build_tester_pusher(sensors: usize, queries: usize, mode: &str, range_ms: u64) -> Pusher {
     let prefix = Topic::parse("/hpl-node/tester").expect("valid prefix");
     let mut pusher = Pusher::new(
         PusherConfig {

@@ -160,8 +160,7 @@ pub fn run(config: &Fig6Config) -> Fig6Result {
         while job_start < horizon {
             let app = apps[app_idx % apps.len()];
             app_idx += 1;
-            let job_end =
-                job_start.saturating_add_ns((app.nominal_duration_s() * 1e9) as u64);
+            let job_end = job_start.saturating_add_ns((app.nominal_duration_s() * 1e9) as u64);
             sim.submit_job("fig6", app, vec![0], job_start, job_end);
             job_start = job_end;
         }
@@ -178,12 +177,20 @@ pub fn run(config: &Fig6Config) -> Fig6Result {
     // Align predictions with truth: the prediction written at tick k
     // targets the power at tick k+1.
     let horizon = Timestamp::MAX;
-    let reals = pusher
-        .query_engine()
-        .query(&power_topic, QueryMode::Absolute { t0: Timestamp::ZERO, t1: horizon });
-    let preds = pusher
-        .query_engine()
-        .query(&pred_topic, QueryMode::Absolute { t0: Timestamp::ZERO, t1: horizon });
+    let reals = pusher.query_engine().query(
+        &power_topic,
+        QueryMode::Absolute {
+            t0: Timestamp::ZERO,
+            t1: horizon,
+        },
+    );
+    let preds = pusher.query_engine().query(
+        &pred_topic,
+        QueryMode::Absolute {
+            t0: Timestamp::ZERO,
+            t1: horizon,
+        },
+    );
 
     let mut series = Vec::new();
     let mut all_errors = Vec::new();
@@ -258,7 +265,11 @@ mod tests {
         assert!(!result.series.is_empty(), "no evaluation points");
         assert!(result.avg_rel_error.is_finite());
         // Even a tiny model should beat wild guessing on this signal.
-        assert!(result.avg_rel_error < 0.5, "rel err {}", result.avg_rel_error);
+        assert!(
+            result.avg_rel_error < 0.5,
+            "rel err {}",
+            result.avg_rel_error
+        );
         // PDF sums to ~1 over bins that saw data.
         let psum: f64 = result.bins.iter().map(|b| b.probability).sum();
         assert!((psum - 1.0).abs() < 1e-9);

@@ -61,7 +61,7 @@ impl Fig7Config {
             cores_per_node: 16,
             interval_s: 2,
             duration_s: None, // full nominal runtimes (Nekbone's late
-                              // memory-limited phase needs them)
+            // memory-limited phase needs them)
             seed: 0xF17,
         }
     }
@@ -105,18 +105,11 @@ pub fn run_app(config: &Fig7Config, app: AppModel) -> Fig7Result {
         auto_workload: false,
     })));
 
-    let duration_s = config
-        .duration_s
-        .unwrap_or(app.nominal_duration_s() as u64);
+    let duration_s = config.duration_s.unwrap_or(app.nominal_duration_s() as u64);
     let job_start = Timestamp::from_secs(2);
     let job_end = job_start.saturating_add_ns(duration_s * NS_PER_SEC);
-    sim.lock().submit_job(
-        "fig7",
-        app,
-        (0..total_nodes).collect(),
-        job_start,
-        job_end,
-    );
+    sim.lock()
+        .submit_job("fig7", app, (0..total_nodes).collect(), job_start, job_end);
 
     let broker = Broker::new_sync();
 
@@ -132,13 +125,14 @@ pub fn run_app(config: &Fig7Config, app: AppModel) -> Fig7Result {
             },
             Some(broker.handle()),
         );
-        pusher.add_monitoring_plugin(Box::new(SimMonitoringPlugin::new(
-            Arc::clone(&sim),
-            node,
-        )));
+        pusher.add_monitoring_plugin(Box::new(SimMonitoringPlugin::new(Arc::clone(&sim), node)));
         pusher.refresh_sensor_tree();
-        pusher.manager().register_plugin(Box::new(PerfMetricsPlugin));
-        pusher.manager().add_sink(Arc::new(BusSink::new(broker.handle())));
+        pusher
+            .manager()
+            .register_plugin(Box::new(PerfMetricsPlugin));
+        pusher
+            .manager()
+            .add_sink(Arc::new(BusSink::new(broker.handle())));
         pusher
             .manager()
             .load(
@@ -151,8 +145,8 @@ pub fn run_app(config: &Fig7Config, app: AppModel) -> Fig7Result {
 
     // Collect Agent with the persyst job operator (pipeline stage 2).
     let storage = Arc::new(StorageBackend::new());
-    let agent = CollectAgent::new(CollectAgentConfig::default(), &broker.handle(), storage)
-        .expect("agent");
+    let agent =
+        CollectAgent::new(CollectAgentConfig::default(), &broker.handle(), storage).expect("agent");
     let job_source: Arc<dyn JobDataSource> = Arc::new(SimJobSource::new(Arc::clone(&sim)));
     agent
         .manager()
@@ -182,7 +176,10 @@ pub fn run_app(config: &Fig7Config, app: AppModel) -> Fig7Result {
             .query_engine()
             .query(
                 &Topic::parse(&format!("/job/0/{name}")).unwrap(),
-                QueryMode::Absolute { t0: Timestamp::ZERO, t1: Timestamp::MAX },
+                QueryMode::Absolute {
+                    t0: Timestamp::ZERO,
+                    t1: Timestamp::MAX,
+                },
             )
             .iter()
             .map(|r| (r.ts, decode_decile(r)))
@@ -200,14 +197,16 @@ pub fn run_app(config: &Fig7Config, app: AppModel) -> Fig7Result {
         .zip(&d5)
         .zip(&d8)
         .zip(&d10)
-        .map(|(((((ts, v0), (_, v2)), (_, v5)), (_, v8)), (_, v10))| DecilePoint {
-            t_s: ts.elapsed_since(job_start) as f64 / 1e9,
-            d0: *v0,
-            d2: *v2,
-            d5: *v5,
-            d8: *v8,
-            d10: *v10,
-        })
+        .map(
+            |(((((ts, v0), (_, v2)), (_, v5)), (_, v8)), (_, v10))| DecilePoint {
+                t_s: ts.elapsed_since(job_start) as f64 / 1e9,
+                d0: *v0,
+                d2: *v2,
+                d5: *v5,
+                d8: *v8,
+                d10: *v10,
+            },
+        )
         .collect();
 
     Fig7Result {
@@ -255,9 +254,7 @@ mod tests {
     fn amg_has_tail_spikes() {
         let result = run_app(&tiny(), AppModel::Amg);
         let max_d10 = result.series.iter().map(|p| p.d10).fold(0.0, f64::max);
-        let avg_d5 = oda_ml::stats::mean(
-            &result.series.iter().map(|p| p.d5).collect::<Vec<_>>(),
-        );
+        let avg_d5 = oda_ml::stats::mean(&result.series.iter().map(|p| p.d5).collect::<Vec<_>>());
         assert!(avg_d5 < 5.0, "AMG median {avg_d5}");
         assert!(max_d10 > 10.0, "AMG tail {max_d10}");
     }
@@ -266,8 +263,11 @@ mod tests {
     fn deciles_are_ordered() {
         let result = run_app(&tiny(), AppModel::Kripke);
         for p in &result.series {
-            assert!(p.d0 <= p.d2 && p.d2 <= p.d5 && p.d5 <= p.d8 && p.d8 <= p.d10,
-                "unordered deciles at t={}", p.t_s);
+            assert!(
+                p.d0 <= p.d2 && p.d2 <= p.d5 && p.d5 <= p.d8 && p.d8 <= p.d10,
+                "unordered deciles at t={}",
+                p.t_s
+            );
         }
     }
 }

@@ -136,7 +136,11 @@ pub fn run(config: &Fig8Config) -> Fig8Result {
         )
         .expect("clustering loads");
     let report = manager.tick(now);
-    assert!(report.errors.is_empty(), "clustering errors: {:?}", report.errors);
+    assert!(
+        report.errors.is_empty(),
+        "clustering errors: {:?}",
+        report.errors
+    );
 
     // Gather per-node averages + labels.
     let window_ns = config.duration_s * NS_PER_SEC;
@@ -148,16 +152,26 @@ pub fn run(config: &Fig8Config) -> Fig8Result {
             let vals: Vec<f64> = query
                 .query(
                     &base.child(name).unwrap(),
-                    QueryMode::Relative { offset_ns: window_ns },
+                    QueryMode::Relative {
+                        offset_ns: window_ns,
+                    },
                 )
                 .iter()
-                .map(|r| if fixed { decode_f64(r.value) } else { r.value as f64 })
+                .map(|r| {
+                    if fixed {
+                        decode_f64(r.value)
+                    } else {
+                        r.value as f64
+                    }
+                })
                 .collect();
             oda_ml::stats::mean(&vals)
         };
         let idle_series = query.query(
             &base.child("cpu-idle").unwrap(),
-            QueryMode::Relative { offset_ns: window_ns },
+            QueryMode::Relative {
+                offset_ns: window_ns,
+            },
         );
         let idle_rate = match (idle_series.first(), idle_series.last()) {
             (Some(a), Some(b)) if b.ts > a.ts => {
@@ -195,9 +209,7 @@ pub fn run(config: &Fig8Config) -> Fig8Result {
             mean_power_w: oda_ml::stats::mean(
                 &members.iter().map(|p| p.power_w).collect::<Vec<_>>(),
             ),
-            mean_temp_c: oda_ml::stats::mean(
-                &members.iter().map(|p| p.temp_c).collect::<Vec<_>>(),
-            ),
+            mean_temp_c: oda_ml::stats::mean(&members.iter().map(|p| p.temp_c).collect::<Vec<_>>()),
             mean_idle_ms_per_s: oda_ml::stats::mean(
                 &members.iter().map(|p| p.idle_ms_per_s).collect::<Vec<_>>(),
             ),

@@ -14,9 +14,11 @@
 //! | [`fig7`] | Fig. 7 — per-job CPI deciles for four CORAL-2 apps |
 //! | [`fig8`] | Fig. 8 — BGMM clustering of node behaviour |
 //! | [`storage_engine`] | Durable engine ingest/scan/recovery throughput |
+//! | [`bus_saturation`] | Bounded bus under 1×/4×/16× publisher overload |
 
 #![warn(missing_docs)]
 
+pub mod bus_saturation;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
@@ -27,7 +29,10 @@ use std::path::Path;
 
 /// Writes a serializable result next to the repository root so the
 /// figure data survives the run (`bench-results/<name>.json`).
-pub fn write_json<T: serde::Serialize>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
+pub fn write_json<T: serde::Serialize>(
+    name: &str,
+    value: &T,
+) -> std::io::Result<std::path::PathBuf> {
     let dir = Path::new("bench-results");
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
@@ -70,10 +75,26 @@ mod tests {
     #[test]
     fn heatmap_formatting() {
         let cells = vec![
-            fig5::OverheadCell { queries: 2, range_ms: 0, overhead_pct: 0.1 },
-            fig5::OverheadCell { queries: 10, range_ms: 0, overhead_pct: 0.2 },
-            fig5::OverheadCell { queries: 2, range_ms: 1000, overhead_pct: 0.3 },
-            fig5::OverheadCell { queries: 10, range_ms: 1000, overhead_pct: 0.4 },
+            fig5::OverheadCell {
+                queries: 2,
+                range_ms: 0,
+                overhead_pct: 0.1,
+            },
+            fig5::OverheadCell {
+                queries: 10,
+                range_ms: 0,
+                overhead_pct: 0.2,
+            },
+            fig5::OverheadCell {
+                queries: 2,
+                range_ms: 1000,
+                overhead_pct: 0.3,
+            },
+            fig5::OverheadCell {
+                queries: 10,
+                range_ms: 1000,
+                overhead_pct: 0.4,
+            },
         ];
         let table = format_heatmap(&cells);
         assert!(table.contains("0.10%"));

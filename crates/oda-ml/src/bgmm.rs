@@ -115,13 +115,13 @@ impl BgmmModel {
 
 /// Per-component variational parameters (Bishop's notation).
 struct VarParams {
-    alpha: f64,        // Dirichlet posterior
-    beta: f64,         // mean precision scaling
-    m: Vec<f64>,       // mean of the gaussian posterior over μ
+    alpha: f64,          // Dirichlet posterior
+    beta: f64,           // mean precision scaling
+    m: Vec<f64>,         // mean of the gaussian posterior over μ
     w_inv: SquareMatrix, // inverse of the Wishart scale W
     w_inv_chol: Cholesky,
-    nu: f64,           // Wishart degrees of freedom
-    log_det_w: f64,    // ln |W| = −ln |W⁻¹|
+    nu: f64,        // Wishart degrees of freedom
+    log_det_w: f64, // ln |W| = −ln |W⁻¹|
 }
 
 /// Fits the variational GMM.
@@ -366,8 +366,16 @@ mod tests {
         let (data, _) = blobs_with_outliers(1);
         let model = fit_bgmm(&data, &BgmmConfig::default());
         assert_eq!(model.initial_components, 8);
-        assert_eq!(model.n_effective(), 3, "weights: {:?}",
-            model.components.iter().map(|c| c.weight).collect::<Vec<_>>());
+        assert_eq!(
+            model.n_effective(),
+            3,
+            "weights: {:?}",
+            model
+                .components
+                .iter()
+                .map(|c| c.weight)
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -375,7 +383,10 @@ mod tests {
         let (data, n_inliers) = blobs_with_outliers(2);
         let model = fit_bgmm(&data, &BgmmConfig::default());
         assert!(model.labels[n_inliers].is_none(), "outlier 1 not flagged");
-        assert!(model.labels[n_inliers + 1].is_none(), "outlier 2 not flagged");
+        assert!(
+            model.labels[n_inliers + 1].is_none(),
+            "outlier 2 not flagged"
+        );
         let flagged = model.labels.iter().filter(|l| l.is_none()).count();
         assert!(flagged <= 6, "too many outliers: {flagged}");
     }
@@ -406,8 +417,16 @@ mod tests {
             .map(|_| vec![rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5)])
             .collect();
         let model = fit_bgmm(&data, &BgmmConfig::default());
-        assert_eq!(model.n_effective(), 1, "weights: {:?}",
-            model.components.iter().map(|c| c.weight).collect::<Vec<_>>());
+        assert_eq!(
+            model.n_effective(),
+            1,
+            "weights: {:?}",
+            model
+                .components
+                .iter()
+                .map(|c| c.weight)
+                .collect::<Vec<_>>()
+        );
         let c = &model.components[0];
         assert!(c.mean[0].abs() < 0.2 && c.mean[1].abs() < 0.2);
     }
@@ -434,15 +453,19 @@ mod tests {
             })
             .collect();
         let model = fit_bgmm(&data, &BgmmConfig::default());
-        assert!(model.n_effective() <= 2, "effective: {}", model.n_effective());
+        assert!(
+            model.n_effective() <= 2,
+            "effective: {}",
+            model.n_effective()
+        );
         // Covariance of the dominant component reflects the correlation.
         let dominant = model
             .components
             .iter()
             .max_by(|a, b| a.weight.partial_cmp(&b.weight).unwrap())
             .unwrap();
-        let corr = dominant.cov[(0, 1)]
-            / (dominant.cov[(0, 0)].sqrt() * dominant.cov[(1, 1)].sqrt());
+        let corr =
+            dominant.cov[(0, 1)] / (dominant.cov[(0, 0)].sqrt() * dominant.cov[(1, 1)].sqrt());
         assert!(corr > 0.8, "correlation {corr}");
     }
 

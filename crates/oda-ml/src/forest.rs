@@ -229,12 +229,20 @@ mod tests {
         let single = RandomForest::fit(
             &x,
             &y,
-            &ForestConfig { n_trees: 1, parallel: false, ..Default::default() },
+            &ForestConfig {
+                n_trees: 1,
+                parallel: false,
+                ..Default::default()
+            },
         );
         let forest = RandomForest::fit(
             &x,
             &y,
-            &ForestConfig { n_trees: 30, parallel: true, ..Default::default() },
+            &ForestConfig {
+                n_trees: 30,
+                parallel: true,
+                ..Default::default()
+            },
         );
         assert!(
             forest.mse(&xt, &yt) < single.mse(&xt, &yt),

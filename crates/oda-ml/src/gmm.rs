@@ -171,17 +171,14 @@ pub fn fit_gmm(data: &[Vec<f64>], config: &GmmConfig) -> GmmModel {
         }
 
         // E-step.
-        let chols: Vec<Option<Cholesky>> =
-            components.iter().map(|c| c.cov.cholesky()).collect();
+        let chols: Vec<Option<Cholesky>> = components.iter().map(|c| c.cov.cholesky()).collect();
         let mut ll = 0.0;
         for (i, x) in data.iter().enumerate() {
             let logs: Vec<f64> = components
                 .iter()
                 .zip(chols.iter())
                 .map(|(c, chol)| match chol {
-                    Some(ch) => {
-                        c.weight.max(1e-300).ln() + log_pdf_with(ch, &c.mean, x, d as f64)
-                    }
+                    Some(ch) => c.weight.max(1e-300).ln() + log_pdf_with(ch, &c.mean, x, d as f64),
                     None => f64::NEG_INFINITY,
                 })
                 .collect();
@@ -268,11 +265,16 @@ mod tests {
     #[test]
     fn em_separates_two_blobs() {
         let data = two_blobs(100, 3);
-        let model = fit_gmm(&data, &GmmConfig { k: 2, ..Default::default() });
+        let model = fit_gmm(
+            &data,
+            &GmmConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
         assert!(model.converged);
         // Means near (0,0) and (8,8) in some order.
-        let mut means: Vec<Vec<f64>> =
-            model.components.iter().map(|c| c.mean.clone()).collect();
+        let mut means: Vec<Vec<f64>> = model.components.iter().map(|c| c.mean.clone()).collect();
         means.sort_by(|a, b| a[0].partial_cmp(&b[0]).unwrap());
         assert!(means[0][0].abs() < 0.5 && means[0][1].abs() < 0.5);
         assert!((means[1][0] - 8.0).abs() < 0.5 && (means[1][1] - 8.0).abs() < 0.5);
@@ -289,7 +291,13 @@ mod tests {
     #[test]
     fn predict_assigns_to_nearest_component() {
         let data = two_blobs(100, 5);
-        let model = fit_gmm(&data, &GmmConfig { k: 2, ..Default::default() });
+        let model = fit_gmm(
+            &data,
+            &GmmConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
         let near_origin = model.predict(&[0.1, -0.2]);
         let near_far = model.predict(&[7.9, 8.2]);
         assert_ne!(near_origin, near_far);
@@ -298,14 +306,26 @@ mod tests {
     #[test]
     fn mixture_log_pdf_is_higher_in_dense_regions() {
         let data = two_blobs(100, 7);
-        let model = fit_gmm(&data, &GmmConfig { k: 2, ..Default::default() });
+        let model = fit_gmm(
+            &data,
+            &GmmConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
         assert!(model.log_pdf(&[0.0, 0.0]) > model.log_pdf(&[4.0, 4.0]));
     }
 
     #[test]
     fn k1_recovers_global_moments() {
         let data = two_blobs(200, 11);
-        let model = fit_gmm(&data, &GmmConfig { k: 1, ..Default::default() });
+        let model = fit_gmm(
+            &data,
+            &GmmConfig {
+                k: 1,
+                ..Default::default()
+            },
+        );
         let c = &model.components[0];
         assert!((c.mean[0] - 4.0).abs() < 0.3);
         assert!((c.weight - 1.0).abs() < 1e-9);
@@ -317,7 +337,13 @@ mod tests {
         // reg_covar.
         let mut data = two_blobs(50, 13);
         data.push(vec![100.0, 100.0]);
-        let model = fit_gmm(&data, &GmmConfig { k: 3, ..Default::default() });
+        let model = fit_gmm(
+            &data,
+            &GmmConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
         assert_eq!(model.components.len(), 3);
         assert!(model.log_likelihood.is_finite());
     }

@@ -19,7 +19,10 @@ impl SquareMatrix {
     /// Zero matrix of size `n`.
     pub fn zeros(n: usize) -> Self {
         assert!(n > 0, "matrix dimension must be positive");
-        SquareMatrix { n, a: vec![0.0; n * n] }
+        SquareMatrix {
+            n,
+            a: vec![0.0; n * n],
+        }
     }
 
     /// Identity matrix of size `n`.
@@ -94,7 +97,11 @@ impl SquareMatrix {
 
     /// Quadratic form `xᵀ A x`.
     pub fn quadratic_form(&self, x: &[f64]) -> f64 {
-        self.mat_vec(x).iter().zip(x.iter()).map(|(a, b)| a * b).sum()
+        self.mat_vec(x)
+            .iter()
+            .zip(x.iter())
+            .map(|(a, b)| a * b)
+            .sum()
     }
 
     /// Cholesky factorization `A = L Lᵀ` for SPD matrices; `None` when

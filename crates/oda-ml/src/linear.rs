@@ -60,8 +60,12 @@ impl RidgeRegression {
             xtx[(i, i)] += lambda.max(1e-12);
         }
         let weights = xtx.cholesky()?.solve(&xty);
-        let intercept =
-            y_mean - weights.iter().zip(x_mean.iter()).map(|(w, m)| w * m).sum::<f64>();
+        let intercept = y_mean
+            - weights
+                .iter()
+                .zip(x_mean.iter())
+                .map(|(w, m)| w * m)
+                .sum::<f64>();
         Some(RidgeRegression { weights, intercept })
     }
 
@@ -135,9 +139,7 @@ mod tests {
     #[test]
     fn collinear_features_survive_with_lambda() {
         // x1 = 2*x0: XᵀX is singular; ridge must still solve.
-        let x: Vec<Vec<f64>> = (0..20)
-            .map(|i| vec![i as f64, 2.0 * i as f64])
-            .collect();
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
         let y: Vec<f64> = (0..20).map(|i| 3.0 * i as f64).collect();
         let model = RidgeRegression::fit(&x, &y, 1e-3).unwrap();
         // Prediction accuracy matters, not the (non-unique) weights.
@@ -156,8 +158,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "wrong dimension")]
     fn predict_checks_dimension() {
-        let model =
-            RidgeRegression::fit(&[vec![1.0], vec![2.0]], &[1.0, 2.0], 1.0).unwrap();
+        let model = RidgeRegression::fit(&[vec![1.0], vec![2.0]], &[1.0, 2.0], 1.0).unwrap();
         model.predict(&[1.0, 2.0]);
     }
 }

@@ -276,14 +276,18 @@ mod tests {
         let p0 = normal_pdf(0.0, 0.0, 1.0);
         assert!((p0 - 0.398_942_280_4).abs() < 1e-9);
         assert!((normal_pdf(1.0, 0.0, 1.0) - normal_pdf(-1.0, 0.0, 1.0)).abs() < 1e-15);
-        let integral: f64 = (-600..600).map(|i| normal_pdf(i as f64 / 100.0, 0.0, 1.0) * 0.01).sum();
+        let integral: f64 = (-600..600)
+            .map(|i| normal_pdf(i as f64 / 100.0, 0.0, 1.0) * 0.01)
+            .sum();
         assert!((integral - 1.0).abs() < 1e-3);
         assert_eq!(normal_pdf(0.0, 0.0, 0.0), 0.0);
     }
 
     #[test]
     fn fit_normal_recovers_parameters() {
-        let xs: Vec<f64> = (0..1000).map(|i| 5.0 + 2.0 * ((i % 7) as f64 - 3.0)).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| 5.0 + 2.0 * ((i % 7) as f64 - 3.0))
+            .collect();
         let (m, s) = fit_normal(&xs);
         assert!((m - 5.0).abs() < 0.1);
         assert!(s > 0.0);

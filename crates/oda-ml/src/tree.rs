@@ -141,8 +141,7 @@ struct Builder<'a> {
 impl<'a> Builder<'a> {
     /// Builds the subtree over `indices`; returns the node index.
     fn build(&mut self, indices: Vec<usize>, depth: usize) -> usize {
-        let node_mean =
-            indices.iter().map(|&i| self.y[i]).sum::<f64>() / indices.len() as f64;
+        let node_mean = indices.iter().map(|&i| self.y[i]).sum::<f64>() / indices.len() as f64;
         if depth >= self.config.max_depth
             || indices.len() < self.config.min_samples_split
             || Self::is_constant(indices.iter().map(|&i| self.y[i]))
@@ -317,13 +316,19 @@ mod tests {
         let shallow = RegressionTree::fit(
             &x,
             &y,
-            &TreeConfig { max_depth: 1, ..Default::default() },
+            &TreeConfig {
+                max_depth: 1,
+                ..Default::default()
+            },
             0,
         );
         let deep = RegressionTree::fit(
             &x,
             &y,
-            &TreeConfig { max_depth: 6, ..Default::default() },
+            &TreeConfig {
+                max_depth: 6,
+                ..Default::default()
+            },
             0,
         );
         assert!(rmse(&deep) < rmse(&shallow) / 2.0);

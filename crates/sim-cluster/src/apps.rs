@@ -44,7 +44,12 @@ pub enum AppModel {
 impl AppModel {
     /// All four CORAL-2 applications used by the paper's case studies.
     pub fn coral2() -> [AppModel; 4] {
-        [AppModel::Kripke, AppModel::Amg, AppModel::Nekbone, AppModel::Lammps]
+        [
+            AppModel::Kripke,
+            AppModel::Amg,
+            AppModel::Nekbone,
+            AppModel::Lammps,
+        ]
     }
 
     /// Parse from a configuration string.

@@ -224,7 +224,10 @@ mod tests {
                 }
             }
         }
-        assert!(busy_power > idle_power * 2, "busy {busy_power} idle {idle_power}");
+        assert!(
+            busy_power > idle_power * 2,
+            "busy {busy_power} idle {idle_power}"
+        );
     }
 
     #[test]

@@ -250,7 +250,10 @@ impl NodeSimulator {
             self.flops[core] += d_flops;
 
             let ct = &self.node_topics.cores[core];
-            out.push((ct.cycles.clone(), SensorReading::new(self.cycles[core] as i64, now)));
+            out.push((
+                ct.cycles.clone(),
+                SensorReading::new(self.cycles[core] as i64, now),
+            ));
             out.push((
                 ct.instructions.clone(),
                 SensorReading::new(self.instructions[core] as i64, now),
@@ -259,7 +262,10 @@ impl NodeSimulator {
                 ct.cache_misses.clone(),
                 SensorReading::new(self.cache_misses[core] as i64, now),
             ));
-            out.push((ct.flops.clone(), SensorReading::new(self.flops[core] as i64, now)));
+            out.push((
+                ct.flops.clone(),
+                SensorReading::new(self.flops[core] as i64, now),
+            ));
         }
         let busy_frac = if n_cores > 0 {
             busy_frac_sum / n_cores as f64
@@ -271,7 +277,11 @@ impl NodeSimulator {
         let u = app.power_utilization(t_in_run, self.rng.gen());
         // Short-lived turbo/noise spikes the paper's model fails to
         // predict (§VI-B): rare, brief, additive.
-        let spike = if self.rng.gen::<f64>() < 0.03 { self.rng.gen_range(5.0..25.0) } else { 0.0 };
+        let spike = if self.rng.gen::<f64>() < 0.03 {
+            self.rng.gen_range(5.0..25.0)
+        } else {
+            0.0
+        };
         let power_w = (IDLE_POWER_W + DYNAMIC_POWER_W * u) * self.profile.power_factor()
             + spike
             + self.rng.gen_range(-2.0..2.0);
@@ -462,8 +472,7 @@ mod tests {
     #[test]
     fn excess_power_profile_draws_more() {
         let mut normal = NodeSimulator::new(Topology::small(), 0, ProfileClass::Normal, 9);
-        let mut anomalous =
-            NodeSimulator::new(Topology::small(), 0, ProfileClass::ExcessPower, 9);
+        let mut anomalous = NodeSimulator::new(Topology::small(), 0, ProfileClass::ExcessPower, 9);
         normal.start_app(AppModel::Lammps, Timestamp::from_secs(1));
         anomalous.start_app(AppModel::Lammps, Timestamp::from_secs(1));
         let avg_power = |runs: &Vec<Vec<Sample>>| {

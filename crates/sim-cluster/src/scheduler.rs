@@ -188,8 +188,7 @@ impl WorkloadGenerator {
                 .copied()
                 .filter(|&n| {
                     let target = self.profiles[n].duty_cycle();
-                    self.busy_s[n] / elapsed_s < target
-                        && self.rng.gen::<f64>() < target.max(0.05)
+                    self.busy_s[n] / elapsed_s < target && self.rng.gen::<f64>() < target.max(0.05)
                 })
                 .collect();
             if candidates.is_empty() {

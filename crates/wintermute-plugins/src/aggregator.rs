@@ -56,7 +56,9 @@ impl AggregateOp {
                 AggregateOp::Quantile(q)
             }
             other => {
-                return Err(DcdbError::Config(format!("unknown aggregation op {other:?}")))
+                return Err(DcdbError::Config(format!(
+                    "unknown aggregation op {other:?}"
+                )))
             }
         })
     }
@@ -181,10 +183,10 @@ mod tests {
             AggregateOp::Quantile(0.9)
         );
         assert!(AggregateOp::from_options(&KvConfig::new().with("op", "nope")).is_err());
-        assert!(AggregateOp::from_options(
-            &KvConfig::new().with("op", "quantile").with("q", 1.5)
-        )
-        .is_err());
+        assert!(
+            AggregateOp::from_options(&KvConfig::new().with("op", "quantile").with("q", 1.5))
+                .is_err()
+        );
     }
 
     #[test]

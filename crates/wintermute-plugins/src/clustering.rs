@@ -53,9 +53,12 @@ impl ClusteringOperator {
     fn features(&self, unit: &Unit, ctx: &ComputeContext<'_>) -> Option<Vec<f64>> {
         let mut out = Vec::with_capacity(unit.inputs.len());
         for input in &unit.inputs {
-            let readings = ctx
-                .query
-                .query(input, QueryMode::Relative { offset_ns: self.window_ns });
+            let readings = ctx.query.query(
+                input,
+                QueryMode::Relative {
+                    offset_ns: self.window_ns,
+                },
+            );
             if readings.is_empty() {
                 return None;
             }
@@ -92,11 +95,8 @@ impl ClusteringOperator {
     }
 
     fn recluster(&mut self, ctx: &ComputeContext<'_>) {
-        let features: Vec<Option<Vec<f64>>> = self
-            .units
-            .iter()
-            .map(|u| self.features(u, ctx))
-            .collect();
+        let features: Vec<Option<Vec<f64>>> =
+            self.units.iter().map(|u| self.features(u, ctx)).collect();
         let present: Vec<(usize, &Vec<f64>)> = features
             .iter()
             .enumerate()
@@ -218,11 +218,7 @@ impl OperatorPlugin for ClusteringPlugin {
 /// one unit per compute node over (power, temp, cpu-idle).
 pub fn node_clustering_config(name: &str, interval_ms: u64) -> PluginConfig {
     PluginConfig::online(name, "clustering", interval_ms).with_patterns(
-        &[
-            "<bottomup>power",
-            "<bottomup>temp",
-            "<bottomup>cpu-idle",
-        ],
+        &["<bottomup>power", "<bottomup>temp", "<bottomup>cpu-idle"],
         &["<bottomup>cluster-label"],
     )
 }
@@ -296,10 +292,8 @@ mod tests {
     fn manager() -> Arc<OperatorManager> {
         let mgr = OperatorManager::new(engine());
         mgr.register_plugin(Box::new(ClusteringPlugin));
-        mgr.load(
-            node_clustering_config("bgmm", 1000).with_option("window_ms", 60_000u64),
-        )
-        .unwrap();
+        mgr.load(node_clustering_config("bgmm", 1000).with_option("window_ms", 60_000u64))
+            .unwrap();
         mgr
     }
 
@@ -352,9 +346,18 @@ mod tests {
         // Sensors known but with single readings (rates undefined).
         for n in 0..4 {
             let base = t(&format!("/r0/n{n}"));
-            qe.insert(&base.child("power").unwrap(), SensorReading::new(100, Timestamp::from_secs(1)));
-            qe.insert(&base.child("temp").unwrap(), SensorReading::new(encode_f64(40.0), Timestamp::from_secs(1)));
-            qe.insert(&base.child("cpu-idle").unwrap(), SensorReading::new(10, Timestamp::from_secs(1)));
+            qe.insert(
+                &base.child("power").unwrap(),
+                SensorReading::new(100, Timestamp::from_secs(1)),
+            );
+            qe.insert(
+                &base.child("temp").unwrap(),
+                SensorReading::new(encode_f64(40.0), Timestamp::from_secs(1)),
+            );
+            qe.insert(
+                &base.child("cpu-idle").unwrap(),
+                SensorReading::new(10, Timestamp::from_secs(1)),
+            );
         }
         qe.rebuild_navigator();
         let mgr = OperatorManager::new(qe);

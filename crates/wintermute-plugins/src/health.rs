@@ -128,10 +128,8 @@ impl Operator for HealthOperator {
     }
 
     fn operator_outputs(&mut self, ctx: &ComputeContext<'_>) -> Vec<Output> {
-        let topic = match dcdb_common::Topic::parse(&format!(
-            "/analytics/{}/anomalies",
-            self.name
-        )) {
+        let topic = match dcdb_common::Topic::parse(&format!("/analytics/{}/anomalies", self.name))
+        {
             Ok(t) => t,
             Err(_) => return Vec::new(),
         };
@@ -188,7 +186,10 @@ mod tests {
 
     fn setup() -> Arc<OperatorManager> {
         let qe = Arc::new(QueryEngine::new(64));
-        qe.insert(&t("/n0/power"), SensorReading::new(100, Timestamp::from_secs(1)));
+        qe.insert(
+            &t("/n0/power"),
+            SensorReading::new(100, Timestamp::from_secs(1)),
+        );
         qe.rebuild_navigator();
         let mgr = OperatorManager::new(qe);
         mgr.register_plugin(Box::new(HealthPlugin));
@@ -204,8 +205,10 @@ mod tests {
     }
 
     fn feed(mgr: &OperatorManager, sec: u64, value: i64) {
-        mgr.query_engine()
-            .insert(&t("/n0/power"), SensorReading::new(value, Timestamp::from_secs(sec)));
+        mgr.query_engine().insert(
+            &t("/n0/power"),
+            SensorReading::new(value, Timestamp::from_secs(sec)),
+        );
         mgr.tick(Timestamp::from_secs(sec));
     }
 
@@ -268,7 +271,10 @@ mod tests {
     #[test]
     fn invalid_alpha_rejected() {
         let qe = Arc::new(QueryEngine::new(8));
-        qe.insert(&t("/n0/power"), SensorReading::new(1, Timestamp::from_secs(1)));
+        qe.insert(
+            &t("/n0/power"),
+            SensorReading::new(1, Timestamp::from_secs(1)),
+        );
         qe.rebuild_navigator();
         let mgr = OperatorManager::new(qe);
         mgr.register_plugin(Box::new(HealthPlugin));

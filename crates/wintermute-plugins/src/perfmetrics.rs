@@ -50,7 +50,9 @@ impl PerfMetricsOperator {
         for input in &unit.inputs {
             let readings = ctx.query.query(
                 input,
-                QueryMode::Relative { offset_ns: self.window_ns },
+                QueryMode::Relative {
+                    offset_ns: self.window_ns,
+                },
             );
             if readings.len() < 2 {
                 continue;
@@ -235,7 +237,11 @@ mod tests {
         let cpi0 = mgr
             .query_engine()
             .query(&t("/n0/cpu0/cpi"), QueryMode::Latest);
-        assert!((decode_cpi(&cpi0[0]) - 2.0).abs() < 0.05, "{}", decode_cpi(&cpi0[0]));
+        assert!(
+            (decode_cpi(&cpi0[0]) - 2.0).abs() < 0.05,
+            "{}",
+            decode_cpi(&cpi0[0])
+        );
         let cpi1 = mgr
             .query_engine()
             .query(&t("/n0/cpu1/cpi"), QueryMode::Latest);
@@ -264,7 +270,11 @@ mod tests {
         let fr = mgr
             .query_engine()
             .query(&t("/n0/cpu0/flops-rate"), QueryMode::Latest);
-        assert!((fr[0].value - 500_000_000).abs() < 10_000_000, "{}", fr[0].value);
+        assert!(
+            (fr[0].value - 500_000_000).abs() < 10_000_000,
+            "{}",
+            fr[0].value
+        );
         let mr = mgr
             .query_engine()
             .query(&t("/n0/cpu0/miss-ratio"), QueryMode::Latest);
@@ -302,15 +312,25 @@ mod tests {
             .query_engine()
             .query(&t("/n0/opa-rate"), QueryMode::Latest);
         // 1.5 MB/s aggregate.
-        assert!((rate[0].value - 1_500_000).abs() < 100_000, "{}", rate[0].value);
+        assert!(
+            (rate[0].value - 1_500_000).abs() < 100_000,
+            "{}",
+            rate[0].value
+        );
     }
 
     #[test]
     fn idle_core_emits_nothing() {
         // Constant counters: no instructions retired this window.
         let qe = Arc::new(QueryEngine::new(16));
-        qe.insert(&t("/n0/cpu0/cycles"), SensorReading::new(1000, Timestamp::from_secs(1)));
-        qe.insert(&t("/n0/cpu0/cycles"), SensorReading::new(1000, Timestamp::from_secs(2)));
+        qe.insert(
+            &t("/n0/cpu0/cycles"),
+            SensorReading::new(1000, Timestamp::from_secs(1)),
+        );
+        qe.insert(
+            &t("/n0/cpu0/cycles"),
+            SensorReading::new(1000, Timestamp::from_secs(2)),
+        );
         qe.insert(
             &t("/n0/cpu0/instructions"),
             SensorReading::new(500, Timestamp::from_secs(1)),
@@ -332,7 +352,10 @@ mod tests {
     fn unknown_metric_name_errors() {
         let mgr = manager();
         let cfg = PluginConfig::online("pm", "perfmetrics", 1000).with_patterns(
-            &["<bottomup, filter cpu>cycles", "<bottomup, filter cpu>instructions"],
+            &[
+                "<bottomup, filter cpu>cycles",
+                "<bottomup, filter cpu>instructions",
+            ],
             &["<bottomup, filter cpu>bogus-metric"],
         );
         mgr.load(cfg).unwrap();

@@ -67,9 +67,12 @@ impl Operator for PersystOperator {
         // Latest value of the metric on every core of the job.
         let mut values = Vec::with_capacity(unit.inputs.len());
         for input in &unit.inputs {
-            let recent = ctx
-                .query
-                .query(input, QueryMode::Relative { offset_ns: self.window_ns });
+            let recent = ctx.query.query(
+                input,
+                QueryMode::Relative {
+                    offset_ns: self.window_ns,
+                },
+            );
             if let Some(last) = recent.last() {
                 values.push(if self.fixed_point {
                     decode_f64(last.value)
@@ -165,7 +168,8 @@ mod tests {
         source.set_jobs(jobs);
         let mgr = OperatorManager::new(engine());
         mgr.register_plugin(Box::new(PersystPlugin::new(source)));
-        mgr.load(PluginConfig::online("ps", "persyst", 1000)).unwrap();
+        mgr.load(PluginConfig::online("ps", "persyst", 1000))
+            .unwrap();
         mgr
     }
 
@@ -186,7 +190,9 @@ mod tests {
         // Values 1..=8 across 8 cores: d0 = 1, d10 = 8, d5 = 4.5.
         let d0 = mgr.query_engine().query(&t("/job/1/d0"), QueryMode::Latest);
         let d5 = mgr.query_engine().query(&t("/job/1/d5"), QueryMode::Latest);
-        let d10 = mgr.query_engine().query(&t("/job/1/d10"), QueryMode::Latest);
+        let d10 = mgr
+            .query_engine()
+            .query(&t("/job/1/d10"), QueryMode::Latest);
         assert!((decode_decile(&d0[0]) - 1.0).abs() < 1e-9);
         assert!((decode_decile(&d5[0]) - 4.5).abs() < 1e-9);
         assert!((decode_decile(&d10[0]) - 8.0).abs() < 1e-9);
@@ -194,16 +200,21 @@ mod tests {
 
     #[test]
     fn one_unit_per_running_job() {
-        let mgr = manager_with_jobs(vec![
-            job(1, &["/r0/n0"]),
-            job(2, &["/r0/n1"]),
-        ]);
+        let mgr = manager_with_jobs(vec![job(1, &["/r0/n0"]), job(2, &["/r0/n1"])]);
         let report = mgr.tick(Timestamp::from_secs(6));
         assert_eq!(report.outputs_published, 22);
-        assert!(!mgr.query_engine().query(&t("/job/1/d5"), QueryMode::Latest).is_empty());
-        assert!(!mgr.query_engine().query(&t("/job/2/d5"), QueryMode::Latest).is_empty());
+        assert!(!mgr
+            .query_engine()
+            .query(&t("/job/1/d5"), QueryMode::Latest)
+            .is_empty());
+        assert!(!mgr
+            .query_engine()
+            .query(&t("/job/2/d5"), QueryMode::Latest)
+            .is_empty());
         // Jobs see only their own nodes: job 1 max = 4, job 2 min = 5.
-        let d10 = mgr.query_engine().query(&t("/job/1/d10"), QueryMode::Latest);
+        let d10 = mgr
+            .query_engine()
+            .query(&t("/job/1/d10"), QueryMode::Latest);
         assert!((decode_decile(&d10[0]) - 4.0).abs() < 1e-9);
         let d0 = mgr.query_engine().query(&t("/job/2/d0"), QueryMode::Latest);
         assert!((decode_decile(&d0[0]) - 5.0).abs() < 1e-9);
@@ -216,7 +227,8 @@ mod tests {
         let mgr = OperatorManager::new(engine());
         let src: Arc<dyn JobDataSource> = Arc::clone(&source) as Arc<dyn JobDataSource>;
         mgr.register_plugin(Box::new(PersystPlugin::new(src)));
-        mgr.load(PluginConfig::online("ps", "persyst", 1000)).unwrap();
+        mgr.load(PluginConfig::online("ps", "persyst", 1000))
+            .unwrap();
         mgr.tick(Timestamp::from_secs(6));
         assert_eq!(mgr.units_of("ps").unwrap().len(), 1);
         // Job 1 ends; jobs 2 and 3 start.
@@ -271,7 +283,8 @@ mod tests {
         mgr.register_plugin(Box::new(PersystPlugin::new(source)));
         mgr.load(crate::perfmetrics::cpi_config("pm", 1000).with_option("window_ms", 4000u64))
             .unwrap();
-        mgr.load(PluginConfig::online("ps", "persyst", 1000)).unwrap();
+        mgr.load(PluginConfig::online("ps", "persyst", 1000))
+            .unwrap();
 
         // Tick 1: perfmetrics publishes CPI; persyst sees no cpi sensors
         // in the tree yet (navigator predates them).
@@ -280,7 +293,9 @@ mod tests {
         // Tick 2: persyst now aggregates the derived metric.
         let report = mgr.tick(Timestamp::from_secs(7));
         assert!(report.errors.is_empty(), "{:?}", report.errors);
-        let d10 = mgr.query_engine().query(&t("/job/7/d10"), QueryMode::Latest);
+        let d10 = mgr
+            .query_engine()
+            .query(&t("/job/7/d10"), QueryMode::Latest);
         assert!(!d10.is_empty(), "pipeline did not produce job deciles");
         // Core CPIs are 2,3,4,5 -> max 5.
         assert!((decode_decile(&d10[0]) - 5.0).abs() < 0.01);

@@ -109,7 +109,12 @@ impl RegressorOperator {
             .iter()
             .map(|input| {
                 ctx.query
-                    .query(input, QueryMode::Relative { offset_ns: self.window_ns })
+                    .query(
+                        input,
+                        QueryMode::Relative {
+                            offset_ns: self.window_ns,
+                        },
+                    )
                     .iter()
                     .map(|r| r.value as f64)
                     .collect()
@@ -244,9 +249,10 @@ impl OperatorPlugin for RegressorPlugin {
             Ok(names) => {
                 let mut fs = Vec::new();
                 for n in &names {
-                    fs.push(Feature::parse(n).ok_or_else(|| {
-                        DcdbError::Config(format!("unknown feature {n:?}"))
-                    })?);
+                    fs.push(
+                        Feature::parse(n)
+                            .ok_or_else(|| DcdbError::Config(format!("unknown feature {n:?}")))?,
+                    );
                 }
                 fs
             }
@@ -356,7 +362,9 @@ mod tests {
         }
         let preds = mgr.query_engine().query(
             &t("/n0/power-pred"),
-            QueryMode::Relative { offset_ns: 30_000_000_000 },
+            QueryMode::Relative {
+                offset_ns: 30_000_000_000,
+            },
         );
         assert!(!preds.is_empty(), "model never produced predictions");
         // Compare each prediction with truth at the same timestamp.
@@ -364,10 +372,7 @@ mod tests {
         for p in &preds {
             let truth = mgr
                 .query_engine()
-                .query(
-                    &t("/n0/power"),
-                    QueryMode::Absolute { t0: p.ts, t1: p.ts },
-                )
+                .query(&t("/n0/power"), QueryMode::Absolute { t0: p.ts, t1: p.ts })
                 .first()
                 .map(|r| r.value as f64);
             if let Some(truth) = truth {
@@ -434,10 +439,7 @@ mod tests {
             .query(&t("/n0/power-pred"), QueryMode::Latest);
         assert!(!preds.is_empty(), "linear model never predicted");
         // power = 40 + util is exactly linear: predictions are close.
-        let truth = mgr
-            .query_engine()
-            .query(&t("/n0/power"), QueryMode::Latest)[0]
-            .value as f64;
+        let truth = mgr.query_engine().query(&t("/n0/power"), QueryMode::Latest)[0].value as f64;
         assert!(
             (decode_prediction(&preds[0]) - truth).abs() / truth < 0.2,
             "linear pred {} vs {}",
@@ -492,7 +494,10 @@ mod tests {
     #[test]
     fn missing_target_option_fails_configuration() {
         let qe = Arc::new(QueryEngine::new(8));
-        qe.insert(&t("/n0/power"), SensorReading::new(1, Timestamp::from_secs(1)));
+        qe.insert(
+            &t("/n0/power"),
+            SensorReading::new(1, Timestamp::from_secs(1)),
+        );
         qe.rebuild_navigator();
         let mgr = OperatorManager::new(qe);
         mgr.register_plugin(Box::new(RegressorPlugin));
@@ -504,7 +509,10 @@ mod tests {
     #[test]
     fn target_must_be_an_input() {
         let qe = Arc::new(QueryEngine::new(8));
-        qe.insert(&t("/n0/util"), SensorReading::new(1, Timestamp::from_secs(1)));
+        qe.insert(
+            &t("/n0/util"),
+            SensorReading::new(1, Timestamp::from_secs(1)),
+        );
         qe.rebuild_navigator();
         let mgr = OperatorManager::new(qe);
         mgr.register_plugin(Box::new(RegressorPlugin));
@@ -518,17 +526,17 @@ mod tests {
     #[test]
     fn bad_feature_name_rejected() {
         let qe = Arc::new(QueryEngine::new(8));
-        qe.insert(&t("/n0/power"), SensorReading::new(1, Timestamp::from_secs(1)));
+        qe.insert(
+            &t("/n0/power"),
+            SensorReading::new(1, Timestamp::from_secs(1)),
+        );
         qe.rebuild_navigator();
         let mgr = OperatorManager::new(qe);
         mgr.register_plugin(Box::new(RegressorPlugin));
         let cfg = PluginConfig::online("reg", "regressor", 1000)
             .with_patterns(&["<bottomup>power"], &["<bottomup>pred"])
             .with_option("target", "power")
-            .with_option(
-                "features",
-                serde_json::json!(["mean", "bogus"]),
-            );
+            .with_option("features", serde_json::json!(["mean", "bogus"]));
         assert!(mgr.load(cfg).is_err());
     }
 }

@@ -46,7 +46,12 @@ impl Operator for SmootherOperator {
         Ok(unit
             .outputs
             .iter()
-            .map(|o| (o.clone(), SensorReading::new(smoothed.round() as i64, ctx.now)))
+            .map(|o| {
+                (
+                    o.clone(),
+                    SensorReading::new(smoothed.round() as i64, ctx.now),
+                )
+            })
             .collect())
     }
 }
@@ -93,7 +98,10 @@ mod tests {
 
     fn setup(alpha: f64) -> Arc<OperatorManager> {
         let qe = Arc::new(QueryEngine::new(32));
-        qe.insert(&t("/n0/power"), SensorReading::new(100, Timestamp::from_secs(1)));
+        qe.insert(
+            &t("/n0/power"),
+            SensorReading::new(100, Timestamp::from_secs(1)),
+        );
         qe.rebuild_navigator();
         let mgr = OperatorManager::new(qe);
         mgr.register_plugin(Box::new(SmootherPlugin));
@@ -120,15 +128,19 @@ mod tests {
     fn smoothing_lags_step_changes() {
         let mgr = setup(0.5);
         mgr.tick(Timestamp::from_secs(2)); // ewma = 100
-        mgr.query_engine()
-            .insert(&t("/n0/power"), SensorReading::new(200, Timestamp::from_secs(3)));
+        mgr.query_engine().insert(
+            &t("/n0/power"),
+            SensorReading::new(200, Timestamp::from_secs(3)),
+        );
         mgr.tick(Timestamp::from_secs(3)); // ewma = 150
         let got = mgr
             .query_engine()
             .query(&t("/n0/power-smooth"), QueryMode::Latest);
         assert_eq!(got[0].value, 150);
-        mgr.query_engine()
-            .insert(&t("/n0/power"), SensorReading::new(200, Timestamp::from_secs(4)));
+        mgr.query_engine().insert(
+            &t("/n0/power"),
+            SensorReading::new(200, Timestamp::from_secs(4)),
+        );
         mgr.tick(Timestamp::from_secs(4)); // ewma = 175
         let got = mgr
             .query_engine()
@@ -139,7 +151,10 @@ mod tests {
     #[test]
     fn invalid_alpha_rejected() {
         let qe = Arc::new(QueryEngine::new(8));
-        qe.insert(&t("/n0/power"), SensorReading::new(1, Timestamp::from_secs(1)));
+        qe.insert(
+            &t("/n0/power"),
+            SensorReading::new(1, Timestamp::from_secs(1)),
+        );
         qe.rebuild_navigator();
         let mgr = OperatorManager::new(qe);
         mgr.register_plugin(Box::new(SmootherPlugin));

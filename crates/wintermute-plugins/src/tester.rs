@@ -71,9 +71,12 @@ impl Operator for TesterOperator {
         for q in 0..self.queries {
             let input = &unit.inputs[q % unit.inputs.len()];
             let readings = match self.mode {
-                TesterMode::Relative => ctx
-                    .query
-                    .query(input, QueryMode::Relative { offset_ns: self.range_ns }),
+                TesterMode::Relative => ctx.query.query(
+                    input,
+                    QueryMode::Relative {
+                        offset_ns: self.range_ns,
+                    },
+                ),
                 TesterMode::Absolute => ctx.query.query(
                     input,
                     QueryMode::Absolute {
@@ -113,9 +116,7 @@ impl OperatorPlugin for TesterPlugin {
         let mode = match config.options.str_opt("mode").unwrap_or("relative") {
             "relative" => TesterMode::Relative,
             "absolute" => TesterMode::Absolute,
-            other => {
-                return Err(DcdbError::Config(format!("unknown tester mode {other:?}")))
-            }
+            other => return Err(DcdbError::Config(format!("unknown tester mode {other:?}"))),
         };
         let range_ns = config.options.u64_or("range_ms", 0) * NS_PER_MS;
         let resolution = config.resolve(nav)?;
@@ -148,7 +149,10 @@ mod tests {
         for i in 0..10 {
             let topic = t(&format!("/host/tester/t{i:03}/value"));
             for sec in 1..=30u64 {
-                qe.insert(&topic, SensorReading::new(sec as i64, Timestamp::from_secs(sec)));
+                qe.insert(
+                    &topic,
+                    SensorReading::new(sec as i64, Timestamp::from_secs(sec)),
+                );
             }
         }
         qe.rebuild_navigator();

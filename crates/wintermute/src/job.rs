@@ -181,7 +181,11 @@ mod tests {
     #[test]
     fn static_source_units_for_all() {
         let source = StaticJobSource::new();
-        source.set_jobs(vec![job(1, &["/r0/n0"]), job(2, &["/r9/gone"]), job(3, &["/r1/n0"])]);
+        source.set_jobs(vec![
+            job(1, &["/r0/n0"]),
+            job(2, &["/r9/gone"]),
+            job(3, &["/r1/n0"]),
+        ]);
         let builder = JobUnitBuilder::new("cpi", &["deciles"]).unwrap();
         let units = builder.units_for_all(&source, &nav(), Timestamp::ZERO);
         let ids: Vec<u64> = units.iter().map(|(j, _)| j.id).collect();

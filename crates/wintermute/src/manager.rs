@@ -278,7 +278,10 @@ impl OperatorManager {
         let results: Vec<(usize, Option<String>)> = due
             .par_iter()
             .map(|(plugin, slot_idx, _)| {
-                let ctx = ComputeContext { query: &self.query, now };
+                let ctx = ComputeContext {
+                    query: &self.query,
+                    now,
+                };
                 let slot = &plugin.operators[*slot_idx];
                 let mut op = slot.operator.lock();
                 match compute_all_units(op.as_mut(), &ctx) {
@@ -327,14 +330,14 @@ impl OperatorManager {
                     .ok_or_else(|| DcdbError::NotFound(format!("plugin {name:?}")))?,
             )
         };
-        let ctx = ComputeContext { query: &self.query, now };
+        let ctx = ComputeContext {
+            query: &self.query,
+            now,
+        };
         for slot in &plugin.operators {
             let mut op = slot.operator.lock();
             op.refresh_units(&ctx)?;
-            let idx = op
-                .units()
-                .iter()
-                .position(|u| &u.name == unit_topic);
+            let idx = op.units().iter().position(|u| &u.name == unit_topic);
             if let Some(idx) = idx {
                 return op.compute(idx, &ctx);
             }
@@ -384,23 +387,27 @@ impl OperatorManager {
         });
 
         let mgr = Arc::clone(self);
-        router.route(Method::Put, "/analytics/plugins/:name/:action", move |req| {
-            let name = req.path_param("name").unwrap_or_default();
-            let action = req.path_param("action").unwrap_or_default();
-            let result = match action {
-                "start" => mgr.start(name),
-                "stop" => mgr.stop(name),
-                "reload" => mgr.reload(name),
-                other => Err(DcdbError::Config(format!("unknown action {other:?}"))),
-            };
-            match result {
-                Ok(()) => Response::json(format!("{{\"ok\":true,\"action\":\"{action}\"}}")),
-                Err(e @ DcdbError::NotFound(_)) => {
-                    Response::error(Status::NotFound, e.to_string())
+        router.route(
+            Method::Put,
+            "/analytics/plugins/:name/:action",
+            move |req| {
+                let name = req.path_param("name").unwrap_or_default();
+                let action = req.path_param("action").unwrap_or_default();
+                let result = match action {
+                    "start" => mgr.start(name),
+                    "stop" => mgr.stop(name),
+                    "reload" => mgr.reload(name),
+                    other => Err(DcdbError::Config(format!("unknown action {other:?}"))),
+                };
+                match result {
+                    Ok(()) => Response::json(format!("{{\"ok\":true,\"action\":\"{action}\"}}")),
+                    Err(e @ DcdbError::NotFound(_)) => {
+                        Response::error(Status::NotFound, e.to_string())
+                    }
+                    Err(e) => Response::error(Status::BadRequest, e.to_string()),
                 }
-                Err(e) => Response::error(Status::BadRequest, e.to_string()),
-            }
-        });
+            },
+        );
 
         let mgr = Arc::clone(self);
         router.route(Method::Delete, "/analytics/plugins/:name", move |req| {
@@ -416,8 +423,7 @@ impl OperatorManager {
             let name = req.path_param("name").unwrap_or_default();
             match mgr.units_of(name) {
                 Ok(units) => {
-                    let names: Vec<String> =
-                        units.iter().map(|u| u.as_str().to_string()).collect();
+                    let names: Vec<String> = units.iter().map(|u| u.as_str().to_string()).collect();
                     Response::json(serde_json::to_string(&names).unwrap_or_default())
                 }
                 Err(e) => Response::error(Status::NotFound, e.to_string()),
@@ -448,9 +454,7 @@ impl OperatorManager {
                         .collect();
                     Response::json(serde_json::Value::Array(body).to_string())
                 }
-                Err(e @ DcdbError::NotFound(_)) => {
-                    Response::error(Status::NotFound, e.to_string())
-                }
+                Err(e @ DcdbError::NotFound(_)) => Response::error(Status::NotFound, e.to_string()),
                 Err(e) => Response::error(Status::InternalError, e.to_string()),
             }
         });
@@ -545,7 +549,11 @@ mod tests {
             let factor = config.options.u64_or("factor", 2) as i64;
             let resolution = config.resolve(nav)?;
             instantiate(config, resolution.units, |name, units| {
-                Ok(Box::new(ScaleOperator { name, units, factor }) as Box<dyn Operator>)
+                Ok(Box::new(ScaleOperator {
+                    name,
+                    units,
+                    factor,
+                }) as Box<dyn Operator>)
             })
         }
     }
@@ -559,10 +567,7 @@ mod tests {
             );
         }
         qe.rebuild_navigator();
-        let mgr = OperatorManager::with_time_source(
-            qe,
-            Box::new(|| Timestamp::from_secs(100)),
-        );
+        let mgr = OperatorManager::with_time_source(qe, Box::new(|| Timestamp::from_secs(100)));
         mgr.register_plugin(Box::new(ScalePlugin));
         mgr
     }
@@ -622,8 +627,7 @@ mod tests {
     #[test]
     fn parallel_unit_mode_spawns_per_unit_operators() {
         let mgr = manager_with_data();
-        let cfg = scale_config("par", 1000)
-            .with_unit_mode(crate::operator::UnitMode::Parallel);
+        let cfg = scale_config("par", 1000).with_unit_mode(crate::operator::UnitMode::Parallel);
         mgr.load(cfg).unwrap();
         let list = mgr.list();
         assert_eq!(list.len(), 1);
@@ -737,7 +741,11 @@ mod tests {
             "/analytics/compute/s1?unit=/n2",
         ));
         assert_eq!(resp.status.code(), 200);
-        assert!(resp.body_str().contains("\"value\":600"), "{}", resp.body_str());
+        assert!(
+            resp.body_str().contains("\"value\":600"),
+            "{}",
+            resp.body_str()
+        );
 
         let resp = router.dispatch(dcdb_rest::Request::new(
             Method::Get,

@@ -67,7 +67,12 @@ impl<'a> ComputeContext<'a> {
     /// `window_ns`, as `f64` values in timestamp order.
     pub fn window_values(&self, topic: &Topic, window_ns: u64) -> Vec<f64> {
         self.query
-            .query(topic, crate::query::QueryMode::Relative { offset_ns: window_ns })
+            .query(
+                topic,
+                crate::query::QueryMode::Relative {
+                    offset_ns: window_ns,
+                },
+            )
             .iter()
             .map(|r| r.value as f64)
             .collect()
@@ -117,10 +122,7 @@ pub trait Operator: Send {
 /// Runs every unit of an operator and collects outputs — the shared
 /// "iterate through its units" loop of §V-C.1 used by both the manager
 /// (online ticks) and tests.
-pub fn compute_all_units(
-    op: &mut dyn Operator,
-    ctx: &ComputeContext<'_>,
-) -> Result<Vec<Output>> {
+pub fn compute_all_units(op: &mut dyn Operator, ctx: &ComputeContext<'_>) -> Result<Vec<Output>> {
     op.refresh_units(ctx)?;
     let n = op.units().len();
     let mut out = Vec::new();
@@ -164,7 +166,10 @@ mod tests {
                 values.extend(ctx.window_values(input, self.window_ns));
             }
             if values.is_empty() {
-                return Err(DcdbError::NotFound(format!("no data for unit {}", unit.name)));
+                return Err(DcdbError::NotFound(format!(
+                    "no data for unit {}",
+                    unit.name
+                )));
             }
             let avg = values.iter().sum::<f64>() / values.len() as f64;
             Ok(vec![(
@@ -206,7 +211,10 @@ mod tests {
             window_ns: 5 * dcdb_common::time::NS_PER_SEC,
             computed: 0,
         };
-        let ctx = ComputeContext { query: &qe, now: Timestamp::from_secs(11) };
+        let ctx = ComputeContext {
+            query: &qe,
+            now: Timestamp::from_secs(11),
+        };
         let outputs = compute_all_units(&mut op, &ctx).unwrap();
         assert_eq!(op.computed, 2);
         assert_eq!(outputs.len(), 2);
@@ -225,14 +233,20 @@ mod tests {
             window_ns: 1,
             computed: 0,
         };
-        let ctx = ComputeContext { query: &qe, now: Timestamp::from_secs(1) };
+        let ctx = ComputeContext {
+            query: &qe,
+            now: Timestamp::from_secs(1),
+        };
         assert!(compute_all_units(&mut op, &ctx).is_err());
     }
 
     #[test]
     fn context_helpers() {
         let qe = engine_with_data();
-        let ctx = ComputeContext { query: &qe, now: Timestamp::from_secs(11) };
+        let ctx = ComputeContext {
+            query: &qe,
+            now: Timestamp::from_secs(11),
+        };
         assert_eq!(ctx.latest_value(&t("/n1/power")), Some(110.0));
         assert_eq!(ctx.latest_value(&t("/missing")), None);
         let w = ctx.window_values(&t("/n1/power"), 3 * dcdb_common::time::NS_PER_SEC);

@@ -170,9 +170,11 @@ impl QueryEngine {
             return Arc::clone(c);
         }
         let mut caches = self.caches.write();
-        Arc::clone(caches.entry(topic.clone()).or_insert_with(|| {
-            Arc::new(RwLock::new(SensorCache::new(self.cache_capacity)))
-        }))
+        Arc::clone(
+            caches
+                .entry(topic.clone())
+                .or_insert_with(|| Arc::new(RwLock::new(SensorCache::new(self.cache_capacity)))),
+        )
     }
 
     /// True if the engine has a cache for `topic`.
@@ -281,12 +283,16 @@ impl QueryEngine {
         self.storage.as_ref()
     }
 
-    /// Approximate bytes held by the sensor caches (footprint metric).
+    /// Bytes held by the sensor caches (§VI-A footprint metric).
+    ///
+    /// Sums each cache's *actual* allocation
+    /// ([`SensorCache::memory_bytes`]): `SensorCache` allocates its ring
+    /// lazily, so charging the configured capacity per sensor — as this
+    /// method used to — over-reports by orders of magnitude for
+    /// mostly-empty caches.
     pub fn cache_memory_bytes(&self) -> usize {
         let caches = self.caches.read();
-        caches.len()
-            * (std::mem::size_of::<SensorCache>()
-                + self.cache_capacity * std::mem::size_of::<SensorReading>())
+        caches.values().map(|c| c.read().memory_bytes()).sum()
     }
 
     /// Number of sensors with caches.
@@ -343,7 +349,9 @@ mod tests {
         let qe = seeded_engine();
         let got = qe.query(
             &t("/n1/power"),
-            QueryMode::Relative { offset_ns: 5 * NS_PER_SEC },
+            QueryMode::Relative {
+                offset_ns: 5 * NS_PER_SEC,
+            },
         );
         assert!((5..=7).contains(&got.len()), "{}", got.len());
         assert_eq!(got.last().unwrap().value, 50);
@@ -420,7 +428,9 @@ mod tests {
         let qe = QueryEngine::with_storage(8, storage);
         let got = qe.query(
             &t("/cold/sensor"),
-            QueryMode::Relative { offset_ns: 5 * NS_PER_SEC },
+            QueryMode::Relative {
+                offset_ns: 5 * NS_PER_SEC,
+            },
         );
         assert_eq!(got.last().unwrap().value, 20);
         assert!(got.len() >= 5);
@@ -434,7 +444,10 @@ mod tests {
         qe.insert_batch(&t("/b/s"), &batch);
         let got = qe.query(
             &t("/b/s"),
-            QueryMode::Absolute { t0: Timestamp::ZERO, t1: Timestamp::MAX },
+            QueryMode::Absolute {
+                t0: Timestamp::ZERO,
+                t1: Timestamp::MAX,
+            },
         );
         assert_eq!(got, batch);
         assert_eq!(qe.stats().inserts, 10);
@@ -492,5 +505,27 @@ mod tests {
         assert_eq!(qe.sensor_count(), 1);
         assert!(qe.knows(&t("/n1/power")));
         assert!(!qe.knows(&t("/other")));
+    }
+
+    #[test]
+    fn memory_accounting_reflects_allocation_not_configured_capacity() {
+        // Regression: the footprint metric used to charge the full
+        // configured capacity per sensor even though SensorCache
+        // allocates lazily — a nearly-empty cache made the §VI-A
+        // footprint lie by orders of magnitude.
+        let capacity = 1_000_000usize;
+        let qe = QueryEngine::new(capacity);
+        for n in 0..10 {
+            qe.insert(&t(&format!("/n{n}/power")), r(1, 1));
+        }
+        let reported = qe.cache_memory_bytes();
+        let capacity_charge = 10 * capacity * std::mem::size_of::<SensorReading>();
+        assert!(
+            reported < capacity_charge / 100,
+            "reported {reported} bytes should be far below the \
+             capacity-based over-estimate {capacity_charge}"
+        );
+        // Still a sane lower bound: at least the stored readings.
+        assert!(reported >= 10 * std::mem::size_of::<SensorReading>());
     }
 }

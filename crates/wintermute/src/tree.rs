@@ -101,10 +101,7 @@ impl SensorNavigator {
     /// All component nodes at `level` (0 = highest, `depth()-1` =
     /// lowest). Empty slice when out of range.
     pub fn nodes_at_level(&self, level: usize) -> &[Topic] {
-        self.levels
-            .get(level)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.levels.get(level).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Internal lookup of a component node.

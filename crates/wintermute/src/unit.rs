@@ -472,11 +472,8 @@ mod tests {
     #[test]
     fn same_level_input_resolves_to_unit_node() {
         let nav = paper_tree();
-        let template = UnitTemplate::parse(
-            &["<bottomup-1>memfree"],
-            &["<bottomup-1>memfree-pred"],
-        )
-        .unwrap();
+        let template =
+            UnitTemplate::parse(&["<bottomup-1>memfree"], &["<bottomup-1>memfree-pred"]).unwrap();
         let resolution = resolve_units(&template, &nav).unwrap();
         assert_eq!(resolution.units.len(), 48);
         let u = &resolution.units[0];
@@ -495,21 +492,15 @@ mod tests {
         .unwrap();
         let resolution = resolve_units(&template, &nav).unwrap();
         assert_eq!(resolution.units.len(), 12); // one s01 per chassis
-        assert!(resolution
-            .units
-            .iter()
-            .all(|u| u.name.name() == "s01"));
+        assert!(resolution.units.iter().all(|u| u.name.name() == "s01"));
     }
 
     #[test]
     fn top_level_unit_sees_whole_subtree() {
         let nav = paper_tree();
         // Rack-level aggregation: every chassis power under the rack.
-        let template = UnitTemplate::parse(
-            &["<topdown+1>power"],
-            &["<topdown>rack-power"],
-        )
-        .unwrap();
+        let template =
+            UnitTemplate::parse(&["<topdown+1>power"], &["<topdown>rack-power"]).unwrap();
         let resolution = resolve_units(&template, &nav).unwrap();
         assert_eq!(resolution.units.len(), 4);
         for u in &resolution.units {

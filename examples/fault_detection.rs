@@ -14,7 +14,9 @@
 
 use dcdb_common::time::{Timestamp, NS_PER_SEC};
 use dcdb_common::topic::Topic;
-use dcdb_wintermute::sim_cluster::{AppModel, ClusterConfig, ClusterSimulator, ProfileClass, Topology};
+use dcdb_wintermute::sim_cluster::{
+    AppModel, ClusterConfig, ClusterSimulator, ProfileClass, Topology,
+};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use wintermute::prelude::*;
@@ -67,7 +69,10 @@ fn main() {
         }
     };
 
-    println!("{:>5} | {:>9} {:>9} {:>9} {:>9}", "t[s]", "node00", "node01", "node02", "node03");
+    println!(
+        "{:>5} | {:>9} {:>9} {:>9} {:>9}",
+        "t[s]", "node00", "node01", "node02", "node03"
+    );
     println!("------+----------------------------------------");
     let mut now = Timestamp::from_secs(2);
     for sec in 2..=40u64 {

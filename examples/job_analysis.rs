@@ -57,8 +57,12 @@ fn main() {
         );
         pusher.add_monitoring_plugin(Box::new(SimMonitoringPlugin::new(Arc::clone(&sim), node)));
         pusher.refresh_sensor_tree();
-        pusher.manager().register_plugin(Box::new(PerfMetricsPlugin));
-        pusher.manager().add_sink(Arc::new(BusSink::new(broker.handle())));
+        pusher
+            .manager()
+            .register_plugin(Box::new(PerfMetricsPlugin));
+        pusher
+            .manager()
+            .add_sink(Arc::new(BusSink::new(broker.handle())));
         pusher
             .manager()
             .load(cpi_config("cpi", 1000).with_option("window_ms", 3000u64))
@@ -92,15 +96,26 @@ fn main() {
     // --- Print the per-job decile series (every 10th second). ---
     for (job_id, name) in [(0u64, "LAMMPS (job 0, alice)"), (1, "AMG (job 1, bob)")] {
         println!("\n=== {name} — CPI deciles over time ===");
-        println!("{:>6} | {:>6} {:>6} {:>6} {:>6} {:>6}", "t[s]", "d0", "d2", "d5", "d8", "d10");
+        println!(
+            "{:>6} | {:>6} {:>6} {:>6} {:>6} {:>6}",
+            "t[s]", "d0", "d2", "d5", "d8", "d10"
+        );
         let fetch = |d: &str| {
             agent.query_engine().query(
                 &Topic::parse(&format!("/job/{job_id}/{d}")).unwrap(),
-                QueryMode::Absolute { t0: Timestamp::ZERO, t1: Timestamp::MAX },
+                QueryMode::Absolute {
+                    t0: Timestamp::ZERO,
+                    t1: Timestamp::MAX,
+                },
             )
         };
-        let (d0, d2, d5, d8, d10) =
-            (fetch("d0"), fetch("d2"), fetch("d5"), fetch("d8"), fetch("d10"));
+        let (d0, d2, d5, d8, d10) = (
+            fetch("d0"),
+            fetch("d2"),
+            fetch("d5"),
+            fetch("d8"),
+            fetch("d10"),
+        );
         for i in (0..d0.len()).step_by(10) {
             println!(
                 "{:>6} | {:>6.2} {:>6.2} {:>6.2} {:>6.2} {:>6.2}",

@@ -54,6 +54,10 @@ fn main() {
     );
     println!(
         "planted power anomalies flagged: {}",
-        if result.anomalies_flagged { "yes" } else { "NO" }
+        if result.anomalies_flagged {
+            "yes"
+        } else {
+            "NO"
+        }
     );
 }

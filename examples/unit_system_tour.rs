@@ -29,8 +29,7 @@ fn main() {
                 topics.push(Topic::parse(&format!("{node}/memfree")).unwrap());
                 for cpu in 0..2 {
                     for sensor in ["cpu-cycles", "cache-misses"] {
-                        topics
-                            .push(Topic::parse(&format!("{node}/cpu{cpu}/{sensor}")).unwrap());
+                        topics.push(Topic::parse(&format!("{node}/cpu{cpu}/{sensor}")).unwrap());
                     }
                 }
             }
@@ -43,9 +42,11 @@ fn main() {
         nav.depth()
     );
     for level in 0..nav.depth() {
-        println!("  level {level}: {} nodes (e.g. {})",
+        println!(
+            "  level {level}: {} nodes (e.g. {})",
             nav.nodes_at_level(level).len(),
-            nav.nodes_at_level(level)[0]);
+            nav.nodes_at_level(level)[0]
+        );
     }
 
     // --- The paper's §III-C pattern unit, verbatim. ---

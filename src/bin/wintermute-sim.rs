@@ -12,7 +12,17 @@
 //! cargo run --release --bin wintermute-sim -- [--nodes N] [--duration SECS] [--port P]
 //!     [--data-dir DIR] [--fsync always|batch|never] [--retention-secs N]
 //!     [--snapshot-path FILE] [--snapshot-secs N]
+//!     [--router-depth N] [--sub-depth N] [--overflow block|drop-newest|drop-oldest]
+//!     [--ingest-budget N]
 //! ```
+//!
+//! Backpressure knobs (paper §V scalability): the broker's router input
+//! and every subscription queue are bounded; `--overflow` picks what
+//! happens when a queue is full (QoS-0 default: `drop-oldest`).
+//! `--ingest-budget` caps how many bus messages the Collect Agent
+//! drains per tick so operators and storage maintenance are never
+//! starved. Live queue depths and drop counters are served at
+//! `GET /metrics`.
 //!
 //! Persistence modes:
 //!
@@ -26,7 +36,7 @@
 //!   snapshots every `--snapshot-secs` (default 30) and on shutdown;
 //!   the snapshot is restored on the next start.
 
-use dcdb_wintermute::dcdb_bus::Broker;
+use dcdb_wintermute::dcdb_bus::{Broker, BusConfig, OverflowPolicy};
 use dcdb_wintermute::dcdb_collectagent::{CollectAgent, CollectAgentConfig, SimJobSource};
 use dcdb_wintermute::dcdb_common::{Timestamp, Topic};
 use dcdb_wintermute::dcdb_pusher::{standard_plugin_set, Pusher, PusherConfig};
@@ -73,7 +83,15 @@ fn main() {
     })));
 
     // --- Per-node Pushers: production plugin set + in-band operators. ---
-    let broker = Broker::new();
+    let bus_defaults = BusConfig::default();
+    let overflow = OverflowPolicy::parse(&arg_str("--overflow").unwrap_or("drop-oldest".into()))
+        .expect("--overflow must be block|drop-newest|drop-oldest");
+    let broker = Broker::with_config(BusConfig {
+        router_depth: arg("--router-depth", bus_defaults.router_depth as u64).max(1) as usize,
+        router_policy: overflow,
+        sub_depth: arg("--sub-depth", bus_defaults.sub_depth as u64).max(1) as usize,
+        sub_policy: overflow,
+    });
     let mut pushers = Vec::new();
     for node in 0..nodes {
         let mut pusher = Pusher::new(
@@ -89,7 +107,9 @@ fn main() {
         }
         pusher.refresh_sensor_tree();
         wintermute_plugins::register_all(pusher.manager(), None);
-        pusher.manager().add_sink(Arc::new(BusSink::new(broker.handle())));
+        pusher
+            .manager()
+            .add_sink(Arc::new(BusSink::new(broker.handle())));
         pusher
             .manager()
             .load(cpi_config("cpi", 1000).with_option("window_ms", 3000u64))
@@ -145,7 +165,14 @@ fn main() {
     // --- The Collect Agent: storage + job analytics + health. ---
     let agent = Arc::new(
         CollectAgent::new(
-            CollectAgentConfig::default(),
+            CollectAgentConfig {
+                ingest_budget: arg(
+                    "--ingest-budget",
+                    CollectAgentConfig::default().ingest_budget as u64,
+                )
+                .max(1) as usize,
+                ..CollectAgentConfig::default()
+            },
             &broker.handle(),
             Arc::clone(&storage),
         )
@@ -161,10 +188,13 @@ fn main() {
     // --- REST control plane. ---
     let mut router = Router::new();
     agent.mount_routes(&mut router);
-    let server =
-        RestServer::serve(&format!("127.0.0.1:{port}"), router).expect("bind REST server");
-    println!("wintermute-sim: {nodes} nodes, REST on http://{}", server.addr());
-    println!("try: curl http://{}/analytics/plugins\n", server.addr());
+    let server = RestServer::serve(&format!("127.0.0.1:{port}"), router).expect("bind REST server");
+    println!(
+        "wintermute-sim: {nodes} nodes, REST on http://{}",
+        server.addr()
+    );
+    println!("try: curl http://{}/analytics/plugins", server.addr());
+    println!("     curl http://{}/metrics\n", server.addr());
 
     // --- Drive everything on the wall clock. ---
     let start = std::time::Instant::now();
@@ -196,16 +226,17 @@ fn main() {
         if elapsed > last_status && elapsed.is_multiple_of(5) {
             last_status = elapsed;
             let a = agent.stats();
-            let jobs_running = sim
-                .lock()
-                .scheduler()
-                .running_at(now)
-                .len();
+            let jobs_running = sim.lock().scheduler().running_at(now).len();
+            let bus = broker.handle().stats();
             println!(
-                "[{elapsed:>3}s] ingested {} readings, {} jobs running, storage holds {} readings",
+                "[{elapsed:>3}s] ingested {} readings, {} jobs running, storage holds {} \
+                 readings, bus dropped {} (router {}), backlog {}",
                 a.readings,
                 jobs_running,
-                storage.stats().readings
+                storage.stats().readings,
+                bus.dropped,
+                bus.router_dropped,
+                agent.ingest_backlog(),
             );
         }
         std::thread::sleep(Duration::from_millis(200));

@@ -18,7 +18,10 @@ fn engine() -> Arc<QueryEngine> {
         for sec in 1..=30u64 {
             qe.insert(
                 &t(&format!("/rack0/node{n}/power")),
-                SensorReading::new(100 + n as i64 * 10 + (sec % 3) as i64, Timestamp::from_secs(sec)),
+                SensorReading::new(
+                    100 + n as i64 * 10 + (sec % 3) as i64,
+                    Timestamp::from_secs(sec),
+                ),
             );
             qe.insert(
                 &t(&format!("/rack0/node{n}/temp")),
@@ -78,8 +81,10 @@ fn document_loads_all_three_instances() {
     let list = mgr.list();
     assert_eq!(list.len(), 3);
     // Parallel instance: 4 operators; sequential ones: 1 each.
-    let by_name: std::collections::HashMap<String, usize> =
-        list.iter().map(|(n, _, _, ops, _)| (n.clone(), *ops)).collect();
+    let by_name: std::collections::HashMap<String, usize> = list
+        .iter()
+        .map(|(n, _, _, ops, _)| (n.clone(), *ops))
+        .collect();
     assert_eq!(by_name["node-power-avg"], 4);
     assert_eq!(by_name["rack-peak"], 1);
     assert_eq!(by_name["diagnostics"], 1);

@@ -3,12 +3,10 @@
 //! sequences, and merged memtable+segment queries matching the pure
 //! in-memory backend reading for reading.
 
+use dcdb_wintermute::dcdb_common::{SensorReading, Timestamp, Topic};
 use dcdb_wintermute::dcdb_storage::compress::{compress_block, decompress_block};
 use dcdb_wintermute::dcdb_storage::wal::{replay, WalWriter};
-use dcdb_wintermute::dcdb_storage::{
-    DurableBackend, DurableConfig, FsyncPolicy, StorageBackend,
-};
-use dcdb_wintermute::dcdb_common::{SensorReading, Timestamp, Topic};
+use dcdb_wintermute::dcdb_storage::{DurableBackend, DurableConfig, FsyncPolicy, StorageBackend};
 use std::path::PathBuf;
 
 fn t(s: &str) -> Topic {
@@ -133,7 +131,10 @@ fn merged_queries_match_pure_in_memory_backend() {
     // Compaction must not change query results either.
     let mid_compaction_check = durable.query(&topics[0], Timestamp::ZERO, Timestamp::MAX);
     let durable = {
-        let c = DurableConfig { compact_min_segments: 2, ..config };
+        let c = DurableConfig {
+            compact_min_segments: 2,
+            ..config
+        };
         drop(durable);
         DurableBackend::open(&dir, c).unwrap()
     };

@@ -23,7 +23,12 @@ fn t(s: &str) -> Topic {
 }
 
 /// Builds a 4-node system: pushers with aggregators, one collect agent.
-fn build_system() -> (Vec<Pusher>, Arc<CollectAgent>, Broker, Arc<Mutex<ClusterSimulator>>) {
+fn build_system() -> (
+    Vec<Pusher>,
+    Arc<CollectAgent>,
+    Broker,
+    Arc<Mutex<ClusterSimulator>>,
+) {
     let mut sim = ClusterSimulator::new(ClusterConfig::small_manual(99));
     sim.submit_job(
         "e2e",
@@ -47,7 +52,9 @@ fn build_system() -> (Vec<Pusher>, Arc<CollectAgent>, Broker, Arc<Mutex<ClusterS
         pusher.add_monitoring_plugin(Box::new(SimMonitoringPlugin::new(Arc::clone(&sim), node)));
         pusher.refresh_sensor_tree();
         wintermute_plugins::register_all(pusher.manager(), None);
-        pusher.manager().add_sink(Arc::new(BusSink::new(broker.handle())));
+        pusher
+            .manager()
+            .add_sink(Arc::new(BusSink::new(broker.handle())));
         pushers.push(pusher);
     }
     let storage = Arc::new(StorageBackend::new());
@@ -77,7 +84,10 @@ fn raw_data_flows_pusher_to_storage() {
         let topic = t(&format!("/rack0{}/node0{}/power", node / 4, node % 4));
         let got = agent.query_engine().query(&topic, QueryMode::Latest);
         assert!(!got.is_empty(), "missing {topic} in agent cache");
-        assert!(agent.storage().contains(&topic), "missing {topic} in storage");
+        assert!(
+            agent.storage().contains(&topic),
+            "missing {topic} in storage"
+        );
     }
     // Volumes line up: 4 nodes × 22 sensors × 10 ticks.
     assert_eq!(agent.stats().readings, 4 * 22 * 10);
@@ -116,7 +126,11 @@ fn cross_component_pipeline_pusher_derives_agent_aggregates() {
         .query_engine()
         .query(&t("/rack00/power-avg-max"), QueryMode::Latest);
     assert!(!got.is_empty(), "pipeline stage 2 produced nothing");
-    assert!((150..=350).contains(&got[0].value), "value {}", got[0].value);
+    assert!(
+        (150..=350).contains(&got[0].value),
+        "value {}",
+        got[0].value
+    );
 }
 
 #[test]

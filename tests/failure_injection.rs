@@ -8,9 +8,7 @@ use dcdb_wintermute::dcdb_bus::Broker;
 use dcdb_wintermute::dcdb_collectagent::{CollectAgent, CollectAgentConfig};
 use dcdb_wintermute::dcdb_common::error::Result as DcdbResult;
 use dcdb_wintermute::dcdb_common::{SensorReading, Timestamp, Topic};
-use dcdb_wintermute::dcdb_storage::{
-    DurableBackend, DurableConfig, FsyncPolicy, StorageBackend,
-};
+use dcdb_wintermute::dcdb_storage::{DurableBackend, DurableConfig, FsyncPolicy, StorageBackend};
 use dcdb_wintermute::wintermute::prelude::*;
 use dcdb_wintermute::wintermute_plugins;
 use std::sync::Arc;
@@ -29,7 +27,10 @@ fn stale_samples_are_rejected_but_do_not_poison_the_cache() {
     qe.insert(&topic, SensorReading::new(3, Timestamp::from_secs(11)));
     let got = qe.query(
         &topic,
-        QueryMode::Absolute { t0: Timestamp::ZERO, t1: Timestamp::MAX },
+        QueryMode::Absolute {
+            t0: Timestamp::ZERO,
+            t1: Timestamp::MAX,
+        },
     );
     let vals: Vec<i64> = got.iter().map(|r| r.value).collect();
     assert_eq!(vals, vec![1, 3]);
@@ -60,7 +61,9 @@ fn corrupt_frames_interleaved_with_good_ones() {
     assert_eq!(stats.decode_errors, 3);
     assert_eq!(stats.readings, 7);
     // Good data is fully usable.
-    let got = agent.query_engine().query(&t("/n0/power"), QueryMode::Latest);
+    let got = agent
+        .query_engine()
+        .query(&t("/n0/power"), QueryMode::Latest);
     assert_eq!(got[0].value, 10);
 }
 
@@ -113,7 +116,10 @@ impl OperatorPlugin for FlakyPlugin {
 #[test]
 fn failing_operator_does_not_starve_healthy_ones() {
     let qe = Arc::new(QueryEngine::new(16));
-    qe.insert(&t("/n0/power"), SensorReading::new(100, Timestamp::from_secs(1)));
+    qe.insert(
+        &t("/n0/power"),
+        SensorReading::new(100, Timestamp::from_secs(1)),
+    );
     qe.rebuild_navigator();
     let mgr = OperatorManager::new(qe);
     mgr.register_plugin(Box::new(FlakyPlugin));
@@ -171,7 +177,10 @@ fn reload_fails_loudly_when_sensors_disappear() {
     // change), reload must fail with a diagnostic instead of silently
     // running with zero units.
     let qe = Arc::new(QueryEngine::new(16));
-    qe.insert(&t("/n0/power"), SensorReading::new(1, Timestamp::from_secs(1)));
+    qe.insert(
+        &t("/n0/power"),
+        SensorReading::new(1, Timestamp::from_secs(1)),
+    );
     qe.rebuild_navigator();
     let mgr = OperatorManager::new(qe);
     wintermute_plugins::register_all(&mgr, None);
@@ -181,9 +190,8 @@ fn reload_fails_loudly_when_sensors_disappear() {
     )
     .unwrap();
     // The sensor space "shrinks": an empty navigator replaces the tree.
-    mgr.query_engine().set_navigator(SensorNavigator::build(
-        std::iter::empty::<&Topic>(),
-    ));
+    mgr.query_engine()
+        .set_navigator(SensorNavigator::build(std::iter::empty::<&Topic>()));
     let err = mgr.reload("agg").unwrap_err();
     let msg = err.to_string();
     assert!(
@@ -229,7 +237,10 @@ fn kill_mid_ingest_loses_no_acked_data() {
     let db = DurableBackend::open(&dir, durable_test_config()).unwrap();
     let rec = db.recovery();
     assert!(rec.segments > 0, "kill landed before any seal: {rec:?}");
-    assert!(rec.wal_readings > 0, "kill landed on a sealed boundary: {rec:?}");
+    assert!(
+        rec.wal_readings > 0,
+        "kill landed on a sealed boundary: {rec:?}"
+    );
     for n in 0..3u64 {
         let topic = t(&format!("/n{n}/power"));
         let got = db.query(&topic, Timestamp::ZERO, Timestamp::MAX);
@@ -252,8 +263,11 @@ fn kill_mid_wal_record_tolerates_torn_tail() {
 
     let db = DurableBackend::open(&dir, durable_test_config()).unwrap();
     for i in 1..=100u64 {
-        db.insert(&t("/n0/power"), SensorReading::new(i as i64, Timestamp::from_secs(i)))
-            .unwrap();
+        db.insert(
+            &t("/n0/power"),
+            SensorReading::new(i as i64, Timestamp::from_secs(i)),
+        )
+        .unwrap();
     }
     std::mem::forget(db);
 
@@ -289,8 +303,7 @@ fn collect_agent_killed_mid_ingest_recovers_acked_readings() {
     let acked;
     {
         let broker = Broker::new_sync();
-        let storage =
-            Arc::new(DurableBackend::open(&dir, durable_test_config()).unwrap());
+        let storage = Arc::new(DurableBackend::open(&dir, durable_test_config()).unwrap());
         let agent = CollectAgent::new(
             CollectAgentConfig::default(),
             &broker.handle(),
@@ -328,7 +341,10 @@ fn on_demand_on_stopped_plugin_still_answers() {
     // keep working (they are how operators in OnDemand mode are driven
     // at all).
     let qe = Arc::new(QueryEngine::new(16));
-    qe.insert(&t("/n0/power"), SensorReading::new(42, Timestamp::from_secs(1)));
+    qe.insert(
+        &t("/n0/power"),
+        SensorReading::new(42, Timestamp::from_secs(1)),
+    );
     qe.rebuild_navigator();
     let mgr = OperatorManager::new(qe);
     wintermute_plugins::register_all(&mgr, None);

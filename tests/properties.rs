@@ -12,9 +12,7 @@
 //!   sensors.
 
 use dcdb_wintermute::dcdb_bus::{decode_readings, encode_readings, Broker, TopicFilter};
-use dcdb_wintermute::dcdb_common::{
-    SensorCache, SensorReading, Timestamp, Topic,
-};
+use dcdb_wintermute::dcdb_common::{SensorCache, SensorReading, Timestamp, Topic};
 use dcdb_wintermute::dcdb_storage::StorageBackend;
 use dcdb_wintermute::oda_ml::stats::deciles;
 use dcdb_wintermute::wintermute::prelude::*;

@@ -62,16 +62,13 @@ fn plugin_listing_and_lifecycle() {
     assert_eq!(code, 200);
     assert!(!agent.manager().is_running("avg"));
 
-    let (code, _) =
-        http_request(addr, Method::Put, "/analytics/plugins/avg/start", b"").unwrap();
+    let (code, _) = http_request(addr, Method::Put, "/analytics/plugins/avg/start", b"").unwrap();
     assert_eq!(code, 200);
     assert!(agent.manager().is_running("avg"));
 
-    let (code, _) =
-        http_request(addr, Method::Put, "/analytics/plugins/avg/explode", b"").unwrap();
+    let (code, _) = http_request(addr, Method::Put, "/analytics/plugins/avg/explode", b"").unwrap();
     assert_eq!(code, 400);
-    let (code, _) =
-        http_request(addr, Method::Put, "/analytics/plugins/ghost/stop", b"").unwrap();
+    let (code, _) = http_request(addr, Method::Put, "/analytics/plugins/ghost/stop", b"").unwrap();
     assert_eq!(code, 404);
 }
 
@@ -85,13 +82,8 @@ fn on_demand_compute_over_tcp() {
     assert_eq!(code, 200);
     assert!(body.contains("/r0/n0"), "{body}");
 
-    let (code, body) = http_request(
-        addr,
-        Method::Get,
-        "/analytics/compute/avg?unit=/r0/n1",
-        b"",
-    )
-    .unwrap();
+    let (code, body) =
+        http_request(addr, Method::Get, "/analytics/compute/avg?unit=/r0/n1", b"").unwrap();
     assert_eq!(code, 200);
     assert!(body.contains("power-avg"), "{body}");
     assert!(body.contains("\"value\""));
@@ -122,8 +114,7 @@ fn raw_sensor_queries_over_tcp() {
     assert_eq!(rows.as_array().unwrap().len(), 3);
 
     // Unknown sensor: empty list, not an error (query semantics).
-    let (code, body) =
-        http_request(addr, Method::Get, "/sensors/r9/none/power", b"").unwrap();
+    let (code, body) = http_request(addr, Method::Get, "/sensors/r9/none/power", b"").unwrap();
     assert_eq!(code, 200);
     assert_eq!(body.trim(), "[]");
 }
@@ -132,12 +123,10 @@ fn raw_sensor_queries_over_tcp() {
 fn unload_over_tcp_removes_the_instance() {
     let (server, agent, _broker) = served_agent();
     let addr = server.addr();
-    let (code, _) =
-        http_request(addr, Method::Delete, "/analytics/plugins/avg", b"").unwrap();
+    let (code, _) = http_request(addr, Method::Delete, "/analytics/plugins/avg", b"").unwrap();
     assert_eq!(code, 204);
     assert!(agent.manager().units_of("avg").is_err());
-    let (code, _) =
-        http_request(addr, Method::Delete, "/analytics/plugins/avg", b"").unwrap();
+    let (code, _) = http_request(addr, Method::Delete, "/analytics/plugins/avg", b"").unwrap();
     assert_eq!(code, 404);
 }
 
@@ -157,8 +146,7 @@ fn reload_over_tcp_rebinds_units() {
         .unwrap();
     agent.process_pending();
 
-    let (code, _) =
-        http_request(addr, Method::Put, "/analytics/plugins/avg/reload", b"").unwrap();
+    let (code, _) = http_request(addr, Method::Put, "/analytics/plugins/avg/reload", b"").unwrap();
     assert_eq!(code, 200);
     assert_eq!(agent.manager().units_of("avg").unwrap().len(), 3);
 }

@@ -75,17 +75,13 @@ fn per_core_template_instantiates_9472_units() {
     // Resolution must be cheap enough for runtime reloads: the paper
     // reconfigures plugins dynamically via REST. Generous bound (debug
     // builds on one core are slow).
-    assert!(
-        elapsed.as_secs_f64() < 30.0,
-        "resolution took {elapsed:?}"
-    );
+    assert!(elapsed.as_secs_f64() < 30.0, "resolution took {elapsed:?}");
 }
 
 #[test]
 fn rack_level_aggregation_binds_the_whole_subtree() {
     let nav = SensorNavigator::build(coolmuc3_topics().iter());
-    let template =
-        UnitTemplate::parse(&["<bottomup-1>power"], &["<topdown>rack-power"]).unwrap();
+    let template = UnitTemplate::parse(&["<bottomup-1>power"], &["<topdown>rack-power"]).unwrap();
     let resolution = resolve_units(&template, &nav).unwrap();
     assert_eq!(resolution.units.len(), 4);
     // Each rack unit aggregates its 37 node power sensors.
