@@ -202,7 +202,10 @@ impl CollectAgent {
 
     /// Live operational metrics as JSON: broker counters and router
     /// lag, per-subscriber queue depth / high-water / drop counters,
-    /// agent ingest counters, query-engine and storage statistics.
+    /// agent ingest counters, query-engine and storage statistics, and
+    /// the embedded Wintermute runtime's per-operator fault-isolation
+    /// metrics (runs, errors, panics, overruns, quarantine state,
+    /// compute latency) under `"operators"`.
     pub fn metrics_json(&self) -> serde_json::Value {
         let bus = self.bus.metrics();
         let queue_json = |q: &dcdb_bus::QueueMetricsSnapshot| {
@@ -265,11 +268,13 @@ impl CollectAgent {
             "inserts": storage.inserts,
             "queries": storage.queries,
         });
+        let operators_json = self.manager.metrics_json();
         serde_json::json!({
             "bus": bus_json,
             "agent": agent_json,
             "query": query_json,
             "storage": storage_json,
+            "operators": operators_json,
         })
     }
 
@@ -550,6 +555,22 @@ mod tests {
         assert_eq!(q.get("depth").unwrap().as_u64(), Some(0));
         assert_eq!(q.get("dequeued").unwrap().as_u64(), Some(4));
         assert!(q.get("capacity").unwrap().as_u64().unwrap() > 0);
+        // The embedded operator runtime reports under "operators".
+        let ops = v.get("operators").unwrap();
+        assert!(ops.get("ticks").unwrap().as_u64().is_some());
+        let totals = ops.get("totals").unwrap();
+        for key in [
+            "runs",
+            "successes",
+            "errors",
+            "panics",
+            "overruns",
+            "quarantined_skips",
+            "quarantined_operators",
+        ] {
+            assert!(totals.get(key).unwrap().as_u64().is_some(), "{key}");
+        }
+        assert!(ops.get("plugins").unwrap().as_array().is_some());
     }
 
     #[test]

@@ -62,7 +62,10 @@ pub mod unit;
 /// The commonly-used API surface in one import.
 pub mod prelude {
     pub use crate::job::{JobDataSource, JobInfo, JobUnitBuilder, StaticJobSource};
-    pub use crate::manager::{BusSink, OperatorManager, SensorSink, TickReport};
+    pub use crate::manager::{
+        BusSink, FaultPolicy, OperatorManager, OperatorMetricsSnapshot, OperatorTotals,
+        PluginMetricsSnapshot, SensorSink, TickReport,
+    };
     pub use crate::operator::{
         compute_all_units, ComputeContext, Operator, OperatorMode, Output, UnitMode,
     };

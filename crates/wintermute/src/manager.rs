@@ -13,6 +13,18 @@
 //! a wall-clock thread ([`OperatorManager::start_thread`]) in production
 //! or by a virtual clock in simulation — the manager itself is
 //! clock-agnostic.
+//!
+//! The runtime is **fault-isolated**: a panic inside any
+//! [`Operator::compute`] is caught ([`std::panic::catch_unwind`]) and
+//! recorded instead of killing the scheduler; an operator failing
+//! [`FaultPolicy::quarantine_threshold`] times in a row is *quarantined*
+//! — skipped with exponential backoff on its `next_due` — until a
+//! `PUT /analytics/plugins/:name/start` (or reload) resumes it; and an
+//! operator still busy when it comes due again is skipped and counted as
+//! an *overrun* rather than parking a rayon worker on its mutex.
+//! Per-operator counters (runs, outputs, errors, panics, overruns,
+//! latency EWMA, quarantine state) are exposed through
+//! [`OperatorManager::metrics_json`].
 
 use crate::operator::{compute_all_units, ComputeContext, Operator, Output};
 use crate::plugin::{OperatorPlugin, PluginConfig};
@@ -25,8 +37,10 @@ use dcdb_rest::{Method, Response, Router, Status};
 use parking_lot::{Mutex, RwLock};
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A destination for operator outputs beyond the local caches — the
 /// Pusher attaches an MQTT sink, the Collect Agent a storage sink.
@@ -53,10 +67,168 @@ impl SensorSink for BusSink {
     }
 }
 
+/// Fault-isolation policy of the operator runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPolicy {
+    /// Consecutive failures (errors or panics) after which an operator
+    /// is quarantined.
+    pub quarantine_threshold: u64,
+    /// Cap on the quarantine backoff, as a multiple of the operator's
+    /// interval (the backoff doubles on every skipped due event until
+    /// it reaches this cap).
+    pub backoff_cap: u64,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            quarantine_threshold: 5,
+            backoff_cap: 64,
+        }
+    }
+}
+
+/// Per-slot runtime counters. All fields are atomics so the rayon
+/// workers, the due-scan and REST readers never contend on a lock.
+#[derive(Default)]
+struct SlotMetrics {
+    runs: AtomicU64,
+    successes: AtomicU64,
+    outputs: AtomicU64,
+    errors: AtomicU64,
+    panics: AtomicU64,
+    overruns: AtomicU64,
+    quarantined_skips: AtomicU64,
+    consecutive_failures: AtomicU64,
+    quarantined: AtomicBool,
+    last_latency_ns: AtomicU64,
+    ewma_latency_ns: AtomicU64,
+    max_latency_ns: AtomicU64,
+}
+
+impl SlotMetrics {
+    fn record_latency(&self, ns: u64) {
+        self.last_latency_ns.store(ns, Ordering::Relaxed);
+        self.max_latency_ns.fetch_max(ns, Ordering::Relaxed);
+        let old = self.ewma_latency_ns.load(Ordering::Relaxed);
+        // EWMA with alpha = 1/8, seeded by the first sample.
+        let new = if old == 0 { ns } else { old - old / 8 + ns / 8 };
+        self.ewma_latency_ns.store(new, Ordering::Relaxed);
+    }
+
+    /// Registers a failed computation; true when this failure crossed
+    /// the quarantine threshold (the caller arms the backoff).
+    fn note_failure(&self, policy: FaultPolicy) -> bool {
+        let fails = self.consecutive_failures.fetch_add(1, Ordering::AcqRel) + 1;
+        fails >= policy.quarantine_threshold && !self.quarantined.swap(true, Ordering::AcqRel)
+    }
+
+    fn note_success(&self) {
+        self.consecutive_failures.store(0, Ordering::Release);
+        self.quarantined.store(false, Ordering::Release);
+    }
+
+    fn reset_quarantine(&self) {
+        self.quarantined.store(false, Ordering::Release);
+        self.consecutive_failures.store(0, Ordering::Release);
+    }
+
+    fn snapshot(&self, name: &str) -> OperatorMetricsSnapshot {
+        OperatorMetricsSnapshot {
+            name: name.to_string(),
+            runs: self.runs.load(Ordering::Relaxed),
+            successes: self.successes.load(Ordering::Relaxed),
+            outputs: self.outputs.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            overruns: self.overruns.load(Ordering::Relaxed),
+            quarantined_skips: self.quarantined_skips.load(Ordering::Relaxed),
+            consecutive_failures: self.consecutive_failures.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Acquire),
+            last_latency_ns: self.last_latency_ns.load(Ordering::Relaxed),
+            ewma_latency_ns: self.ewma_latency_ns.load(Ordering::Relaxed),
+            max_latency_ns: self.max_latency_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time runtime metrics of one operator slot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OperatorMetricsSnapshot {
+    /// Operator name (unique within its plugin).
+    pub name: String,
+    /// Due events processed for this operator; every one resolves to
+    /// exactly one of success / error / panic / overrun / quarantined
+    /// skip, so `runs == successes + errors + panics + overruns +
+    /// quarantined_skips` holds at all times.
+    pub runs: u64,
+    /// Successful computations.
+    pub successes: u64,
+    /// Output readings published by successful computations.
+    pub outputs: u64,
+    /// Computations that returned an error.
+    pub errors: u64,
+    /// Computations that panicked (caught and contained).
+    pub panics: u64,
+    /// Due events skipped because a previous computation (or a long
+    /// on-demand request) still held the operator.
+    pub overruns: u64,
+    /// Due events skipped because the operator was quarantined.
+    pub quarantined_skips: u64,
+    /// Errors/panics since the last success or resume.
+    pub consecutive_failures: u64,
+    /// Whether the operator is currently quarantined.
+    pub quarantined: bool,
+    /// Latency of the most recent computation, nanoseconds.
+    pub last_latency_ns: u64,
+    /// Exponentially-weighted moving average latency (alpha 1/8), ns.
+    pub ewma_latency_ns: u64,
+    /// Maximum observed computation latency, nanoseconds.
+    pub max_latency_ns: u64,
+}
+
+/// Runtime metrics of one plugin instance and its operators.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PluginMetricsSnapshot {
+    /// Instance name.
+    pub name: String,
+    /// Plugin kind.
+    pub kind: String,
+    /// Whether online computation is enabled.
+    pub running: bool,
+    /// One snapshot per operator slot.
+    pub operators: Vec<OperatorMetricsSnapshot>,
+}
+
+/// Aggregate runtime totals across every loaded operator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OperatorTotals {
+    /// Due events processed (all outcomes).
+    pub runs: u64,
+    /// Successful computations.
+    pub successes: u64,
+    /// Output readings published.
+    pub outputs: u64,
+    /// Failed computations.
+    pub errors: u64,
+    /// Contained panics.
+    pub panics: u64,
+    /// Busy-operator skips.
+    pub overruns: u64,
+    /// Quarantine skips.
+    pub quarantined_skips: u64,
+    /// Operators currently quarantined.
+    pub quarantined_operators: u64,
+}
+
 struct OperatorSlot {
+    /// Cached operator name: readable without taking the operator lock
+    /// (overrun reporting must not block on a busy operator).
+    name: String,
     operator: Mutex<Box<dyn Operator>>,
     /// Next due time in ns; 0 = run at the first tick.
     next_due: AtomicU64,
+    metrics: SlotMetrics,
 }
 
 struct LoadedPlugin {
@@ -65,15 +237,45 @@ struct LoadedPlugin {
     running: AtomicBool,
 }
 
-/// Summary of one tick.
+/// How one due slot resolved inside a tick. The `quarantined` field
+/// carries the operator name when this failure pushed it into
+/// quarantine.
+enum SlotOutcome {
+    Success {
+        outputs: usize,
+    },
+    Error {
+        message: String,
+        quarantined: Option<String>,
+    },
+    Panic {
+        message: String,
+        quarantined: Option<String>,
+    },
+    Overrun,
+}
+
+/// Summary of one tick. Every due event resolves to exactly one
+/// outcome: `operators_run == successes + errors.len() + panics.len()
+/// + overruns + quarantined_skips`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TickReport {
-    /// Operators whose computation ran.
+    /// Due operator events processed this tick (all outcomes).
     pub operators_run: usize,
+    /// Computations that completed successfully.
+    pub successes: usize,
     /// Output readings published.
     pub outputs_published: usize,
     /// Per-operator errors (tick continues past failures).
     pub errors: Vec<String>,
+    /// Per-operator contained panics (tick and scheduler survive).
+    pub panics: Vec<String>,
+    /// Due operators skipped because they were still computing.
+    pub overruns: usize,
+    /// Due operators skipped because they are quarantined.
+    pub quarantined_skips: usize,
+    /// Operators that entered quarantine during this tick.
+    pub newly_quarantined: Vec<String>,
 }
 
 /// The manager. Typically owned inside a Pusher or Collect Agent and
@@ -84,6 +286,8 @@ pub struct OperatorManager {
     query: Arc<QueryEngine>,
     sinks: RwLock<Vec<Arc<dyn SensorSink>>>,
     time_source: Box<dyn Fn() -> Timestamp + Send + Sync>,
+    fault_policy: RwLock<FaultPolicy>,
+    ticks: AtomicU64,
 }
 
 impl OperatorManager {
@@ -105,12 +309,30 @@ impl OperatorManager {
             query,
             sinks: RwLock::new(Vec::new()),
             time_source,
+            fault_policy: RwLock::new(FaultPolicy::default()),
+            ticks: AtomicU64::new(0),
         })
     }
 
     /// The query engine the manager publishes into.
     pub fn query_engine(&self) -> &Arc<QueryEngine> {
         &self.query
+    }
+
+    /// Replaces the fault-isolation policy (quarantine threshold and
+    /// backoff cap). Takes effect from the next tick.
+    pub fn set_fault_policy(&self, policy: FaultPolicy) {
+        *self.fault_policy.write() = policy;
+    }
+
+    /// The current fault-isolation policy.
+    pub fn fault_policy(&self) -> FaultPolicy {
+        *self.fault_policy.read()
+    }
+
+    /// Ticks processed so far (any clock).
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
     }
 
     /// Registers a plugin factory; configurations with a matching
@@ -153,8 +375,10 @@ impl OperatorManager {
             operators: operators
                 .into_iter()
                 .map(|op| OperatorSlot {
+                    name: op.name().to_string(),
                     operator: Mutex::new(op),
                     next_due: AtomicU64::new(0),
+                    metrics: SlotMetrics::default(),
                 })
                 .collect(),
             running: AtomicBool::new(true),
@@ -175,9 +399,21 @@ impl OperatorManager {
         self.set_running(name, false)
     }
 
-    /// Resumes an instance's online computation.
+    /// Resumes an instance's online computation. Also clears any
+    /// quarantine and re-arms every slot to run at the next tick — the
+    /// REST escape hatch (`PUT /analytics/plugins/:name/start`) for an
+    /// operator quarantined after repeated failures.
     pub fn start(&self, name: &str) -> Result<()> {
-        self.set_running(name, true)
+        let plugins = self.plugins.read();
+        let plugin = plugins
+            .get(name)
+            .ok_or_else(|| DcdbError::NotFound(format!("plugin {name:?}")))?;
+        plugin.running.store(true, Ordering::Release);
+        for slot in &plugin.operators {
+            slot.metrics.reset_quarantine();
+            slot.next_due.store(0, Ordering::Release);
+        }
+        Ok(())
     }
 
     fn set_running(&self, name: &str, running: bool) -> Result<()> {
@@ -244,8 +480,17 @@ impl OperatorManager {
     /// parallel with rayon — this is what makes [`UnitMode::Parallel`]
     /// (one operator per unit) scale across cores.
     ///
+    /// The tick is fault-isolated: panics are caught and recorded,
+    /// repeatedly failing operators are quarantined (skipped with
+    /// exponential backoff), and operators still busy from a previous
+    /// computation are skipped as overruns instead of blocking a rayon
+    /// worker.
+    ///
     /// [`UnitMode::Parallel`]: crate::operator::UnitMode::Parallel
     pub fn tick(&self, now: Timestamp) -> TickReport {
+        self.ticks.fetch_add(1, Ordering::Relaxed);
+        let policy = self.fault_policy();
+        let mut report = TickReport::default();
         // Snapshot due work without holding the plugin map lock during
         // computation.
         let mut due: Vec<(Arc<LoadedPlugin>, usize, u64)> = Vec::new();
@@ -258,54 +503,166 @@ impl OperatorManager {
                 let Some(interval_ms) = plugin.config.interval_ms() else {
                     continue; // on-demand plugins never tick
                 };
-                let interval_ns = interval_ms * 1_000_000;
+                let interval_ns = interval_ms.max(1) * 1_000_000;
                 for (i, slot) in plugin.operators.iter().enumerate() {
                     let next = slot.next_due.load(Ordering::Acquire);
-                    if next <= now.as_nanos() {
-                        // Schedule the next run; lagging operators skip
-                        // missed intervals rather than bursting.
-                        let mut new_next = if next == 0 { now.as_nanos() } else { next };
-                        while new_next <= now.as_nanos() {
-                            new_next += interval_ns;
-                        }
-                        slot.next_due.store(new_next, Ordering::Release);
-                        due.push((Arc::clone(plugin), i, interval_ns));
+                    if next > now.as_nanos() {
+                        continue;
                     }
+                    if slot.metrics.quarantined.load(Ordering::Acquire) {
+                        // Quarantined: skip, doubling the backoff on
+                        // every visit (capped) so the scan re-visits
+                        // the slot ever more rarely until a REST
+                        // start / reload resumes it.
+                        slot.metrics.runs.fetch_add(1, Ordering::Relaxed);
+                        let skips = slot
+                            .metrics
+                            .quarantined_skips
+                            .fetch_add(1, Ordering::Relaxed)
+                            + 1;
+                        let mult = 1u64
+                            .checked_shl((skips + 1).min(63) as u32)
+                            .unwrap_or(u64::MAX)
+                            .min(policy.backoff_cap.max(2));
+                        slot.next_due.store(
+                            now.as_nanos()
+                                .saturating_add(interval_ns.saturating_mul(mult)),
+                            Ordering::Release,
+                        );
+                        report.operators_run += 1;
+                        report.quarantined_skips += 1;
+                        continue;
+                    }
+                    // Schedule the next run; lagging operators skip
+                    // missed intervals rather than bursting.
+                    let mut new_next = if next == 0 { now.as_nanos() } else { next };
+                    while new_next <= now.as_nanos() {
+                        new_next += interval_ns;
+                    }
+                    slot.next_due.store(new_next, Ordering::Release);
+                    due.push((Arc::clone(plugin), i, interval_ns));
                 }
             }
         }
 
-        let results: Vec<(usize, Option<String>)> = due
+        report.operators_run += due.len();
+        let results: Vec<SlotOutcome> = due
             .par_iter()
-            .map(|(plugin, slot_idx, _)| {
-                let ctx = ComputeContext {
-                    query: &self.query,
-                    now,
-                };
-                let slot = &plugin.operators[*slot_idx];
-                let mut op = slot.operator.lock();
-                match compute_all_units(op.as_mut(), &ctx) {
-                    Ok(outputs) => {
-                        let n = outputs.len();
-                        self.publish(outputs);
-                        (n, None)
-                    }
-                    Err(e) => (0, Some(format!("{}: {e}", op.name()))),
-                }
+            .map(|(plugin, slot_idx, interval_ns)| {
+                self.run_slot(plugin, *slot_idx, *interval_ns, now, policy)
             })
             .collect();
 
-        let mut report = TickReport {
-            operators_run: due.len(),
-            ..Default::default()
-        };
-        for (n, err) in results {
-            report.outputs_published += n;
-            if let Some(e) = err {
-                report.errors.push(e);
+        for outcome in results {
+            match outcome {
+                SlotOutcome::Success { outputs } => {
+                    report.successes += 1;
+                    report.outputs_published += outputs;
+                }
+                SlotOutcome::Error {
+                    message,
+                    quarantined,
+                } => {
+                    report.newly_quarantined.extend(quarantined);
+                    report.errors.push(message);
+                }
+                SlotOutcome::Panic {
+                    message,
+                    quarantined,
+                } => {
+                    report.newly_quarantined.extend(quarantined);
+                    report.panics.push(message);
+                }
+                SlotOutcome::Overrun => report.overruns += 1,
             }
         }
         report
+    }
+
+    /// Runs one due slot through the fault-isolation machinery:
+    /// `try_lock` (overrun if busy), `catch_unwind` around the
+    /// computation, latency recording and quarantine bookkeeping.
+    fn run_slot(
+        &self,
+        plugin: &LoadedPlugin,
+        slot_idx: usize,
+        interval_ns: u64,
+        now: Timestamp,
+        policy: FaultPolicy,
+    ) -> SlotOutcome {
+        let slot = &plugin.operators[slot_idx];
+        slot.metrics.runs.fetch_add(1, Ordering::Relaxed);
+        // A computation still running from a previous tick (or a long
+        // on-demand request) holds the slot mutex; skip instead of
+        // parking this rayon worker until it finishes.
+        let Some(mut op) = slot.operator.try_lock() else {
+            slot.metrics.overruns.fetch_add(1, Ordering::Relaxed);
+            return SlotOutcome::Overrun;
+        };
+        let ctx = ComputeContext {
+            query: &self.query,
+            now,
+        };
+        let start = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| compute_all_units(op.as_mut(), &ctx)));
+        slot.metrics
+            .record_latency(start.elapsed().as_nanos() as u64);
+        match result {
+            Ok(Ok(outputs)) => {
+                slot.metrics.note_success();
+                slot.metrics.successes.fetch_add(1, Ordering::Relaxed);
+                slot.metrics
+                    .outputs
+                    .fetch_add(outputs.len() as u64, Ordering::Relaxed);
+                let n = outputs.len();
+                self.publish(outputs);
+                SlotOutcome::Success { outputs: n }
+            }
+            Ok(Err(e)) => {
+                slot.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                let quarantined = self
+                    .quarantine_on_failure(slot, interval_ns, now, policy)
+                    .then(|| slot.name.clone());
+                SlotOutcome::Error {
+                    message: format!("{}: {e}", slot.name),
+                    quarantined,
+                }
+            }
+            Err(payload) => {
+                slot.metrics.panics.fetch_add(1, Ordering::Relaxed);
+                let quarantined = self
+                    .quarantine_on_failure(slot, interval_ns, now, policy)
+                    .then(|| slot.name.clone());
+                SlotOutcome::Panic {
+                    message: format!(
+                        "{}: panicked: {}",
+                        slot.name,
+                        panic_message(payload.as_ref())
+                    ),
+                    quarantined,
+                }
+            }
+        }
+    }
+
+    /// Failure bookkeeping: true when this failure pushed the slot into
+    /// quarantine (and armed the first backoff of 2x the interval).
+    fn quarantine_on_failure(
+        &self,
+        slot: &OperatorSlot,
+        interval_ns: u64,
+        now: Timestamp,
+        policy: FaultPolicy,
+    ) -> bool {
+        if slot.metrics.note_failure(policy) {
+            slot.next_due.store(
+                now.as_nanos().saturating_add(interval_ns.saturating_mul(2)),
+                Ordering::Release,
+            );
+            true
+        } else {
+            false
+        }
     }
 
     fn publish(&self, outputs: Vec<Output>) {
@@ -316,6 +673,100 @@ impl OperatorManager {
                 sink.publish(&topic, reading);
             }
         }
+    }
+
+    /// Per-plugin, per-operator runtime metric snapshots, sorted by
+    /// instance name.
+    pub fn operator_metrics(&self) -> Vec<PluginMetricsSnapshot> {
+        let plugins = self.plugins.read();
+        let mut out: Vec<PluginMetricsSnapshot> = plugins
+            .values()
+            .map(|p| PluginMetricsSnapshot {
+                name: p.config.name.clone(),
+                kind: p.config.kind.clone(),
+                running: p.running.load(Ordering::Acquire),
+                operators: p
+                    .operators
+                    .iter()
+                    .map(|s| s.metrics.snapshot(&s.name))
+                    .collect(),
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Aggregate runtime totals across every loaded operator.
+    pub fn metrics_totals(&self) -> OperatorTotals {
+        let mut t = OperatorTotals::default();
+        for plugin in self.operator_metrics() {
+            for op in &plugin.operators {
+                t.runs += op.runs;
+                t.successes += op.successes;
+                t.outputs += op.outputs;
+                t.errors += op.errors;
+                t.panics += op.panics;
+                t.overruns += op.overruns;
+                t.quarantined_skips += op.quarantined_skips;
+                t.quarantined_operators += op.quarantined as u64;
+            }
+        }
+        t
+    }
+
+    /// Full operator-runtime metrics as JSON — ticks, aggregate totals
+    /// and per-plugin / per-operator counters, latencies (ns) and
+    /// quarantine state. Hosts merge this into their `GET /metrics`.
+    pub fn metrics_json(&self) -> serde_json::Value {
+        let totals = self.metrics_totals();
+        let plugins: Vec<serde_json::Value> = self
+            .operator_metrics()
+            .iter()
+            .map(|p| {
+                let ops: Vec<serde_json::Value> = p
+                    .operators
+                    .iter()
+                    .map(|o| {
+                        serde_json::json!({
+                            "name": o.name,
+                            "runs": o.runs,
+                            "successes": o.successes,
+                            "outputs": o.outputs,
+                            "errors": o.errors,
+                            "panics": o.panics,
+                            "overruns": o.overruns,
+                            "quarantined_skips": o.quarantined_skips,
+                            "consecutive_failures": o.consecutive_failures,
+                            "quarantined": o.quarantined,
+                            "last_latency_ns": o.last_latency_ns,
+                            "ewma_latency_ns": o.ewma_latency_ns,
+                            "max_latency_ns": o.max_latency_ns,
+                        })
+                    })
+                    .collect();
+                serde_json::json!({
+                    "name": p.name,
+                    "kind": p.kind,
+                    "status": if p.running { "running" } else { "stopped" },
+                    "operators": ops,
+                })
+            })
+            .collect();
+        let totals_json = serde_json::json!({
+            "runs": totals.runs,
+            "successes": totals.successes,
+            "outputs": totals.outputs,
+            "errors": totals.errors,
+            "panics": totals.panics,
+            "overruns": totals.overruns,
+            "quarantined_skips": totals.quarantined_skips,
+            "quarantined_operators": totals.quarantined_operators,
+        });
+        serde_json::json!({
+            "ticks": self.ticks(),
+            "totals": totals_json,
+            "plugins": plugins,
+        })
     }
 
     /// On-demand invocation (paper §IV-B b): computes the unit named
@@ -334,17 +785,29 @@ impl OperatorManager {
             query: &self.query,
             now,
         };
+        // A refresh failure in one slot must not make units in later
+        // slots unreachable: record it, keep searching (the slot's
+        // existing unit set is still searchable), and fail only when
+        // the unit is found nowhere.
+        let mut refresh_errors: Vec<String> = Vec::new();
         for slot in &plugin.operators {
             let mut op = slot.operator.lock();
-            op.refresh_units(&ctx)?;
+            if let Err(e) = op.refresh_units(&ctx) {
+                refresh_errors.push(format!("{}: {e}", op.name()));
+            }
             let idx = op.units().iter().position(|u| &u.name == unit_topic);
             if let Some(idx) = idx {
                 return op.compute(idx, &ctx);
             }
         }
-        Err(DcdbError::NotFound(format!(
-            "unit {unit_topic} in plugin {name:?}"
-        )))
+        Err(DcdbError::NotFound(if refresh_errors.is_empty() {
+            format!("unit {unit_topic} in plugin {name:?}")
+        } else {
+            format!(
+                "unit {unit_topic} in plugin {name:?} (refresh errors: {})",
+                refresh_errors.join("; ")
+            )
+        }))
     }
 
     /// Unit names of an instance (REST listing).
@@ -370,16 +833,35 @@ impl OperatorManager {
     pub fn mount_routes(self: &Arc<Self>, router: &mut Router) {
         let mgr = Arc::clone(self);
         router.get("/analytics/plugins", move |_req| {
+            let metrics: HashMap<String, PluginMetricsSnapshot> = mgr
+                .operator_metrics()
+                .into_iter()
+                .map(|p| (p.name.clone(), p))
+                .collect();
             let list: Vec<serde_json::Value> = mgr
                 .list()
                 .into_iter()
                 .map(|(name, kind, running, ops, units)| {
+                    // Per-plugin fault summary folded from the slots.
+                    let (mut errors, mut panics, mut overruns, mut quarantined) = (0, 0, 0, 0u64);
+                    if let Some(m) = metrics.get(&name) {
+                        for o in &m.operators {
+                            errors += o.errors;
+                            panics += o.panics;
+                            overruns += o.overruns;
+                            quarantined += o.quarantined as u64;
+                        }
+                    }
                     serde_json::json!({
                         "name": name,
                         "kind": kind,
                         "status": if running { "running" } else { "stopped" },
                         "operators": ops,
                         "units": units,
+                        "errors": errors,
+                        "panics": panics,
+                        "overruns": overruns,
+                        "quarantined_operators": quarantined,
                     })
                 })
                 .collect();
@@ -400,7 +882,11 @@ impl OperatorManager {
                     other => Err(DcdbError::Config(format!("unknown action {other:?}"))),
                 };
                 match result {
-                    Ok(()) => Response::json(format!("{{\"ok\":true,\"action\":\"{action}\"}}")),
+                    // Built with json! so an arbitrary echoed path
+                    // segment can never produce malformed JSON.
+                    Ok(()) => Response::json(
+                        serde_json::json!({"ok": true, "action": action}).to_string(),
+                    ),
                     Err(e @ DcdbError::NotFound(_)) => {
                         Response::error(Status::NotFound, e.to_string())
                     }
@@ -462,16 +948,37 @@ impl OperatorManager {
 
     /// Spawns a wall-clock scheduler thread ticking every `period_ms`.
     /// The returned handle stops the thread when dropped.
+    ///
+    /// Scheduling is deadline-based: each wake-up is `period` after the
+    /// *previous deadline*, not after the end of the tick, so the real
+    /// cadence is `period` rather than `period + tick_duration` and
+    /// does not drift under load. A tick slower than the period skips
+    /// the missed deadlines (catch-up skip) instead of bursting.
     pub fn start_thread(self: &Arc<Self>, period_ms: u64) -> SchedulerHandle {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let mgr = Arc::clone(self);
+        let period_ms = period_ms.max(1);
+        let period = std::time::Duration::from_millis(period_ms);
         let handle = std::thread::Builder::new()
             .name("wintermute-scheduler".into())
             .spawn(move || {
+                let mut next_wake = Instant::now();
                 while !stop2.load(Ordering::Acquire) {
+                    let now = Instant::now();
+                    if next_wake > now {
+                        std::thread::sleep(next_wake - now);
+                    }
                     mgr.tick(Timestamp::now());
-                    std::thread::sleep(std::time::Duration::from_millis(period_ms));
+                    next_wake += period;
+                    let after = Instant::now();
+                    if next_wake <= after {
+                        // The tick overran one or more periods: realign
+                        // to the next future deadline.
+                        let behind = after.duration_since(next_wake).as_millis() as u64;
+                        let skipped = (behind / period_ms + 1).min(u32::MAX as u64);
+                        next_wake += period * skipped as u32;
+                    }
                 }
             })
             .expect("failed to spawn scheduler");
@@ -479,6 +986,17 @@ impl OperatorManager {
             stop,
             thread: Some(handle),
         }
+    }
+}
+
+/// Best-effort human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "opaque panic payload"
     }
 }
 
@@ -752,6 +1270,263 @@ mod tests {
             "/analytics/compute/s1",
         ));
         assert_eq!(resp.status.code(), 400);
+    }
+
+    /// Test plugin whose operator panics on every computation.
+    struct PanicPlugin;
+
+    struct PanicOperator {
+        units: Vec<Unit>,
+    }
+
+    impl Operator for PanicOperator {
+        fn name(&self) -> &str {
+            "boom"
+        }
+        fn units(&self) -> &[Unit] {
+            &self.units
+        }
+        fn compute(&mut self, _i: usize, _ctx: &ComputeContext<'_>) -> Result<Vec<Output>> {
+            panic!("injected operator panic");
+        }
+    }
+
+    impl OperatorPlugin for PanicPlugin {
+        fn kind(&self) -> &str {
+            "panic"
+        }
+        fn configure(
+            &self,
+            config: &PluginConfig,
+            nav: &SensorNavigator,
+        ) -> Result<Vec<Box<dyn Operator>>> {
+            let resolution = config.resolve(nav)?;
+            instantiate(config, resolution.units, |_, units| {
+                Ok(Box::new(PanicOperator { units }) as Box<dyn Operator>)
+            })
+        }
+    }
+
+    fn assert_accounting(report: &TickReport) {
+        assert_eq!(
+            report.operators_run,
+            report.successes
+                + report.errors.len()
+                + report.panics.len()
+                + report.overruns
+                + report.quarantined_skips,
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn panicking_operator_is_contained_not_fatal() {
+        let mgr = manager_with_data();
+        mgr.register_plugin(Box::new(PanicPlugin));
+        mgr.load(scale_config("good", 1000)).unwrap();
+        mgr.load(
+            PluginConfig::online("bad", "panic", 1000)
+                .with_patterns(&["<topdown>power"], &["<topdown>boom"]),
+        )
+        .unwrap();
+        let report = mgr.tick(Timestamp::from_secs(2));
+        assert_eq!(report.operators_run, 2);
+        assert_eq!(report.successes, 1);
+        assert_eq!(report.panics.len(), 1);
+        assert!(report.panics[0].contains("injected operator panic"));
+        assert_eq!(report.outputs_published, 3);
+        assert_accounting(&report);
+        // The healthy plugin's outputs made it through.
+        let got = mgr
+            .query_engine()
+            .query(&t("/n1/power2"), crate::query::QueryMode::Latest);
+        assert_eq!(got[0].value, 400);
+    }
+
+    #[test]
+    fn quarantine_engages_backs_off_and_resumes_via_start() {
+        let mgr = manager_with_data();
+        mgr.register_plugin(Box::new(PanicPlugin));
+        mgr.set_fault_policy(FaultPolicy {
+            quarantine_threshold: 2,
+            backoff_cap: 8,
+        });
+        mgr.load(
+            PluginConfig::online("bad", "panic", 1000)
+                .with_patterns(&["<topdown>power"], &["<topdown>boom"]),
+        )
+        .unwrap();
+
+        // Two consecutive panics cross the threshold.
+        assert_eq!(mgr.tick(Timestamp::from_secs(1)).panics.len(), 1);
+        let report = mgr.tick(Timestamp::from_secs(2));
+        assert_eq!(report.panics.len(), 1);
+        assert_eq!(report.newly_quarantined, vec!["boom".to_string()]);
+
+        // First backoff: 2x interval — not due before t=4.
+        assert_eq!(mgr.tick(Timestamp::from_secs(3)).operators_run, 0);
+        let report = mgr.tick(Timestamp::from_secs(4));
+        assert_eq!(report.quarantined_skips, 1);
+        assert!(
+            report.panics.is_empty(),
+            "quarantined operator must not run"
+        );
+        assert_accounting(&report);
+
+        // Second visit backs off 4x: due again at t=8, then 8x (cap).
+        assert_eq!(mgr.tick(Timestamp::from_secs(7)).operators_run, 0);
+        assert_eq!(mgr.tick(Timestamp::from_secs(8)).quarantined_skips, 1);
+
+        let m = &mgr.operator_metrics()[0].operators[0];
+        assert_eq!(m.panics, 2);
+        assert_eq!(m.quarantined_skips, 2);
+        assert_eq!(m.runs, 4);
+        assert!(m.quarantined);
+        assert_eq!(
+            m.runs,
+            m.successes + m.errors + m.panics + m.overruns + m.quarantined_skips
+        );
+        let totals = mgr.metrics_totals();
+        assert_eq!(totals.quarantined_operators, 1);
+
+        // PUT .../start semantics: quarantine cleared, slot re-armed.
+        mgr.start("bad").unwrap();
+        assert!(!mgr.operator_metrics()[0].operators[0].quarantined);
+        let report = mgr.tick(Timestamp::from_secs(9));
+        assert_eq!(report.panics.len(), 1, "resumed operator runs again");
+        // One failure since resume: below the threshold of 2.
+        let m = &mgr.operator_metrics()[0].operators[0];
+        assert_eq!(m.consecutive_failures, 1);
+        assert!(!m.quarantined);
+    }
+
+    #[test]
+    fn metrics_json_shape_and_latency() {
+        let mgr = manager_with_data();
+        mgr.load(scale_config("s1", 1000)).unwrap();
+        mgr.tick(Timestamp::from_secs(2));
+        let v = mgr.metrics_json();
+        assert_eq!(v.get("ticks").unwrap().as_u64(), Some(1));
+        let totals = v.get("totals").unwrap();
+        assert_eq!(totals.get("runs").unwrap().as_u64(), Some(1));
+        assert_eq!(totals.get("successes").unwrap().as_u64(), Some(1));
+        let plugins = v.get("plugins").unwrap().as_array().unwrap();
+        let op = &plugins[0].get("operators").unwrap().as_array().unwrap()[0];
+        assert_eq!(op.get("outputs").unwrap().as_u64(), Some(3));
+        assert_eq!(op.get("quarantined").unwrap().as_bool(), Some(false));
+        let last = op.get("last_latency_ns").unwrap().as_u64().unwrap();
+        assert!(last > 0);
+        assert!(op.get("ewma_latency_ns").unwrap().as_u64().unwrap() > 0);
+        assert!(op.get("max_latency_ns").unwrap().as_u64().unwrap() >= last);
+    }
+
+    #[test]
+    fn action_response_is_valid_json() {
+        let mgr = manager_with_data();
+        mgr.load(scale_config("s1", 1000)).unwrap();
+        let mut router = Router::new();
+        mgr.mount_routes(&mut router);
+        let resp = router.dispatch(dcdb_rest::Request::new(
+            Method::Put,
+            "/analytics/plugins/s1/stop",
+        ));
+        let v: serde_json::Value = serde_json::from_str(&resp.body_str()).expect("valid JSON");
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("action").unwrap().as_str(), Some("stop"));
+        // The plugin listing carries the fault summary fields.
+        let resp = router.dispatch(dcdb_rest::Request::new(Method::Get, "/analytics/plugins"));
+        let v: serde_json::Value = serde_json::from_str(&resp.body_str()).unwrap();
+        let first = &v.as_array().unwrap()[0];
+        assert_eq!(
+            first.get("quarantined_operators").unwrap().as_u64(),
+            Some(0)
+        );
+        assert_eq!(first.get("panics").unwrap().as_u64(), Some(0));
+    }
+
+    /// Operator whose `refresh_units` fails; its pre-resolved units
+    /// remain searchable.
+    struct RefreshFailOperator {
+        name: String,
+        units: Vec<Unit>,
+        fail_refresh: bool,
+    }
+
+    impl Operator for RefreshFailOperator {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn units(&self) -> &[Unit] {
+            &self.units
+        }
+        fn refresh_units(&mut self, _ctx: &ComputeContext<'_>) -> Result<()> {
+            if self.fail_refresh {
+                Err(DcdbError::InvalidState("refresh failed".into()))
+            } else {
+                Ok(())
+            }
+        }
+        fn compute(&mut self, i: usize, ctx: &ComputeContext<'_>) -> Result<Vec<Output>> {
+            Ok(vec![(
+                self.units[i].outputs[0].clone(),
+                SensorReading::new(7, ctx.now),
+            )])
+        }
+    }
+
+    /// Splits its units across two slots; the first slot's operator
+    /// always fails `refresh_units`.
+    struct TwoSlotPlugin;
+
+    impl OperatorPlugin for TwoSlotPlugin {
+        fn kind(&self) -> &str {
+            "twoslot"
+        }
+        fn configure(
+            &self,
+            config: &PluginConfig,
+            nav: &SensorNavigator,
+        ) -> Result<Vec<Box<dyn Operator>>> {
+            let mut units = config.resolve(nav)?.units;
+            let rest = units.split_off(1);
+            Ok(vec![
+                Box::new(RefreshFailOperator {
+                    name: "front".into(),
+                    units,
+                    fail_refresh: true,
+                }),
+                Box::new(RefreshFailOperator {
+                    name: "back".into(),
+                    units: rest,
+                    fail_refresh: false,
+                }),
+            ])
+        }
+    }
+
+    #[test]
+    fn on_demand_searches_past_refresh_errors() {
+        // Regression: a refresh_units error in an earlier slot used to
+        // abort the search, making units in later slots permanently
+        // unreachable on demand.
+        let mgr = manager_with_data();
+        mgr.register_plugin(Box::new(TwoSlotPlugin));
+        mgr.load(
+            PluginConfig::online("ts", "twoslot", 1000)
+                .with_patterns(&["<topdown>power"], &["<topdown>out"]),
+        )
+        .unwrap();
+        // /n1 lives in the second slot, behind the failing first slot.
+        let outputs = mgr
+            .on_demand("ts", &t("/n1"), Timestamp::from_secs(50))
+            .unwrap();
+        assert_eq!(outputs[0].1.value, 7);
+        // A unit found nowhere reports the refresh errors it saw.
+        let err = mgr
+            .on_demand("ts", &t("/ghost"), Timestamp::from_secs(50))
+            .unwrap_err();
+        assert!(err.to_string().contains("refresh errors"), "{err}");
+        assert!(err.to_string().contains("refresh failed"), "{err}");
     }
 
     #[test]

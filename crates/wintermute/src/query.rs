@@ -402,6 +402,49 @@ mod tests {
     }
 
     #[test]
+    fn absolute_stitch_boundary_has_no_duplicate_or_gap() {
+        // Cache of 8 over 50 readings: the cache holds 43..=50, so
+        // cache_oldest = 43s. Any range with t0 < 43 <= t1 must stitch
+        // storage and cache with reading 43 appearing exactly once.
+        let storage: Arc<dyn StorageEngine> = Arc::new(StorageBackend::new());
+        let qe = QueryEngine::with_storage(8, Arc::clone(&storage));
+        for i in 1..=50u64 {
+            qe.insert(&t("/n1/power"), r(i as i64, i));
+        }
+        let absolute = |t0: u64, t1: u64| {
+            qe.query(
+                &t("/n1/power"),
+                QueryMode::Absolute {
+                    t0: Timestamp::from_secs(t0),
+                    t1: Timestamp::from_secs(t1),
+                },
+            )
+        };
+        let check = |t0: u64, t1: u64| {
+            let got = absolute(t0, t1);
+            let vals: Vec<i64> = got.iter().map(|x| x.value).collect();
+            assert_eq!(
+                vals,
+                (t0 as i64..=t1 as i64).collect::<Vec<i64>>(),
+                "range [{t0}, {t1}]: each reading exactly once, in order"
+            );
+            for w in got.windows(2) {
+                assert!(w[0].ts < w[1].ts, "out of order at boundary");
+            }
+        };
+        check(40, 46); // boundary strictly inside the range
+        check(40, 43); // t1 == cache_oldest: one cached reading only
+        check(42, 44); // minimal straddle
+        check(1, 50); // the full history
+                      // t1 just below the boundary stays storage-only.
+        let got = absolute(40, 42);
+        assert_eq!(
+            got.iter().map(|x| x.value).collect::<Vec<i64>>(),
+            vec![40, 41, 42]
+        );
+    }
+
+    #[test]
     fn no_storage_clips_to_cache() {
         let qe = QueryEngine::new(8);
         for i in 1..=50u64 {

@@ -13,7 +13,7 @@
 //!     [--data-dir DIR] [--fsync always|batch|never] [--retention-secs N]
 //!     [--snapshot-path FILE] [--snapshot-secs N]
 //!     [--router-depth N] [--sub-depth N] [--overflow block|drop-newest|drop-oldest]
-//!     [--ingest-budget N]
+//!     [--ingest-budget N] [--quarantine-threshold N]
 //! ```
 //!
 //! Backpressure knobs (paper §V scalability): the broker's router input
@@ -23,6 +23,13 @@
 //! drains per tick so operators and storage maintenance are never
 //! starved. Live queue depths and drop counters are served at
 //! `GET /metrics`.
+//!
+//! Fault isolation: every operator runs behind panic containment and is
+//! quarantined (with exponential backoff) after `--quarantine-threshold`
+//! consecutive failures; resume one with
+//! `PUT /analytics/plugins/<name>/start`. The status line and
+//! `GET /metrics` report per-operator runs / errors / panics / overruns
+//! and quarantine state.
 //!
 //! Persistence modes:
 //!
@@ -74,6 +81,14 @@ fn main() {
     let data_dir = arg_str("--data-dir").map(PathBuf::from);
     let snapshot_path = arg_str("--snapshot-path").map(PathBuf::from);
     let snapshot_secs = arg("--snapshot-secs", 30).max(1);
+    let fault_policy = FaultPolicy {
+        quarantine_threshold: arg(
+            "--quarantine-threshold",
+            FaultPolicy::default().quarantine_threshold,
+        )
+        .max(1),
+        ..FaultPolicy::default()
+    };
 
     // --- The simulated system with background workload. ---
     let sim = Arc::new(Mutex::new(ClusterSimulator::new(ClusterConfig {
@@ -106,6 +121,7 @@ fn main() {
             pusher.add_monitoring_plugin(plugin);
         }
         pusher.refresh_sensor_tree();
+        pusher.manager().set_fault_policy(fault_policy);
         wintermute_plugins::register_all(pusher.manager(), None);
         pusher
             .manager()
@@ -178,6 +194,7 @@ fn main() {
         )
         .expect("collect agent"),
     );
+    agent.manager().set_fault_policy(fault_policy);
     let jobs: Arc<dyn JobDataSource> = Arc::new(SimJobSource::new(Arc::clone(&sim)));
     wintermute_plugins::register_all(agent.manager(), Some(jobs));
     agent
@@ -211,6 +228,15 @@ fn main() {
         if !report.errors.is_empty() {
             eprintln!("operator errors: {:?}", report.errors);
         }
+        if !report.panics.is_empty() {
+            eprintln!("operator panics (contained): {:?}", report.panics);
+        }
+        for name in &report.newly_quarantined {
+            eprintln!(
+                "operator {name} quarantined after repeated failures; \
+                 resume with PUT /analytics/plugins/{name}/start"
+            );
+        }
 
         let elapsed = start.elapsed().as_secs();
         // Periodic full snapshots in volatile + snapshot mode.
@@ -228,15 +254,23 @@ fn main() {
             let a = agent.stats();
             let jobs_running = sim.lock().scheduler().running_at(now).len();
             let bus = broker.handle().stats();
+            let ops = agent.manager().metrics_totals();
             println!(
                 "[{elapsed:>3}s] ingested {} readings, {} jobs running, storage holds {} \
-                 readings, bus dropped {} (router {}), backlog {}",
+                 readings, bus dropped {} (router {}), backlog {}, operators: {} runs \
+                 ({} ok, {} err, {} panic, {} overrun, {} quarantined)",
                 a.readings,
                 jobs_running,
                 storage.stats().readings,
                 bus.dropped,
                 bus.router_dropped,
                 agent.ingest_backlog(),
+                ops.runs,
+                ops.successes,
+                ops.errors,
+                ops.panics,
+                ops.overruns,
+                ops.quarantined_operators,
             );
         }
         std::thread::sleep(Duration::from_millis(200));
