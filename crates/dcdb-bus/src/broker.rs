@@ -537,10 +537,56 @@ impl Drop for Broker {
     }
 }
 
+/// The publish/subscribe surface of the bus, shared by the real
+/// [`BusHandle`] and by fault-injecting wrappers such as
+/// [`crate::chaos::ChaosBus`].
+///
+/// Components that *deliver* data (the Pusher's supervised connection,
+/// the Collect Agent's ingest path) talk to the bus through this trait
+/// so a test or benchmark can substitute a chaos layer without touching
+/// the component: every failure mode the wrapper injects exercises the
+/// exact production code path.
+pub trait MessageBus: Send + Sync {
+    /// Publishes a payload to `topic` (QoS 0). An `Err` means the bus
+    /// refused the publish (router stopped, simulated outage); QoS-0
+    /// callers count the loss or spool the payload and carry on.
+    fn publish(&self, topic: Topic, payload: Bytes) -> Result<(), DcdbError>;
+
+    /// Publishes a batch of readings using the standard frame codec.
+    fn publish_readings(
+        &self,
+        topic: Topic,
+        readings: &[dcdb_common::reading::SensorReading],
+    ) -> Result<(), DcdbError> {
+        self.publish(topic, crate::codec::encode_readings(readings))
+    }
+
+    /// Subscribes with explicit queue depth, overflow policy, and
+    /// metrics label.
+    fn subscribe_with(&self, filter: TopicFilter, opts: SubscribeOptions) -> Subscription;
+
+    /// Broker counter snapshot.
+    fn stats(&self) -> BusStatsSnapshot;
+}
+
 /// Cloneable publish/subscribe handle onto a [`Broker`].
 #[derive(Clone)]
 pub struct BusHandle {
     inner: Arc<Inner>,
+}
+
+impl MessageBus for BusHandle {
+    fn publish(&self, topic: Topic, payload: Bytes) -> Result<(), DcdbError> {
+        self.inner.publish(topic, payload)
+    }
+
+    fn subscribe_with(&self, filter: TopicFilter, opts: SubscribeOptions) -> Subscription {
+        self.inner.subscribe(filter, opts)
+    }
+
+    fn stats(&self) -> BusStatsSnapshot {
+        self.inner.stats_snapshot()
+    }
 }
 
 impl BusHandle {

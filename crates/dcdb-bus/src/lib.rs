@@ -10,7 +10,12 @@
 //!   (block / drop-newest / drop-oldest) and lock-free metrics;
 //! * [`broker`] — a QoS-0 [`Broker`](broker::Broker) with trie-based
 //!   routing, an asynchronous router thread, and bounded queues on the
-//!   router input and every subscription.
+//!   router input and every subscription;
+//! * [`chaos`] — a deterministic fault-injection wrapper
+//!   ([`ChaosBus`](chaos::ChaosBus)) implementing the same
+//!   [`MessageBus`](broker::MessageBus) surface: seeded refuse-publish
+//!   windows, per-message drops, delivery delay and partitions, so
+//!   outages replay bit-for-bit in tests and benches.
 //!
 //! The broker is deliberately faithful to how the paper uses MQTT —
 //! topic-based fan-out with publisher/consumer decoupling and explicit
@@ -20,14 +25,16 @@
 #![warn(missing_docs)]
 
 pub mod broker;
+pub mod chaos;
 pub mod codec;
 pub mod filter;
 pub mod queue;
 
 pub use broker::{
-    Broker, BusConfig, BusHandle, BusMetricsSnapshot, BusStatsSnapshot, Message, SubscribeOptions,
-    Subscription, SubscriptionMetrics,
+    Broker, BusConfig, BusHandle, BusMetricsSnapshot, BusStatsSnapshot, Message, MessageBus,
+    SubscribeOptions, Subscription, SubscriptionMetrics,
 };
+pub use chaos::{ChaosBus, ChaosConfig, ChaosMetricsSnapshot, Partition};
 pub use codec::{decode_readings, encode_reading, encode_readings};
 pub use filter::{FilterSegment, TopicFilter};
 pub use queue::{OverflowPolicy, QueueMetricsSnapshot};

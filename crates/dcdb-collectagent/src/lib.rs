@@ -36,6 +36,11 @@ pub struct CollectAgentConfig {
     /// maintenance: surplus messages stay on the (bounded) subscriber
     /// queue and are shed there by its overflow policy.
     pub ingest_budget: usize,
+    /// How many leading topic segments identify one data source
+    /// (Pusher) for delivery-staleness tracking — `/rack00/node03/...`
+    /// with depth 2 groups by node. A source is flagged stale once no
+    /// reading arrived for 3× `expected_interval_ms`.
+    pub source_prefix_depth: usize,
 }
 
 impl Default for CollectAgentConfig {
@@ -44,8 +49,26 @@ impl Default for CollectAgentConfig {
             cache_secs: 180,
             expected_interval_ms: 1000,
             ingest_budget: 4096,
+            source_prefix_depth: 2,
         }
     }
+}
+
+/// Delivery health of one data source (Pusher), keyed by topic prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceHealth {
+    /// The source's topic prefix (first `source_prefix_depth` segments).
+    pub prefix: String,
+    /// Newest reading timestamp seen from this source, nanoseconds.
+    pub last_seen_ns: u64,
+    /// Total readings ingested from this source.
+    pub readings: u64,
+    /// Age of the newest reading relative to the agent's last tick,
+    /// milliseconds (0 when data is ahead of the tick clock).
+    pub age_ms: u64,
+    /// True once `age_ms` exceeds 3× the expected sampling interval —
+    /// the pusher is down, partitioned, or spooling through an outage.
+    pub stale: bool,
 }
 
 /// Counters for footprint reporting.
@@ -65,11 +88,18 @@ pub struct CollectAgentStats {
     pub budget_exhausted: u64,
 }
 
+struct SourceRecord {
+    last_seen_ns: u64,
+    readings: u64,
+}
+
 /// One DCDB Collect Agent.
 pub struct CollectAgent {
     subscription: Subscription,
     bus: BusHandle,
     ingest_budget: usize,
+    expected_interval_ms: u64,
+    source_prefix_depth: usize,
     manager: Arc<OperatorManager>,
     storage: Arc<dyn StorageEngine>,
     messages: AtomicU64,
@@ -81,6 +111,13 @@ pub struct CollectAgent {
     budget_exhausted: AtomicU64,
     /// Count of sensors first seen since the last navigator rebuild.
     dirty_sensors: AtomicU64,
+    /// Last-seen reading timestamp + counters per source prefix
+    /// (delivery staleness tracking).
+    sources: Mutex<std::collections::HashMap<String, SourceRecord>>,
+    /// The timestamp of the newest [`CollectAgent::tick`]; staleness is
+    /// judged against this clock so virtual-time tests stay
+    /// deterministic.
+    last_tick_ns: AtomicU64,
 }
 
 impl CollectAgent {
@@ -105,6 +142,8 @@ impl CollectAgent {
             subscription,
             bus: bus.clone(),
             ingest_budget: config.ingest_budget.max(1),
+            expected_interval_ms: config.expected_interval_ms.max(1),
+            source_prefix_depth: config.source_prefix_depth.max(1),
             manager,
             storage,
             messages: AtomicU64::new(0),
@@ -113,6 +152,8 @@ impl CollectAgent {
             maintenance_errors: AtomicU64::new(0),
             budget_exhausted: AtomicU64::new(0),
             dirty_sensors: AtomicU64::new(0),
+            sources: Mutex::new(std::collections::HashMap::new()),
+            last_tick_ns: AtomicU64::new(0),
         })
     }
 
@@ -153,6 +194,7 @@ impl CollectAgent {
                     ingested += readings.len();
                     self.readings
                         .fetch_add(readings.len() as u64, Ordering::Relaxed);
+                    self.note_source(&msg.topic, &readings);
                     if !known {
                         self.dirty_sensors.fetch_add(1, Ordering::Relaxed);
                     }
@@ -177,10 +219,59 @@ impl CollectAgent {
         self.subscription.queued()
     }
 
+    /// Updates the per-source last-seen clock from one ingested batch.
+    fn note_source(&self, topic: &Topic, readings: &[dcdb_common::reading::SensorReading]) {
+        let Some(newest) = readings.iter().map(|r| r.ts.as_nanos()).max() else {
+            return;
+        };
+        let prefix = source_prefix(topic.as_str(), self.source_prefix_depth);
+        let mut sources = self.sources.lock();
+        let record = sources.entry(prefix).or_insert(SourceRecord {
+            last_seen_ns: 0,
+            readings: 0,
+        });
+        record.last_seen_ns = record.last_seen_ns.max(newest);
+        record.readings += readings.len() as u64;
+    }
+
+    /// Per-pusher delivery health: one entry per source prefix, sorted
+    /// by prefix, with last-seen reading timestamps and staleness
+    /// relative to the last tick (stale past 3× the expected sampling
+    /// interval — the pusher is down, partitioned, or riding out an
+    /// outage on its spool).
+    pub fn delivery_health(&self) -> Vec<SourceHealth> {
+        let now_ns = self.last_tick_ns.load(Ordering::Acquire);
+        let stale_after_ns = self.stale_after_ms() * 1_000_000;
+        let mut health: Vec<SourceHealth> = self
+            .sources
+            .lock()
+            .iter()
+            .map(|(prefix, record)| {
+                let age_ns = now_ns.saturating_sub(record.last_seen_ns);
+                SourceHealth {
+                    prefix: prefix.clone(),
+                    last_seen_ns: record.last_seen_ns,
+                    readings: record.readings,
+                    age_ms: age_ns / 1_000_000,
+                    stale: age_ns > stale_after_ns,
+                }
+            })
+            .collect();
+        health.sort_by(|a, b| a.prefix.cmp(&b.prefix));
+        health
+    }
+
+    /// The staleness threshold: 3× the expected sampling interval.
+    pub fn stale_after_ms(&self) -> u64 {
+        3 * self.expected_interval_ms
+    }
+
     /// One tick: ingest pending data, run due operators, then give the
     /// storage engine a maintenance pass (sealing / compaction /
     /// retention for durable engines; a no-op for the in-memory one).
     pub fn tick(&self, now: Timestamp) -> TickReport {
+        self.last_tick_ns
+            .fetch_max(now.as_nanos(), Ordering::AcqRel);
         self.process_pending();
         let report = self.manager.tick(now);
         if self.storage.maintain(now).is_err() {
@@ -205,7 +296,10 @@ impl CollectAgent {
     /// agent ingest counters, query-engine and storage statistics, and
     /// the embedded Wintermute runtime's per-operator fault-isolation
     /// metrics (runs, errors, panics, overruns, quarantine state,
-    /// compute latency) under `"operators"`.
+    /// compute latency) under `"operators"`. The `"delivery"` section
+    /// reports per-pusher staleness: the newest reading timestamp per
+    /// source prefix, flagged stale past 3× the expected sampling
+    /// interval.
     pub fn metrics_json(&self) -> serde_json::Value {
         let bus = self.bus.metrics();
         let queue_json = |q: &dcdb_bus::QueueMetricsSnapshot| {
@@ -269,12 +363,30 @@ impl CollectAgent {
             "queries": storage.queries,
         });
         let operators_json = self.manager.metrics_json();
+        let health = self.delivery_health();
+        let delivery_json = serde_json::json!({
+            "expected_interval_ms": self.expected_interval_ms,
+            "stale_after_ms": self.stale_after_ms(),
+            "source_prefix_depth": self.source_prefix_depth,
+            "stale_sources": health.iter().filter(|s| s.stale).count(),
+            "sources": health
+                .iter()
+                .map(|s| serde_json::json!({
+                    "prefix": s.prefix,
+                    "last_seen_ns": s.last_seen_ns,
+                    "age_ms": s.age_ms,
+                    "readings": s.readings,
+                    "stale": s.stale,
+                }))
+                .collect::<Vec<_>>(),
+        });
         serde_json::json!({
             "bus": bus_json,
             "agent": agent_json,
             "query": query_json,
             "storage": storage_json,
             "operators": operators_json,
+            "delivery": delivery_json,
         })
     }
 
@@ -312,6 +424,27 @@ impl CollectAgent {
         router.route(Method::Get, "/metrics", move |_req| {
             Response::json(agent.metrics_json().to_string())
         });
+    }
+}
+
+/// The first `depth` path segments of a topic (the whole topic when it
+/// is shorter), identifying the publishing source.
+fn source_prefix(topic: &str, depth: usize) -> String {
+    let mut end = 0;
+    let mut segments = 0;
+    for (i, byte) in topic.bytes().enumerate() {
+        if byte == b'/' && i > 0 {
+            segments += 1;
+            if segments == depth {
+                end = i;
+                break;
+            }
+        }
+    }
+    if end == 0 {
+        topic.to_string()
+    } else {
+        topic[..end].to_string()
     }
 }
 
@@ -605,6 +738,70 @@ mod tests {
         // No further budget exhaustion once drained.
         assert_eq!(agent.process_pending(), 0);
         assert_eq!(agent.stats().budget_exhausted, 2);
+    }
+
+    #[test]
+    fn source_prefix_groups_by_leading_segments() {
+        assert_eq!(source_prefix("/rack00/node03/power", 2), "/rack00/node03");
+        assert_eq!(
+            source_prefix("/rack00/node03/cpu00/cycles", 2),
+            "/rack00/node03"
+        );
+        assert_eq!(source_prefix("/rack00/node03/power", 1), "/rack00");
+        assert_eq!(source_prefix("/short", 2), "/short");
+        assert_eq!(source_prefix("/a/b", 5), "/a/b");
+    }
+
+    #[test]
+    fn delivery_staleness_flags_silent_sources_and_clears_on_recovery() {
+        let (broker, agent) = setup();
+        let bus = broker.handle();
+        let feed = |node: usize, secs: std::ops::RangeInclusive<u64>| {
+            for i in secs {
+                bus.publish_readings(
+                    t(&format!("/r0/n{node}/power")),
+                    &[SensorReading::new(i as i64, Timestamp::from_secs(i))],
+                )
+                .unwrap();
+            }
+        };
+        // Both sources publish through t=5.
+        feed(0, 1..=5);
+        feed(1, 1..=5);
+        agent.tick(Timestamp::from_secs(5));
+        let health = agent.delivery_health();
+        assert_eq!(health.len(), 2);
+        assert!(health.iter().all(|s| !s.stale), "{health:?}");
+
+        // n1 goes silent; n0 keeps publishing. Threshold is 3×1000 ms,
+        // so at t=9 (age 4 s) n1 is stale.
+        feed(0, 6..=9);
+        agent.tick(Timestamp::from_secs(9));
+        let health = agent.delivery_health();
+        let n0 = health.iter().find(|s| s.prefix == "/r0/n0").unwrap();
+        let n1 = health.iter().find(|s| s.prefix == "/r0/n1").unwrap();
+        assert!(!n0.stale);
+        assert!(n1.stale, "{n1:?}");
+        assert_eq!(n1.age_ms, 4000);
+
+        // n1 recovers (e.g. its spool drains): the flag clears.
+        feed(1, 6..=9);
+        agent.tick(Timestamp::from_secs(9));
+        let health = agent.delivery_health();
+        assert!(health.iter().all(|s| !s.stale), "{health:?}");
+
+        // The /metrics JSON carries the same picture.
+        let v = agent.metrics_json();
+        let d = v.get("delivery").unwrap();
+        assert_eq!(d.get("stale_after_ms").unwrap().as_u64(), Some(3000));
+        assert_eq!(d.get("stale_sources").unwrap().as_u64(), Some(0));
+        let sources = d.get("sources").unwrap().as_array().unwrap();
+        assert_eq!(sources.len(), 2);
+        assert_eq!(
+            sources[0].get("prefix").unwrap().as_str(),
+            Some("/r0/n0"),
+            "sorted by prefix"
+        );
     }
 
     #[test]

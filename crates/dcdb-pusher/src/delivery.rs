@@ -1,0 +1,755 @@
+//! Resilient pusher→agent delivery: a supervised bus connection with a
+//! bounded store-and-forward spool.
+//!
+//! The paper's Pushers ship every sample to Collect Agents over MQTT
+//! (§IV-A) and ran for months on CooLMUC-3, where broker restarts and
+//! transient partitions are routine. The deployment follow-up names
+//! transport resilience as the gap between the prototype and production
+//! ODA. This module closes it for the reproduction:
+//!
+//! * [`BusConnection`] supervises the pusher's view of the bus: it
+//!   tracks a connection state machine (`Up` → `Degraded` → `Down`),
+//!   retries with exponential backoff plus seeded jitter, and exports
+//!   per-connection metrics (reconnects, time in each state, the last
+//!   error seen).
+//! * A bounded [`Spool`] buffers readings that the bus refused
+//!   (per-topic capacity, reusing the bus [`OverflowPolicy`] semantics)
+//!   and drains them **oldest-first ahead of fresh samples** once the
+//!   connection recovers, so consumers still see each topic in
+//!   timestamp order.
+//! * Accounting is exact: every sampled reading ends in exactly one of
+//!   `published`, `spooled_pending`, `spool_dropped` or
+//!   `publish_errors_final` (see
+//!   [`crate::PusherStats::delivery_conserved`]).
+//!
+//! The local sensor cache keeps working regardless of connection state
+//! — the paper's cache-first design (§V-B) degrades gracefully: in-band
+//! operators keep running on local data through any outage.
+//!
+//! Everything is clocked by the tick timestamp, not the wall clock, so
+//! backoff and recovery behave identically under virtual-time tests and
+//! live runs.
+
+use dcdb_bus::{MessageBus, OverflowPolicy};
+use dcdb_common::reading::SensorReading;
+use dcdb_common::time::Timestamp;
+use dcdb_common::topic::Topic;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Connection state as the supervisor sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectionState {
+    /// Publishes are succeeding.
+    Up,
+    /// Recent publishes failed but the supervisor is still attempting
+    /// every delivery (early failures may be transient).
+    Degraded,
+    /// Enough consecutive failures that the supervisor stopped
+    /// hammering the bus: everything spools, and a reconnect probe runs
+    /// only when the backoff timer expires.
+    Down,
+}
+
+impl ConnectionState {
+    /// Canonical lower-case spelling for status lines and JSON.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ConnectionState::Up => "up",
+            ConnectionState::Degraded => "degraded",
+            ConnectionState::Down => "down",
+        }
+    }
+
+    /// Stable array index (Up = 0, Degraded = 1, Down = 2) for
+    /// per-state accounting such as time-in-state counters.
+    pub fn index(self) -> usize {
+        match self {
+            ConnectionState::Up => 0,
+            ConnectionState::Degraded => 1,
+            ConnectionState::Down => 2,
+        }
+    }
+}
+
+/// Reconnect/backoff policy of a [`BusConnection`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReconnectConfig {
+    /// First backoff after the connection goes `Down`, milliseconds.
+    pub base_ms: u64,
+    /// Backoff ceiling, milliseconds.
+    pub cap_ms: u64,
+    /// Multiplier applied to the backoff after every failed probe.
+    pub multiplier: f64,
+    /// Jitter fraction: each scheduled probe is delayed by up to this
+    /// fraction of the backoff, drawn from a seeded RNG (spreads
+    /// reconnect storms across pushers while staying reproducible).
+    pub jitter: f64,
+    /// Consecutive publish failures after which `Degraded` becomes
+    /// `Down` (the first failure already leaves `Up`).
+    pub down_threshold: u64,
+    /// Seed of the jitter RNG.
+    pub seed: u64,
+}
+
+impl Default for ReconnectConfig {
+    fn default() -> Self {
+        ReconnectConfig {
+            base_ms: 500,
+            cap_ms: 30_000,
+            multiplier: 2.0,
+            jitter: 0.2,
+            down_threshold: 3,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Spool sizing and overflow behaviour.
+#[derive(Debug, Clone, Copy)]
+pub struct SpoolConfig {
+    /// Per-topic capacity, readings. `0` disables the spool entirely:
+    /// refused publishes become final errors (the pre-spool QoS-0
+    /// behaviour).
+    pub per_topic_depth: usize,
+    /// What a full topic queue does with the next reading. `Block`
+    /// cannot suspend a sampling tick, so it is normalized to
+    /// [`OverflowPolicy::DropNewest`] (the closest lossy-at-the-boundary
+    /// equivalent) at construction.
+    pub policy: OverflowPolicy,
+}
+
+impl Default for SpoolConfig {
+    fn default() -> Self {
+        SpoolConfig {
+            per_topic_depth: 1024,
+            policy: OverflowPolicy::DropOldest,
+        }
+    }
+}
+
+/// Full delivery-layer configuration of one pusher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeliveryConfig {
+    /// Supervisor backoff policy.
+    pub reconnect: ReconnectConfig,
+    /// Store-and-forward spool policy.
+    pub spool: SpoolConfig,
+}
+
+/// One spooled reading, stamped with a global sequence number so the
+/// drain can restore the exact publish order across topics.
+#[derive(Debug, Clone, Copy)]
+struct SpoolEntry {
+    seq: u64,
+    reading: SensorReading,
+}
+
+/// Bounded per-topic store-and-forward buffer.
+#[derive(Debug, Default)]
+pub struct Spool {
+    topics: HashMap<Topic, VecDeque<SpoolEntry>>,
+    per_topic_depth: usize,
+    policy: OverflowPolicy,
+    next_seq: u64,
+    depth: usize,
+    high_water: usize,
+    spooled: u64,
+    drained: u64,
+    dropped: u64,
+}
+
+/// Counter snapshot of a [`Spool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpoolMetricsSnapshot {
+    /// Readings currently spooled across all topics.
+    pub depth: usize,
+    /// Deepest the spool ever got (total across topics).
+    pub high_water: usize,
+    /// Topics with at least one spooled reading.
+    pub topics: usize,
+    /// Per-topic capacity bound.
+    pub per_topic_depth: usize,
+    /// Effective overflow policy.
+    pub policy: OverflowPolicy,
+    /// Readings ever admitted to the spool.
+    pub spooled: u64,
+    /// Readings drained out of the spool and published.
+    pub drained: u64,
+    /// Readings lost at the spool (evicted or refused at capacity).
+    pub dropped: u64,
+}
+
+impl Spool {
+    fn new(config: SpoolConfig) -> Spool {
+        Spool {
+            per_topic_depth: config.per_topic_depth,
+            // An in-tick spool cannot block the sampler; the nearest
+            // honest semantics is to refuse the incoming reading.
+            policy: match config.policy {
+                OverflowPolicy::Block => OverflowPolicy::DropNewest,
+                p => p,
+            },
+            ..Spool::default()
+        }
+    }
+
+    /// Admits one reading, applying the overflow policy at the topic's
+    /// capacity bound. Returns `false` when the spool is disabled
+    /// (depth 0): the caller must account the reading as a final error.
+    fn push(&mut self, topic: &Topic, reading: SensorReading) -> bool {
+        if self.per_topic_depth == 0 {
+            return false;
+        }
+        let entry = SpoolEntry {
+            seq: self.next_seq,
+            reading,
+        };
+        self.next_seq += 1;
+        let q = self.topics.entry(topic.clone()).or_default();
+        if q.len() >= self.per_topic_depth {
+            match self.policy {
+                OverflowPolicy::DropOldest => {
+                    q.pop_front();
+                    q.push_back(entry);
+                    self.dropped += 1;
+                    self.spooled += 1;
+                }
+                // Block was normalized to DropNewest in `new`.
+                OverflowPolicy::DropNewest | OverflowPolicy::Block => {
+                    self.dropped += 1;
+                }
+            }
+        } else {
+            q.push_back(entry);
+            self.spooled += 1;
+            self.depth += 1;
+            self.high_water = self.high_water.max(self.depth);
+        }
+        true
+    }
+
+    /// Pops the globally-oldest run of same-topic readings (one publish
+    /// batch). `None` when the spool is empty.
+    fn pop_oldest_batch(&mut self) -> Option<(Topic, Vec<SpoolEntry>)> {
+        let topic = self
+            .topics
+            .iter()
+            .filter_map(|(t, q)| q.front().map(|e| (e.seq, t)))
+            .min_by_key(|&(seq, _)| seq)
+            .map(|(_, t)| t.clone())?;
+        // Take the longest prefix of this topic's queue that is still a
+        // contiguous run in global sequence order: batching never
+        // reorders deliveries relative to other topics.
+        let others_min = self
+            .topics
+            .iter()
+            .filter(|(t, _)| **t != topic)
+            .filter_map(|(_, q)| q.front().map(|e| e.seq))
+            .min()
+            .unwrap_or(u64::MAX);
+        let q = self.topics.get_mut(&topic).expect("topic just found");
+        let mut batch = Vec::new();
+        while let Some(front) = q.front() {
+            if front.seq > others_min {
+                break;
+            }
+            batch.push(*front);
+            q.pop_front();
+        }
+        self.depth -= batch.len();
+        if q.is_empty() {
+            self.topics.remove(&topic);
+        }
+        Some((topic, batch))
+    }
+
+    /// Returns a popped-but-unpublished batch to the front of its topic
+    /// queue (a failed drain must not lose or reorder).
+    fn unpop(&mut self, topic: Topic, batch: Vec<SpoolEntry>) {
+        let q = self.topics.entry(topic).or_default();
+        self.depth += batch.len();
+        for entry in batch.into_iter().rev() {
+            q.push_front(entry);
+        }
+    }
+
+    fn note_drained(&mut self, count: usize) {
+        self.drained += count as u64;
+    }
+
+    /// Readings currently spooled.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Counter snapshot.
+    pub fn metrics(&self) -> SpoolMetricsSnapshot {
+        SpoolMetricsSnapshot {
+            depth: self.depth,
+            high_water: self.high_water,
+            topics: self.topics.len(),
+            per_topic_depth: self.per_topic_depth,
+            policy: self.policy,
+            spooled: self.spooled,
+            drained: self.drained,
+            dropped: self.dropped,
+        }
+    }
+}
+
+/// What one [`BusConnection::deliver`] call did with its readings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeliveryOutcome {
+    /// Readings published to the bus (fresh + drained from the spool).
+    pub published: u64,
+    /// Of `published`, readings that came out of the spool.
+    pub drained: u64,
+    /// Fresh readings parked in the spool this call.
+    pub spooled: u64,
+    /// Readings lost at the spool this call (evictions/refusals).
+    pub spool_dropped: u64,
+    /// Readings lost outright (spool disabled while the bus refused).
+    pub final_errors: u64,
+    /// Publish attempts the bus refused this call (transient count:
+    /// the affected readings were spooled, not necessarily lost).
+    pub refused_attempts: u64,
+}
+
+/// Per-connection metrics exported by [`BusConnection::metrics`].
+#[derive(Debug, Clone)]
+pub struct DeliveryMetricsSnapshot {
+    /// Current connection state.
+    pub state: ConnectionState,
+    /// `Down` → `Up` transitions (successful recoveries).
+    pub reconnects: u64,
+    /// Reconnect probes that failed (the outage persisted).
+    pub failed_probes: u64,
+    /// Consecutive publish failures right now.
+    pub consecutive_failures: u64,
+    /// Backoff that will follow the next failed probe, milliseconds.
+    pub backoff_ms: u64,
+    /// Time until the next reconnect probe, milliseconds (0 when not
+    /// `Down`).
+    pub next_probe_in_ms: u64,
+    /// Cumulative virtual time spent in `[Up, Degraded, Down]`,
+    /// milliseconds.
+    pub time_in_state_ms: [u64; 3],
+    /// The most recent publish error, if any.
+    pub last_error: Option<String>,
+    /// Spool counters.
+    pub spool: SpoolMetricsSnapshot,
+}
+
+/// Supervised delivery onto a [`MessageBus`]: connection-state
+/// tracking, backoff-with-jitter reconnects, and the bounded
+/// store-and-forward spool.
+pub struct BusConnection {
+    bus: Arc<dyn MessageBus>,
+    reconnect: ReconnectConfig,
+    spool: Spool,
+    state: ConnectionState,
+    consecutive_failures: u64,
+    backoff_ms: u64,
+    next_probe_ns: u64,
+    reconnects: u64,
+    failed_probes: u64,
+    last_error: Option<String>,
+    last_now_ns: u64,
+    time_in_state_ns: [u64; 3],
+    rng: StdRng,
+}
+
+impl BusConnection {
+    /// Wraps `bus` with the given delivery policy.
+    pub fn new(bus: Arc<dyn MessageBus>, config: DeliveryConfig) -> BusConnection {
+        BusConnection {
+            bus,
+            reconnect: config.reconnect,
+            spool: Spool::new(config.spool),
+            state: ConnectionState::Up,
+            consecutive_failures: 0,
+            backoff_ms: config.reconnect.base_ms.max(1),
+            next_probe_ns: 0,
+            reconnects: 0,
+            failed_probes: 0,
+            last_error: None,
+            last_now_ns: 0,
+            time_in_state_ns: [0; 3],
+            rng: StdRng::seed_from_u64(config.reconnect.seed),
+        }
+    }
+
+    /// The underlying bus.
+    pub fn bus(&self) -> &Arc<dyn MessageBus> {
+        &self.bus
+    }
+
+    /// Current connection state.
+    pub fn state(&self) -> ConnectionState {
+        self.state
+    }
+
+    /// Readings currently spooled.
+    pub fn spool_depth(&self) -> usize {
+        self.spool.depth()
+    }
+
+    fn advance_clock(&mut self, now_ns: u64) {
+        let elapsed = now_ns.saturating_sub(self.last_now_ns);
+        self.time_in_state_ns[self.state.index()] += elapsed;
+        self.last_now_ns = now_ns;
+    }
+
+    fn on_success(&mut self) {
+        if self.state == ConnectionState::Down {
+            self.reconnects += 1;
+        }
+        self.state = ConnectionState::Up;
+        self.consecutive_failures = 0;
+        self.backoff_ms = self.reconnect.base_ms.max(1);
+        self.next_probe_ns = 0;
+    }
+
+    fn on_failure(&mut self, now_ns: u64, error: String) {
+        self.last_error = Some(error);
+        self.consecutive_failures += 1;
+        match self.state {
+            ConnectionState::Up => {
+                self.state = ConnectionState::Degraded;
+            }
+            ConnectionState::Degraded => {}
+            ConnectionState::Down => {
+                self.failed_probes += 1;
+            }
+        }
+        if self.consecutive_failures >= self.reconnect.down_threshold.max(1) {
+            self.state = ConnectionState::Down;
+            // Schedule the next probe: backoff plus seeded jitter, then
+            // grow the backoff for the probe after that.
+            let jitter = 1.0 + self.reconnect.jitter.max(0.0) * self.rng.gen::<f64>();
+            let delay_ms = (self.backoff_ms as f64 * jitter) as u64;
+            self.next_probe_ns = now_ns + delay_ms.max(1) * 1_000_000;
+            let grown = (self.backoff_ms as f64 * self.reconnect.multiplier.max(1.0)) as u64;
+            self.backoff_ms = grown.clamp(1, self.reconnect.cap_ms.max(1));
+        }
+    }
+
+    /// Delivers one tick's worth of per-topic batches.
+    ///
+    /// The spool drains oldest-first *before* any fresh batch is
+    /// offered; if any publish fails, the remaining readings (spooled
+    /// and fresh alike) go to the spool so per-topic order is never
+    /// inverted. While `Down`, nothing touches the bus until the
+    /// backoff expires — then the oldest spooled batch doubles as the
+    /// reconnect probe.
+    pub fn deliver(
+        &mut self,
+        now: Timestamp,
+        fresh: Vec<(Topic, Vec<SensorReading>)>,
+    ) -> DeliveryOutcome {
+        let now_ns = now.as_nanos();
+        self.advance_clock(now_ns);
+        let mut out = DeliveryOutcome::default();
+
+        let mut attempting = match self.state {
+            ConnectionState::Down => now_ns >= self.next_probe_ns,
+            _ => true,
+        };
+
+        // Phase 1: drain the spool, oldest-first across topics.
+        while attempting {
+            let Some((topic, batch)) = self.spool.pop_oldest_batch() else {
+                break;
+            };
+            let readings: Vec<SensorReading> = batch.iter().map(|e| e.reading).collect();
+            match self.bus.publish_readings(topic.clone(), &readings) {
+                Ok(()) => {
+                    let n = readings.len() as u64;
+                    out.published += n;
+                    out.drained += n;
+                    self.spool.note_drained(readings.len());
+                    self.on_success();
+                }
+                Err(e) => {
+                    out.refused_attempts += 1;
+                    self.spool.unpop(topic, batch);
+                    self.on_failure(now_ns, e.to_string());
+                    attempting = false;
+                }
+            }
+        }
+
+        // Phase 2: fresh batches — published only when the line is
+        // clear *and* the spool is empty (otherwise order would
+        // invert); spooled otherwise.
+        for (topic, readings) in fresh {
+            if attempting && self.spool.depth() == 0 {
+                match self.bus.publish_readings(topic.clone(), &readings) {
+                    Ok(()) => {
+                        out.published += readings.len() as u64;
+                        self.on_success();
+                        continue;
+                    }
+                    Err(e) => {
+                        out.refused_attempts += 1;
+                        self.on_failure(now_ns, e.to_string());
+                        attempting = false;
+                    }
+                }
+            }
+            for reading in readings {
+                let before = self.spool.metrics();
+                if self.spool.push(&topic, reading) {
+                    let after = self.spool.metrics();
+                    out.spool_dropped += after.dropped - before.dropped;
+                    // `spooled` counts what is *newly parked*: an
+                    // admitted reading, net of any reading it evicted.
+                    out.spooled += 1;
+                    out.spooled -= after.dropped - before.dropped;
+                } else {
+                    out.final_errors += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Counter snapshot.
+    pub fn metrics(&self) -> DeliveryMetricsSnapshot {
+        DeliveryMetricsSnapshot {
+            state: self.state,
+            reconnects: self.reconnects,
+            failed_probes: self.failed_probes,
+            consecutive_failures: self.consecutive_failures,
+            backoff_ms: self.backoff_ms,
+            next_probe_in_ms: if self.state == ConnectionState::Down {
+                self.next_probe_ns.saturating_sub(self.last_now_ns) / 1_000_000
+            } else {
+                0
+            },
+            time_in_state_ms: [
+                self.time_in_state_ns[0] / 1_000_000,
+                self.time_in_state_ns[1] / 1_000_000,
+                self.time_in_state_ns[2] / 1_000_000,
+            ],
+            last_error: self.last_error.clone(),
+            spool: self.spool.metrics(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdb_bus::{decode_readings, Broker, ChaosBus, ChaosConfig};
+
+    fn t(s: &str) -> Topic {
+        Topic::parse(s).unwrap()
+    }
+
+    fn ms(v: u64) -> Timestamp {
+        Timestamp::from_millis(v)
+    }
+
+    fn r(value: i64, at_ms: u64) -> SensorReading {
+        SensorReading::new(value, ms(at_ms))
+    }
+
+    fn chaos_conn(
+        config: ChaosConfig,
+        delivery: DeliveryConfig,
+    ) -> (Broker, ChaosBus, BusConnection) {
+        let broker = Broker::new_sync();
+        let chaos = ChaosBus::new(broker.handle(), config);
+        let conn = BusConnection::new(Arc::new(chaos.clone()), delivery);
+        (broker, chaos, conn)
+    }
+
+    #[test]
+    fn healthy_connection_publishes_directly() {
+        let (broker, chaos, mut conn) =
+            chaos_conn(ChaosConfig::quiet(1), DeliveryConfig::default());
+        let sub = broker.handle().subscribe_str("/#").unwrap();
+        chaos.advance(ms(10));
+        let out = conn.deliver(ms(10), vec![(t("/a/power"), vec![r(1, 10)])]);
+        assert_eq!(out.published, 1);
+        assert_eq!(out.spooled, 0);
+        assert_eq!(conn.state(), ConnectionState::Up);
+        assert_eq!(sub.queued(), 1);
+    }
+
+    #[test]
+    fn outage_spools_then_drains_oldest_first() {
+        let config = ChaosConfig::quiet(2).with_outage_ms(100, 400);
+        let (broker, chaos, mut conn) = chaos_conn(
+            config,
+            DeliveryConfig {
+                reconnect: ReconnectConfig {
+                    base_ms: 50,
+                    down_threshold: 2,
+                    jitter: 0.0,
+                    ..ReconnectConfig::default()
+                },
+                ..DeliveryConfig::default()
+            },
+        );
+        let sub = broker.handle().subscribe_str("/#").unwrap();
+
+        // Healthy tick, then three ticks inside the outage.
+        for (tick, at) in [(1i64, 50u64), (2, 150), (3, 250), (4, 350)] {
+            chaos.advance(ms(at));
+            conn.deliver(ms(at), vec![(t("/a/power"), vec![r(tick, at)])]);
+        }
+        assert_eq!(conn.state(), ConnectionState::Down);
+        assert_eq!(conn.spool_depth(), 3);
+        assert_eq!(sub.queued(), 1);
+
+        // Past the outage and past the backoff: the drain probe
+        // succeeds and everything arrives, oldest first, ahead of the
+        // fresh tick-5 sample.
+        chaos.advance(ms(450));
+        let out = conn.deliver(ms(450), vec![(t("/a/power"), vec![r(5, 450)])]);
+        assert_eq!(out.published, 4);
+        assert_eq!(out.drained, 3);
+        assert_eq!(conn.state(), ConnectionState::Up);
+        assert_eq!(conn.metrics().reconnects, 1);
+        let values: Vec<i64> = sub
+            .drain()
+            .into_iter()
+            .flat_map(|m| decode_readings(m.payload).unwrap())
+            .map(|r| r.value)
+            .collect();
+        assert_eq!(values, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn down_connection_waits_out_the_backoff() {
+        let config = ChaosConfig::quiet(3).with_outage_ms(0, 10_000);
+        let (_broker, chaos, mut conn) = chaos_conn(
+            config,
+            DeliveryConfig {
+                reconnect: ReconnectConfig {
+                    base_ms: 1000,
+                    multiplier: 2.0,
+                    jitter: 0.0,
+                    down_threshold: 1,
+                    ..ReconnectConfig::default()
+                },
+                ..DeliveryConfig::default()
+            },
+        );
+
+        chaos.advance(ms(100));
+        conn.deliver(ms(100), vec![(t("/a/x"), vec![r(1, 100)])]);
+        assert_eq!(conn.state(), ConnectionState::Down);
+        let refused_after_first = chaos.metrics().refused_total();
+
+        // Before the probe time nothing touches the bus.
+        chaos.advance(ms(600));
+        conn.deliver(ms(600), vec![(t("/a/x"), vec![r(2, 600)])]);
+        assert_eq!(chaos.metrics().refused_total(), refused_after_first);
+        assert_eq!(conn.spool_depth(), 2);
+
+        // Past the backoff the probe runs (and fails: outage persists),
+        // growing the backoff.
+        chaos.advance(ms(1200));
+        conn.deliver(ms(1200), vec![(t("/a/x"), vec![r(3, 1200)])]);
+        let m = conn.metrics();
+        assert_eq!(chaos.metrics().refused_total(), refused_after_first + 1);
+        assert_eq!(m.failed_probes, 1);
+        assert!(m.backoff_ms > 1000, "backoff grew: {}", m.backoff_ms);
+        assert_eq!(conn.spool_depth(), 3);
+    }
+
+    #[test]
+    fn spool_overflow_follows_policy_and_accounting_holds() {
+        for policy in [
+            OverflowPolicy::DropOldest,
+            OverflowPolicy::DropNewest,
+            OverflowPolicy::Block,
+        ] {
+            let config = ChaosConfig::quiet(4).with_outage_ms(0, 100_000);
+            let (_broker, chaos, mut conn) = chaos_conn(
+                config,
+                DeliveryConfig {
+                    spool: SpoolConfig {
+                        per_topic_depth: 3,
+                        policy,
+                    },
+                    ..DeliveryConfig::default()
+                },
+            );
+            let mut totals = DeliveryOutcome::default();
+            for i in 0..10u64 {
+                let at = 10 + i * 10;
+                chaos.advance(ms(at));
+                let out = conn.deliver(ms(at), vec![(t("/a/x"), vec![r(i as i64, at)])]);
+                totals.published += out.published;
+                totals.spooled += out.spooled;
+                totals.spool_dropped += out.spool_dropped;
+                totals.final_errors += out.final_errors;
+            }
+            let spool = conn.metrics().spool;
+            assert_eq!(spool.depth, 3, "{policy:?}");
+            assert_eq!(spool.high_water, 3, "{policy:?}");
+            assert_eq!(spool.dropped, 7, "{policy:?}");
+            // Exact accounting: 10 sampled = published + pending +
+            // dropped + final.
+            assert_eq!(
+                totals.published + spool.depth as u64 + totals.spool_dropped + totals.final_errors,
+                10,
+                "{policy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_spool_counts_final_errors() {
+        let config = ChaosConfig::quiet(5).with_outage_ms(0, 100_000);
+        let (_broker, chaos, mut conn) = chaos_conn(
+            config,
+            DeliveryConfig {
+                spool: SpoolConfig {
+                    per_topic_depth: 0,
+                    policy: OverflowPolicy::DropOldest,
+                },
+                ..DeliveryConfig::default()
+            },
+        );
+        chaos.advance(ms(10));
+        let out = conn.deliver(ms(10), vec![(t("/a/x"), vec![r(1, 10), r(2, 10)])]);
+        assert_eq!(out.final_errors, 2);
+        assert_eq!(out.spooled, 0);
+        assert_eq!(conn.spool_depth(), 0);
+    }
+
+    #[test]
+    fn time_in_state_accumulates_per_state() {
+        let config = ChaosConfig::quiet(6).with_outage_ms(1000, 3000);
+        let (_broker, chaos, mut conn) = chaos_conn(
+            config,
+            DeliveryConfig {
+                reconnect: ReconnectConfig {
+                    base_ms: 100,
+                    down_threshold: 1,
+                    jitter: 0.0,
+                    ..ReconnectConfig::default()
+                },
+                ..DeliveryConfig::default()
+            },
+        );
+        for at in (0..=4000).step_by(500) {
+            chaos.advance(ms(at));
+            conn.deliver(ms(at), vec![(t("/a/x"), vec![r(1, at)])]);
+        }
+        let m = conn.metrics();
+        assert_eq!(conn.state(), ConnectionState::Up);
+        assert_eq!(m.reconnects, 1);
+        let [up, degraded, down] = m.time_in_state_ms;
+        assert_eq!(up + degraded + down, 4000);
+        assert!(down >= 1000, "down for most of the outage: {down}");
+        assert!(m.last_error.is_some());
+    }
+}

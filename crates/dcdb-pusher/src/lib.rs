@@ -8,15 +8,23 @@
 //!
 //! * [`plugins`] — the monitoring-plugin interface plus the
 //!   simulator-backed and tester plugins;
+//! * [`delivery`] — the supervised bus connection (reconnect backoff,
+//!   connection-state machine) and the bounded store-and-forward spool
+//!   that rides out broker outages;
 //! * [`pusher`] — the tick-driven Pusher itself.
 
 #![warn(missing_docs)]
 
+pub mod delivery;
 pub mod plugins;
 pub mod pusher;
 
-pub use plugins::{
-    standard_plugin_set, ClassMonitoringPlugin, MonitoringPlugin, SensorClass, SharedNodeSampler,
-    SimMonitoringPlugin, TesterMonitoringPlugin,
+pub use delivery::{
+    BusConnection, ConnectionState, DeliveryConfig, DeliveryMetricsSnapshot, DeliveryOutcome,
+    ReconnectConfig, SpoolConfig, SpoolMetricsSnapshot,
 };
-pub use pusher::{Pusher, PusherConfig, PusherStats};
+pub use plugins::{
+    standard_plugin_set, ClassMonitoringPlugin, FlakyMonitoringPlugin, MonitoringPlugin,
+    SensorClass, SharedNodeSampler, SimMonitoringPlugin, TesterMonitoringPlugin,
+};
+pub use pusher::{PluginMetricsSnapshot, Pusher, PusherConfig, PusherStats};

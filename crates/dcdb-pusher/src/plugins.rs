@@ -214,6 +214,60 @@ pub fn standard_plugin_set(
     ]
 }
 
+/// A deliberately faulty monitoring plugin for fault-isolation tests:
+/// either fails every sample forever ([`FlakyMonitoringPlugin::always_failing`])
+/// or fails until a virtual-time deadline and then delegates to a
+/// healthy inner plugin ([`FlakyMonitoringPlugin::failing_until`]).
+pub struct FlakyMonitoringPlugin {
+    name: String,
+    topics: Vec<Topic>,
+    inner: Option<Box<dyn MonitoringPlugin>>,
+    fail_until: Option<Timestamp>,
+}
+
+impl FlakyMonitoringPlugin {
+    /// A plugin that declares `topics` but fails every sample call.
+    pub fn always_failing(name: &str, topics: Vec<Topic>) -> Self {
+        FlakyMonitoringPlugin {
+            name: name.to_string(),
+            topics,
+            inner: None,
+            fail_until: None,
+        }
+    }
+
+    /// Wraps `inner`, failing all samples strictly before `until` and
+    /// delegating afterwards — models a data source that comes back.
+    pub fn failing_until(inner: Box<dyn MonitoringPlugin>, until: Timestamp) -> Self {
+        FlakyMonitoringPlugin {
+            name: format!("flaky-{}", inner.name()),
+            topics: inner.sensor_topics(),
+            inner: Some(inner),
+            fail_until: Some(until),
+        }
+    }
+}
+
+impl MonitoringPlugin for FlakyMonitoringPlugin {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn sensor_topics(&self) -> Vec<Topic> {
+        self.topics.clone()
+    }
+
+    fn sample(&mut self, now: Timestamp) -> Result<Vec<Sample>> {
+        match (&mut self.inner, self.fail_until) {
+            (Some(inner), Some(until)) if now >= until => inner.sample(now),
+            _ => Err(dcdb_common::error::DcdbError::InvalidState(format!(
+                "{}: injected sample failure",
+                self.name
+            ))),
+        }
+    }
+}
+
 /// The tester monitoring plugin: `count` monotonic sensors at
 /// `<prefix>/tNNN/value`, each incremented by 1 per sample.
 pub struct TesterMonitoringPlugin {

@@ -9,18 +9,29 @@
 //! horizontal scalability" (§IV-B a).
 //!
 //! The Pusher is tick-driven: each [`Pusher::tick`] samples every due
-//! monitoring plugin, stores readings in the local caches, publishes
-//! them on the bus, then runs due Wintermute operators. Production
-//! deployments drive ticks from a wall-clock thread; simulations from a
-//! virtual clock.
+//! monitoring plugin, stores readings in the local caches, hands them
+//! to the supervised delivery layer (see [`crate::delivery`]), then
+//! runs due Wintermute operators. Production deployments drive ticks
+//! from a wall-clock thread; simulations from a virtual clock.
+//!
+//! Fault isolation mirrors the operator runtime: a failing monitoring
+//! plugin is counted (`sample_errors`), never aborts the tick, and is
+//! quarantined with interval backoff after
+//! [`FaultPolicy::quarantine_threshold`] consecutive failures — the
+//! remaining plugins and the operator tick keep running. Publishes are
+//! batched per topic and routed through a [`BusConnection`], which
+//! spools refused readings and drains them oldest-first on recovery.
 
+use crate::delivery::{BusConnection, ConnectionState, DeliveryConfig, DeliveryMetricsSnapshot};
 use crate::plugins::MonitoringPlugin;
-use dcdb_bus::BusHandle;
+use dcdb_bus::{BusHandle, MessageBus};
 use dcdb_common::error::Result;
+use dcdb_common::reading::SensorReading;
 use dcdb_common::time::Timestamp;
+use dcdb_common::topic::Topic;
 use dcdb_rest::Router;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use wintermute::prelude::*;
 
@@ -33,6 +44,12 @@ pub struct PusherConfig {
     pub cache_secs: u64,
     /// Publish samples on the MQTT bus (disable for overhead baselines).
     pub publish: bool,
+    /// Delivery-layer policy: reconnect backoff and the
+    /// store-and-forward spool.
+    pub delivery: DeliveryConfig,
+    /// Fault policy for monitoring plugins (quarantine threshold and
+    /// backoff cap, mirroring the operator runtime's semantics).
+    pub plugin_fault: FaultPolicy,
 }
 
 impl Default for PusherConfig {
@@ -41,25 +58,82 @@ impl Default for PusherConfig {
             sampling_interval_ms: 1000,
             cache_secs: 180,
             publish: true,
+            delivery: DeliveryConfig::default(),
+            plugin_fault: FaultPolicy::default(),
         }
     }
 }
 
 struct PluginSlot {
+    name: String,
     plugin: Mutex<Box<dyn MonitoringPlugin>>,
     next_due: AtomicU64,
+    sample_errors: AtomicU64,
+    consecutive_failures: AtomicU64,
+    quarantined: AtomicBool,
+    /// Current quarantine backoff, in sampling intervals (doubles per
+    /// failed probe up to the policy's cap).
+    backoff_intervals: AtomicU64,
 }
 
-/// Counters for the footprint experiments.
+/// Per-plugin health metrics, as returned by [`Pusher::plugin_metrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PluginMetricsSnapshot {
+    /// Plugin name.
+    pub name: String,
+    /// Total failed sample calls.
+    pub sample_errors: u64,
+    /// Consecutive failures right now (0 after any success).
+    pub consecutive_failures: u64,
+    /// Whether the plugin is quarantined (probed at backoff cadence
+    /// instead of every interval).
+    pub quarantined: bool,
+    /// Current probe backoff, in sampling intervals.
+    pub backoff_intervals: u64,
+}
+
+/// Counters for the footprint experiments and the delivery accounting
+/// identity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PusherStats {
     /// Readings sampled from monitoring plugins.
     pub sampled: u64,
-    /// Messages published to the bus.
+    /// Readings published to the bus (fresh and spool-drained alike).
     pub published: u64,
-    /// Publishes the bus refused (router stopped / disconnected). QoS 0:
-    /// the tick carries on; the loss is counted, not fatal.
+    /// Publish attempts the bus refused (transient count — refused
+    /// readings are spooled, so this is diagnostic, not loss).
     pub publish_errors: u64,
+    /// Failed monitoring-plugin sample calls.
+    pub sample_errors: u64,
+    /// Monitoring plugins currently quarantined.
+    pub quarantined_plugins: u64,
+    /// Readings currently parked in the store-and-forward spool.
+    pub spooled_pending: u64,
+    /// Readings lost at the spool (evicted or refused at capacity).
+    pub spool_dropped: u64,
+    /// Readings lost outright: the bus refused and the spool could not
+    /// hold them (spool disabled).
+    pub publish_errors_final: u64,
+    /// Readings sampled while publishing was disabled or no bus was
+    /// attached (cache-only operation).
+    pub unpublished: u64,
+    /// Successful reconnects of the bus connection.
+    pub reconnects: u64,
+}
+
+impl PusherStats {
+    /// The delivery accounting identity: every sampled reading is
+    /// published, parked in the spool, dropped at the spool, lost as a
+    /// final publish error, or (with publishing disabled) deliberately
+    /// unpublished. Holds exactly at tick boundaries.
+    pub fn delivery_conserved(&self) -> bool {
+        self.sampled
+            == self.published
+                + self.spooled_pending
+                + self.spool_dropped
+                + self.publish_errors_final
+                + self.unpublished
+    }
 }
 
 /// One DCDB Pusher instance.
@@ -67,28 +141,46 @@ pub struct Pusher {
     config: PusherConfig,
     plugins: Vec<PluginSlot>,
     manager: Arc<OperatorManager>,
-    bus: Option<BusHandle>,
+    connection: Option<Mutex<BusConnection>>,
     sampled: AtomicU64,
     published: AtomicU64,
     publish_errors: AtomicU64,
+    sample_errors: AtomicU64,
+    spool_dropped: AtomicU64,
+    publish_errors_final: AtomicU64,
+    unpublished: AtomicU64,
 }
 
 impl Pusher {
     /// Creates a Pusher with its own cache-only Query Engine (no
     /// storage: Pushers only see local data).
     pub fn new(config: PusherConfig, bus: Option<BusHandle>) -> Pusher {
+        let bus: Option<Arc<dyn MessageBus>> =
+            bus.map(|handle| Arc::new(handle) as Arc<dyn MessageBus>);
+        Pusher::with_bus(config, bus)
+    }
+
+    /// Creates a Pusher over any [`MessageBus`] — the production
+    /// [`BusHandle`] or a fault-injecting
+    /// [`ChaosBus`](dcdb_bus::ChaosBus).
+    pub fn with_bus(config: PusherConfig, bus: Option<Arc<dyn MessageBus>>) -> Pusher {
         let cache_slots =
             (config.cache_secs * 1000 / config.sampling_interval_ms.max(1)).max(2) as usize + 1;
         let query = Arc::new(QueryEngine::new(cache_slots));
         let manager = OperatorManager::new(query);
+        let connection = bus.map(|bus| Mutex::new(BusConnection::new(bus, config.delivery)));
         Pusher {
             config,
             plugins: Vec::new(),
             manager,
-            bus,
+            connection,
             sampled: AtomicU64::new(0),
             published: AtomicU64::new(0),
             publish_errors: AtomicU64::new(0),
+            sample_errors: AtomicU64::new(0),
+            spool_dropped: AtomicU64::new(0),
+            publish_errors_final: AtomicU64::new(0),
+            unpublished: AtomicU64::new(0),
         }
     }
 
@@ -113,8 +205,13 @@ impl Pusher {
             let _ = self.query_engine().knows(&topic);
         }
         self.plugins.push(PluginSlot {
+            name: plugin.name().to_string(),
             plugin: Mutex::new(plugin),
             next_due: AtomicU64::new(0),
+            sample_errors: AtomicU64::new(0),
+            consecutive_failures: AtomicU64::new(0),
+            quarantined: AtomicBool::new(false),
+            backoff_intervals: AtomicU64::new(1),
         });
     }
 
@@ -131,10 +228,43 @@ impl Pusher {
             .set_navigator(SensorNavigator::build(nav_topics));
     }
 
-    /// One tick: sample due monitoring plugins, cache + publish their
-    /// readings, then run due Wintermute operators.
+    /// Handles one plugin's sample failure: count it, and after the
+    /// fault policy's threshold quarantine the plugin — its next probe
+    /// is pushed out by a per-failure-doubling number of intervals
+    /// (capped), so a dead data source costs one attempt per backoff
+    /// window instead of one per tick. A later successful sample clears
+    /// the quarantine.
+    fn note_sample_failure(&self, slot: &PluginSlot, now: Timestamp, interval_ns: u64) {
+        slot.sample_errors.fetch_add(1, Ordering::Relaxed);
+        self.sample_errors.fetch_add(1, Ordering::Relaxed);
+        let consecutive = slot.consecutive_failures.fetch_add(1, Ordering::AcqRel) + 1;
+        let policy = self.config.plugin_fault;
+        if consecutive >= policy.quarantine_threshold.max(1) {
+            let backoff = if slot.quarantined.swap(true, Ordering::AcqRel) {
+                // Already quarantined: this was a failed probe; double
+                // the backoff up to the cap.
+                let prev = slot.backoff_intervals.load(Ordering::Acquire);
+                let next = (prev * 2).min(policy.backoff_cap.max(1));
+                slot.backoff_intervals.store(next, Ordering::Release);
+                next
+            } else {
+                let first = 2u64.min(policy.backoff_cap.max(1));
+                slot.backoff_intervals.store(first, Ordering::Release);
+                first
+            };
+            slot.next_due
+                .store(now.as_nanos() + backoff * interval_ns, Ordering::Release);
+        }
+    }
+
+    /// One tick: sample due monitoring plugins (isolating failures),
+    /// cache their readings, deliver them in per-topic batches through
+    /// the supervised connection, then run due Wintermute operators.
     pub fn tick(&self, now: Timestamp) -> Result<TickReport> {
         let interval_ns = self.config.sampling_interval_ms * 1_000_000;
+        // Per-topic batches accumulated across every due plugin this
+        // tick; publish order follows sampling order.
+        let mut batches: Vec<(Topic, Vec<SensorReading>)> = Vec::new();
         for slot in &self.plugins {
             let due = slot.next_due.load(Ordering::Acquire);
             if due > now.as_nanos() {
@@ -146,30 +276,48 @@ impl Pusher {
             }
             slot.next_due.store(next, Ordering::Release);
 
-            let samples = slot.plugin.lock().sample(now)?;
+            // One dead plugin must not cost the other plugins their
+            // samples or the operator tick: count, quarantine, carry
+            // on.
+            let samples = match slot.plugin.lock().sample(now) {
+                Ok(samples) => samples,
+                Err(_) => {
+                    self.note_sample_failure(slot, now, interval_ns);
+                    continue;
+                }
+            };
+            if slot.consecutive_failures.swap(0, Ordering::AcqRel) > 0 {
+                slot.quarantined.store(false, Ordering::Release);
+                slot.backoff_intervals.store(1, Ordering::Release);
+            }
             self.sampled
                 .fetch_add(samples.len() as u64, Ordering::Relaxed);
             for (topic, reading) in &samples {
                 self.query_engine().insert(topic, *reading);
             }
-            if self.config.publish {
-                if let Some(bus) = &self.bus {
-                    for (topic, reading) in &samples {
-                        // QoS 0: a refused publish (router stopped,
-                        // broker gone) must not abort the tick and lose
-                        // the remaining plugins' samples — count it and
-                        // carry on. The reading is already cached
-                        // locally either way.
-                        match bus.publish_readings(topic.clone(), std::slice::from_ref(reading)) {
-                            Ok(()) => {
-                                self.published.fetch_add(1, Ordering::Relaxed);
-                            }
-                            Err(_) => {
-                                self.publish_errors.fetch_add(1, Ordering::Relaxed);
-                            }
-                        }
+            if self.config.publish && self.connection.is_some() {
+                for (topic, reading) in samples {
+                    match batches.iter_mut().find(|(t, _)| *t == topic) {
+                        Some((_, readings)) => readings.push(reading),
+                        None => batches.push((topic, vec![reading])),
                     }
                 }
+            } else {
+                self.unpublished
+                    .fetch_add(samples.len() as u64, Ordering::Relaxed);
+            }
+        }
+
+        if let Some(connection) = &self.connection {
+            if self.config.publish && !batches.is_empty() {
+                let out = connection.lock().deliver(now, batches);
+                self.published.fetch_add(out.published, Ordering::Relaxed);
+                self.publish_errors
+                    .fetch_add(out.refused_attempts, Ordering::Relaxed);
+                self.spool_dropped
+                    .fetch_add(out.spool_dropped, Ordering::Relaxed);
+                self.publish_errors_final
+                    .fetch_add(out.final_errors, Ordering::Relaxed);
             }
         }
         Ok(self.manager.tick(now))
@@ -177,11 +325,60 @@ impl Pusher {
 
     /// Counter snapshot.
     pub fn stats(&self) -> PusherStats {
+        let (spooled_pending, reconnects) = match &self.connection {
+            Some(connection) => {
+                let conn = connection.lock();
+                (conn.spool_depth() as u64, conn.metrics().reconnects)
+            }
+            None => (0, 0),
+        };
         PusherStats {
             sampled: self.sampled.load(Ordering::Relaxed),
             published: self.published.load(Ordering::Relaxed),
             publish_errors: self.publish_errors.load(Ordering::Relaxed),
+            sample_errors: self.sample_errors.load(Ordering::Relaxed),
+            quarantined_plugins: self
+                .plugins
+                .iter()
+                .filter(|slot| slot.quarantined.load(Ordering::Acquire))
+                .count() as u64,
+            spooled_pending,
+            spool_dropped: self.spool_dropped.load(Ordering::Relaxed),
+            publish_errors_final: self.publish_errors_final.load(Ordering::Relaxed),
+            unpublished: self.unpublished.load(Ordering::Relaxed),
+            reconnects,
         }
+    }
+
+    /// Delivery-layer metrics: connection state, reconnect counters,
+    /// backoff, time-in-state, spool depth and drop counters. `None`
+    /// for bus-less pushers.
+    pub fn delivery_metrics(&self) -> Option<DeliveryMetricsSnapshot> {
+        self.connection
+            .as_ref()
+            .map(|connection| connection.lock().metrics())
+    }
+
+    /// Current connection state (`None` for bus-less pushers).
+    pub fn connection_state(&self) -> Option<ConnectionState> {
+        self.connection
+            .as_ref()
+            .map(|connection| connection.lock().state())
+    }
+
+    /// Per-plugin health: sample errors, consecutive failures,
+    /// quarantine state and probe backoff.
+    pub fn plugin_metrics(&self) -> Vec<PluginMetricsSnapshot> {
+        self.plugins
+            .iter()
+            .map(|slot| PluginMetricsSnapshot {
+                name: slot.name.clone(),
+                sample_errors: slot.sample_errors.load(Ordering::Relaxed),
+                consecutive_failures: slot.consecutive_failures.load(Ordering::Relaxed),
+                quarantined: slot.quarantined.load(Ordering::Acquire),
+                backoff_intervals: slot.backoff_intervals.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// Mounts the Pusher's REST API (Wintermute management routes).
@@ -193,9 +390,9 @@ impl Pusher {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plugins::{SimMonitoringPlugin, TesterMonitoringPlugin};
-    use dcdb_bus::Broker;
-    use dcdb_common::topic::Topic;
+    use crate::delivery::{ReconnectConfig, SpoolConfig};
+    use crate::plugins::{FlakyMonitoringPlugin, SimMonitoringPlugin, TesterMonitoringPlugin};
+    use dcdb_bus::{Broker, ChaosBus, ChaosConfig, OverflowPolicy};
     use sim_cluster::{ClusterConfig, ClusterSimulator};
 
     fn t(s: &str) -> Topic {
@@ -212,6 +409,7 @@ mod tests {
                 sampling_interval_ms: 1000,
                 cache_secs: 60,
                 publish,
+                ..PusherConfig::default()
             },
             Some(broker.handle()),
         );
@@ -228,6 +426,8 @@ mod tests {
         let stats = pusher.stats();
         assert_eq!(stats.sampled, 22); // 6 node-level + 16 core sensors
         assert_eq!(stats.published, 22);
+        assert!(stats.delivery_conserved(), "{stats:?}");
+        // Batched per topic: 22 readings over 22 distinct topics.
         assert_eq!(sub.queued(), 22);
         // Local cache has the data.
         let got = pusher
@@ -241,9 +441,12 @@ mod tests {
         let (pusher, broker) = sim_pusher(false);
         let sub = broker.handle().subscribe_str("/#").unwrap();
         pusher.tick(Timestamp::from_secs(1)).unwrap();
-        assert_eq!(pusher.stats().published, 0);
+        let stats = pusher.stats();
+        assert_eq!(stats.published, 0);
         assert_eq!(sub.queued(), 0);
-        assert_eq!(pusher.stats().sampled, 22);
+        assert_eq!(stats.sampled, 22);
+        assert_eq!(stats.unpublished, 22);
+        assert!(stats.delivery_conserved(), "{stats:?}");
     }
 
     #[test]
@@ -289,5 +492,143 @@ mod tests {
         pusher.tick(Timestamp::from_secs(1)).unwrap();
         assert_eq!(pusher.stats().sampled, 100);
         assert_eq!(pusher.query_engine().navigator().sensor_count(), 100);
+    }
+
+    /// Regression: a failing plugin used to abort the tick via `?`,
+    /// skipping every later plugin *and* the operator-manager tick.
+    #[test]
+    fn failing_plugin_does_not_abort_tick() {
+        let broker = Broker::new_sync();
+        let mut pusher = Pusher::new(
+            PusherConfig {
+                plugin_fault: FaultPolicy {
+                    quarantine_threshold: 3,
+                    backoff_cap: 8,
+                },
+                ..PusherConfig::default()
+            },
+            Some(broker.handle()),
+        );
+        // Order matters: the broken plugin sits *before* the healthy
+        // one.
+        pusher.add_monitoring_plugin(Box::new(FlakyMonitoringPlugin::always_failing(
+            "dead-sensor",
+            vec![t("/host/dead/value")],
+        )));
+        pusher.add_monitoring_plugin(Box::new(
+            TesterMonitoringPlugin::new(&t("/host/tester"), 5).unwrap(),
+        ));
+        pusher.refresh_sensor_tree();
+
+        for s in 1..=4u64 {
+            let report = pusher.tick(Timestamp::from_secs(s));
+            assert!(report.is_ok(), "tick must survive the dead plugin");
+        }
+        let stats = pusher.stats();
+        // The healthy plugin sampled every tick.
+        assert_eq!(stats.sampled, 20);
+        assert_eq!(stats.published, 20);
+        assert!(stats.delivery_conserved(), "{stats:?}");
+        // The dead plugin was counted and quarantined after 3 strikes.
+        assert_eq!(stats.quarantined_plugins, 1);
+        let dead = pusher
+            .plugin_metrics()
+            .into_iter()
+            .find(|p| p.name == "dead-sensor")
+            .unwrap();
+        assert!(dead.quarantined);
+        assert_eq!(dead.sample_errors, 3, "backoff spaces out probes");
+        assert!(dead.consecutive_failures >= 3);
+    }
+
+    #[test]
+    fn quarantined_plugin_recovers_on_successful_probe() {
+        let broker = Broker::new_sync();
+        let mut pusher = Pusher::new(
+            PusherConfig {
+                plugin_fault: FaultPolicy {
+                    quarantine_threshold: 2,
+                    backoff_cap: 4,
+                },
+                ..PusherConfig::default()
+            },
+            Some(broker.handle()),
+        );
+        // Fails for the first 3 seconds of virtual time, then heals.
+        let inner = TesterMonitoringPlugin::new(&t("/host/tester"), 2).unwrap();
+        pusher.add_monitoring_plugin(Box::new(FlakyMonitoringPlugin::failing_until(
+            Box::new(inner),
+            Timestamp::from_secs(3),
+        )));
+        pusher.refresh_sensor_tree();
+
+        // Drive well past the backoff windows.
+        for s in 1..=20u64 {
+            pusher.tick(Timestamp::from_secs(s)).unwrap();
+        }
+        let stats = pusher.stats();
+        assert_eq!(stats.quarantined_plugins, 0, "recovered");
+        assert!(stats.sampled > 0, "sampling resumed");
+        let m = &pusher.plugin_metrics()[0];
+        assert_eq!(m.consecutive_failures, 0);
+        assert_eq!(m.backoff_intervals, 1);
+        assert!(m.sample_errors >= 2);
+    }
+
+    #[test]
+    fn outage_spools_and_recovers_without_loss() {
+        let broker = Broker::new_sync();
+        let chaos = ChaosBus::new(
+            broker.handle(),
+            // Outage covers ticks at 3 s and 4 s.
+            ChaosConfig::quiet(11).with_outage_ms(2_500, 4_500),
+        );
+        let mut pusher = Pusher::with_bus(
+            PusherConfig {
+                delivery: DeliveryConfig {
+                    reconnect: ReconnectConfig {
+                        base_ms: 100,
+                        jitter: 0.0,
+                        ..ReconnectConfig::default()
+                    },
+                    spool: SpoolConfig {
+                        per_topic_depth: 16,
+                        policy: OverflowPolicy::DropOldest,
+                    },
+                },
+                ..PusherConfig::default()
+            },
+            Some(Arc::new(chaos.clone())),
+        );
+        pusher.add_monitoring_plugin(Box::new(
+            TesterMonitoringPlugin::new(&t("/host/tester"), 3).unwrap(),
+        ));
+        pusher.refresh_sensor_tree();
+        let sub = broker.handle().subscribe_str("/host/#").unwrap();
+
+        for s in 1..=6u64 {
+            let now = Timestamp::from_secs(s);
+            chaos.advance(now);
+            pusher.tick(now).unwrap();
+        }
+        let stats = pusher.stats();
+        assert_eq!(stats.sampled, 18);
+        assert_eq!(stats.published, 18, "spool drained after the outage");
+        assert_eq!(stats.spooled_pending, 0);
+        assert_eq!(stats.spool_dropped, 0);
+        assert_eq!(stats.publish_errors_final, 0);
+        assert!(stats.publish_errors > 0, "the refusals were observed");
+        assert!(stats.delivery_conserved(), "{stats:?}");
+        // Per-topic timestamp order survived the outage.
+        let mut last_ts_per_topic: std::collections::HashMap<String, u64> = Default::default();
+        for msg in sub.drain() {
+            for r in dcdb_bus::decode_readings(msg.payload).unwrap() {
+                let last = last_ts_per_topic
+                    .entry(msg.topic.as_str().to_string())
+                    .or_insert(0);
+                assert!(r.ts.as_nanos() > *last, "out of order on {}", msg.topic);
+                *last = r.ts.as_nanos();
+            }
+        }
     }
 }

@@ -1,0 +1,66 @@
+//! Delivery resilience: spool + reconnect through injected outages.
+//!
+//! ```text
+//! cargo run --release -p oda-bench --bin delivery_resilience            # full run
+//! cargo run --release -p oda-bench --bin delivery_resilience -- --quick # smoke run
+//! ```
+
+use oda_bench::delivery_resilience::{run, DeliveryResilienceConfig};
+use oda_bench::write_json;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        DeliveryResilienceConfig::quick()
+    } else {
+        DeliveryResilienceConfig::paper()
+    };
+
+    println!(
+        "delivery resilience bench: {} pushers x {} sensors, {} s simulated @ {} ms ticks, \
+         outages {:?} ms\n",
+        config.pushers,
+        config.sensors_per_pusher,
+        config.duration_s,
+        config.interval_ms,
+        config.outages_ms
+    );
+    let result = run(&config);
+
+    println!(
+        "{:<12} {:>5} {:>8} {:>8} {:>8} {:>8} {:>9} {:>10} {:>12} {:>6} {:>5}",
+        "policy",
+        "depth",
+        "sampled",
+        "recv'd",
+        "lost",
+        "dropped",
+        "highwater",
+        "reconnects",
+        "recovery_ms",
+        "loss%",
+        "ok"
+    );
+    for c in &result.cells {
+        println!(
+            "{:<12} {:>5} {:>8} {:>8} {:>8} {:>8} {:>9} {:>10} {:>5}/{:>5} {:>5.2}% {:>5}",
+            c.policy,
+            c.spool_depth,
+            c.sampled,
+            c.received,
+            c.lost,
+            c.spool_dropped,
+            c.spool_high_water,
+            c.reconnects,
+            c.recovery_ms[0],
+            c.recovery_ms[1],
+            c.loss_ratio * 100.0,
+            if c.conserved { "yes" } else { "NO" }
+        );
+    }
+
+    match write_json("delivery_resilience", &result) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write results: {e}"),
+    }
+}

@@ -123,6 +123,7 @@ pub fn build_tester_pusher(sensors: usize, queries: usize, mode: &str, range_ms:
             sampling_interval_ms: 1000,
             cache_secs: 180,
             publish: false, // fig5 measures the Pusher+engine, not the bus
+            ..PusherConfig::default()
         },
         None,
     );

@@ -116,6 +116,7 @@ pub fn run(config: &Fig6Config) -> Fig6Result {
             sampling_interval_ms: config.interval_ms,
             cache_secs: 180,
             publish: false,
+            ..PusherConfig::default()
         },
         None,
     );

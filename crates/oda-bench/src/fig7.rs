@@ -122,6 +122,7 @@ pub fn run_app(config: &Fig7Config, app: AppModel) -> Fig7Result {
                 sampling_interval_ms: config.interval_s * 1000,
                 cache_secs: 60,
                 publish: true,
+                ..PusherConfig::default()
             },
             Some(broker.handle()),
         );

@@ -15,10 +15,12 @@
 //! | [`fig8`] | Fig. 8 — BGMM clustering of node behaviour |
 //! | [`storage_engine`] | Durable engine ingest/scan/recovery throughput |
 //! | [`bus_saturation`] | Bounded bus under 1×/4×/16× publisher overload |
+//! | [`delivery_resilience`] | Pusher spool + reconnect through injected broker outages |
 
 #![warn(missing_docs)]
 
 pub mod bus_saturation;
+pub mod delivery_resilience;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;

@@ -51,12 +51,20 @@ pub trait SensorSink: Send + Sync {
 
 /// Publishes operator outputs onto the DCDB bus (Pusher deployment).
 pub struct BusSink {
-    bus: dcdb_bus::BusHandle,
+    bus: Arc<dyn dcdb_bus::MessageBus>,
 }
 
 impl BusSink {
     /// Wraps a bus handle.
     pub fn new(bus: dcdb_bus::BusHandle) -> Self {
+        BusSink { bus: Arc::new(bus) }
+    }
+
+    /// Wraps any [`dcdb_bus::MessageBus`] — in-band operator outputs
+    /// must ride the same (possibly faulty) transport as the raw
+    /// sensor data, or a broker outage is invisible to per-source
+    /// staleness tracking downstream.
+    pub fn over(bus: Arc<dyn dcdb_bus::MessageBus>) -> Self {
         BusSink { bus }
     }
 }

@@ -52,6 +52,7 @@ fn main() {
                 sampling_interval_ms: 1000,
                 cache_secs: 60,
                 publish: true,
+                ..PusherConfig::default()
             },
             Some(broker.handle()),
         );

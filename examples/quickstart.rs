@@ -38,6 +38,7 @@ fn main() {
             sampling_interval_ms: 1000,
             cache_secs: 180,
             publish: false,
+            ..PusherConfig::default()
         },
         None,
     );

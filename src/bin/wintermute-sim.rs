@@ -14,6 +14,8 @@
 //!     [--snapshot-path FILE] [--snapshot-secs N]
 //!     [--router-depth N] [--sub-depth N] [--overflow block|drop-newest|drop-oldest]
 //!     [--ingest-budget N] [--quarantine-threshold N]
+//!     [--chaos-seed N] [--outage-ms N] [--drop-prob P]
+//!     [--spool-depth N] [--reconnect-base-ms N]
 //! ```
 //!
 //! Backpressure knobs (paper §V scalability): the broker's router input
@@ -31,6 +33,18 @@
 //! `GET /metrics` report per-operator runs / errors / panics / overruns
 //! and quarantine state.
 //!
+//! Delivery resilience (chaos knobs): any of `--chaos-seed`,
+//! `--outage-ms` or `--drop-prob` routes the Pushers through a
+//! deterministic fault-injecting [`ChaosBus`]. `--outage-ms N` injects
+//! two seeded broker outages of up to N ms across the run;
+//! `--drop-prob P` silently drops each published message with
+//! probability P. Refused publishes land in each Pusher's bounded
+//! store-and-forward spool (`--spool-depth` readings per topic,
+//! `--overflow` policy) and are drained oldest-first once the
+//! supervised connection reconnects (`--reconnect-base-ms` sets the
+//! backoff base). The status line and `GET /metrics` show spool depth
+//! and connection state.
+//!
 //! Persistence modes:
 //!
 //! * `--data-dir DIR` — durable mode: storage becomes a
@@ -43,10 +57,15 @@
 //!   snapshots every `--snapshot-secs` (default 30) and on shutdown;
 //!   the snapshot is restored on the next start.
 
-use dcdb_wintermute::dcdb_bus::{Broker, BusConfig, OverflowPolicy};
+use dcdb_wintermute::dcdb_bus::{
+    Broker, BusConfig, ChaosBus, ChaosConfig, MessageBus, OverflowPolicy,
+};
 use dcdb_wintermute::dcdb_collectagent::{CollectAgent, CollectAgentConfig, SimJobSource};
 use dcdb_wintermute::dcdb_common::{Timestamp, Topic};
-use dcdb_wintermute::dcdb_pusher::{standard_plugin_set, Pusher, PusherConfig};
+use dcdb_wintermute::dcdb_pusher::{
+    standard_plugin_set, ConnectionState, DeliveryConfig, Pusher, PusherConfig, ReconnectConfig,
+    SpoolConfig,
+};
 use dcdb_wintermute::dcdb_rest::{RestServer, Router};
 use dcdb_wintermute::dcdb_storage::{
     DurableBackend, DurableConfig, FsyncPolicy, StorageBackend, StorageEngine,
@@ -107,15 +126,69 @@ fn main() {
         sub_depth: arg("--sub-depth", bus_defaults.sub_depth as u64).max(1) as usize,
         sub_policy: overflow,
     });
+    // --- Optional deterministic fault injection on the pusher→agent path. ---
+    let chaos_seed = arg_str("--chaos-seed").and_then(|v| v.parse::<u64>().ok());
+    let outage_ms = arg("--outage-ms", 0);
+    let drop_prob = arg_str("--drop-prob")
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.0);
+    let chaos: Option<ChaosBus> = if chaos_seed.is_some() || outage_ms > 0 || drop_prob > 0.0 {
+        let seed = chaos_seed.unwrap_or(0xC4A05);
+        let mut cfg = ChaosConfig::quiet(seed);
+        cfg.drop_prob = drop_prob.clamp(0.0, 1.0);
+        if outage_ms > 0 {
+            // Two seeded outages of up to --outage-ms, placed within the
+            // run and shifted onto the wall clock.
+            let start_ns = Timestamp::now().as_nanos();
+            let horizon_ns = duration_s.max(1) * 1_000_000_000;
+            cfg.outages = ChaosConfig::seeded_outages(
+                seed,
+                horizon_ns,
+                2,
+                outage_ms * 1_000_000 / 2,
+                outage_ms * 1_000_000,
+            )
+            .into_iter()
+            .map(|(from, until)| (start_ns + from, start_ns + until))
+            .collect();
+        }
+        println!(
+            "chaos: seed {seed:#x}, drop-prob {:.3}, {} outage window(s)",
+            cfg.drop_prob,
+            cfg.outages.len()
+        );
+        Some(ChaosBus::new(broker.handle(), cfg))
+    } else {
+        None
+    };
+    let pusher_bus: Arc<dyn MessageBus> = match &chaos {
+        Some(chaos) => Arc::new(chaos.clone()),
+        None => Arc::new(broker.handle()),
+    };
+    let delivery = DeliveryConfig {
+        reconnect: ReconnectConfig {
+            base_ms: arg("--reconnect-base-ms", ReconnectConfig::default().base_ms).max(1),
+            ..ReconnectConfig::default()
+        },
+        spool: SpoolConfig {
+            per_topic_depth: arg(
+                "--spool-depth",
+                SpoolConfig::default().per_topic_depth as u64,
+            ) as usize,
+            policy: overflow,
+        },
+    };
     let mut pushers = Vec::new();
     for node in 0..nodes {
-        let mut pusher = Pusher::new(
+        let mut pusher = Pusher::with_bus(
             PusherConfig {
                 sampling_interval_ms: 1000,
                 cache_secs: 180,
                 publish: true,
+                delivery,
+                plugin_fault: fault_policy,
             },
-            Some(broker.handle()),
+            Some(Arc::clone(&pusher_bus)),
         );
         for plugin in standard_plugin_set(Arc::clone(&sim), node) {
             pusher.add_monitoring_plugin(plugin);
@@ -123,9 +196,12 @@ fn main() {
         pusher.refresh_sensor_tree();
         pusher.manager().set_fault_policy(fault_policy);
         wintermute_plugins::register_all(pusher.manager(), None);
+        // Operator outputs ride the same (chaos-wrapped) transport as
+        // the raw sensor data — a broker outage silences the node's
+        // derived metrics too, so staleness tracking sees it.
         pusher
             .manager()
-            .add_sink(Arc::new(BusSink::new(broker.handle())));
+            .add_sink(Arc::new(BusSink::over(Arc::clone(&pusher_bus))));
         pusher
             .manager()
             .load(cpi_config("cpi", 1000).with_option("window_ms", 3000u64))
@@ -219,6 +295,9 @@ fn main() {
     let mut last_snapshot = 0u64;
     while start.elapsed().as_secs() < duration_s {
         let now = Timestamp::now();
+        if let Some(chaos) = &chaos {
+            chaos.advance(now);
+        }
         for pusher in &pushers {
             if let Err(e) = pusher.tick(now) {
                 eprintln!("pusher tick failed: {e}");
@@ -255,16 +334,41 @@ fn main() {
             let jobs_running = sim.lock().scheduler().running_at(now).len();
             let bus = broker.handle().stats();
             let ops = agent.manager().metrics_totals();
+            // Delivery summary across all pushers: connection states,
+            // total spool depth and losses.
+            let mut state_counts = [0usize; 3];
+            let mut spool_depth = 0u64;
+            let mut spool_dropped = 0u64;
+            let mut refused = 0u64;
+            let mut reconnects = 0u64;
+            for pusher in &pushers {
+                if let Some(state) = pusher.connection_state() {
+                    state_counts[state.index()] += 1;
+                }
+                let s = pusher.stats();
+                spool_depth += s.spooled_pending;
+                spool_dropped += s.spool_dropped;
+                refused += s.publish_errors;
+                reconnects += s.reconnects;
+            }
             println!(
                 "[{elapsed:>3}s] ingested {} readings, {} jobs running, storage holds {} \
-                 readings, bus dropped {} (router {}), backlog {}, operators: {} runs \
-                 ({} ok, {} err, {} panic, {} overrun, {} quarantined)",
+                 readings, bus dropped {} (router {}), backlog {}, delivery: {} up / {} \
+                 degraded / {} down, spool {} (refused {}, dropped {}, reconnects {}), \
+                 operators: {} runs ({} ok, {} err, {} panic, {} overrun, {} quarantined)",
                 a.readings,
                 jobs_running,
                 storage.stats().readings,
                 bus.dropped,
                 bus.router_dropped,
                 agent.ingest_backlog(),
+                state_counts[ConnectionState::Up.index()],
+                state_counts[ConnectionState::Degraded.index()],
+                state_counts[ConnectionState::Down.index()],
+                spool_depth,
+                refused,
+                spool_dropped,
+                reconnects,
                 ops.runs,
                 ops.successes,
                 ops.errors,

@@ -46,6 +46,7 @@ fn build_system() -> (
                 sampling_interval_ms: 1000,
                 cache_secs: 60,
                 publish: true,
+                ..PusherConfig::default()
             },
             Some(broker.handle()),
         );
