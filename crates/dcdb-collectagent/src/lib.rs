@@ -361,6 +361,7 @@ impl CollectAgent {
             "sensors": storage.sensors,
             "inserts": storage.inserts,
             "queries": storage.queries,
+            "health": self.storage.health().map(storage_health_json),
         });
         let operators_json = self.manager.metrics_json();
         let health = self.delivery_health();
@@ -424,7 +425,62 @@ impl CollectAgent {
         router.route(Method::Get, "/metrics", move |_req| {
             Response::json(agent.metrics_json().to_string())
         });
+        // GET /health — liveness/readiness for load balancers and
+        // monitoring: 200 while the storage engine accepts durable
+        // writes (healthy or degraded-but-retrying), 503 once it has
+        // fallen back to memtable-only buffering (read_only). Volatile
+        // engines have no failure modes and always report ok.
+        let agent = Arc::clone(self);
+        router.route(Method::Get, "/health", move |_req| {
+            let report = agent.storage().health();
+            let (status, state) = match report {
+                Some(r) if r.state == dcdb_storage::HealthState::ReadOnly => {
+                    (Status::ServiceUnavailable, r.state.as_str())
+                }
+                Some(r) => (Status::Ok, r.state.as_str()),
+                None => (Status::Ok, "healthy"),
+            };
+            let body = serde_json::json!({
+                "status": if status == Status::Ok { "ok" } else { "unavailable" },
+                "state": state,
+                "storage": report.map(storage_health_json),
+            });
+            Response::json(body.to_string()).with_status(status)
+        });
     }
+}
+
+/// The storage health report as served under `/metrics` (`storage.health`)
+/// and `/health` (`storage`).
+fn storage_health_json(h: dcdb_storage::StorageHealthReport) -> serde_json::Value {
+    serde_json::json!({
+        "state": h.state.as_str(),
+        "transitions": h.transitions,
+        "ingested": h.ingested,
+        "durable": h.durable,
+        "buffered": h.buffered,
+        "shed": h.shed,
+        "conserved": h.conserved(),
+        "write_errors": h.write_errors,
+        "write_retries": h.write_retries,
+        "fsync_poisonings": h.fsync_poisonings,
+        "wal_rotations": h.wal_rotations,
+        "probes": h.probes,
+        "drop_sync_errors": h.drop_sync_errors,
+        "cleanup_errors": h.cleanup_errors,
+        "quarantined": h.quarantined,
+        "seal_failures": h.seal_failures,
+        "recovery": serde_json::json!({
+            "recovered_readings": h.recovered_readings,
+            "wal_bytes_discarded": h.wal_bytes_discarded,
+            "torn_tails": h.torn_tails,
+        }),
+        "time_in_state_ns": serde_json::json!({
+            "healthy": h.healthy_ns,
+            "degraded": h.degraded_ns,
+            "read_only": h.readonly_ns,
+        }),
+    })
 }
 
 /// The first `depth` path segments of a topic (the whole topic when it
@@ -823,6 +879,91 @@ mod tests {
             jobs[0].node_paths,
             vec![t("/rack00/node00"), t("/rack00/node01")]
         );
+    }
+
+    #[test]
+    fn health_endpoint_reflects_storage_state() {
+        use dcdb_storage::{FaultConfig, FaultIo, HealthConfig};
+
+        // Volatile engine: no health report, always ok.
+        let (_broker, agent) = setup();
+        let mut router = Router::new();
+        agent.mount_routes(&mut router);
+        let resp = router.dispatch(dcdb_rest::Request::new(Method::Get, "/health"));
+        assert_eq!(resp.status.code(), 200);
+        let v: serde_json::Value = serde_json::from_str(&resp.body_str()).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(v.get("state").unwrap().as_str(), Some("healthy"));
+
+        // Durable engine driven ReadOnly by injected EIO: 503 with the
+        // health report in the body, and the same report under
+        // storage.health in /metrics.
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("dcdb-agent-health-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let io = Arc::new(FaultIo::std(FaultConfig::quiet(7)));
+        let storage = Arc::new(
+            DurableBackend::open_with(
+                Arc::clone(&io) as Arc<dyn dcdb_storage::StorageIo>,
+                &dir,
+                DurableConfig {
+                    health: HealthConfig {
+                        retry_backoff_base_ms: 0,
+                        degraded_after: 1,
+                        readonly_after: 2,
+                        ..HealthConfig::default()
+                    },
+                    ..DurableConfig::default()
+                },
+            )
+            .unwrap(),
+        );
+        let broker = Broker::new_sync();
+        let agent = Arc::new(
+            CollectAgent::new(
+                CollectAgentConfig::default(),
+                &broker.handle(),
+                Arc::clone(&storage) as Arc<dyn StorageEngine>,
+            )
+            .unwrap(),
+        );
+        let mut router = Router::new();
+        agent.mount_routes(&mut router);
+
+        io.set_config(FaultConfig {
+            eio_prob: 1.0,
+            fsync_fail_prob: 1.0,
+            ..FaultConfig::quiet(7)
+        });
+        let _ = storage.insert(
+            &t("/r0/n0/power"),
+            SensorReading::new(1, Timestamp::from_secs(1)),
+        );
+        assert_eq!(
+            storage.health().unwrap().state,
+            dcdb_storage::HealthState::ReadOnly
+        );
+        let resp = router.dispatch(dcdb_rest::Request::new(Method::Get, "/health"));
+        assert_eq!(resp.status.code(), 503);
+        let v: serde_json::Value = serde_json::from_str(&resp.body_str()).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("unavailable"));
+        assert_eq!(v.get("state").unwrap().as_str(), Some("read_only"));
+        let h = v.get("storage").unwrap();
+        assert_eq!(h.get("conserved").unwrap().as_bool(), Some(true));
+        assert!(h.get("write_errors").unwrap().as_u64().unwrap() > 0);
+
+        let resp = router.dispatch(dcdb_rest::Request::new(Method::Get, "/metrics"));
+        let v: serde_json::Value = serde_json::from_str(&resp.body_str()).unwrap();
+        let h = v.get("storage").unwrap().get("health").unwrap();
+        assert_eq!(h.get("state").unwrap().as_str(), Some("read_only"));
+        assert!(h.get("recovery").unwrap().get("torn_tails").is_some());
+
+        // Heal: clear the faults and let maintenance probe its way back.
+        io.clear_faults();
+        agent.tick(Timestamp::from_secs(10));
+        let resp = router.dispatch(dcdb_rest::Request::new(Method::Get, "/health"));
+        assert_eq!(resp.status.code(), 200, "{}", resp.body_str());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -221,6 +221,8 @@ pub enum Status {
     Conflict,
     /// 500
     InternalError,
+    /// 503
+    ServiceUnavailable,
 }
 
 impl Status {
@@ -235,6 +237,7 @@ impl Status {
             Status::MethodNotAllowed => 405,
             Status::Conflict => 409,
             Status::InternalError => 500,
+            Status::ServiceUnavailable => 503,
         }
     }
 
@@ -249,6 +252,7 @@ impl Status {
             Status::MethodNotAllowed => "Method Not Allowed",
             Status::Conflict => "Conflict",
             Status::InternalError => "Internal Server Error",
+            Status::ServiceUnavailable => "Service Unavailable",
         }
     }
 }

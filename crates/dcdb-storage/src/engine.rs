@@ -11,23 +11,34 @@
 //!   segment ([`crate::segment`]) and the WAL generation is retired;
 //! * *recovery*: on open, sealed segments are indexed and the WAL tail
 //!   is replayed into a fresh memtable — every acknowledged insert
-//!   survives a process kill, tolerating a torn final record;
+//!   survives a process kill, tolerating a torn final record; corrupt
+//!   segments and WALs are quarantined instead of aborting recovery;
 //! * *merged reads*: range queries stitch segment blocks and memtable
 //!   partitions, deduplicating by timestamp with newest-generation-wins
 //!   semantics (identical to overwrite behaviour of the memtable);
 //! * *compaction* and *retention*: background maintenance merges small
 //!   segments and drops whole segments past the retention horizon,
-//!   honoring the same `evict_before` semantics as the memtable.
+//!   honoring the same `evict_before` semantics as the memtable;
+//! * *fault tolerance* ([`crate::health`]): write errors are retried
+//!   with bounded exponential backoff, a poisoned WAL (failed fsync) is
+//!   rotated to a fresh file that re-journals the memtable, and when the
+//!   journal cannot make progress the engine degrades to a bounded
+//!   memtable-only write-behind mode while probing for recovery. All
+//!   I/O flows through the [`crate::io::StorageIo`] VFS so these paths
+//!   are exercised deterministically by `FaultIo`.
 //!
 //! Directory layout: `wal-<seq>.log` journal generations and
 //! `seg-<seq>.seg` sealed segments, sharing one monotonic sequence
-//! counter; `*.tmp` files are crash leftovers and deleted on open.
+//! counter; `*.tmp` files are crash leftovers and deleted on open;
+//! `quarantine/` collects corrupt files set aside during recovery.
 
 use crate::backend::{StorageBackend, StorageStats};
-use crate::segment::{write_segment, SegmentReader};
-use crate::wal::{replay, FsyncPolicy, WalReplay, WalWriter};
+use crate::health::{HealthConfig, HealthCore, HealthState, StorageHealthReport};
+use crate::io::{StdIo, StorageIo};
+use crate::segment::{write_segment_with, SegmentReader};
+use crate::wal::{replay_with, FsyncPolicy, WalReplay, WalWriter};
 use crate::StorageEngine;
-use dcdb_common::error::Result;
+use dcdb_common::error::{DcdbError, Result};
 use dcdb_common::reading::SensorReading;
 use dcdb_common::time::Timestamp;
 use dcdb_common::topic::Topic;
@@ -50,6 +61,8 @@ pub struct DurableConfig {
     pub retention_ns: Option<u64>,
     /// Partition duration of the memtable (see [`crate::series`]).
     pub partition_ns: u64,
+    /// Health state machine tuning (retry, demotion, probing, buffer).
+    pub health: HealthConfig,
 }
 
 impl Default for DurableConfig {
@@ -60,6 +73,7 @@ impl Default for DurableConfig {
             compact_min_segments: 4,
             retention_ns: None,
             partition_ns: crate::series::DEFAULT_PARTITION_NS,
+            health: HealthConfig::default(),
         }
     }
 }
@@ -80,6 +94,11 @@ pub struct RecoveryReport {
     /// WAL files that ended in a torn or corrupt tail (each lost only
     /// its final, never-acknowledged record).
     pub torn_tails: usize,
+    /// Bytes discarded at torn/corrupt WAL tails across all files.
+    pub wal_bytes_discarded: u64,
+    /// Corrupt segments/WALs moved to `quarantine/` instead of aborting
+    /// recovery.
+    pub quarantined: usize,
 }
 
 /// Operational counters beyond [`StorageStats`].
@@ -97,6 +116,38 @@ pub struct EngineStats {
     /// Readings currently in the memtable (approximate; overwrites of
     /// duplicate timestamps are counted as inserts).
     pub memtable_readings: usize,
+    /// Failed journal writes/syncs observed.
+    pub write_errors: u64,
+    /// Append retries performed.
+    pub write_retries: u64,
+    /// WAL writers poisoned by a failed fsync (or failed rollback).
+    pub fsync_poisonings: u64,
+    /// WAL rotations performed (poison recovery + ReadOnly probes).
+    pub wal_rotations: u64,
+    /// Failed memtable→segment seal attempts.
+    pub seal_failures: u64,
+    /// Final-fsync failures recorded by `Drop`.
+    pub drop_sync_errors: u64,
+    /// Failed temp/retired-file removals (leaked files on disk).
+    pub cleanup_errors: u64,
+    /// Corrupt files quarantined on open.
+    pub quarantined: u64,
+    /// Readings recovered from WALs at open.
+    pub wal_recovered_readings: usize,
+    /// Bytes discarded at torn/corrupt WAL tails at open.
+    pub wal_bytes_discarded: u64,
+    /// WAL files whose replay stopped at a torn or corrupt record.
+    pub torn_tails: usize,
+}
+
+/// How an insert was acknowledged by [`DurableBackend::insert_batch_acked`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertAck {
+    /// Journaled (and fsynced, per policy): survives a process kill.
+    Durable,
+    /// Accepted memtable-only under ReadOnly: visible to queries, lost
+    /// on crash until a successful probe re-journals the memtable.
+    Buffered,
 }
 
 struct Active {
@@ -107,6 +158,7 @@ struct Active {
 
 /// The durable storage engine. See the module docs for the design.
 pub struct DurableBackend {
+    io: Arc<dyn StorageIo>,
     dir: PathBuf,
     config: DurableConfig,
     active: RwLock<Active>,
@@ -121,9 +173,10 @@ pub struct DurableBackend {
     unsealed_wals: Mutex<Vec<PathBuf>>,
     next_seq: AtomicU64,
     memtable_readings: AtomicUsize,
-    /// Serializes seal / compact / retention passes.
+    /// Serializes seal / compact / retention / WAL-rotation passes.
     seal_lock: Mutex<()>,
     recovery: RecoveryReport,
+    health: Arc<HealthCore>,
     inserts: AtomicU64,
     queries: AtomicU64,
     seals: AtomicU64,
@@ -138,23 +191,62 @@ fn parse_seq(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
         .ok()
 }
 
+/// Moves a corrupt file into `quarantine/` instead of aborting
+/// recovery; the move (and any failure of the move itself) is counted.
+fn quarantine_file(
+    io: &dyn StorageIo,
+    quarantine_dir: &Path,
+    path: &Path,
+    err: &DcdbError,
+    health: &HealthCore,
+    recovery: &mut RecoveryReport,
+) {
+    eprintln!(
+        "dcdb-storage: quarantining {} after recovery error: {err}",
+        path.display()
+    );
+    let moved = io.create_dir_all(quarantine_dir).is_ok()
+        && path
+            .file_name()
+            .is_some_and(|name| io.rename(path, &quarantine_dir.join(name)).is_ok());
+    if !moved {
+        health.note_cleanup_error();
+    }
+    recovery.quarantined += 1;
+    health.note_quarantined();
+}
+
 impl DurableBackend {
     /// Opens (or initializes) a durable engine rooted at `dir`,
     /// recovering all sealed segments and replaying the WAL tail.
     pub fn open(dir: &Path, config: DurableConfig) -> Result<DurableBackend> {
-        std::fs::create_dir_all(dir)?;
+        DurableBackend::open_with(Arc::new(StdIo), dir, config)
+    }
+
+    /// [`DurableBackend::open`] over an explicit [`StorageIo`] — the VFS
+    /// every byte of this engine will flow through.
+    pub fn open_with(
+        io: Arc<dyn StorageIo>,
+        dir: &Path,
+        config: DurableConfig,
+    ) -> Result<DurableBackend> {
+        io.create_dir_all(dir)?;
+        let health = Arc::new(HealthCore::new(config.health));
+        let quarantine_dir = dir.join("quarantine");
+        let mut recovery = RecoveryReport::default();
+
         let mut seg_files: Vec<(u64, PathBuf)> = Vec::new();
         let mut wal_files: Vec<(u64, PathBuf)> = Vec::new();
-        for entry in std::fs::read_dir(dir)? {
-            let entry = entry?;
-            let path = entry.path();
+        for path in io.list(dir)? {
             let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
                 continue;
             };
             if name.ends_with(".tmp") {
                 // Crash leftover from an interrupted seal; the data it
                 // was written from is still covered by the WALs.
-                std::fs::remove_file(&path).ok();
+                if io.remove(&path).is_err() {
+                    health.note_cleanup_error();
+                }
             } else if let Some(seq) = parse_seq(name, "seg-", ".seg") {
                 seg_files.push((seq, path));
             } else if let Some(seq) = parse_seq(name, "wal-", ".log") {
@@ -164,38 +256,71 @@ impl DurableBackend {
         seg_files.sort();
         wal_files.sort();
 
-        let mut recovery = RecoveryReport::default();
         let mut segments = Vec::with_capacity(seg_files.len());
         let mut max_seq = 0u64;
         for (seq, path) in seg_files {
-            let reader = SegmentReader::open(&path)?;
-            recovery.segments += 1;
-            recovery.segment_readings += reader.reading_count();
-            segments.push((seq, Arc::new(reader)));
+            match SegmentReader::open_with(Arc::clone(&io), &path) {
+                Ok(reader) => {
+                    recovery.segments += 1;
+                    recovery.segment_readings += reader.reading_count();
+                    segments.push((seq, Arc::new(reader)));
+                }
+                Err(err) => quarantine_file(
+                    io.as_ref(),
+                    &quarantine_dir,
+                    &path,
+                    &err,
+                    &health,
+                    &mut recovery,
+                ),
+            }
             max_seq = max_seq.max(seq);
         }
 
         let memtable = Arc::new(StorageBackend::with_partition_ns(config.partition_ns));
         let mut unsealed = Vec::new();
         for (seq, path) in wal_files {
-            let rep: WalReplay = replay(&path, |topic, readings| {
+            max_seq = max_seq.max(seq);
+            let rep: WalReplay = match replay_with(io.as_ref(), &path, |topic, readings| {
                 memtable.insert_batch(&topic, &readings);
-            })?;
+            }) {
+                Ok(rep) => rep,
+                Err(err) => {
+                    // Replay inserts only fully validated records, so a
+                    // mid-file I/O or parse failure cannot have fed the
+                    // memtable garbage — set the file aside and move on.
+                    quarantine_file(
+                        io.as_ref(),
+                        &quarantine_dir,
+                        &path,
+                        &err,
+                        &health,
+                        &mut recovery,
+                    );
+                    continue;
+                }
+            };
             recovery.wal_files += 1;
             recovery.wal_batches += rep.batches;
             recovery.wal_readings += rep.readings;
+            recovery.wal_bytes_discarded += rep.discarded_bytes;
             if rep.torn_tail {
                 recovery.torn_tails += 1;
             }
             unsealed.push(path);
-            max_seq = max_seq.max(seq);
         }
 
         let wal_seq = max_seq + 1;
         let wal_path = dir.join(format!("wal-{wal_seq:010}.log"));
-        let wal = WalWriter::create(&wal_path, config.fsync)?;
+        let wal = WalWriter::create_with(io.as_ref(), &wal_path, config.fsync)?;
+        health.note_recovery(
+            recovery.wal_readings,
+            recovery.wal_bytes_discarded,
+            recovery.torn_tails,
+        );
 
         Ok(DurableBackend {
+            io,
             dir: dir.to_path_buf(),
             config,
             active: RwLock::new(Active {
@@ -210,6 +335,7 @@ impl DurableBackend {
             memtable_readings: AtomicUsize::new(recovery.wal_readings),
             seal_lock: Mutex::new(()),
             recovery,
+            health,
             inserts: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             seals: AtomicU64::new(0),
@@ -228,6 +354,25 @@ impl DurableBackend {
         &self.dir
     }
 
+    /// The shared health core — stays readable after the engine drops,
+    /// so observers can see the final `drop_sync_errors`.
+    pub fn health_handle(&self) -> Arc<HealthCore> {
+        Arc::clone(&self.health)
+    }
+
+    /// Point-in-time health report.
+    pub fn health_report(&self) -> StorageHealthReport {
+        self.health.report()
+    }
+
+    /// Removes a file through the VFS, counting (instead of swallowing)
+    /// failures so leaked files are observable.
+    fn remove_file_counted(&self, path: &Path) {
+        if self.io.remove(path).is_err() {
+            self.health.note_cleanup_error();
+        }
+    }
+
     /// Inserts one reading, journaled before acknowledgement.
     pub fn insert(&self, topic: &Topic, r: SensorReading) -> Result<()> {
         self.insert_batch(topic, std::slice::from_ref(&r))
@@ -235,23 +380,152 @@ impl DurableBackend {
 
     /// Inserts a batch, journaled before acknowledgement: when this
     /// returns `Ok`, the batch is in the WAL file (and fsynced, under
-    /// `FsyncPolicy::Always`) — it will survive a process kill.
+    /// `FsyncPolicy::Always`) — it will survive a process kill — unless
+    /// the engine is ReadOnly, in which case the batch was accepted
+    /// memtable-only (use [`DurableBackend::insert_batch_acked`] to
+    /// distinguish the two acknowledgements).
     pub fn insert_batch(&self, topic: &Topic, readings: &[SensorReading]) -> Result<()> {
+        self.insert_batch_acked(topic, readings).map(|_| ())
+    }
+
+    /// [`DurableBackend::insert_batch`] reporting *how* the batch was
+    /// acknowledged. Transient write errors are retried with bounded
+    /// exponential backoff; a poisoned WAL triggers rotation; under
+    /// ReadOnly the batch goes to the bounded write-behind buffer.
+    pub fn insert_batch_acked(
+        &self,
+        topic: &Topic,
+        readings: &[SensorReading],
+    ) -> Result<InsertAck> {
         if readings.is_empty() {
-            return Ok(());
+            return Ok(InsertAck::Durable);
         }
-        {
-            let active = self.active.read();
-            active.wal.lock().append(topic, readings)?;
-            active.memtable.insert_batch(topic, readings);
-            self.memtable_readings
-                .fetch_add(readings.len(), Ordering::Relaxed);
+        self.health.note_ingested(readings.len());
+        if self.health.state() == HealthState::ReadOnly {
+            return self.buffer_readings(topic, readings);
         }
+        let hc = self.config.health;
+        let mut attempt = 0u32;
+        loop {
+            // The append and the memtable insert happen under one
+            // `active` guard per attempt, so a concurrent seal can never
+            // retire the WAL generation that covers this batch.
+            let outcome = {
+                let active = self.active.read();
+                let mut wal = active.wal.lock();
+                match wal.append(topic, readings) {
+                    Ok(()) => {
+                        active.memtable.insert_batch(topic, readings);
+                        self.memtable_readings
+                            .fetch_add(readings.len(), Ordering::Relaxed);
+                        Ok(())
+                    }
+                    Err(err) => Err((err, wal.poisoned())),
+                }
+            };
+            match outcome {
+                Ok(()) => {
+                    self.health.record_write_success();
+                    self.health.note_durable(readings.len());
+                    self.inserts
+                        .fetch_add(readings.len() as u64, Ordering::Relaxed);
+                    break;
+                }
+                Err((err, poisoned)) => {
+                    let state = self.health.record_write_error();
+                    if poisoned {
+                        self.health.note_fsync_poisoning();
+                        // Only a fresh journal covering the memtable can
+                        // restore durability after a failed fsync.
+                        let _ = self.rotate_wal();
+                    }
+                    if state == HealthState::ReadOnly {
+                        return self.buffer_readings(topic, readings);
+                    }
+                    if attempt >= hc.max_retries {
+                        self.health.note_shed(readings.len());
+                        return Err(err);
+                    }
+                    attempt += 1;
+                    self.health.note_retry();
+                    let backoff_ms = hc
+                        .retry_backoff_base_ms
+                        .saturating_mul(1 << (attempt - 1).min(16))
+                        .min(hc.retry_backoff_cap_ms);
+                    if backoff_ms > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+                    }
+                }
+            }
+        }
+        if self.memtable_readings.load(Ordering::Relaxed) >= self.config.memtable_max_readings {
+            // The batch is already acknowledged durable; a failed seal is
+            // a maintenance problem (counted, retried next pass), not an
+            // insert failure.
+            let _ = self.seal();
+        }
+        Ok(InsertAck::Durable)
+    }
+
+    /// Accepts a batch memtable-only under ReadOnly, bounded by
+    /// `health.buffer_max_readings`; overflow is shed with an error.
+    fn buffer_readings(&self, topic: &Topic, readings: &[SensorReading]) -> Result<InsertAck> {
+        if !self.health.try_note_buffered(readings.len()) {
+            return Err(DcdbError::InvalidState(
+                "storage is read-only and the write-behind buffer is full".into(),
+            ));
+        }
+        let active = self.active.read();
+        active.memtable.insert_batch(topic, readings);
+        self.memtable_readings
+            .fetch_add(readings.len(), Ordering::Relaxed);
+        drop(active);
         self.inserts
             .fetch_add(readings.len() as u64, Ordering::Relaxed);
-        if self.memtable_readings.load(Ordering::Relaxed) >= self.config.memtable_max_readings {
-            self.seal()?;
+        Ok(InsertAck::Buffered)
+    }
+
+    /// Rotates to a fresh WAL file that re-journals the entire active
+    /// memtable, then retires every previous journal generation. This is
+    /// the recovery move for a poisoned WAL and the ReadOnly probe: on
+    /// success everything the memtable holds — including write-behind
+    /// buffered readings — is durable again.
+    fn rotate_wal(&self) -> Result<()> {
+        let _guard = self.seal_lock.lock();
+        let wal_seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let new_path = self.dir.join(format!("wal-{wal_seq:010}.log"));
+        let mut new_wal = WalWriter::create_with(self.io.as_ref(), &new_path, self.config.fsync)?;
+        // Hold the write guard across dump + swap: no insert may slip
+        // into the old (about-to-be-retired) journal after the dump.
+        let mut active = self.active.write();
+        let dumped = (|| -> Result<()> {
+            for topic in active.memtable.topics() {
+                let readings = active
+                    .memtable
+                    .query(&topic, Timestamp::ZERO, Timestamp::MAX);
+                if !readings.is_empty() {
+                    new_wal.append(&topic, &readings)?;
+                }
+            }
+            new_wal.sync()
+        })();
+        if let Err(err) = dumped {
+            drop(active);
+            self.remove_file_counted(&new_path);
+            return Err(err);
         }
+        let old_wal = std::mem::replace(&mut active.wal_path, new_path);
+        *active.wal.lock() = new_wal;
+        drop(active);
+        // The fresh journal covers the whole memtable, so every older
+        // generation (including replayed pre-crash WALs) is redundant.
+        let mut retired: Vec<PathBuf> = std::mem::take(&mut *self.unsealed_wals.lock());
+        retired.push(old_wal);
+        for path in retired {
+            self.remove_file_counted(&path);
+        }
+        self.health.note_wal_rotation();
+        self.health.drain_buffered();
         Ok(())
     }
 
@@ -365,7 +639,14 @@ impl DurableBackend {
         let seg_seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let wal_seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let new_wal_path = self.dir.join(format!("wal-{wal_seq:010}.log"));
-        let new_wal = WalWriter::create(&new_wal_path, self.config.fsync)?;
+        let new_wal =
+            match WalWriter::create_with(self.io.as_ref(), &new_wal_path, self.config.fsync) {
+                Ok(w) => w,
+                Err(err) => {
+                    self.health.note_seal_failure();
+                    return Err(err);
+                }
+            };
         let fresh = Arc::new(StorageBackend::with_partition_ns(self.config.partition_ns));
 
         // Publish the outgoing memtable to the `sealing` slot *before*
@@ -400,18 +681,20 @@ impl DurableBackend {
         let sealed: usize = entries.iter().map(|(_, r)| r.len()).sum();
         let seg_path = self.dir.join(format!("seg-{seg_seq:010}.seg"));
 
-        let written =
-            write_segment(&seg_path, &entries).and_then(|()| SegmentReader::open(&seg_path));
+        let written = write_segment_with(self.io.as_ref(), &seg_path, &entries)
+            .and_then(|()| SegmentReader::open_with(Arc::clone(&self.io), &seg_path));
         match written {
             Ok(reader) => {
                 self.segments.write().push((seg_seq, Arc::new(reader)));
                 *self.sealing.write() = None;
                 // The sealed data is durable in the segment; retire the
-                // WAL generations that covered it.
+                // WAL generations that covered it. Any write-behind
+                // buffered readings just became durable too.
+                self.health.drain_buffered();
                 let mut retired: Vec<PathBuf> = std::mem::take(&mut *self.unsealed_wals.lock());
                 retired.push(old.wal_path);
                 for path in retired {
-                    std::fs::remove_file(&path).ok();
+                    self.remove_file_counted(&path);
                 }
                 self.seals.fetch_add(1, Ordering::Relaxed);
                 Ok(sealed)
@@ -430,7 +713,8 @@ impl DurableBackend {
                 }
                 *self.sealing.write() = None;
                 self.unsealed_wals.lock().push(old.wal_path);
-                std::fs::remove_file(&seg_path).ok();
+                self.remove_file_counted(&seg_path.with_extension("tmp"));
+                self.health.note_seal_failure();
                 Err(e)
             }
         }
@@ -460,8 +744,8 @@ impl DurableBackend {
             .collect();
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let path = self.dir.join(format!("seg-{seq:010}.seg"));
-        write_segment(&path, &entries)?;
-        let reader = Arc::new(SegmentReader::open(&path)?);
+        write_segment_with(self.io.as_ref(), &path, &entries)?;
+        let reader = Arc::new(SegmentReader::open_with(Arc::clone(&self.io), &path)?);
         {
             let mut segments = self.segments.write();
             segments.retain(|(s, _)| !old.iter().any(|(o, _)| o == s));
@@ -469,7 +753,7 @@ impl DurableBackend {
             segments.sort_by_key(|(s, _)| *s);
         }
         for (_, seg) in &old {
-            std::fs::remove_file(seg.path()).ok();
+            self.remove_file_counted(seg.path());
         }
         self.compactions.fetch_add(1, Ordering::Relaxed);
         Ok(true)
@@ -494,14 +778,27 @@ impl DurableBackend {
         }
         for seg in dropped {
             evicted += seg.reading_count();
-            std::fs::remove_file(seg.path()).ok();
+            self.remove_file_counted(seg.path());
         }
         evicted
     }
 
-    /// One maintenance pass: seal when the memtable is over threshold,
-    /// compact when enough segments accumulated, apply retention.
+    /// One maintenance pass: advance the health clock, probe for
+    /// recovery under ReadOnly, and (when the journal is usable) seal,
+    /// compact and apply retention.
     pub fn maintain(&self, now: Timestamp) -> Result<()> {
+        self.health.observe(now);
+        if self.health.probe_due(now) {
+            match self.rotate_wal() {
+                Ok(()) => self.health.record_probe_success(),
+                Err(_) => self.health.record_probe_failure(now),
+            }
+        }
+        if self.health.state() == HealthState::ReadOnly {
+            // The disk is refusing writes; sealing or compacting now
+            // would only churn against it.
+            return Ok(());
+        }
         if self.memtable_readings.load(Ordering::Relaxed) >= self.config.memtable_max_readings {
             self.seal()?;
         }
@@ -542,34 +839,51 @@ impl DurableBackend {
 
     /// Engine-specific counters.
     pub fn engine_stats(&self) -> EngineStats {
+        let h = self.health.report();
         EngineStats {
             seals: self.seals.load(Ordering::Relaxed),
             compactions: self.compactions.load(Ordering::Relaxed),
             read_errors: self.read_errors.load(Ordering::Relaxed),
             sealed_segments: self.segments.read().len(),
             memtable_readings: self.memtable_readings.load(Ordering::Relaxed),
+            write_errors: h.write_errors,
+            write_retries: h.write_retries,
+            fsync_poisonings: h.fsync_poisonings,
+            wal_rotations: h.wal_rotations,
+            seal_failures: h.seal_failures,
+            drop_sync_errors: h.drop_sync_errors,
+            cleanup_errors: h.cleanup_errors,
+            quarantined: h.quarantined,
+            wal_recovered_readings: self.recovery.wal_readings,
+            wal_bytes_discarded: self.recovery.wal_bytes_discarded,
+            torn_tails: self.recovery.torn_tails,
         }
     }
 
     /// Total bytes currently on disk (WALs + segments).
     pub fn disk_bytes(&self) -> u64 {
-        std::fs::read_dir(&self.dir)
-            .map(|entries| {
-                entries
-                    .flatten()
-                    .filter_map(|e| e.metadata().ok())
-                    .map(|m| m.len())
-                    .sum()
-            })
+        self.io
+            .list(&self.dir)
+            .map(|paths| paths.iter().filter_map(|p| self.io.file_len(p).ok()).sum())
             .unwrap_or(0)
     }
 }
 
 impl Drop for DurableBackend {
     fn drop(&mut self) {
-        // Best-effort: make acknowledged-but-unsynced appends durable.
+        // Best-effort: make acknowledged-but-unsynced appends durable —
+        // and make it *visible* when that fails, because it means
+        // acknowledged data may not have reached the platter.
         let active = self.active.read();
-        let _ = active.wal.lock().sync();
+        let result = active.wal.lock().sync();
+        drop(active);
+        if let Err(err) = result {
+            self.health.note_drop_sync_error();
+            eprintln!(
+                "dcdb-storage: final WAL fsync failed while dropping engine at {}: {err}",
+                self.dir.display()
+            );
+        }
     }
 }
 
@@ -578,6 +892,7 @@ impl std::fmt::Debug for DurableBackend {
         let e = self.engine_stats();
         f.debug_struct("DurableBackend")
             .field("dir", &self.dir)
+            .field("state", &self.health.state().as_str())
             .field("segments", &e.sealed_segments)
             .field("memtable_readings", &e.memtable_readings)
             .field("seals", &e.seals)
@@ -617,11 +932,15 @@ impl StorageEngine for DurableBackend {
     fn maintain(&self, now: Timestamp) -> Result<()> {
         DurableBackend::maintain(self, now)
     }
+    fn health(&self) -> Option<StorageHealthReport> {
+        Some(self.health.report())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::io::{FaultConfig, FaultIo};
 
     fn t(s: &str) -> Topic {
         Topic::parse(s).unwrap()
@@ -655,6 +974,10 @@ mod tests {
             compact_min_segments: 3,
             retention_ns: None,
             partition_ns: 10 * 1_000_000_000,
+            health: HealthConfig {
+                retry_backoff_base_ms: 0,
+                ..HealthConfig::default()
+            },
         }
     }
 
@@ -686,6 +1009,7 @@ mod tests {
         assert_eq!(rep.wal_readings, 50);
         assert_eq!(rep.segments, 0);
         assert_eq!(rep.torn_tails, 0);
+        assert_eq!(rep.quarantined, 0);
         let q = db.query(&t("/n0/power"), Timestamp::ZERO, Timestamp::MAX);
         assert_eq!(q.len(), 50);
     }
@@ -879,5 +1203,162 @@ mod tests {
         let mut topics = db.topics();
         topics.sort();
         assert_eq!(topics, vec![t("/a/x"), t("/b/y")]);
+    }
+
+    #[test]
+    fn fsync_poisoning_rotates_wal_and_keeps_acked_data() {
+        let dir = TempDir::new("poison-rotate");
+        let io = FaultIo::std(FaultConfig::quiet(21));
+        let config = DurableConfig {
+            fsync: FsyncPolicy::Always,
+            ..small_config()
+        };
+        let db = DurableBackend::open_with(Arc::new(io.clone()), dir.path(), config).unwrap();
+        for i in 1..=20u64 {
+            db.insert(&t("/n0/power"), r(i as i64, i)).unwrap();
+        }
+        // One failing fsync: the append errors, the writer poisons, the
+        // engine rotates and the retry succeeds.
+        let mut cfg = FaultConfig::quiet(21);
+        cfg.fsync_fail_prob = 1.0;
+        io.set_config(cfg);
+        assert!(db.insert(&t("/n0/power"), r(21, 21)).is_err());
+        io.clear_faults();
+        db.insert(&t("/n0/power"), r(21, 21)).unwrap();
+        let e = db.engine_stats();
+        assert!(e.fsync_poisonings >= 1, "{e:?}");
+        assert!(e.wal_rotations >= 1, "{e:?}");
+        drop(db);
+        // Everything acknowledged survives the restart.
+        let db = DurableBackend::open(dir.path(), small_config()).unwrap();
+        let q = db.query(&t("/n0/power"), Timestamp::ZERO, Timestamp::MAX);
+        assert_eq!(q.len(), 21);
+        let h = db.health_report();
+        assert!(h.conserved(), "{h:?}");
+    }
+
+    #[test]
+    fn corrupt_segment_is_quarantined_not_fatal() {
+        let dir = TempDir::new("quarantine");
+        {
+            let db = DurableBackend::open(dir.path(), small_config()).unwrap();
+            for i in 1..=100u64 {
+                db.insert(&t("/n0/power"), r(i as i64, i)).unwrap();
+            }
+            db.flush().unwrap();
+            for i in 101..=150u64 {
+                db.insert(&t("/n0/power"), r(i as i64, i)).unwrap();
+            }
+        }
+        // Corrupt the first sealed segment's trailer.
+        let seg = std::fs::read_dir(dir.path())
+            .unwrap()
+            .flatten()
+            .map(|e| e.path())
+            .find(|p| p.to_string_lossy().contains("seg-"))
+            .unwrap();
+        let mut data = std::fs::read(&seg).unwrap();
+        let n = data.len();
+        data[n - 4] ^= 0xFF;
+        std::fs::write(&seg, &data).unwrap();
+
+        let db = DurableBackend::open(dir.path(), small_config()).unwrap();
+        let rep = db.recovery();
+        assert_eq!(rep.quarantined, 1, "{rep:?}");
+        assert!(dir.path().join("quarantine").is_dir());
+        // The WAL tail still recovered; the engine is usable.
+        let q = db.query(&t("/n0/power"), Timestamp::ZERO, Timestamp::MAX);
+        assert_eq!(q.len(), 50, "WAL-covered readings survive");
+        db.insert(&t("/n0/power"), r(151, 151)).unwrap();
+    }
+
+    #[test]
+    fn drop_sync_error_is_recorded_and_observable() {
+        let dir = TempDir::new("drop-sync");
+        let io = FaultIo::std(FaultConfig::quiet(33));
+        let db =
+            DurableBackend::open_with(Arc::new(io.clone()), dir.path(), small_config()).unwrap();
+        db.insert(&t("/n0/power"), r(1, 1)).unwrap();
+        let health = db.health_handle();
+        let mut cfg = FaultConfig::quiet(33);
+        cfg.fsync_fail_prob = 1.0;
+        io.set_config(cfg);
+        drop(db);
+        assert_eq!(health.drop_sync_errors(), 1);
+    }
+
+    #[test]
+    fn readonly_buffers_then_sheds_then_heals() {
+        let dir = TempDir::new("readonly");
+        let io = FaultIo::std(FaultConfig::quiet(55));
+        let config = DurableConfig {
+            fsync: FsyncPolicy::Always,
+            health: HealthConfig {
+                retry_backoff_base_ms: 0,
+                max_retries: 1,
+                degraded_after: 1,
+                readonly_after: 3,
+                heal_after: 2,
+                probe_base_ms: 10,
+                probe_cap_ms: 40,
+                buffer_max_readings: 5,
+                ..HealthConfig::default()
+            },
+            ..small_config()
+        };
+        let db = DurableBackend::open_with(Arc::new(io.clone()), dir.path(), config).unwrap();
+        db.insert(&t("/a/b"), r(1, 1)).unwrap();
+        // Break every write: the engine degrades to ReadOnly.
+        let mut cfg = FaultConfig::quiet(55);
+        cfg.eio_prob = 1.0;
+        cfg.fsync_fail_prob = 1.0;
+        io.set_config(cfg);
+        for i in 2..=10u64 {
+            let _ = db.insert(&t("/a/b"), r(i as i64, i));
+            if db.health_report().state == HealthState::ReadOnly {
+                break;
+            }
+        }
+        assert_eq!(db.health_report().state, HealthState::ReadOnly);
+        // The transition itself may have buffered the in-flight insert.
+        let before = db.health_report();
+        let baseline = before.buffered as usize;
+        // Buffered writes are visible to queries but capped at 5 total.
+        for i in 100..110u64 {
+            let _ = db.insert(&t("/a/b"), r(i as i64, i));
+        }
+        let h = db.health_report();
+        assert_eq!(h.buffered, 5, "{h:?}");
+        assert!(h.shed > before.shed, "{h:?}");
+        assert!(h.conserved(), "{h:?}");
+        assert_eq!(
+            db.query(&t("/a/b"), Timestamp::from_secs(100), Timestamp::MAX)
+                .len(),
+            5 - baseline
+        );
+        // Faults clear → the next due probe rotates the WAL, drains the
+        // buffer into durability and heals to Degraded, then Healthy.
+        io.clear_faults();
+        db.maintain(Timestamp::from_secs(1000)).unwrap();
+        let h = db.health_report();
+        assert_eq!(h.state, HealthState::Degraded, "{h:?}");
+        assert_eq!(h.buffered, 0, "{h:?}");
+        assert!(h.conserved(), "{h:?}");
+        db.insert(&t("/a/b"), r(200, 200)).unwrap();
+        db.insert(&t("/a/b"), r(201, 201)).unwrap();
+        assert_eq!(db.health_report().state, HealthState::Healthy);
+        // The drained buffer really is durable now.
+        drop(db);
+        let db = DurableBackend::open(dir.path(), small_config()).unwrap();
+        let q = db.query(
+            &t("/a/b"),
+            Timestamp::from_secs(100),
+            Timestamp::from_secs(109),
+        );
+        assert_eq!(
+            q.len(),
+            5 - baseline,
+            "buffered readings survived via rotation"
+        );
     }
 }

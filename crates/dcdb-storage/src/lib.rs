@@ -25,13 +25,17 @@ pub mod backend;
 pub mod compress;
 pub mod crc;
 pub mod engine;
+pub mod health;
+pub mod io;
 pub mod segment;
 pub mod series;
 pub mod snapshot;
 pub mod wal;
 
 pub use backend::{StorageBackend, StorageStats};
-pub use engine::{DurableBackend, DurableConfig, EngineStats, RecoveryReport};
+pub use engine::{DurableBackend, DurableConfig, EngineStats, InsertAck, RecoveryReport};
+pub use health::{HealthConfig, HealthCore, HealthState, StorageHealthReport};
+pub use io::{FaultConfig, FaultIo, FaultIoStats, StdIo, StorageIo};
 pub use series::{Series, DEFAULT_PARTITION_NS};
 pub use wal::FsyncPolicy;
 
@@ -72,5 +76,10 @@ pub trait StorageEngine: Send + Sync + std::fmt::Debug {
     /// One background maintenance pass (sealing, compaction, retention).
     fn maintain(&self, _now: Timestamp) -> Result<()> {
         Ok(())
+    }
+    /// Health report, for engines that track one (`None` for volatile
+    /// engines, which cannot fail).
+    fn health(&self) -> Option<StorageHealthReport> {
+        None
     }
 }

@@ -22,14 +22,14 @@
 
 use crate::compress::{compress_block, decompress_block};
 use crate::crc::crc32;
+use crate::io::{StdIo, StorageIo};
 use dcdb_common::error::{DcdbError, Result};
 use dcdb_common::reading::SensorReading;
 use dcdb_common::time::Timestamp;
 use dcdb_common::topic::Topic;
 use std::collections::HashMap;
-use std::fs::File;
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Leading file magic.
 pub const SEGMENT_MAGIC: &[u8; 8] = b"DCDBSEG1";
@@ -52,9 +52,21 @@ struct BlockMeta {
 /// `entries` must contain each reading run sorted by timestamp (the
 /// memtable guarantees this); topics may come in any order.
 pub fn write_segment(path: &Path, entries: &[(Topic, Vec<SensorReading>)]) -> Result<()> {
+    write_segment_with(&StdIo, path, entries)
+}
+
+/// [`write_segment`] over an explicit [`StorageIo`].
+///
+/// On failure the temp file may remain behind — the engine counts (and
+/// retries) its removal rather than silently leaking it.
+pub fn write_segment_with(
+    io: &dyn StorageIo,
+    path: &Path,
+    entries: &[(Topic, Vec<SensorReading>)],
+) -> Result<()> {
     let tmp = path.with_extension("tmp");
     {
-        let mut file = File::create(&tmp)?;
+        let mut file = io.create(&tmp)?;
         file.write_all(SEGMENT_MAGIC)?;
         let mut offset = SEGMENT_MAGIC.len() as u64;
         let mut index = Vec::new();
@@ -94,14 +106,12 @@ pub fn write_segment(path: &Path, entries: &[(Topic, Vec<SensorReading>)]) -> Re
         file.write_all(&offset.to_le_bytes())?;
         file.write_all(&crc32(&index).to_le_bytes())?;
         file.write_all(SEGMENT_MAGIC_END)?;
-        file.sync_all()?;
+        file.sync()?;
     }
-    std::fs::rename(&tmp, path)?;
+    io.rename(&tmp, path)?;
     // Fsync the directory so the rename itself is durable.
     if let Some(dir) = path.parent() {
-        if let Ok(d) = File::open(dir) {
-            let _ = d.sync_all();
-        }
+        io.sync_dir(dir)?;
     }
     Ok(())
 }
@@ -109,6 +119,7 @@ pub fn write_segment(path: &Path, entries: &[(Topic, Vec<SensorReading>)]) -> Re
 /// Read handle over one sealed segment: in-memory index, on-demand
 /// block reads.
 pub struct SegmentReader {
+    io: Arc<dyn StorageIo>,
     path: PathBuf,
     index: HashMap<Topic, BlockMeta>,
     min_ts: Timestamp,
@@ -119,21 +130,23 @@ pub struct SegmentReader {
 impl SegmentReader {
     /// Opens a segment, validating magics and the index checksum.
     pub fn open(path: &Path) -> Result<SegmentReader> {
+        SegmentReader::open_with(Arc::new(StdIo), path)
+    }
+
+    /// [`SegmentReader::open`] over an explicit [`StorageIo`]; the
+    /// handle keeps the VFS for later block reads.
+    pub fn open_with(io: Arc<dyn StorageIo>, path: &Path) -> Result<SegmentReader> {
         let corrupt = |what: &str| DcdbError::Parse(format!("segment {}: {what}", path.display()));
-        let mut file = File::open(path)?;
-        let file_len = file.metadata()?.len();
+        let file_len = io.file_len(path)?;
         let trailer_len = 8 + 4 + 8;
         if file_len < (SEGMENT_MAGIC.len() + trailer_len) as u64 {
             return Err(corrupt("file too short"));
         }
-        let mut magic = [0u8; 8];
-        file.read_exact(&mut magic)?;
-        if &magic != SEGMENT_MAGIC {
+        let magic = io.read_range(path, 0, SEGMENT_MAGIC.len())?;
+        if magic != SEGMENT_MAGIC {
             return Err(corrupt("bad leading magic"));
         }
-        file.seek(SeekFrom::End(-(trailer_len as i64)))?;
-        let mut trailer = [0u8; 8 + 4 + 8];
-        file.read_exact(&mut trailer)?;
+        let trailer = io.read_range(path, file_len - trailer_len as u64, trailer_len)?;
         if &trailer[12..20] != SEGMENT_MAGIC_END {
             return Err(corrupt("bad trailing magic"));
         }
@@ -143,9 +156,7 @@ impl SegmentReader {
         if index_offset < SEGMENT_MAGIC.len() as u64 || index_offset > index_end {
             return Err(corrupt("index offset out of range"));
         }
-        let mut index_bytes = vec![0u8; (index_end - index_offset) as usize];
-        file.seek(SeekFrom::Start(index_offset))?;
-        file.read_exact(&mut index_bytes)?;
+        let index_bytes = io.read_range(path, index_offset, (index_end - index_offset) as usize)?;
         if crc32(&index_bytes) != index_crc {
             return Err(corrupt("index checksum mismatch"));
         }
@@ -187,6 +198,7 @@ impl SegmentReader {
             return Err(corrupt("index has trailing bytes"));
         }
         Ok(SegmentReader {
+            io,
             path: path.to_path_buf(),
             index,
             min_ts,
@@ -235,10 +247,9 @@ impl SegmentReader {
         let Some(meta) = self.index.get(topic) else {
             return Ok(None);
         };
-        let mut file = File::open(&self.path)?;
-        file.seek(SeekFrom::Start(meta.offset))?;
-        let mut block = vec![0u8; meta.len as usize];
-        file.read_exact(&mut block)?;
+        let block = self
+            .io
+            .read_range(&self.path, meta.offset, meta.len as usize)?;
         if crc32(&block) != meta.crc {
             return Err(DcdbError::Parse(format!(
                 "segment {}: block checksum mismatch for {topic}",

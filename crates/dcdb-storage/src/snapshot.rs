@@ -13,11 +13,12 @@
 //! ```
 
 use crate::backend::StorageBackend;
+use crate::io::{StdIo, StorageIo};
 use dcdb_common::error::DcdbError;
 use dcdb_common::reading::SensorReading;
 use dcdb_common::time::Timestamp;
 use dcdb_common::topic::Topic;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{Cursor, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"DCDBSNAP";
@@ -52,36 +53,49 @@ impl StorageBackend {
     /// Writes the full contents of the backend to `path` atomically
     /// (write to a temp file, then rename).
     pub fn snapshot_to(&self, path: &Path) -> Result<(), DcdbError> {
+        self.snapshot_to_with(&StdIo, path)
+    }
+
+    /// [`StorageBackend::snapshot_to`] over an explicit [`StorageIo`].
+    pub fn snapshot_to_with(&self, io: &dyn StorageIo, path: &Path) -> Result<(), DcdbError> {
+        // Assemble in memory, write as one record: the snapshot either
+        // fully lands or the temp file is discarded.
+        let mut w: Vec<u8> = Vec::new();
+        w.write_all(MAGIC)?;
+        write_u32(&mut w, VERSION)?;
+        let topics = self.topics();
+        write_u32(&mut w, topics.len() as u32)?;
+        for topic in &topics {
+            let bytes = topic.as_str().as_bytes();
+            write_u32(&mut w, bytes.len() as u32)?;
+            w.write_all(bytes)?;
+            let readings = self.query(topic, Timestamp::ZERO, Timestamp::MAX);
+            write_u64(&mut w, readings.len() as u64)?;
+            for r in &readings {
+                write_i64(&mut w, r.value)?;
+                write_u64(&mut w, r.ts.as_nanos())?;
+            }
+        }
         let tmp = path.with_extension("tmp");
         {
-            let file = std::fs::File::create(&tmp)?;
-            let mut w = BufWriter::new(file);
-            w.write_all(MAGIC)?;
-            write_u32(&mut w, VERSION)?;
-            let topics = self.topics();
-            write_u32(&mut w, topics.len() as u32)?;
-            for topic in &topics {
-                let bytes = topic.as_str().as_bytes();
-                write_u32(&mut w, bytes.len() as u32)?;
-                w.write_all(bytes)?;
-                let readings = self.query(topic, Timestamp::ZERO, Timestamp::MAX);
-                write_u64(&mut w, readings.len() as u64)?;
-                for r in &readings {
-                    write_i64(&mut w, r.value)?;
-                    write_u64(&mut w, r.ts.as_nanos())?;
-                }
-            }
-            w.flush()?;
+            let mut file = io.create(&tmp)?;
+            file.write_all(&w)?;
+            file.sync()?;
         }
-        std::fs::rename(&tmp, path)?;
+        io.rename(&tmp, path)?;
         Ok(())
     }
 
     /// Loads a snapshot into this backend (merging with any existing
     /// data; duplicate timestamps overwrite, so restore is idempotent).
     pub fn restore_from(&self, path: &Path) -> Result<usize, DcdbError> {
-        let file = std::fs::File::open(path)?;
-        let mut r = BufReader::new(file);
+        self.restore_from_with(&StdIo, path)
+    }
+
+    /// [`StorageBackend::restore_from`] over an explicit [`StorageIo`].
+    pub fn restore_from_with(&self, io: &dyn StorageIo, path: &Path) -> Result<usize, DcdbError> {
+        let data = io.read(path)?;
+        let mut r = Cursor::new(data);
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {

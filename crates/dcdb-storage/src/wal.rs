@@ -19,14 +19,28 @@
 //! the end of the file, or whose CRC does not match, terminates replay:
 //! everything before it is recovered, everything after is discarded
 //! (it was never acknowledged durable).
+//!
+//! All I/O goes through the [`crate::io::StorageIo`] VFS, so fault
+//! injection exercises the exact production code paths. Two failure
+//! rules keep acknowledged data safe under injected faults:
+//!
+//! * **Torn-append rollback** — a failed `write_all` may have landed a
+//!   prefix of the record. The writer truncates back to the last good
+//!   length before any further append, so a retried record can never be
+//!   journaled *after* garbage (where replay would stop and lose it).
+//!   If the truncate itself fails, the writer poisons itself.
+//! * **Fsync poisoning** — once an fsync fails, the kernel may have
+//!   dropped dirty pages and a later fsync on the same fd can report
+//!   success without the data being durable. A failed sync therefore
+//!   permanently poisons the writer; the engine must rotate to a fresh
+//!   WAL file and re-journal.
 
 use crate::crc::crc32;
+use crate::io::{IoFile, StdIo, StorageIo};
 use dcdb_common::error::{DcdbError, Result};
 use dcdb_common::reading::SensorReading;
 use dcdb_common::time::Timestamp;
 use dcdb_common::topic::Topic;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// File magic for WAL files.
@@ -74,51 +88,70 @@ impl FsyncPolicy {
 /// after an append cannot lose the record (only a machine crash can,
 /// subject to the fsync policy).
 pub struct WalWriter {
-    file: File,
+    file: Box<dyn IoFile>,
     path: PathBuf,
     policy: FsyncPolicy,
     appends_since_sync: u32,
     bytes: u64,
+    poisoned: bool,
 }
 
 impl WalWriter {
     /// Creates a fresh WAL at `path`, truncating any existing file.
     pub fn create(path: &Path, policy: FsyncPolicy) -> Result<WalWriter> {
-        let mut file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(path)?;
+        WalWriter::create_with(&StdIo, path, policy)
+    }
+
+    /// [`WalWriter::create`] over an explicit [`StorageIo`].
+    pub fn create_with(io: &dyn StorageIo, path: &Path, policy: FsyncPolicy) -> Result<WalWriter> {
+        let mut file = io.create(path)?;
         file.write_all(WAL_MAGIC)?;
-        file.sync_all()?;
+        file.sync()?;
         Ok(WalWriter {
             file,
             path: path.to_path_buf(),
             policy,
             appends_since_sync: 0,
             bytes: WAL_MAGIC.len() as u64,
+            poisoned: false,
         })
     }
 
     /// Reopens an existing WAL for appending, truncating it to
     /// `good_len` first (the clean prefix a prior [`replay`] validated).
     pub fn open_append(path: &Path, policy: FsyncPolicy, good_len: u64) -> Result<WalWriter> {
-        let file = OpenOptions::new().write(true).open(path)?;
-        file.set_len(good_len)?;
-        let mut file = file;
-        file.seek(SeekFrom::End(0))?;
+        WalWriter::open_append_with(&StdIo, path, policy, good_len)
+    }
+
+    /// [`WalWriter::open_append`] over an explicit [`StorageIo`].
+    pub fn open_append_with(
+        io: &dyn StorageIo,
+        path: &Path,
+        policy: FsyncPolicy,
+        good_len: u64,
+    ) -> Result<WalWriter> {
+        let file = io.open_append(path, good_len)?;
         Ok(WalWriter {
             file,
             path: path.to_path_buf(),
             policy,
             appends_since_sync: 0,
             bytes: good_len,
+            poisoned: false,
         })
     }
 
     /// Journals one batch of readings for `topic`. On return the record
     /// is in the file (and fsynced, under `FsyncPolicy::Always`).
+    ///
+    /// On a failed write the file is truncated back to its last good
+    /// length, so the failure leaves no partial record behind; if that
+    /// rollback itself fails the writer becomes [`poisoned`] and every
+    /// further call errors until the engine rotates to a fresh WAL.
+    ///
+    /// [`poisoned`]: WalWriter::poisoned
     pub fn append(&mut self, topic: &Topic, readings: &[SensorReading]) -> Result<()> {
+        self.check_poisoned()?;
         let topic_bytes = topic.as_str().as_bytes();
         let payload_len = 2 + topic_bytes.len() + 4 + readings.len() * 16;
         let mut buf = Vec::with_capacity(8 + payload_len);
@@ -133,7 +166,14 @@ impl WalWriter {
         }
         let crc = crc32(&buf[8..]);
         buf[4..8].copy_from_slice(&crc.to_le_bytes());
-        self.file.write_all(&buf)?;
+        if let Err(err) = self.file.write_all(&buf) {
+            // The write may have torn: restore the clean prefix so a
+            // retried append cannot land after garbage.
+            if self.file.truncate(self.bytes).is_err() {
+                self.poisoned = true;
+            }
+            return Err(err);
+        }
         self.bytes += buf.len() as u64;
         self.appends_since_sync += 1;
         match self.policy {
@@ -148,11 +188,44 @@ impl WalWriter {
         Ok(())
     }
 
-    /// Forces an fsync of everything appended so far.
+    /// Forces an fsync of everything appended so far. A failure poisons
+    /// the writer permanently: re-fsyncing the same fd after a failed
+    /// fsync can report success without durability, so the only safe
+    /// recovery is rotation to a fresh file.
     pub fn sync(&mut self) -> Result<()> {
-        self.file.sync_data()?;
-        self.appends_since_sync = 0;
-        Ok(())
+        self.check_poisoned()?;
+        match self.file.sync() {
+            Ok(()) => {
+                self.appends_since_sync = 0;
+                Ok(())
+            }
+            Err(err) => {
+                self.poisoned = true;
+                Err(err)
+            }
+        }
+    }
+
+    /// True once a failed fsync (or failed torn-write rollback) has made
+    /// this writer unusable; the engine must rotate.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Appends journaled but not yet fsynced under the current policy.
+    pub fn unsynced_appends(&self) -> u32 {
+        self.appends_since_sync
+    }
+
+    fn check_poisoned(&self) -> Result<()> {
+        if self.poisoned {
+            Err(DcdbError::InvalidState(format!(
+                "WAL {} is poisoned by a failed fsync; rotation required",
+                self.path.display()
+            )))
+        } else {
+            Ok(())
+        }
     }
 
     /// Bytes written so far, including the header.
@@ -178,6 +251,9 @@ pub struct WalReplay {
     /// Length of the validated prefix — reopen for append with
     /// [`WalWriter::open_append`] at this offset to drop the torn tail.
     pub good_len: u64,
+    /// Bytes past the validated prefix that replay discarded (torn or
+    /// corrupt tail). Zero on a clean replay.
+    pub discarded_bytes: u64,
 }
 
 /// Replays a WAL, calling `sink(topic, readings)` per recovered record.
@@ -185,9 +261,17 @@ pub struct WalReplay {
 /// Tolerates a torn tail: a truncated or CRC-corrupt record terminates
 /// replay without error, reporting `torn_tail = true` and the length of
 /// the clean prefix.
-pub fn replay(path: &Path, mut sink: impl FnMut(Topic, Vec<SensorReading>)) -> Result<WalReplay> {
-    let mut data = Vec::new();
-    File::open(path)?.read_to_end(&mut data)?;
+pub fn replay(path: &Path, sink: impl FnMut(Topic, Vec<SensorReading>)) -> Result<WalReplay> {
+    replay_with(&StdIo, path, sink)
+}
+
+/// [`replay`] over an explicit [`StorageIo`].
+pub fn replay_with(
+    io: &dyn StorageIo,
+    path: &Path,
+    mut sink: impl FnMut(Topic, Vec<SensorReading>),
+) -> Result<WalReplay> {
+    let data = io.read(path)?;
     if data.len() < WAL_MAGIC.len() || &data[..WAL_MAGIC.len()] != WAL_MAGIC {
         return Err(DcdbError::Parse(format!(
             "{} is not a DCDB WAL file",
@@ -198,25 +282,27 @@ pub fn replay(path: &Path, mut sink: impl FnMut(Topic, Vec<SensorReading>)) -> R
         good_len: WAL_MAGIC.len() as u64,
         ..WalReplay::default()
     };
+    let torn = |mut report: WalReplay| {
+        report.torn_tail = true;
+        report.discarded_bytes = data.len() as u64 - report.good_len;
+        Ok(report)
+    };
     let mut pos = WAL_MAGIC.len();
     loop {
         if pos == data.len() {
             return Ok(report); // clean end
         }
         if pos + 8 > data.len() {
-            report.torn_tail = true;
-            return Ok(report); // torn header
+            return torn(report); // torn header
         }
         let payload_len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap()) as usize;
         let crc_expected = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().unwrap());
         if payload_len as u32 > MAX_PAYLOAD || pos + 8 + payload_len > data.len() {
-            report.torn_tail = true;
-            return Ok(report); // torn or corrupt length
+            return torn(report); // torn or corrupt length
         }
         let payload = &data[pos + 8..pos + 8 + payload_len];
         if crc32(payload) != crc_expected {
-            report.torn_tail = true;
-            return Ok(report); // corrupt payload
+            return torn(report); // corrupt payload
         }
         match decode_payload(payload) {
             Some((topic, readings)) => {
@@ -227,8 +313,7 @@ pub fn replay(path: &Path, mut sink: impl FnMut(Topic, Vec<SensorReading>)) -> R
             None => {
                 // CRC passed but the structure is inconsistent — treat
                 // as corruption and stop, like a torn tail.
-                report.torn_tail = true;
-                return Ok(report);
+                return torn(report);
             }
         }
         pos += 8 + payload_len;
@@ -266,6 +351,8 @@ fn decode_payload(payload: &[u8]) -> Option<(Topic, Vec<SensorReading>)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::io::{FaultConfig, FaultIo};
+    use std::fs::OpenOptions;
 
     fn t(s: &str) -> Topic {
         Topic::parse(s).unwrap()
@@ -297,6 +384,7 @@ mod tests {
         assert_eq!(rep.batches, 2);
         assert_eq!(rep.readings, 3);
         assert!(!rep.torn_tail);
+        assert_eq!(rep.discarded_bytes, 0);
         assert_eq!(rep.good_len, w.bytes_written());
         assert_eq!(got[0].0, t("/n0/power"));
         assert_eq!(got[0].1, vec![r(1, 1), r(2, 2)]);
@@ -321,6 +409,7 @@ mod tests {
         assert!(rep.torn_tail);
         assert_eq!(rep.batches, 1);
         assert_eq!(rep.good_len, good);
+        assert_eq!(rep.discarded_bytes, (full - good) / 2);
         assert_eq!(got[0].1, vec![r(1, 1)]);
         // Reopening at good_len drops the tail; appends continue cleanly.
         let mut w = WalWriter::open_append(&path, FsyncPolicy::Never, rep.good_len).unwrap();
@@ -349,6 +438,7 @@ mod tests {
         let (got, rep) = collect_replay(&path);
         assert!(rep.torn_tail);
         assert_eq!(rep.batches, 1);
+        assert!(rep.discarded_bytes > 0);
         assert_eq!(got.len(), 1);
         std::fs::remove_file(&path).ok();
     }
@@ -381,6 +471,54 @@ mod tests {
         assert!(got.is_empty());
         assert!(!rep.torn_tail);
         assert_eq!(rep.good_len, WAL_MAGIC.len() as u64);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_fsync_poisons_the_writer() {
+        let path = temp_wal("poison");
+        let mut cfg = FaultConfig::quiet(11);
+        cfg.fsync_fail_prob = 1.0;
+        let io = FaultIo::std(cfg);
+        let w = WalWriter::create_with(&io, &path, FsyncPolicy::Never);
+        // Creation syncs the magic — with fsync always failing, creation
+        // itself fails. Create clean, then arm the fault.
+        assert!(w.is_err());
+        io.clear_faults();
+        let mut w = WalWriter::create_with(&io, &path, FsyncPolicy::Never).unwrap();
+        w.append(&t("/a/b"), &[r(1, 1)]).unwrap();
+        io.set_config(cfg);
+        assert!(w.sync().is_err());
+        assert!(w.poisoned());
+        // Every further op refuses — no silent success after failed fsync.
+        io.clear_faults();
+        assert!(w.append(&t("/a/b"), &[r(2, 2)]).is_err());
+        assert!(w.sync().is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_append_rolls_back_to_clean_prefix() {
+        let path = temp_wal("rollback");
+        let io = FaultIo::std(FaultConfig::quiet(17));
+        let mut w = WalWriter::create_with(&io, &path, FsyncPolicy::Never).unwrap();
+        w.append(&t("/a/b"), &[r(1, 1)]).unwrap();
+        let good = w.bytes_written();
+        let mut cfg = FaultConfig::quiet(17);
+        cfg.torn_write_prob = 1.0;
+        io.set_config(cfg);
+        assert!(w.append(&t("/a/b"), &[r(2, 2)]).is_err());
+        assert!(!w.poisoned(), "rollback succeeded, writer stays usable");
+        io.clear_faults();
+        // Retry lands cleanly right after the rolled-back prefix.
+        w.append(&t("/a/b"), &[r(2, 2)]).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let (got, rep) = collect_replay(&path);
+        assert!(!rep.torn_tail, "no garbage between records");
+        assert_eq!(rep.batches, 2);
+        assert_eq!(got[1].1, vec![r(2, 2)]);
+        assert!(rep.good_len > good);
         std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,71 @@
+//! Storage faults: the durable engine through injected I/O faults.
+//!
+//! ```text
+//! cargo run --release -p oda-bench --bin storage_faults            # full run
+//! cargo run --release -p oda-bench --bin storage_faults -- --quick # smoke run
+//! ```
+
+use oda_bench::storage_faults::{run, StorageFaultsConfig};
+use oda_bench::write_json;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        StorageFaultsConfig::quick()
+    } else {
+        StorageFaultsConfig::paper()
+    };
+
+    println!(
+        "storage fault bench: {} topics x {} readings, {} s simulated @ {} ms ticks, \
+         fault window {:?} ms\n",
+        config.topics, config.batch, config.duration_s, config.interval_ms, config.fault_window_ms
+    );
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("oda-bench-storage-faults-{}", std::process::id()));
+    let result = run(&config, &dir);
+
+    println!(
+        "{:<8} {:>8} {:>8} {:>8} {:>6} {:>6} {:>8} {:>10} {:>11} {:>10} {:>10} {:>5} {:>5}",
+        "fault",
+        "ingested",
+        "durable",
+        "buffered",
+        "shed",
+        "errs",
+        "rotations",
+        "readonly@ms",
+        "recovery_ms",
+        "t_degr_ms",
+        "t_ro_ms",
+        "lost",
+        "ok"
+    );
+    for c in &result.cells {
+        println!(
+            "{:<8} {:>8} {:>8} {:>8} {:>6} {:>6} {:>8} {:>10} {:>11} {:>10} {:>10} {:>5} {:>5}",
+            c.scenario,
+            c.ingested,
+            c.acked_durable,
+            c.acked_buffered,
+            c.shed,
+            c.write_errors,
+            c.wal_rotations,
+            c.readonly_at_ms.map_or("-".into(), |v| v.to_string()),
+            c.recovery_ms.map_or("-".into(), |v| v.to_string()),
+            c.time_degraded_ms,
+            c.time_readonly_ms,
+            c.lost_acked,
+            if c.conserved && c.lost_acked == 0 {
+                "yes"
+            } else {
+                "NO"
+            }
+        );
+    }
+
+    match write_json("storage_faults", &result) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write results: {e}"),
+    }
+}

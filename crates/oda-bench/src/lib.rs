@@ -16,6 +16,7 @@
 //! | [`storage_engine`] | Durable engine ingest/scan/recovery throughput |
 //! | [`bus_saturation`] | Bounded bus under 1×/4×/16× publisher overload |
 //! | [`delivery_resilience`] | Pusher spool + reconnect through injected broker outages |
+//! | [`storage_faults`] | Durable engine health/recovery through injected I/O faults |
 
 #![warn(missing_docs)]
 
@@ -26,6 +27,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod storage_engine;
+pub mod storage_faults;
 
 use std::path::Path;
 

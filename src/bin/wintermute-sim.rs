@@ -16,6 +16,8 @@
 //!     [--ingest-budget N] [--quarantine-threshold N]
 //!     [--chaos-seed N] [--outage-ms N] [--drop-prob P]
 //!     [--spool-depth N] [--reconnect-base-ms N]
+//!     [--io-fault-seed N] [--enospc-after BYTES] [--eio-prob P]
+//!     [--fsync-fail-prob P] [--io-latency-ms N]
 //! ```
 //!
 //! Backpressure knobs (paper §V scalability): the broker's router input
@@ -45,6 +47,18 @@
 //! backoff base). The status line and `GET /metrics` show spool depth
 //! and connection state.
 //!
+//! Storage I/O faults (durable mode only): any of `--io-fault-seed`,
+//! `--enospc-after`, `--eio-prob`, `--fsync-fail-prob` or
+//! `--io-latency-ms` routes every byte of the durable engine through a
+//! seeded fault-injecting [`FaultIo`] VFS. `--enospc-after N` makes the
+//! virtual disk run out of space after N written bytes; `--eio-prob` /
+//! `--fsync-fail-prob` inject per-operation I/O and fsync failures;
+//! `--io-latency-ms` adds per-operation device latency (slept for, since
+//! the sim runs on the wall clock). Watch the engine demote through
+//! Healthy → Degraded → ReadOnly and heal on the status line, at
+//! `GET /health` (503 once read-only) and under `storage.health` in
+//! `GET /metrics`.
+//!
 //! Persistence modes:
 //!
 //! * `--data-dir DIR` — durable mode: storage becomes a
@@ -68,7 +82,8 @@ use dcdb_wintermute::dcdb_pusher::{
 };
 use dcdb_wintermute::dcdb_rest::{RestServer, Router};
 use dcdb_wintermute::dcdb_storage::{
-    DurableBackend, DurableConfig, FsyncPolicy, StorageBackend, StorageEngine,
+    DurableBackend, DurableConfig, FaultConfig, FaultIo, FsyncPolicy, StorageBackend,
+    StorageEngine, StorageIo,
 };
 use dcdb_wintermute::sim_cluster::{ClusterConfig, ClusterSimulator, Topology};
 use dcdb_wintermute::wintermute::manager::BusSink;
@@ -222,7 +237,53 @@ fn main() {
                     .map(|s| s * 1_000_000_000),
                 ..DurableConfig::default()
             };
-            let db = Arc::new(DurableBackend::open(dir, config).expect("open data dir"));
+            // Optional seeded storage I/O fault injection: wrap the
+            // real filesystem in the FaultIo VFS so ENOSPC / EIO /
+            // fsync failures / device latency exercise the engine's
+            // health state machine on a live deployment.
+            let io_fault_seed = arg_str("--io-fault-seed").and_then(|v| v.parse::<u64>().ok());
+            let enospc_after = arg_str("--enospc-after").and_then(|v| v.parse::<u64>().ok());
+            let eio_prob = arg_str("--eio-prob")
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or(0.0);
+            let fsync_fail_prob = arg_str("--fsync-fail-prob")
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or(0.0);
+            let io_latency_ms = arg("--io-latency-ms", 0);
+            let fault_io = if io_fault_seed.is_some()
+                || enospc_after.is_some()
+                || eio_prob > 0.0
+                || fsync_fail_prob > 0.0
+                || io_latency_ms > 0
+            {
+                let seed = io_fault_seed.unwrap_or(0x10FA);
+                let cfg = FaultConfig {
+                    enospc_after_bytes: enospc_after,
+                    eio_prob: eio_prob.clamp(0.0, 1.0),
+                    fsync_fail_prob: fsync_fail_prob.clamp(0.0, 1.0),
+                    latency_ns: io_latency_ms * 1_000_000,
+                    sleep_on_latency: true,
+                    ..FaultConfig::quiet(seed)
+                };
+                println!(
+                    "storage io faults: seed {seed:#x}, enospc-after {:?}, eio-prob {:.3}, \
+                     fsync-fail-prob {:.3}, latency {io_latency_ms}ms",
+                    enospc_after, cfg.eio_prob, cfg.fsync_fail_prob,
+                );
+                // Open with faults disarmed so startup recovery runs on the
+                // real filesystem, then arm them for the live run.
+                Some((Arc::new(FaultIo::std(FaultConfig::quiet(seed))), cfg))
+            } else {
+                None
+            };
+            let io: Arc<dyn StorageIo> = match &fault_io {
+                Some((io, _)) => Arc::clone(io) as Arc<dyn StorageIo>,
+                None => Arc::new(dcdb_wintermute::dcdb_storage::StdIo),
+            };
+            let db = Arc::new(DurableBackend::open_with(io, dir, config).expect("open data dir"));
+            if let Some((io, cfg)) = &fault_io {
+                io.set_config(*cfg);
+            }
             let rec = db.recovery();
             println!(
                 "durable storage in {}: recovered {} segments ({} readings) + \
@@ -351,11 +412,25 @@ fn main() {
                 refused += s.publish_errors;
                 reconnects += s.reconnects;
             }
+            // Storage health segment, present in durable mode only.
+            let health_seg = match storage.health() {
+                Some(h) => format!(
+                    ", storage {} (errs {}, retries {}, rotations {}, buffered {}, shed {})",
+                    h.state.as_str(),
+                    h.write_errors,
+                    h.write_retries,
+                    h.wal_rotations,
+                    h.buffered,
+                    h.shed,
+                ),
+                None => String::new(),
+            };
             println!(
                 "[{elapsed:>3}s] ingested {} readings, {} jobs running, storage holds {} \
                  readings, bus dropped {} (router {}), backlog {}, delivery: {} up / {} \
                  degraded / {} down, spool {} (refused {}, dropped {}, reconnects {}), \
-                 operators: {} runs ({} ok, {} err, {} panic, {} overrun, {} quarantined)",
+                 operators: {} runs ({} ok, {} err, {} panic, {} overrun, {} quarantined)\
+                 {health_seg}",
                 a.readings,
                 jobs_running,
                 storage.stats().readings,
