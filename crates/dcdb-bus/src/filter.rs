@@ -230,4 +230,65 @@ mod tests {
         assert_eq!(f("rack1/+/power").as_str(), "/rack1/+/power");
         assert_eq!(f("/rack1/#/").as_str(), "/rack1/#");
     }
+
+    #[test]
+    fn trailing_separators_normalize_and_empty_segments_reject() {
+        // Leading/trailing separator runs are tolerated and normalized
+        // away on otherwise-valid filters…
+        assert_eq!(f("/a/+/").as_str(), "/a/+");
+        assert!(f("/a/+/").matches(&t("/a/x")));
+        assert_eq!(f("/a/b/").as_str(), "/a/b");
+        assert_eq!(f("/+//").as_str(), "/+");
+        assert_eq!(f("//#").as_str(), "/#");
+        // …but empty *interior* segments are malformed, not wildcards.
+        for bad in ["//", "/a//+", "/a//b/#"] {
+            assert!(TopicFilter::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn overlapping_segment_prefixes_do_not_match() {
+        // Segment names that are byte-prefixes of each other must stay
+        // distinct under every wildcard shape — the federation router
+        // relies on this when fanning subscriptions across shards.
+        let exact = f("/r1/n1/power");
+        assert!(!exact.matches(&t("/r1/n11/power")));
+        assert!(!f("/r1/n1/#").matches(&t("/r1/n11/power")));
+        assert!(f("/r1/n1/#").matches(&t("/r1/n1/power")));
+        assert!(f("/r1/+/power").matches(&t("/r1/n11/power")));
+        assert!(!f("/r1/n1").matches(&t("/r1/n11")));
+    }
+
+    #[test]
+    fn multi_level_matches_exact_parent_but_not_siblings() {
+        let filt = f("/r1/n1/#");
+        // `#` matches the parent itself (zero trailing segments)…
+        assert!(filt.matches(&t("/r1/n1")));
+        // …and arbitrarily deep children…
+        assert!(filt.matches(&t("/r1/n1/cpu0/cycles")));
+        // …but never a sibling or an ancestor.
+        assert!(!filt.matches(&t("/r1/n2")));
+        assert!(!filt.matches(&t("/r1")));
+    }
+
+    #[test]
+    fn plus_never_spans_segments() {
+        let filt = f("/+/power");
+        assert!(filt.matches(&t("/n1/power")));
+        assert!(!filt.matches(&t("/n1/x/power")));
+        // `+` must also not match "nothing".
+        assert!(!filt.matches(&t("/power")));
+    }
+
+    #[test]
+    fn exact_filter_and_ring_keyspace_agree() {
+        // A filter built from a topic matches exactly that topic and
+        // nothing that merely shares a byte prefix.
+        let topic = t("/rack00/node03/power");
+        let filt = TopicFilter::exact(&topic);
+        assert!(filt.matches(&topic));
+        assert!(!filt.matches(&t("/rack00/node030/power")));
+        assert!(!filt.matches(&t("/rack00/node03/power2")));
+        assert!(!filt.matches(&t("/rack00/node03")));
+    }
 }

@@ -25,6 +25,12 @@ use wintermute::prelude::*;
 /// Collect Agent configuration.
 #[derive(Debug, Clone)]
 pub struct CollectAgentConfig {
+    /// Stable identity of this agent, reported by `GET /health` and
+    /// `GET /metrics` so a federation router (and humans) can tell
+    /// shards apart. Defaults to `"agent-0"` for single-agent
+    /// deployments; a federation host assigns one id per shard
+    /// (`agent-00`, `agent-01`, …).
+    pub agent_id: String,
     /// Sensor cache window, seconds.
     pub cache_secs: u64,
     /// Expected sampling interval of incoming data, milliseconds (sizes
@@ -46,6 +52,7 @@ pub struct CollectAgentConfig {
 impl Default for CollectAgentConfig {
     fn default() -> Self {
         CollectAgentConfig {
+            agent_id: "agent-0".to_string(),
             cache_secs: 180,
             expected_interval_ms: 1000,
             ingest_budget: 4096,
@@ -93,10 +100,41 @@ struct SourceRecord {
     readings: u64,
 }
 
+/// This agent's place in a federated deployment, assigned by the
+/// federation host and reported verbatim by `GET /health` and
+/// `GET /metrics` so shards are tellable apart from the outside.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardAssignment {
+    /// Zero-based shard index within the federation.
+    pub index: usize,
+    /// Total number of shards in the current shard map.
+    pub total: usize,
+    /// Epoch of the shard map this assignment belongs to; bumped on
+    /// every rebalance.
+    pub epoch: u64,
+    /// Virtual nodes this agent owns on the hash ring.
+    pub vnodes: usize,
+}
+
+impl ShardAssignment {
+    fn json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "index": self.index,
+            "total": self.total,
+            "epoch": self.epoch,
+            "vnodes": self.vnodes,
+        })
+    }
+}
+
 /// One DCDB Collect Agent.
 pub struct CollectAgent {
     subscription: Subscription,
     bus: BusHandle,
+    agent_id: String,
+    /// Shard assignment in a federated deployment; `None` when the
+    /// agent runs standalone.
+    shard: Mutex<Option<ShardAssignment>>,
     ingest_budget: usize,
     expected_interval_ms: u64,
     source_prefix_depth: usize,
@@ -141,6 +179,8 @@ impl CollectAgent {
         Ok(CollectAgent {
             subscription,
             bus: bus.clone(),
+            agent_id: config.agent_id,
+            shard: Mutex::new(None),
             ingest_budget: config.ingest_budget.max(1),
             expected_interval_ms: config.expected_interval_ms.max(1),
             source_prefix_depth: config.source_prefix_depth.max(1),
@@ -160,6 +200,22 @@ impl CollectAgent {
     /// The embedded Wintermute manager.
     pub fn manager(&self) -> &Arc<OperatorManager> {
         &self.manager
+    }
+
+    /// The stable agent identity reported by `/health` and `/metrics`.
+    pub fn agent_id(&self) -> &str {
+        &self.agent_id
+    }
+
+    /// Records this agent's shard assignment (federation host only);
+    /// `None` reverts to standalone reporting.
+    pub fn set_shard_assignment(&self, shard: Option<ShardAssignment>) {
+        *self.shard.lock() = shard;
+    }
+
+    /// The current shard assignment, if federated.
+    pub fn shard_assignment(&self) -> Option<ShardAssignment> {
+        self.shard.lock().clone()
     }
 
     /// The system-wide query engine (caches + storage fallback).
@@ -224,7 +280,7 @@ impl CollectAgent {
         let Some(newest) = readings.iter().map(|r| r.ts.as_nanos()).max() else {
             return;
         };
-        let prefix = source_prefix(topic.as_str(), self.source_prefix_depth);
+        let prefix = topic.prefix(self.source_prefix_depth).as_str().to_string();
         let mut sources = self.sources.lock();
         let record = sources.entry(prefix).or_insert(SourceRecord {
             last_seen_ns: 0,
@@ -340,6 +396,8 @@ impl CollectAgent {
             "subscriptions": subs,
         });
         let agent_json = serde_json::json!({
+            "id": self.agent_id,
+            "shard": self.shard_assignment().map(|s| s.json()),
             "messages": agent.messages,
             "readings": agent.readings,
             "decode_errors": agent.decode_errors,
@@ -442,6 +500,8 @@ impl CollectAgent {
             };
             let body = serde_json::json!({
                 "status": if status == Status::Ok { "ok" } else { "unavailable" },
+                "agent_id": agent.agent_id(),
+                "shard": agent.shard_assignment().map(|s| s.json()),
                 "state": state,
                 "storage": report.map(storage_health_json),
             });
@@ -481,27 +541,6 @@ fn storage_health_json(h: dcdb_storage::StorageHealthReport) -> serde_json::Valu
             "read_only": h.readonly_ns,
         }),
     })
-}
-
-/// The first `depth` path segments of a topic (the whole topic when it
-/// is shorter), identifying the publishing source.
-fn source_prefix(topic: &str, depth: usize) -> String {
-    let mut end = 0;
-    let mut segments = 0;
-    for (i, byte) in topic.bytes().enumerate() {
-        if byte == b'/' && i > 0 {
-            segments += 1;
-            if segments == depth {
-                end = i;
-                break;
-            }
-        }
-    }
-    if end == 0 {
-        topic.to_string()
-    } else {
-        topic[..end].to_string()
-    }
 }
 
 /// Parses an optional `?name=<seconds>` query parameter. `Ok(None)`
@@ -797,15 +836,64 @@ mod tests {
     }
 
     #[test]
-    fn source_prefix_groups_by_leading_segments() {
-        assert_eq!(source_prefix("/rack00/node03/power", 2), "/rack00/node03");
+    fn source_grouping_uses_topic_prefix() {
+        // Delivery-staleness grouping rides on Topic::prefix — the same
+        // key the federation ring shards by (see dcdb-common tests for
+        // the edge cases).
         assert_eq!(
-            source_prefix("/rack00/node03/cpu00/cycles", 2),
+            t("/rack00/node03/cpu00/cycles").prefix(2).as_str(),
             "/rack00/node03"
         );
-        assert_eq!(source_prefix("/rack00/node03/power", 1), "/rack00");
-        assert_eq!(source_prefix("/short", 2), "/short");
-        assert_eq!(source_prefix("/a/b", 5), "/a/b");
+        assert_eq!(t("/short").prefix(2).as_str(), "/short");
+    }
+
+    #[test]
+    fn health_and_metrics_report_agent_identity_and_shard() {
+        let broker = Broker::new_sync();
+        let storage = Arc::new(StorageBackend::new());
+        let agent = Arc::new(
+            CollectAgent::new(
+                CollectAgentConfig {
+                    agent_id: "agent-07".into(),
+                    ..CollectAgentConfig::default()
+                },
+                &broker.handle(),
+                storage,
+            )
+            .unwrap(),
+        );
+        let mut router = Router::new();
+        agent.mount_routes(&mut router);
+
+        // Standalone: id present, shard null.
+        let resp = router.dispatch(dcdb_rest::Request::new(Method::Get, "/health"));
+        let v: serde_json::Value = serde_json::from_str(&resp.body_str()).unwrap();
+        assert_eq!(v.get("agent_id").unwrap().as_str(), Some("agent-07"));
+        assert!(v.get("shard").unwrap().is_null());
+
+        // Federated: the host records the assignment; both endpoints
+        // serve it.
+        agent.set_shard_assignment(Some(ShardAssignment {
+            index: 2,
+            total: 4,
+            epoch: 3,
+            vnodes: 64,
+        }));
+        let resp = router.dispatch(dcdb_rest::Request::new(Method::Get, "/health"));
+        let v: serde_json::Value = serde_json::from_str(&resp.body_str()).unwrap();
+        let shard = v.get("shard").unwrap();
+        assert_eq!(shard.get("index").unwrap().as_u64(), Some(2));
+        assert_eq!(shard.get("total").unwrap().as_u64(), Some(4));
+        assert_eq!(shard.get("epoch").unwrap().as_u64(), Some(3));
+
+        let resp = router.dispatch(dcdb_rest::Request::new(Method::Get, "/metrics"));
+        let v: serde_json::Value = serde_json::from_str(&resp.body_str()).unwrap();
+        let a = v.get("agent").unwrap();
+        assert_eq!(a.get("id").unwrap().as_str(), Some("agent-07"));
+        assert_eq!(
+            a.get("shard").unwrap().get("vnodes").unwrap().as_u64(),
+            Some(64)
+        );
     }
 
     #[test]

@@ -104,6 +104,37 @@ impl Topic {
             && other.0.starts_with(self.0.as_ref())
             && other.0.as_bytes()[self.0.len()] == b'/'
     }
+
+    /// The topic truncated to its first `depth` segments — the whole
+    /// topic when it is shorter (never an empty path; `depth` is clamped
+    /// to at least 1).
+    ///
+    /// This is the canonical *grouping key* for everything that buckets
+    /// sensors by their leading path: delivery-staleness tracking groups
+    /// by source (`/rack00/node03/...` at depth 2 → `/rack00/node03`)
+    /// and the federation hash ring places topics on shards by the same
+    /// key, so one component's sensors always land together. Both used
+    /// to carry their own ad-hoc string-slicing; a single normalized
+    /// implementation keeps the two keyspaces identical.
+    pub fn prefix(&self, depth: usize) -> Topic {
+        let depth = depth.max(1);
+        let mut end = 0usize;
+        let mut segments = 0usize;
+        for (i, byte) in self.0.bytes().enumerate() {
+            if byte == b'/' && i > 0 {
+                segments += 1;
+                if segments == depth {
+                    end = i;
+                    break;
+                }
+            }
+        }
+        if end == 0 {
+            self.clone()
+        } else {
+            Topic(self.0[..end].into())
+        }
+    }
 }
 
 impl fmt::Display for Topic {
@@ -310,6 +341,74 @@ mod tests {
         let other = Topic::parse("/r1/c1/s11/power").unwrap();
         assert!(!node.is_ancestor_of(&other));
         assert!(!node.is_ancestor_of(&node.clone()));
+    }
+
+    #[test]
+    fn prefix_truncates_to_leading_segments() {
+        let t = Topic::parse("/rack00/node03/cpu00/cycles").unwrap();
+        assert_eq!(t.prefix(2).as_str(), "/rack00/node03");
+        assert_eq!(t.prefix(1).as_str(), "/rack00");
+        assert_eq!(t.prefix(3).as_str(), "/rack00/node03/cpu00");
+        // Depth at or past the topic's own depth: the whole topic.
+        assert_eq!(t.prefix(4), t);
+        assert_eq!(t.prefix(99), t);
+        // Shallow topics are returned whole; depth 0 clamps to 1.
+        let short = Topic::parse("/short").unwrap();
+        assert_eq!(short.prefix(2), short);
+        assert_eq!(short.prefix(0), short);
+        assert_eq!(t.prefix(0).as_str(), "/rack00");
+        // The prefix is itself a valid, normalized topic.
+        assert_eq!(Topic::parse(t.prefix(2).as_str()).unwrap(), t.prefix(2));
+    }
+
+    #[test]
+    fn prefix_is_stable_grouping_key() {
+        // Sensors under the same component share a prefix; overlapping
+        // segment *names* (node3 vs node30) never collapse into one key.
+        let a = Topic::parse("/r0/node3/power").unwrap();
+        let b = Topic::parse("/r0/node3/cpu0/cycles").unwrap();
+        let c = Topic::parse("/r0/node30/power").unwrap();
+        assert_eq!(a.prefix(2), b.prefix(2));
+        assert_ne!(a.prefix(2), c.prefix(2));
+        assert!(a.prefix(2).is_ancestor_of(&b));
+        assert!(!a.prefix(2).is_ancestor_of(&c));
+    }
+
+    #[test]
+    fn parse_edge_cases_for_ring_keys() {
+        // The hash ring keys off normalized topics: every spelling of
+        // one path must normalize identically, and malformed paths must
+        // be rejected rather than silently producing a different key.
+        for (raw, want) in [
+            ("a/b/c", "/a/b/c"),
+            ("/a/b/c", "/a/b/c"),
+            ("/a/b/c/", "/a/b/c"),
+            ("  a/b/c/  ", "/a/b/c"),
+            // Leading/trailing separator runs normalize away entirely.
+            ("//a", "/a"),
+            ("/a/b//", "/a/b"),
+        ] {
+            assert_eq!(Topic::parse(raw).unwrap().as_str(), want, "{raw:?}");
+        }
+        // Empty topics and *interior* empty segments are malformed.
+        for bad in ["//", "///", "/a//b", "a//b", "/ /a"] {
+            assert!(Topic::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+        // Whitespace-only and wildcard-bearing topics.
+        for bad in ["   ", "\t", "/a/+/b", "/+", "/#", "/a/b#c", "/a/+b"] {
+            assert!(Topic::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn overlapping_prefixes_stay_distinct() {
+        // `/a/b` vs `/a/bc`: byte-prefix but not path-prefix.
+        let short = Topic::parse("/a/b").unwrap();
+        let longer = Topic::parse("/a/bc").unwrap();
+        let deeper = Topic::parse("/a/b/c").unwrap();
+        assert!(!short.is_ancestor_of(&longer));
+        assert!(short.is_ancestor_of(&deeper));
+        assert_ne!(longer.prefix(2), short);
     }
 
     #[test]

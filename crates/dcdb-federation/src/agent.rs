@@ -1,0 +1,684 @@
+//! The federated agent: N Collect Agents, each owning one shard of the
+//! topic space.
+//!
+//! A [`FederatedAgent`] runs one broker + Collect Agent pair per shard
+//! and implements [`MessageBus`], so Pushers publish *through the
+//! federation*: each reading is routed to the shard owning its topic
+//! (per the current [`ShardMap`]) exactly as a production DCDB fans
+//! pushers out across Collect Agents. A refused publish (all shards
+//! down) surfaces as an error, which the Pusher's supervised connection
+//! answers with store-and-forward spooling — the PR-4 machinery applies
+//! unchanged.
+//!
+//! Membership changes go through an **epoch-based cutover**: a
+//! join/leave builds the next [`ShardMap`] (epoch + 1), swaps it in,
+//! then bounded-waits for queries pinned to the old epoch to drain
+//! before declaring the rebalance complete. Queries pin an epoch with
+//! [`FederatedAgent::begin_query`] so a rebalance can never pull the
+//! map out from under a scatter in flight.
+//!
+//! A **killed** shard keeps its broker, agent, and storage: kill only
+//! marks it down and removes it from the ring, so readings that were
+//! acknowledged durable before the kill are still on disk and become
+//! queryable again the moment the shard rejoins — the zero-loss
+//! guarantee the smoke test asserts.
+
+use crate::ring::{ShardMap, DEFAULT_SHARD_KEY_DEPTH, DEFAULT_VNODES};
+use bytes::Bytes;
+use dcdb_bus::{
+    Broker, BusHandle, BusStatsSnapshot, FilterSegment, MessageBus, SubscribeOptions, Subscription,
+    TopicFilter,
+};
+use dcdb_collectagent::{CollectAgent, CollectAgentConfig, ShardAssignment};
+use dcdb_common::error::{DcdbError, Result};
+use dcdb_common::time::Timestamp;
+use dcdb_common::topic::Topic;
+use dcdb_storage::{StorageBackend, StorageEngine};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use wintermute::prelude::TickReport;
+
+/// Federation sizing and behaviour.
+#[derive(Debug, Clone)]
+pub struct FederationConfig {
+    /// Number of shards (Collect Agents) to run.
+    pub agents: usize,
+    /// Virtual nodes per agent on the hash ring.
+    pub vnodes: usize,
+    /// Leading topic segments forming the shard key.
+    pub shard_key_depth: usize,
+    /// Template for each shard's Collect Agent (`agent_id` is replaced
+    /// with the shard's id).
+    pub agent: CollectAgentConfig,
+    /// How long a rebalance waits for queries pinned to the outgoing
+    /// epoch before giving up on the drain (the cutover itself has
+    /// already happened; a timeout only means an old-epoch reader was
+    /// still running and is counted in the stats).
+    pub drain_timeout_ms: u64,
+}
+
+impl Default for FederationConfig {
+    fn default() -> Self {
+        FederationConfig {
+            agents: 4,
+            vnodes: DEFAULT_VNODES,
+            shard_key_depth: DEFAULT_SHARD_KEY_DEPTH,
+            agent: CollectAgentConfig::default(),
+            drain_timeout_ms: 1_000,
+        }
+    }
+}
+
+/// One shard: a broker + Collect Agent pair plus liveness state.
+pub struct Shard {
+    /// Stable shard id (`agent-00`, `agent-01`, …).
+    pub id: String,
+    /// Owns the shard's router thread lifecycle; queries and publishes
+    /// go through handles.
+    broker: Broker,
+    agent: Arc<CollectAgent>,
+    up: AtomicBool,
+    /// Test hook: artificial per-query delay, nanoseconds. Lets tests
+    /// and the chaos smoke drive a shard into scatter timeouts
+    /// deterministically without touching the query path.
+    query_delay_ns: AtomicU64,
+}
+
+impl Shard {
+    /// The shard's Collect Agent.
+    pub fn agent(&self) -> &Arc<CollectAgent> {
+        &self.agent
+    }
+
+    /// A publish/subscribe handle onto the shard's own bus.
+    pub fn bus(&self) -> BusHandle {
+        self.broker.handle()
+    }
+
+    /// Liveness: false between kill and rejoin.
+    pub fn is_up(&self) -> bool {
+        self.up.load(Ordering::Acquire)
+    }
+
+    /// Sets the artificial query delay (test/chaos hook).
+    pub fn set_query_delay_ms(&self, ms: u64) {
+        self.query_delay_ns
+            .store(ms.saturating_mul(1_000_000), Ordering::Release);
+    }
+
+    /// The artificial query delay, if any.
+    pub fn query_delay(&self) -> Option<std::time::Duration> {
+        match self.query_delay_ns.load(Ordering::Acquire) {
+            0 => None,
+            ns => Some(std::time::Duration::from_nanos(ns)),
+        }
+    }
+}
+
+/// One epoch of the shard map plus the number of queries pinned to it.
+struct EpochState {
+    map: Arc<ShardMap>,
+    inflight: AtomicU64,
+}
+
+/// Pins the shard map of the epoch a query started under; the rebalance
+/// drain waits for these to drop.
+pub struct QueryGuard {
+    epoch: Arc<EpochState>,
+}
+
+impl QueryGuard {
+    /// The shard map this query runs against.
+    pub fn map(&self) -> &Arc<ShardMap> {
+        &self.epoch.map
+    }
+}
+
+impl Drop for QueryGuard {
+    fn drop(&mut self) {
+        self.epoch.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Federation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FederationStats {
+    /// Current shard-map epoch.
+    pub epoch: u64,
+    /// Shards configured.
+    pub shards_total: usize,
+    /// Shards currently up.
+    pub shards_up: usize,
+    /// Rebalances performed (kills + rejoins).
+    pub rebalances: u64,
+    /// Rebalances whose old-epoch drain hit the timeout with queries
+    /// still pinned.
+    pub drains_timed_out: u64,
+    /// Readings routed to a shard via [`MessageBus::publish`].
+    pub publishes: u64,
+    /// Publishes refused (no live shard for the topic) — the caller's
+    /// spool takes over.
+    pub publishes_refused: u64,
+}
+
+/// N Collect Agents behind one [`MessageBus`], sharded by topic.
+pub struct FederatedAgent {
+    shards: Vec<Arc<Shard>>,
+    current: RwLock<Arc<EpochState>>,
+    drain_timeout_ms: u64,
+    rebalances: AtomicU64,
+    drains_timed_out: AtomicU64,
+    publishes: AtomicU64,
+    publishes_refused: AtomicU64,
+}
+
+impl FederatedAgent {
+    /// Builds a federation of `config.agents` shards over in-memory
+    /// storage.
+    pub fn new(config: FederationConfig) -> Result<FederatedAgent> {
+        FederatedAgent::new_with(config, |_, _| {
+            Ok(Arc::new(StorageBackend::new()) as Arc<dyn StorageEngine>)
+        })
+    }
+
+    /// Builds a federation with one storage engine per shard from
+    /// `storage` — `(shard index, shard id)` in, engine out. This is how
+    /// the bench and the durable sim give each shard its own journal
+    /// directory (and, for chaos runs, its own fault-injecting device).
+    pub fn new_with(
+        config: FederationConfig,
+        storage: impl Fn(usize, &str) -> Result<Arc<dyn StorageEngine>>,
+    ) -> Result<FederatedAgent> {
+        let n = config.agents.max(1);
+        let mut shards = Vec::with_capacity(n);
+        for i in 0..n {
+            let id = format!("agent-{i:02}");
+            // Synchronous brokers keep per-shard ingest deterministic;
+            // concurrency lives at the federation tier (scatter threads
+            // and per-shard I/O), not inside each shard's bus.
+            let broker = Broker::new_sync();
+            let engine = storage(i, &id)?;
+            let agent = Arc::new(CollectAgent::new(
+                CollectAgentConfig {
+                    agent_id: id.clone(),
+                    ..config.agent.clone()
+                },
+                &broker.handle(),
+                engine,
+            )?);
+            shards.push(Arc::new(Shard {
+                id,
+                broker,
+                agent,
+                up: AtomicBool::new(true),
+                query_delay_ns: AtomicU64::new(0),
+            }));
+        }
+        let ids: Vec<String> = shards.iter().map(|s| s.id.clone()).collect();
+        let map = Arc::new(ShardMap::build(&ids, config.vnodes, config.shard_key_depth));
+        let fed = FederatedAgent {
+            shards,
+            current: RwLock::new(Arc::new(EpochState {
+                map: Arc::clone(&map),
+                inflight: AtomicU64::new(0),
+            })),
+            drain_timeout_ms: config.drain_timeout_ms,
+            rebalances: AtomicU64::new(0),
+            drains_timed_out: AtomicU64::new(0),
+            publishes: AtomicU64::new(0),
+            publishes_refused: AtomicU64::new(0),
+        };
+        fed.apply_assignments(&map);
+        Ok(fed)
+    }
+
+    /// All shards, up or down, in creation order.
+    pub fn shards(&self) -> &[Arc<Shard>] {
+        &self.shards
+    }
+
+    /// The shard with `id`, if configured.
+    pub fn shard(&self, id: &str) -> Option<&Arc<Shard>> {
+        self.shards.iter().find(|s| s.id == id)
+    }
+
+    /// The current shard map.
+    pub fn shard_map(&self) -> Arc<ShardMap> {
+        Arc::clone(&self.current.read().map)
+    }
+
+    /// Pins the current epoch for the duration of one query. The
+    /// returned guard carries the map the query must use; a rebalance
+    /// started after this call waits (bounded) for the guard to drop.
+    pub fn begin_query(&self) -> QueryGuard {
+        // Increment under the read lock: a rebalance swaps the epoch
+        // under the write lock, so the drain can never miss a query
+        // that pinned the old epoch.
+        let current = self.current.read();
+        current.inflight.fetch_add(1, Ordering::AcqRel);
+        let epoch = Arc::clone(&current);
+        drop(current);
+        QueryGuard { epoch }
+    }
+
+    /// Marks `id` down and rebalances the ring without it. The shard's
+    /// broker, agent, and storage are retained — rejoining restores
+    /// every reading that was acknowledged before the kill. Returns
+    /// false if the shard is unknown or already down.
+    pub fn kill(&self, id: &str) -> bool {
+        let Some(shard) = self.shard(id) else {
+            return false;
+        };
+        if !shard.up.swap(false, Ordering::AcqRel) {
+            return false;
+        }
+        self.rebalance();
+        true
+    }
+
+    /// Marks `id` up again and rebalances the ring to include it.
+    /// Returns false if the shard is unknown or already up.
+    pub fn rejoin(&self, id: &str) -> bool {
+        let Some(shard) = self.shard(id) else {
+            return false;
+        };
+        if shard.up.swap(true, Ordering::AcqRel) {
+            return false;
+        }
+        self.rebalance();
+        true
+    }
+
+    /// Ids of the shards currently up.
+    pub fn up_ids(&self) -> Vec<String> {
+        self.shards
+            .iter()
+            .filter(|s| s.is_up())
+            .map(|s| s.id.clone())
+            .collect()
+    }
+
+    /// Rebuilds the map over the live shard set, swaps it in, and
+    /// drains the outgoing epoch: new queries immediately see the new
+    /// map; queries pinned to the old one get up to `drain_timeout_ms`
+    /// to finish. Returns the new epoch.
+    fn rebalance(&self) -> u64 {
+        let live = self.up_ids();
+        let old = {
+            let mut current = self.current.write();
+            let next = Arc::new(EpochState {
+                map: Arc::new(current.map.rebalanced(&live)),
+                inflight: AtomicU64::new(0),
+            });
+            let old = Arc::clone(&current);
+            *current = next;
+            old
+        };
+        let map = self.shard_map();
+        self.apply_assignments(&map);
+        self.rebalances.fetch_add(1, Ordering::Relaxed);
+        // Bounded drain: wait for old-epoch queries to finish so callers
+        // can treat "rebalance returned" as "no query still reads the
+        // retired map" (barring the counted timeout case).
+        let deadline =
+            std::time::Instant::now() + std::time::Duration::from_millis(self.drain_timeout_ms);
+        while old.inflight.load(Ordering::Acquire) > 0 {
+            if std::time::Instant::now() >= deadline {
+                self.drains_timed_out.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        map.epoch
+    }
+
+    /// Pushes each shard's position in `map` down into its agent so
+    /// `/health` and `/metrics` report the assignment.
+    fn apply_assignments(&self, map: &ShardMap) {
+        for shard in &self.shards {
+            let assignment =
+                map.agents
+                    .iter()
+                    .position(|a| *a == shard.id)
+                    .map(|index| ShardAssignment {
+                        index,
+                        total: map.len(),
+                        epoch: map.epoch,
+                        vnodes: map.vnodes,
+                    });
+            shard.agent.set_shard_assignment(assignment);
+        }
+    }
+
+    /// Drains pending bus messages on every live shard. Returns total
+    /// readings ingested.
+    pub fn process_pending(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| s.is_up())
+            .map(|s| s.agent.process_pending())
+            .sum()
+    }
+
+    /// Ticks every live shard (ingest + operators + storage
+    /// maintenance). Returns `(shard index, report)` per live shard.
+    pub fn tick(&self, now: Timestamp) -> Vec<(usize, TickReport)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_up())
+            .map(|(i, s)| (i, s.agent.tick(now)))
+            .collect()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> FederationStats {
+        let map = self.shard_map();
+        FederationStats {
+            epoch: map.epoch,
+            shards_total: self.shards.len(),
+            shards_up: self.shards.iter().filter(|s| s.is_up()).count(),
+            rebalances: self.rebalances.load(Ordering::Relaxed),
+            drains_timed_out: self.drains_timed_out.load(Ordering::Relaxed),
+            publishes: self.publishes.load(Ordering::Relaxed),
+            publishes_refused: self.publishes_refused.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Federation status as JSON: the shard map, per-shard liveness and
+    /// ingest counters, and the rebalance/drain counters. Served by the
+    /// router's `GET /federation` and the sim's status line.
+    pub fn status_json(&self) -> serde_json::Value {
+        let map = self.shard_map();
+        let stats = self.stats();
+        let shards: Vec<serde_json::Value> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let a = s.agent.stats();
+                serde_json::json!({
+                    "id": s.id,
+                    "up": s.is_up(),
+                    "in_ring": map.agents.iter().any(|m| *m == s.id),
+                    "readings": a.readings,
+                    "messages": a.messages,
+                    "ingest_backlog": s.agent.ingest_backlog(),
+                    "sensors": s.agent.query_engine().sensor_count(),
+                })
+            })
+            .collect();
+        serde_json::json!({
+            "epoch": map.epoch,
+            "vnodes": map.vnodes,
+            "shard_key_depth": map.shard_key_depth,
+            "ring": map.agents,
+            "shards_total": stats.shards_total,
+            "shards_up": stats.shards_up,
+            "rebalances": stats.rebalances,
+            "drains_timed_out": stats.drains_timed_out,
+            "publishes": stats.publishes,
+            "publishes_refused": stats.publishes_refused,
+            "shards": shards,
+        })
+    }
+
+    /// The live shard owning `topic` under the current map.
+    fn owner(&self, topic: &Topic) -> Option<Arc<Shard>> {
+        let map = self.shard_map();
+        let id = map.assign_id(topic)?;
+        let shard = self.shard(id)?;
+        if shard.is_up() {
+            Some(Arc::clone(shard))
+        } else {
+            // Raced a kill between map swap and lookup; the caller
+            // spools and retries against the rebalanced map.
+            None
+        }
+    }
+}
+
+impl MessageBus for FederatedAgent {
+    fn publish(&self, topic: Topic, payload: Bytes) -> std::result::Result<(), DcdbError> {
+        match self.owner(&topic) {
+            Some(shard) => {
+                self.publishes.fetch_add(1, Ordering::Relaxed);
+                shard.bus().publish(topic, payload)
+            }
+            None => {
+                self.publishes_refused.fetch_add(1, Ordering::Relaxed);
+                Err(DcdbError::Disconnected(format!(
+                    "no live shard owns {topic}"
+                )))
+            }
+        }
+    }
+
+    /// Attaches the subscription to the shard owning the filter's
+    /// literal prefix (so `/rack00/node03/#` lands where that node's
+    /// data is ingested), falling back to the first live shard for
+    /// filters with no literal prefix. Limitation: a cross-shard filter
+    /// (`/#` on a multi-agent federation) only sees its home shard's
+    /// traffic — fan-in subscribers should query through the router
+    /// instead.
+    fn subscribe_with(&self, filter: TopicFilter, opts: SubscribeOptions) -> Subscription {
+        let prefix: String = filter
+            .segments()
+            .iter()
+            .map_while(|s| match s {
+                FilterSegment::Literal(l) => Some(format!("/{l}")),
+                _ => None,
+            })
+            .collect();
+        let shard = Topic::parse(&prefix)
+            .ok()
+            .and_then(|t| self.owner(&t))
+            .or_else(|| self.shards.iter().find(|s| s.is_up()).map(Arc::clone))
+            .unwrap_or_else(|| Arc::clone(&self.shards[0]));
+        shard.bus().subscribe_with(filter, opts)
+    }
+
+    fn stats(&self) -> BusStatsSnapshot {
+        let mut total = BusStatsSnapshot {
+            published: 0,
+            delivered: 0,
+            dropped: 0,
+            router_dropped: 0,
+        };
+        for shard in &self.shards {
+            let s = shard.bus().stats();
+            total.published += s.published;
+            total.delivered += s.delivered;
+            total.dropped += s.dropped;
+            total.router_dropped += s.router_dropped;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcdb_common::reading::SensorReading;
+
+    fn t(s: &str) -> Topic {
+        Topic::parse(s).unwrap()
+    }
+
+    fn publish_node(fed: &FederatedAgent, node: usize, secs: std::ops::RangeInclusive<u64>) {
+        for i in secs {
+            fed.publish_readings(
+                t(&format!("/rack00/node{node:02}/power")),
+                &[SensorReading::new(
+                    (node * 1000) as i64 + i as i64,
+                    Timestamp::from_secs(i),
+                )],
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn readings_route_to_the_owning_shard() {
+        let fed = FederatedAgent::new(FederationConfig {
+            agents: 4,
+            ..FederationConfig::default()
+        })
+        .unwrap();
+        for node in 0..8 {
+            publish_node(&fed, node, 1..=10);
+        }
+        assert_eq!(fed.process_pending(), 80);
+        let map = fed.shard_map();
+        // Every shard's sensors are exactly the topics the ring assigns
+        // to it.
+        for shard in fed.shards() {
+            for node in 0..8 {
+                let topic = t(&format!("/rack00/node{node:02}/power"));
+                let here = shard.agent().query_engine().knows(&topic);
+                let owns = map.assign_id(&topic) == Some(shard.id.as_str());
+                assert_eq!(here, owns, "{topic} on {}", shard.id);
+            }
+        }
+        assert_eq!(fed.stats().publishes, 80);
+    }
+
+    #[test]
+    fn kill_reroutes_and_rejoin_restores_history() {
+        let fed = FederatedAgent::new(FederationConfig {
+            agents: 3,
+            ..FederationConfig::default()
+        })
+        .unwrap();
+        let topic = t("/rack00/node00/power");
+        let owner = fed.shard_map().assign_id(&topic).unwrap().to_string();
+
+        publish_node(&fed, 0, 1..=5);
+        fed.process_pending();
+
+        assert!(fed.kill(&owner));
+        assert!(!fed.kill(&owner), "double kill is a no-op");
+        let map = fed.shard_map();
+        assert_eq!(map.epoch, 1);
+        assert_ne!(map.assign_id(&topic), Some(owner.as_str()));
+        assert_eq!(fed.stats().shards_up, 2);
+
+        // Interim publishes land on the new owner.
+        publish_node(&fed, 0, 6..=8);
+        fed.process_pending();
+        let interim = map.assign_id(&topic).unwrap();
+        assert!(fed
+            .shard(interim)
+            .unwrap()
+            .agent()
+            .query_engine()
+            .knows(&topic));
+
+        // Rejoin: placement returns to the original owner, whose
+        // pre-kill history is intact.
+        assert!(fed.rejoin(&owner));
+        let map = fed.shard_map();
+        assert_eq!(map.epoch, 2);
+        assert_eq!(map.assign_id(&topic), Some(owner.as_str()));
+        let back = fed.shard(&owner).unwrap().agent().query_engine().query(
+            &topic,
+            wintermute::prelude::QueryMode::Absolute {
+                t0: Timestamp::from_secs(1),
+                t1: Timestamp::from_secs(5),
+            },
+        );
+        assert_eq!(back.len(), 5, "pre-kill readings survive on the shard");
+    }
+
+    #[test]
+    fn publish_with_all_shards_down_is_refused_not_lost_silently() {
+        let fed = FederatedAgent::new(FederationConfig {
+            agents: 2,
+            ..FederationConfig::default()
+        })
+        .unwrap();
+        fed.kill("agent-00");
+        fed.kill("agent-01");
+        let err = fed.publish(t("/rack00/node00/power"), Bytes::new());
+        assert!(err.is_err());
+        assert_eq!(fed.stats().publishes_refused, 1);
+        // Rejoin: publishes flow again.
+        fed.rejoin("agent-00");
+        assert!(fed.publish(t("/rack00/node00/power"), Bytes::new()).is_ok());
+    }
+
+    #[test]
+    fn rebalance_waits_for_pinned_queries_then_counts_timeouts() {
+        let fed = Arc::new(
+            FederatedAgent::new(FederationConfig {
+                agents: 2,
+                drain_timeout_ms: 50,
+                ..FederationConfig::default()
+            })
+            .unwrap(),
+        );
+        // A query pinned to epoch 0 that outlives the drain budget: the
+        // cutover still happens, and the timeout is counted.
+        let guard = fed.begin_query();
+        assert_eq!(guard.map().epoch, 0);
+        fed.kill("agent-01");
+        assert_eq!(fed.shard_map().epoch, 1);
+        assert_eq!(fed.stats().drains_timed_out, 1);
+        drop(guard);
+
+        // A query that finishes promptly lets the drain complete
+        // without a timeout.
+        let fed2 = Arc::clone(&fed);
+        let guard = fed.begin_query();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            drop(guard);
+        });
+        fed2.rejoin("agent-01");
+        h.join().unwrap();
+        assert_eq!(fed.stats().drains_timed_out, 1, "no new drain timeout");
+        assert_eq!(fed.shard_map().epoch, 2);
+    }
+
+    #[test]
+    fn assignments_are_visible_in_shard_health() {
+        let fed = FederatedAgent::new(FederationConfig {
+            agents: 2,
+            ..FederationConfig::default()
+        })
+        .unwrap();
+        let a = fed.shard("agent-00").unwrap().agent();
+        let assignment = a.shard_assignment().expect("assigned at construction");
+        assert_eq!(assignment.total, 2);
+        assert_eq!(assignment.epoch, 0);
+        fed.kill("agent-00");
+        assert!(fed
+            .shard("agent-00")
+            .unwrap()
+            .agent()
+            .shard_assignment()
+            .is_none());
+        let b = fed.shard("agent-01").unwrap().agent();
+        let assignment = b.shard_assignment().unwrap();
+        assert_eq!(assignment.total, 1);
+        assert_eq!(assignment.epoch, 1);
+    }
+
+    #[test]
+    fn subscriptions_attach_to_the_owning_shard() {
+        let fed = FederatedAgent::new(FederationConfig {
+            agents: 4,
+            ..FederationConfig::default()
+        })
+        .unwrap();
+        let topic = t("/rack00/node05/power");
+        let sub = fed.subscribe_with(
+            TopicFilter::parse("/rack00/node05/#").unwrap(),
+            SubscribeOptions::default(),
+        );
+        fed.publish_readings(topic, &[SensorReading::new(7, Timestamp::from_secs(1))])
+            .unwrap();
+        let msg = sub.try_recv().unwrap().expect("delivered on home shard");
+        assert_eq!(msg.topic.as_str(), "/rack00/node05/power");
+    }
+}

@@ -1,0 +1,35 @@
+//! # dcdb-federation — multi-agent sharding and scatter-gather routing
+//!
+//! The paper's production DCDB is not one Collect Agent but a fleet:
+//! pushers fan out across many agents, and the query tier above them
+//! stitches the fleet back into one sensor space (§IV-A, §VI). This
+//! crate reproduces that tier:
+//!
+//! * [`ring`] — a deterministic consistent-hash ring ([`ShardMap`])
+//!   placing topic shard keys on agents with virtual nodes; join/leave
+//!   moves ~1/N of the keyspace and nothing else;
+//! * [`agent`] — [`FederatedAgent`], N broker + Collect Agent pairs
+//!   behind one [`dcdb_bus::MessageBus`], with epoch-based shard-map
+//!   cutover that drains in-flight queries before a rebalance is
+//!   declared done, and kill/rejoin that never discards acknowledged
+//!   data;
+//! * [`router`] — [`QueryRouter`], the scatter-gather front door
+//!   serving the single-agent REST surface (`/sensors`, `/metrics`,
+//!   `/health`, analytics) across shards, with per-shard deadlines,
+//!   pusher-style supervision (consecutive timeouts → routed-down →
+//!   capped-backoff probes), and an envelope on every response whose
+//!   accounting identity `shards_total == shards_ok + shards_timed_out
+//!   + shards_down` makes partial results explicit instead of silent.
+
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod ring;
+pub mod router;
+
+pub use agent::{FederatedAgent, FederationConfig, FederationStats, QueryGuard, Shard};
+pub use ring::{ShardMap, DEFAULT_SHARD_KEY_DEPTH, DEFAULT_VNODES};
+pub use router::{
+    merge_time_ordered, FederatedQuery, QueryEnvelope, QueryRouter, RouterConfig, RouterStats,
+    ShardOutcome,
+};

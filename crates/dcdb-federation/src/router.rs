@@ -1,0 +1,878 @@
+//! The scatter-gather query router.
+//!
+//! The router is the federation's front door: it serves the same REST
+//! surface a single Collect Agent does (`/sensors`, `/metrics`,
+//! `/health`, the analytics routes) by fanning each request out across
+//! the shards and merging the answers.
+//!
+//! **Partial results are a first-class outcome.** Every scatter runs
+//! with a per-shard deadline; a shard that is killed, routed-down by
+//! supervision, or misses the deadline is *accounted*, not waited for.
+//! The response envelope always satisfies
+//!
+//! ```text
+//! shards_total == shards_ok + shards_timed_out + shards_down
+//! ```
+//!
+//! and `complete` is true only when every shard answered — the query
+//! analogue of the delivery accounting the rest of the system already
+//! keeps (`published == delivered + dropped`).
+//!
+//! **Supervision** reuses the Pusher's [`ReconnectConfig`] parameters:
+//! `down_threshold` consecutive scatter timeouts mark a shard
+//! routed-down, after which it is skipped (counted under `shards_down`)
+//! until a doubling, capped backoff admits a probe query. One on-time
+//! answer restores it.
+//!
+//! **Sensor queries scatter to every live shard**, not just the ring
+//! owner: after a kill/rejoin cycle a topic's history is legitimately
+//! split across its original owner and the interim owner, and the
+//! time-ordered merge (with timestamp dedup) stitches the two back into
+//! exactly-once order. Placement governs ingest; queries trust no
+//! placement history.
+
+use crate::agent::{FederatedAgent, Shard};
+use crate::ring::ShardMap;
+use dcdb_common::reading::SensorReading;
+use dcdb_common::time::Timestamp;
+use dcdb_common::topic::Topic;
+use dcdb_pusher::ReconnectConfig;
+use dcdb_rest::{Method, Request, Response, Router, Status};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wintermute::prelude::QueryMode;
+
+/// Router tuning.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Per-shard scatter deadline, milliseconds. A shard that has not
+    /// answered by then is reported `timed_out` and its (eventual)
+    /// answer discarded.
+    pub shard_timeout_ms: u64,
+    /// Supervision parameters, shared with the Pusher's supervised
+    /// connection: `down_threshold` consecutive timeouts mark a shard
+    /// routed-down; probes return after a `base_ms`-to-`cap_ms`
+    /// doubling backoff.
+    pub reconnect: ReconnectConfig,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            shard_timeout_ms: 250,
+            reconnect: ReconnectConfig {
+                base_ms: 100,
+                cap_ms: 5_000,
+                ..ReconnectConfig::default()
+            },
+        }
+    }
+}
+
+/// Supervision state of one shard, from the router's point of view.
+#[derive(Debug, Clone)]
+struct ShardSupervision {
+    consecutive_timeouts: u64,
+    routed_down: bool,
+    backoff_ms: u64,
+    next_probe_at: Option<Instant>,
+}
+
+impl ShardSupervision {
+    fn new() -> ShardSupervision {
+        ShardSupervision {
+            consecutive_timeouts: 0,
+            routed_down: false,
+            backoff_ms: 0,
+            next_probe_at: None,
+        }
+    }
+}
+
+/// How one shard fared in one scatter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardOutcome {
+    /// Answered within the deadline.
+    Ok,
+    /// Missed the per-shard deadline.
+    TimedOut,
+    /// Killed, or routed-down by supervision and not yet due a probe.
+    Down,
+}
+
+/// The partial-result accounting attached to every routed response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryEnvelope {
+    /// Shard-map epoch the query ran under.
+    pub epoch: u64,
+    /// Shards configured at scatter time.
+    pub shards_total: usize,
+    /// Shards that answered in time.
+    pub shards_ok: usize,
+    /// Shards that missed the deadline.
+    pub shards_timed_out: usize,
+    /// Shards killed or routed-down.
+    pub shards_down: usize,
+}
+
+impl QueryEnvelope {
+    /// True when every shard answered.
+    pub fn complete(&self) -> bool {
+        self.shards_ok == self.shards_total
+    }
+
+    /// The accounting identity every envelope must satisfy.
+    pub fn accounted(&self) -> bool {
+        self.shards_total == self.shards_ok + self.shards_timed_out + self.shards_down
+    }
+
+    /// The envelope as served under `"meta"` in routed responses.
+    pub fn json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "epoch": self.epoch,
+            "complete": self.complete(),
+            "shards_total": self.shards_total,
+            "shards_ok": self.shards_ok,
+            "shards_timed_out": self.shards_timed_out,
+            "shards_down": self.shards_down,
+        })
+    }
+}
+
+/// A merged sensor query: envelope plus time-ordered readings.
+#[derive(Debug, Clone)]
+pub struct FederatedQuery {
+    /// Partial-result accounting.
+    pub envelope: QueryEnvelope,
+    /// Exactly-once, timestamp-ordered readings from all answering
+    /// shards.
+    pub readings: Vec<SensorReading>,
+}
+
+/// Router counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Scatters issued.
+    pub queries: u64,
+    /// Scatters that returned partial results.
+    pub partial: u64,
+    /// Per-shard timeouts observed.
+    pub shard_timeouts: u64,
+    /// Per-shard down skips observed.
+    pub shard_downs: u64,
+    /// Shards marked routed-down by supervision.
+    pub marked_down: u64,
+    /// Shards recovered by a successful probe.
+    pub recovered: u64,
+}
+
+/// The scatter-gather front door over a [`FederatedAgent`].
+pub struct QueryRouter {
+    federation: Arc<FederatedAgent>,
+    config: RouterConfig,
+    supervision: Vec<Mutex<ShardSupervision>>,
+    /// One fully-mounted single-agent route table per shard, for the
+    /// forwarded surfaces (analytics) that are owner-routed rather than
+    /// scatter-merged.
+    shard_routes: Vec<Router>,
+    queries: AtomicU64,
+    partial: AtomicU64,
+    shard_timeouts: AtomicU64,
+    shard_downs: AtomicU64,
+    marked_down: AtomicU64,
+    recovered: AtomicU64,
+}
+
+impl QueryRouter {
+    /// Builds a router over `federation`.
+    pub fn new(federation: Arc<FederatedAgent>, config: RouterConfig) -> QueryRouter {
+        let supervision = federation
+            .shards()
+            .iter()
+            .map(|_| Mutex::new(ShardSupervision::new()))
+            .collect();
+        let shard_routes = federation
+            .shards()
+            .iter()
+            .map(|s| {
+                let mut r = Router::new();
+                s.agent().mount_routes(&mut r);
+                r
+            })
+            .collect();
+        QueryRouter {
+            federation,
+            config,
+            supervision,
+            shard_routes,
+            queries: AtomicU64::new(0),
+            partial: AtomicU64::new(0),
+            shard_timeouts: AtomicU64::new(0),
+            shard_downs: AtomicU64::new(0),
+            marked_down: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
+        }
+    }
+
+    /// The federation behind this router.
+    pub fn federation(&self) -> &Arc<FederatedAgent> {
+        &self.federation
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> RouterStats {
+        RouterStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            partial: self.partial.load(Ordering::Relaxed),
+            shard_timeouts: self.shard_timeouts.load(Ordering::Relaxed),
+            shard_downs: self.shard_downs.load(Ordering::Relaxed),
+            marked_down: self.marked_down.load(Ordering::Relaxed),
+            recovered: self.recovered.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Router counters as served under `"router"` in `/metrics` and
+    /// `/federation`.
+    fn router_json(&self) -> serde_json::Value {
+        let stats = self.stats();
+        serde_json::json!({
+            "queries": stats.queries,
+            "partial": stats.partial,
+            "shard_timeouts": stats.shard_timeouts,
+            "shard_downs": stats.shard_downs,
+            "marked_down": stats.marked_down,
+            "recovered": stats.recovered,
+            "shard_timeout_ms": self.config.shard_timeout_ms,
+        })
+    }
+
+    /// Whether supervision currently routes `shard_index` as down.
+    pub fn is_routed_down(&self, shard_index: usize) -> bool {
+        self.supervision[shard_index].lock().routed_down
+    }
+
+    /// Scatter one sensor range query to every live shard, gather
+    /// within the per-shard deadline, and merge time-ordered.
+    pub fn query_sensors(&self, topic: &Topic, t0: Timestamp, t1: Timestamp) -> FederatedQuery {
+        let guard = self.federation.begin_query();
+        let epoch = guard.map().epoch;
+        self.queries.fetch_add(1, Ordering::Relaxed);
+
+        let shards = self.federation.shards();
+        let now = Instant::now();
+        let (tx, rx) = mpsc::channel::<(usize, Vec<SensorReading>)>();
+        let mut outcomes: Vec<Option<ShardOutcome>> = vec![None; shards.len()];
+        let mut pending = 0usize;
+        for (i, shard) in shards.iter().enumerate() {
+            if !shard.is_up() {
+                outcomes[i] = Some(ShardOutcome::Down);
+                continue;
+            }
+            {
+                let sup = self.supervision[i].lock();
+                let probe_due = sup.next_probe_at.is_none_or(|at| now >= at);
+                if sup.routed_down && !probe_due {
+                    outcomes[i] = Some(ShardOutcome::Down);
+                    continue;
+                }
+            }
+            pending += 1;
+            let tx = tx.clone();
+            let shard = Arc::clone(shard);
+            let topic = topic.clone();
+            std::thread::spawn(move || {
+                if let Some(delay) = shard.query_delay() {
+                    std::thread::sleep(delay);
+                }
+                let rows = shard
+                    .agent()
+                    .query_engine()
+                    .query(&topic, QueryMode::Absolute { t0, t1 });
+                // The receiver may have given up on us; a send error
+                // just means the answer arrived past the deadline.
+                let _ = tx.send((i, rows));
+            });
+        }
+        drop(tx);
+
+        let deadline = now + Duration::from_millis(self.config.shard_timeout_ms);
+        let mut gathered: Vec<Vec<SensorReading>> = Vec::with_capacity(pending);
+        while pending > 0 {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(remaining) {
+                Ok((i, rows)) => {
+                    outcomes[i] = Some(ShardOutcome::Ok);
+                    gathered.push(rows);
+                    pending -= 1;
+                }
+                Err(_) => break, // deadline hit (or all senders gone)
+            }
+        }
+        for o in outcomes.iter_mut() {
+            if o.is_none() {
+                *o = Some(ShardOutcome::TimedOut);
+            }
+        }
+
+        let mut envelope = QueryEnvelope {
+            epoch,
+            shards_total: shards.len(),
+            shards_ok: 0,
+            shards_timed_out: 0,
+            shards_down: 0,
+        };
+        for (i, outcome) in outcomes.iter().enumerate() {
+            match outcome.expect("every shard has an outcome") {
+                ShardOutcome::Ok => {
+                    envelope.shards_ok += 1;
+                    self.note_ok(i);
+                }
+                ShardOutcome::TimedOut => {
+                    envelope.shards_timed_out += 1;
+                    self.shard_timeouts.fetch_add(1, Ordering::Relaxed);
+                    self.note_timeout(i);
+                }
+                ShardOutcome::Down => {
+                    envelope.shards_down += 1;
+                    self.shard_downs.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        if !envelope.complete() {
+            self.partial.fetch_add(1, Ordering::Relaxed);
+        }
+        debug_assert!(envelope.accounted());
+
+        FederatedQuery {
+            envelope,
+            readings: merge_time_ordered(gathered),
+        }
+    }
+
+    fn note_ok(&self, i: usize) {
+        let mut sup = self.supervision[i].lock();
+        sup.consecutive_timeouts = 0;
+        if sup.routed_down {
+            sup.routed_down = false;
+            sup.backoff_ms = 0;
+            sup.next_probe_at = None;
+            self.recovered.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn note_timeout(&self, i: usize) {
+        let rc = &self.config.reconnect;
+        let mut sup = self.supervision[i].lock();
+        sup.consecutive_timeouts += 1;
+        if sup.routed_down {
+            // Failed probe: double the backoff, capped.
+            let next = ((sup.backoff_ms as f64) * rc.multiplier) as u64;
+            sup.backoff_ms = next.clamp(rc.base_ms, rc.cap_ms);
+        } else if sup.consecutive_timeouts >= rc.down_threshold {
+            sup.routed_down = true;
+            sup.backoff_ms = rc.base_ms;
+            self.marked_down.fetch_add(1, Ordering::Relaxed);
+        } else {
+            return;
+        }
+        sup.next_probe_at = Some(Instant::now() + Duration::from_millis(sup.backoff_ms));
+    }
+
+    /// Per-shard health rows for `/health` and `/federation`.
+    fn shard_health_json(&self, map: &ShardMap) -> Vec<serde_json::Value> {
+        self.federation
+            .shards()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let sup = self.supervision[i].lock().clone();
+                let storage_state = s
+                    .agent()
+                    .storage()
+                    .health()
+                    .map(|h| h.state.as_str())
+                    .unwrap_or("healthy");
+                serde_json::json!({
+                    "agent_id": s.id,
+                    "up": s.is_up(),
+                    "routed_down": sup.routed_down,
+                    "consecutive_timeouts": sup.consecutive_timeouts,
+                    "backoff_ms": if sup.routed_down { Some(sup.backoff_ms) } else { None },
+                    "in_ring": map.agents.iter().any(|m| *m == s.id),
+                    "storage": storage_state,
+                    "shard": s.agent().shard_assignment().map(|a| serde_json::json!({
+                        "index": a.index, "total": a.total, "epoch": a.epoch,
+                    })),
+                })
+            })
+            .collect()
+    }
+
+    fn reachable(&self, i: usize, shard: &Shard) -> bool {
+        shard.is_up() && !self.supervision[i].lock().routed_down
+    }
+
+    /// Mounts the federated REST surface:
+    ///
+    /// * `GET /sensors/*topic?from_s=..&to_s=..` — scatter-gather range
+    ///   query; body is `{"meta": <envelope>, "readings": [...]}`;
+    /// * `GET /metrics` — router counters, federation status, and every
+    ///   shard's full single-agent metrics document;
+    /// * `GET /health` — aggregate liveness: 200 while at least one
+    ///   shard is reachable, 503 otherwise, with per-shard rows;
+    /// * `GET /federation` — shard map, supervision, counters;
+    /// * `GET /analytics/plugins` — union of every reachable shard's
+    ///   plugin list, each entry tagged with its shard id;
+    /// * `GET /analytics/compute/:name?unit=<topic>` — forwarded to the
+    ///   shard owning the unit's topic.
+    pub fn mount_routes(self: &Arc<Self>, router: &mut Router) {
+        let rt = Arc::clone(self);
+        router.route(Method::Get, "/sensors/*topic", move |req| {
+            let raw = format!("/{}", req.path_param("topic").unwrap_or_default());
+            let Ok(topic) = Topic::parse(&raw) else {
+                return Response::error(Status::BadRequest, "malformed topic");
+            };
+            let from = match parse_ts_param(req, "from_s") {
+                Ok(v) => v.unwrap_or(Timestamp::ZERO),
+                Err(resp) => return resp,
+            };
+            let to = match parse_ts_param(req, "to_s") {
+                Ok(v) => v.unwrap_or(Timestamp::MAX),
+                Err(resp) => return resp,
+            };
+            let result = rt.query_sensors(&topic, from, to);
+            let rows: Vec<serde_json::Value> = result
+                .readings
+                .iter()
+                .map(|r| serde_json::json!({"value": r.value, "timestamp": r.ts.as_nanos()}))
+                .collect();
+            let body = serde_json::json!({
+                "meta": result.envelope.json(),
+                "readings": rows,
+            });
+            Response::json(body.to_string())
+        });
+
+        let rt = Arc::clone(self);
+        router.route(Method::Get, "/metrics", move |_req| {
+            let shards: serde_json::Map<String, serde_json::Value> = rt
+                .federation
+                .shards()
+                .iter()
+                .map(|s| (s.id.clone(), s.agent().metrics_json()))
+                .collect();
+            let body = serde_json::json!({
+                "router": rt.router_json(),
+                "federation": rt.federation.status_json(),
+                "shards": serde_json::Value::Object(shards),
+            });
+            Response::json(body.to_string())
+        });
+
+        let rt = Arc::clone(self);
+        router.route(Method::Get, "/health", move |_req| {
+            let map = rt.federation.shard_map();
+            let rows = rt.shard_health_json(&map);
+            let reachable = rt
+                .federation
+                .shards()
+                .iter()
+                .enumerate()
+                .filter(|(i, s)| rt.reachable(*i, s))
+                .count();
+            let total = rt.federation.shards().len();
+            let (status, word) = if reachable == 0 {
+                (Status::ServiceUnavailable, "unavailable")
+            } else if reachable < total {
+                (Status::Ok, "degraded")
+            } else {
+                (Status::Ok, "ok")
+            };
+            let body = serde_json::json!({
+                "status": word,
+                "epoch": map.epoch,
+                "shards_total": total,
+                "shards_reachable": reachable,
+                "shards": rows,
+            });
+            Response::json(body.to_string()).with_status(status)
+        });
+
+        let rt = Arc::clone(self);
+        router.route(Method::Get, "/federation", move |_req| {
+            let map = rt.federation.shard_map();
+            let body = serde_json::json!({
+                "federation": rt.federation.status_json(),
+                "supervision": rt.shard_health_json(&map),
+                "router": rt.router_json(),
+            });
+            Response::json(body.to_string())
+        });
+
+        let rt = Arc::clone(self);
+        router.route(Method::Get, "/analytics/plugins", move |_req| {
+            let mut merged: Vec<serde_json::Value> = Vec::new();
+            for (i, shard) in rt.federation.shards().iter().enumerate() {
+                if !rt.reachable(i, shard) {
+                    continue;
+                }
+                let resp =
+                    rt.shard_routes[i].dispatch(Request::new(Method::Get, "/analytics/plugins"));
+                if let Ok(serde_json::Value::Array(list)) =
+                    serde_json::from_str::<serde_json::Value>(&resp.body_str())
+                {
+                    for mut entry in list {
+                        if let serde_json::Value::Object(obj) = &mut entry {
+                            obj.insert("shard".into(), serde_json::json!(shard.id));
+                        }
+                        merged.push(entry);
+                    }
+                }
+            }
+            Response::json(serde_json::Value::Array(merged).to_string())
+        });
+
+        let rt = Arc::clone(self);
+        router.route(Method::Get, "/analytics/compute/:name", move |req| {
+            let name = req.path_param("name").unwrap_or_default();
+            let Some(unit) = req.query_param("unit") else {
+                return Response::error(Status::BadRequest, "missing unit parameter");
+            };
+            let Ok(topic) = Topic::parse(unit) else {
+                return Response::error(Status::BadRequest, "malformed unit topic");
+            };
+            let map = rt.federation.shard_map();
+            let Some(owner) = map.assign_id(&topic) else {
+                return Response::error(Status::ServiceUnavailable, "no shards in ring");
+            };
+            let Some(i) = rt.federation.shards().iter().position(|s| s.id == owner) else {
+                return Response::error(Status::ServiceUnavailable, "owner shard unknown");
+            };
+            if !rt.reachable(i, &rt.federation.shards()[i]) {
+                return Response::error(
+                    Status::ServiceUnavailable,
+                    format!("owner shard {owner} is down"),
+                );
+            }
+            rt.shard_routes[i].dispatch(Request::new(
+                Method::Get,
+                &format!("/analytics/compute/{name}?unit={unit}"),
+            ))
+        });
+    }
+}
+
+/// Merges per-shard result sets into one exactly-once, time-ordered
+/// sequence. Readings for the same topic may live on two shards after a
+/// kill/rejoin cycle (original owner + interim owner); equal timestamps
+/// across shards are the same reading and are deduplicated.
+pub fn merge_time_ordered(results: Vec<Vec<SensorReading>>) -> Vec<SensorReading> {
+    let mut all: Vec<SensorReading> = results.into_iter().flatten().collect();
+    all.sort_by_key(|r| r.ts);
+    all.dedup_by_key(|r| r.ts);
+    all
+}
+
+/// Parses an optional `?name=<seconds>` query parameter (mirrors the
+/// single-agent surface: absent means open range, malformed is a 400).
+fn parse_ts_param(req: &Request, name: &str) -> std::result::Result<Option<Timestamp>, Response> {
+    match req.query_param(name) {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<u64>()
+            .map(|s| Some(Timestamp::from_secs(s)))
+            .map_err(|_| {
+                Response::error(
+                    Status::BadRequest,
+                    format!("malformed {name}: expected unsigned seconds, got {v:?}"),
+                )
+            }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::FederationConfig;
+    use dcdb_bus::MessageBus;
+
+    fn t(s: &str) -> Topic {
+        Topic::parse(s).unwrap()
+    }
+
+    fn federation(agents: usize) -> Arc<FederatedAgent> {
+        Arc::new(
+            FederatedAgent::new(FederationConfig {
+                agents,
+                drain_timeout_ms: 100,
+                ..FederationConfig::default()
+            })
+            .unwrap(),
+        )
+    }
+
+    fn feed(fed: &FederatedAgent, node: usize, secs: std::ops::RangeInclusive<u64>) {
+        for i in secs {
+            fed.publish_readings(
+                t(&format!("/rack00/node{node:02}/power")),
+                &[dcdb_common::reading::SensorReading::new(
+                    i as i64,
+                    Timestamp::from_secs(i),
+                )],
+            )
+            .unwrap();
+        }
+        fed.process_pending();
+    }
+
+    #[test]
+    fn scatter_merges_time_ordered_and_complete() {
+        let fed = federation(4);
+        for node in 0..4 {
+            feed(&fed, node, 1..=20);
+        }
+        let rt = QueryRouter::new(Arc::clone(&fed), RouterConfig::default());
+        let q = rt.query_sensors(
+            &t("/rack00/node02/power"),
+            Timestamp::from_secs(5),
+            Timestamp::from_secs(15),
+        );
+        assert!(q.envelope.complete());
+        assert!(q.envelope.accounted());
+        assert_eq!(q.envelope.shards_ok, 4);
+        let ts: Vec<u64> = q.readings.iter().map(|r| r.ts.as_nanos()).collect();
+        let mut sorted = ts.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ts, sorted, "time-ordered, exactly-once");
+        assert_eq!(q.readings.len(), 11);
+    }
+
+    #[test]
+    fn killed_shard_is_accounted_down_and_results_are_partial() {
+        let fed = federation(3);
+        for node in 0..6 {
+            feed(&fed, node, 1..=5);
+        }
+        let topic = t("/rack00/node00/power");
+        let owner = fed.shard_map().assign_id(&topic).unwrap().to_string();
+        fed.kill(&owner);
+        let rt = QueryRouter::new(Arc::clone(&fed), RouterConfig::default());
+        let q = rt.query_sensors(&topic, Timestamp::ZERO, Timestamp::MAX);
+        assert!(!q.envelope.complete());
+        assert!(q.envelope.accounted());
+        assert_eq!(q.envelope.shards_down, 1);
+        assert_eq!(q.envelope.shards_ok, 2);
+        // The owner held all this topic's data, so the partial answer
+        // is empty — but honestly accounted.
+        assert!(q.readings.is_empty());
+        assert_eq!(rt.stats().partial, 1);
+    }
+
+    #[test]
+    fn slow_shard_times_out_then_supervision_routes_it_down_and_recovers() {
+        let fed = federation(2);
+        for node in 0..4 {
+            feed(&fed, node, 1..=3);
+        }
+        let rt = QueryRouter::new(
+            Arc::clone(&fed),
+            RouterConfig {
+                shard_timeout_ms: 20,
+                reconnect: ReconnectConfig {
+                    base_ms: 30,
+                    cap_ms: 200,
+                    down_threshold: 2,
+                    ..ReconnectConfig::default()
+                },
+            },
+        );
+        fed.shards()[1].set_query_delay_ms(200);
+        let topic = t("/rack00/node00/power");
+
+        // Two timeouts cross down_threshold.
+        for _ in 0..2 {
+            let q = rt.query_sensors(&topic, Timestamp::ZERO, Timestamp::MAX);
+            assert_eq!(q.envelope.shards_timed_out, 1);
+            assert!(q.envelope.accounted());
+        }
+        assert!(rt.is_routed_down(1));
+        assert_eq!(rt.stats().marked_down, 1);
+
+        // While down and before the probe is due, the shard is skipped
+        // (down, not timed out) — the scatter no longer pays the
+        // deadline for it.
+        let q = rt.query_sensors(&topic, Timestamp::ZERO, Timestamp::MAX);
+        assert_eq!(q.envelope.shards_down, 1);
+        assert_eq!(q.envelope.shards_timed_out, 0);
+
+        // Shard heals; after the backoff a probe admits it again.
+        fed.shards()[1].set_query_delay_ms(0);
+        std::thread::sleep(Duration::from_millis(40));
+        let q = rt.query_sensors(&topic, Timestamp::ZERO, Timestamp::MAX);
+        assert!(q.envelope.complete(), "{:?}", q.envelope);
+        assert!(!rt.is_routed_down(1));
+        assert_eq!(rt.stats().recovered, 1);
+    }
+
+    #[test]
+    fn rest_surface_serves_envelope_metrics_health_and_federation() {
+        let fed = federation(2);
+        feed(&fed, 0, 1..=4);
+        let rt = Arc::new(QueryRouter::new(Arc::clone(&fed), RouterConfig::default()));
+        let mut router = Router::new();
+        rt.mount_routes(&mut router);
+
+        let resp = router.dispatch(Request::new(
+            Method::Get,
+            "/sensors/rack00/node00/power?from_s=2&to_s=3",
+        ));
+        assert_eq!(resp.status.code(), 200);
+        let v: serde_json::Value = serde_json::from_str(&resp.body_str()).unwrap();
+        let meta = v.get("meta").unwrap();
+        assert_eq!(meta.get("complete").unwrap().as_bool(), Some(true));
+        assert_eq!(meta.get("shards_total").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("readings").unwrap().as_array().unwrap().len(), 2);
+
+        // Malformed ranges are 400s, mirroring the single-agent API.
+        let resp = router.dispatch(Request::new(
+            Method::Get,
+            "/sensors/rack00/node00/power?from_s=nope",
+        ));
+        assert_eq!(resp.status.code(), 400);
+
+        let resp = router.dispatch(Request::new(Method::Get, "/metrics"));
+        let v: serde_json::Value = serde_json::from_str(&resp.body_str()).unwrap();
+        assert!(v.get("router").unwrap().get("queries").is_some());
+        assert!(v.get("shards").unwrap().get("agent-00").is_some());
+
+        let resp = router.dispatch(Request::new(Method::Get, "/health"));
+        assert_eq!(resp.status.code(), 200);
+        let v: serde_json::Value = serde_json::from_str(&resp.body_str()).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(v.get("shards").unwrap().as_array().unwrap().len(), 2);
+
+        fed.kill("agent-01");
+        let resp = router.dispatch(Request::new(Method::Get, "/health"));
+        assert_eq!(resp.status.code(), 200);
+        let v: serde_json::Value = serde_json::from_str(&resp.body_str()).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("degraded"));
+
+        fed.kill("agent-00");
+        let resp = router.dispatch(Request::new(Method::Get, "/health"));
+        assert_eq!(resp.status.code(), 503);
+
+        fed.rejoin("agent-00");
+        let resp = router.dispatch(Request::new(Method::Get, "/federation"));
+        let v: serde_json::Value = serde_json::from_str(&resp.body_str()).unwrap();
+        assert_eq!(
+            v.get("federation")
+                .unwrap()
+                .get("shards_up")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn analytics_routes_merge_and_forward() {
+        let fed = federation(2);
+        for node in 0..8 {
+            feed(&fed, node, 1..=3);
+        }
+        // Load one plugin on each shard that owns sensors (with 8 nodes
+        // over 2 shards both do; the assert documents it).
+        for shard in fed.shards() {
+            assert!(
+                shard.agent().query_engine().sensor_count() > 0,
+                "{} owns no sensors",
+                shard.id
+            );
+            wintermute_plugins::register_all(shard.agent().manager(), None);
+            shard
+                .agent()
+                .manager()
+                .load(
+                    wintermute::prelude::PluginConfig::online("avg", "aggregator", 1000)
+                        .with_patterns(&["<bottomup>power"], &["<bottomup>power-avg"])
+                        .with_option("window_ms", 10_000u64),
+                )
+                .unwrap();
+        }
+        let rt = Arc::new(QueryRouter::new(Arc::clone(&fed), RouterConfig::default()));
+        let mut router = Router::new();
+        rt.mount_routes(&mut router);
+
+        let resp = router.dispatch(Request::new(Method::Get, "/analytics/plugins"));
+        let v: serde_json::Value = serde_json::from_str(&resp.body_str()).unwrap();
+        let list = v.as_array().unwrap();
+        assert_eq!(list.len(), 2, "one instance per shard");
+        assert!(list
+            .iter()
+            .any(|e| e.get("shard").unwrap().as_str() == Some("agent-00")));
+        assert!(list
+            .iter()
+            .any(|e| e.get("shard").unwrap().as_str() == Some("agent-01")));
+
+        // compute is owner-routed: take a real unit from one shard's
+        // manager and check the forward answers. Unit topics share the
+        // shard key of the sensors they aggregate, so the ring owner is
+        // the shard hosting the unit.
+        let unit = fed.shards()[0]
+            .agent()
+            .manager()
+            .units_of("avg")
+            .unwrap()
+            .first()
+            .expect("shard 0 has units")
+            .as_str()
+            .to_string();
+        let resp = router.dispatch(Request::new(
+            Method::Get,
+            &format!("/analytics/compute/avg?unit={unit}"),
+        ));
+        assert_eq!(resp.status.code(), 200, "{}", resp.body_str());
+
+        // Kill the owner: the forward is refused, not misrouted.
+        let owner = fed.shard_map().assign_id(&t(&unit)).unwrap().to_string();
+        fed.kill(&owner);
+        let resp = router.dispatch(Request::new(
+            Method::Get,
+            &format!("/analytics/compute/avg?unit={unit}"),
+        ));
+        // After the rebalance the unit rehashes to a live shard, which
+        // either serves it (if it hosts the unit), reports it unknown
+        // (404), or the route refuses outright (503) — but the killed
+        // shard never answers.
+        assert!(
+            matches!(resp.status.code(), 200 | 404 | 503),
+            "{}",
+            resp.body_str()
+        );
+    }
+
+    #[test]
+    fn merge_dedups_across_shards_after_rebalance_split() {
+        // Simulate a topic whose history is split across two shards
+        // with one overlapping timestamp (re-delivered at the seam).
+        let mk = |vals: &[(i64, u64)]| {
+            vals.iter()
+                .map(|&(v, s)| dcdb_common::reading::SensorReading::new(v, Timestamp::from_secs(s)))
+                .collect::<Vec<_>>()
+        };
+        let merged = merge_time_ordered(vec![
+            mk(&[(1, 1), (2, 2), (3, 3)]),
+            mk(&[(3, 3), (4, 4)]),
+            mk(&[]),
+        ]);
+        let ts: Vec<u64> = merged
+            .iter()
+            .map(|r| r.ts.as_nanos() / 1_000_000_000)
+            .collect();
+        assert_eq!(ts, vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,226 @@
+//! Federation equivalence and resilience tests.
+//!
+//! The central property: a federated range query over K shards returns
+//! *exactly* the readings a single-agent deployment returns for the
+//! same published data — same values, same time order, exactly once —
+//! including ranges that straddle each shard's cache/storage stitch
+//! boundary and topic histories split across shards by a kill/rejoin
+//! cycle.
+
+use dcdb_bus::MessageBus;
+use dcdb_collectagent::{CollectAgent, CollectAgentConfig};
+use dcdb_common::reading::SensorReading;
+use dcdb_common::time::Timestamp;
+use dcdb_common::topic::Topic;
+use dcdb_federation::{FederatedAgent, FederationConfig, QueryRouter, RouterConfig};
+use dcdb_storage::StorageBackend;
+use proptest::prelude::*;
+use std::sync::Arc;
+use wintermute::prelude::QueryMode;
+
+fn t(s: &str) -> Topic {
+    Topic::parse(s).unwrap()
+}
+
+/// A tiny cache (4 s) so any range wider than a few seconds must
+/// stitch cache + storage — the boundary the property exercises.
+fn agent_config() -> CollectAgentConfig {
+    CollectAgentConfig {
+        cache_secs: 4,
+        expected_interval_ms: 1000,
+        ..CollectAgentConfig::default()
+    }
+}
+
+fn federation(agents: usize) -> Arc<FederatedAgent> {
+    Arc::new(
+        FederatedAgent::new(FederationConfig {
+            agents,
+            agent: agent_config(),
+            drain_timeout_ms: 200,
+            ..FederationConfig::default()
+        })
+        .unwrap(),
+    )
+}
+
+/// Reference: one Collect Agent ingesting everything.
+fn single_agent() -> (dcdb_bus::Broker, Arc<CollectAgent>) {
+    let broker = dcdb_bus::Broker::new_sync();
+    let storage = Arc::new(StorageBackend::new());
+    let agent = Arc::new(CollectAgent::new(agent_config(), &broker.handle(), storage).unwrap());
+    (broker, agent)
+}
+
+/// One published batch: (node, sensor, second, value).
+#[derive(Debug, Clone)]
+struct Pub {
+    node: usize,
+    sensor: usize,
+    sec: u64,
+    value: i64,
+}
+
+fn pubs() -> impl Strategy<Value = Vec<Pub>> {
+    prop::collection::vec((0usize..6, 0usize..2, 1u64..40, -1000i64..1000), 1..120).prop_map(
+        |raw| {
+            // One value per (topic, timestamp): duplicate-timestamp
+            // semantics are an engine property, not what this test pins.
+            let mut unique = std::collections::BTreeMap::new();
+            for (node, sensor, sec, value) in raw {
+                unique.insert((node, sensor, sec), value);
+            }
+            unique
+                .into_iter()
+                .map(|((node, sensor, sec), value)| Pub {
+                    node,
+                    sensor,
+                    sec,
+                    value,
+                })
+                .collect()
+        },
+    )
+}
+
+fn topic_of(p: &Pub) -> Topic {
+    let sensor = if p.sensor == 0 { "power" } else { "temp" };
+    t(&format!("/rack00/node{:02}/{sensor}", p.node))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Federated scatter-gather over K shards == single-agent run, for
+    /// every topic and for sub-ranges crossing the cache/storage seam.
+    #[test]
+    fn federated_query_equals_single_agent(
+        batch in pubs(),
+        agents in 1usize..5,
+        from in 0u64..20,
+        span in 0u64..40,
+    ) {
+        let fed = federation(agents);
+        let rt = QueryRouter::new(Arc::clone(&fed), RouterConfig::default());
+        let (_broker, single) = single_agent();
+
+        for p in &batch {
+            let topic = topic_of(p);
+            let reading = SensorReading::new(p.value, Timestamp::from_secs(p.sec));
+            fed.publish_readings(topic.clone(), &[reading]).unwrap();
+            single
+                .query_engine()
+                .insert_batch(&topic, &[reading]);
+        }
+        // Tick past the newest data so small caches evict and the
+        // query engines must stitch cache + storage.
+        let horizon = Timestamp::from_secs(45);
+        fed.tick(horizon);
+        single.tick(horizon);
+
+        let t0 = Timestamp::from_secs(from);
+        let t1 = Timestamp::from_secs(from + span);
+        let mut topics: Vec<Topic> = batch.iter().map(topic_of).collect();
+        topics.sort_by(|a, b| a.as_str().cmp(b.as_str()));
+        topics.dedup();
+
+        for topic in &topics {
+            let expected = single
+                .query_engine()
+                .query(topic, QueryMode::Absolute { t0, t1 });
+            let got = rt.query_sensors(topic, t0, t1);
+            prop_assert!(got.envelope.complete(), "{:?}", got.envelope);
+            prop_assert!(got.envelope.accounted());
+            // Same multiset, same order, exactly once. The reference
+            // engine dedups per timestamp the same way (last write to a
+            // timestamp wins in both), so compare timestamps and count.
+            let got_ts: Vec<u64> = got.readings.iter().map(|r| r.ts.as_nanos()).collect();
+            let exp_ts: Vec<u64> = expected.iter().map(|r| r.ts.as_nanos()).collect();
+            prop_assert_eq!(&got_ts, &exp_ts, "topic {}", topic);
+            let mut sorted = got_ts.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(got_ts, sorted, "time-ordered exactly-once for {}", topic);
+        }
+    }
+
+    /// A kill/rejoin cycle mid-stream loses nothing: every reading
+    /// published (and routed) before, during, and after the outage is
+    /// returned exactly once after the shard rejoins.
+    #[test]
+    fn kill_rejoin_preserves_every_routed_reading(
+        agents in 2usize..5,
+        node in 0usize..6,
+        kill_at in 5u64..15,
+        rejoin_at in 16u64..25,
+    ) {
+        let fed = federation(agents);
+        let rt = QueryRouter::new(Arc::clone(&fed), RouterConfig::default());
+        let topic = t(&format!("/rack00/node{node:02}/power"));
+        let owner = fed.shard_map().assign_id(&topic).unwrap().to_string();
+
+        let mut published = Vec::new();
+        for sec in 1..=30u64 {
+            if sec == kill_at {
+                prop_assert!(fed.kill(&owner));
+            }
+            if sec == rejoin_at {
+                prop_assert!(fed.rejoin(&owner));
+            }
+            let reading = SensorReading::new(sec as i64, Timestamp::from_secs(sec));
+            if fed
+                .publish_readings(topic.clone(), &[reading])
+                .is_ok()
+            {
+                published.push(sec);
+            }
+            fed.process_pending();
+        }
+        fed.tick(Timestamp::from_secs(31));
+
+        // Single-shard federations refuse publishes during the outage
+        // (the pusher would spool); multi-shard ones reroute. Either
+        // way, everything *routed* must come back exactly once.
+        let got = rt.query_sensors(&topic, Timestamp::ZERO, Timestamp::MAX);
+        prop_assert!(got.envelope.complete(), "{:?}", got.envelope);
+        let got_secs: Vec<u64> = got
+            .readings
+            .iter()
+            .map(|r| r.ts.as_nanos() / 1_000_000_000)
+            .collect();
+        prop_assert_eq!(got_secs, published);
+    }
+}
+
+/// Deterministic end-to-end check of the envelope identity under a
+/// mixed outage: one shard killed, one shard slow.
+#[test]
+fn envelope_identity_under_mixed_outage() {
+    let fed = federation(4);
+    for node in 0..8 {
+        for sec in 1..=5u64 {
+            fed.publish_readings(
+                t(&format!("/rack00/node{node:02}/power")),
+                &[SensorReading::new(sec as i64, Timestamp::from_secs(sec))],
+            )
+            .unwrap();
+        }
+    }
+    fed.process_pending();
+    let rt = QueryRouter::new(
+        Arc::clone(&fed),
+        RouterConfig {
+            shard_timeout_ms: 30,
+            ..RouterConfig::default()
+        },
+    );
+    fed.kill("agent-02");
+    fed.shards()[0].set_query_delay_ms(200);
+
+    let q = rt.query_sensors(&t("/rack00/node00/power"), Timestamp::ZERO, Timestamp::MAX);
+    assert!(q.envelope.accounted(), "{:?}", q.envelope);
+    assert_eq!(q.envelope.shards_down, 1);
+    assert_eq!(q.envelope.shards_timed_out, 1);
+    assert_eq!(q.envelope.shards_ok, 2);
+    assert!(!q.envelope.complete());
+}

@@ -6,7 +6,7 @@
 //! ```
 
 use oda_bench::bus_saturation::{run, BusSaturationConfig};
-use oda_bench::write_json;
+use oda_bench::{write_json_report, BenchMeta};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -20,6 +20,7 @@ fn main() {
         "bus saturation bench: bound {} msgs, consumer drains {}/tick ({} ticks of {} us)\n",
         config.bound, config.drain_per_tick, config.ticks, config.tick_us
     );
+    let started = std::time::Instant::now();
     let result = run(&config);
 
     println!(
@@ -57,7 +58,8 @@ fn main() {
         .cells
         .iter()
         .all(|c| c.bound_respected && c.conserved && c.ordered);
-    let path = write_json("bus_saturation", &result).expect("write json");
+    let meta = BenchMeta::new("bus_saturation", None, &config, started);
+    let path = write_json_report(&meta, &result).expect("write json");
     println!("\nraw data -> {}", path.display());
     if !all_ok {
         eprintln!("FAIL: an invariant was violated (see table)");

@@ -6,7 +6,7 @@
 //! ```
 
 use oda_bench::delivery_resilience::{run, DeliveryResilienceConfig};
-use oda_bench::write_json;
+use oda_bench::{write_json_report, BenchMeta};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -25,6 +25,7 @@ fn main() {
         config.interval_ms,
         config.outages_ms
     );
+    let started = std::time::Instant::now();
     let result = run(&config);
 
     println!(
@@ -59,7 +60,8 @@ fn main() {
         );
     }
 
-    match write_json("delivery_resilience", &result) {
+    let meta = BenchMeta::new("delivery_resilience", Some(config.seed), &config, started);
+    match write_json_report(&meta, &result) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("\nfailed to write results: {e}"),
     }

@@ -1,0 +1,108 @@
+//! Federation scaling: ingest throughput vs agent count, fan-out query
+//! latency, and the kill/rejoin chaos smoke.
+//!
+//! ```text
+//! cargo run --release -p oda-bench --bin federation_scaling            # full sweep + smoke
+//! cargo run --release -p oda-bench --bin federation_scaling -- --quick # smaller sweep + smoke
+//! cargo run --release -p oda-bench --bin federation_scaling -- --smoke # CI gate: smoke + quick sweep
+//! ```
+//!
+//! `--smoke` exits nonzero unless the kill/rejoin cycle holds the
+//! partial-result accounting identity, performs both shard-map
+//! cutovers, and loses zero acked-durable readings.
+
+use oda_bench::federation_scaling::{run, smoke, FederationScalingConfig, FederationScalingResult};
+use oda_bench::{write_json_report, BenchMeta};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let smoke_only = std::env::args().any(|a| a == "--smoke");
+    let config = if quick || smoke_only {
+        FederationScalingConfig::quick()
+    } else {
+        FederationScalingConfig::paper()
+    };
+
+    println!(
+        "federation scaling bench: agents {:?}, {} readings/node, {} queries, \
+         {} us device latency, seed {:#x}\n",
+        config.agent_counts,
+        config.readings_per_node,
+        config.queries,
+        config.io_latency_us,
+        config.seed
+    );
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("oda-bench-federation-{}", std::process::id()));
+
+    let started = std::time::Instant::now();
+    let mut result: FederationScalingResult = run(&config, &dir);
+    let chaos = smoke(&config, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "{:>6} {:>9} {:>10} {:>12} {:>8} {:>9} {:>9} {:>9}",
+        "agents",
+        "readings",
+        "ingest_ms",
+        "readings/s",
+        "speedup",
+        "q_p50_us",
+        "q_p99_us",
+        "complete"
+    );
+    for c in &result.cells {
+        println!(
+            "{:>6} {:>9} {:>10} {:>12.0} {:>7.2}x {:>9} {:>9} {:>9}",
+            c.agents,
+            c.readings,
+            c.ingest_ms,
+            c.ingest_throughput,
+            c.speedup_vs_baseline,
+            c.query_p50_us,
+            c.query_p99_us,
+            if c.queries_complete { "yes" } else { "NO" }
+        );
+    }
+    println!(
+        "\nscaling {} -> {} agents: {:.2}x",
+        result.cells.first().map_or(0, |c| c.agents),
+        result.cells.last().map_or(0, |c| c.agents),
+        result.scaling_first_to_last
+    );
+    println!(
+        "smoke: killed {} (epochs {:?}), published {}, returned {}, lost {}, dup {}, \
+         accounted {}, outage visible {}, complete after rejoin {}, placement restored {} -> {}",
+        chaos.killed,
+        chaos.epochs,
+        chaos.published,
+        chaos.returned,
+        chaos.lost_acked,
+        chaos.duplicates,
+        chaos.envelopes_accounted,
+        chaos.outage_visible,
+        chaos.complete_after_rejoin,
+        chaos.placement_restored,
+        if chaos.ok { "OK" } else { "FAILED" }
+    );
+
+    let smoke_ok = chaos.ok;
+    result.smoke = Some(chaos);
+    let meta = BenchMeta::new("federation_scaling", Some(config.seed), &config, started);
+    match write_json_report(&meta, &result) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write results: {e}"),
+    }
+
+    if !smoke_ok {
+        eprintln!("federation smoke FAILED");
+        std::process::exit(1);
+    }
+    if !quick && !smoke_only && result.scaling_first_to_last < 2.5 {
+        eprintln!(
+            "ingest scaling {:.2}x below the 2.5x acceptance floor",
+            result.scaling_first_to_last
+        );
+        std::process::exit(1);
+    }
+}

@@ -9,7 +9,7 @@
 //! ```
 
 use oda_bench::fig5::{footprint, run_grid, Fig5Config};
-use oda_bench::{format_heatmap, write_json};
+use oda_bench::{format_heatmap, write_json_report, BenchMeta};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -42,12 +42,14 @@ fn main() {
             "=== Fig. 5{} — overhead heatmap, {mode} mode ===",
             if mode == "absolute" { "a" } else { "b" }
         );
+        let started = std::time::Instant::now();
         let cells = run_grid(&config, mode);
         print!("{}", format_heatmap(&cells));
         let max = cells.iter().map(|c| c.overhead_pct).fold(0.0, f64::max);
         let avg = cells.iter().map(|c| c.overhead_pct).sum::<f64>() / cells.len() as f64;
         println!("max overhead {max:.2} %, mean {avg:.2} % (paper: below 0.5 % in all cases)\n");
-        let path = write_json(&format!("fig5_{mode}"), &cells).expect("write json");
+        let meta = BenchMeta::new(&format!("fig5_{mode}"), None, &config, started);
+        let path = write_json_report(&meta, &cells).expect("write json");
         println!("raw data -> {}\n", path.display());
     }
 }

@@ -9,7 +9,7 @@
 //! ```
 
 use oda_bench::fig6::{run, Fig6Config};
-use oda_bench::write_json;
+use oda_bench::{write_json_report, BenchMeta};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -21,13 +21,20 @@ fn main() {
         for interval_ms in [125u64, 250, 500] {
             let mut cfg = Fig6Config::quick();
             cfg.interval_ms = interval_ms;
+            let started = std::time::Instant::now();
             let result = run(&cfg);
             println!(
                 "interval {interval_ms:>4} ms -> avg relative error {:.1} % over {} points",
                 result.avg_rel_error * 100.0,
                 result.series.len()
             );
-            write_json(&format!("fig6_sweep_{interval_ms}ms"), &result).expect("write json");
+            let meta = BenchMeta::new(
+                &format!("fig6_sweep_{interval_ms}ms"),
+                Some(cfg.seed),
+                &cfg,
+                started,
+            );
+            write_json_report(&meta, &result).expect("write json");
         }
         return;
     }
@@ -41,6 +48,7 @@ fn main() {
         "training {} samples at {} ms on a {}-core node ({} trees)...\n",
         config.training_size, config.interval_ms, config.cores, config.trees
     );
+    let started = std::time::Instant::now();
     let result = run(&config);
 
     println!("=== Fig. 6a — real vs predicted node power (excerpt) ===");
@@ -73,6 +81,7 @@ fn main() {
         "\naverage relative error: {:.1} % (paper: 6.2 % at 250 ms)",
         result.avg_rel_error * 100.0
     );
-    let path = write_json("fig6", &result).expect("write json");
+    let meta = BenchMeta::new("fig6", Some(config.seed), &config, started);
+    let path = write_json_report(&meta, &result).expect("write json");
     println!("raw data -> {}", path.display());
 }

@@ -8,7 +8,7 @@
 //! ```
 
 use oda_bench::fig7::{run_all, Fig7Config};
-use oda_bench::write_json;
+use oda_bench::{write_json_report, BenchMeta};
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
@@ -25,6 +25,7 @@ fn main() {
         config.nodes_per_job * config.cores_per_node
     );
 
+    let started = std::time::Instant::now();
     let results = run_all(&config);
     for result in &results {
         println!("=== Fig. 7 — {} ===", result.app);
@@ -48,7 +49,13 @@ fn main() {
             oda_ml::stats::mean(&spreads),
             result.series.iter().map(|p| p.d10).fold(0.0, f64::max),
         );
-        write_json(&format!("fig7_{}", result.app.to_lowercase()), result).expect("write json");
+        let meta = BenchMeta::new(
+            &format!("fig7_{}", result.app.to_lowercase()),
+            Some(config.seed),
+            &config,
+            started,
+        );
+        write_json_report(&meta, result).expect("write json");
     }
     println!(
         "expected shapes (paper): LAMMPS low/tight ~1.6; AMG low median with d8/d10 spikes to ~30;"

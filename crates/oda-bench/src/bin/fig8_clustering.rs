@@ -8,7 +8,7 @@
 //! ```
 
 use oda_bench::fig8::{run, Fig8Config};
-use oda_bench::write_json;
+use oda_bench::{write_json_report, BenchMeta};
 
 fn main() {
     let long = std::env::args().any(|a| a == "--long");
@@ -20,6 +20,7 @@ fn main() {
         "clustering 148 nodes over a {} s window sampled every {} s...\n",
         config.duration_s, config.sample_interval_s
     );
+    let started = std::time::Instant::now();
     let result = run(&config);
 
     println!("=== Fig. 8 — discovered clusters (paper: 3 clusters + outliers) ===");
@@ -50,6 +51,7 @@ fn main() {
     println!(
         "(paper: one outlier node consumed ~20% more power than nodes with similar idle time)"
     );
-    let path = write_json("fig8", &result).expect("write json");
+    let meta = BenchMeta::new("fig8", Some(config.seed), &config, started);
+    let path = write_json_report(&meta, &result).expect("write json");
     println!("raw data -> {}", path.display());
 }

@@ -8,7 +8,7 @@
 
 use dcdb_storage::FsyncPolicy;
 use oda_bench::storage_engine::{run, StorageEngineConfig};
-use oda_bench::write_json;
+use oda_bench::{write_json_report, BenchMeta};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -31,6 +31,7 @@ fn main() {
         "storage engine bench: {} sensors x {} readings (batch {}, fsync {:?})\n",
         config.sensors, config.readings_per_sensor, config.batch, config.fsync
     );
+    let started = std::time::Instant::now();
     let result = run(&config, &dir);
     std::fs::remove_dir_all(&dir).ok();
 
@@ -55,6 +56,7 @@ fn main() {
         result.disk_bytes, result.segments, result.seals, result.compression_ratio
     );
 
-    let path = write_json("storage_engine", &result).expect("write json");
+    let meta = BenchMeta::new("storage_engine", None, &config, started);
+    let path = write_json_report(&meta, &result).expect("write json");
     println!("\nraw data -> {}", path.display());
 }

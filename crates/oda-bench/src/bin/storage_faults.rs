@@ -6,7 +6,7 @@
 //! ```
 
 use oda_bench::storage_faults::{run, StorageFaultsConfig};
-use oda_bench::write_json;
+use oda_bench::{write_json_report, BenchMeta};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -23,6 +23,7 @@ fn main() {
     );
     let mut dir = std::env::temp_dir();
     dir.push(format!("oda-bench-storage-faults-{}", std::process::id()));
+    let started = std::time::Instant::now();
     let result = run(&config, &dir);
 
     println!(
@@ -64,7 +65,8 @@ fn main() {
         );
     }
 
-    match write_json("storage_faults", &result) {
+    let meta = BenchMeta::new("storage_faults", Some(config.seed), &config, started);
+    match write_json_report(&meta, &result) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("\nfailed to write results: {e}"),
     }

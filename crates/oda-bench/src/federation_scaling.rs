@@ -1,0 +1,432 @@
+//! Federation scaling: ingest throughput vs agent count and fan-out
+//! query latency (the fleet dimension of the paper's §V/§VI scalability
+//! story).
+//!
+//! The container this harness runs in has one CPU, so the scaling being
+//! measured is *not* CPU parallelism: every shard's durable engine sits
+//! on a [`FaultIo`] device with per-operation latency (slept for), and
+//! a federation of N agents overlaps N of those I/O waits — exactly how
+//! a real Collect Agent fleet scales ingest across storage devices.
+//! Ingest is timed from first publish to every shard drained and
+//! flushed, with one drain thread per shard.
+//!
+//! The `--smoke` entry ([`smoke`]) is the CI chaos gate: a 4-agent
+//! federation, fixed seed, one agent killed and rejoined mid-run. It
+//! asserts the partial-result accounting identity on every envelope,
+//! shard-map cutover on both membership changes, and zero acked-durable
+//! loss across the whole cycle.
+
+use dcdb_bus::MessageBus;
+use dcdb_common::reading::SensorReading;
+use dcdb_common::time::Timestamp;
+use dcdb_common::topic::Topic;
+use dcdb_federation::{FederatedAgent, FederationConfig, QueryRouter, RouterConfig};
+use dcdb_storage::{DurableBackend, DurableConfig, FaultConfig, FaultIo, StorageEngine, StorageIo};
+use serde::Serialize;
+use sim_cluster::Topology;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Harness knobs.
+#[derive(Debug, Clone)]
+pub struct FederationScalingConfig {
+    /// Agent counts to sweep (first cell is the scaling baseline).
+    pub agent_counts: Vec<usize>,
+    /// Readings published per node topic per run.
+    pub readings_per_node: usize,
+    /// Fan-out queries per cell for the latency distribution.
+    pub queries: usize,
+    /// Per-operation device latency on each shard's storage, microseconds
+    /// (slept for, so N shards overlap N waits).
+    pub io_latency_us: u64,
+    /// Virtual nodes per agent on the hash ring.
+    pub vnodes: usize,
+    /// RNG seed (reading values; the smoke's kill choice).
+    pub seed: u64,
+}
+
+impl FederationScalingConfig {
+    /// Full sweep: 1→2→4 agents over a 16-node topology.
+    pub fn paper() -> FederationScalingConfig {
+        FederationScalingConfig {
+            agent_counts: vec![1, 2, 4],
+            readings_per_node: 64,
+            queries: 64,
+            // High enough that device wait, not the single CPU's decode
+            // work (~120 us/reading), dominates each shard's drain —
+            // the regime where a fleet actually scales.
+            io_latency_us: 600,
+            vnodes: dcdb_federation::DEFAULT_VNODES,
+            seed: 0xFED5,
+        }
+    }
+
+    /// CI-sized run: same shape, a fraction of the volume.
+    pub fn quick() -> FederationScalingConfig {
+        FederationScalingConfig {
+            readings_per_node: 12,
+            queries: 16,
+            io_latency_us: 150,
+            ..FederationScalingConfig::paper()
+        }
+    }
+}
+
+/// One agent-count cell of the sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingCell {
+    /// Shards in the federation.
+    pub agents: usize,
+    /// Readings published (and drained durable).
+    pub readings: usize,
+    /// First publish → every shard drained + flushed, milliseconds.
+    pub ingest_ms: u64,
+    /// Readings per second over that window.
+    pub ingest_throughput: f64,
+    /// Throughput relative to the first (baseline) cell.
+    pub speedup_vs_baseline: f64,
+    /// Fan-out query latency, p50 / p99 microseconds.
+    pub query_p50_us: u64,
+    /// 99th percentile of the same distribution.
+    pub query_p99_us: u64,
+    /// Every query's envelope was complete and accounted.
+    pub queries_complete: bool,
+}
+
+/// Outcome of the kill/rejoin chaos smoke.
+#[derive(Debug, Clone, Serialize)]
+pub struct SmokeResult {
+    /// Shard killed and rejoined mid-run.
+    pub killed: String,
+    /// Epoch before the kill (0), after the kill (1), after the rejoin (2).
+    pub epochs: [u64; 3],
+    /// Readings whose publish was acknowledged (routed to a live shard).
+    pub published: usize,
+    /// Readings the final scatter-gather returned.
+    pub returned: usize,
+    /// Acked readings missing from the final query.
+    pub lost_acked: usize,
+    /// Readings returned more than once.
+    pub duplicates: usize,
+    /// Every envelope satisfied `total == ok + timed_out + down`.
+    pub envelopes_accounted: bool,
+    /// Mid-outage queries reported exactly one shard down.
+    pub outage_visible: bool,
+    /// Queries after the rejoin were complete (all shards answered).
+    pub complete_after_rejoin: bool,
+    /// The rejoined shard owns its original keys again.
+    pub placement_restored: bool,
+    /// All of the above held.
+    pub ok: bool,
+}
+
+/// The full report written to `bench-results/federation_scaling.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct FederationScalingResult {
+    /// One cell per agent count.
+    pub cells: Vec<ScalingCell>,
+    /// Throughput of the last cell over the first (the ≥2.5x
+    /// acceptance ratio when sweeping 1→4).
+    pub scaling_first_to_last: f64,
+    /// Kill/rejoin chaos outcome, when run.
+    pub smoke: Option<SmokeResult>,
+}
+
+fn topic_of(topology: &Topology, node: usize) -> Topic {
+    topology.node_topic(node).child("power").expect("valid")
+}
+
+/// Builds a federation whose shards journal to `dir/<cell>/<shard id>`
+/// through a seeded latency device.
+fn federation(
+    config: &FederationScalingConfig,
+    agents: usize,
+    dir: &Path,
+    cell: &str,
+) -> Arc<FederatedAgent> {
+    let latency_ns = config.io_latency_us * 1_000;
+    let seed = config.seed;
+    let base = dir.join(cell);
+    Arc::new(
+        FederatedAgent::new_with(
+            FederationConfig {
+                agents,
+                vnodes: config.vnodes,
+                ..FederationConfig::default()
+            },
+            move |i, id| {
+                let io: Arc<dyn StorageIo> = Arc::new(FaultIo::std(FaultConfig {
+                    latency_ns,
+                    sleep_on_latency: true,
+                    ..FaultConfig::quiet(seed.wrapping_add(i as u64))
+                }));
+                let db = DurableBackend::open_with(io, &base.join(id), DurableConfig::default())?;
+                Ok(Arc::new(db) as Arc<dyn StorageEngine>)
+            },
+        )
+        .expect("federation"),
+    )
+}
+
+/// Drains and flushes every live shard, one thread per shard, so the
+/// shards' device waits overlap the way a fleet's do.
+fn drain_parallel(fed: &Arc<FederatedAgent>) {
+    let handles: Vec<_> = fed
+        .shards()
+        .iter()
+        .filter(|s| s.is_up())
+        .map(|shard| {
+            let shard = Arc::clone(shard);
+            std::thread::spawn(move || {
+                while shard.agent().process_pending() > 0 {}
+                shard.agent().storage().flush().expect("flush");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("drain thread");
+    }
+}
+
+fn percentile(sorted_us: &[u64], pct: usize) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    sorted_us[(sorted_us.len() * pct / 100).min(sorted_us.len() - 1)]
+}
+
+/// Runs the scaling sweep. `dir` holds the per-shard journals (removed
+/// is the caller's business).
+pub fn run(config: &FederationScalingConfig, dir: &Path) -> FederationScalingResult {
+    let max_agents = config.agent_counts.iter().copied().max().unwrap_or(1);
+    let topology = Topology::federated(max_agents);
+    let mut cells: Vec<ScalingCell> = Vec::new();
+
+    for &agents in &config.agent_counts {
+        let fed = federation(config, agents, dir, &format!("scale-{agents:02}"));
+        let router = QueryRouter::new(Arc::clone(&fed), RouterConfig::default());
+
+        // Timed window: publish everything, then drain + flush every
+        // shard concurrently. Device latency dominates, so N shards
+        // ingest ~N× faster than one.
+        let readings = topology.total_nodes * config.readings_per_node;
+        let started = std::time::Instant::now();
+        let mut value = config.seed;
+        for round in 0..config.readings_per_node {
+            for node in topology.nodes() {
+                // xorshift: deterministic values without an RNG dep.
+                value ^= value << 13;
+                value ^= value >> 7;
+                value ^= value << 17;
+                fed.publish_readings(
+                    topic_of(&topology, node),
+                    &[SensorReading::new(
+                        (value % 10_000) as i64,
+                        Timestamp::from_secs(round as u64 + 1),
+                    )],
+                )
+                .expect("publish routed");
+            }
+        }
+        drain_parallel(&fed);
+        let ingest_ms = started.elapsed().as_millis().max(1) as u64;
+        let throughput = readings as f64 / (ingest_ms as f64 / 1_000.0);
+
+        // Fan-out query latency across all shards, full range.
+        let mut lat_us: Vec<u64> = Vec::with_capacity(config.queries);
+        let mut complete = true;
+        for q in 0..config.queries {
+            let topic = topic_of(&topology, q % topology.total_nodes);
+            let t0 = std::time::Instant::now();
+            let result = router.query_sensors(&topic, Timestamp::ZERO, Timestamp::MAX);
+            lat_us.push(t0.elapsed().as_micros() as u64);
+            complete &= result.envelope.complete()
+                && result.envelope.accounted()
+                && result.readings.len() == config.readings_per_node;
+        }
+        lat_us.sort_unstable();
+
+        let baseline = cells
+            .first()
+            .map(|c: &ScalingCell| c.ingest_throughput)
+            .unwrap_or(throughput);
+        cells.push(ScalingCell {
+            agents,
+            readings,
+            ingest_ms,
+            ingest_throughput: throughput,
+            speedup_vs_baseline: throughput / baseline,
+            query_p50_us: percentile(&lat_us, 50),
+            query_p99_us: percentile(&lat_us, 99),
+            queries_complete: complete,
+        });
+    }
+
+    let scaling = match (cells.first(), cells.last()) {
+        (Some(first), Some(last)) if first.ingest_throughput > 0.0 => {
+            last.ingest_throughput / first.ingest_throughput
+        }
+        _ => 0.0,
+    };
+    FederationScalingResult {
+        cells,
+        scaling_first_to_last: scaling,
+        smoke: None,
+    }
+}
+
+/// The kill/rejoin chaos smoke: 4 agents, fixed seed, one agent killed
+/// after the first third of the run and rejoined after the second.
+/// Every publish that was acknowledged must come back from the final
+/// scatter-gather exactly once.
+pub fn smoke(config: &FederationScalingConfig, dir: &Path) -> SmokeResult {
+    let agents = 4;
+    let topology = Topology::federated(agents);
+    let fed = federation(config, agents, dir, "smoke");
+    let router = QueryRouter::new(Arc::clone(&fed), RouterConfig::default());
+
+    // The victim: whichever shard owns node 0 under the seed-fixed map.
+    let probe = topic_of(&topology, 0);
+    let killed = fed
+        .shard_map()
+        .assign_id(&probe)
+        .expect("assigned")
+        .to_string();
+    let epoch_before = fed.shard_map().epoch;
+
+    let mut published: Vec<(Topic, u64)> = Vec::new();
+    let mut envelopes_accounted = true;
+    let mut outage_visible = true;
+    let rounds = 30u64;
+    let kill_at = 10u64;
+    let rejoin_at = 20u64;
+
+    for sec in 1..=rounds {
+        if sec == kill_at {
+            // Drain first so every acknowledged reading is durable on
+            // the victim before it goes dark.
+            drain_parallel(&fed);
+            assert!(fed.kill(&killed), "kill {killed}");
+        }
+        if sec == rejoin_at {
+            drain_parallel(&fed);
+            assert!(fed.rejoin(&killed), "rejoin {killed}");
+        }
+        for node in topology.nodes() {
+            let topic = topic_of(&topology, node);
+            let reading = SensorReading::new(sec as i64, Timestamp::from_secs(sec));
+            if fed.publish_readings(topic.clone(), &[reading]).is_ok() {
+                published.push((topic, sec));
+            }
+        }
+        // A mid-outage scatter each round: the envelope must stay
+        // accounted, and during the outage exactly one shard is down.
+        let q = router.query_sensors(&probe, Timestamp::ZERO, Timestamp::MAX);
+        envelopes_accounted &= q.envelope.accounted();
+        if (kill_at..rejoin_at).contains(&sec) {
+            outage_visible &= q.envelope.shards_down == 1;
+        }
+    }
+    drain_parallel(&fed);
+    let epoch_after_rejoin = fed.shard_map().epoch;
+    let placement_restored = fed.shard_map().assign_id(&probe) == Some(killed.as_str());
+
+    // Final accounting: everything acked, exactly once, across every
+    // node topic — including histories split across shards by the
+    // outage.
+    let mut returned = 0usize;
+    let mut lost = 0usize;
+    let mut duplicates = 0usize;
+    let mut complete_after_rejoin = true;
+    for node in topology.nodes() {
+        let topic = topic_of(&topology, node);
+        let q = router.query_sensors(&topic, Timestamp::ZERO, Timestamp::MAX);
+        envelopes_accounted &= q.envelope.accounted();
+        complete_after_rejoin &= q.envelope.complete();
+        let got: Vec<u64> = q
+            .readings
+            .iter()
+            .map(|r| r.ts.as_nanos() / 1_000_000_000)
+            .collect();
+        returned += got.len();
+        let expected: Vec<u64> = published
+            .iter()
+            .filter(|(t, _)| *t == topic)
+            .map(|(_, sec)| *sec)
+            .collect();
+        lost += expected.iter().filter(|s| !got.contains(s)).count();
+        let mut dedup = got.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        duplicates += got.len() - dedup.len();
+    }
+
+    let epochs = [epoch_before, epoch_before + 1, epoch_after_rejoin];
+    let ok = lost == 0
+        && duplicates == 0
+        && envelopes_accounted
+        && outage_visible
+        && complete_after_rejoin
+        && placement_restored
+        && epoch_after_rejoin == epoch_before + 2;
+    SmokeResult {
+        killed,
+        epochs,
+        published: published.len(),
+        returned,
+        lost_acked: lost,
+        duplicates,
+        envelopes_accounted,
+        outage_visible,
+        complete_after_rejoin,
+        placement_restored,
+        ok,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("oda-bench-fedscale-{name}-{}", std::process::id()));
+        dir
+    }
+
+    #[test]
+    fn sweep_produces_complete_cells() {
+        let dir = tmp("sweep");
+        let config = FederationScalingConfig {
+            agent_counts: vec![1, 2],
+            readings_per_node: 4,
+            queries: 4,
+            io_latency_us: 0,
+            ..FederationScalingConfig::quick()
+        };
+        let result = run(&config, &dir);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(result.cells.len(), 2);
+        for cell in &result.cells {
+            assert!(cell.queries_complete, "{cell:?}");
+            assert_eq!(cell.readings, 4 * Topology::federated(2).total_nodes);
+            assert!(cell.ingest_throughput > 0.0);
+        }
+        assert!(result.scaling_first_to_last > 0.0);
+    }
+
+    #[test]
+    fn smoke_holds_zero_loss_and_identity() {
+        let dir = tmp("smoke");
+        let config = FederationScalingConfig {
+            io_latency_us: 0,
+            ..FederationScalingConfig::quick()
+        };
+        let result = smoke(&config, &dir);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(result.ok, "{result:?}");
+        assert_eq!(result.lost_acked, 0);
+        assert_eq!(result.duplicates, 0);
+        assert_eq!(result.epochs, [0, 1, 2]);
+    }
+}

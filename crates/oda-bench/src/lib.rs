@@ -17,11 +17,19 @@
 //! | [`bus_saturation`] | Bounded bus under 1×/4×/16× publisher overload |
 //! | [`delivery_resilience`] | Pusher spool + reconnect through injected broker outages |
 //! | [`storage_faults`] | Durable engine health/recovery through injected I/O faults |
+//! | [`federation_scaling`] | Federated ingest scaling + scatter-gather query latency |
+//!
+//! Every binary writes `bench-results/<name>.json` in a normalized
+//! shape: `{"meta": {...}, "data": {...}}` where the [`BenchMeta`]
+//! block records the bench name, RNG seed, the exact config the run
+//! used, and the wall-clock duration — so result files are
+//! self-describing and comparable across runs.
 
 #![warn(missing_docs)]
 
 pub mod bus_saturation;
 pub mod delivery_resilience;
+pub mod federation_scaling;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
@@ -29,7 +37,60 @@ pub mod fig8;
 pub mod storage_engine;
 pub mod storage_faults;
 
+use serde::{Deserialize, Serialize};
 use std::path::Path;
+use std::time::Instant;
+
+/// The common metadata block every harness attaches to its JSON report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchMeta {
+    /// Bench name; also the `bench-results/<name>.json` file stem.
+    pub bench: String,
+    /// RNG seed the run used, if the harness is seeded.
+    pub seed: Option<u64>,
+    /// The exact configuration of the run (`Debug` of the config
+    /// struct), so a result file records what produced it.
+    pub config: String,
+    /// Wall-clock duration of the run, milliseconds.
+    pub duration_ms: u64,
+}
+
+impl BenchMeta {
+    /// Builds the meta block for `bench`, stamping `duration_ms` from
+    /// `started` (capture `Instant::now()` before the run).
+    pub fn new(
+        bench: &str,
+        seed: Option<u64>,
+        config: &impl std::fmt::Debug,
+        started: Instant,
+    ) -> BenchMeta {
+        BenchMeta {
+            bench: bench.to_string(),
+            seed,
+            config: format!("{config:?}"),
+            duration_ms: started.elapsed().as_millis() as u64,
+        }
+    }
+}
+
+/// Writes the normalized report `{"meta": meta, "data": data}` to
+/// `bench-results/<meta.bench>.json`.
+pub fn write_json_report<T: serde::Serialize>(
+    meta: &BenchMeta,
+    data: &T,
+) -> std::io::Result<std::path::PathBuf> {
+    let to_io = |e: serde_json::Error| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
+    let mut obj = serde_json::Map::new();
+    obj.insert(
+        "meta".to_string(),
+        serde_json::to_value(meta).map_err(to_io)?,
+    );
+    obj.insert(
+        "data".to_string(),
+        serde_json::to_value(data).map_err(to_io)?,
+    );
+    write_json(&meta.bench, &serde_json::Value::Object(obj))
+}
 
 /// Writes a serializable result next to the repository root so the
 /// figure data survives the run (`bench-results/<name>.json`).

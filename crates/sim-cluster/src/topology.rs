@@ -44,6 +44,19 @@ impl Topology {
         }
     }
 
+    /// A topology sized for a federated deployment of `agents` Collect
+    /// Agents (clamped to 4–16, the range the federation bench and the
+    /// CI smoke drive): one rack per agent, sixteen nodes per rack.
+    /// With the federation's default shard key (`/rackNN/nodeNN`, depth
+    /// 2) that yields sixteen times as many shard keys as agents — fine
+    /// enough granularity for the consistent-hash ring to spread load
+    /// evenly (the slowest shard bounds federated ingest) while keeping
+    /// each node's sensors colocated on one agent.
+    pub fn federated(agents: usize) -> Topology {
+        let islands = agents.clamp(4, 16);
+        Topology::new(islands, 16, 8)
+    }
+
     /// A custom topology.
     pub fn new(racks: usize, nodes_per_rack: usize, cores_per_node: usize) -> Topology {
         assert!(racks > 0 && nodes_per_rack > 0 && cores_per_node > 0);
@@ -167,6 +180,20 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), topics.len());
+    }
+
+    #[test]
+    fn federated_topology_scales_with_the_agent_count() {
+        for agents in 4..=16 {
+            let t = Topology::federated(agents);
+            assert_eq!(t.racks, agents);
+            // Plenty of shard keys (nodes) per agent so the hash ring
+            // spreads load evenly.
+            assert!(t.total_nodes >= 16 * agents);
+        }
+        // Clamped at both ends.
+        assert_eq!(Topology::federated(1).racks, 4);
+        assert_eq!(Topology::federated(64).racks, 16);
     }
 
     #[test]

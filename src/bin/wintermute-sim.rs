@@ -3,13 +3,14 @@
 //!
 //! One process plays every role of the paper's Figure 3: per-node
 //! Pushers with the production plugin set (perfevent / sysfs / procfs)
-//! and in-band Wintermute operators, the MQTT-like broker, a Collect
-//! Agent with storage and system-level operators, and the REST control
-//! API on a real TCP port. Point `curl` at the printed address while it
-//! runs.
+//! and in-band Wintermute operators, the MQTT-like broker, one or more
+//! Collect Agents with storage and system-level operators, and the REST
+//! control API on a real TCP port. Point `curl` at the printed address
+//! while it runs.
 //!
 //! ```text
 //! cargo run --release --bin wintermute-sim -- [--nodes N] [--duration SECS] [--port P]
+//!     [--agents N] [--replicas N] [--shard-timeout-ms N]
 //!     [--data-dir DIR] [--fsync always|batch|never] [--retention-secs N]
 //!     [--snapshot-path FILE] [--snapshot-secs N]
 //!     [--router-depth N] [--sub-depth N] [--overflow block|drop-newest|drop-oldest]
@@ -19,6 +20,23 @@
 //!     [--io-fault-seed N] [--enospc-after BYTES] [--eio-prob P]
 //!     [--fsync-fail-prob P] [--io-latency-ms N]
 //! ```
+//!
+//! Federation (`--agents N`, N > 1): the storage tier becomes a
+//! [`FederatedAgent`] — N Collect Agents, each owning a shard of the
+//! topic space on a consistent-hash ring (`--replicas` virtual nodes
+//! per agent). Pushers publish *through the federation*, which routes
+//! each reading to the shard owning its topic, and the REST surface is
+//! served by the scatter-gather [`QueryRouter`]: `/sensors` responses
+//! carry a partial-result envelope (`shards_total == shards_ok +
+//! shards_timed_out + shards_down`), `/metrics` and `/health` aggregate
+//! per-shard state, and `GET /federation` shows the live shard map.
+//! `--shard-timeout-ms` caps how long the router waits on any one
+//! shard. In durable mode each shard journals under its own
+//! subdirectory of `--data-dir`. The chaos, snapshot, and storage
+//! I/O-fault knobs apply to single-agent runs only and are ignored
+//! (with a warning) when `--agents` > 1 — the `oda-bench
+//! federation_scaling --smoke` harness is the chaos driver for the
+//! federated tier.
 //!
 //! Backpressure knobs (paper §V scalability): the broker's router input
 //! and every subscription queue are bounded; `--overflow` picks what
@@ -63,19 +81,23 @@
 //!
 //! * `--data-dir DIR` — durable mode: storage becomes a
 //!   [`DurableBackend`] journaling every reading to a WAL before it is
-//!   acknowledged and sealing compressed segments under `DIR`. On
-//!   restart the engine recovers every acked insert (a recovery report
-//!   is printed). `--fsync` picks the WAL sync policy, and
-//!   `--retention-secs` bounds how much history is kept on disk.
+//!   acknowledged and sealing compressed segments under `DIR` (one
+//!   subdirectory per shard when federated). On restart the engine
+//!   recovers every acked insert (a recovery report is printed).
+//!   `--fsync` picks the WAL sync policy, and `--retention-secs`
+//!   bounds how much history is kept on disk.
 //! * `--snapshot-path FILE` — volatile storage with periodic full
 //!   snapshots every `--snapshot-secs` (default 30) and on shutdown;
-//!   the snapshot is restored on the next start.
+//!   the snapshot is restored on the next start (single-agent only).
 
 use dcdb_wintermute::dcdb_bus::{
     Broker, BusConfig, ChaosBus, ChaosConfig, MessageBus, OverflowPolicy,
 };
 use dcdb_wintermute::dcdb_collectagent::{CollectAgent, CollectAgentConfig, SimJobSource};
 use dcdb_wintermute::dcdb_common::{Timestamp, Topic};
+use dcdb_wintermute::dcdb_federation::{
+    FederatedAgent, FederationConfig, QueryRouter, RouterConfig, DEFAULT_VNODES,
+};
 use dcdb_wintermute::dcdb_pusher::{
     standard_plugin_set, ConnectionState, DeliveryConfig, Pusher, PusherConfig, ReconnectConfig,
     SpoolConfig,
@@ -86,7 +108,7 @@ use dcdb_wintermute::dcdb_storage::{
     StorageEngine, StorageIo,
 };
 use dcdb_wintermute::sim_cluster::{ClusterConfig, ClusterSimulator, Topology};
-use dcdb_wintermute::wintermute::manager::BusSink;
+use dcdb_wintermute::wintermute::manager::{BusSink, OperatorTotals};
 use dcdb_wintermute::wintermute::prelude::*;
 use dcdb_wintermute::wintermute_plugins::{self, perfmetrics::cpi_config};
 use parking_lot::Mutex;
@@ -108,10 +130,26 @@ fn arg_str(name: &str) -> Option<String> {
         .cloned()
 }
 
+/// The storage/analytics tier behind the Pushers: one Collect Agent, or
+/// a sharded federation behind a scatter-gather router.
+enum Tier {
+    Single {
+        agent: Arc<CollectAgent>,
+        storage: Arc<dyn StorageEngine>,
+    },
+    Federated {
+        fed: Arc<FederatedAgent>,
+        router: Arc<QueryRouter>,
+    },
+}
+
 fn main() {
     let nodes = arg("--nodes", 4) as usize;
     let duration_s = arg("--duration", 30);
     let port = arg("--port", 0);
+    let agents_n = arg("--agents", 1).max(1) as usize;
+    let replicas = arg("--replicas", DEFAULT_VNODES as u64).max(1) as usize;
+    let federated = agents_n > 1;
     let data_dir = arg_str("--data-dir").map(PathBuf::from);
     let snapshot_path = arg_str("--snapshot-path").map(PathBuf::from);
     let snapshot_secs = arg("--snapshot-secs", 30).max(1);
@@ -123,6 +161,11 @@ fn main() {
         .max(1),
         ..FaultPolicy::default()
     };
+    let ingest_budget = arg(
+        "--ingest-budget",
+        CollectAgentConfig::default().ingest_budget as u64,
+    )
+    .max(1) as usize;
 
     // --- The simulated system with background workload. ---
     let sim = Arc::new(Mutex::new(ClusterSimulator::new(ClusterConfig {
@@ -131,55 +174,270 @@ fn main() {
         auto_workload: true,
     })));
 
-    // --- Per-node Pushers: production plugin set + in-band operators. ---
+    // --- Transport + storage tier: single broker, or the federation. ---
     let bus_defaults = BusConfig::default();
     let overflow = OverflowPolicy::parse(&arg_str("--overflow").unwrap_or("drop-oldest".into()))
         .expect("--overflow must be block|drop-newest|drop-oldest");
-    let broker = Broker::with_config(BusConfig {
-        router_depth: arg("--router-depth", bus_defaults.router_depth as u64).max(1) as usize,
-        router_policy: overflow,
-        sub_depth: arg("--sub-depth", bus_defaults.sub_depth as u64).max(1) as usize,
-        sub_policy: overflow,
-    });
-    // --- Optional deterministic fault injection on the pusher→agent path. ---
+    // Optional deterministic fault injection on the pusher→agent path.
     let chaos_seed = arg_str("--chaos-seed").and_then(|v| v.parse::<u64>().ok());
     let outage_ms = arg("--outage-ms", 0);
     let drop_prob = arg_str("--drop-prob")
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(0.0);
-    let chaos: Option<ChaosBus> = if chaos_seed.is_some() || outage_ms > 0 || drop_prob > 0.0 {
-        let seed = chaos_seed.unwrap_or(0xC4A05);
-        let mut cfg = ChaosConfig::quiet(seed);
-        cfg.drop_prob = drop_prob.clamp(0.0, 1.0);
-        if outage_ms > 0 {
-            // Two seeded outages of up to --outage-ms, placed within the
-            // run and shifted onto the wall clock.
-            let start_ns = Timestamp::now().as_nanos();
-            let horizon_ns = duration_s.max(1) * 1_000_000_000;
-            cfg.outages = ChaosConfig::seeded_outages(
-                seed,
-                horizon_ns,
-                2,
-                outage_ms * 1_000_000 / 2,
-                outage_ms * 1_000_000,
-            )
-            .into_iter()
-            .map(|(from, until)| (start_ns + from, start_ns + until))
-            .collect();
-        }
-        println!(
-            "chaos: seed {seed:#x}, drop-prob {:.3}, {} outage window(s)",
-            cfg.drop_prob,
-            cfg.outages.len()
+    let chaos_requested = chaos_seed.is_some() || outage_ms > 0 || drop_prob > 0.0;
+    if federated && chaos_requested {
+        eprintln!(
+            "chaos knobs (--chaos-seed/--outage-ms/--drop-prob) apply to --agents 1 only; \
+             ignoring (use oda-bench federation_scaling --smoke for federated chaos)"
         );
-        Some(ChaosBus::new(broker.handle(), cfg))
+    }
+    if federated && snapshot_path.is_some() {
+        eprintln!("--snapshot-path applies to --agents 1 only; ignoring");
+    }
+
+    // Durable-engine knobs, shared by both tiers.
+    let fsync = FsyncPolicy::parse(&arg_str("--fsync").unwrap_or("batch".into()))
+        .expect("--fsync must be always|batch|never");
+    let durable_config = DurableConfig {
+        fsync,
+        retention_ns: arg_str("--retention-secs")
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(|s| s * 1_000_000_000),
+        ..DurableConfig::default()
+    };
+
+    let jobs: Arc<dyn JobDataSource> = Arc::new(SimJobSource::new(Arc::clone(&sim)));
+    let mut chaos: Option<ChaosBus> = None;
+    let mut volatile: Option<Arc<StorageBackend>> = None;
+    let mut broker: Option<Broker> = None;
+
+    let (tier, pusher_bus): (Tier, Arc<dyn MessageBus>) = if federated {
+        // --- Federated tier: N sharded Collect Agents + query router. ---
+        let io_fault_requested = arg_str("--io-fault-seed").is_some()
+            || arg_str("--enospc-after").is_some()
+            || arg_str("--eio-prob").is_some()
+            || arg_str("--fsync-fail-prob").is_some()
+            || arg("--io-latency-ms", 0) > 0;
+        if io_fault_requested && data_dir.is_some() {
+            eprintln!("storage I/O fault knobs apply to --agents 1 only; ignoring");
+        }
+        let fed = Arc::new(
+            FederatedAgent::new_with(
+                FederationConfig {
+                    agents: agents_n,
+                    vnodes: replicas,
+                    agent: CollectAgentConfig {
+                        ingest_budget,
+                        ..CollectAgentConfig::default()
+                    },
+                    ..FederationConfig::default()
+                },
+                |_, id| match &data_dir {
+                    Some(dir) => {
+                        let io: Arc<dyn StorageIo> = Arc::new(dcdb_wintermute::dcdb_storage::StdIo);
+                        let db = Arc::new(DurableBackend::open_with(
+                            io,
+                            &dir.join(id),
+                            durable_config,
+                        )?);
+                        let rec = db.recovery();
+                        println!(
+                            "shard {id}: durable storage in {}, recovered {} segments \
+                             ({} readings) + {} WAL files ({} readings)",
+                            dir.join(id).display(),
+                            rec.segments,
+                            rec.segment_readings,
+                            rec.wal_files,
+                            rec.wal_readings,
+                        );
+                        Ok(db as Arc<dyn StorageEngine>)
+                    }
+                    None => Ok(Arc::new(StorageBackend::new()) as Arc<dyn StorageEngine>),
+                },
+            )
+            .expect("federation"),
+        );
+        for shard in fed.shards() {
+            let agent = shard.agent();
+            agent.manager().set_fault_policy(fault_policy);
+            wintermute_plugins::register_all(agent.manager(), Some(Arc::clone(&jobs)));
+            agent
+                .manager()
+                .load(
+                    PluginConfig::online("persyst", "persyst", 2000)
+                        .with_option("window_ms", 5000u64),
+                )
+                .expect("persyst loads");
+        }
+        let query_router = Arc::new(QueryRouter::new(
+            Arc::clone(&fed),
+            RouterConfig {
+                shard_timeout_ms: arg(
+                    "--shard-timeout-ms",
+                    RouterConfig::default().shard_timeout_ms,
+                )
+                .max(1),
+                ..RouterConfig::default()
+            },
+        ));
+        let bus: Arc<dyn MessageBus> = Arc::clone(&fed) as Arc<dyn MessageBus>;
+        (
+            Tier::Federated {
+                fed,
+                router: query_router,
+            },
+            bus,
+        )
     } else {
-        None
+        // --- Single-agent tier (the pre-federation deployment). ---
+        let b = Broker::with_config(BusConfig {
+            router_depth: arg("--router-depth", bus_defaults.router_depth as u64).max(1) as usize,
+            router_policy: overflow,
+            sub_depth: arg("--sub-depth", bus_defaults.sub_depth as u64).max(1) as usize,
+            sub_policy: overflow,
+        });
+        chaos = if chaos_requested {
+            let seed = chaos_seed.unwrap_or(0xC4A05);
+            let mut cfg = ChaosConfig::quiet(seed);
+            cfg.drop_prob = drop_prob.clamp(0.0, 1.0);
+            if outage_ms > 0 {
+                // Two seeded outages of up to --outage-ms, placed within the
+                // run and shifted onto the wall clock.
+                let start_ns = Timestamp::now().as_nanos();
+                let horizon_ns = duration_s.max(1) * 1_000_000_000;
+                cfg.outages = ChaosConfig::seeded_outages(
+                    seed,
+                    horizon_ns,
+                    2,
+                    outage_ms * 1_000_000 / 2,
+                    outage_ms * 1_000_000,
+                )
+                .into_iter()
+                .map(|(from, until)| (start_ns + from, start_ns + until))
+                .collect();
+            }
+            println!(
+                "chaos: seed {seed:#x}, drop-prob {:.3}, {} outage window(s)",
+                cfg.drop_prob,
+                cfg.outages.len()
+            );
+            Some(ChaosBus::new(b.handle(), cfg))
+        } else {
+            None
+        };
+        let bus: Arc<dyn MessageBus> = match &chaos {
+            Some(chaos) => Arc::new(chaos.clone()),
+            None => Arc::new(b.handle()),
+        };
+
+        // --- The storage tier: durable, snapshotting, or plain volatile. ---
+        let storage: Arc<dyn StorageEngine> = match &data_dir {
+            Some(dir) => {
+                // Optional seeded storage I/O fault injection: wrap the
+                // real filesystem in the FaultIo VFS so ENOSPC / EIO /
+                // fsync failures / device latency exercise the engine's
+                // health state machine on a live deployment.
+                let io_fault_seed = arg_str("--io-fault-seed").and_then(|v| v.parse::<u64>().ok());
+                let enospc_after = arg_str("--enospc-after").and_then(|v| v.parse::<u64>().ok());
+                let eio_prob = arg_str("--eio-prob")
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .unwrap_or(0.0);
+                let fsync_fail_prob = arg_str("--fsync-fail-prob")
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .unwrap_or(0.0);
+                let io_latency_ms = arg("--io-latency-ms", 0);
+                let fault_io = if io_fault_seed.is_some()
+                    || enospc_after.is_some()
+                    || eio_prob > 0.0
+                    || fsync_fail_prob > 0.0
+                    || io_latency_ms > 0
+                {
+                    let seed = io_fault_seed.unwrap_or(0x10FA);
+                    let cfg = FaultConfig {
+                        enospc_after_bytes: enospc_after,
+                        eio_prob: eio_prob.clamp(0.0, 1.0),
+                        fsync_fail_prob: fsync_fail_prob.clamp(0.0, 1.0),
+                        latency_ns: io_latency_ms * 1_000_000,
+                        sleep_on_latency: true,
+                        ..FaultConfig::quiet(seed)
+                    };
+                    println!(
+                        "storage io faults: seed {seed:#x}, enospc-after {:?}, eio-prob {:.3}, \
+                         fsync-fail-prob {:.3}, latency {io_latency_ms}ms",
+                        enospc_after, cfg.eio_prob, cfg.fsync_fail_prob,
+                    );
+                    // Open with faults disarmed so startup recovery runs on the
+                    // real filesystem, then arm them for the live run.
+                    Some((Arc::new(FaultIo::std(FaultConfig::quiet(seed))), cfg))
+                } else {
+                    None
+                };
+                let io: Arc<dyn StorageIo> = match &fault_io {
+                    Some((io, _)) => Arc::clone(io) as Arc<dyn StorageIo>,
+                    None => Arc::new(dcdb_wintermute::dcdb_storage::StdIo),
+                };
+                let db = Arc::new(
+                    DurableBackend::open_with(io, dir, durable_config).expect("open data dir"),
+                );
+                if let Some((io, cfg)) = &fault_io {
+                    io.set_config(*cfg);
+                }
+                let rec = db.recovery();
+                println!(
+                    "durable storage in {}: recovered {} segments ({} readings) + \
+                     {} WAL files ({} batches, {} readings, {} torn tails)",
+                    dir.display(),
+                    rec.segments,
+                    rec.segment_readings,
+                    rec.wal_files,
+                    rec.wal_batches,
+                    rec.wal_readings,
+                    rec.torn_tails,
+                );
+                db
+            }
+            None => {
+                let db = Arc::new(StorageBackend::new());
+                if let Some(path) = &snapshot_path {
+                    match db.restore_from(path) {
+                        Ok(restored) => println!(
+                            "restored {restored} readings from snapshot {}",
+                            path.display()
+                        ),
+                        Err(e) if path.exists() => eprintln!("snapshot restore failed: {e}"),
+                        Err(_) => {} // first run: nothing to restore yet
+                    }
+                }
+                volatile = Some(Arc::clone(&db));
+                db
+            }
+        };
+
+        // --- The Collect Agent: storage + job analytics + health. ---
+        let agent = Arc::new(
+            CollectAgent::new(
+                CollectAgentConfig {
+                    ingest_budget,
+                    ..CollectAgentConfig::default()
+                },
+                &b.handle(),
+                Arc::clone(&storage),
+            )
+            .expect("collect agent"),
+        );
+        agent.manager().set_fault_policy(fault_policy);
+        wintermute_plugins::register_all(agent.manager(), Some(Arc::clone(&jobs)));
+        agent
+            .manager()
+            .load(
+                PluginConfig::online("persyst", "persyst", 2000).with_option("window_ms", 5000u64),
+            )
+            .expect("persyst loads");
+        broker = Some(b);
+        (Tier::Single { agent, storage }, bus)
     };
-    let pusher_bus: Arc<dyn MessageBus> = match &chaos {
-        Some(chaos) => Arc::new(chaos.clone()),
-        None => Arc::new(broker.handle()),
-    };
+
+    // --- Per-node Pushers: production plugin set + in-band operators. ---
     let delivery = DeliveryConfig {
         reconnect: ReconnectConfig {
             base_ms: arg("--reconnect-base-ms", ReconnectConfig::default().base_ms).max(1),
@@ -211,9 +469,9 @@ fn main() {
         pusher.refresh_sensor_tree();
         pusher.manager().set_fault_policy(fault_policy);
         wintermute_plugins::register_all(pusher.manager(), None);
-        // Operator outputs ride the same (chaos-wrapped) transport as
-        // the raw sensor data — a broker outage silences the node's
-        // derived metrics too, so staleness tracking sees it.
+        // Operator outputs ride the same (chaos-wrapped, or federated)
+        // transport as the raw sensor data — a broker outage silences
+        // the node's derived metrics too, so staleness tracking sees it.
         pusher
             .manager()
             .add_sink(Arc::new(BusSink::over(Arc::clone(&pusher_bus))));
@@ -224,131 +482,31 @@ fn main() {
         pushers.push(Arc::new(pusher));
     }
 
-    // --- The storage tier: durable, snapshotting, or plain volatile. ---
-    let mut volatile: Option<Arc<StorageBackend>> = None;
-    let storage: Arc<dyn StorageEngine> = match &data_dir {
-        Some(dir) => {
-            let fsync = FsyncPolicy::parse(&arg_str("--fsync").unwrap_or("batch".into()))
-                .expect("--fsync must be always|batch|never");
-            let config = DurableConfig {
-                fsync,
-                retention_ns: arg_str("--retention-secs")
-                    .and_then(|v| v.parse::<u64>().ok())
-                    .map(|s| s * 1_000_000_000),
-                ..DurableConfig::default()
-            };
-            // Optional seeded storage I/O fault injection: wrap the
-            // real filesystem in the FaultIo VFS so ENOSPC / EIO /
-            // fsync failures / device latency exercise the engine's
-            // health state machine on a live deployment.
-            let io_fault_seed = arg_str("--io-fault-seed").and_then(|v| v.parse::<u64>().ok());
-            let enospc_after = arg_str("--enospc-after").and_then(|v| v.parse::<u64>().ok());
-            let eio_prob = arg_str("--eio-prob")
-                .and_then(|v| v.parse::<f64>().ok())
-                .unwrap_or(0.0);
-            let fsync_fail_prob = arg_str("--fsync-fail-prob")
-                .and_then(|v| v.parse::<f64>().ok())
-                .unwrap_or(0.0);
-            let io_latency_ms = arg("--io-latency-ms", 0);
-            let fault_io = if io_fault_seed.is_some()
-                || enospc_after.is_some()
-                || eio_prob > 0.0
-                || fsync_fail_prob > 0.0
-                || io_latency_ms > 0
-            {
-                let seed = io_fault_seed.unwrap_or(0x10FA);
-                let cfg = FaultConfig {
-                    enospc_after_bytes: enospc_after,
-                    eio_prob: eio_prob.clamp(0.0, 1.0),
-                    fsync_fail_prob: fsync_fail_prob.clamp(0.0, 1.0),
-                    latency_ns: io_latency_ms * 1_000_000,
-                    sleep_on_latency: true,
-                    ..FaultConfig::quiet(seed)
-                };
-                println!(
-                    "storage io faults: seed {seed:#x}, enospc-after {:?}, eio-prob {:.3}, \
-                     fsync-fail-prob {:.3}, latency {io_latency_ms}ms",
-                    enospc_after, cfg.eio_prob, cfg.fsync_fail_prob,
-                );
-                // Open with faults disarmed so startup recovery runs on the
-                // real filesystem, then arm them for the live run.
-                Some((Arc::new(FaultIo::std(FaultConfig::quiet(seed))), cfg))
-            } else {
-                None
-            };
-            let io: Arc<dyn StorageIo> = match &fault_io {
-                Some((io, _)) => Arc::clone(io) as Arc<dyn StorageIo>,
-                None => Arc::new(dcdb_wintermute::dcdb_storage::StdIo),
-            };
-            let db = Arc::new(DurableBackend::open_with(io, dir, config).expect("open data dir"));
-            if let Some((io, cfg)) = &fault_io {
-                io.set_config(*cfg);
-            }
-            let rec = db.recovery();
-            println!(
-                "durable storage in {}: recovered {} segments ({} readings) + \
-                 {} WAL files ({} batches, {} readings, {} torn tails)",
-                dir.display(),
-                rec.segments,
-                rec.segment_readings,
-                rec.wal_files,
-                rec.wal_batches,
-                rec.wal_readings,
-                rec.torn_tails,
-            );
-            db
-        }
-        None => {
-            let db = Arc::new(StorageBackend::new());
-            if let Some(path) = &snapshot_path {
-                match db.restore_from(path) {
-                    Ok(restored) => println!(
-                        "restored {restored} readings from snapshot {}",
-                        path.display()
-                    ),
-                    Err(e) if path.exists() => eprintln!("snapshot restore failed: {e}"),
-                    Err(_) => {} // first run: nothing to restore yet
-                }
-            }
-            volatile = Some(Arc::clone(&db));
-            db
-        }
-    };
-
-    // --- The Collect Agent: storage + job analytics + health. ---
-    let agent = Arc::new(
-        CollectAgent::new(
-            CollectAgentConfig {
-                ingest_budget: arg(
-                    "--ingest-budget",
-                    CollectAgentConfig::default().ingest_budget as u64,
-                )
-                .max(1) as usize,
-                ..CollectAgentConfig::default()
-            },
-            &broker.handle(),
-            Arc::clone(&storage),
-        )
-        .expect("collect agent"),
-    );
-    agent.manager().set_fault_policy(fault_policy);
-    let jobs: Arc<dyn JobDataSource> = Arc::new(SimJobSource::new(Arc::clone(&sim)));
-    wintermute_plugins::register_all(agent.manager(), Some(jobs));
-    agent
-        .manager()
-        .load(PluginConfig::online("persyst", "persyst", 2000).with_option("window_ms", 5000u64))
-        .expect("persyst loads");
-
     // --- REST control plane. ---
     let mut router = Router::new();
-    agent.mount_routes(&mut router);
+    match &tier {
+        Tier::Single { agent, .. } => agent.mount_routes(&mut router),
+        Tier::Federated { router: rt, .. } => rt.mount_routes(&mut router),
+    }
     let server = RestServer::serve(&format!("127.0.0.1:{port}"), router).expect("bind REST server");
-    println!(
-        "wintermute-sim: {nodes} nodes, REST on http://{}",
-        server.addr()
-    );
+    match &tier {
+        Tier::Single { .. } => println!(
+            "wintermute-sim: {nodes} nodes, REST on http://{}",
+            server.addr()
+        ),
+        Tier::Federated { fed, .. } => println!(
+            "wintermute-sim: {nodes} nodes, {agents_n} sharded agents \
+             ({replicas} vnodes each, epoch {}), REST on http://{}",
+            fed.shard_map().epoch,
+            server.addr()
+        ),
+    }
     println!("try: curl http://{}/analytics/plugins", server.addr());
-    println!("     curl http://{}/metrics\n", server.addr());
+    println!("     curl http://{}/metrics", server.addr());
+    if federated {
+        println!("     curl http://{}/federation", server.addr());
+    }
+    println!();
 
     // --- Drive everything on the wall clock. ---
     let start = std::time::Instant::now();
@@ -364,18 +522,16 @@ fn main() {
                 eprintln!("pusher tick failed: {e}");
             }
         }
-        let report = agent.tick(now);
-        if !report.errors.is_empty() {
-            eprintln!("operator errors: {:?}", report.errors);
-        }
-        if !report.panics.is_empty() {
-            eprintln!("operator panics (contained): {:?}", report.panics);
-        }
-        for name in &report.newly_quarantined {
-            eprintln!(
-                "operator {name} quarantined after repeated failures; \
-                 resume with PUT /analytics/plugins/{name}/start"
-            );
+        match &tier {
+            Tier::Single { agent, .. } => {
+                let report = agent.tick(now);
+                report_operator_faults("", &report);
+            }
+            Tier::Federated { fed, .. } => {
+                for (index, report) in fed.tick(now) {
+                    report_operator_faults(&format!("agent-{index:02}: "), &report);
+                }
+            }
         }
 
         let elapsed = start.elapsed().as_secs();
@@ -391,10 +547,7 @@ fn main() {
         }
         if elapsed > last_status && elapsed.is_multiple_of(5) {
             last_status = elapsed;
-            let a = agent.stats();
             let jobs_running = sim.lock().scheduler().running_at(now).len();
-            let bus = broker.handle().stats();
-            let ops = agent.manager().metrics_totals();
             // Delivery summary across all pushers: connection states,
             // total spool depth and losses.
             let mut state_counts = [0usize; 3];
@@ -412,31 +565,9 @@ fn main() {
                 refused += s.publish_errors;
                 reconnects += s.reconnects;
             }
-            // Storage health segment, present in durable mode only.
-            let health_seg = match storage.health() {
-                Some(h) => format!(
-                    ", storage {} (errs {}, retries {}, rotations {}, buffered {}, shed {})",
-                    h.state.as_str(),
-                    h.write_errors,
-                    h.write_retries,
-                    h.wal_rotations,
-                    h.buffered,
-                    h.shed,
-                ),
-                None => String::new(),
-            };
-            println!(
-                "[{elapsed:>3}s] ingested {} readings, {} jobs running, storage holds {} \
-                 readings, bus dropped {} (router {}), backlog {}, delivery: {} up / {} \
-                 degraded / {} down, spool {} (refused {}, dropped {}, reconnects {}), \
-                 operators: {} runs ({} ok, {} err, {} panic, {} overrun, {} quarantined)\
-                 {health_seg}",
-                a.readings,
-                jobs_running,
-                storage.stats().readings,
-                bus.dropped,
-                bus.router_dropped,
-                agent.ingest_backlog(),
+            let delivery_seg = format!(
+                "delivery: {} up / {} degraded / {} down, spool {} (refused {}, dropped {}, \
+                 reconnects {})",
                 state_counts[ConnectionState::Up.index()],
                 state_counts[ConnectionState::Degraded.index()],
                 state_counts[ConnectionState::Down.index()],
@@ -444,25 +575,116 @@ fn main() {
                 refused,
                 spool_dropped,
                 reconnects,
-                ops.runs,
-                ops.successes,
-                ops.errors,
-                ops.panics,
-                ops.overruns,
-                ops.quarantined_operators,
             );
+            match &tier {
+                Tier::Single { agent, storage } => {
+                    let a = agent.stats();
+                    let bus = broker.as_ref().expect("single tier keeps its broker");
+                    let bus = bus.handle().stats();
+                    let ops = agent.manager().metrics_totals();
+                    // Storage health segment, present in durable mode only.
+                    let health_seg = match storage.health() {
+                        Some(h) => format!(
+                            ", storage {} (errs {}, retries {}, rotations {}, buffered {}, shed {})",
+                            h.state.as_str(),
+                            h.write_errors,
+                            h.write_retries,
+                            h.wal_rotations,
+                            h.buffered,
+                            h.shed,
+                        ),
+                        None => String::new(),
+                    };
+                    println!(
+                        "[{elapsed:>3}s] ingested {} readings, {jobs_running} jobs running, \
+                         storage holds {} readings, bus dropped {} (router {}), backlog {}, \
+                         {delivery_seg}, operators: {} runs ({} ok, {} err, {} panic, {} \
+                         overrun, {} quarantined){health_seg}",
+                        a.readings,
+                        storage.stats().readings,
+                        bus.dropped,
+                        bus.router_dropped,
+                        agent.ingest_backlog(),
+                        ops.runs,
+                        ops.successes,
+                        ops.errors,
+                        ops.panics,
+                        ops.overruns,
+                        ops.quarantined_operators,
+                    );
+                }
+                Tier::Federated { fed, router } => {
+                    let fs = fed.stats();
+                    let rs = router.stats();
+                    let bus = MessageBus::stats(fed.as_ref());
+                    let mut ingested = 0u64;
+                    let mut stored = 0usize;
+                    let mut backlog = 0usize;
+                    let mut ops = OperatorTotals::default();
+                    for shard in fed.shards() {
+                        let a = shard.agent().stats();
+                        ingested += a.readings;
+                        stored += shard.agent().storage().stats().readings;
+                        backlog += shard.agent().ingest_backlog();
+                        let t = shard.agent().manager().metrics_totals();
+                        ops.runs += t.runs;
+                        ops.successes += t.successes;
+                        ops.errors += t.errors;
+                        ops.panics += t.panics;
+                        ops.overruns += t.overruns;
+                        ops.quarantined_operators += t.quarantined_operators;
+                    }
+                    println!(
+                        "[{elapsed:>3}s] federation epoch {}: {}/{} shards up, ingested \
+                         {ingested} readings, {jobs_running} jobs running, storage holds \
+                         {stored} readings, bus dropped {}, backlog {backlog}, routed {} \
+                         (refused {}), rebalances {} (drain timeouts {}), router: {} queries \
+                         ({} timeouts, {} marked down), {delivery_seg}, operators: {} runs \
+                         ({} ok, {} err, {} panic, {} overrun, {} quarantined)",
+                        fs.epoch,
+                        fs.shards_up,
+                        fs.shards_total,
+                        bus.dropped,
+                        fs.publishes,
+                        fs.publishes_refused,
+                        fs.rebalances,
+                        fs.drains_timed_out,
+                        rs.queries,
+                        rs.shard_timeouts,
+                        rs.marked_down,
+                        ops.runs,
+                        ops.successes,
+                        ops.errors,
+                        ops.panics,
+                        ops.overruns,
+                        ops.quarantined_operators,
+                    );
+                }
+            }
         }
         std::thread::sleep(Duration::from_millis(200));
     }
 
     // --- Graceful shutdown: make everything acked durable. ---
-    match storage.flush() {
-        Ok(()) => {
+    match &tier {
+        Tier::Single { storage, .. } => match storage.flush() {
+            Ok(()) => {
+                if data_dir.is_some() {
+                    println!("\nflushed durable storage (memtable sealed, WAL synced)");
+                }
+            }
+            Err(e) => eprintln!("storage flush failed: {e}"),
+        },
+        Tier::Federated { fed, .. } => {
+            for shard in fed.shards() {
+                if let Err(e) = shard.agent().storage().flush() {
+                    eprintln!("shard {} storage flush failed: {e}", shard.id);
+                }
+            }
             if data_dir.is_some() {
-                println!("\nflushed durable storage (memtable sealed, WAL synced)");
+                println!("\nflushed durable storage on every shard");
             }
         }
-        Err(e) => eprintln!("storage flush failed: {e}"),
     }
     if let (Some(db), Some(path)) = (&volatile, &snapshot_path) {
         match db.snapshot_to(path) {
@@ -473,20 +695,65 @@ fn main() {
 
     // --- Final report. ---
     println!("\nshutting down after {duration_s}s:");
-    for (name, kind, running, ops, units) in agent.manager().list() {
-        println!(
-            "  plugin {name} ({kind}): {} operators, {units} units, {}",
-            ops,
-            if running { "running" } else { "stopped" }
-        );
-    }
     let example_cpi = Topic::parse("/rack00/node00/cpu00/cpi").unwrap();
-    let cpi = agent.query_engine().query(&example_cpi, QueryMode::Latest);
-    if let Some(r) = cpi.first() {
-        println!(
-            "  sample derived metric {example_cpi} = {:.2}",
-            dcdb_wintermute::dcdb_common::decode_f64(r.value)
+    match &tier {
+        Tier::Single { agent, storage } => {
+            for (name, kind, running, ops, units) in agent.manager().list() {
+                println!(
+                    "  plugin {name} ({kind}): {} operators, {units} units, {}",
+                    ops,
+                    if running { "running" } else { "stopped" }
+                );
+            }
+            let cpi = agent.query_engine().query(&example_cpi, QueryMode::Latest);
+            if let Some(r) = cpi.first() {
+                println!(
+                    "  sample derived metric {example_cpi} = {:.2}",
+                    dcdb_wintermute::dcdb_common::decode_f64(r.value)
+                );
+            }
+            println!("  storage: {:?}", storage.stats());
+        }
+        Tier::Federated { fed, router } => {
+            for shard in fed.shards() {
+                let a = shard.agent().stats();
+                println!(
+                    "  shard {} ({}): {} readings ingested, {} sensors, storage {:?}",
+                    shard.id,
+                    if shard.is_up() { "up" } else { "down" },
+                    a.readings,
+                    shard.agent().query_engine().sensor_count(),
+                    shard.agent().storage().stats(),
+                );
+            }
+            // One scatter-gather query through the router, envelope and all.
+            let q = router.query_sensors(&example_cpi, Timestamp::ZERO, Timestamp::MAX);
+            if let Some(r) = q.readings.last() {
+                println!(
+                    "  sample derived metric {example_cpi} = {:.2} \
+                     ({}/{} shards answered)",
+                    dcdb_wintermute::dcdb_common::decode_f64(r.value),
+                    q.envelope.shards_ok,
+                    q.envelope.shards_total,
+                );
+            }
+        }
+    }
+}
+
+/// Prints operator-fault events from one tick (prefix identifies the
+/// shard in federated mode).
+fn report_operator_faults(prefix: &str, report: &TickReport) {
+    if !report.errors.is_empty() {
+        eprintln!("{prefix}operator errors: {:?}", report.errors);
+    }
+    if !report.panics.is_empty() {
+        eprintln!("{prefix}operator panics (contained): {:?}", report.panics);
+    }
+    for name in &report.newly_quarantined {
+        eprintln!(
+            "{prefix}operator {name} quarantined after repeated failures; \
+             resume with PUT /analytics/plugins/{name}/start"
         );
     }
-    println!("  storage: {:?}", storage.stats());
 }

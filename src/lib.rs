@@ -25,6 +25,7 @@
 //! | [`wintermute_plugins`] | tester, regressor, perfmetrics, persyst, clustering, aggregator, smoother |
 //! | [`dcdb_pusher`] | sampling daemon with embedded Wintermute |
 //! | [`dcdb_collectagent`] | broker-to-storage daemon with embedded Wintermute |
+//! | [`dcdb_federation`] | multi-agent sharding + scatter-gather query router |
 //! | [`oda_ml`] | random forests, Bayesian GMM, statistics |
 //! | [`sim_cluster`] | synthetic cluster, application models, job scheduler |
 //!
@@ -34,6 +35,7 @@
 pub use dcdb_bus;
 pub use dcdb_collectagent;
 pub use dcdb_common;
+pub use dcdb_federation;
 pub use dcdb_pusher;
 pub use dcdb_rest;
 pub use dcdb_storage;
