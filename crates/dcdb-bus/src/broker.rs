@@ -561,6 +561,16 @@ pub trait MessageBus: Send + Sync {
         self.publish(topic, crate::codec::encode_readings(readings))
     }
 
+    /// Publishes a columnar batch as a v2 frame — the packed columns go
+    /// to the wire without a row transpose.
+    fn publish_batch(
+        &self,
+        topic: Topic,
+        batch: &dcdb_common::batch::ReadingBatch,
+    ) -> Result<(), DcdbError> {
+        self.publish(topic, crate::codec::encode_batch(batch))
+    }
+
     /// Subscribes with explicit queue depth, overflow policy, and
     /// metrics label.
     fn subscribe_with(&self, filter: TopicFilter, opts: SubscribeOptions) -> Subscription;
@@ -602,6 +612,15 @@ impl BusHandle {
         readings: &[dcdb_common::reading::SensorReading],
     ) -> Result<(), DcdbError> {
         self.publish(topic, crate::codec::encode_readings(readings))
+    }
+
+    /// Publishes a columnar batch as a v2 frame.
+    pub fn publish_batch(
+        &self,
+        topic: Topic,
+        batch: &dcdb_common::batch::ReadingBatch,
+    ) -> Result<(), DcdbError> {
+        self.publish(topic, crate::codec::encode_batch(batch))
     }
 
     /// Subscribes with a topic filter and the broker's default queue

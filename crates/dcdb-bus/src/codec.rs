@@ -5,21 +5,30 @@
 //! the serialization cost the paper's overhead numbers include is paid
 //! here too.
 //!
-//! Frame layout (little-endian):
+//! Two frame layouts share the version byte (little-endian):
 //!
 //! ```text
-//! [u8  version = 1]
-//! [u32 reading count = n]
-//! n × { [i64 value] [u64 timestamp_ns] }
+//! v1 (row-major):  [u8 1] [u32 n] n × { [i64 value] [u64 timestamp_ns] }
+//! v2 (columnar):   [u8 2] [u32 n] [n × u64 timestamp_ns] [n × i64 value]
 //! ```
+//!
+//! v2 carries a [`ReadingBatch`]'s packed columns verbatim, so encoding
+//! on the Pusher side and decoding on the Collect Agent side are two
+//! memcpys instead of per-reading loops. Decoders accept both versions;
+//! v1 remains for single-reading publishes and older producers.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dcdb_common::batch::ReadingBatch;
+use dcdb_common::batch::{extend_le_i64s, extend_le_u64s, read_le_i64s, read_le_u64s};
 use dcdb_common::error::DcdbError;
 use dcdb_common::reading::SensorReading;
 use dcdb_common::time::Timestamp;
 
-/// Current frame format version.
+/// Row-major frame format version.
 pub const FRAME_VERSION: u8 = 1;
+
+/// Columnar frame format version.
+pub const FRAME_VERSION_COLUMNAR: u8 = 2;
 
 /// Bytes occupied by one encoded reading.
 pub const READING_WIRE_SIZE: usize = 16;
@@ -36,13 +45,59 @@ pub fn encode_readings(readings: &[SensorReading]) -> Bytes {
     buf.freeze()
 }
 
-/// Decodes a frame back into readings.
+/// Encodes a columnar batch into a v2 frame: both columns land in the
+/// payload as single bulk copies.
+pub fn encode_batch(batch: &ReadingBatch) -> Bytes {
+    let mut buf = Vec::with_capacity(5 + batch.len() * READING_WIRE_SIZE);
+    buf.push(FRAME_VERSION_COLUMNAR);
+    buf.extend_from_slice(&(batch.len() as u32).to_le_bytes());
+    extend_le_u64s(&mut buf, &batch.ts);
+    extend_le_i64s(&mut buf, &batch.values);
+    Bytes::from(buf)
+}
+
+/// Decodes either frame version into a columnar batch (v1 frames are
+/// transposed).
+pub fn decode_batch(frame: Bytes) -> Result<ReadingBatch, DcdbError> {
+    if frame.len() < 5 {
+        return Err(DcdbError::Parse(format!(
+            "sensor frame too short: {} bytes",
+            frame.len()
+        )));
+    }
+    match frame[0] {
+        FRAME_VERSION => Ok(ReadingBatch::from_readings(&decode_readings(frame)?)),
+        FRAME_VERSION_COLUMNAR => {
+            let n = u32::from_le_bytes(frame[1..5].try_into().unwrap()) as usize;
+            let body = &frame[5..];
+            if body.len() != n * READING_WIRE_SIZE {
+                return Err(DcdbError::Parse(format!(
+                    "columnar frame length mismatch: {} readings declared, {} bytes remain",
+                    n,
+                    body.len()
+                )));
+            }
+            Ok(ReadingBatch::from_columns(
+                read_le_u64s(body, n),
+                read_le_i64s(&body[n * 8..], n),
+            ))
+        }
+        version => Err(DcdbError::Parse(format!(
+            "unsupported frame version {version}"
+        ))),
+    }
+}
+
+/// Decodes a frame (either version) back into row-major readings.
 pub fn decode_readings(mut frame: Bytes) -> Result<Vec<SensorReading>, DcdbError> {
     if frame.len() < 5 {
         return Err(DcdbError::Parse(format!(
             "sensor frame too short: {} bytes",
             frame.len()
         )));
+    }
+    if frame[0] == FRAME_VERSION_COLUMNAR {
+        return Ok(decode_batch(frame)?.to_readings());
     }
     let version = frame.get_u8();
     if version != FRAME_VERSION {
@@ -98,6 +153,36 @@ mod tests {
     fn round_trip_single() {
         let frame = encode_reading(r(7, 9));
         assert_eq!(decode_readings(frame).unwrap(), vec![r(7, 9)]);
+    }
+
+    #[test]
+    fn columnar_frame_round_trips() {
+        let rows = vec![r(-5, 0), r(i64::MAX, u64::MAX), r(0, 42)];
+        let batch = ReadingBatch::from_readings(&rows);
+        let frame = encode_batch(&batch);
+        assert_eq!(frame[0], FRAME_VERSION_COLUMNAR);
+        assert_eq!(frame.len(), 5 + 3 * READING_WIRE_SIZE);
+        assert_eq!(decode_batch(frame.clone()).unwrap(), batch);
+        // Row-major decoders accept columnar frames transparently.
+        assert_eq!(decode_readings(frame).unwrap(), rows);
+        // And batch decoders accept row-major frames.
+        assert_eq!(decode_batch(encode_readings(&rows)).unwrap(), batch);
+        assert!(decode_batch(encode_batch(&ReadingBatch::new()))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn columnar_frame_rejects_truncation_and_garbage() {
+        let batch = ReadingBatch::from_columns(vec![1, 2], vec![10, 20]);
+        let frame = encode_batch(&batch);
+        assert!(decode_batch(frame.slice(0..frame.len() - 1)).is_err());
+        let mut raw = frame.to_vec();
+        raw.push(0);
+        assert!(decode_batch(Bytes::from(raw)).is_err());
+        let mut bad = frame.to_vec();
+        bad[0] = 9;
+        assert!(decode_batch(Bytes::from(bad)).is_err());
     }
 
     #[test]

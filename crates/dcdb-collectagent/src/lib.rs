@@ -10,7 +10,8 @@
 
 #![warn(missing_docs)]
 
-use dcdb_bus::{decode_readings, BusHandle, SubscribeOptions, Subscription};
+use dcdb_bus::{decode_batch, BusHandle, SubscribeOptions, Subscription};
+use dcdb_common::batch::ReadingBatch;
 use dcdb_common::error::Result;
 use dcdb_common::time::Timestamp;
 use dcdb_common::topic::Topic;
@@ -243,14 +244,14 @@ impl CollectAgent {
             };
             consumed += 1;
             self.messages.fetch_add(1, Ordering::Relaxed);
-            match decode_readings(msg.payload) {
-                Ok(readings) => {
+            match decode_batch(msg.payload) {
+                Ok(batch) => {
                     let known = self.query_engine().knows(&msg.topic);
-                    self.query_engine().insert_batch(&msg.topic, &readings);
-                    ingested += readings.len();
+                    self.query_engine().insert_columns(&msg.topic, &batch);
+                    ingested += batch.len();
                     self.readings
-                        .fetch_add(readings.len() as u64, Ordering::Relaxed);
-                    self.note_source(&msg.topic, &readings);
+                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    self.note_source(&msg.topic, &batch);
                     if !known {
                         self.dirty_sensors.fetch_add(1, Ordering::Relaxed);
                     }
@@ -276,8 +277,8 @@ impl CollectAgent {
     }
 
     /// Updates the per-source last-seen clock from one ingested batch.
-    fn note_source(&self, topic: &Topic, readings: &[dcdb_common::reading::SensorReading]) {
-        let Some(newest) = readings.iter().map(|r| r.ts.as_nanos()).max() else {
+    fn note_source(&self, topic: &Topic, batch: &ReadingBatch) {
+        let Some(newest) = batch.ts.iter().copied().max() else {
             return;
         };
         let prefix = topic.prefix(self.source_prefix_depth).as_str().to_string();
@@ -287,7 +288,7 @@ impl CollectAgent {
             readings: 0,
         });
         record.last_seen_ns = record.last_seen_ns.max(newest);
-        record.readings += readings.len() as u64;
+        record.readings += batch.len() as u64;
     }
 
     /// Per-pusher delivery health: one entry per source prefix, sorted
@@ -648,6 +649,34 @@ mod tests {
             .query_engine()
             .navigator()
             .has_sensor(&t("/r0/n0/power")));
+    }
+
+    #[test]
+    fn ingests_columnar_frames_end_to_end() {
+        let (broker, agent) = setup();
+        let bus = broker.handle();
+        let batch: ReadingBatch = (1..=100u64)
+            .map(|i| SensorReading::new(i as i64, Timestamp::from_secs(i)))
+            .collect();
+        bus.publish_batch(t("/r0/n0/power"), &batch).unwrap();
+        assert_eq!(agent.process_pending(), 100);
+        assert_eq!(agent.stats().readings, 100);
+        assert_eq!(agent.storage().stats().readings, 100);
+        let got = agent.query_engine().query(
+            &t("/r0/n0/power"),
+            QueryMode::Absolute {
+                t0: Timestamp::from_secs(40),
+                t1: Timestamp::from_secs(42),
+            },
+        );
+        assert_eq!(
+            got.iter().map(|r| r.value).collect::<Vec<_>>(),
+            vec![40, 41, 42]
+        );
+        // The delivery tracker saw the batch's newest timestamp.
+        let health = agent.delivery_health();
+        assert_eq!(health.len(), 1);
+        assert_eq!(health[0].last_seen_ns, Timestamp::from_secs(100).as_nanos());
     }
 
     #[test]

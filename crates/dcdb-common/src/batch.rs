@@ -1,0 +1,265 @@
+//! Columnar reading batches: the hot-path unit of bulk ingest.
+//!
+//! A [`ReadingBatch`] carries the same samples as a `&[SensorReading]`
+//! but in structure-of-arrays form — one packed `u64` timestamp column
+//! and one packed `i64` value column. The whole ingest pipeline (bus
+//! frames, the Collect Agent loop, the WAL journal, the Gorilla codec)
+//! moves these columns without re-interleaving, which buys two things:
+//!
+//! * **serialization is memcpy**: a column of `n` little-endian words
+//!   is one `extend_from_slice` of `n * 8` bytes instead of `n` 8-byte
+//!   appends, so journaling and frame encoding stop being per-reading
+//!   loops;
+//! * **codecs see contiguous lanes**: delta / zig-zag passes run over
+//!   plain integer slices in chunked loops the compiler can vectorize.
+//!
+//! Row-major views remain available ([`ReadingBatch::iter`],
+//! [`ReadingBatch::to_readings`]) for the query side, which still
+//! thinks in `(value, ts)` pairs.
+
+use crate::reading::SensorReading;
+use crate::time::Timestamp;
+
+/// A columnar batch of sensor readings for one topic.
+///
+/// Invariant: `ts.len() == values.len()`. Order is whatever the
+/// producer pushed — like `&[SensorReading]`, the batch itself imposes
+/// no sortedness (storage keeps partitions sorted on insert).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReadingBatch {
+    /// Timestamp column, nanoseconds.
+    pub ts: Vec<u64>,
+    /// Value column.
+    pub values: Vec<i64>,
+}
+
+impl ReadingBatch {
+    /// An empty batch.
+    pub fn new() -> ReadingBatch {
+        ReadingBatch::default()
+    }
+
+    /// An empty batch with room for `n` readings per column.
+    pub fn with_capacity(n: usize) -> ReadingBatch {
+        ReadingBatch {
+            ts: Vec::with_capacity(n),
+            values: Vec::with_capacity(n),
+        }
+    }
+
+    /// Builds a batch from parallel columns.
+    ///
+    /// # Panics
+    /// When the columns differ in length.
+    pub fn from_columns(ts: Vec<u64>, values: Vec<i64>) -> ReadingBatch {
+        assert_eq!(ts.len(), values.len(), "column length mismatch");
+        ReadingBatch { ts, values }
+    }
+
+    /// Transposes a row-major slice into columns.
+    pub fn from_readings(readings: &[SensorReading]) -> ReadingBatch {
+        ReadingBatch {
+            ts: readings.iter().map(|r| r.ts.as_nanos()).collect(),
+            values: readings.iter().map(|r| r.value).collect(),
+        }
+    }
+
+    /// Number of readings.
+    pub fn len(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// True when the batch holds no readings.
+    pub fn is_empty(&self) -> bool {
+        self.ts.is_empty()
+    }
+
+    /// Appends one reading to both columns.
+    pub fn push(&mut self, value: i64, ts: Timestamp) {
+        self.ts.push(ts.as_nanos());
+        self.values.push(value);
+    }
+
+    /// The `i`-th reading, row-major.
+    pub fn get(&self, i: usize) -> Option<SensorReading> {
+        Some(SensorReading::new(
+            *self.values.get(i)?,
+            Timestamp(*self.ts.get(i)?),
+        ))
+    }
+
+    /// Clears both columns, keeping capacity (scratch-buffer reuse).
+    pub fn clear(&mut self) {
+        self.ts.clear();
+        self.values.clear();
+    }
+
+    /// Row-major iterator over the batch.
+    pub fn iter(&self) -> impl Iterator<Item = SensorReading> + '_ {
+        self.ts
+            .iter()
+            .zip(self.values.iter())
+            .map(|(&ts, &value)| SensorReading::new(value, Timestamp(ts)))
+    }
+
+    /// Re-interleaves the columns into a row-major vector.
+    pub fn to_readings(&self) -> Vec<SensorReading> {
+        self.iter().collect()
+    }
+
+    /// True when the timestamp column is strictly ascending — the shape
+    /// in-order samplers produce, which storage exploits as an append
+    /// fast path.
+    pub fn is_strictly_ascending(&self) -> bool {
+        self.ts.windows(2).all(|w| w[0] < w[1])
+    }
+}
+
+impl FromIterator<SensorReading> for ReadingBatch {
+    fn from_iter<I: IntoIterator<Item = SensorReading>>(iter: I) -> ReadingBatch {
+        let iter = iter.into_iter();
+        let mut batch = ReadingBatch::with_capacity(iter.size_hint().0);
+        for r in iter {
+            batch.push(r.value, r.ts);
+        }
+        batch
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bulk little-endian column serialization.
+// ---------------------------------------------------------------------------
+
+/// Appends a `u64` column as little-endian bytes in one memcpy on
+/// little-endian targets (a per-word loop elsewhere).
+pub fn extend_le_u64s(out: &mut Vec<u8>, column: &[u64]) {
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: a `[u64]`'s backing memory is valid, initialized and
+        // at least `len * 8` bytes; reinterpreting it as bytes is sound
+        // (u8 has no alignment or validity requirements), and on a
+        // little-endian target the in-memory order is the wire order.
+        let bytes = unsafe {
+            std::slice::from_raw_parts(column.as_ptr() as *const u8, std::mem::size_of_val(column))
+        };
+        out.extend_from_slice(bytes);
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        for &x in column {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+}
+
+/// Appends an `i64` column as little-endian bytes; see [`extend_le_u64s`].
+pub fn extend_le_i64s(out: &mut Vec<u8>, column: &[i64]) {
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: as in `extend_le_u64s`; i64 and u64 share layout.
+        let bytes = unsafe {
+            std::slice::from_raw_parts(column.as_ptr() as *const u8, std::mem::size_of_val(column))
+        };
+        out.extend_from_slice(bytes);
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        for &x in column {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+}
+
+/// Decodes `count` little-endian `u64`s from `data` into a vector.
+///
+/// # Panics
+/// When `data` is shorter than `count * 8` bytes (callers validate
+/// lengths before decoding columns).
+pub fn read_le_u64s(data: &[u8], count: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(count);
+    for chunk in data[..count * 8].chunks_exact(8) {
+        out.push(u64::from_le_bytes(chunk.try_into().unwrap()));
+    }
+    out
+}
+
+/// Decodes `count` little-endian `i64`s from `data` into a vector.
+///
+/// # Panics
+/// When `data` is shorter than `count * 8` bytes.
+pub fn read_le_i64s(data: &[u8], count: usize) -> Vec<i64> {
+    let mut out = Vec::with_capacity(count);
+    for chunk in data[..count * 8].chunks_exact(8) {
+        out.push(i64::from_le_bytes(chunk.try_into().unwrap()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: i64, ns: u64) -> SensorReading {
+        SensorReading::new(v, Timestamp(ns))
+    }
+
+    #[test]
+    fn round_trips_through_rows() {
+        let rows = vec![r(-5, 10), r(7, 20), r(i64::MIN, u64::MAX)];
+        let batch = ReadingBatch::from_readings(&rows);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.to_readings(), rows);
+        assert_eq!(batch.get(2), Some(r(i64::MIN, u64::MAX)));
+        assert_eq!(batch.get(3), None);
+        let collected: ReadingBatch = rows.iter().copied().collect();
+        assert_eq!(collected, batch);
+    }
+
+    #[test]
+    fn push_and_clear_keep_columns_parallel() {
+        let mut b = ReadingBatch::with_capacity(4);
+        assert!(b.is_empty());
+        b.push(1, Timestamp(100));
+        b.push(2, Timestamp(200));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.ts, vec![100, 200]);
+        assert_eq!(b.values, vec![1, 2]);
+        b.clear();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn ascending_detection() {
+        assert!(ReadingBatch::from_readings(&[r(0, 1), r(0, 2), r(0, 5)]).is_strictly_ascending());
+        assert!(ReadingBatch::new().is_strictly_ascending());
+        assert!(!ReadingBatch::from_readings(&[r(0, 2), r(0, 2)]).is_strictly_ascending());
+        assert!(!ReadingBatch::from_readings(&[r(0, 3), r(0, 1)]).is_strictly_ascending());
+    }
+
+    #[test]
+    #[should_panic(expected = "column length mismatch")]
+    fn from_columns_rejects_skew() {
+        ReadingBatch::from_columns(vec![1, 2], vec![3]);
+    }
+
+    #[test]
+    fn bulk_le_round_trips() {
+        let ts = vec![0u64, 1, u64::MAX, 0x0102_0304_0506_0708];
+        let values = vec![0i64, -1, i64::MIN, i64::MAX];
+        let mut buf = Vec::new();
+        extend_le_u64s(&mut buf, &ts);
+        extend_le_i64s(&mut buf, &values);
+        assert_eq!(buf.len(), 64);
+        // Matches the scalar little-endian encoding byte for byte.
+        let mut expect = Vec::new();
+        for &x in &ts {
+            expect.extend_from_slice(&x.to_le_bytes());
+        }
+        for &x in &values {
+            expect.extend_from_slice(&x.to_le_bytes());
+        }
+        assert_eq!(buf, expect);
+        assert_eq!(read_le_u64s(&buf, 4), ts);
+        assert_eq!(read_le_i64s(&buf[32..], 4), values);
+    }
+}

@@ -8,6 +8,8 @@
 //!   deterministic [`VirtualClock`](time::VirtualClock) for simulation;
 //! * [`reading`] — [`SensorReading`](reading::SensorReading)s (value +
 //!   timestamp) and single-pass aggregate statistics;
+//! * [`batch`] — columnar [`ReadingBatch`](batch::ReadingBatch)es, the
+//!   structure-of-arrays form the bulk-ingest hot path moves;
 //! * [`topic`] — MQTT-style sensor [`Topic`](topic::Topic)s, metadata,
 //!   and the interning [`SensorRegistry`](topic::SensorRegistry);
 //! * [`cache`] — the per-sensor [`SensorCache`](cache::SensorCache) ring
@@ -19,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cache;
 pub mod config;
 pub mod error;
@@ -27,6 +30,7 @@ pub mod regex;
 pub mod time;
 pub mod topic;
 
+pub use batch::ReadingBatch;
 pub use cache::{CacheView, PushOutcome, SensorCache};
 pub use config::{KvConfig, SamplingConfig};
 pub use error::{DcdbError, Result};

@@ -31,6 +31,7 @@
 //! live runs.
 
 use dcdb_bus::{MessageBus, OverflowPolicy};
+use dcdb_common::batch::ReadingBatch;
 use dcdb_common::reading::SensorReading;
 use dcdb_common::time::Timestamp;
 use dcdb_common::topic::Topic;
@@ -463,13 +464,13 @@ impl BusConnection {
             let Some((topic, batch)) = self.spool.pop_oldest_batch() else {
                 break;
             };
-            let readings: Vec<SensorReading> = batch.iter().map(|e| e.reading).collect();
-            match self.bus.publish_readings(topic.clone(), &readings) {
+            let columns: ReadingBatch = batch.iter().map(|e| e.reading).collect();
+            match self.bus.publish_batch(topic.clone(), &columns) {
                 Ok(()) => {
-                    let n = readings.len() as u64;
+                    let n = columns.len() as u64;
                     out.published += n;
                     out.drained += n;
-                    self.spool.note_drained(readings.len());
+                    self.spool.note_drained(columns.len());
                     self.on_success();
                 }
                 Err(e) => {
@@ -486,7 +487,10 @@ impl BusConnection {
         // invert); spooled otherwise.
         for (topic, readings) in fresh {
             if attempting && self.spool.depth() == 0 {
-                match self.bus.publish_readings(topic.clone(), &readings) {
+                match self
+                    .bus
+                    .publish_batch(topic.clone(), &ReadingBatch::from_readings(&readings))
+                {
                     Ok(()) => {
                         out.published += readings.len() as u64;
                         self.on_success();

@@ -2,9 +2,12 @@
 //!
 //! Every DCDB component exposes a RESTful control API (paper §IV-A);
 //! Wintermute routes its management and on-demand-operator requests
-//! through it (paper §V-A). The control plane is low-rate, so this
-//! implementation favours clarity: blocking reads, no keep-alive
-//! pipelining, no chunked encoding (bodies carry `Content-Length`).
+//! through it (paper §V-A). Requests are one-shot (no keep-alive
+//! pipelining, no chunked encoding; bodies carry `Content-Length`).
+//! Two request decoders are provided: the blocking
+//! [`Request::read_from`] for stream-oriented callers, and the
+//! incremental [`RequestParser`] used by the non-blocking event-loop
+//! server, which accepts bytes as they arrive.
 
 use dcdb_common::error::DcdbError;
 use std::collections::BTreeMap;
@@ -127,18 +130,7 @@ impl Request {
             }
         }
 
-        let len: usize = headers
-            .get("content-length")
-            .map(|v| {
-                v.parse()
-                    .map_err(|_| DcdbError::Parse("bad Content-Length".into()))
-            })
-            .transpose()?
-            .unwrap_or(0);
-        const MAX_BODY: usize = 16 * 1024 * 1024;
-        if len > MAX_BODY {
-            return Err(DcdbError::Parse(format!("body too large: {len} bytes")));
-        }
+        let len = content_length(&headers)?;
         let mut body = vec![0u8; len];
         reader.read_exact(&mut body)?;
 
@@ -151,6 +143,143 @@ impl Request {
             params: BTreeMap::new(),
         })
     }
+}
+
+/// Largest accepted request body.
+const MAX_BODY: usize = 16 * 1024 * 1024;
+/// Largest accepted request head (request line + headers).
+const MAX_HEAD: usize = 64 * 1024;
+
+fn content_length(headers: &BTreeMap<String, String>) -> Result<usize, DcdbError> {
+    let len: usize = headers
+        .get("content-length")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| DcdbError::Parse("bad Content-Length".into()))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if len > MAX_BODY {
+        return Err(DcdbError::Parse(format!("body too large: {len} bytes")));
+    }
+    Ok(len)
+}
+
+/// Incremental HTTP/1.1 request parser for the non-blocking server.
+///
+/// Feed whatever bytes the socket yields; the parser buffers partial
+/// heads and bodies across calls and returns the request once it is
+/// complete. One parser decodes one request (connections are one-shot).
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    head: Option<ParsedHead>,
+}
+
+#[derive(Debug)]
+struct ParsedHead {
+    method: Method,
+    path: String,
+    query: BTreeMap<String, String>,
+    headers: BTreeMap<String, String>,
+    body_start: usize,
+    content_len: usize,
+}
+
+impl RequestParser {
+    /// A parser with no buffered bytes.
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// Appends `bytes` and returns the request if it is now complete,
+    /// `Ok(None)` if more bytes are needed, or an error for malformed
+    /// or oversized input (the connection should then be closed after
+    /// a `400`).
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<Option<Request>, DcdbError> {
+        self.buf.extend_from_slice(bytes);
+        if self.head.is_none() {
+            let Some((head_len, body_start)) = find_head_end(&self.buf) else {
+                if self.buf.len() > MAX_HEAD {
+                    return Err(DcdbError::Parse("request head too large".into()));
+                }
+                return Ok(None);
+            };
+            self.head = Some(parse_head(&self.buf[..head_len], body_start)?);
+        }
+        let (body_start, content_len) = {
+            let head = self.head.as_ref().expect("head parsed above");
+            (head.body_start, head.content_len)
+        };
+        if self.buf.len() < body_start + content_len {
+            return Ok(None);
+        }
+        let head = self.head.take().expect("head parsed above");
+        let body = self.buf[body_start..body_start + content_len].to_vec();
+        self.buf.clear();
+        Ok(Some(Request {
+            method: head.method,
+            path: head.path,
+            query: head.query,
+            headers: head.headers,
+            body,
+            params: BTreeMap::new(),
+        }))
+    }
+}
+
+/// Finds the blank line ending the head; returns
+/// `(head_len, body_start)`. Accepts both `\r\n\r\n` and bare `\n\n`.
+fn find_head_end(buf: &[u8]) -> Option<(usize, usize)> {
+    for i in 0..buf.len() {
+        if buf[i] != b'\n' {
+            continue;
+        }
+        if buf.get(i + 1) == Some(&b'\n') {
+            return Some((i + 1, i + 2));
+        }
+        if buf.get(i + 1) == Some(&b'\r') && buf.get(i + 2) == Some(&b'\n') {
+            return Some((i + 1, i + 3));
+        }
+    }
+    None
+}
+
+fn parse_head(head: &[u8], body_start: usize) -> Result<ParsedHead, DcdbError> {
+    let text =
+        std::str::from_utf8(head).map_err(|_| DcdbError::Parse("non-UTF-8 request head".into()))?;
+    let mut lines = text.split('\n').map(|l| l.trim_end_matches('\r'));
+    let line = lines.next().unwrap_or("");
+    let mut parts = line.split_whitespace();
+    let method = Method::parse(parts.next().unwrap_or(""))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| DcdbError::Parse("missing request target".into()))?;
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(DcdbError::Parse(format!("bad HTTP version {version:?}")));
+    }
+    let (path, query) = split_query(target);
+    let mut headers = BTreeMap::new();
+    for hline in lines {
+        if hline.is_empty() {
+            continue;
+        }
+        if let Some((k, v)) = hline.split_once(':') {
+            headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
+        } else {
+            return Err(DcdbError::Parse(format!("malformed header {hline:?}")));
+        }
+    }
+    let content_len = content_length(&headers)?;
+    Ok(ParsedHead {
+        method,
+        path,
+        query,
+        headers,
+        body_start,
+        content_len,
+    })
 }
 
 fn split_query(target: &str) -> (String, BTreeMap<String, String>) {
@@ -386,6 +515,73 @@ mod tests {
         assert_eq!(percent_decode("a%"), "a%");
         assert_eq!(percent_decode("a%2"), "a%2");
         assert_eq!(percent_decode("a%zz"), "a%zz");
+    }
+
+    #[test]
+    fn incremental_parse_byte_at_a_time() {
+        let raw = b"PUT /echo?x=1 HTTP/1.1\r\nHost: dcdb\r\nContent-Length: 5\r\n\r\nhello";
+        let mut parser = RequestParser::new();
+        for &b in &raw[..raw.len() - 1] {
+            assert!(parser.feed(&[b]).unwrap().is_none());
+        }
+        let req = parser.feed(&raw[raw.len() - 1..]).unwrap().unwrap();
+        assert_eq!(req.method, Method::Put);
+        assert_eq!(req.path, "/echo");
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.headers.get("host").map(String::as_str), Some("dcdb"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn incremental_parse_single_feed_and_bare_lf() {
+        let mut parser = RequestParser::new();
+        let req = parser
+            .feed(b"GET /ping HTTP/1.1\n\n")
+            .unwrap()
+            .expect("complete");
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path, "/ping");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn incremental_parse_split_across_head_and_body() {
+        let mut parser = RequestParser::new();
+        assert!(parser
+            .feed(b"POST /x HTTP/1.1\r\nContent-Length: 6\r\n\r\nab")
+            .unwrap()
+            .is_none());
+        let req = parser.feed(b"cdef").unwrap().expect("complete");
+        assert_eq!(req.body, b"abcdef");
+    }
+
+    #[test]
+    fn incremental_parse_rejects_malformed_input() {
+        assert!(RequestParser::new()
+            .feed(b"NOPE / HTTP/1.1\r\n\r\n")
+            .is_err());
+        assert!(RequestParser::new().feed(b"GET /\r\n\r\n").is_err());
+        assert!(RequestParser::new()
+            .feed(b"GET / HTTP/1.1\r\nBadHeader\r\n\r\n")
+            .is_err());
+        assert!(RequestParser::new()
+            .feed(b"GET / HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n")
+            .is_err());
+    }
+
+    #[test]
+    fn incremental_parse_bounds_head_size() {
+        let mut parser = RequestParser::new();
+        let chunk = vec![b'a'; 16 * 1024];
+        assert!(parser.feed(b"GET / HTTP/1.1\r\nX: ").unwrap().is_none());
+        let mut result = Ok(None);
+        for _ in 0..8 {
+            result = parser.feed(&chunk);
+            if result.is_err() {
+                break;
+            }
+        }
+        assert!(result.is_err(), "oversized head must be rejected");
     }
 
     #[test]

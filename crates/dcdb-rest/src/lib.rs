@@ -4,9 +4,13 @@
 //! Wintermute forwards its ODA management requests — plugin start/stop/
 //! reload and on-demand operator triggers — through it (paper §V-A).
 //!
-//! * [`http`] — minimal HTTP/1.1 request/response codec;
+//! * [`http`] — minimal HTTP/1.1 request/response codec, with both a
+//!   blocking and an incremental (event-loop) request parser;
 //! * [`router`] — pattern routing with `:param` and `*rest` captures;
-//! * [`server`] — blocking TCP server plus a tiny client helper.
+//! * [`server`] — non-blocking `poll(2)` event-loop TCP server with a
+//!   bounded worker pool, plus a tiny blocking client helper;
+//! * [`sys`] — the raw `poll(2)` binding shared by the server and the
+//!   high-concurrency bench client.
 //!
 //! The router is usable fully in-process (no sockets) via
 //! [`Router::dispatch`](router::Router::dispatch), which is how the
@@ -17,7 +21,8 @@
 pub mod http;
 pub mod router;
 pub mod server;
+pub mod sys;
 
-pub use http::{Method, Request, Response, Status};
+pub use http::{Method, Request, RequestParser, Response, Status};
 pub use router::{Handler, Router};
-pub use server::{http_request, RestServer};
+pub use server::{http_request, RestServer, ServerConfig, ServerMetricsSnapshot};

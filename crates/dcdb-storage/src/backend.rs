@@ -13,6 +13,7 @@
 //! (the common case: one collect agent thread per pusher stream).
 
 use crate::series::{Series, DEFAULT_PARTITION_NS};
+use dcdb_common::batch::ReadingBatch;
 use dcdb_common::reading::SensorReading;
 use dcdb_common::time::Timestamp;
 use dcdb_common::topic::Topic;
@@ -93,6 +94,14 @@ impl StorageBackend {
         self.inserts
             .fetch_add(readings.len() as u64, Ordering::Relaxed);
         self.series_for(topic).lock().insert_batch(readings);
+    }
+
+    /// Inserts a columnar batch for `topic` under one series lock,
+    /// without re-interleaving the columns into rows first.
+    pub fn insert_columns(&self, topic: &Topic, batch: &ReadingBatch) {
+        self.inserts
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.series_for(topic).lock().insert_columns(batch);
     }
 
     /// Range query: readings of `topic` with `t0 <= ts <= t1`.
@@ -176,6 +185,14 @@ impl crate::StorageEngine for StorageBackend {
         readings: &[SensorReading],
     ) -> dcdb_common::error::Result<()> {
         StorageBackend::insert_batch(self, topic, readings);
+        Ok(())
+    }
+    fn insert_columns(
+        &self,
+        topic: &Topic,
+        batch: &ReadingBatch,
+    ) -> dcdb_common::error::Result<()> {
+        StorageBackend::insert_columns(self, topic, batch);
         Ok(())
     }
     fn query(&self, topic: &Topic, t0: Timestamp, t1: Timestamp) -> Vec<SensorReading> {

@@ -42,6 +42,14 @@ pub trait IoFile: Send {
     /// Truncates the file to `len` bytes — used to restore a clean
     /// prefix after a failed (possibly partial) append.
     fn truncate(&mut self, len: u64) -> Result<()>;
+    /// A second handle to the same underlying file, for use by a
+    /// background fsync thread (an fsync on either handle flushes the
+    /// same inode). `None` when the implementation cannot (or should
+    /// not) support concurrent syncing — callers must then sync
+    /// in-line.
+    fn try_clone(&self) -> Option<Box<dyn IoFile>> {
+        None
+    }
 }
 
 /// The filesystem operations the durable engine performs, as a
@@ -93,6 +101,12 @@ impl IoFile for StdFile {
         self.0.set_len(len)?;
         self.0.seek(SeekFrom::Start(len))?;
         Ok(())
+    }
+    fn try_clone(&self) -> Option<Box<dyn IoFile>> {
+        self.0
+            .try_clone()
+            .ok()
+            .map(|f| Box::new(StdFile(f)) as Box<dyn IoFile>)
     }
 }
 
@@ -515,6 +529,11 @@ impl IoFile for FaultFile {
         }
         self.inner.truncate(len)
     }
+
+    // Deliberately no `try_clone`: a background sync thread would
+    // interleave its RNG draws with the writer's, breaking the
+    // replay-from-seed guarantee. Under fault injection the WAL falls
+    // back to in-line fsyncs, which exercise the same failure rules.
 }
 
 impl StorageIo for FaultIo {

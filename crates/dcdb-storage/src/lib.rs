@@ -39,6 +39,7 @@ pub use io::{FaultConfig, FaultIo, FaultIoStats, StdIo, StorageIo};
 pub use series::{Series, DEFAULT_PARTITION_NS};
 pub use wal::FsyncPolicy;
 
+use dcdb_common::batch::ReadingBatch;
 use dcdb_common::error::Result;
 use dcdb_common::reading::SensorReading;
 use dcdb_common::time::Timestamp;
@@ -57,6 +58,11 @@ pub trait StorageEngine: Send + Sync + std::fmt::Debug {
     fn insert(&self, topic: &Topic, r: SensorReading) -> Result<()>;
     /// Inserts a batch of readings for `topic`.
     fn insert_batch(&self, topic: &Topic, readings: &[SensorReading]) -> Result<()>;
+    /// Inserts a columnar batch for `topic`. Engines that understand
+    /// the columnar form override this to avoid the row transpose.
+    fn insert_columns(&self, topic: &Topic, batch: &ReadingBatch) -> Result<()> {
+        self.insert_batch(topic, &batch.to_readings())
+    }
     /// Readings for `topic` with `t0 <= ts <= t1`, timestamp-ordered.
     fn query(&self, topic: &Topic, t0: Timestamp, t1: Timestamp) -> Vec<SensorReading>;
     /// The newest reading for `topic`.

@@ -20,7 +20,7 @@
 //! Segments are written to a temp file, fsynced, then renamed into
 //! place — a crash mid-seal leaves no partial segment behind.
 
-use crate::compress::{compress_block, decompress_block};
+use crate::compress::{compress_block, decompress_block, BlockCursor};
 use crate::crc::crc32;
 use crate::io::{StdIo, StorageIo};
 use dcdb_common::error::{DcdbError, Result};
@@ -261,6 +261,12 @@ impl SegmentReader {
 
     /// Range query against one topic's block, pruned by the indexed
     /// time range before any I/O happens.
+    ///
+    /// The block is decoded incrementally with a [`BlockCursor`] rather
+    /// than materialized whole: readings before `t0` are skipped without
+    /// being collected, and decoding stops at the first reading past
+    /// `t1` (blocks are timestamp-ordered; the CRC check above already
+    /// vouches for the undecoded tail).
     pub fn query(&self, topic: &Topic, t0: Timestamp, t1: Timestamp) -> Result<Vec<SensorReading>> {
         let Some(meta) = self.index.get(topic) else {
             return Ok(Vec::new());
@@ -268,10 +274,26 @@ impl SegmentReader {
         if t1 < t0 || meta.max_ts < t0 || t1 < meta.min_ts {
             return Ok(Vec::new());
         }
-        let readings = self.read_topic(topic)?.unwrap_or_default();
-        let lo = readings.partition_point(|r| r.ts < t0);
-        let hi = readings.partition_point(|r| r.ts <= t1);
-        Ok(readings[lo..hi].to_vec())
+        let block = self
+            .io
+            .read_range(&self.path, meta.offset, meta.len as usize)?;
+        if crc32(&block) != meta.crc {
+            return Err(DcdbError::Parse(format!(
+                "segment {}: block checksum mismatch for {topic}",
+                self.path.display()
+            )));
+        }
+        let mut cursor = BlockCursor::new(&block)?;
+        let mut out = Vec::new();
+        while let Some(r) = cursor.next_reading()? {
+            if r.ts > t1 {
+                break;
+            }
+            if r.ts >= t0 {
+                out.push(r);
+            }
+        }
+        Ok(out)
     }
 }
 

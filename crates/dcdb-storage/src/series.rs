@@ -7,6 +7,7 @@
 //! overlap the requested window and retention eviction drops whole
 //! partitions at once.
 
+use dcdb_common::batch::ReadingBatch;
 use dcdb_common::reading::SensorReading;
 use dcdb_common::time::Timestamp;
 use std::collections::BTreeMap;
@@ -71,9 +72,79 @@ impl Series {
     }
 
     /// Inserts a batch (the collect agent's normal write path).
+    ///
+    /// Consecutive readings with strictly ascending timestamps that land
+    /// in the same partition are detected as a *run* and bulk-appended
+    /// when they extend the partition's tail — the shape in-order
+    /// samplers produce — skipping the per-reading binary search.
+    /// Out-of-order or duplicate readings fall back to [`Series::insert`]
+    /// semantics (sorted insert, duplicate timestamps overwrite).
     pub fn insert_batch(&mut self, readings: &[SensorReading]) {
-        for &r in readings {
-            self.insert(r);
+        let mut i = 0;
+        while i < readings.len() {
+            let key = self.partition_start(readings[i].ts);
+            let end = key.saturating_add(self.partition_ns);
+            let mut j = i + 1;
+            while j < readings.len()
+                && readings[j].ts > readings[j - 1].ts
+                && readings[j].ts.as_nanos() < end
+            {
+                j += 1;
+            }
+            let part = self.partitions.entry(key).or_default();
+            if part.last().is_none_or(|last| last.ts < readings[i].ts) {
+                part.extend_from_slice(&readings[i..j]);
+                self.len += j - i;
+            } else {
+                for &r in &readings[i..j] {
+                    match part.binary_search_by_key(&r.ts, |x| x.ts) {
+                        Ok(p) => part[p] = r,
+                        Err(p) => {
+                            part.insert(p, r);
+                            self.len += 1;
+                        }
+                    }
+                }
+            }
+            i = j;
+        }
+    }
+
+    /// Inserts a columnar batch without materializing rows first.
+    ///
+    /// Same run detection as [`Series::insert_batch`]: ascending
+    /// stretches that extend a partition's tail are appended straight
+    /// from the packed columns.
+    pub fn insert_columns(&mut self, batch: &ReadingBatch) {
+        let (ts, values) = (&batch.ts, &batch.values);
+        let mut i = 0;
+        while i < ts.len() {
+            let key = ts[i] / self.partition_ns * self.partition_ns;
+            let end = key.saturating_add(self.partition_ns);
+            let mut j = i + 1;
+            while j < ts.len() && ts[j] > ts[j - 1] && ts[j] < end {
+                j += 1;
+            }
+            let part = self.partitions.entry(key).or_default();
+            if part.last().is_none_or(|last| last.ts.as_nanos() < ts[i]) {
+                part.reserve(j - i);
+                for k in i..j {
+                    part.push(SensorReading::new(values[k], Timestamp(ts[k])));
+                }
+                self.len += j - i;
+            } else {
+                for k in i..j {
+                    let r = SensorReading::new(values[k], Timestamp(ts[k]));
+                    match part.binary_search_by_key(&r.ts, |x| x.ts) {
+                        Ok(p) => part[p] = r,
+                        Err(p) => {
+                            part.insert(p, r);
+                            self.len += 1;
+                        }
+                    }
+                }
+            }
+            i = j;
         }
     }
 
@@ -236,6 +307,52 @@ mod tests {
         let evicted = s.evict_before(Timestamp::from_secs(35));
         assert_eq!(evicted, 10);
         assert_eq!(s.oldest().unwrap().ts.as_secs(), 30);
+    }
+
+    #[test]
+    fn columnar_insert_matches_row_insert() {
+        // In-order, out-of-order, duplicate and cross-partition shapes
+        // must all agree with the per-reading insert path.
+        let shapes: Vec<Vec<(i64, u64)>> = vec![
+            (0..500).map(|i| (i as i64, i as u64)).collect(),
+            vec![(1, 5), (2, 1), (3, 9), (4, 3), (5, 7)],
+            vec![(1, 10), (2, 10), (3, 10)],
+            vec![(1, 95), (2, 105), (3, 99), (4, 101), (5, 250)],
+            vec![],
+        ];
+        for shape in shapes {
+            let rows: Vec<SensorReading> = shape.iter().map(|&(v, s)| r(v, s)).collect();
+            let mut by_row = Series::new(100 * NS_PER_SEC);
+            for &x in &rows {
+                by_row.insert(x);
+            }
+            let mut by_col = Series::new(100 * NS_PER_SEC);
+            by_col.insert_columns(&ReadingBatch::from_readings(&rows));
+            let mut by_batch = Series::new(100 * NS_PER_SEC);
+            by_batch.insert_batch(&rows);
+            let want: Vec<SensorReading> = by_row.iter().copied().collect();
+            assert_eq!(by_col.iter().copied().collect::<Vec<_>>(), want);
+            assert_eq!(by_batch.iter().copied().collect::<Vec<_>>(), want);
+            assert_eq!(by_col.len(), by_row.len());
+            assert_eq!(by_batch.len(), by_row.len());
+        }
+    }
+
+    #[test]
+    fn columnar_insert_appends_across_calls() {
+        let mut s = Series::new(10 * NS_PER_SEC);
+        s.insert_columns(&ReadingBatch::from_columns(vec![1, 2, 3], vec![10, 20, 30]));
+        // Second batch extends the same partition's tail: still a run.
+        s.insert_columns(&ReadingBatch::from_columns(vec![4, 5], vec![40, 50]));
+        // Overwrite of an existing timestamp takes the slow path.
+        s.insert_columns(&ReadingBatch::from_columns(vec![3], vec![99]));
+        assert_eq!(s.len(), 5);
+        let q = s.query(Timestamp::ZERO, Timestamp::MAX);
+        assert_eq!(
+            q.iter().map(|x| x.value).collect::<Vec<_>>(),
+            vec![10, 20, 99, 40, 50]
+        );
+        assert!(q.windows(2).all(|w| w[0].ts < w[1].ts));
     }
 
     #[test]

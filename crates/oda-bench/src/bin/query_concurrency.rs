@@ -1,0 +1,66 @@
+//! Event-loop query serving under thousands of simultaneous clients.
+//!
+//! ```text
+//! cargo run --release -p oda-bench --bin query_concurrency            # 10k clients
+//! cargo run --release -p oda-bench --bin query_concurrency -- --quick # smoke run
+//! cargo run --release -p oda-bench --bin query_concurrency -- --clients 2000
+//! ```
+
+use oda_bench::query_concurrency::{client_driver_main, run, QueryConcurrencyConfig};
+use oda_bench::{write_json_report, BenchMeta};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // Hidden re-exec mode: run() spawns this when the fd limit cannot
+    // hold both ends of every connection in one process.
+    if args.get(1).map(String::as_str) == Some("--client-driver") {
+        client_driver_main(&args[2..]);
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut config = if quick {
+        QueryConcurrencyConfig::quick()
+    } else {
+        QueryConcurrencyConfig::paper()
+    };
+    if let Some(i) = args.iter().position(|a| a == "--clients") {
+        config.clients = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--clients must be a number");
+    }
+
+    println!(
+        "query concurrency bench: {} clients over {} client threads, {} server workers\n",
+        config.clients, config.client_threads, config.server_workers
+    );
+    let started = std::time::Instant::now();
+    let result = run(&config);
+
+    println!(
+        "clients            : {:>8} opened, {} completed, {} dropped",
+        result.clients, result.completed, result.dropped
+    );
+    println!("connect phase      : {:>10.1} ms", result.connect_ms);
+    println!(
+        "serve phase        : {:>10.1} ms  ({:.0} responses/s)",
+        result.serve_ms, result.requests_per_sec
+    );
+    println!(
+        "completion latency : p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms, max {:.1} ms",
+        result.p50_ms, result.p90_ms, result.p99_ms, result.max_ms
+    );
+    println!(
+        "server metrics     : {} responses, {} accept errors, {} idle reaps",
+        result.server_responses, result.accept_errors, result.reaped_idle
+    );
+    assert_eq!(
+        result.dropped, 0,
+        "server dropped {} of {} clients",
+        result.dropped, result.clients
+    );
+
+    let meta = BenchMeta::new("query_concurrency", Some(config.seed), &config, started);
+    let path = write_json_report(&meta, &result).expect("write json");
+    println!("\nraw data -> {}", path.display());
+}

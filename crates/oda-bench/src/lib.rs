@@ -14,6 +14,7 @@
 //! | [`fig7`] | Fig. 7 — per-job CPI deciles for four CORAL-2 apps |
 //! | [`fig8`] | Fig. 8 — BGMM clustering of node behaviour |
 //! | [`storage_engine`] | Durable engine ingest/scan/recovery throughput |
+//! | [`query_concurrency`] | Event-loop REST server under 10k simultaneous query clients |
 //! | [`bus_saturation`] | Bounded bus under 1×/4×/16× publisher overload |
 //! | [`delivery_resilience`] | Pusher spool + reconnect through injected broker outages |
 //! | [`storage_faults`] | Durable engine health/recovery through injected I/O faults |
@@ -34,6 +35,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod query_concurrency;
 pub mod storage_engine;
 pub mod storage_faults;
 

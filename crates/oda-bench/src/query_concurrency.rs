@@ -1,0 +1,593 @@
+//! Query-serving concurrency benchmark: thousands of simultaneous REST
+//! clients against one event-loop server.
+//!
+//! The paper's Collect Agents serve Query Engine traffic for every
+//! plugin on the system (paper §V-A); the serving tier therefore has to
+//! hold many concurrent consumers, not just sustain sequential request
+//! throughput. This bench opens all client connections *first* (they
+//! park in the server's poll set), releases every request at a barrier,
+//! and measures per-request completion latency:
+//!
+//! * all clients must receive a complete `200` response — a dropped or
+//!   truncated reply fails the run;
+//! * p50/p90/p99/max completion latency bound the tail a plugin query
+//!   would see under a full-system burst.
+//!
+//! The client side is itself a `poll(2)` state machine (reusing
+//! [`dcdb_rest::sys`]), so one thread can drive thousands of sockets
+//! and the bench is not limited by client-side threads.
+//!
+//! Results land in `bench-results/query_concurrency.json`.
+
+use dcdb_common::batch::ReadingBatch;
+use dcdb_common::time::{Timestamp, NS_PER_SEC};
+use dcdb_common::topic::Topic;
+use dcdb_rest::sys::{poll_ready, PollFd, POLLERR, POLLHUP, POLLIN, POLLOUT};
+use dcdb_rest::{Response, RestServer, Router, ServerConfig, Status};
+use serde::{Deserialize, Serialize};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+use wintermute::query::{QueryEngine, QueryMode};
+
+/// Workload shape.
+#[derive(Debug, Clone)]
+pub struct QueryConcurrencyConfig {
+    /// Simultaneous client connections.
+    pub clients: usize,
+    /// Threads driving the client poll loops.
+    pub client_threads: usize,
+    /// Server worker threads dispatching handlers.
+    pub server_workers: usize,
+    /// Seeds the topic each client queries.
+    pub seed: u64,
+    /// Wall-clock cap on the serve phase; connections still open when
+    /// it expires count as dropped.
+    pub timeout: Duration,
+    /// Distinct sensors preloaded into the query engine.
+    pub sensors: usize,
+    /// Readings preloaded per sensor.
+    pub readings_per_sensor: usize,
+}
+
+impl QueryConcurrencyConfig {
+    /// Full run: 10 000 simultaneous clients.
+    pub fn paper() -> QueryConcurrencyConfig {
+        QueryConcurrencyConfig {
+            clients: 10_000,
+            client_threads: 4,
+            server_workers: 8,
+            seed: 42,
+            timeout: Duration::from_secs(120),
+            sensors: 256,
+            readings_per_sensor: 512,
+        }
+    }
+
+    /// Smoke run for CI.
+    pub fn quick() -> QueryConcurrencyConfig {
+        QueryConcurrencyConfig {
+            clients: 500,
+            client_threads: 2,
+            server_workers: 4,
+            seed: 42,
+            timeout: Duration::from_secs(60),
+            sensors: 32,
+            readings_per_sensor: 128,
+        }
+    }
+}
+
+/// Completion and latency numbers for one run.
+#[derive(Debug, Clone, Serialize)]
+pub struct QueryConcurrencyResult {
+    /// Clients actually run (after the fd-limit clamp, if any).
+    pub clients: usize,
+    /// Clients that received a complete `200` response.
+    pub completed: usize,
+    /// Clients that did not (timeout, truncated reply, or error) —
+    /// must be zero for a healthy server.
+    pub dropped: usize,
+    /// Wall time to open every connection, milliseconds.
+    pub connect_ms: f64,
+    /// Wall time from the request barrier to the last response,
+    /// milliseconds.
+    pub serve_ms: f64,
+    /// Completed responses divided by the serve time.
+    pub requests_per_sec: f64,
+    /// Median request completion latency, milliseconds.
+    pub p50_ms: f64,
+    /// 90th-percentile completion latency, milliseconds.
+    pub p90_ms: f64,
+    /// 99th-percentile completion latency, milliseconds.
+    pub p99_ms: f64,
+    /// Worst completion latency, milliseconds.
+    pub max_ms: f64,
+    /// Server-side accept failures (expected 0).
+    pub accept_errors: u64,
+    /// Server-side idle reaps (expected 0 — every client completes).
+    pub reaped_idle: u64,
+    /// Responses the server believes it wrote in full.
+    pub server_responses: u64,
+}
+
+// Raising RLIMIT_NOFILE needs two libc symbols the workspace does not
+// otherwise bind; 10k clients mean ~20k descriptors in this process
+// (client + server end of every connection).
+#[repr(C)]
+struct RLimit {
+    cur: u64,
+    max: u64,
+}
+
+const RLIMIT_NOFILE: i32 = 7;
+
+extern "C" {
+    fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+    fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+}
+
+/// Tries to raise the fd limit to at least `want`; returns the limit
+/// actually in effect afterwards.
+fn ensure_fd_limit(want: u64) -> u64 {
+    unsafe {
+        let mut lim = RLimit { cur: 0, max: 0 };
+        if getrlimit(RLIMIT_NOFILE, &mut lim) != 0 {
+            return 1024;
+        }
+        if lim.cur >= want {
+            return lim.cur;
+        }
+        let raised = RLimit {
+            cur: want,
+            max: lim.max.max(want),
+        };
+        if setrlimit(RLIMIT_NOFILE, &raised) == 0 {
+            return want;
+        }
+        // Could not raise the hard limit; at least lift soft to hard.
+        let to_hard = RLimit {
+            cur: lim.max,
+            max: lim.max,
+        };
+        let _ = setrlimit(RLIMIT_NOFILE, &to_hard);
+        lim.max
+    }
+}
+
+/// Deterministic topic set shared by the server preload and the
+/// (possibly out-of-process) client driver.
+fn topic_set(sensors: usize) -> Vec<Topic> {
+    (0..sensors)
+        .map(|i| Topic::parse(&format!("/rack{:02}/node{:03}/power", i % 8, i)).unwrap())
+        .collect()
+}
+
+fn preload_engine(config: &QueryConcurrencyConfig) -> (Arc<QueryEngine>, Vec<Topic>) {
+    let engine = Arc::new(QueryEngine::new(config.readings_per_sensor * 2));
+    let topics = topic_set(config.sensors);
+    for (s, topic) in topics.iter().enumerate() {
+        let mut batch = ReadingBatch::with_capacity(config.readings_per_sensor);
+        for i in 0..config.readings_per_sensor {
+            batch.push(
+                1_000_000 + s as i64 + i as i64 % 97,
+                Timestamp(i as u64 * NS_PER_SEC),
+            );
+        }
+        engine.insert_columns(topic, &batch);
+    }
+    (engine, topics)
+}
+
+fn query_router(engine: Arc<QueryEngine>) -> Router {
+    let mut router = Router::new();
+    router.get("/sensors/*topic", move |req| {
+        let Some(path) = req.path_param("topic") else {
+            return Response::error(Status::BadRequest, "missing topic");
+        };
+        let Ok(topic) = Topic::parse(&format!("/{path}")) else {
+            return Response::error(Status::BadRequest, "bad topic");
+        };
+        // Relative window query: the O(1) hot path every plugin input
+        // fetch takes.
+        let readings = engine.query(
+            &topic,
+            QueryMode::Relative {
+                offset_ns: 60 * NS_PER_SEC,
+            },
+        );
+        let mut body = String::with_capacity(readings.len() * 24 + 32);
+        body.push_str("{\"count\":");
+        body.push_str(&readings.len().to_string());
+        body.push_str(",\"values\":[");
+        for (i, r) in readings.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&r.value.to_string());
+        }
+        body.push_str("]}");
+        Response::json(body)
+    });
+    router
+}
+
+struct ClientConn {
+    stream: TcpStream,
+    request: Vec<u8>,
+    sent: usize,
+    reply: Vec<u8>,
+    latency: Option<Duration>,
+    failed: bool,
+}
+
+impl ClientConn {
+    fn done(&self) -> bool {
+        self.failed || self.latency.is_some()
+    }
+}
+
+/// Drives `conns` through send → receive → EOF with one poll loop;
+/// returns when every connection is done or `deadline` passes.
+fn drive_clients(conns: &mut [ClientConn], t0: Instant, deadline: Instant) {
+    let mut fds: Vec<PollFd> = Vec::with_capacity(conns.len());
+    let mut idx: Vec<usize> = Vec::with_capacity(conns.len());
+    loop {
+        fds.clear();
+        idx.clear();
+        for (i, conn) in conns.iter().enumerate() {
+            if conn.done() {
+                continue;
+            }
+            let events = if conn.sent < conn.request.len() {
+                POLLOUT
+            } else {
+                POLLIN
+            };
+            fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+            idx.push(i);
+        }
+        if fds.is_empty() || Instant::now() >= deadline {
+            return;
+        }
+        if poll_ready(&mut fds, 100).is_err() {
+            continue;
+        }
+        for (slot, &i) in idx.iter().enumerate() {
+            let revents = fds[slot].revents;
+            if revents == 0 {
+                continue;
+            }
+            let conn = &mut conns[i];
+            if conn.sent < conn.request.len() && revents & (POLLOUT | POLLERR) != 0 {
+                send_some(conn);
+            } else if revents & (POLLIN | POLLHUP | POLLERR) != 0 {
+                receive_some(conn, t0);
+            }
+        }
+    }
+}
+
+fn send_some(conn: &mut ClientConn) {
+    while conn.sent < conn.request.len() {
+        match conn.stream.write(&conn.request[conn.sent..]) {
+            Ok(0) => {
+                conn.failed = true;
+                return;
+            }
+            Ok(n) => conn.sent += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.failed = true;
+                return;
+            }
+        }
+    }
+}
+
+fn receive_some(conn: &mut ClientConn, t0: Instant) {
+    let mut tmp = [0u8; 4096];
+    loop {
+        match conn.stream.read(&mut tmp) {
+            Ok(0) => {
+                // EOF: the server closes after a complete response.
+                if complete_200(&conn.reply) {
+                    conn.latency = Some(t0.elapsed());
+                } else {
+                    conn.failed = true;
+                }
+                return;
+            }
+            Ok(n) => conn.reply.extend_from_slice(&tmp[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.failed = true;
+                return;
+            }
+        }
+    }
+}
+
+/// A `200` status line plus the full `Content-Length` worth of body.
+fn complete_200(reply: &[u8]) -> bool {
+    if !reply.starts_with(b"HTTP/1.1 200") {
+        return false;
+    }
+    let Some(head_end) = reply.windows(4).position(|w| w == b"\r\n\r\n") else {
+        return false;
+    };
+    let head = String::from_utf8_lossy(&reply[..head_end]);
+    let Some(len) = head.lines().find_map(|l| {
+        let (k, v) = l.split_once(':')?;
+        k.trim()
+            .eq_ignore_ascii_case("content-length")
+            .then(|| v.trim().parse::<usize>().ok())?
+    }) else {
+        return false;
+    };
+    reply.len() - (head_end + 4) == len
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+/// Connect + request + latency numbers from the client side of one
+/// run, serializable so a child driver process can hand them back.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct DriveOutcome {
+    /// Wall time to open every connection, milliseconds.
+    pub connect_ms: f64,
+    /// Wall time from the request barrier to the last response,
+    /// milliseconds.
+    pub serve_ms: f64,
+    /// Per-client completion latency; `None` for a dropped client.
+    pub latencies_ms: Vec<Option<f64>>,
+}
+
+/// Opens `clients` connections across `client_threads`, releases every
+/// request at a barrier, and drives all sockets to completion.
+fn drive_all(
+    addr: SocketAddr,
+    clients: usize,
+    client_threads: usize,
+    seed: u64,
+    timeout: Duration,
+    topics: &[Topic],
+) -> DriveOutcome {
+    let barrier = Arc::new(Barrier::new(client_threads + 1));
+    let mut handles = Vec::new();
+    let connect_started = Instant::now();
+    for t in 0..client_threads {
+        let barrier = Arc::clone(&barrier);
+        let topics = topics.to_vec();
+        let from = clients * t / client_threads;
+        let to = clients * (t + 1) / client_threads;
+        handles.push(std::thread::spawn(move || {
+            let mut conns: Vec<ClientConn> = (from..to)
+                .map(|i| {
+                    let stream = connect_client(addr);
+                    // Seeded LCG spreads clients over the topic set
+                    // deterministically.
+                    let pick = (seed
+                        .wrapping_add(i as u64)
+                        .wrapping_mul(6364136223846793005)
+                        >> 33) as usize
+                        % topics.len();
+                    let request = format!(
+                        "GET /sensors{} HTTP/1.1\r\nHost: dcdb\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+                        topics[pick].as_str()
+                    )
+                    .into_bytes();
+                    ClientConn {
+                        stream,
+                        request,
+                        sent: 0,
+                        reply: Vec::new(),
+                        latency: None,
+                        failed: false,
+                    }
+                })
+                .collect();
+            // Every connection is open before any request fires.
+            barrier.wait();
+            let t0 = Instant::now();
+            drive_clients(&mut conns, t0, t0 + timeout);
+            conns
+                .into_iter()
+                .map(|c| c.latency)
+                .collect::<Vec<Option<Duration>>>()
+        }));
+    }
+    barrier.wait();
+    let connect_ms = connect_started.elapsed().as_secs_f64() * 1000.0;
+    let serve_started = Instant::now();
+    let outcomes: Vec<Option<Duration>> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    let serve_ms = serve_started.elapsed().as_secs_f64() * 1000.0;
+    DriveOutcome {
+        connect_ms,
+        serve_ms,
+        latencies_ms: outcomes
+            .into_iter()
+            .map(|l| l.map(|d| d.as_secs_f64() * 1000.0))
+            .collect(),
+    }
+}
+
+/// Entry point for the hidden `--client-driver` mode of the bench
+/// binary: drives the client side against an already-listening server
+/// in the parent process and prints the [`DriveOutcome`] as JSON.
+///
+/// `args` are `[addr, clients, client_threads, seed, timeout_ms,
+/// sensors]`. The topic set is regenerated from `sensors`, so only
+/// scalars cross the process boundary.
+pub fn client_driver_main(args: &[String]) {
+    let addr: SocketAddr = args[0].parse().expect("driver addr");
+    let clients: usize = args[1].parse().expect("driver clients");
+    let client_threads: usize = args[2].parse().expect("driver threads");
+    let seed: u64 = args[3].parse().expect("driver seed");
+    let timeout = Duration::from_millis(args[4].parse().expect("driver timeout"));
+    let sensors: usize = args[5].parse().expect("driver sensors");
+    ensure_fd_limit(clients as u64 + FD_HEADROOM);
+    let topics = topic_set(sensors);
+    let outcome = drive_all(addr, clients, client_threads, seed, timeout, &topics);
+    println!(
+        "{}",
+        serde_json::to_string(&outcome).expect("serialize outcome")
+    );
+}
+
+// Descriptors the process needs beyond the benchmark sockets (stdio,
+// listener, wake pipe, binaries/libraries opened lazily).
+const FD_HEADROOM: u64 = 256;
+
+/// Runs the benchmark and returns completion/latency numbers.
+///
+/// When the fd limit can hold both ends of every connection the client
+/// side runs in-process (the path unit tests take). Otherwise the
+/// client side is delegated to a re-exec of the current binary in
+/// `--client-driver` mode, halving the per-process descriptor load —
+/// required for the full 10k run in environments where
+/// `RLIMIT_NOFILE` cannot be raised (no `CAP_SYS_RESOURCE`).
+pub fn run(config: &QueryConcurrencyConfig) -> QueryConcurrencyResult {
+    let limit = ensure_fd_limit(config.clients as u64 * 2 + FD_HEADROOM);
+    let in_process = config.clients as u64 * 2 + FD_HEADROOM <= limit;
+    let clients = if in_process {
+        config.clients
+    } else {
+        // Split mode: each process holds one end per connection.
+        config
+            .clients
+            .min(limit.saturating_sub(FD_HEADROOM) as usize)
+    };
+
+    let (engine, topics) = preload_engine(config);
+    let server = RestServer::serve_with(
+        "127.0.0.1:0",
+        query_router(engine),
+        ServerConfig {
+            workers: config.server_workers,
+            idle_timeout: config.timeout,
+            max_connections: clients + 64,
+            accept_fault: None,
+        },
+    )
+    .expect("bind bench server");
+    let addr = server.addr();
+
+    let outcome = if in_process {
+        drive_all(
+            addr,
+            clients,
+            config.client_threads,
+            config.seed,
+            config.timeout,
+            &topics,
+        )
+    } else {
+        let exe = std::env::current_exe().expect("current exe");
+        let output = std::process::Command::new(exe)
+            .arg("--client-driver")
+            .arg(addr.to_string())
+            .arg(clients.to_string())
+            .arg(config.client_threads.to_string())
+            .arg(config.seed.to_string())
+            .arg(config.timeout.as_millis().to_string())
+            .arg(config.sensors.to_string())
+            .output()
+            .expect("spawn client driver");
+        assert!(
+            output.status.success(),
+            "client driver failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        serde_json::from_str(&String::from_utf8_lossy(&output.stdout))
+            .expect("parse driver outcome")
+    };
+
+    let mut latencies_ms: Vec<f64> = outcome.latencies_ms.iter().filter_map(|l| *l).collect();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let completed = latencies_ms.len();
+    let metrics = server.metrics();
+
+    QueryConcurrencyResult {
+        clients,
+        completed,
+        dropped: clients - completed,
+        connect_ms: outcome.connect_ms,
+        serve_ms: outcome.serve_ms,
+        requests_per_sec: completed as f64 / (outcome.serve_ms / 1000.0).max(1e-9),
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p90_ms: percentile(&latencies_ms, 0.90),
+        p99_ms: percentile(&latencies_ms, 0.99),
+        max_ms: latencies_ms.last().copied().unwrap_or(0.0),
+        accept_errors: metrics.accept_errors,
+        reaped_idle: metrics.reaped_idle,
+        server_responses: metrics.responses,
+    }
+}
+
+/// Connects with a short retry loop: under a SYN burst the listen
+/// backlog can momentarily overflow.
+fn connect_client(addr: SocketAddr) -> TcpStream {
+    let mut delay = Duration::from_millis(1);
+    for _ in 0..8 {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream.set_nonblocking(true).expect("nonblocking client");
+                stream.set_nodelay(true).ok();
+                return stream;
+            }
+            Err(_) => {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(100));
+            }
+        }
+    }
+    TcpStream::connect(addr).expect("connect bench client")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_200_validates_body_length() {
+        let ok = b"HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\nbody";
+        assert!(complete_200(ok));
+        let short = b"HTTP/1.1 200 OK\r\nContent-Length: 9\r\n\r\nbody";
+        assert!(!complete_200(short));
+        assert!(!complete_200(b"HTTP/1.1 404 Not Found\r\n\r\n"));
+        assert!(!complete_200(b""));
+    }
+
+    #[test]
+    fn small_run_completes_every_client() {
+        let config = QueryConcurrencyConfig {
+            clients: 64,
+            client_threads: 2,
+            server_workers: 2,
+            sensors: 8,
+            readings_per_sensor: 32,
+            ..QueryConcurrencyConfig::quick()
+        };
+        let result = run(&config);
+        assert_eq!(result.clients, 64);
+        assert_eq!(result.completed, 64, "dropped: {}", result.dropped);
+        assert_eq!(result.dropped, 0);
+        assert_eq!(result.accept_errors, 0);
+        assert!(result.p99_ms >= result.p50_ms);
+        assert!(result.max_ms > 0.0);
+    }
+}

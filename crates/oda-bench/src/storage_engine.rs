@@ -5,8 +5,10 @@
 //! (paper §IV-A) and reports only end-to-end footprint — but the same
 //! three numbers every storage tier is judged by:
 //!
-//! * **ingest**: batched inserts through the WAL (journal-before-ack)
-//!   into the memtable, including automatic memtable seals;
+//! * **ingest**: columnar batches ([`ReadingBatch`]) through the WAL
+//!   (journal-before-ack) into the memtable, including automatic
+//!   memtable seals — the same packed-array path the Collect Agent
+//!   feeds from the bus;
 //! * **scan**: full-history range queries once the data sits in
 //!   compressed sealed segments (cold, index + block-decode path);
 //! * **recovery**: closing the engine and reopening the directory,
@@ -14,7 +16,7 @@
 //!
 //! Results land in `bench-results/storage_engine.json`.
 
-use dcdb_common::reading::SensorReading;
+use dcdb_common::batch::ReadingBatch;
 use dcdb_common::time::{Timestamp, NS_PER_SEC};
 use dcdb_common::topic::Topic;
 use dcdb_storage::{DurableBackend, DurableConfig, FsyncPolicy, StorageBackend};
@@ -94,19 +96,19 @@ pub struct StorageEngineResult {
     pub compression_ratio: f64,
 }
 
-fn synthetic_batch(sensor: usize, start: usize, len: usize) -> Vec<SensorReading> {
+fn synthetic_columns(sensor: usize, start: usize, len: usize) -> ReadingBatch {
     // Periodic 1 Hz timestamps with a slowly drifting integer value —
     // the shape monitoring data actually has, which the delta-of-delta
     // codec is built for.
-    (0..len)
-        .map(|i| {
-            let seq = (start + i) as u64;
-            SensorReading::new(
-                1_000_000 + (sensor as i64) * 17 + (seq as i64 % 97) - 48,
-                Timestamp(seq * NS_PER_SEC + (sensor as u64)),
-            )
-        })
-        .collect()
+    let mut batch = ReadingBatch::with_capacity(len);
+    for i in 0..len {
+        let seq = (start + i) as u64;
+        batch.push(
+            1_000_000 + (sensor as i64) * 17 + (seq as i64 % 97) - 48,
+            Timestamp(seq * NS_PER_SEC + (sensor as u64)),
+        );
+    }
+    batch
 }
 
 fn topics(n: usize) -> Vec<Topic> {
@@ -133,7 +135,7 @@ pub fn run(config: &StorageEngineConfig, dir: &Path) -> StorageEngineResult {
         let mut done = 0;
         while done < config.readings_per_sensor {
             let len = config.batch.min(config.readings_per_sensor - done);
-            mem.insert_batch(topic, &synthetic_batch(s, done, len));
+            mem.insert_columns(topic, &synthetic_columns(s, done, len));
             done += len;
         }
     }
@@ -147,7 +149,7 @@ pub fn run(config: &StorageEngineConfig, dir: &Path) -> StorageEngineResult {
         let mut done = 0;
         while done < config.readings_per_sensor {
             let len = config.batch.min(config.readings_per_sensor - done);
-            db.insert_batch(topic, &synthetic_batch(s, done, len))
+            db.insert_columns(topic, &synthetic_columns(s, done, len))
                 .expect("durable insert");
             done += len;
         }

@@ -17,6 +17,7 @@
 //! operators (analysis pipelines, §IV-B d).
 
 use crate::tree::SensorNavigator;
+use dcdb_common::batch::ReadingBatch;
 use dcdb_common::cache::SensorCache;
 use dcdb_common::reading::SensorReading;
 use dcdb_common::time::Timestamp;
@@ -160,6 +161,26 @@ impl QueryEngine {
         }
         if let Some(storage) = &self.storage {
             if storage.insert_batch(topic, readings).is_err() {
+                self.storage_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Columnar batch insert: the per-sensor ring buffer takes readings
+    /// row by row, but the packed columns flow to the storage engine
+    /// without a transpose.
+    pub fn insert_columns(&self, topic: &Topic, batch: &ReadingBatch) {
+        self.inserts
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        let cache = self.cache_for(topic);
+        {
+            let mut guard = cache.write();
+            for r in batch.iter() {
+                guard.push(r);
+            }
+        }
+        if let Some(storage) = &self.storage {
+            if storage.insert_columns(topic, batch).is_err() {
                 self.storage_errors.fetch_add(1, Ordering::Relaxed);
             }
         }
