@@ -412,6 +412,9 @@ impl CollectAgent {
             "misses": query.misses,
             "inserts": query.inserts,
             "storage_errors": query.storage_errors,
+            "agg_queries": query.agg_queries,
+            "agg_tier_buckets": query.agg_tier_buckets,
+            "agg_raw_buckets": query.agg_raw_buckets,
             "sensors": self.query_engine().sensor_count(),
             "cache_memory_bytes": self.query_engine().cache_memory_bytes(),
         });
@@ -480,6 +483,42 @@ impl CollectAgent {
                 .collect();
             Response::json(serde_json::Value::Array(rows).to_string())
         });
+        // GET /query — tier-aware aggregate queries over a sensor
+        // pattern: ?sensor=<topic or +/# pattern>&agg=avg&step=10s
+        // &from_s=..&to_s=.. Served from rollup tiers when one divides
+        // the step, stitched with raw at the recent boundary.
+        let agent = Arc::clone(self);
+        router.route(Method::Get, "/query", move |req| {
+            let params = match parse_agg_query(req) {
+                Ok(p) => p,
+                Err(resp) => return resp,
+            };
+            let mut topics: Vec<Topic> = agent
+                .query_engine()
+                .topics()
+                .into_iter()
+                .filter(|t| params.filter.matches(t))
+                .collect();
+            topics.sort();
+            let series: Vec<serde_json::Value> = topics
+                .iter()
+                .map(|topic| {
+                    let s = agent.query_engine().query_agg(
+                        topic,
+                        params.from,
+                        params.to,
+                        params.step_ns,
+                    );
+                    agg_series_json(topic, params.func, &s)
+                })
+                .collect();
+            let body = serde_json::json!({
+                "agg": params.func.as_str(),
+                "step_ns": params.step_ns,
+                "series": series,
+            });
+            Response::json(body.to_string())
+        });
         let agent = Arc::clone(self);
         router.route(Method::Get, "/metrics", move |_req| {
             Response::json(agent.metrics_json().to_string())
@@ -541,6 +580,156 @@ fn storage_health_json(h: dcdb_storage::StorageHealthReport) -> serde_json::Valu
             "degraded": h.degraded_ns,
             "read_only": h.readonly_ns,
         }),
+    })
+}
+
+/// Validated parameters of a `GET /query` aggregate request, shared by
+/// the single-agent route and the federation router (which validates
+/// with the same parser *before* scattering, so a malformed request is
+/// one 400 at the front door, never a fan-out).
+#[derive(Debug, Clone)]
+pub struct AggQueryParams {
+    /// Sensor selector: an exact topic or an MQTT-style `+`/`#` pattern.
+    pub filter: dcdb_bus::TopicFilter,
+    /// The aggregate function (default `avg`).
+    pub func: AggFunc,
+    /// Grid bucket width, nanoseconds (default 10 s).
+    pub step_ns: u64,
+    /// Range start (default open).
+    pub from: Timestamp,
+    /// Range end (default open).
+    pub to: Timestamp,
+}
+
+/// Hard ceiling on `(to - from) / step` for explicitly-bounded
+/// requests: past this the request is a client error ("step too small
+/// for range"), not an accidental multi-million-bucket scan.
+pub const MAX_GRID_BUCKETS: u64 = 100_000;
+
+/// Parses a `step=` duration: a bare integer is seconds; `ms`, `s`,
+/// `m`, `h` suffixes are honoured (`500ms`, `10s`, `5m`, `1h`).
+/// Returns `None` for malformed or zero durations.
+pub fn parse_step(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (digits, scale_ns) = if let Some(d) = s.strip_suffix("ms") {
+        (d, 1_000_000)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, 1_000_000_000)
+    } else if let Some(d) = s.strip_suffix('m') {
+        (d, 60 * 1_000_000_000)
+    } else if let Some(d) = s.strip_suffix('h') {
+        (d, 3_600 * 1_000_000_000)
+    } else {
+        (s, 1_000_000_000)
+    };
+    let n: u64 = digits.parse().ok()?;
+    n.checked_mul(scale_ns).filter(|ns| *ns > 0)
+}
+
+/// Validates the `GET /query` parameter set. Every rejection is a
+/// `400 Bad Request` naming the offending parameter; both the
+/// single-agent route and the federation front door call this, so the
+/// two surfaces reject identically.
+pub fn parse_agg_query(req: &dcdb_rest::Request) -> std::result::Result<AggQueryParams, Response> {
+    let Some(raw_sensor) = req.query_param("sensor") else {
+        return Err(Response::error(
+            Status::BadRequest,
+            "missing sensor parameter (exact topic or +/# pattern)",
+        ));
+    };
+    let filter = match dcdb_bus::TopicFilter::parse(raw_sensor) {
+        Ok(f) => f,
+        Err(_) => {
+            return Err(Response::error(
+                Status::BadRequest,
+                format!("malformed sensor pattern {raw_sensor:?}"),
+            ))
+        }
+    };
+    let func = match req.query_param("agg") {
+        None => AggFunc::Avg,
+        Some(raw) => match AggFunc::parse(raw) {
+            Some(f) => f,
+            None => {
+                return Err(Response::error(
+                    Status::BadRequest,
+                    format!("unknown agg {raw:?}: expected avg|min|max|sum|count"),
+                ))
+            }
+        },
+    };
+    let step_ns = match req.query_param("step") {
+        None => 10 * 1_000_000_000,
+        Some(raw) => match parse_step(raw) {
+            Some(ns) => ns,
+            None => {
+                return Err(Response::error(
+                    Status::BadRequest,
+                    format!("malformed step {raw:?}: expected <n>[ms|s|m|h] > 0"),
+                ))
+            }
+        },
+    };
+    let from = match parse_ts_param(req, "from_s") {
+        Ok(v) => v.unwrap_or(Timestamp::ZERO),
+        Err(resp) => return Err(resp),
+    };
+    let to = match parse_ts_param(req, "to_s") {
+        Ok(v) => v.unwrap_or(Timestamp::MAX),
+        Err(resp) => return Err(resp),
+    };
+    if to < from {
+        return Err(Response::error(
+            Status::BadRequest,
+            "empty range: from_s > to_s",
+        ));
+    }
+    // Explicitly-bounded requests are capped; open-ended ones are
+    // clamped to the data extent by the planner.
+    if to != Timestamp::MAX && (to.as_nanos() - from.as_nanos()) / step_ns > MAX_GRID_BUCKETS {
+        return Err(Response::error(
+            Status::BadRequest,
+            format!("step too small for range (over {MAX_GRID_BUCKETS} buckets)"),
+        ));
+    }
+    Ok(AggQueryParams {
+        filter,
+        func,
+        step_ns,
+        from,
+        to,
+    })
+}
+
+/// One aggregate point as served by `/query`: the applied value plus
+/// the mergeable frame columns (`count`/`sum`/`min`/`max`), which is
+/// what lets a federation router combine shard answers exactly and
+/// derive `avg` itself.
+pub fn agg_point_json(func: AggFunc, frame: &dcdb_storage::AggFrame) -> serde_json::Value {
+    serde_json::json!({
+        "t": frame.bucket_ns,
+        "value": func.apply(frame),
+        "count": frame.count,
+        "sum": frame.sum,
+        "min": frame.min,
+        "max": frame.max,
+    })
+}
+
+/// One sensor's aggregate series as served by `/query`.
+pub fn agg_series_json(topic: &Topic, func: AggFunc, series: &AggSeries) -> serde_json::Value {
+    serde_json::json!({
+        "sensor": topic.as_str(),
+        "plan": serde_json::json!({
+            "tier_ns": series.plan.tier_ns,
+            "buckets_from_tier": series.plan.buckets_from_tier,
+            "buckets_from_raw": series.plan.buckets_from_raw,
+        }),
+        "points": series
+            .frames
+            .iter()
+            .map(|f| agg_point_json(func, f))
+            .collect::<Vec<_>>(),
     })
 }
 
@@ -774,6 +963,170 @@ mod tests {
         let resp = router.dispatch(dcdb_rest::Request::new(Method::Get, "/sensors/r0/n0/temp"));
         assert_eq!(resp.status.code(), 200);
         assert!(resp.body_str().contains("\"value\":40"));
+    }
+
+    #[test]
+    fn rest_aggregate_query_over_pattern() {
+        let (broker, agent) = setup();
+        let bus = broker.handle();
+        // Two nodes, values 1..=30 at seconds 1..=30.
+        for n in 0..2 {
+            for i in 1..=30u64 {
+                bus.publish_readings(
+                    t(&format!("/r0/n{n}/power")),
+                    &[SensorReading::new(
+                        (100 * n + i) as i64,
+                        Timestamp::from_secs(i),
+                    )],
+                )
+                .unwrap();
+            }
+        }
+        agent.process_pending();
+        let mut router = Router::new();
+        agent.mount_routes(&mut router);
+        let resp = router.dispatch(dcdb_rest::Request::new(
+            Method::Get,
+            "/query?sensor=/r0/%2B/power&agg=avg&step=10s",
+        ));
+        assert_eq!(resp.status.code(), 200, "{}", resp.body_str());
+        let v: serde_json::Value = serde_json::from_str(&resp.body_str()).unwrap();
+        assert_eq!(v.get("agg").unwrap().as_str(), Some("avg"));
+        assert_eq!(v.get("step_ns").unwrap().as_u64(), Some(10_000_000_000));
+        let series = v.get("series").unwrap().as_array().unwrap();
+        assert_eq!(series.len(), 2, "pattern matched both nodes");
+        let s0 = &series[0];
+        assert_eq!(s0.get("sensor").unwrap().as_str(), Some("/r0/n0/power"));
+        let points = s0.get("points").unwrap().as_array().unwrap();
+        // Buckets [0,10) [10,20) [20,30) [30,40): counts 9,10,10,1.
+        let counts: Vec<u64> = points
+            .iter()
+            .map(|p| p.get("count").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(counts, vec![9, 10, 10, 1]);
+        // avg of 1..=9 = 5.0; mergeable columns are served alongside.
+        assert_eq!(points[0].get("value").unwrap().as_f64(), Some(5.0));
+        assert_eq!(points[0].get("sum").unwrap().as_i64(), Some(45));
+        assert_eq!(points[1].get("min").unwrap().as_i64(), Some(10));
+        assert_eq!(points[1].get("max").unwrap().as_i64(), Some(19));
+        // An exact topic (no wildcard) selects one series; count agg.
+        let resp = router.dispatch(dcdb_rest::Request::new(
+            Method::Get,
+            "/query?sensor=/r0/n1/power&agg=count&step=1m",
+        ));
+        let v: serde_json::Value = serde_json::from_str(&resp.body_str()).unwrap();
+        let series = v.get("series").unwrap().as_array().unwrap();
+        assert_eq!(series.len(), 1);
+        let points = series[0].get("points").unwrap().as_array().unwrap();
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].get("value").unwrap().as_f64(), Some(30.0));
+    }
+
+    #[test]
+    fn rest_aggregate_query_rejects_malformed_params() {
+        let (broker, agent) = setup();
+        broker
+            .handle()
+            .publish_readings(
+                t("/r0/n0/power"),
+                &[SensorReading::new(1, Timestamp::from_secs(1))],
+            )
+            .unwrap();
+        agent.process_pending();
+        let mut router = Router::new();
+        agent.mount_routes(&mut router);
+        for path in [
+            "/query",                                                  // missing sensor
+            "/query?sensor=/%23/x",                                    // '#' not last
+            "/query?sensor=/r0/n0/power&agg=median",                   // unknown agg
+            "/query?sensor=/r0/n0/power&step=abc",                     // malformed step
+            "/query?sensor=/r0/n0/power&step=0",                       // zero step
+            "/query?sensor=/r0/n0/power&step=-5s",                     // negative step
+            "/query?sensor=/r0/n0/power&from_s=9&to_s=1",              // reversed range
+            "/query?sensor=/r0/n0/power&from_s=x",                     // malformed bound
+            "/query?sensor=/r0/n0/power&from_s=0&to_s=999999&step=1s", // cap
+        ] {
+            let resp = router.dispatch(dcdb_rest::Request::new(Method::Get, path));
+            assert_eq!(resp.status.code(), 400, "{path} -> {}", resp.body_str());
+        }
+        // Defaults: agg=avg, step=10s, open range — still a 200.
+        let resp = router.dispatch(dcdb_rest::Request::new(
+            Method::Get,
+            "/query?sensor=/r0/n0/power",
+        ));
+        assert_eq!(resp.status.code(), 200, "{}", resp.body_str());
+        let v: serde_json::Value = serde_json::from_str(&resp.body_str()).unwrap();
+        assert_eq!(v.get("agg").unwrap().as_str(), Some("avg"));
+        // The /metrics query section carries the planner counters.
+        let resp = router.dispatch(dcdb_rest::Request::new(Method::Get, "/metrics"));
+        let v: serde_json::Value = serde_json::from_str(&resp.body_str()).unwrap();
+        let q = v.get("query").unwrap();
+        assert!(q.get("agg_queries").unwrap().as_u64().unwrap() >= 1);
+        assert!(q.get("agg_raw_buckets").unwrap().as_u64().is_some());
+        assert!(q.get("agg_tier_buckets").unwrap().as_u64().is_some());
+    }
+
+    #[test]
+    fn rest_aggregate_query_served_from_rollup_tiers() {
+        // A durable backend maintains rollup tiers; /query answers from
+        // them (plan.buckets_from_tier > 0) and matches raw semantics.
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("dcdb-agent-rollup-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let broker = Broker::new_sync();
+        let storage = Arc::new(DurableBackend::open(&dir, DurableConfig::default()).unwrap());
+        // A short cache window: the planner only trusts tier frames for
+        // buckets wholly before the raw-cache boundary, so most of the
+        // 120 s series must fall out of the ring for tiers to serve it.
+        let agent = Arc::new(
+            CollectAgent::new(
+                CollectAgentConfig {
+                    cache_secs: 20,
+                    ..CollectAgentConfig::default()
+                },
+                &broker.handle(),
+                storage,
+            )
+            .unwrap(),
+        );
+        let bus = broker.handle();
+        for i in 1..=120u64 {
+            bus.publish_readings(
+                t("/r0/n0/power"),
+                &[SensorReading::new(i as i64, Timestamp::from_secs(i))],
+            )
+            .unwrap();
+        }
+        agent.process_pending();
+        let mut router = Router::new();
+        agent.mount_routes(&mut router);
+        let resp = router.dispatch(dcdb_rest::Request::new(
+            Method::Get,
+            "/query?sensor=/r0/n0/power&agg=max&step=30s&from_s=0&to_s=120",
+        ));
+        assert_eq!(resp.status.code(), 200, "{}", resp.body_str());
+        let v: serde_json::Value = serde_json::from_str(&resp.body_str()).unwrap();
+        let series = v.get("series").unwrap().as_array().unwrap();
+        let plan = series[0].get("plan").unwrap();
+        assert_eq!(
+            plan.get("tier_ns").unwrap().as_u64(),
+            Some(10_000_000_000),
+            "30s step is served from the 10s tier: {plan}"
+        );
+        assert!(plan.get("buckets_from_tier").unwrap().as_u64().unwrap() > 0);
+        let points = series[0].get("points").unwrap().as_array().unwrap();
+        // Buckets [0,30) [30,60) [60,90) [90,120) [120,150).
+        let maxes: Vec<i64> = points
+            .iter()
+            .map(|p| p.get("max").unwrap().as_i64().unwrap())
+            .collect();
+        assert_eq!(maxes, vec![29, 59, 89, 119, 120]);
+        let total: u64 = points
+            .iter()
+            .map(|p| p.get("count").unwrap().as_u64().unwrap())
+            .sum();
+        assert_eq!(total, 120, "each reading aggregated exactly once");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

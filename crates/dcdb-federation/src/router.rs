@@ -33,6 +33,7 @@
 
 use crate::agent::{FederatedAgent, Shard};
 use crate::ring::ShardMap;
+use dcdb_collectagent::{agg_series_json, parse_agg_query, AggQueryParams};
 use dcdb_common::reading::SensorReading;
 use dcdb_common::time::Timestamp;
 use dcdb_common::topic::Topic;
@@ -43,7 +44,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use wintermute::prelude::QueryMode;
+use wintermute::prelude::{AggSeries, QueryMode};
 
 /// Router tuning.
 #[derive(Debug, Clone)]
@@ -152,6 +153,19 @@ pub struct FederatedQuery {
     pub readings: Vec<SensorReading>,
 }
 
+/// A merged aggregate query: envelope plus per-sensor bucket series
+/// combined with the frame algebra (counts/sums add, min/max compare,
+/// avg derived at the router).
+#[derive(Debug, Clone)]
+pub struct FederatedAggQuery {
+    /// Partial-result accounting.
+    pub envelope: QueryEnvelope,
+    /// Grid bucket width, nanoseconds.
+    pub step_ns: u64,
+    /// One merged series per matched sensor, sorted by topic.
+    pub series: Vec<(Topic, AggSeries)>,
+}
+
 /// Router counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RouterStats {
@@ -254,16 +268,22 @@ impl QueryRouter {
         self.supervision[shard_index].lock().routed_down
     }
 
-    /// Scatter one sensor range query to every live shard, gather
-    /// within the per-shard deadline, and merge time-ordered.
-    pub fn query_sensors(&self, topic: &Topic, t0: Timestamp, t1: Timestamp) -> FederatedQuery {
+    /// The scatter-gather core shared by every fanned-out query: runs
+    /// `job` against each live shard on its own thread, gathers within
+    /// the per-shard deadline, feeds supervision, and returns the
+    /// partial-result envelope plus the in-time answers.
+    fn scatter_shards<T, F>(&self, job: F) -> (QueryEnvelope, Vec<T>)
+    where
+        T: Send + 'static,
+        F: Fn(Arc<Shard>) -> T + Send + Clone + 'static,
+    {
         let guard = self.federation.begin_query();
         let epoch = guard.map().epoch;
         self.queries.fetch_add(1, Ordering::Relaxed);
 
         let shards = self.federation.shards();
         let now = Instant::now();
-        let (tx, rx) = mpsc::channel::<(usize, Vec<SensorReading>)>();
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
         let mut outcomes: Vec<Option<ShardOutcome>> = vec![None; shards.len()];
         let mut pending = 0usize;
         for (i, shard) in shards.iter().enumerate() {
@@ -282,24 +302,21 @@ impl QueryRouter {
             pending += 1;
             let tx = tx.clone();
             let shard = Arc::clone(shard);
-            let topic = topic.clone();
+            let job = job.clone();
             std::thread::spawn(move || {
                 if let Some(delay) = shard.query_delay() {
                     std::thread::sleep(delay);
                 }
-                let rows = shard
-                    .agent()
-                    .query_engine()
-                    .query(&topic, QueryMode::Absolute { t0, t1 });
+                let answer = job(shard);
                 // The receiver may have given up on us; a send error
                 // just means the answer arrived past the deadline.
-                let _ = tx.send((i, rows));
+                let _ = tx.send((i, answer));
             });
         }
         drop(tx);
 
         let deadline = now + Duration::from_millis(self.config.shard_timeout_ms);
-        let mut gathered: Vec<Vec<SensorReading>> = Vec::with_capacity(pending);
+        let mut gathered: Vec<T> = Vec::with_capacity(pending);
         while pending > 0 {
             let remaining = deadline.saturating_duration_since(Instant::now());
             match rx.recv_timeout(remaining) {
@@ -345,10 +362,79 @@ impl QueryRouter {
             self.partial.fetch_add(1, Ordering::Relaxed);
         }
         debug_assert!(envelope.accounted());
+        (envelope, gathered)
+    }
 
+    /// Scatter one sensor range query to every live shard, gather
+    /// within the per-shard deadline, and merge time-ordered.
+    pub fn query_sensors(&self, topic: &Topic, t0: Timestamp, t1: Timestamp) -> FederatedQuery {
+        let topic = topic.clone();
+        let (envelope, gathered) = self.scatter_shards(move |shard| {
+            shard
+                .agent()
+                .query_engine()
+                .query(&topic, QueryMode::Absolute { t0, t1 })
+        });
         FederatedQuery {
             envelope,
             readings: merge_time_ordered(gathered),
+        }
+    }
+
+    /// Scatter one aggregate query to every live shard and merge the
+    /// answers with the frame algebra: counts and sums add, min/max
+    /// compare, and `avg` is derived at the router from the merged
+    /// sums — never averaged across shard averages. Each shard plans
+    /// its own tiers (tier frames where they exist, raw stitch at the
+    /// recent boundary); the router only combines disjoint partials.
+    ///
+    /// Caveat: after a kill/rejoin cycle a topic's history can overlap
+    /// across shards at the rebalance seam. `query_sensors` dedups
+    /// overlapping readings by timestamp; merged aggregate frames have
+    /// no per-reading identity, so seam overlap double-counts there
+    /// until retention ages it out. The envelope's `epoch` lets callers
+    /// detect they are querying across a rebalance.
+    pub fn query_agg(&self, params: &AggQueryParams) -> FederatedAggQuery {
+        let p = params.clone();
+        let (envelope, gathered) = self.scatter_shards(move |shard| {
+            let qe = shard.agent().query_engine();
+            let topics: Vec<Topic> = qe
+                .topics()
+                .into_iter()
+                .filter(|t| p.filter.matches(t))
+                .collect();
+            topics
+                .into_iter()
+                .map(|topic| {
+                    let series = qe.query_agg(&topic, p.from, p.to, p.step_ns);
+                    (topic, series)
+                })
+                .collect::<Vec<(Topic, AggSeries)>>()
+        });
+        let mut merged: std::collections::BTreeMap<Topic, AggSeries> =
+            std::collections::BTreeMap::new();
+        for (topic, series) in gathered.into_iter().flatten() {
+            let entry = merged.entry(topic).or_insert_with(|| AggSeries {
+                step_ns: params.step_ns,
+                ..AggSeries::default()
+            });
+            entry.plan.tier_ns = entry.plan.tier_ns.max(series.plan.tier_ns);
+            entry.plan.buckets_from_tier += series.plan.buckets_from_tier;
+            entry.plan.buckets_from_raw += series.plan.buckets_from_raw;
+            for frame in series.frames {
+                match entry
+                    .frames
+                    .binary_search_by_key(&frame.bucket_ns, |f| f.bucket_ns)
+                {
+                    Ok(i) => entry.frames[i].merge(&frame),
+                    Err(i) => entry.frames.insert(i, frame),
+                }
+            }
+        }
+        FederatedAggQuery {
+            envelope,
+            step_ns: params.step_ns,
+            series: merged.into_iter().collect(),
         }
     }
 
@@ -419,6 +505,9 @@ impl QueryRouter {
     ///
     /// * `GET /sensors/*topic?from_s=..&to_s=..` — scatter-gather range
     ///   query; body is `{"meta": <envelope>, "readings": [...]}`;
+    /// * `GET /query?sensor=..&agg=..&step=..` — scatter-gather
+    ///   aggregate query merged with the frame algebra; malformed
+    ///   parameters are rejected 400 before any scatter;
     /// * `GET /metrics` — router counters, federation status, and every
     ///   shard's full single-agent metrics document;
     /// * `GET /health` — aggregate liveness: 200 while at least one
@@ -452,6 +541,32 @@ impl QueryRouter {
             let body = serde_json::json!({
                 "meta": result.envelope.json(),
                 "readings": rows,
+            });
+            Response::json(body.to_string())
+        });
+
+        // GET /query — federated aggregate queries: validated at the
+        // front door with the same parser the single-agent surface
+        // uses (a malformed request is one 400 before any scatter),
+        // then scatter-merged with the frame algebra. Body is
+        // {"meta": <envelope>, "agg": .., "step_ns": .., "series": [..]}.
+        let rt = Arc::clone(self);
+        router.route(Method::Get, "/query", move |req| {
+            let params = match parse_agg_query(req) {
+                Ok(p) => p,
+                Err(resp) => return resp, // 400 pass-through, pre-scatter
+            };
+            let result = rt.query_agg(&params);
+            let series: Vec<serde_json::Value> = result
+                .series
+                .iter()
+                .map(|(topic, s)| agg_series_json(topic, params.func, s))
+                .collect();
+            let body = serde_json::json!({
+                "meta": result.envelope.json(),
+                "agg": params.func.as_str(),
+                "step_ns": result.step_ns,
+                "series": series,
             });
             Response::json(body.to_string())
         });
@@ -853,6 +968,91 @@ mod tests {
             "{}",
             resp.body_str()
         );
+    }
+
+    #[test]
+    fn federated_aggregate_query_merges_with_frame_algebra() {
+        // 4 nodes over 2 shards: the /query scatter must combine the
+        // shard answers exactly — counts/sums add, min/max compare,
+        // avg derived at the router from merged sums.
+        let fed = federation(2);
+        for node in 0..4 {
+            feed(&fed, node, 1..=30);
+        }
+        let rt = Arc::new(QueryRouter::new(Arc::clone(&fed), RouterConfig::default()));
+        let mut router = Router::new();
+        rt.mount_routes(&mut router);
+
+        let resp = router.dispatch(Request::new(
+            Method::Get,
+            "/query?sensor=/rack00/%2B/power&agg=avg&step=10s",
+        ));
+        assert_eq!(resp.status.code(), 200, "{}", resp.body_str());
+        let v: serde_json::Value = serde_json::from_str(&resp.body_str()).unwrap();
+        let meta = v.get("meta").unwrap();
+        assert_eq!(meta.get("complete").unwrap().as_bool(), Some(true));
+        assert_eq!(meta.get("shards_total").unwrap().as_u64(), Some(2));
+        let series = v.get("series").unwrap().as_array().unwrap();
+        assert_eq!(series.len(), 4, "pattern matched all nodes: {series:?}");
+        for s in series {
+            let points = s.get("points").unwrap().as_array().unwrap();
+            let counts: Vec<u64> = points
+                .iter()
+                .map(|p| p.get("count").unwrap().as_u64().unwrap())
+                .collect();
+            assert_eq!(counts, vec![9, 10, 10, 1], "{s}");
+            // Readings are value i at second i, so the first full
+            // bucket [10,20) averages (10+..+19)/10 = 14.5 for every
+            // node regardless of which shard owns it.
+            assert_eq!(points[1].get("value").unwrap().as_f64(), Some(14.5));
+            assert_eq!(points[1].get("min").unwrap().as_i64(), Some(10));
+            assert_eq!(points[1].get("max").unwrap().as_i64(), Some(19));
+        }
+
+        // Malformed parameters are a single 400 at the front door —
+        // the scatter counter must not move.
+        let scatters_before = rt.stats().queries;
+        for path in [
+            "/query",
+            "/query?sensor=/rack00/%23/x",
+            "/query?sensor=/rack00/node00/power&agg=median",
+            "/query?sensor=/rack00/node00/power&step=0",
+            "/query?sensor=/rack00/node00/power&from_s=9&to_s=1",
+        ] {
+            let resp = router.dispatch(Request::new(Method::Get, path));
+            assert_eq!(resp.status.code(), 400, "{path} -> {}", resp.body_str());
+        }
+        assert_eq!(
+            rt.stats().queries,
+            scatters_before,
+            "no scatter for rejected requests"
+        );
+    }
+
+    #[test]
+    fn federated_aggregate_query_reports_partial_on_shard_loss() {
+        let fed = federation(3);
+        for node in 0..6 {
+            feed(&fed, node, 1..=10);
+        }
+        let topic = t("/rack00/node00/power");
+        let owner = fed.shard_map().assign_id(&topic).unwrap().to_string();
+        fed.kill(&owner);
+        let rt = QueryRouter::new(Arc::clone(&fed), RouterConfig::default());
+        let params = dcdb_collectagent::AggQueryParams {
+            filter: dcdb_bus::TopicFilter::parse(topic.as_str()).unwrap(),
+            func: wintermute::prelude::AggFunc::Avg,
+            step_ns: 10_000_000_000,
+            from: Timestamp::ZERO,
+            to: Timestamp::MAX,
+        };
+        let q = rt.query_agg(&params);
+        assert!(!q.envelope.complete());
+        assert!(q.envelope.accounted());
+        assert_eq!(q.envelope.shards_down, 1);
+        // The owner held this topic's data: partial means honest
+        // emptiness, not an error.
+        assert!(q.series.is_empty());
     }
 
     #[test]

@@ -122,6 +122,17 @@ impl StorageBackend {
             .and_then(|s| s.lock().latest())
     }
 
+    /// Timestamp of the oldest stored reading of `topic`, without
+    /// materializing a range query — used by the aggregate planner to
+    /// clamp open-ended ranges to the data extent.
+    pub fn oldest_ts(&self, topic: &Topic) -> Option<Timestamp> {
+        self.shard(topic)
+            .read()
+            .get(topic)
+            .and_then(|s| s.lock().oldest())
+            .map(|r| r.ts)
+    }
+
     /// True if the backend has ever stored data for `topic`.
     pub fn contains(&self, topic: &Topic) -> bool {
         self.shard(topic).read().contains_key(topic)
@@ -200,6 +211,9 @@ impl crate::StorageEngine for StorageBackend {
     }
     fn latest(&self, topic: &Topic) -> Option<SensorReading> {
         StorageBackend::latest(self, topic)
+    }
+    fn oldest_ts(&self, topic: &Topic) -> Option<Timestamp> {
+        StorageBackend::oldest_ts(self, topic)
     }
     fn contains(&self, topic: &Topic) -> bool {
         StorageBackend::contains(self, topic)

@@ -35,6 +35,10 @@
 use crate::backend::{StorageBackend, StorageStats};
 use crate::health::{HealthConfig, HealthCore, HealthState, StorageHealthReport};
 use crate::io::{StdIo, StorageIo};
+use crate::rollup::{
+    bucket_start, write_rollup_segment_with, AggFrame, RollupConfig, RollupSegmentReader,
+    RollupState, RollupStats,
+};
 use crate::segment::{write_segment_with, SegmentReader};
 use crate::wal::{replay_with, FsyncPolicy, WalReplay, WalWriter};
 use crate::StorageEngine;
@@ -50,7 +54,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Tuning knobs for the durable engine.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct DurableConfig {
     /// WAL fsync policy (durability vs ingest throughput).
     pub fsync: FsyncPolicy,
@@ -64,6 +68,9 @@ pub struct DurableConfig {
     pub partition_ns: u64,
     /// Health state machine tuning (retry, demotion, probing, buffer).
     pub health: HealthConfig,
+    /// Continuous-aggregation rollup tiers maintained at ingest (see
+    /// [`crate::rollup`]); `RollupConfig::disabled()` turns them off.
+    pub rollup: RollupConfig,
 }
 
 impl Default for DurableConfig {
@@ -75,6 +82,7 @@ impl Default for DurableConfig {
             retention_ns: None,
             partition_ns: crate::series::DEFAULT_PARTITION_NS,
             health: HealthConfig::default(),
+            rollup: RollupConfig::default(),
         }
     }
 }
@@ -170,6 +178,19 @@ pub struct EngineStats {
     pub wal_bytes_discarded: u64,
     /// WAL files whose replay stopped at a torn or corrupt record.
     pub torn_tails: usize,
+    /// Rollup segments written (one per tier per seal).
+    pub rollup_seals: u64,
+    /// Failed rollup segment writes (frames stayed dirty, retried).
+    pub rollup_seal_failures: u64,
+    /// Current number of sealed rollup segments.
+    pub rollup_segments: usize,
+    /// Rollup frames currently hot in memory.
+    pub rollup_hot_frames: usize,
+    /// Readings folded into frames via the O(1) ascending fast path.
+    pub rollup_folds: u64,
+    /// Buckets re-aggregated from the raw path (out-of-order or
+    /// duplicate timestamps, unknown history).
+    pub rollup_recomputes: u64,
 }
 
 /// How an insert was acknowledged by [`DurableBackend::insert_batch_acked`].
@@ -203,6 +224,12 @@ pub struct DurableBackend {
     /// WAL files (paths) whose contents live in the active memtable and
     /// are deleted once that data is sealed into a segment.
     unsealed_wals: Mutex<Vec<PathBuf>>,
+    /// The streaming continuous-aggregation accumulator (hot frames).
+    rollup: Mutex<RollupState>,
+    /// Sealed rollup segments as `(seq, reader)`, ascending by `seq`;
+    /// later sequence numbers win bucket ties, and hot frames win over
+    /// every segment.
+    rollup_segments: RwLock<Vec<(u64, Arc<RollupSegmentReader>)>>,
     next_seq: AtomicU64,
     memtable_readings: AtomicUsize,
     /// Serializes seal / compact / retention / WAL-rotation passes.
@@ -214,6 +241,8 @@ pub struct DurableBackend {
     seals: AtomicU64,
     compactions: AtomicU64,
     read_errors: AtomicU64,
+    rollup_seals: AtomicU64,
+    rollup_seal_failures: AtomicU64,
 }
 
 fn parse_seq(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
@@ -269,6 +298,7 @@ impl DurableBackend {
 
         let mut seg_files: Vec<(u64, PathBuf)> = Vec::new();
         let mut wal_files: Vec<(u64, PathBuf)> = Vec::new();
+        let mut rollup_files: Vec<(u64, PathBuf)> = Vec::new();
         for path in io.list(dir)? {
             let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
                 continue;
@@ -283,10 +313,13 @@ impl DurableBackend {
                 seg_files.push((seq, path));
             } else if let Some(seq) = parse_seq(name, "wal-", ".log") {
                 wal_files.push((seq, path));
+            } else if let Some(seq) = parse_seq(name, "rlu-", ".rsg") {
+                rollup_files.push((seq, path));
             }
         }
         seg_files.sort();
         wal_files.sort();
+        rollup_files.sort();
 
         let mut segments = Vec::with_capacity(seg_files.len());
         let mut max_seq = 0u64;
@@ -297,6 +330,22 @@ impl DurableBackend {
                     recovery.segment_readings += reader.reading_count();
                     segments.push((seq, Arc::new(reader)));
                 }
+                Err(err) => quarantine_file(
+                    io.as_ref(),
+                    &quarantine_dir,
+                    &path,
+                    &err,
+                    &health,
+                    &mut recovery,
+                ),
+            }
+            max_seq = max_seq.max(seq);
+        }
+
+        let mut rollup_segments = Vec::with_capacity(rollup_files.len());
+        for (seq, path) in rollup_files {
+            match RollupSegmentReader::open_with(Arc::clone(&io), &path) {
+                Ok(reader) => rollup_segments.push((seq, Arc::new(reader))),
                 Err(err) => quarantine_file(
                     io.as_ref(),
                     &quarantine_dir,
@@ -351,7 +400,8 @@ impl DurableBackend {
             recovery.torn_tails,
         );
 
-        Ok(DurableBackend {
+        let rollup_state = RollupState::new(&config.rollup);
+        let engine = DurableBackend {
             io,
             dir: dir.to_path_buf(),
             config,
@@ -363,6 +413,8 @@ impl DurableBackend {
             sealing: RwLock::new(None),
             segments: RwLock::new(segments),
             unsealed_wals: Mutex::new(unsealed),
+            rollup: Mutex::new(rollup_state),
+            rollup_segments: RwLock::new(rollup_segments),
             next_seq: AtomicU64::new(wal_seq + 1),
             memtable_readings: AtomicUsize::new(recovery.wal_readings),
             seal_lock: Mutex::new(()),
@@ -373,7 +425,45 @@ impl DurableBackend {
             seals: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
             read_errors: AtomicU64::new(0),
-        })
+            rollup_seals: AtomicU64::new(0),
+            rollup_seal_failures: AtomicU64::new(0),
+        };
+        engine.rebuild_rollups();
+        Ok(engine)
+    }
+
+    /// Rebuilds hot rollup frames for every bucket the recovered
+    /// memtable touches, from the engine's *merged* raw truth — this is
+    /// the rebuild-from-WAL-replay invariant: rollup durability rides
+    /// on the raw WAL, so frames covering replayed data (including
+    /// buckets straddling a raw segment boundary) are re-aggregated
+    /// instead of trusted from possibly-stale rollup segments. The
+    /// rebuilt in-memory frames override sealed frames at query time.
+    fn rebuild_rollups(&self) {
+        if self.config.rollup.tiers.is_empty() {
+            return;
+        }
+        let max_width = self
+            .config
+            .rollup
+            .tiers
+            .iter()
+            .map(|t| t.width_ns)
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let memtable = Arc::clone(&self.active.read().memtable);
+        for topic in memtable.topics() {
+            let Some(oldest) = memtable.oldest_ts(&topic) else {
+                continue;
+            };
+            let Some(latest) = memtable.latest(&topic) else {
+                continue;
+            };
+            let start = bucket_start(oldest.as_nanos(), max_width);
+            let readings = self.query_merged(&topic, Timestamp(start), latest.ts);
+            self.rollup.lock().rebuild_topic(&topic, &readings);
+        }
     }
 
     /// What `open` recovered from disk.
@@ -507,6 +597,10 @@ impl DurableBackend {
                 }
             }
         }
+        // Feed the rollup tiers only after the batch is in the memtable
+        // and every lock is released: a recompute re-enters the merged
+        // query path, which takes the `active` read lock itself.
+        self.rollup_apply(topic, payload);
         if self.memtable_readings.load(Ordering::Relaxed) >= self.config.memtable_max_readings {
             // The batch is already acknowledged durable; a failed seal is
             // a maintenance problem (counted, retried next pass), not an
@@ -514,6 +608,24 @@ impl DurableBackend {
             let _ = self.seal();
         }
         Ok(InsertAck::Durable)
+    }
+
+    /// Streams a just-inserted payload into the rollup accumulator. The
+    /// raw closure answers from the merged read path, so recomputed
+    /// frames always equal the deduplicated raw truth.
+    fn rollup_apply(&self, topic: &Topic, payload: WritePayload<'_>) {
+        if self.config.rollup.tiers.is_empty() {
+            return;
+        }
+        let pairs: Vec<(u64, i64)> = match payload {
+            WritePayload::Rows(rows) => rows.iter().map(|r| (r.ts.as_nanos(), r.value)).collect(),
+            WritePayload::Columns(b) => {
+                b.ts.iter().copied().zip(b.values.iter().copied()).collect()
+            }
+        };
+        self.rollup.lock().apply(topic, &pairs, |t0, t1| {
+            self.query_merged(topic, Timestamp(t0), Timestamp(t1))
+        });
     }
 
     /// Accepts a batch memtable-only under ReadOnly, bounded by
@@ -529,6 +641,7 @@ impl DurableBackend {
         payload.insert(&active.memtable, topic);
         self.memtable_readings.fetch_add(len, Ordering::Relaxed);
         drop(active);
+        self.rollup_apply(topic, payload);
         self.inserts.fetch_add(len as u64, Ordering::Relaxed);
         Ok(InsertAck::Buffered)
     }
@@ -582,6 +695,13 @@ impl DurableBackend {
     /// resolve newest-generation-wins, matching memtable overwrites.
     pub fn query(&self, topic: &Topic, t0: Timestamp, t1: Timestamp) -> Vec<SensorReading> {
         self.queries.fetch_add(1, Ordering::Relaxed);
+        self.query_merged(topic, t0, t1)
+    }
+
+    /// [`DurableBackend::query`] without the query-counter bump — the
+    /// internal read path shared with rollup recomputes, which must see
+    /// exactly the same deduplicated merged truth as external queries.
+    fn query_merged(&self, topic: &Topic, t0: Timestamp, t1: Timestamp) -> Vec<SensorReading> {
         if t1 < t0 {
             return Vec::new();
         }
@@ -616,11 +736,27 @@ impl DurableBackend {
     }
 
     /// The newest reading of `topic` across all generations.
+    ///
+    /// Checks the memtables first and then walks sealed segments newest
+    /// first, pruning on the per-topic index `block_max_ts`: in
+    /// steady-state (mostly time-ordered data) the newest reading is in
+    /// the active memtable and no block is decoded at all. Overwrite
+    /// ties resolve exactly as the merged read path does — active
+    /// memtable over sealing over newer segment over older — because
+    /// every earlier-authority source only wins with a strictly newer
+    /// timestamp.
     pub fn latest(&self, topic: &Topic) -> Option<SensorReading> {
-        let mut best: Option<SensorReading> = None;
-        for (_, seg) in self.segments.read().iter() {
+        let mut best: Option<SensorReading> = self.active.read().memtable.latest(topic);
+        if let Some(mem) = self.sealing.read().clone() {
+            if let Some(r) = mem.latest(topic) {
+                if best.is_none_or(|b| r.ts > b.ts) {
+                    best = Some(r);
+                }
+            }
+        }
+        for (_, seg) in self.segments.read().iter().rev() {
             let worth_reading = match (seg.block_max_ts(topic), &best) {
-                (Some(mts), Some(b)) => mts >= b.ts,
+                (Some(mts), Some(b)) => mts > b.ts,
                 (Some(_), None) => true,
                 (None, _) => false,
             };
@@ -628,7 +764,9 @@ impl DurableBackend {
                 match seg.read_topic(topic) {
                     Ok(Some(readings)) => {
                         if let Some(&last) = readings.last() {
-                            best = Some(last);
+                            if best.is_none_or(|b| last.ts > b.ts) {
+                                best = Some(last);
+                            }
                         }
                     }
                     Ok(None) => {}
@@ -638,18 +776,25 @@ impl DurableBackend {
                 }
             }
         }
+        best
+    }
+
+    /// Timestamp of the oldest stored reading of `topic`, from the
+    /// segment indexes and memtables — no block reads.
+    pub fn oldest_ts(&self, topic: &Topic) -> Option<Timestamp> {
+        let mut best: Option<Timestamp> = None;
+        let mut consider = |ts: Option<Timestamp>| {
+            if let Some(ts) = ts {
+                best = Some(best.map_or(ts, |b| b.min(ts)));
+            }
+        };
+        for (_, seg) in self.segments.read().iter() {
+            consider(seg.block_min_ts(topic));
+        }
         if let Some(mem) = self.sealing.read().clone() {
-            if let Some(r) = mem.latest(topic) {
-                if best.is_none_or(|b| r.ts >= b.ts) {
-                    best = Some(r);
-                }
-            }
+            consider(mem.oldest_ts(topic));
         }
-        if let Some(r) = self.active.read().memtable.latest(topic) {
-            if best.is_none_or(|b| r.ts >= b.ts) {
-                best = Some(r);
-            }
-        }
+        consider(self.active.read().memtable.oldest_ts(topic));
         best
     }
 
@@ -745,6 +890,12 @@ impl DurableBackend {
                     self.remove_file_counted(&path);
                 }
                 self.seals.fetch_add(1, Ordering::Relaxed);
+                // With the raw data durable in a segment, persist the
+                // dirty rollup frames too. A failed rollup seal keeps
+                // the frames dirty (retried next seal) and degrades the
+                // planner to raw for any bucket it cannot cover —
+                // correctness never depends on rollup durability.
+                self.seal_rollups();
                 Ok(sealed)
             }
             Err(e) => {
@@ -764,6 +915,159 @@ impl DurableBackend {
                 self.remove_file_counted(&seg_path.with_extension("tmp"));
                 self.health.note_seal_failure();
                 Err(e)
+            }
+        }
+    }
+
+    /// Writes every dirty rollup frame into one rollup segment per
+    /// tier, then evicts clean frames beyond the per-sensor hot cap.
+    /// Called with `seal_lock` held.
+    fn seal_rollups(&self) {
+        let mut roll = self.rollup.lock();
+        for spec in roll.tier_specs() {
+            let entries = roll.collect_dirty(spec.width_ns);
+            if entries.is_empty() {
+                continue;
+            }
+            let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+            let path = self.dir.join(format!("rlu-{seq:010}.rsg"));
+            let written =
+                write_rollup_segment_with(self.io.as_ref(), &path, spec.width_ns, &entries)
+                    .and_then(|()| RollupSegmentReader::open_with(Arc::clone(&self.io), &path));
+            match written {
+                Ok(reader) => {
+                    self.rollup_segments.write().push((seq, Arc::new(reader)));
+                    roll.mark_sealed(spec.width_ns);
+                    self.rollup_seals.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    self.remove_file_counted(&path.with_extension("tmp"));
+                    self.rollup_seal_failures.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Aggregate frames of the `width_ns` rollup tier whose buckets
+    /// overlap `[t0, t1]`, ascending by bucket. Sealed rollup segments
+    /// merge in sequence order and hot in-memory frames win every tie,
+    /// so a stale sealed frame (written before late data arrived) is
+    /// always shadowed by its recomputed successor.
+    pub fn query_frames(
+        &self,
+        topic: &Topic,
+        width_ns: u64,
+        t0: Timestamp,
+        t1: Timestamp,
+    ) -> Vec<AggFrame> {
+        if t1 < t0 {
+            return Vec::new();
+        }
+        // Gather per-source ascending runs in authority order: segments
+        // by sequence, hot frames last (so later runs win bucket ties).
+        let mut runs: Vec<Vec<AggFrame>> = Vec::new();
+        for (_, seg) in self.rollup_segments.read().iter() {
+            if seg.width_ns() != width_ns {
+                continue;
+            }
+            match seg.query(topic, t0.as_nanos(), t1.as_nanos()) {
+                Ok(frames) => {
+                    if !frames.is_empty() {
+                        runs.push(frames);
+                    }
+                }
+                Err(_) => {
+                    self.read_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let hot = self
+            .rollup
+            .lock()
+            .query_hot(topic, width_ns, t0.as_nanos(), t1.as_nanos());
+        if !hot.is_empty() {
+            runs.push(hot);
+        }
+        // Steady state the runs are already ascending and disjoint (each
+        // seal covers a newer span); concatenation is the whole merge.
+        // Only late-data recomputes (a newer generation re-sealing an
+        // old bucket) overlap, and then the map enforces last-wins.
+        let ascending_disjoint = runs
+            .windows(2)
+            .all(|w| w[0].last().unwrap().bucket_ns < w[1][0].bucket_ns);
+        if ascending_disjoint {
+            let mut out = Vec::with_capacity(runs.iter().map(Vec::len).sum());
+            for run in runs {
+                out.extend(run);
+            }
+            return out;
+        }
+        // Overlapping runs (hot frames shadowing the newest sealed
+        // span, or a late-data re-seal): k-way merge, the last run
+        // holding a bucket wins it.
+        let mut iters: Vec<_> = runs.into_iter().map(|r| r.into_iter().peekable()).collect();
+        let mut out = Vec::new();
+        loop {
+            let mut min_bucket = u64::MAX;
+            for it in &mut iters {
+                if let Some(f) = it.peek() {
+                    min_bucket = min_bucket.min(f.bucket_ns);
+                }
+            }
+            if min_bucket == u64::MAX {
+                break;
+            }
+            let mut winner = None;
+            for it in &mut iters {
+                if it.peek().is_some_and(|f| f.bucket_ns == min_bucket) {
+                    winner = it.next();
+                }
+            }
+            out.push(winner.expect("some run holds min_bucket"));
+        }
+        out
+    }
+
+    /// Rollup tier widths maintained by this engine, ascending.
+    pub fn rollup_tiers(&self) -> Vec<u64> {
+        self.config
+            .rollup
+            .tiers
+            .iter()
+            .map(|t| t.width_ns)
+            .collect()
+    }
+
+    /// Rollup accumulator counters plus sealed rollup segment count.
+    pub fn rollup_stats(&self) -> RollupStats {
+        self.rollup.lock().stats()
+    }
+
+    /// Applies per-tier rollup retention: drops hot frames and whole
+    /// rollup segments entirely below each tier's cutoff.
+    fn evict_rollups(&self, now: Timestamp) {
+        for spec in self.config.rollup.tiers.clone() {
+            let Some(retention) = spec.retention_ns else {
+                continue;
+            };
+            let cutoff = now.saturating_sub_ns(retention).as_nanos();
+            self.rollup.lock().evict_before(spec.width_ns, cutoff);
+            let mut dropped: Vec<Arc<RollupSegmentReader>> = Vec::new();
+            {
+                let mut segs = self.rollup_segments.write();
+                segs.retain(|(_, seg)| {
+                    let below = seg.width_ns() == spec.width_ns
+                        && seg
+                            .bucket_range()
+                            .is_some_and(|(_, max_b)| max_b + seg.width_ns() <= cutoff);
+                    if below {
+                        dropped.push(Arc::clone(seg));
+                    }
+                    !below
+                });
+            }
+            for seg in dropped {
+                self.remove_file_counted(seg.path());
             }
         }
     }
@@ -856,6 +1160,7 @@ impl DurableBackend {
         if let Some(retention) = self.config.retention_ns {
             self.evict_before(now.saturating_sub_ns(retention));
         }
+        self.evict_rollups(now);
         Ok(())
     }
 
@@ -888,6 +1193,7 @@ impl DurableBackend {
     /// Engine-specific counters.
     pub fn engine_stats(&self) -> EngineStats {
         let h = self.health.report();
+        let roll = self.rollup.lock().stats();
         EngineStats {
             seals: self.seals.load(Ordering::Relaxed),
             compactions: self.compactions.load(Ordering::Relaxed),
@@ -905,6 +1211,12 @@ impl DurableBackend {
             wal_recovered_readings: self.recovery.wal_readings,
             wal_bytes_discarded: self.recovery.wal_bytes_discarded,
             torn_tails: self.recovery.torn_tails,
+            rollup_seals: self.rollup_seals.load(Ordering::Relaxed),
+            rollup_seal_failures: self.rollup_seal_failures.load(Ordering::Relaxed),
+            rollup_segments: self.rollup_segments.read().len(),
+            rollup_hot_frames: roll.hot_frames,
+            rollup_folds: roll.folds,
+            rollup_recomputes: roll.recomputes,
         }
     }
 
@@ -965,6 +1277,9 @@ impl StorageEngine for DurableBackend {
     fn latest(&self, topic: &Topic) -> Option<SensorReading> {
         DurableBackend::latest(self, topic)
     }
+    fn oldest_ts(&self, topic: &Topic) -> Option<Timestamp> {
+        DurableBackend::oldest_ts(self, topic)
+    }
     fn contains(&self, topic: &Topic) -> bool {
         DurableBackend::contains(self, topic)
     }
@@ -985,6 +1300,18 @@ impl StorageEngine for DurableBackend {
     }
     fn health(&self) -> Option<StorageHealthReport> {
         Some(self.health.report())
+    }
+    fn rollup_tiers(&self) -> Vec<u64> {
+        DurableBackend::rollup_tiers(self)
+    }
+    fn query_frames(
+        &self,
+        topic: &Topic,
+        width_ns: u64,
+        t0: Timestamp,
+        t1: Timestamp,
+    ) -> Vec<AggFrame> {
+        DurableBackend::query_frames(self, topic, width_ns, t0, t1)
     }
 }
 
@@ -1029,6 +1356,7 @@ mod tests {
                 retry_backoff_base_ms: 0,
                 ..HealthConfig::default()
             },
+            rollup: RollupConfig::default(),
         }
     }
 

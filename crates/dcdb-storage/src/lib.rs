@@ -27,6 +27,7 @@ pub mod crc;
 pub mod engine;
 pub mod health;
 pub mod io;
+pub mod rollup;
 pub mod segment;
 pub mod series;
 pub mod snapshot;
@@ -36,6 +37,7 @@ pub use backend::{StorageBackend, StorageStats};
 pub use engine::{DurableBackend, DurableConfig, EngineStats, InsertAck, RecoveryReport};
 pub use health::{HealthConfig, HealthCore, HealthState, StorageHealthReport};
 pub use io::{FaultConfig, FaultIo, FaultIoStats, StdIo, StorageIo};
+pub use rollup::{AggFrame, RollupConfig, RollupStats, TierSpec, DEFAULT_TIER_WIDTHS_NS};
 pub use series::{Series, DEFAULT_PARTITION_NS};
 pub use wal::FsyncPolicy;
 
@@ -67,6 +69,14 @@ pub trait StorageEngine: Send + Sync + std::fmt::Debug {
     fn query(&self, topic: &Topic, t0: Timestamp, t1: Timestamp) -> Vec<SensorReading>;
     /// The newest reading for `topic`.
     fn latest(&self, topic: &Topic) -> Option<SensorReading>;
+    /// Timestamp of the oldest stored reading for `topic`. Engines
+    /// override this with an index lookup; the default materializes a
+    /// full range query.
+    fn oldest_ts(&self, topic: &Topic) -> Option<Timestamp> {
+        self.query(topic, Timestamp::ZERO, Timestamp::MAX)
+            .first()
+            .map(|r| r.ts)
+    }
     /// True when any data exists for `topic`.
     fn contains(&self, topic: &Topic) -> bool;
     /// All topics with stored data.
@@ -87,5 +97,23 @@ pub trait StorageEngine: Send + Sync + std::fmt::Debug {
     /// engines, which cannot fail).
     fn health(&self) -> Option<StorageHealthReport> {
         None
+    }
+    /// Bucket widths (ns) of the continuous-aggregation rollup tiers
+    /// this engine maintains, ascending; empty when the engine keeps no
+    /// rollups (the planner then answers every aggregate from raw).
+    fn rollup_tiers(&self) -> Vec<u64> {
+        Vec::new()
+    }
+    /// Aggregate frames of the `width_ns` tier whose buckets overlap
+    /// `[t0, t1]`, ascending by bucket. Engines without rollups return
+    /// no frames and the planner falls back to raw readings.
+    fn query_frames(
+        &self,
+        _topic: &Topic,
+        _width_ns: u64,
+        _t0: Timestamp,
+        _t1: Timestamp,
+    ) -> Vec<AggFrame> {
+        Vec::new()
     }
 }

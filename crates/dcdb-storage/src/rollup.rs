@@ -1,0 +1,1043 @@
+//! Continuous-aggregation rollup tiers.
+//!
+//! Every insert into the durable engine also feeds a set of streaming
+//! *rollup tiers* (raw → 10s → 5min by default): per sensor and per
+//! tier-width bucket, an [`AggFrame`] carries `{count, sum, min, max,
+//! first, last}` so aggregate queries over long ranges can be answered
+//! from a handful of frames instead of re-scanning raw readings — the
+//! continuous-aggregation approach ROADMAP item 4 calls for and the ODA
+//! literature (PAPERS.md) uses to keep dashboard-style query load
+//! independent of retention.
+//!
+//! ## Correctness invariant
+//!
+//! A frame always equals the aggregate of the *deduplicated* raw
+//! readings of its bucket, as served by the engine's merged query path.
+//! The accumulator guarantees this with a two-speed design:
+//!
+//! * **fold** (fast path): a reading whose timestamp is strictly newer
+//!   than everything previously folded into its bucket is merged into
+//!   the frame in O(1);
+//! * **recompute** (slow path): anything else — out-of-order arrivals,
+//!   duplicate timestamps (which the raw path resolves
+//!   newest-generation-wins), or a bucket the accumulator has never
+//!   seen (it may have history in sealed segments) — triggers a full
+//!   re-aggregation of that bucket from the engine's raw query.
+//!
+//! Frames therefore never double-count a reading that exists in both a
+//! sealed segment and the memtable, and never count a timestamp twice.
+//!
+//! ## Durability
+//!
+//! Hot frames live in memory and are persisted as *rollup segments*
+//! (`rlu-<seq>.rsg`, one per tier per seal) whenever the engine seals
+//! its memtable. The frames themselves are **not** WAL-journaled:
+//! after a crash the engine replays the raw WAL into its memtable and
+//! rebuilds the affected frames from that raw replay (see
+//! `DurableBackend::open_with`), so rollup durability rides entirely on
+//! the raw WAL. A frame lost between raw seal and rollup seal merely
+//! degrades the planner to the raw path for that bucket.
+
+use crate::crc::crc32;
+use crate::io::StorageIo;
+use dcdb_common::error::{DcdbError, Result};
+use dcdb_common::reading::SensorReading;
+use dcdb_common::time::NS_PER_SEC;
+use dcdb_common::topic::Topic;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Default tier widths: 10 seconds and 5 minutes.
+pub const DEFAULT_TIER_WIDTHS_NS: [u64; 2] = [10 * NS_PER_SEC, 300 * NS_PER_SEC];
+
+/// One rollup tier: a bucket width plus its own retention horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierSpec {
+    /// Bucket width in nanoseconds (must be > 0).
+    pub width_ns: u64,
+    /// Drop frames whose bucket ends before `now - retention_ns` during
+    /// maintenance; `None` keeps frames forever (coarse tiers usually
+    /// outlive the raw retention horizon — that is the point).
+    pub retention_ns: Option<u64>,
+}
+
+impl TierSpec {
+    /// A tier with no retention limit.
+    pub const fn new(width_ns: u64) -> TierSpec {
+        TierSpec {
+            width_ns,
+            retention_ns: None,
+        }
+    }
+}
+
+/// Rollup tuning knobs, part of `DurableConfig`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RollupConfig {
+    /// Tiers in ascending width order; empty disables rollups.
+    pub tiers: Vec<TierSpec>,
+    /// Per tier and per sensor, keep at most this many *clean* (already
+    /// sealed) frames hot in memory; older clean frames are evicted at
+    /// seal time and served from rollup segments instead. Dirty frames
+    /// are never evicted by the cap.
+    pub hot_frames_per_sensor: usize,
+}
+
+impl Default for RollupConfig {
+    fn default() -> Self {
+        RollupConfig {
+            tiers: DEFAULT_TIER_WIDTHS_NS.map(TierSpec::new).to_vec(),
+            hot_frames_per_sensor: 4096,
+        }
+    }
+}
+
+impl RollupConfig {
+    /// A config with rollups disabled.
+    pub fn disabled() -> RollupConfig {
+        RollupConfig {
+            tiers: Vec::new(),
+            hot_frames_per_sensor: 0,
+        }
+    }
+}
+
+/// The start of the bucket of width `width_ns` containing `ts_ns`.
+#[inline]
+pub fn bucket_start(ts_ns: u64, width_ns: u64) -> u64 {
+    ts_ns - ts_ns % width_ns
+}
+
+/// One pre-aggregated bucket: the mergeable summary of every raw
+/// reading with `bucket_ns <= ts < bucket_ns + width`.
+///
+/// `count`, `sum`, `min` and `max` form a commutative merge algebra
+/// (sums/counts add, min/max compare), so partial frames from federated
+/// shards combine exactly; `avg` is *derived* (`sum / count`) and must
+/// only ever be computed after the merge. `first`/`last` carry their
+/// timestamps so the merge can pick the globally earliest/latest value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggFrame {
+    /// Bucket start, nanoseconds.
+    pub bucket_ns: u64,
+    /// Readings aggregated.
+    pub count: u64,
+    /// Saturating sum of values.
+    pub sum: i64,
+    /// Minimum value.
+    pub min: i64,
+    /// Maximum value.
+    pub max: i64,
+    /// Value at the earliest timestamp.
+    pub first: i64,
+    /// Value at the latest timestamp.
+    pub last: i64,
+    /// Earliest timestamp aggregated, nanoseconds.
+    pub first_ts: u64,
+    /// Latest timestamp aggregated, nanoseconds.
+    pub last_ts: u64,
+}
+
+impl AggFrame {
+    /// A frame seeded from its first reading.
+    pub fn seed(bucket_ns: u64, ts_ns: u64, value: i64) -> AggFrame {
+        AggFrame {
+            bucket_ns,
+            count: 1,
+            sum: value,
+            min: value,
+            max: value,
+            first: value,
+            last: value,
+            first_ts: ts_ns,
+            last_ts: ts_ns,
+        }
+    }
+
+    /// Folds one reading into the frame, in any timestamp order.
+    pub fn observe(&mut self, ts_ns: u64, value: i64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if ts_ns < self.first_ts {
+            self.first_ts = ts_ns;
+            self.first = value;
+        }
+        if ts_ns >= self.last_ts {
+            self.last_ts = ts_ns;
+            self.last = value;
+        }
+    }
+
+    /// Aggregates timestamp-ordered, deduplicated readings into one
+    /// frame per bucket. This is the recompute/rebuild path; the input
+    /// must already carry raw-query semantics (ascending, unique ts).
+    pub fn from_readings(width_ns: u64, readings: &[SensorReading]) -> Vec<AggFrame> {
+        let mut out: Vec<AggFrame> = Vec::new();
+        for r in readings {
+            let ts = r.ts.as_nanos();
+            let bucket = bucket_start(ts, width_ns);
+            match out.last_mut() {
+                Some(f) if f.bucket_ns == bucket => f.observe(ts, r.value),
+                _ => out.push(AggFrame::seed(bucket, ts, r.value)),
+            }
+        }
+        out
+    }
+
+    /// Merges a disjoint partial frame of the same bucket (federation
+    /// algebra): counts and sums add, min/max compare, first/last pick
+    /// by timestamp. The caller is responsible for the partials being
+    /// disjoint — merging overlapping frames double-counts.
+    pub fn merge(&mut self, other: &AggFrame) {
+        debug_assert_eq!(self.bucket_ns, other.bucket_ns);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        if other.first_ts < self.first_ts {
+            self.first_ts = other.first_ts;
+            self.first = other.first;
+        }
+        if other.last_ts >= self.last_ts {
+            self.last_ts = other.last_ts;
+            self.last = other.last;
+        }
+    }
+
+    /// The derived average; `None` for an empty frame.
+    pub fn avg(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    fn to_cols(self) -> [u64; 9] {
+        [
+            self.bucket_ns,
+            self.count,
+            self.sum as u64,
+            self.min as u64,
+            self.max as u64,
+            self.first as u64,
+            self.last as u64,
+            self.first_ts,
+            self.last_ts,
+        ]
+    }
+
+    fn from_cols(c: [u64; 9]) -> AggFrame {
+        AggFrame {
+            bucket_ns: c[0],
+            count: c[1],
+            sum: c[2] as i64,
+            min: c[3] as i64,
+            max: c[4] as i64,
+            first: c[5] as i64,
+            last: c[6] as i64,
+            first_ts: c[7],
+            last_ts: c[8],
+        }
+    }
+}
+
+/// Counters kept by the accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RollupStats {
+    /// Readings folded via the O(1) ascending fast path.
+    pub folds: u64,
+    /// Buckets re-aggregated from the raw query path.
+    pub recomputes: u64,
+    /// Frames currently held in memory across all tiers.
+    pub hot_frames: usize,
+    /// Hot frames modified since the last rollup seal.
+    pub dirty_frames: usize,
+}
+
+struct HotFrame {
+    frame: AggFrame,
+    dirty: bool,
+}
+
+struct TopicAccum {
+    frames: BTreeMap<u64, HotFrame>,
+    /// Highest raw timestamp incorporated for this (tier, topic);
+    /// buckets entirely above it provably have no prior history.
+    watermark: Option<u64>,
+}
+
+struct TierAccum {
+    spec: TierSpec,
+    topics: HashMap<Topic, TopicAccum>,
+}
+
+/// The in-memory streaming accumulator: per tier, per sensor, the hot
+/// [`AggFrame`]s plus the bookkeeping that keeps them exact. Owned by
+/// the durable engine behind a mutex.
+pub struct RollupState {
+    tiers: Vec<TierAccum>,
+    hot_cap: usize,
+    folds: u64,
+    recomputes: u64,
+}
+
+impl RollupState {
+    /// An accumulator for the given tier set.
+    pub fn new(config: &RollupConfig) -> RollupState {
+        RollupState {
+            tiers: config
+                .tiers
+                .iter()
+                .filter(|t| t.width_ns > 0)
+                .map(|spec| TierAccum {
+                    spec: *spec,
+                    topics: HashMap::new(),
+                })
+                .collect(),
+            hot_cap: config.hot_frames_per_sensor,
+            folds: 0,
+            recomputes: 0,
+        }
+    }
+
+    /// Tier widths, ascending; empty when rollups are disabled.
+    pub fn tier_widths(&self) -> Vec<u64> {
+        self.tiers.iter().map(|t| t.spec.width_ns).collect()
+    }
+
+    /// Tier specs, ascending by width.
+    pub fn tier_specs(&self) -> Vec<TierSpec> {
+        self.tiers.iter().map(|t| t.spec).collect()
+    }
+
+    /// Feeds a batch of readings for `topic` into every tier. `raw`
+    /// must answer a deduplicated, timestamp-ordered range query over
+    /// the engine's full truth (segments + sealing + memtable,
+    /// *including* this batch, which the caller has already inserted).
+    pub fn apply<F>(&mut self, topic: &Topic, batch: &[(u64, i64)], raw: F)
+    where
+        F: Fn(u64, u64) -> Vec<SensorReading>,
+    {
+        if batch.is_empty() {
+            return;
+        }
+        let mut folds = 0u64;
+        let mut recomputes = 0u64;
+        for tier in &mut self.tiers {
+            let width = tier.spec.width_ns;
+            let accum = tier
+                .topics
+                .entry(topic.clone())
+                .or_insert_with(|| TopicAccum {
+                    frames: BTreeMap::new(),
+                    watermark: None,
+                });
+            let mut recompute: BTreeSet<u64> = BTreeSet::new();
+            let mut batch_max = 0u64;
+            for &(ts, value) in batch {
+                batch_max = batch_max.max(ts);
+                let bucket = bucket_start(ts, width);
+                if recompute.contains(&bucket) {
+                    continue;
+                }
+                match accum.frames.get_mut(&bucket) {
+                    Some(hot) if ts > hot.frame.last_ts => {
+                        hot.frame.observe(ts, value);
+                        hot.dirty = true;
+                        folds += 1;
+                    }
+                    Some(_) => {
+                        // Duplicate or out-of-order timestamp: the raw
+                        // path dedups newest-wins; only a recompute can
+                        // mirror that exactly.
+                        recompute.insert(bucket);
+                    }
+                    None => {
+                        if accum.watermark.is_some_and(|w| bucket > w) {
+                            accum.frames.insert(
+                                bucket,
+                                HotFrame {
+                                    frame: AggFrame::seed(bucket, ts, value),
+                                    dirty: true,
+                                },
+                            );
+                            folds += 1;
+                        } else {
+                            // The bucket may have history the
+                            // accumulator never saw (sealed segments,
+                            // evicted hot frames, fresh open).
+                            recompute.insert(bucket);
+                        }
+                    }
+                }
+            }
+            for bucket in recompute {
+                let readings = raw(bucket, bucket + width - 1);
+                recomputes += 1;
+                match AggFrame::from_readings(width, &readings).into_iter().next() {
+                    Some(frame) => {
+                        accum.frames.insert(bucket, HotFrame { frame, dirty: true });
+                    }
+                    None => {
+                        accum.frames.remove(&bucket);
+                    }
+                }
+            }
+            accum.watermark = Some(accum.watermark.unwrap_or(0).max(batch_max));
+        }
+        self.folds += folds;
+        self.recomputes += recomputes;
+    }
+
+    /// Rebuilds frames for `topic` from timestamp-ordered, deduplicated
+    /// raw readings (the recovery path after a WAL replay). Existing
+    /// frames for the touched buckets are replaced.
+    pub fn rebuild_topic(&mut self, topic: &Topic, readings: &[SensorReading]) {
+        if readings.is_empty() {
+            return;
+        }
+        let max_ts = readings.last().map(|r| r.ts.as_nanos()).unwrap_or(0);
+        for tier in &mut self.tiers {
+            let frames = AggFrame::from_readings(tier.spec.width_ns, readings);
+            let accum = tier
+                .topics
+                .entry(topic.clone())
+                .or_insert_with(|| TopicAccum {
+                    frames: BTreeMap::new(),
+                    watermark: None,
+                });
+            for frame in frames {
+                accum
+                    .frames
+                    .insert(frame.bucket_ns, HotFrame { frame, dirty: true });
+            }
+            accum.watermark = Some(accum.watermark.unwrap_or(0).max(max_ts));
+            self.recomputes += 1;
+        }
+    }
+
+    /// Hot frames of the `width_ns` tier whose buckets overlap
+    /// `[t0, t1]`, ascending by bucket.
+    pub fn query_hot(&self, topic: &Topic, width_ns: u64, t0: u64, t1: u64) -> Vec<AggFrame> {
+        let Some(tier) = self.tiers.iter().find(|t| t.spec.width_ns == width_ns) else {
+            return Vec::new();
+        };
+        let Some(accum) = tier.topics.get(topic) else {
+            return Vec::new();
+        };
+        let lo = bucket_start(t0, width_ns);
+        accum.frames.range(lo..=t1).map(|(_, h)| h.frame).collect()
+    }
+
+    /// Every dirty frame of the `width_ns` tier, grouped per topic
+    /// (topics sorted, frames ascending) — the seal payload.
+    pub fn collect_dirty(&self, width_ns: u64) -> Vec<(Topic, Vec<AggFrame>)> {
+        let Some(tier) = self.tiers.iter().find(|t| t.spec.width_ns == width_ns) else {
+            return Vec::new();
+        };
+        let mut out: Vec<(Topic, Vec<AggFrame>)> = tier
+            .topics
+            .iter()
+            .filter_map(|(topic, accum)| {
+                let frames: Vec<AggFrame> = accum
+                    .frames
+                    .values()
+                    .filter(|h| h.dirty)
+                    .map(|h| h.frame)
+                    .collect();
+                if frames.is_empty() {
+                    None
+                } else {
+                    Some((topic.clone(), frames))
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Marks every dirty frame of the tier clean (its current state is
+    /// now durable in a rollup segment), then evicts the oldest clean
+    /// frames beyond the per-sensor hot cap.
+    pub fn mark_sealed(&mut self, width_ns: u64) {
+        let Some(tier) = self.tiers.iter_mut().find(|t| t.spec.width_ns == width_ns) else {
+            return;
+        };
+        for accum in tier.topics.values_mut() {
+            for hot in accum.frames.values_mut() {
+                hot.dirty = false;
+            }
+            if self.hot_cap > 0 && accum.frames.len() > self.hot_cap {
+                let excess = accum.frames.len() - self.hot_cap;
+                let evict: Vec<u64> = accum
+                    .frames
+                    .iter()
+                    .filter(|(_, h)| !h.dirty)
+                    .map(|(b, _)| *b)
+                    .take(excess)
+                    .collect();
+                for b in evict {
+                    accum.frames.remove(&b);
+                }
+            }
+        }
+    }
+
+    /// Drops hot frames of the tier whose bucket ends at or before
+    /// `cutoff_ns`. Returns frames dropped.
+    pub fn evict_before(&mut self, width_ns: u64, cutoff_ns: u64) -> usize {
+        let Some(tier) = self.tiers.iter_mut().find(|t| t.spec.width_ns == width_ns) else {
+            return 0;
+        };
+        let mut dropped = 0usize;
+        for accum in tier.topics.values_mut() {
+            let keep = accum
+                .frames
+                .split_off(&cutoff_ns.saturating_sub(width_ns - 1));
+            dropped += accum.frames.len();
+            accum.frames = keep;
+        }
+        dropped
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> RollupStats {
+        let mut hot = 0usize;
+        let mut dirty = 0usize;
+        for tier in &self.tiers {
+            for accum in tier.topics.values() {
+                hot += accum.frames.len();
+                dirty += accum.frames.values().filter(|h| h.dirty).count();
+            }
+        }
+        RollupStats {
+            folds: self.folds,
+            recomputes: self.recomputes,
+            hot_frames: hot,
+            dirty_frames: dirty,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rollup segment on-disk format
+// ---------------------------------------------------------------------
+//
+//   "DCRLSEG1" | width_ns u64 | frame blocks... | index
+//   | index_offset u64 | crc32(index) u32 | "DCRLEND1"
+//
+// Index: count u32, then per topic: len u16 + utf8 topic, offset u64,
+// len u32, crc u32, frame count u32, min_bucket u64, max_bucket u64.
+//
+// A frame block is columnar: frame count u32, then nine columns
+// (bucket, count, sum, min, max, first, last, first_ts, last_ts), each
+// stored as a raw first value followed by zigzag-varint wrapping deltas
+// — the same delta style as the raw Gorilla blocks, which compresses
+// the regular bucket stride and slow-moving sums well.
+
+const ROLLUP_MAGIC: &[u8; 8] = b"DCRLSEG1";
+const ROLLUP_MAGIC_END: &[u8; 8] = b"DCRLEND1";
+const COLS: usize = 9;
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_uvarint(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+fn get_uvarint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf.get(*pos)?;
+        *pos += 1;
+        if shift >= 64 {
+            return None;
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Encodes frames (ascending by bucket) into one columnar block.
+fn encode_frames(frames: &[AggFrame]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + frames.len() * 12);
+    buf.extend_from_slice(&(frames.len() as u32).to_le_bytes());
+    for col in 0..COLS {
+        let mut prev = 0u64;
+        for (i, frame) in frames.iter().enumerate() {
+            let cur = frame.to_cols()[col];
+            if i == 0 {
+                buf.extend_from_slice(&cur.to_le_bytes());
+            } else {
+                put_uvarint(&mut buf, zigzag(cur.wrapping_sub(prev) as i64));
+            }
+            prev = cur;
+        }
+    }
+    buf
+}
+
+/// Decodes one columnar block back into frames.
+fn decode_frames(block: &[u8]) -> Result<Vec<AggFrame>> {
+    let corrupt = |what: &str| DcdbError::Parse(format!("rollup block: {what}"));
+    if block.len() < 4 {
+        return Err(corrupt("truncated header"));
+    }
+    let count = u32::from_le_bytes(block[0..4].try_into().unwrap()) as usize;
+    let mut pos = 4usize;
+    let mut cols = vec![[0u64; COLS]; count];
+    for col in 0..COLS {
+        let mut prev = 0u64;
+        for (i, row) in cols.iter_mut().enumerate() {
+            let cur = if i == 0 {
+                let bytes = block
+                    .get(pos..pos + 8)
+                    .ok_or_else(|| corrupt("truncated column"))?;
+                pos += 8;
+                u64::from_le_bytes(bytes.try_into().unwrap())
+            } else {
+                let delta = get_uvarint(block, &mut pos).ok_or_else(|| corrupt("bad varint"))?;
+                prev.wrapping_add(unzigzag(delta) as u64)
+            };
+            row[col] = cur;
+            prev = cur;
+        }
+    }
+    if pos != block.len() {
+        return Err(corrupt("trailing bytes"));
+    }
+    Ok(cols.into_iter().map(AggFrame::from_cols).collect())
+}
+
+/// Writes a rollup segment (atomically, via a temp file + rename) for
+/// one tier. Mirrors [`crate::segment::write_segment_with`].
+pub fn write_rollup_segment_with(
+    io: &dyn StorageIo,
+    path: &Path,
+    width_ns: u64,
+    entries: &[(Topic, Vec<AggFrame>)],
+) -> Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = io.create(&tmp)?;
+        file.write_all(ROLLUP_MAGIC)?;
+        file.write_all(&width_ns.to_le_bytes())?;
+        let mut offset = (ROLLUP_MAGIC.len() + 8) as u64;
+        let mut index = Vec::new();
+        let mut metas: Vec<(&Topic, FrameBlockMeta)> = Vec::with_capacity(entries.len());
+        for (topic, frames) in entries {
+            if frames.is_empty() {
+                continue;
+            }
+            let block = encode_frames(frames);
+            file.write_all(&block)?;
+            metas.push((
+                topic,
+                FrameBlockMeta {
+                    offset,
+                    len: block.len() as u32,
+                    crc: crc32(&block),
+                    count: frames.len() as u32,
+                    min_bucket: frames.first().unwrap().bucket_ns,
+                    max_bucket: frames.last().unwrap().bucket_ns,
+                },
+            ));
+            offset += block.len() as u64;
+        }
+        index.extend_from_slice(&(metas.len() as u32).to_le_bytes());
+        for (topic, m) in &metas {
+            let bytes = topic.as_str().as_bytes();
+            index.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+            index.extend_from_slice(bytes);
+            index.extend_from_slice(&m.offset.to_le_bytes());
+            index.extend_from_slice(&m.len.to_le_bytes());
+            index.extend_from_slice(&m.crc.to_le_bytes());
+            index.extend_from_slice(&m.count.to_le_bytes());
+            index.extend_from_slice(&m.min_bucket.to_le_bytes());
+            index.extend_from_slice(&m.max_bucket.to_le_bytes());
+        }
+        file.write_all(&index)?;
+        file.write_all(&offset.to_le_bytes())?;
+        file.write_all(&crc32(&index).to_le_bytes())?;
+        file.write_all(ROLLUP_MAGIC_END)?;
+        file.sync()?;
+    }
+    io.rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        io.sync_dir(dir)?;
+    }
+    Ok(())
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FrameBlockMeta {
+    offset: u64,
+    len: u32,
+    crc: u32,
+    count: u32,
+    min_bucket: u64,
+    max_bucket: u64,
+}
+
+/// Read handle over one sealed rollup segment: in-memory index,
+/// on-demand checksummed block reads, like [`crate::segment::SegmentReader`].
+///
+/// Unlike raw segments, decoded frame blocks are pinned in memory after
+/// the first read: a rollup tier is 1-2 orders of magnitude smaller
+/// than the raw history it summarizes (that is its whole point), so the
+/// decoded form fits comfortably and turns every later tier query into
+/// a binary search over an in-memory slice. Retention eviction drops
+/// the reader — and its cache — wholesale.
+pub struct RollupSegmentReader {
+    io: Arc<dyn StorageIo>,
+    path: PathBuf,
+    width_ns: u64,
+    index: HashMap<Topic, FrameBlockMeta>,
+    decoded: parking_lot::Mutex<HashMap<Topic, Arc<Vec<AggFrame>>>>,
+    min_bucket: u64,
+    max_bucket: u64,
+    frames: usize,
+}
+
+impl RollupSegmentReader {
+    /// Opens a rollup segment, validating magics and the index checksum.
+    pub fn open_with(io: Arc<dyn StorageIo>, path: &Path) -> Result<RollupSegmentReader> {
+        let corrupt =
+            |what: &str| DcdbError::Parse(format!("rollup segment {}: {what}", path.display()));
+        let file_len = io.file_len(path)?;
+        let header_len = ROLLUP_MAGIC.len() + 8;
+        let trailer_len = 8 + 4 + 8;
+        if file_len < (header_len + trailer_len) as u64 {
+            return Err(corrupt("file too short"));
+        }
+        let header = io.read_range(path, 0, header_len)?;
+        if &header[..ROLLUP_MAGIC.len()] != ROLLUP_MAGIC {
+            return Err(corrupt("bad leading magic"));
+        }
+        let width_ns = u64::from_le_bytes(header[ROLLUP_MAGIC.len()..].try_into().unwrap());
+        if width_ns == 0 {
+            return Err(corrupt("zero tier width"));
+        }
+        let trailer = io.read_range(path, file_len - trailer_len as u64, trailer_len)?;
+        if &trailer[12..20] != ROLLUP_MAGIC_END {
+            return Err(corrupt("bad trailing magic"));
+        }
+        let index_offset = u64::from_le_bytes(trailer[0..8].try_into().unwrap());
+        let index_crc = u32::from_le_bytes(trailer[8..12].try_into().unwrap());
+        let index_end = file_len - trailer_len as u64;
+        if index_offset < header_len as u64 || index_offset > index_end {
+            return Err(corrupt("index offset out of range"));
+        }
+        let index_bytes = io.read_range(path, index_offset, (index_end - index_offset) as usize)?;
+        if crc32(&index_bytes) != index_crc {
+            return Err(corrupt("index checksum mismatch"));
+        }
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+            let s = index_bytes
+                .get(
+                    *pos..pos
+                        .checked_add(n)
+                        .ok_or_else(|| corrupt("index overflow"))?,
+                )
+                .ok_or_else(|| corrupt("truncated index"))?;
+            *pos += n;
+            Ok(s)
+        };
+        let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+        let mut index = HashMap::with_capacity(count);
+        let mut min_bucket = u64::MAX;
+        let mut max_bucket = 0u64;
+        let mut frames = 0usize;
+        for _ in 0..count {
+            let topic_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+            let topic = Topic::parse(
+                std::str::from_utf8(take(&mut pos, topic_len)?)
+                    .map_err(|_| corrupt("non-utf8 topic"))?,
+            )?;
+            let meta = FrameBlockMeta {
+                offset: u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()),
+                len: u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()),
+                crc: u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()),
+                count: u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()),
+                min_bucket: u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()),
+                max_bucket: u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()),
+            };
+            min_bucket = min_bucket.min(meta.min_bucket);
+            max_bucket = max_bucket.max(meta.max_bucket);
+            frames += meta.count as usize;
+            index.insert(topic, meta);
+        }
+        if pos != index_bytes.len() {
+            return Err(corrupt("index has trailing bytes"));
+        }
+        Ok(RollupSegmentReader {
+            io,
+            path: path.to_path_buf(),
+            width_ns,
+            index,
+            decoded: parking_lot::Mutex::new(HashMap::new()),
+            min_bucket,
+            max_bucket,
+            frames,
+        })
+    }
+
+    /// The segment file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The tier width this segment stores frames for.
+    pub fn width_ns(&self) -> u64 {
+        self.width_ns
+    }
+
+    /// Total frames across all blocks.
+    pub fn frame_count(&self) -> usize {
+        self.frames
+    }
+
+    /// `[min_bucket, max_bucket]` span; `None` when empty.
+    pub fn bucket_range(&self) -> Option<(u64, u64)> {
+        if self.index.is_empty() {
+            None
+        } else {
+            Some((self.min_bucket, self.max_bucket))
+        }
+    }
+
+    /// True when this segment holds frames for `topic`.
+    pub fn contains(&self, topic: &Topic) -> bool {
+        self.index.contains_key(topic)
+    }
+
+    /// Frames of `topic` whose buckets overlap `[t0, t1]`, ascending.
+    pub fn query(&self, topic: &Topic, t0: u64, t1: u64) -> Result<Vec<AggFrame>> {
+        let Some(meta) = self.index.get(topic) else {
+            return Ok(Vec::new());
+        };
+        if meta.max_bucket.saturating_add(self.width_ns - 1) < t0 || meta.min_bucket > t1 {
+            return Ok(Vec::new());
+        }
+        let cached = self.decoded.lock().get(topic).map(Arc::clone);
+        let all = if let Some(all) = cached {
+            all
+        } else {
+            let block = self
+                .io
+                .read_range(&self.path, meta.offset, meta.len as usize)?;
+            if crc32(&block) != meta.crc {
+                return Err(DcdbError::Parse(format!(
+                    "rollup segment {}: block checksum mismatch for {topic}",
+                    self.path.display()
+                )));
+            }
+            let all = Arc::new(decode_frames(&block)?);
+            self.decoded
+                .lock()
+                .entry(topic.clone())
+                .or_insert_with(|| Arc::clone(&all));
+            Arc::clone(&all)
+        };
+        // Blocks are written ascending by bucket, so the overlap is one
+        // contiguous run.
+        let lo = bucket_start(t0, self.width_ns);
+        let from = all.partition_point(|f| f.bucket_ns < lo);
+        let to = all.partition_point(|f| f.bucket_ns <= t1);
+        Ok(all[from..to].to_vec())
+    }
+}
+
+impl std::fmt::Debug for RollupSegmentReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RollupSegmentReader")
+            .field("path", &self.path)
+            .field("width_ns", &self.width_ns)
+            .field("topics", &self.index.len())
+            .field("frames", &self.frames)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::StdIo;
+    use dcdb_common::time::Timestamp;
+
+    fn t(s: &str) -> Topic {
+        Topic::parse(s).unwrap()
+    }
+
+    fn r(v: i64, ts: u64) -> SensorReading {
+        SensorReading::new(v, Timestamp(ts))
+    }
+
+    #[test]
+    fn frame_observe_any_order_matches_from_readings() {
+        let width = 10;
+        let readings = [r(5, 3), r(-2, 7), r(9, 1), r(0, 9)];
+        let mut sorted = readings.to_vec();
+        sorted.sort_by_key(|x| x.ts);
+        let reference = AggFrame::from_readings(width, &sorted);
+        assert_eq!(reference.len(), 1);
+        let mut f = AggFrame::seed(0, 3, 5);
+        f.observe(7, -2);
+        f.observe(1, 9);
+        f.observe(9, 0);
+        assert_eq!(f, reference[0]);
+        assert_eq!(f.count, 4);
+        assert_eq!(f.sum, 12);
+        assert_eq!(f.min, -2);
+        assert_eq!(f.max, 9);
+        assert_eq!(f.first, 9);
+        assert_eq!(f.last, 0);
+    }
+
+    #[test]
+    fn frame_merge_is_exact_over_disjoint_partials() {
+        let width = 100;
+        let all: Vec<SensorReading> = (0..10).map(|i| r(i * 3 - 5, i as u64 * 7)).collect();
+        let reference = AggFrame::from_readings(width, &all);
+        let left = AggFrame::from_readings(width, &all[..4]);
+        let right = AggFrame::from_readings(width, &all[4..]);
+        let mut merged = left[0];
+        merged.merge(&right[0]);
+        assert_eq!(merged, reference[0]);
+    }
+
+    #[test]
+    fn frame_sum_saturates_instead_of_wrapping() {
+        let mut f = AggFrame::seed(0, 1, i64::MAX);
+        f.observe(2, i64::MAX);
+        assert_eq!(f.sum, i64::MAX);
+        assert_eq!(f.count, 2);
+    }
+
+    #[test]
+    fn accumulator_fold_matches_recompute() {
+        let width = 10;
+        let config = RollupConfig {
+            tiers: vec![TierSpec::new(width)],
+            hot_frames_per_sensor: 16,
+        };
+        let mut state = RollupState::new(&config);
+        let topic = t("/r0/n0/power");
+        let all: Vec<SensorReading> = (0..35).map(|i| r(i as i64, i)).collect();
+        let raw = |upto: usize, t0: u64, t1: u64| -> Vec<SensorReading> {
+            all[..upto]
+                .iter()
+                .filter(|x| x.ts.as_nanos() >= t0 && x.ts.as_nanos() <= t1)
+                .copied()
+                .collect()
+        };
+        let batch: Vec<(u64, i64)> = all.iter().map(|x| (x.ts.as_nanos(), x.value)).collect();
+        state.apply(&topic, &batch[..20], |t0, t1| raw(20, t0, t1));
+        state.apply(&topic, &batch[20..], |t0, t1| raw(35, t0, t1));
+        let frames = state.query_hot(&topic, width, 0, u64::MAX);
+        let reference = AggFrame::from_readings(width, &all);
+        assert_eq!(frames, reference);
+        // The second, strictly-ascending batch folds in O(1): its first
+        // readings extend the open bucket, the rest seed fresh buckets
+        // above the watermark.
+        assert!(state.stats().folds > 0);
+    }
+
+    #[test]
+    fn accumulator_duplicate_timestamp_triggers_recompute_not_double_count() {
+        let width = 10;
+        let config = RollupConfig {
+            tiers: vec![TierSpec::new(width)],
+            hot_frames_per_sensor: 16,
+        };
+        let mut state = RollupState::new(&config);
+        let topic = t("/r0/n0/power");
+        // Raw truth after dedup: ts 1 -> 7 (overwritten), ts 5 -> 2.
+        let truth = [r(7, 1), r(2, 5)];
+        let raw = |t0: u64, t1: u64| -> Vec<SensorReading> {
+            truth
+                .iter()
+                .filter(|x| x.ts.as_nanos() >= t0 && x.ts.as_nanos() <= t1)
+                .copied()
+                .collect()
+        };
+        state.apply(&topic, &[(1, 3), (5, 2)], raw);
+        // Overwrite ts 1 with 7: duplicate timestamp, must recompute.
+        state.apply(&topic, &[(1, 7)], raw);
+        let frames = state.query_hot(&topic, width, 0, u64::MAX);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].count, 2);
+        assert_eq!(frames[0].sum, 9);
+    }
+
+    #[test]
+    fn rollup_segment_roundtrip_and_query() {
+        let dir = std::env::temp_dir().join(format!("dcdb-rollup-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rlu-0000000001.rsg");
+        let width = 10 * NS_PER_SEC;
+        let frames: Vec<AggFrame> = (0..50)
+            .map(|i| {
+                let mut f = AggFrame::seed(i * width, i * width + 1, i as i64 * 3 - 11);
+                f.observe(i * width + 5, -(i as i64));
+                f
+            })
+            .collect();
+        let entries = vec![(t("/r0/n0/power"), frames.clone())];
+        write_rollup_segment_with(&StdIo, &path, width, &entries).unwrap();
+        let reader = RollupSegmentReader::open_with(Arc::new(StdIo), &path).unwrap();
+        assert_eq!(reader.width_ns(), width);
+        assert_eq!(reader.frame_count(), 50);
+        let all = reader.query(&t("/r0/n0/power"), 0, u64::MAX).unwrap();
+        assert_eq!(all, frames);
+        // Range filter: buckets 10..=12 inclusive-overlap.
+        let some = reader
+            .query(&t("/r0/n0/power"), 10 * width + 1, 12 * width + 1)
+            .unwrap();
+        assert_eq!(some.len(), 3);
+        assert_eq!(some[0].bucket_ns, 10 * width);
+        assert!(reader
+            .query(&t("/r0/n0/other"), 0, u64::MAX)
+            .unwrap()
+            .is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rollup_segment_rejects_corruption() {
+        let dir = std::env::temp_dir().join(format!("dcdb-rollup-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rlu-0000000002.rsg");
+        let frames = vec![AggFrame::seed(0, 1, 42)];
+        write_rollup_segment_with(&StdIo, &path, 10, &[(t("/a/b/c"), frames)]).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let res = RollupSegmentReader::open_with(Arc::new(StdIo), &path)
+            .and_then(|rd| rd.query(&t("/a/b/c"), 0, u64::MAX));
+        assert!(res.is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -227,6 +227,11 @@ impl SegmentReader {
         self.index.get(topic).map(|m| m.max_ts)
     }
 
+    /// Oldest timestamp indexed for `topic`, without touching the block.
+    pub fn block_min_ts(&self, topic: &Topic) -> Option<Timestamp> {
+        self.index.get(topic).map(|m| m.min_ts)
+    }
+
     /// Total readings across all blocks.
     pub fn reading_count(&self) -> usize {
         self.readings

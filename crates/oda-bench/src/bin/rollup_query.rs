@@ -1,0 +1,67 @@
+//! Rollup-tier query bench: raw-scan vs tier-served aggregation.
+//!
+//! ```text
+//! cargo run --release -p oda-bench --bin rollup_query            # full run
+//! cargo run --release -p oda-bench --bin rollup_query -- --quick # smoke run
+//! ```
+
+use oda_bench::rollup_query::{run, RollupQueryConfig};
+use oda_bench::{write_json_report, BenchMeta};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let config = if quick {
+        RollupQueryConfig::quick()
+    } else {
+        RollupQueryConfig::paper()
+    };
+
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("oda-bench-rollup-query-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    println!(
+        "rollup query bench: {} sensors x {} s of 1 Hz data, step {} s\n",
+        config.sensors, config.span_s, config.step_s
+    );
+    let started = std::time::Instant::now();
+    let result = run(&config, &dir);
+    std::fs::remove_dir_all(&dir).ok();
+
+    println!("range_s |   raw_ms |  tier_ms | speedup | tier/raw buckets");
+    for row in &result.rows {
+        println!(
+            "{:>7} | {:>8.3} | {:>8.3} | {:>6.1}x | {}/{}",
+            row.range_s,
+            row.raw_ms,
+            row.tier_ms,
+            row.speedup,
+            row.buckets_from_tier,
+            row.buckets_from_raw
+        );
+    }
+    println!(
+        "\n{} readings, {} sealed rollup segments",
+        result.readings, result.rollup_segments
+    );
+
+    let meta = BenchMeta::new("rollup_query", None, &config, started);
+    let path = write_json_report(&meta, &result).expect("write json");
+    println!("wrote {}", path.display());
+
+    // The tiers earn their disk: an aggregate over >= 1 h of history at
+    // 10 s resolution must beat the raw scan by an order of magnitude.
+    if !quick {
+        for row in &result.rows {
+            if row.range_s >= 3600 {
+                assert!(
+                    row.speedup >= 10.0,
+                    "range {} s: speedup {:.1}x < 10x",
+                    row.range_s,
+                    row.speedup
+                );
+            }
+        }
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`bus_saturation`] | Bounded bus under 1×/4×/16× publisher overload |
 //! | [`delivery_resilience`] | Pusher spool + reconnect through injected broker outages |
 //! | [`storage_faults`] | Durable engine health/recovery through injected I/O faults |
+//! | [`rollup_query`] | Raw-scan vs tier-served aggregation latency |
 //! | [`federation_scaling`] | Federated ingest scaling + scatter-gather query latency |
 //!
 //! Every binary writes `bench-results/<name>.json` in a normalized
@@ -36,6 +37,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod query_concurrency;
+pub mod rollup_query;
 pub mod storage_engine;
 pub mod storage_faults;
 

@@ -143,7 +143,7 @@ pub fn run(config: &StorageEngineConfig, dir: &Path) -> StorageEngineResult {
     drop(mem);
 
     // --- Durable ingest (journal-before-ack + automatic seals). ---
-    let db = DurableBackend::open(dir, durable_config).expect("open bench dir");
+    let db = DurableBackend::open(dir, durable_config.clone()).expect("open bench dir");
     let t0 = Instant::now();
     for (s, topic) in topics.iter().enumerate() {
         let mut done = 0;

@@ -253,8 +253,12 @@ fn run_cell(
         },
         ..DurableConfig::default()
     };
-    let db = DurableBackend::open_with(Arc::clone(&io) as Arc<dyn StorageIo>, dir, durable_config)
-        .expect("open fault bench dir");
+    let db = DurableBackend::open_with(
+        Arc::clone(&io) as Arc<dyn StorageIo>,
+        dir,
+        durable_config.clone(),
+    )
+    .expect("open fault bench dir");
 
     let topics = topic_list(config.topics);
     // Every reading acknowledged `Durable`, keyed by (topic, ts): the

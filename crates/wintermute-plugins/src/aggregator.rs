@@ -106,10 +106,14 @@ impl Operator for AggregatorOperator {
             return Ok(Vec::new());
         }
         let agg = self.op.apply(&values);
+        // A non-representable aggregate (NaN/±inf division artifacts,
+        // or magnitudes past i64) is an error the runtime counts, not
+        // a silently saturated reading.
+        let value = finite_output(&format!("aggregator {}", self.name), agg)?;
         Ok(unit
             .outputs
             .iter()
-            .map(|o| (o.clone(), SensorReading::new(agg.round() as i64, ctx.now)))
+            .map(|o| (o.clone(), SensorReading::new(value, ctx.now)))
             .collect())
     }
 }
@@ -233,6 +237,40 @@ mod tests {
             .query(&t("/rack0/rack-power"), QueryMode::Latest);
         // Latest values are 10 and 110.
         assert_eq!(got[0].value, 120);
+    }
+
+    #[test]
+    fn extreme_aggregate_is_counted_error_not_saturated_output() {
+        // A sum of i64::MAX readings overflows the representable
+        // range. The runtime must count an operator error and publish
+        // nothing — previously `agg.round() as i64` silently saturated
+        // to i64::MAX and published it as a plausible reading.
+        let qe = Arc::new(QueryEngine::new(8));
+        for i in 1..=3u64 {
+            qe.insert(
+                &t("/r/n/power"),
+                SensorReading::new(i64::MAX, Timestamp::from_secs(i)),
+            );
+        }
+        qe.rebuild_navigator();
+        let mgr = OperatorManager::new(qe);
+        mgr.register_plugin(Box::new(AggregatorPlugin));
+        let cfg = PluginConfig::online("agg", "aggregator", 1000)
+            .with_patterns(&["<bottomup>power"], &["<bottomup>out"])
+            .with_option("op", "sum")
+            .with_option("window_ms", 10_000u64);
+        mgr.load(cfg).unwrap();
+        let report = mgr.tick(Timestamp::from_secs(4));
+        assert_eq!(report.errors.len(), 1, "{:?}", report.errors);
+        assert!(
+            report.errors[0].contains("non-representable"),
+            "{:?}",
+            report.errors
+        );
+        assert!(mgr
+            .query_engine()
+            .query(&t("/r/n/out"), QueryMode::Latest)
+            .is_empty());
     }
 
     #[test]

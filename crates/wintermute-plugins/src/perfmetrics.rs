@@ -107,7 +107,7 @@ impl Operator for PerfMetricsOperator {
                     if d.span_s <= 0.0 {
                         continue;
                     }
-                    (d.flops / d.span_s).round() as i64
+                    finite_output("perfmetrics flops-rate", d.flops / d.span_s)?
                 }
                 "miss-ratio" => {
                     if d.instructions <= 0.0 {
@@ -119,7 +119,7 @@ impl Operator for PerfMetricsOperator {
                     if d.span_s <= 0.0 {
                         continue;
                     }
-                    (d.opa_bytes / d.span_s).round() as i64
+                    finite_output("perfmetrics opa-rate", d.opa_bytes / d.span_s)?
                 }
                 other => {
                     return Err(DcdbError::Config(format!(

@@ -43,15 +43,11 @@ impl Operator for SmootherOperator {
             Some(prev) => prev + self.alpha * (latest - prev),
         };
         self.state[i] = Some(smoothed);
+        let value = finite_output(&format!("smoother {}", self.name), smoothed)?;
         Ok(unit
             .outputs
             .iter()
-            .map(|o| {
-                (
-                    o.clone(),
-                    SensorReading::new(smoothed.round() as i64, ctx.now),
-                )
-            })
+            .map(|o| (o.clone(), SensorReading::new(value, ctx.now)))
             .collect())
     }
 }

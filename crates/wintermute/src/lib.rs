@@ -67,10 +67,10 @@ pub mod prelude {
         PluginMetricsSnapshot, SensorSink, TickReport,
     };
     pub use crate::operator::{
-        compute_all_units, ComputeContext, Operator, OperatorMode, Output, UnitMode,
+        compute_all_units, finite_output, ComputeContext, Operator, OperatorMode, Output, UnitMode,
     };
     pub use crate::plugin::{instantiate, OperatorPlugin, PluginConfig, WintermuteConfig};
-    pub use crate::query::{QueryEngine, QueryMode, QueryStats};
+    pub use crate::query::{AggFunc, AggPlan, AggSeries, QueryEngine, QueryMode, QueryStats};
     pub use crate::tree::{LevelSpec, SensorNavigator};
     pub use crate::unit::{resolve_units, PatternExpr, Resolution, Unit, UnitTemplate};
 }

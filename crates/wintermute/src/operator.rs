@@ -119,6 +119,28 @@ pub trait Operator: Send {
     }
 }
 
+/// Converts an operator's real-valued result into the sensor integer
+/// domain, rejecting values that have no faithful representation: NaN
+/// and ±inf (division artifacts), and finite magnitudes beyond the
+/// `i64` range (`value as i64` would silently saturate them to
+/// `i64::MAX`/`MIN`, publishing a plausible-looking but wrong
+/// reading). The `Err` propagates out of `compute` where the runtime
+/// counts it against the operator and skips the output — a gap in the
+/// derived series, never a fabricated extreme.
+pub fn finite_output(what: &str, value: f64) -> Result<i64> {
+    let rounded = value.round();
+    // i64::MIN as f64 is exactly -2^63 (representable); i64::MAX as
+    // f64 is exactly 2^63 (NOT representable), hence >= on that side.
+    // NaN fails both comparisons and lands in the error arm too.
+    if rounded >= i64::MIN as f64 && rounded < i64::MAX as f64 {
+        Ok(rounded as i64)
+    } else {
+        Err(dcdb_common::error::DcdbError::InvalidState(format!(
+            "{what}: non-representable output {value}"
+        )))
+    }
+}
+
 /// Runs every unit of an operator and collects outputs — the shared
 /// "iterate through its units" loop of §V-C.1 used by both the manager
 /// (online ticks) and tests.
@@ -174,7 +196,7 @@ mod tests {
             let avg = values.iter().sum::<f64>() / values.len() as f64;
             Ok(vec![(
                 unit.outputs[0].clone(),
-                SensorReading::new(avg.round() as i64, ctx.now),
+                SensorReading::new(finite_output("avg", avg)?, ctx.now),
             )])
         }
     }
@@ -252,6 +274,63 @@ mod tests {
         let w = ctx.window_values(&t("/n1/power"), 3 * dcdb_common::time::NS_PER_SEC);
         assert!(!w.is_empty());
         assert_eq!(*w.last().unwrap(), 110.0);
+    }
+
+    #[test]
+    fn finite_output_guards_non_representable_values() {
+        // Ordinary values round.
+        assert_eq!(finite_output("t", 14.4).unwrap(), 14);
+        assert_eq!(finite_output("t", -14.6).unwrap(), -15);
+        assert_eq!(finite_output("t", 0.0).unwrap(), 0);
+        // i64::MIN is exactly representable; the top of the range sits
+        // at 2^63 which is not.
+        assert_eq!(finite_output("t", i64::MIN as f64).unwrap(), i64::MIN);
+        // Non-finite and out-of-range magnitudes are errors, not
+        // silent saturation to i64::MAX/MIN.
+        for bad in [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            1e300,
+            -1e300,
+            i64::MAX as f64, // 2^63, one past the last representable
+        ] {
+            let err = finite_output("avg", bad).unwrap_err();
+            assert!(
+                matches!(err, DcdbError::InvalidState(_)),
+                "{bad} -> {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_inputs_error_instead_of_saturating() {
+        // An average of i64::MAX readings exceeds the representable
+        // range once rounded in f64; the operator must surface an
+        // error (counted by the runtime) rather than publish a
+        // saturated i64::MAX as if it were a measurement.
+        let qe = QueryEngine::new(8);
+        for i in 1..=4u64 {
+            qe.insert(
+                &t("/n1/power"),
+                SensorReading::new(i64::MAX, Timestamp::from_secs(i)),
+            );
+        }
+        let mut op = AvgOperator {
+            name: "avg".into(),
+            units: vec![unit("/n1")],
+            window_ns: 10 * dcdb_common::time::NS_PER_SEC,
+            computed: 0,
+        };
+        let ctx = ComputeContext {
+            query: &qe,
+            now: Timestamp::from_secs(5),
+        };
+        let err = compute_all_units(&mut op, &ctx).unwrap_err();
+        assert!(
+            matches!(err, DcdbError::InvalidState(_)),
+            "expected non-representable error, got {err:?}"
+        );
     }
 
     #[test]

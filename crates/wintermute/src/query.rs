@@ -22,7 +22,7 @@ use dcdb_common::cache::SensorCache;
 use dcdb_common::reading::SensorReading;
 use dcdb_common::time::Timestamp;
 use dcdb_common::topic::Topic;
-use dcdb_storage::StorageEngine;
+use dcdb_storage::{rollup::bucket_start, AggFrame, StorageEngine};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -64,6 +64,92 @@ pub struct QueryStats {
     /// durable backend failing to journal); the reading stays cached
     /// but is not guaranteed to survive a restart.
     pub storage_errors: u64,
+    /// Aggregate (`query_agg`) requests served.
+    pub agg_queries: u64,
+    /// Sub-buckets of aggregate queries served from rollup frames.
+    pub agg_tier_buckets: u64,
+    /// Sub-buckets of aggregate queries that fell back to raw readings.
+    pub agg_raw_buckets: u64,
+}
+
+/// An aggregate function servable from rollup frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Arithmetic mean — *derived* from `sum / count` after any merge,
+    /// never merged directly (averaging averages is wrong).
+    Avg,
+    /// Minimum value.
+    Min,
+    /// Maximum value.
+    Max,
+    /// Sum of values (saturating, like the frames).
+    Sum,
+    /// Number of readings.
+    Count,
+}
+
+impl AggFunc {
+    /// Parses the REST `agg=` parameter (case-insensitive).
+    pub fn parse(s: &str) -> Option<AggFunc> {
+        match s.to_ascii_lowercase().as_str() {
+            "avg" | "mean" => Some(AggFunc::Avg),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            "sum" => Some(AggFunc::Sum),
+            "count" => Some(AggFunc::Count),
+            _ => None,
+        }
+    }
+
+    /// The canonical parameter spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Sum => "sum",
+            AggFunc::Count => "count",
+        }
+    }
+
+    /// Evaluates the function over one (merged) frame. `None` only for
+    /// an empty frame's average, which callers skip rather than emit.
+    pub fn apply(&self, frame: &AggFrame) -> Option<f64> {
+        match self {
+            AggFunc::Avg => frame.avg(),
+            AggFunc::Min => Some(frame.min as f64),
+            AggFunc::Max => Some(frame.max as f64),
+            AggFunc::Sum => Some(frame.sum as f64),
+            AggFunc::Count => Some(frame.count as f64),
+        }
+    }
+}
+
+/// How [`QueryEngine::query_agg`] served a request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AggPlan {
+    /// Rollup tier width chosen by the planner; 0 when the query was
+    /// answered entirely from raw readings.
+    pub tier_ns: u64,
+    /// Tier sub-buckets served from rollup frames.
+    pub buckets_from_tier: usize,
+    /// Sub-buckets (or raw-path grid buckets) aggregated from raw
+    /// readings.
+    pub buckets_from_raw: usize,
+}
+
+/// One aggregate query result: per-step frames on an absolute grid
+/// (`bucket_ns` is a multiple of `step_ns`), empty buckets omitted.
+/// The frames carry the full mergeable algebra so a federation router
+/// can combine results from shards before deriving `avg`.
+#[derive(Debug, Clone, Default)]
+pub struct AggSeries {
+    /// Grid step, nanoseconds.
+    pub step_ns: u64,
+    /// Non-empty grid buckets, ascending.
+    pub frames: Vec<AggFrame>,
+    /// How the planner served it.
+    pub plan: AggPlan,
 }
 
 /// The per-process query engine.
@@ -77,6 +163,9 @@ pub struct QueryEngine {
     misses: AtomicU64,
     inserts: AtomicU64,
     storage_errors: AtomicU64,
+    agg_queries: AtomicU64,
+    agg_tier_buckets: AtomicU64,
+    agg_raw_buckets: AtomicU64,
 }
 
 impl QueryEngine {
@@ -97,6 +186,9 @@ impl QueryEngine {
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             storage_errors: AtomicU64::new(0),
+            agg_queries: AtomicU64::new(0),
+            agg_tier_buckets: AtomicU64::new(0),
+            agg_raw_buckets: AtomicU64::new(0),
         }
     }
 
@@ -287,6 +379,222 @@ impl QueryEngine {
         }
     }
 
+    /// All topics known to the engine: cached sensors plus everything
+    /// the storage backend holds.
+    pub fn topics(&self) -> Vec<Topic> {
+        let mut topics: Vec<Topic> = self.caches.read().keys().cloned().collect();
+        if let Some(storage) = &self.storage {
+            topics.extend(storage.topics());
+        }
+        topics.sort();
+        topics.dedup();
+        topics
+    }
+
+    /// Aggregate query with the tier-aware planner: picks the coarsest
+    /// rollup tier whose width divides `step_ns`, serves each tier
+    /// sub-bucket from a frame when one exists, and stitches the
+    /// remaining sub-buckets (typically the raw tail past the last
+    /// seal, or gaps where rollups were lost) from the raw cache +
+    /// storage path — each sub-bucket from exactly one source, so a
+    /// reading is never counted both in a frame and in the raw tail.
+    ///
+    /// Semantics: the requested range is widened to whole grid buckets
+    /// (`floor(t0/step) .. floor(t1/step)`) and clamped to the sensor's
+    /// data extent; every reading in a covered bucket aggregates into
+    /// it. Empty buckets are omitted.
+    pub fn query_agg(
+        &self,
+        topic: &Topic,
+        t0: Timestamp,
+        t1: Timestamp,
+        step_ns: u64,
+    ) -> AggSeries {
+        self.query_agg_planned(topic, t0, t1, step_ns, true)
+    }
+
+    /// [`QueryEngine::query_agg`] with tier use switchable — the
+    /// raw-scan baseline for benchmarks and equivalence tests.
+    pub fn query_agg_planned(
+        &self,
+        topic: &Topic,
+        t0: Timestamp,
+        t1: Timestamp,
+        step_ns: u64,
+        allow_tiers: bool,
+    ) -> AggSeries {
+        let mut out = AggSeries {
+            step_ns,
+            ..AggSeries::default()
+        };
+        if step_ns == 0 || t1 < t0 {
+            return out;
+        }
+        self.agg_queries.fetch_add(1, Ordering::Relaxed);
+        // Clamp to the data extent so open-ended ranges ([0, MAX]) do
+        // not walk an astronomically long empty grid.
+        let Some((data_oldest, data_newest)) = self.data_extent(topic) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return out;
+        };
+        let lo = t0.as_nanos().max(data_oldest.as_nanos());
+        let hi = t1.as_nanos().min(data_newest.as_nanos());
+        if hi < lo {
+            return out;
+        }
+        // Whole grid buckets: [g0, g_end).
+        let g0 = bucket_start(lo, step_ns);
+        let g_end = bucket_start(hi, step_ns).saturating_add(step_ns);
+        let tier = if allow_tiers {
+            self.storage.as_ref().and_then(|s| {
+                s.rollup_tiers()
+                    .into_iter()
+                    .filter(|w| *w > 0 && *w <= step_ns && step_ns.is_multiple_of(*w))
+                    .max()
+            })
+        } else {
+            None
+        };
+        let sub_frames = match tier {
+            Some(width) => self.tier_sub_frames(topic, width, g0, g_end, &mut out.plan),
+            None => {
+                // Raw scan: one stitched cache+storage query, bucketed.
+                let readings = self.query(
+                    topic,
+                    QueryMode::Absolute {
+                        t0: Timestamp(g0),
+                        t1: Timestamp(g_end - 1),
+                    },
+                );
+                let frames = AggFrame::from_readings(step_ns, &readings);
+                out.plan.buckets_from_raw = frames.len();
+                frames
+            }
+        };
+        self.agg_tier_buckets
+            .fetch_add(out.plan.buckets_from_tier as u64, Ordering::Relaxed);
+        self.agg_raw_buckets
+            .fetch_add(out.plan.buckets_from_raw as u64, Ordering::Relaxed);
+        // Merge tier sub-frames up to the requested grid. Sub-buckets
+        // are disjoint by construction, so the frame algebra is exact.
+        let mut frames: Vec<AggFrame> = Vec::new();
+        for sub in sub_frames {
+            let mut sub = sub;
+            sub.bucket_ns = bucket_start(sub.bucket_ns, step_ns);
+            match frames.last_mut() {
+                Some(f) if f.bucket_ns == sub.bucket_ns => f.merge(&sub),
+                _ => frames.push(sub),
+            }
+        }
+        out.frames = frames;
+        out
+    }
+
+    /// The `[oldest, newest]` timestamps of any data for `topic` across
+    /// cache and storage.
+    fn data_extent(&self, topic: &Topic) -> Option<(Timestamp, Timestamp)> {
+        let cache = self.caches.read().get(topic).map(Arc::clone);
+        let (mut oldest, mut newest) = (None::<Timestamp>, None::<Timestamp>);
+        if let Some(c) = cache {
+            let guard = c.read();
+            if let Some(o) = guard.oldest() {
+                oldest = Some(o.ts);
+            }
+            if let Some(l) = guard.latest() {
+                newest = Some(l.ts);
+            }
+        }
+        if let Some(storage) = &self.storage {
+            if let Some(o) = storage.oldest_ts(topic) {
+                oldest = Some(oldest.map_or(o, |x| x.min(o)));
+            }
+            if let Some(l) = storage.latest(topic) {
+                newest = Some(newest.map_or(l.ts, |x| x.max(l.ts)));
+            }
+        }
+        Some((oldest?, newest?))
+    }
+
+    /// Serves `[g0, g_end)` at tier `width`: frames where the rollups
+    /// have them, raw re-aggregation for the missing sub-bucket runs
+    /// (coalesced into one stitched raw query per contiguous gap).
+    ///
+    /// Frames only serve buckets wholly *before* the cache boundary.
+    /// Inside the cache window the raw stitch answers from the ring
+    /// buffer, which applies its own admission policy (out-of-order
+    /// samples are dropped; storage keeps them) — a frame there would
+    /// reflect storage truth and silently disagree with the raw path,
+    /// and a straddling bucket would count boundary readings from both
+    /// sources. Ending the tier strictly at the boundary keeps every
+    /// reading exactly-once and tier-vs-raw answers identical.
+    fn tier_sub_frames(
+        &self,
+        topic: &Topic,
+        width: u64,
+        g0: u64,
+        g_end: u64,
+        plan: &mut AggPlan,
+    ) -> Vec<AggFrame> {
+        plan.tier_ns = width;
+        let storage = self.storage.as_ref().expect("tier path requires storage");
+        let cache_oldest: Option<u64> = self
+            .caches
+            .read()
+            .get(topic)
+            .map(Arc::clone)
+            .and_then(|c| c.read().oldest().map(|r| r.ts.as_nanos()));
+        let tier_frames = storage.query_frames(topic, width, Timestamp(g0), Timestamp(g_end - 1));
+        let usable_end = cache_oldest.unwrap_or(u64::MAX);
+        let mut out: Vec<AggFrame> = Vec::new();
+        let mut gap_start: Option<u64> = None;
+        let flush_gap = |out: &mut Vec<AggFrame>, plan: &mut AggPlan, from: u64, to: u64| {
+            // Raw re-aggregation over [from, to): the stitched raw path
+            // dedups, so these sub-buckets match frame semantics.
+            let readings = self.query(
+                topic,
+                QueryMode::Absolute {
+                    t0: Timestamp(from),
+                    t1: Timestamp(to - 1),
+                },
+            );
+            let frames = AggFrame::from_readings(width, &readings);
+            plan.buckets_from_raw += frames.len();
+            out.extend(frames);
+        };
+        // `tier_frames` is ascending by bucket; walk the grid and the
+        // frames with one shared cursor instead of hashing the frames.
+        let mut next = 0usize;
+        let mut sub = g0;
+        while sub < g_end {
+            while next < tier_frames.len() && tier_frames[next].bucket_ns < sub {
+                next += 1;
+            }
+            let frame = (next < tier_frames.len()
+                && tier_frames[next].bucket_ns == sub
+                && sub + width <= usable_end)
+                .then(|| tier_frames[next]);
+            match frame {
+                Some(frame) => {
+                    if let Some(gs) = gap_start.take() {
+                        flush_gap(&mut out, plan, gs, sub);
+                    }
+                    out.push(frame);
+                    plan.buckets_from_tier += 1;
+                }
+                None => {
+                    if gap_start.is_none() {
+                        gap_start = Some(sub);
+                    }
+                }
+            }
+            sub += width;
+        }
+        if let Some(gs) = gap_start.take() {
+            flush_gap(&mut out, plan, gs, g_end);
+        }
+        out
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> QueryStats {
         QueryStats {
@@ -295,6 +603,9 @@ impl QueryEngine {
             misses: self.misses.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
             storage_errors: self.storage_errors.load(Ordering::Relaxed),
+            agg_queries: self.agg_queries.load(Ordering::Relaxed),
+            agg_tier_buckets: self.agg_tier_buckets.load(Ordering::Relaxed),
+            agg_raw_buckets: self.agg_raw_buckets.load(Ordering::Relaxed),
         }
     }
 
@@ -463,6 +774,177 @@ mod tests {
             got.iter().map(|x| x.value).collect::<Vec<i64>>(),
             vec![40, 41, 42]
         );
+    }
+
+    /// In-memory store that pretends rollup frames exist only for
+    /// buckets wholly before `frame_end_s` — a controllable tier/raw
+    /// planner boundary without a durable engine.
+    #[derive(Debug)]
+    struct PartialRollupStore {
+        inner: StorageBackend,
+        frame_end_s: u64,
+    }
+    impl StorageEngine for PartialRollupStore {
+        fn insert(&self, topic: &Topic, r: SensorReading) -> dcdb_common::error::Result<()> {
+            self.inner.insert(topic, r);
+            Ok(())
+        }
+        fn insert_batch(
+            &self,
+            topic: &Topic,
+            readings: &[SensorReading],
+        ) -> dcdb_common::error::Result<()> {
+            self.inner.insert_batch(topic, readings);
+            Ok(())
+        }
+        fn query(&self, topic: &Topic, t0: Timestamp, t1: Timestamp) -> Vec<SensorReading> {
+            self.inner.query(topic, t0, t1)
+        }
+        fn latest(&self, topic: &Topic) -> Option<SensorReading> {
+            self.inner.latest(topic)
+        }
+        fn contains(&self, topic: &Topic) -> bool {
+            self.inner.contains(topic)
+        }
+        fn topics(&self) -> Vec<Topic> {
+            self.inner.topics()
+        }
+        fn evict_before(&self, cutoff: Timestamp) -> usize {
+            self.inner.evict_before(cutoff)
+        }
+        fn stats(&self) -> dcdb_storage::StorageStats {
+            StorageEngine::stats(&self.inner)
+        }
+        fn rollup_tiers(&self) -> Vec<u64> {
+            vec![10 * NS_PER_SEC]
+        }
+        fn query_frames(
+            &self,
+            topic: &Topic,
+            width_ns: u64,
+            t0: Timestamp,
+            t1: Timestamp,
+        ) -> Vec<AggFrame> {
+            let readings = self.inner.query(topic, Timestamp::ZERO, Timestamp::MAX);
+            AggFrame::from_readings(width_ns, &readings)
+                .into_iter()
+                .filter(|f| f.bucket_ns + width_ns <= self.frame_end_s * NS_PER_SEC)
+                .filter(|f| f.bucket_ns + width_ns > t0.as_nanos() && f.bucket_ns <= t1.as_nanos())
+                .collect()
+        }
+    }
+
+    #[test]
+    fn agg_raw_bucket_semantics() {
+        // No rollup tiers: the planner answers from raw with whole-grid
+        // bucket semantics, clamped to the data extent.
+        let qe = seeded_engine(); // values 1..=50 at seconds 1..=50
+        let series = qe.query_agg(
+            &t("/n1/power"),
+            Timestamp::ZERO,
+            Timestamp::MAX,
+            10 * NS_PER_SEC,
+        );
+        assert_eq!(series.plan.tier_ns, 0);
+        let counts: Vec<u64> = series.frames.iter().map(|f| f.count).collect();
+        assert_eq!(counts, vec![9, 10, 10, 10, 10, 1]);
+        assert_eq!(series.frames[0].sum, (1..=9).sum::<i64>());
+        assert_eq!(series.frames[1].min, 10);
+        assert_eq!(series.frames[1].max, 19);
+        assert_eq!(series.frames[5].avg(), Some(50.0));
+        // Degenerate requests are empty, not panics.
+        assert!(qe
+            .query_agg(
+                &t("/n1/power"),
+                Timestamp::from_secs(9),
+                Timestamp::ZERO,
+                10
+            )
+            .frames
+            .is_empty());
+        assert!(qe
+            .query_agg(&t("/n1/power"), Timestamp::ZERO, Timestamp::MAX, 0)
+            .frames
+            .is_empty());
+        assert!(qe
+            .query_agg(&t("/absent"), Timestamp::ZERO, Timestamp::MAX, 10)
+            .frames
+            .is_empty());
+    }
+
+    #[test]
+    fn agg_tier_raw_boundary_exactly_once() {
+        // Frames exist only for buckets before 30s; the 30..=50s tail
+        // must come from the raw stitch. Every reading aggregates
+        // exactly once, and the tier-planned answer equals the pure
+        // raw-scan answer bucket for bucket.
+        let storage: Arc<dyn StorageEngine> = Arc::new(PartialRollupStore {
+            inner: StorageBackend::new(),
+            frame_end_s: 30,
+        });
+        let qe = QueryEngine::with_storage(8, Arc::clone(&storage));
+        for i in 1..=50u64 {
+            qe.insert(&t("/n1/power"), r(i as i64, i));
+        }
+        let tiered = qe.query_agg(
+            &t("/n1/power"),
+            Timestamp::ZERO,
+            Timestamp::MAX,
+            10 * NS_PER_SEC,
+        );
+        let raw = qe.query_agg_planned(
+            &t("/n1/power"),
+            Timestamp::ZERO,
+            Timestamp::MAX,
+            10 * NS_PER_SEC,
+            false,
+        );
+        assert_eq!(tiered.plan.tier_ns, 10 * NS_PER_SEC);
+        assert_eq!(tiered.plan.buckets_from_tier, 3); // [0,10) [10,20) [20,30)
+        assert_eq!(tiered.plan.buckets_from_raw, 3); // [30,40) [40,50) [50,60)
+        assert_eq!(raw.plan.tier_ns, 0);
+        assert_eq!(tiered.frames, raw.frames);
+        let total: u64 = tiered.frames.iter().map(|f| f.count).sum();
+        assert_eq!(total, 50, "each reading counted exactly once");
+    }
+
+    #[test]
+    fn agg_step_not_divisible_by_tier_falls_back_to_raw() {
+        let storage: Arc<dyn StorageEngine> = Arc::new(PartialRollupStore {
+            inner: StorageBackend::new(),
+            frame_end_s: 60,
+        });
+        let qe = QueryEngine::with_storage(8, Arc::clone(&storage));
+        for i in 1..=50u64 {
+            qe.insert(&t("/n1/power"), r(i as i64, i));
+        }
+        // 7s step: the 10s tier does not divide it, so the planner must
+        // not use frames (they would mis-bucket readings).
+        let series = qe.query_agg(
+            &t("/n1/power"),
+            Timestamp::ZERO,
+            Timestamp::MAX,
+            7 * NS_PER_SEC,
+        );
+        assert_eq!(series.plan.tier_ns, 0);
+        assert_eq!(series.plan.buckets_from_tier, 0);
+        let total: u64 = series.frames.iter().map(|f| f.count).sum();
+        assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn agg_func_parse_and_apply() {
+        assert_eq!(AggFunc::parse("avg"), Some(AggFunc::Avg));
+        assert_eq!(AggFunc::parse("mean"), Some(AggFunc::Avg));
+        assert_eq!(AggFunc::parse("COUNT"), Some(AggFunc::Count));
+        assert_eq!(AggFunc::parse("median"), None);
+        let mut f = AggFrame::seed(0, 5, 10);
+        f.observe(6, 30);
+        assert_eq!(AggFunc::Avg.apply(&f), Some(20.0));
+        assert_eq!(AggFunc::Min.apply(&f), Some(10.0));
+        assert_eq!(AggFunc::Max.apply(&f), Some(30.0));
+        assert_eq!(AggFunc::Sum.apply(&f), Some(40.0));
+        assert_eq!(AggFunc::Count.apply(&f), Some(2.0));
     }
 
     #[test]

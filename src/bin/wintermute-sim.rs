@@ -238,7 +238,7 @@ fn main() {
                         let db = Arc::new(DurableBackend::open_with(
                             io,
                             &dir.join(id),
-                            durable_config,
+                            durable_config.clone(),
                         )?);
                         let rec = db.recovery();
                         println!(

@@ -106,7 +106,7 @@ fn merged_queries_match_pure_in_memory_backend() {
         compact_min_segments: 1_000_000, // no compaction mid-test
         ..DurableConfig::default()
     };
-    let durable = DurableBackend::open(&dir, config).unwrap();
+    let durable = DurableBackend::open(&dir, config.clone()).unwrap();
     let reference = StorageBackend::new();
 
     let topics: Vec<Topic> = (0..5).map(|i| t(&format!("/n{i}/power"))).collect();
@@ -179,7 +179,7 @@ fn recovery_preserves_merge_equivalence() {
     };
     let reference = StorageBackend::new();
     {
-        let durable = DurableBackend::open(&dir, config).unwrap();
+        let durable = DurableBackend::open(&dir, config.clone()).unwrap();
         let mut rng = Rng(0xBADC_0DE5_2026_0001);
         for i in 0..350u64 {
             let topic = t(&format!("/n{}/s", i % 4));

@@ -331,7 +331,8 @@ fn torn_write_crash_points_recover_prefix_consistent() {
         // failed open, not a crash point), then arm the tears.
         let io = Arc::new(FaultIo::std(FaultConfig::quiet(seed)));
         let db =
-            DurableBackend::open_with(Arc::clone(&io) as Arc<dyn StorageIo>, &dir, config).unwrap();
+            DurableBackend::open_with(Arc::clone(&io) as Arc<dyn StorageIo>, &dir, config.clone())
+                .unwrap();
         io.set_config(FaultConfig {
             torn_write_prob: 0.35,
             ..FaultConfig::quiet(seed)
@@ -372,7 +373,7 @@ fn torn_write_crash_points_recover_prefix_consistent() {
 
         // Recovery runs on the real filesystem — the faults "stop" with
         // the crashed process.
-        let db = DurableBackend::open(&dir, config).unwrap();
+        let db = DurableBackend::open(&dir, config.clone()).unwrap();
         for (i, topic) in topics.iter().enumerate() {
             let got: std::collections::HashSet<u64> = db
                 .query(topic, Timestamp::ZERO, Timestamp::MAX)
