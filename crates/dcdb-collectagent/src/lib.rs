@@ -101,6 +101,27 @@ struct SourceRecord {
     readings: u64,
 }
 
+/// This agent's role within its shard's replica pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardRole {
+    /// Serves ingest and queries; the shard's ring member.
+    #[default]
+    Primary,
+    /// Journal-tailing standby applying the primary's acked stream;
+    /// promoted on primary failure.
+    Replica,
+}
+
+impl ShardRole {
+    /// The role as reported by `/health`, `/metrics` and `/federation`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ShardRole::Primary => "primary",
+            ShardRole::Replica => "replica",
+        }
+    }
+}
+
 /// This agent's place in a federated deployment, assigned by the
 /// federation host and reported verbatim by `GET /health` and
 /// `GET /metrics` so shards are tellable apart from the outside.
@@ -115,6 +136,8 @@ pub struct ShardAssignment {
     pub epoch: u64,
     /// Virtual nodes this agent owns on the hash ring.
     pub vnodes: usize,
+    /// Primary or journal-tailing replica within the shard's pair.
+    pub role: ShardRole,
 }
 
 impl ShardAssignment {
@@ -124,6 +147,7 @@ impl ShardAssignment {
             "total": self.total,
             "epoch": self.epoch,
             "vnodes": self.vnodes,
+            "role": self.role.as_str(),
         })
     }
 }
@@ -1260,6 +1284,7 @@ mod tests {
             total: 4,
             epoch: 3,
             vnodes: 64,
+            role: ShardRole::Primary,
         }));
         let resp = router.dispatch(dcdb_rest::Request::new(Method::Get, "/health"));
         let v: serde_json::Value = serde_json::from_str(&resp.body_str()).unwrap();
@@ -1267,6 +1292,7 @@ mod tests {
         assert_eq!(shard.get("index").unwrap().as_u64(), Some(2));
         assert_eq!(shard.get("total").unwrap().as_u64(), Some(4));
         assert_eq!(shard.get("epoch").unwrap().as_u64(), Some(3));
+        assert_eq!(shard.get("role").unwrap().as_str(), Some("primary"));
 
         let resp = router.dispatch(dcdb_rest::Request::new(Method::Get, "/metrics"));
         let v: serde_json::Value = serde_json::from_str(&resp.body_str()).unwrap();

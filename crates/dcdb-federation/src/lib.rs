@@ -11,8 +11,12 @@
 //! * [`agent`] — [`FederatedAgent`], N broker + Collect Agent pairs
 //!   behind one [`dcdb_bus::MessageBus`], with epoch-based shard-map
 //!   cutover that drains in-flight queries before a rebalance is
-//!   declared done, and kill/rejoin that never discards acknowledged
-//!   data;
+//!   declared done, honest crash semantics for `kill`, and strike-based
+//!   failure detection that triggers failover past a threshold;
+//! * [`replica`] — the primary→replica stream within one shard:
+//!   journal-tailing standbys ([`ReplicaLink`]), watermark-bounded
+//!   anti-entropy catch-up, and the conservation identity `acked ==
+//!   durable_on_primary + replicating + durable_on_replica_only`;
 //! * [`router`] — [`QueryRouter`], the scatter-gather front door
 //!   serving the single-agent REST surface (`/sensors`, `/metrics`,
 //!   `/health`, analytics) across shards, with per-shard deadlines,
@@ -24,10 +28,14 @@
 #![warn(missing_docs)]
 
 pub mod agent;
+pub mod replica;
 pub mod ring;
 pub mod router;
 
 pub use agent::{FederatedAgent, FederationConfig, FederationStats, QueryGuard, Shard};
+pub use replica::{
+    catch_up, derive_seed, CatchUpReport, ReplicaLink, ReplicaLinkStats, ReplicationConfig,
+};
 pub use ring::{ShardMap, DEFAULT_SHARD_KEY_DEPTH, DEFAULT_VNODES};
 pub use router::{
     merge_time_ordered, FederatedQuery, QueryEnvelope, QueryRouter, RouterConfig, RouterStats,

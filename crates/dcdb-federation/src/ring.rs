@@ -12,7 +12,9 @@
 //! * **Deterministic** — placement depends only on `(agents, vnodes,
 //!   shard_key_depth)`; two processes building a map from the same
 //!   agent set agree on every assignment, so a map can be rebuilt
-//!   rather than replicated.
+//!   anywhere instead of shipped around. (Placement metadata is cheap
+//!   to recompute; the *data* a shard holds is what [`crate::replica`]
+//!   replicates.)
 //! * **Stable under churn** — removing one agent only moves the keys
 //!   that agent owned; everything else stays put (the point of
 //!   consistent hashing: a join/leave rebalances ~1/N of the space).

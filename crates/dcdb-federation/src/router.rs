@@ -19,10 +19,17 @@
 //! keeps (`published == delivered + dropped`).
 //!
 //! **Supervision** reuses the Pusher's [`ReconnectConfig`] parameters:
-//! `down_threshold` consecutive scatter timeouts mark a shard
-//! routed-down, after which it is skipped (counted under `shards_down`)
-//! until a doubling, capped backoff admits a probe query. One on-time
-//! answer restores it.
+//! `down_threshold` consecutive scatter timeouts (or dead-shard
+//! observations) mark a shard routed-down, after which it is skipped
+//! (counted under `shards_down`) until a doubling, capped backoff
+//! admits a probe query. One on-time answer restores it. Crossing the
+//! threshold also hands detection to the federation
+//! ([`FederatedAgent::failover`]) — the router is one of the three
+//! failure detectors (with refused publishes and supervision ticks)
+//! that can promote a shard's standby. The federation refuses to act
+//! on a shard whose primary is alive, so a probe that lands on an
+//! already-promoted replica simply clears `routed_down` — it can never
+//! double-promote.
 //!
 //! **Sensor queries scatter to every live shard**, not just the ring
 //! owner: after a kill/rejoin cycle a topic's history is legitimately
@@ -80,6 +87,11 @@ struct ShardSupervision {
     routed_down: bool,
     backoff_ms: u64,
     next_probe_at: Option<Instant>,
+    /// The shard's role epoch when it was marked routed-down. A bumped
+    /// epoch (promotion, rejoin-as-primary) is a known recovery event:
+    /// the backoff was waiting for exactly this, so the next scatter
+    /// probes immediately instead of serving out the timer.
+    marked_role_epoch: u64,
 }
 
 impl ShardSupervision {
@@ -89,6 +101,7 @@ impl ShardSupervision {
             routed_down: false,
             backoff_ms: 0,
             next_probe_at: None,
+            marked_role_epoch: 0,
         }
     }
 }
@@ -190,8 +203,10 @@ pub struct QueryRouter {
     supervision: Vec<Mutex<ShardSupervision>>,
     /// One fully-mounted single-agent route table per shard, for the
     /// forwarded surfaces (analytics) that are owner-routed rather than
-    /// scatter-merged.
-    shard_routes: Vec<Router>,
+    /// scatter-merged. Cached against the shard's role epoch: a
+    /// failover or rejoin-as-primary swaps the agent behind a shard,
+    /// and the table is lazily rebuilt on first use after the swap.
+    shard_routes: Vec<Mutex<(u64, Option<Arc<Router>>)>>,
     queries: AtomicU64,
     partial: AtomicU64,
     shard_timeouts: AtomicU64,
@@ -211,11 +226,7 @@ impl QueryRouter {
         let shard_routes = federation
             .shards()
             .iter()
-            .map(|s| {
-                let mut r = Router::new();
-                s.agent().mount_routes(&mut r);
-                r
-            })
+            .map(|_| Mutex::new((u64::MAX, None)))
             .collect();
         QueryRouter {
             federation,
@@ -268,14 +279,33 @@ impl QueryRouter {
         self.supervision[shard_index].lock().routed_down
     }
 
+    /// The shard's single-agent route table, rebuilt lazily whenever
+    /// its role epoch moved (promotion, rejoin-as-primary). `None`
+    /// while the shard has no live primary.
+    fn shard_router(&self, i: usize) -> Option<Arc<Router>> {
+        let shard = &self.federation.shards()[i];
+        let agent = shard.agent()?;
+        let epoch = shard.role_epoch();
+        let mut cached = self.shard_routes[i].lock();
+        if cached.0 != epoch || cached.1.is_none() {
+            let mut r = Router::new();
+            agent.mount_routes(&mut r);
+            *cached = (epoch, Some(Arc::new(r)));
+        }
+        cached.1.clone()
+    }
+
     /// The scatter-gather core shared by every fanned-out query: runs
     /// `job` against each live shard on its own thread, gathers within
-    /// the per-shard deadline, feeds supervision, and returns the
-    /// partial-result envelope plus the in-time answers.
+    /// the per-shard deadline, feeds supervision (and, through it, the
+    /// federation's failure detection), and returns the partial-result
+    /// envelope plus the in-time answers. A job returns `None` when its
+    /// shard's primary vanished mid-flight — accounted down, never an
+    /// empty answer.
     fn scatter_shards<T, F>(&self, job: F) -> (QueryEnvelope, Vec<T>)
     where
         T: Send + 'static,
-        F: Fn(Arc<Shard>) -> T + Send + Clone + 'static,
+        F: Fn(Arc<Shard>) -> Option<T> + Send + Clone + 'static,
     {
         let guard = self.federation.begin_query();
         let epoch = guard.map().epoch;
@@ -283,17 +313,21 @@ impl QueryRouter {
 
         let shards = self.federation.shards();
         let now = Instant::now();
-        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        let (tx, rx) = mpsc::channel::<(usize, Option<T>)>();
         let mut outcomes: Vec<Option<ShardOutcome>> = vec![None; shards.len()];
         let mut pending = 0usize;
         for (i, shard) in shards.iter().enumerate() {
             if !shard.is_up() {
                 outcomes[i] = Some(ShardOutcome::Down);
+                // A dead primary observed by a query is a detection
+                // strike — the router path to failover.
+                self.note_failure(i);
                 continue;
             }
             {
                 let sup = self.supervision[i].lock();
-                let probe_due = sup.next_probe_at.is_none_or(|at| now >= at);
+                let probe_due = sup.next_probe_at.is_none_or(|at| now >= at)
+                    || shard.role_epoch() != sup.marked_role_epoch;
                 if sup.routed_down && !probe_due {
                     outcomes[i] = Some(ShardOutcome::Down);
                     continue;
@@ -320,9 +354,16 @@ impl QueryRouter {
         while pending > 0 {
             let remaining = deadline.saturating_duration_since(Instant::now());
             match rx.recv_timeout(remaining) {
-                Ok((i, rows)) => {
+                Ok((i, Some(rows))) => {
                     outcomes[i] = Some(ShardOutcome::Ok);
                     gathered.push(rows);
+                    pending -= 1;
+                }
+                Ok((i, None)) => {
+                    // The shard died between the liveness check and the
+                    // job: down, and a detection strike.
+                    outcomes[i] = Some(ShardOutcome::Down);
+                    self.note_failure(i);
                     pending -= 1;
                 }
                 Err(_) => break, // deadline hit (or all senders gone)
@@ -370,10 +411,10 @@ impl QueryRouter {
     pub fn query_sensors(&self, topic: &Topic, t0: Timestamp, t1: Timestamp) -> FederatedQuery {
         let topic = topic.clone();
         let (envelope, gathered) = self.scatter_shards(move |shard| {
-            shard
-                .agent()
-                .query_engine()
-                .query(&topic, QueryMode::Absolute { t0, t1 })
+            shard.agent().map(|a| {
+                a.query_engine()
+                    .query(&topic, QueryMode::Absolute { t0, t1 })
+            })
         });
         FederatedQuery {
             envelope,
@@ -397,19 +438,22 @@ impl QueryRouter {
     pub fn query_agg(&self, params: &AggQueryParams) -> FederatedAggQuery {
         let p = params.clone();
         let (envelope, gathered) = self.scatter_shards(move |shard| {
-            let qe = shard.agent().query_engine();
+            let agent = shard.agent()?;
+            let qe = agent.query_engine();
             let topics: Vec<Topic> = qe
                 .topics()
                 .into_iter()
                 .filter(|t| p.filter.matches(t))
                 .collect();
-            topics
-                .into_iter()
-                .map(|topic| {
-                    let series = qe.query_agg(&topic, p.from, p.to, p.step_ns);
-                    (topic, series)
-                })
-                .collect::<Vec<(Topic, AggSeries)>>()
+            Some(
+                topics
+                    .into_iter()
+                    .map(|topic| {
+                        let series = qe.query_agg(&topic, p.from, p.to, p.step_ns);
+                        (topic, series)
+                    })
+                    .collect::<Vec<(Topic, AggSeries)>>(),
+            )
         });
         let mut merged: std::collections::BTreeMap<Topic, AggSeries> =
             std::collections::BTreeMap::new();
@@ -450,6 +494,28 @@ impl QueryRouter {
     }
 
     fn note_timeout(&self, i: usize) {
+        if self.strike(i) {
+            // The federation refuses when the primary is alive (a
+            // merely-slow shard), so this can only promote for a shard
+            // that is genuinely dead.
+            self.federation.failover(i);
+        }
+    }
+
+    /// A scatter observed shard `i` with no live primary (skipped
+    /// pre-scatter, or its agent vanished mid-job): supervision strikes
+    /// exactly like a timeout, and crossing the threshold hands
+    /// detection to the federation.
+    fn note_failure(&self, i: usize) {
+        if self.strike(i) {
+            self.federation.failover(i);
+        }
+    }
+
+    /// One supervision strike against shard `i`. Returns true when the
+    /// strike crossed the routed-down threshold (the moment detection
+    /// escalates to the federation).
+    fn strike(&self, i: usize) -> bool {
         let rc = &self.config.reconnect;
         let mut sup = self.supervision[i].lock();
         sup.consecutive_timeouts += 1;
@@ -457,14 +523,17 @@ impl QueryRouter {
             // Failed probe: double the backoff, capped.
             let next = ((sup.backoff_ms as f64) * rc.multiplier) as u64;
             sup.backoff_ms = next.clamp(rc.base_ms, rc.cap_ms);
+            sup.next_probe_at = Some(Instant::now() + Duration::from_millis(sup.backoff_ms));
+            false
         } else if sup.consecutive_timeouts >= rc.down_threshold {
             sup.routed_down = true;
             sup.backoff_ms = rc.base_ms;
             self.marked_down.fetch_add(1, Ordering::Relaxed);
+            sup.next_probe_at = Some(Instant::now() + Duration::from_millis(sup.backoff_ms));
+            true
         } else {
-            return;
+            false
         }
-        sup.next_probe_at = Some(Instant::now() + Duration::from_millis(sup.backoff_ms));
     }
 
     /// Per-shard health rows for `/health` and `/federation`.
@@ -475,12 +544,16 @@ impl QueryRouter {
             .enumerate()
             .map(|(i, s)| {
                 let sup = self.supervision[i].lock().clone();
-                let storage_state = s
-                    .agent()
-                    .storage()
-                    .health()
-                    .map(|h| h.state.as_str())
-                    .unwrap_or("healthy");
+                let agent = s.agent();
+                let storage_state = match &agent {
+                    Some(a) => a
+                        .storage()
+                        .health()
+                        .map(|h| h.state.as_str())
+                        .unwrap_or("healthy"),
+                    None => "down",
+                };
+                let replication = s.replication_stats();
                 serde_json::json!({
                     "agent_id": s.id,
                     "up": s.is_up(),
@@ -489,8 +562,14 @@ impl QueryRouter {
                     "backoff_ms": if sup.routed_down { Some(sup.backoff_ms) } else { None },
                     "in_ring": map.agents.iter().any(|m| *m == s.id),
                     "storage": storage_state,
-                    "shard": s.agent().shard_assignment().map(|a| serde_json::json!({
+                    "primary_node": s.primary_node_id(),
+                    "standby_alive": s.standby_alive(),
+                    "promotions": s.promotions(),
+                    "replication_lag_entries": replication.map(|r| r.lag_entries),
+                    "replication_lag_ms": replication.map(|r| r.lag_ms),
+                    "shard": agent.and_then(|a| a.shard_assignment()).map(|a| serde_json::json!({
                         "index": a.index, "total": a.total, "epoch": a.epoch,
+                        "role": a.role.as_str(),
                     })),
                 })
             })
@@ -577,7 +656,15 @@ impl QueryRouter {
                 .federation
                 .shards()
                 .iter()
-                .map(|s| (s.id.clone(), s.agent().metrics_json()))
+                .map(|s| {
+                    // A crashed shard reports null, never a stale
+                    // document.
+                    let doc = s
+                        .agent()
+                        .map(|a| a.metrics_json())
+                        .unwrap_or(serde_json::Value::Null);
+                    (s.id.clone(), doc)
+                })
                 .collect();
             let body = serde_json::json!({
                 "router": rt.router_json(),
@@ -634,8 +721,10 @@ impl QueryRouter {
                 if !rt.reachable(i, shard) {
                     continue;
                 }
-                let resp =
-                    rt.shard_routes[i].dispatch(Request::new(Method::Get, "/analytics/plugins"));
+                let Some(routes) = rt.shard_router(i) else {
+                    continue;
+                };
+                let resp = routes.dispatch(Request::new(Method::Get, "/analytics/plugins"));
                 if let Ok(serde_json::Value::Array(list)) =
                     serde_json::from_str::<serde_json::Value>(&resp.body_str())
                 {
@@ -672,7 +761,13 @@ impl QueryRouter {
                     format!("owner shard {owner} is down"),
                 );
             }
-            rt.shard_routes[i].dispatch(Request::new(
+            let Some(routes) = rt.shard_router(i) else {
+                return Response::error(
+                    Status::ServiceUnavailable,
+                    format!("owner shard {owner} is down"),
+                );
+            };
+            routes.dispatch(Request::new(
                 Method::Get,
                 &format!("/analytics/compute/{name}?unit={unit}"),
             ))
@@ -834,6 +929,71 @@ mod tests {
     }
 
     #[test]
+    fn router_failure_detection_promotes_and_a_probe_recovers_without_double_promotion() {
+        use crate::replica::ReplicationConfig;
+        let fed = Arc::new(
+            FederatedAgent::new(FederationConfig {
+                agents: 2,
+                drain_timeout_ms: 100,
+                replication: ReplicationConfig::pair(),
+                ..FederationConfig::default()
+            })
+            .unwrap(),
+        );
+        for node in 0..4 {
+            feed(&fed, node, 1..=5);
+        }
+        let rt = QueryRouter::new(
+            Arc::clone(&fed),
+            RouterConfig {
+                shard_timeout_ms: 50,
+                reconnect: ReconnectConfig {
+                    base_ms: 20,
+                    cap_ms: 100,
+                    down_threshold: 2,
+                    ..ReconnectConfig::default()
+                },
+            },
+        );
+        let victim = fed.shards()[1].id.clone();
+        assert!(fed.kill(&victim));
+        let topic = t("/rack00/node00/power");
+
+        // Two scatters observe the dead primary: the second crosses the
+        // router's threshold and the detection hand-off promotes the
+        // standby.
+        let q = rt.query_sensors(&topic, Timestamp::ZERO, Timestamp::MAX);
+        assert_eq!(q.envelope.shards_down, 1);
+        assert_eq!(
+            fed.shards()[1].promotions(),
+            0,
+            "one strike is not detection"
+        );
+        let q = rt.query_sensors(&topic, Timestamp::ZERO, Timestamp::MAX);
+        assert_eq!(q.envelope.shards_down, 1, "this scatter still skipped it");
+        assert!(rt.is_routed_down(1));
+        assert_eq!(
+            fed.shards()[1].promotions(),
+            1,
+            "threshold promoted the standby"
+        );
+        assert!(fed.shards()[1].is_up());
+
+        // The probe lands on the promoted replica: routed-down clears
+        // and nothing promotes again.
+        std::thread::sleep(Duration::from_millis(30));
+        let q = rt.query_sensors(&topic, Timestamp::ZERO, Timestamp::MAX);
+        assert!(q.envelope.complete(), "{:?}", q.envelope);
+        assert!(!rt.is_routed_down(1));
+        assert_eq!(rt.stats().recovered, 1);
+        assert_eq!(fed.shards()[1].promotions(), 1, "no double promotion");
+        assert!(
+            !fed.failover(1),
+            "explicit failover of a live shard refuses"
+        );
+    }
+
+    #[test]
     fn rest_surface_serves_envelope_metrics_health_and_federation() {
         let fed = federation(2);
         feed(&fed, 0, 1..=4);
@@ -902,14 +1062,14 @@ mod tests {
         // Load one plugin on each shard that owns sensors (with 8 nodes
         // over 2 shards both do; the assert documents it).
         for shard in fed.shards() {
+            let agent = shard.agent().unwrap();
             assert!(
-                shard.agent().query_engine().sensor_count() > 0,
+                agent.query_engine().sensor_count() > 0,
                 "{} owns no sensors",
                 shard.id
             );
-            wintermute_plugins::register_all(shard.agent().manager(), None);
-            shard
-                .agent()
+            wintermute_plugins::register_all(agent.manager(), None);
+            agent
                 .manager()
                 .load(
                     wintermute::prelude::PluginConfig::online("avg", "aggregator", 1000)
@@ -939,6 +1099,7 @@ mod tests {
         // the shard hosting the unit.
         let unit = fed.shards()[0]
             .agent()
+            .unwrap()
             .manager()
             .units_of("avg")
             .unwrap()

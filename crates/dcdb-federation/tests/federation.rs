@@ -12,7 +12,9 @@ use dcdb_collectagent::{CollectAgent, CollectAgentConfig};
 use dcdb_common::reading::SensorReading;
 use dcdb_common::time::Timestamp;
 use dcdb_common::topic::Topic;
-use dcdb_federation::{FederatedAgent, FederationConfig, QueryRouter, RouterConfig};
+use dcdb_federation::{
+    FederatedAgent, FederationConfig, QueryRouter, ReplicationConfig, RouterConfig,
+};
 use dcdb_storage::StorageBackend;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -33,11 +35,16 @@ fn agent_config() -> CollectAgentConfig {
 }
 
 fn federation(agents: usize) -> Arc<FederatedAgent> {
+    federation_with(agents, ReplicationConfig::default())
+}
+
+fn federation_with(agents: usize, replication: ReplicationConfig) -> Arc<FederatedAgent> {
     Arc::new(
         FederatedAgent::new(FederationConfig {
             agents,
             agent: agent_config(),
             drain_timeout_ms: 200,
+            replication,
             ..FederationConfig::default()
         })
         .unwrap(),
@@ -144,17 +151,19 @@ proptest! {
         }
     }
 
-    /// A kill/rejoin cycle mid-stream loses nothing: every reading
-    /// published (and routed) before, during, and after the outage is
-    /// returned exactly once after the shard rejoins.
+    /// With replica pairs, a kill mid-stream loses nothing that was
+    /// acked: refused publishes during the detection window ride the
+    /// spool (accounted by `is_ok`), the standby promotes with the
+    /// in-flight stream drained, and after the crashed node rejoins as
+    /// the new standby every routed reading is returned exactly once.
     #[test]
-    fn kill_rejoin_preserves_every_routed_reading(
+    fn kill_failover_rejoin_preserves_every_acked_reading(
         agents in 2usize..5,
         node in 0usize..6,
         kill_at in 5u64..15,
         rejoin_at in 16u64..25,
     ) {
-        let fed = federation(agents);
+        let fed = federation_with(agents, ReplicationConfig::pair());
         let rt = QueryRouter::new(Arc::clone(&fed), RouterConfig::default());
         let topic = t(&format!("/rack00/node{node:02}/power"));
         let owner = fed.shard_map().assign_id(&topic).unwrap().to_string();
@@ -178,9 +187,10 @@ proptest! {
         }
         fed.tick(Timestamp::from_secs(31));
 
-        // Single-shard federations refuse publishes during the outage
-        // (the pusher would spool); multi-shard ones reroute. Either
-        // way, everything *routed* must come back exactly once.
+        // Detection promoted the standby at the failover threshold (or
+        // the rejoin promoted it first); either way the shard serves
+        // again and nothing acked was lost or duplicated.
+        prop_assert!(fed.shard(&owner).unwrap().is_up());
         let got = rt.query_sensors(&topic, Timestamp::ZERO, Timestamp::MAX);
         prop_assert!(got.envelope.complete(), "{:?}", got.envelope);
         let got_secs: Vec<u64> = got

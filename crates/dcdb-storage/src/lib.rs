@@ -31,6 +31,7 @@ pub mod rollup;
 pub mod segment;
 pub mod series;
 pub mod snapshot;
+pub mod tail;
 pub mod wal;
 
 pub use backend::{StorageBackend, StorageStats};
@@ -39,6 +40,7 @@ pub use health::{HealthConfig, HealthCore, HealthState, StorageHealthReport};
 pub use io::{FaultConfig, FaultIo, FaultIoStats, StdIo, StorageIo};
 pub use rollup::{AggFrame, RollupConfig, RollupStats, TierSpec, DEFAULT_TIER_WIDTHS_NS};
 pub use series::{Series, DEFAULT_PARTITION_NS};
+pub use tail::{JournalTail, TailEntry, TappedEngine};
 pub use wal::FsyncPolicy;
 
 use dcdb_common::batch::ReadingBatch;
@@ -115,5 +117,20 @@ pub trait StorageEngine: Send + Sync + std::fmt::Debug {
         _t1: Timestamp,
     ) -> Vec<AggFrame> {
         Vec::new()
+    }
+    /// Per-sensor last-applied watermark: the newest stored timestamp
+    /// for `topic`. Replication catch-up replays a source engine only
+    /// past the destination's watermark; because every engine dedups
+    /// equal timestamps, replay across the boundary is idempotent.
+    fn watermark(&self, topic: &Topic) -> Option<Timestamp> {
+        self.latest(topic).map(|r| r.ts)
+    }
+    /// All per-sensor watermarks, one `(topic, newest ts)` pair per
+    /// stored sensor — the anti-entropy summary a catch-up exchanges.
+    fn watermarks(&self) -> Vec<(Topic, Timestamp)> {
+        self.topics()
+            .into_iter()
+            .filter_map(|t| self.watermark(&t).map(|ts| (t, ts)))
+            .collect()
     }
 }

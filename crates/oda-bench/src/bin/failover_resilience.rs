@@ -1,0 +1,116 @@
+//! Failover resilience: replica-pair promotion, detection/promotion
+//! latency in virtual time, and the replication-disabled degradation
+//! cell.
+//!
+//! ```text
+//! cargo run --release -p oda-bench --bin failover_resilience                    # full run
+//! cargo run --release -p oda-bench --bin failover_resilience -- --quick        # CI gate
+//! cargo run --release -p oda-bench --bin failover_resilience -- --fault-seed 7 # reseed all 3 lanes
+//! ```
+//!
+//! All three fault layers (collector chaos-bus outages, journal device
+//! seeds, kill schedule) split from the single `--fault-seed` via
+//! splitmix64 lanes, so one number replays the whole scenario. Exits
+//! nonzero unless the replicated cell promotes within 2 s of virtual
+//! time with zero acked loss and zero duplicates, lag reconverges
+//! after the rejoin, and the factor-1 cell degrades to an accounted
+//! partial-result envelope.
+
+use oda_bench::failover_resilience::{run, FailoverResilienceConfig};
+use oda_bench::{write_json_report, BenchMeta};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "--smoke");
+    let mut config = if quick {
+        FailoverResilienceConfig::quick()
+    } else {
+        FailoverResilienceConfig::paper()
+    };
+    if let Some(i) = args.iter().position(|a| a == "--fault-seed") {
+        config.fault_seed = args
+            .get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--fault-seed needs a u64 value");
+                std::process::exit(2);
+            });
+    }
+
+    println!(
+        "failover resilience bench: {} shards x2 nodes, {} rounds x {} virtual ms, \
+         kill @ {} / rejoin @ {}, fault seed {:#x}\n",
+        config.agents,
+        config.rounds,
+        config.round_ms,
+        config.kill_round,
+        config.rejoin_round,
+        config.fault_seed
+    );
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("oda-bench-failover-{}", std::process::id()));
+
+    let started = std::time::Instant::now();
+    let result = run(&config, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let r = &result.replicated;
+    println!(
+        "replicated: victim {} killed @ round {} | detection {} ms, promotion {} ms, \
+         unavailable {} ms ({} refused)",
+        r.victim,
+        r.killed_at_round,
+        r.detection_ms,
+        r.promotion_ms,
+        r.unavailability_ms,
+        r.refused_publishes
+    );
+    println!(
+        "            published {} (collector skipped {}), returned {}, lost {}, dup {}, \
+         promotions {}",
+        r.published, r.collector_outage_skips, r.returned, r.lost_acked, r.duplicates, r.promotions
+    );
+    println!(
+        "            lag converged {} (final {} entries, {:?} rounds after rejoin), \
+         accounted {}, complete after recovery {} -> {}",
+        r.lag_converged,
+        r.final_lag_entries,
+        r.lag_rounds_to_converge,
+        r.envelopes_accounted,
+        r.complete_after_recovery,
+        if r.ok { "OK" } else { "FAILED" }
+    );
+    let d = &result.degraded;
+    println!(
+        "degraded:   victim {} | removals {}, partial visible {}, accounted {}, \
+         lost on survivors {}, unavailable {}, dup {} -> {}",
+        d.victim,
+        d.degraded_removals,
+        d.partial_envelope_visible,
+        d.envelopes_accounted,
+        d.lost_on_survivors,
+        d.unavailable_acked,
+        d.duplicates,
+        if d.ok { "OK" } else { "FAILED" }
+    );
+    println!(
+        "lanes: collector {:#x}, disk {:#x}, kill {:#x}",
+        result.sub_seeds[0], result.sub_seeds[1], result.sub_seeds[2]
+    );
+
+    let meta = BenchMeta::new(
+        "failover_resilience",
+        Some(config.fault_seed),
+        &config,
+        started,
+    );
+    match write_json_report(&meta, &result) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write results: {e}"),
+    }
+
+    if !result.ok {
+        eprintln!("failover resilience FAILED");
+        std::process::exit(1);
+    }
+}

@@ -178,8 +178,9 @@ fn drain_parallel(fed: &Arc<FederatedAgent>) {
         .map(|shard| {
             let shard = Arc::clone(shard);
             std::thread::spawn(move || {
-                while shard.agent().process_pending() > 0 {}
-                shard.agent().storage().flush().expect("flush");
+                let agent = shard.agent().expect("shard is up");
+                while agent.process_pending() > 0 {}
+                agent.storage().flush().expect("flush");
             })
         })
         .collect();

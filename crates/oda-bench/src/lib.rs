@@ -20,6 +20,7 @@
 //! | [`storage_faults`] | Durable engine health/recovery through injected I/O faults |
 //! | [`rollup_query`] | Raw-scan vs tier-served aggregation latency |
 //! | [`federation_scaling`] | Federated ingest scaling + scatter-gather query latency |
+//! | [`failover_resilience`] | Replica-pair promotion under a seeded primary crash |
 //!
 //! Every binary writes `bench-results/<name>.json` in a normalized
 //! shape: `{"meta": {...}, "data": {...}}` where the [`BenchMeta`]
@@ -31,6 +32,7 @@
 
 pub mod bus_saturation;
 pub mod delivery_resilience;
+pub mod failover_resilience;
 pub mod federation_scaling;
 pub mod fig5;
 pub mod fig6;

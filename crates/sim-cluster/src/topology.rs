@@ -45,8 +45,9 @@ impl Topology {
     }
 
     /// A topology sized for a federated deployment of `agents` Collect
-    /// Agents (clamped to 4–16, the range the federation bench and the
-    /// CI smoke drive): one rack per agent, sixteen nodes per rack.
+    /// Agents (clamped to 4–16, the range the federation scaling and
+    /// failover-resilience benches and the CI smokes drive): one rack
+    /// per agent, sixteen nodes per rack.
     /// With the federation's default shard key (`/rackNN/nodeNN`, depth
     /// 2) that yields sixteen times as many shard keys as agents — fine
     /// enough granularity for the consistent-hash ring to spread load

@@ -10,7 +10,7 @@
 //!
 //! ```text
 //! cargo run --release --bin wintermute-sim -- [--nodes N] [--duration SECS] [--port P]
-//!     [--agents N] [--replicas N] [--shard-timeout-ms N]
+//!     [--agents N] [--vnodes N] [--replicas 1|2] [--shard-timeout-ms N]
 //!     [--data-dir DIR] [--fsync always|batch|never] [--retention-secs N]
 //!     [--snapshot-path FILE] [--snapshot-secs N]
 //!     [--router-depth N] [--sub-depth N] [--overflow block|drop-newest|drop-oldest]
@@ -23,8 +23,15 @@
 //!
 //! Federation (`--agents N`, N > 1): the storage tier becomes a
 //! [`FederatedAgent`] — N Collect Agents, each owning a shard of the
-//! topic space on a consistent-hash ring (`--replicas` virtual nodes
-//! per agent). Pushers publish *through the federation*, which routes
+//! topic space on a consistent-hash ring (`--vnodes` virtual nodes per
+//! agent). `--replicas 2` runs every shard as a primary/replica pair:
+//! the primary streams its acked journal to a standby, failure
+//! detection promotes the standby when the primary dies, and the
+//! status line and `GET /federation` report per-shard roles,
+//! replication lag, and promotions. (`--replicas` used to mean ring
+//! vnodes; a value above 2 is taken in the old sense with a
+//! deprecation note.) Pushers publish *through the federation*, which
+//! routes
 //! each reading to the shard owning its topic, and the REST surface is
 //! served by the scatter-gather [`QueryRouter`]: `/sensors` responses
 //! carry a partial-result envelope (`shards_total == shards_ok +
@@ -96,7 +103,7 @@ use dcdb_wintermute::dcdb_bus::{
 use dcdb_wintermute::dcdb_collectagent::{CollectAgent, CollectAgentConfig, SimJobSource};
 use dcdb_wintermute::dcdb_common::{Timestamp, Topic};
 use dcdb_wintermute::dcdb_federation::{
-    FederatedAgent, FederationConfig, QueryRouter, RouterConfig, DEFAULT_VNODES,
+    FederatedAgent, FederationConfig, QueryRouter, ReplicationConfig, RouterConfig, DEFAULT_VNODES,
 };
 use dcdb_wintermute::dcdb_pusher::{
     standard_plugin_set, ConnectionState, DeliveryConfig, Pusher, PusherConfig, ReconnectConfig,
@@ -148,7 +155,27 @@ fn main() {
     let duration_s = arg("--duration", 30);
     let port = arg("--port", 0);
     let agents_n = arg("--agents", 1).max(1) as usize;
-    let replicas = arg("--replicas", DEFAULT_VNODES as u64).max(1) as usize;
+    // --vnodes is the ring knob; --replicas is the replication factor.
+    // --replicas historically meant vnodes, so a value that can only be
+    // a vnode count (> 2) keeps the old meaning, with a note.
+    let vnodes_arg = arg_str("--vnodes").and_then(|v| v.parse::<u64>().ok());
+    let replicas_arg = arg_str("--replicas").and_then(|v| v.parse::<u64>().ok());
+    let mut vnodes = vnodes_arg.unwrap_or(DEFAULT_VNODES as u64).max(1) as usize;
+    let replication_factor = match replicas_arg {
+        Some(n) if n > 2 => {
+            eprintln!(
+                "deprecated: --replicas {n} looks like the old meaning (ring virtual nodes); \
+                 honoring it as --vnodes {n}. --replicas now sets the per-shard replication \
+                 factor (1 = unreplicated, 2 = primary/replica pairs)."
+            );
+            if vnodes_arg.is_none() {
+                vnodes = n as usize;
+            }
+            1
+        }
+        Some(n) => n.max(1) as usize,
+        None => 1,
+    };
     let federated = agents_n > 1;
     let data_dir = arg_str("--data-dir").map(PathBuf::from);
     let snapshot_path = arg_str("--snapshot-path").map(PathBuf::from);
@@ -225,40 +252,51 @@ fn main() {
             FederatedAgent::new_with(
                 FederationConfig {
                     agents: agents_n,
-                    vnodes: replicas,
+                    vnodes,
                     agent: CollectAgentConfig {
                         ingest_budget,
                         ..CollectAgentConfig::default()
                     },
+                    replication: ReplicationConfig {
+                        replication_factor,
+                        ..ReplicationConfig::default()
+                    },
                     ..FederationConfig::default()
                 },
-                |_, id| match &data_dir {
-                    Some(dir) => {
-                        let io: Arc<dyn StorageIo> = Arc::new(dcdb_wintermute::dcdb_storage::StdIo);
-                        let db = Arc::new(DurableBackend::open_with(
-                            io,
-                            &dir.join(id),
-                            durable_config.clone(),
-                        )?);
-                        let rec = db.recovery();
-                        println!(
-                            "shard {id}: durable storage in {}, recovered {} segments \
-                             ({} readings) + {} WAL files ({} readings)",
-                            dir.join(id).display(),
-                            rec.segments,
-                            rec.segment_readings,
-                            rec.wal_files,
-                            rec.wal_readings,
-                        );
-                        Ok(db as Arc<dyn StorageEngine>)
+                {
+                    // The federation keeps the factory for rejoins, so
+                    // it owns its inputs.
+                    let data_dir = data_dir.clone();
+                    let durable_config = durable_config.clone();
+                    move |_, id: &str| match &data_dir {
+                        Some(dir) => {
+                            let io: Arc<dyn StorageIo> =
+                                Arc::new(dcdb_wintermute::dcdb_storage::StdIo);
+                            let db = Arc::new(DurableBackend::open_with(
+                                io,
+                                &dir.join(id),
+                                durable_config.clone(),
+                            )?);
+                            let rec = db.recovery();
+                            println!(
+                                "shard {id}: durable storage in {}, recovered {} segments \
+                                 ({} readings) + {} WAL files ({} readings)",
+                                dir.join(id).display(),
+                                rec.segments,
+                                rec.segment_readings,
+                                rec.wal_files,
+                                rec.wal_readings,
+                            );
+                            Ok(db as Arc<dyn StorageEngine>)
+                        }
+                        None => Ok(Arc::new(StorageBackend::new()) as Arc<dyn StorageEngine>),
                     }
-                    None => Ok(Arc::new(StorageBackend::new()) as Arc<dyn StorageEngine>),
                 },
             )
             .expect("federation"),
         );
         for shard in fed.shards() {
-            let agent = shard.agent();
+            let agent = shard.agent().expect("shards start up");
             agent.manager().set_fault_policy(fault_policy);
             wintermute_plugins::register_all(agent.manager(), Some(Arc::clone(&jobs)));
             agent
@@ -496,7 +534,8 @@ fn main() {
         ),
         Tier::Federated { fed, .. } => println!(
             "wintermute-sim: {nodes} nodes, {agents_n} sharded agents \
-             ({replicas} vnodes each, epoch {}), REST on http://{}",
+             ({vnodes} vnodes each, replication factor {replication_factor}, epoch {}), \
+             REST on http://{}",
             fed.shard_map().epoch,
             server.addr()
         ),
@@ -622,11 +661,12 @@ fn main() {
                     let mut backlog = 0usize;
                     let mut ops = OperatorTotals::default();
                     for shard in fed.shards() {
-                        let a = shard.agent().stats();
+                        let Some(agent) = shard.agent() else { continue };
+                        let a = agent.stats();
                         ingested += a.readings;
-                        stored += shard.agent().storage().stats().readings;
-                        backlog += shard.agent().ingest_backlog();
-                        let t = shard.agent().manager().metrics_totals();
+                        stored += agent.storage().stats().readings;
+                        backlog += agent.ingest_backlog();
+                        let t = agent.manager().metrics_totals();
                         ops.runs += t.runs;
                         ops.successes += t.successes;
                         ops.errors += t.errors;
@@ -634,13 +674,38 @@ fn main() {
                         ops.overruns += t.overruns;
                         ops.quarantined_operators += t.quarantined_operators;
                     }
+                    // Per-shard role summary: primary node + replication
+                    // lag where a standby is wired.
+                    let roles: Vec<String> = fed
+                        .shards()
+                        .iter()
+                        .map(|s| match s.replication_stats() {
+                            Some(r) => format!(
+                                "{}={} (lag {} entries/{} ms)",
+                                s.id,
+                                s.primary_node_id(),
+                                r.lag_entries,
+                                r.lag_ms
+                            ),
+                            None => format!(
+                                "{}={}",
+                                s.id,
+                                if s.is_up() {
+                                    s.primary_node_id()
+                                } else {
+                                    "down"
+                                }
+                            ),
+                        })
+                        .collect();
                     println!(
                         "[{elapsed:>3}s] federation epoch {}: {}/{} shards up, ingested \
                          {ingested} readings, {jobs_running} jobs running, storage holds \
                          {stored} readings, bus dropped {}, backlog {backlog}, routed {} \
-                         (refused {}), rebalances {} (drain timeouts {}), router: {} queries \
-                         ({} timeouts, {} marked down), {delivery_seg}, operators: {} runs \
-                         ({} ok, {} err, {} panic, {} overrun, {} quarantined)",
+                         (refused {}), rebalances {} (drain timeouts {}), promotions {} \
+                         (degraded {}), replication lag {} entries, roles [{}], router: {} \
+                         queries ({} timeouts, {} marked down), {delivery_seg}, operators: \
+                         {} runs ({} ok, {} err, {} panic, {} overrun, {} quarantined)",
                         fs.epoch,
                         fs.shards_up,
                         fs.shards_total,
@@ -649,6 +714,10 @@ fn main() {
                         fs.publishes_refused,
                         fs.rebalances,
                         fs.drains_timed_out,
+                        fs.promotions,
+                        fs.degraded_removals,
+                        fs.replication_lag_entries,
+                        roles.join(", "),
                         rs.queries,
                         rs.shard_timeouts,
                         rs.marked_down,
@@ -677,7 +746,8 @@ fn main() {
         },
         Tier::Federated { fed, .. } => {
             for shard in fed.shards() {
-                if let Err(e) = shard.agent().storage().flush() {
+                let Some(agent) = shard.agent() else { continue };
+                if let Err(e) = agent.storage().flush() {
                     eprintln!("shard {} storage flush failed: {e}", shard.id);
                 }
             }
@@ -716,14 +786,20 @@ fn main() {
         }
         Tier::Federated { fed, router } => {
             for shard in fed.shards() {
-                let a = shard.agent().stats();
+                let Some(agent) = shard.agent() else {
+                    println!("  shard {} (down)", shard.id);
+                    continue;
+                };
+                let a = agent.stats();
                 println!(
-                    "  shard {} ({}): {} readings ingested, {} sensors, storage {:?}",
+                    "  shard {} (up, primary {}, promotions {}): {} readings ingested, \
+                     {} sensors, storage {:?}",
                     shard.id,
-                    if shard.is_up() { "up" } else { "down" },
+                    shard.primary_node_id(),
+                    shard.promotions(),
                     a.readings,
-                    shard.agent().query_engine().sensor_count(),
-                    shard.agent().storage().stats(),
+                    agent.query_engine().sensor_count(),
+                    agent.storage().stats(),
                 );
             }
             // One scatter-gather query through the router, envelope and all.
