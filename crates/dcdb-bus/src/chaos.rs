@@ -22,20 +22,26 @@
 //!   prefix are refused (one pusher cut off from the agent while the
 //!   rest of the system keeps flowing).
 //!
-//! The wrapper is clocked by *virtual time*: the driver calls
-//! [`ChaosBus::advance`] with every tick timestamp, so the schedule is
-//! deterministic under any tick rate and independent of the wall clock.
+//! The wrapper is clocked by *virtual time*: it ticks from a shared
+//! [`SimClock`] — the driver calls [`ChaosBus::advance`] with every
+//! tick timestamp (a monotonic `fetch_max`, so out-of-order ticks can
+//! never rewind an outage window), or hands the same clock to the
+//! storage and delivery fault layers so one timeline drives compound
+//! failures. When an [`EventTrace`] is attached, every injected fault
+//! is appended to the canonical trace whose hash witnesses replay
+//! determinism.
 
 use crate::broker::{BusHandle, BusStatsSnapshot, MessageBus, SubscribeOptions, Subscription};
 use crate::filter::TopicFilter;
 use bytes::Bytes;
 use dcdb_common::error::DcdbError;
+use dcdb_common::sim::{EventTrace, SimClock};
 use dcdb_common::time::Timestamp;
 use dcdb_common::topic::Topic;
 use parking_lot::Mutex;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One scheduled partition: publishes under `prefix` are refused while
@@ -181,9 +187,11 @@ impl Ord for Delayed {
 }
 
 struct ChaosState {
-    inner: BusHandle,
+    inner: Arc<dyn MessageBus>,
     config: ChaosConfig,
-    now_ns: AtomicU64,
+    clock: Arc<SimClock>,
+    trace: Mutex<Option<EventTrace>>,
+    was_outage: AtomicBool,
     rng: Mutex<StdRng>,
     delayed: Mutex<BinaryHeap<Delayed>>,
     /// Prefixes partitioned at runtime via [`ChaosBus::partition`], in
@@ -198,6 +206,12 @@ struct ChaosState {
 }
 
 impl ChaosState {
+    fn record(&self, at_ns: u64, detail: &str) {
+        if let Some(trace) = self.trace.lock().as_ref() {
+            trace.record(Timestamp(at_ns), "bus", detail);
+        }
+    }
+
     fn in_outage(&self, now: u64) -> bool {
         self.config
             .outages
@@ -219,12 +233,13 @@ impl ChaosState {
     }
 
     fn release_due(&self, now: u64) {
+        let before = self.released.load(Ordering::Relaxed);
         loop {
             let msg = {
                 let mut delayed = self.delayed.lock();
                 match delayed.peek() {
                     Some(d) if d.release_ns <= now => delayed.pop(),
-                    _ => return,
+                    _ => break,
                 }
             };
             if let Some(d) = msg {
@@ -234,6 +249,10 @@ impl ChaosState {
                 // loss is the inner bus's to count.
                 let _ = self.inner.publish(d.topic, d.payload);
             }
+        }
+        let released = self.released.load(Ordering::Relaxed) - before;
+        if released > 0 {
+            self.record(now, &format!("released {released}"));
         }
     }
 }
@@ -248,14 +267,24 @@ pub struct ChaosBus {
 }
 
 impl ChaosBus {
-    /// Wraps `inner` with the given fault schedule.
+    /// Wraps `inner` with the given fault schedule, on a private clock.
     pub fn new(inner: BusHandle, config: ChaosConfig) -> ChaosBus {
+        ChaosBus::over(Arc::new(inner), config, SimClock::new())
+    }
+
+    /// Wraps any [`MessageBus`] — a raw handle, a federation front-end,
+    /// another wrapper — ticking from a shared [`SimClock`], so the bus
+    /// chaos layer and the storage/delivery fault layers can observe
+    /// one timeline from one `advance`.
+    pub fn over(inner: Arc<dyn MessageBus>, config: ChaosConfig, clock: Arc<SimClock>) -> ChaosBus {
         let rng = StdRng::seed_from_u64(config.seed);
         ChaosBus {
             state: Arc::new(ChaosState {
                 inner,
                 config,
-                now_ns: AtomicU64::new(0),
+                clock,
+                trace: Mutex::new(None),
+                was_outage: AtomicBool::new(false),
                 rng: Mutex::new(rng),
                 delayed: Mutex::new(BinaryHeap::new()),
                 manual_partitions: Mutex::new(Vec::new()),
@@ -269,15 +298,38 @@ impl ChaosBus {
         }
     }
 
+    /// Attaches the canonical event trace: injected faults (outage
+    /// transitions, drops, partitions, delayed releases) are appended
+    /// with virtual timestamps from here on.
+    pub fn set_trace(&self, trace: EventTrace) {
+        *self.state.trace.lock() = Some(trace);
+    }
+
+    /// The shared virtual clock this wrapper ticks from.
+    pub fn clock(&self) -> Arc<SimClock> {
+        Arc::clone(&self.state.clock)
+    }
+
     /// Advances virtual time: outage/partition windows are evaluated
     /// against the latest `advance`d timestamp, and any delayed message
     /// whose release time has passed is forwarded to the inner bus (in
-    /// release order). Call once per driver tick.
+    /// release order). The underlying [`SimClock`] is monotonic
+    /// (`fetch_max`), so a stale out-of-order tick can never rewind an
+    /// outage window. Call once per driver tick.
     pub fn advance(&self, now: Timestamp) {
-        let ns = now.as_nanos();
-        self.state.now_ns.fetch_max(ns, Ordering::AcqRel);
-        self.state
-            .release_due(self.state.now_ns.load(Ordering::Acquire));
+        let effective = self.state.clock.advance_to(now).as_nanos();
+        let in_outage = self.state.in_outage(effective);
+        if in_outage != self.state.was_outage.swap(in_outage, Ordering::AcqRel) {
+            self.state.record(
+                effective,
+                if in_outage {
+                    "outage-enter"
+                } else {
+                    "outage-exit"
+                },
+            );
+        }
+        self.state.release_due(effective);
     }
 
     /// Cuts every topic under `prefix` off from the bus until
@@ -287,23 +339,30 @@ impl ChaosBus {
         let mut parts = self.state.manual_partitions.lock();
         if !parts.iter().any(|p| p == prefix) {
             parts.push(prefix.to_string());
+            self.state
+                .record(self.state.clock.now_ns(), &format!("partition {prefix}"));
         }
     }
 
     /// Removes a runtime partition installed by [`ChaosBus::partition`].
     pub fn heal(&self, prefix: &str) {
-        self.state.manual_partitions.lock().retain(|p| p != prefix);
+        let mut parts = self.state.manual_partitions.lock();
+        let before = parts.len();
+        parts.retain(|p| p != prefix);
+        if parts.len() != before {
+            self.state
+                .record(self.state.clock.now_ns(), &format!("heal {prefix}"));
+        }
     }
 
     /// True while the current virtual time is inside an outage window.
     pub fn in_outage(&self) -> bool {
-        self.state
-            .in_outage(self.state.now_ns.load(Ordering::Acquire))
+        self.state.in_outage(self.state.clock.now_ns())
     }
 
-    /// The wrapped production handle (bypasses fault injection — used
-    /// by consumers that subscribe rather than publish).
-    pub fn inner(&self) -> &BusHandle {
+    /// The wrapped bus (bypasses fault injection — used by consumers
+    /// that subscribe rather than publish).
+    pub fn inner(&self) -> &Arc<dyn MessageBus> {
         &self.state.inner
     }
 
@@ -322,7 +381,7 @@ impl ChaosBus {
 
 impl MessageBus for ChaosBus {
     fn publish(&self, topic: Topic, payload: Bytes) -> Result<(), DcdbError> {
-        let now = self.state.now_ns.load(Ordering::Acquire);
+        let now = self.state.clock.now_ns();
         if self.state.in_outage(now) {
             self.state.refused_outage.fetch_add(1, Ordering::Relaxed);
             return Err(DcdbError::Disconnected("chaos: broker outage".into()));
@@ -339,7 +398,8 @@ impl MessageBus for ChaosBus {
             // Accepted-then-lost: the publisher sees success, the wire
             // ate the frame. This is the one fault a QoS-0 publisher
             // cannot observe, so it is counted here.
-            self.state.dropped.fetch_add(1, Ordering::Relaxed);
+            let n = self.state.dropped.fetch_add(1, Ordering::Relaxed) + 1;
+            self.state.record(now, &format!("drop {n} {topic}"));
             return Ok(());
         }
         if self.state.config.delay_ns > 0 {
@@ -360,7 +420,7 @@ impl MessageBus for ChaosBus {
     }
 
     fn stats(&self) -> BusStatsSnapshot {
-        MessageBus::stats(&self.state.inner)
+        self.state.inner.stats()
     }
 }
 
@@ -478,6 +538,59 @@ mod tests {
 
         assert_eq!(sub.queued(), 3);
         assert_eq!(chaos.metrics().refused_partition, 1);
+    }
+
+    #[test]
+    fn out_of_order_advance_cannot_rewind_the_outage_window() {
+        // Regression guard for the SimClock unification: `advance` is a
+        // monotonic fetch_max, so a stale tick arriving after the
+        // window closed must not re-enter the outage.
+        let broker = Broker::new_sync();
+        let chaos = ChaosBus::new(
+            broker.handle(),
+            ChaosConfig::quiet(5).with_outage_ms(100, 200),
+        );
+        chaos.advance(ms(150));
+        assert!(chaos.in_outage());
+        chaos.advance(ms(250));
+        assert!(!chaos.in_outage());
+        // Stale out-of-order tick from a slow driver thread.
+        chaos.advance(ms(150));
+        assert!(!chaos.in_outage(), "stale tick rewound the outage window");
+        assert!(chaos.publish(t("/a"), Bytes::new()).is_ok());
+        assert_eq!(chaos.clock().now(), ms(250));
+    }
+
+    #[test]
+    fn shared_clock_drives_two_wrappers_and_traces_transitions() {
+        let clock = dcdb_common::sim::SimClock::new();
+        let trace = dcdb_common::sim::EventTrace::new();
+        let broker = Broker::new_sync();
+        let a = ChaosBus::over(
+            Arc::new(broker.handle()),
+            ChaosConfig::quiet(1).with_outage_ms(100, 200),
+            Arc::clone(&clock),
+        );
+        let b = ChaosBus::over(
+            Arc::new(broker.handle()),
+            ChaosConfig::quiet(2).with_outage_ms(150, 300),
+            Arc::clone(&clock),
+        );
+        a.set_trace(trace.clone());
+        b.set_trace(trace.clone());
+
+        // One advance on either wrapper moves the shared timeline.
+        a.advance(ms(160));
+        assert!(a.in_outage() && b.in_outage());
+        b.advance(ms(250));
+        assert!(!a.in_outage() && b.in_outage());
+        assert_eq!(a.clock().now(), ms(250));
+        a.advance(ms(250));
+
+        // Both wrappers appended their transitions to the one trace.
+        assert_eq!(trace.events(), 3); // a enter, b enter, a exit
+        let again = trace.witness();
+        assert_eq!(again, trace.witness(), "witness is stable");
     }
 
     #[test]

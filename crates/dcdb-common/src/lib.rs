@@ -16,6 +16,11 @@
 //!   buffer with O(1) relative and O(log N) absolute views (paper §V-B);
 //! * [`regex`] — a from-scratch linear-time regular-expression engine
 //!   used by Unit System filters (paper §III-B);
+//! * [`sim`] — deterministic-simulation primitives: the shared
+//!   [`SimClock`](sim::SimClock), the canonical
+//!   [`EventTrace`](sim::EventTrace) whose hash witnesses replay
+//!   determinism, the [`SimScheduler`](sim::SimScheduler) event queue,
+//!   and the splitmix64 [`derive_seed`](sim::derive_seed) lane splitter;
 //! * [`config`] — typed and key-value configuration blocks;
 //! * [`error`] — the shared [`DcdbError`](error::DcdbError) type.
 
@@ -27,6 +32,7 @@ pub mod config;
 pub mod error;
 pub mod reading;
 pub mod regex;
+pub mod sim;
 pub mod time;
 pub mod topic;
 
@@ -36,5 +42,6 @@ pub use config::{KvConfig, SamplingConfig};
 pub use error::{DcdbError, Result};
 pub use reading::{decode_f64, encode_f64, ReadingStats, SensorReading, FIXED_POINT_SCALE};
 pub use regex::Regex;
+pub use sim::{derive_seed, EventTrace, SimClock, SimScheduler};
 pub use time::{Timestamp, VirtualClock, NS_PER_MS, NS_PER_SEC, NS_PER_US};
 pub use topic::{SensorId, SensorMetadata, SensorRegistry, Topic};

@@ -231,14 +231,10 @@ pub fn catch_up(src: &dyn StorageEngine, dst: &dyn StorageEngine) -> Result<Catc
 }
 
 /// Splits one user-facing seed into independent sub-seeds for the
-/// layered fault injectors (bus chaos, storage faults, kill schedule),
-/// splitmix64-style — one knob drives every layer deterministically.
-pub fn derive_seed(seed: u64, lane: u64) -> u64 {
-    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(lane.wrapping_add(1)));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// layered fault injectors — re-exported from
+/// [`dcdb_common::sim::derive_seed`], where the implementation now
+/// lives so every harness shares one splitter.
+pub use dcdb_common::sim::derive_seed;
 
 /// The Arc alias every replication call site passes around.
 pub type EngineRef = Arc<dyn StorageEngine>;

@@ -42,6 +42,7 @@ use crate::agent::{FederatedAgent, Shard};
 use crate::ring::ShardMap;
 use dcdb_collectagent::{agg_series_json, parse_agg_query, AggQueryParams};
 use dcdb_common::reading::SensorReading;
+use dcdb_common::sim::{EventTrace, SimClock};
 use dcdb_common::time::Timestamp;
 use dcdb_common::topic::Topic;
 use dcdb_pusher::ReconnectConfig;
@@ -86,7 +87,9 @@ struct ShardSupervision {
     consecutive_timeouts: u64,
     routed_down: bool,
     backoff_ms: u64,
-    next_probe_at: Option<Instant>,
+    /// Probe due time on the router's clock (wall nanoseconds since the
+    /// router's origin, or virtual nanoseconds under a [`SimClock`]).
+    next_probe_at_ns: Option<u64>,
     /// The shard's role epoch when it was marked routed-down. A bumped
     /// epoch (promotion, rejoin-as-primary) is a known recovery event:
     /// the backoff was waiting for exactly this, so the next scatter
@@ -100,7 +103,7 @@ impl ShardSupervision {
             consecutive_timeouts: 0,
             routed_down: false,
             backoff_ms: 0,
-            next_probe_at: None,
+            next_probe_at_ns: None,
             marked_role_epoch: 0,
         }
     }
@@ -207,6 +210,11 @@ pub struct QueryRouter {
     /// failover or rejoin-as-primary swaps the agent behind a shard,
     /// and the table is lazily rebuilt on first use after the swap.
     shard_routes: Vec<Mutex<(u64, Option<Arc<Router>>)>>,
+    /// Probe timers run on this clock when set (deterministic
+    /// simulation); on the wall clock relative to `origin` otherwise.
+    sim_clock: Mutex<Option<Arc<SimClock>>>,
+    origin: Instant,
+    trace: Mutex<Option<EventTrace>>,
     queries: AtomicU64,
     partial: AtomicU64,
     shard_timeouts: AtomicU64,
@@ -233,6 +241,9 @@ impl QueryRouter {
             config,
             supervision,
             shard_routes,
+            sim_clock: Mutex::new(None),
+            origin: Instant::now(),
+            trace: Mutex::new(None),
             queries: AtomicU64::new(0),
             partial: AtomicU64::new(0),
             shard_timeouts: AtomicU64::new(0),
@@ -245,6 +256,37 @@ impl QueryRouter {
     /// The federation behind this router.
     pub fn federation(&self) -> &Arc<FederatedAgent> {
         &self.federation
+    }
+
+    /// Switches probe scheduling from the wall clock onto a shared
+    /// virtual [`SimClock`]: backoff timers then replay bit-identically
+    /// from the driving tick sequence, independent of host speed. The
+    /// per-shard gather deadline stays wall-clock (it bounds real
+    /// thread work, not simulated time).
+    pub fn use_sim_clock(&self, clock: Arc<SimClock>) {
+        *self.sim_clock.lock() = Some(clock);
+    }
+
+    /// Attaches the canonical event trace; supervision transitions
+    /// (routed-down, recovered) are appended under the `router` lane.
+    pub fn set_trace(&self, trace: EventTrace) {
+        *self.trace.lock() = Some(trace);
+    }
+
+    /// Now on the router's probe clock: virtual time when a
+    /// [`SimClock`] is installed, wall nanoseconds since construction
+    /// otherwise.
+    fn now_ns(&self) -> u64 {
+        match self.sim_clock.lock().as_ref() {
+            Some(clock) => clock.now_ns(),
+            None => self.origin.elapsed().as_nanos() as u64,
+        }
+    }
+
+    fn record(&self, detail: &str) {
+        if let Some(trace) = self.trace.lock().as_ref() {
+            trace.record(Timestamp(self.now_ns()), "router", detail);
+        }
     }
 
     /// Counter snapshot.
@@ -313,6 +355,7 @@ impl QueryRouter {
 
         let shards = self.federation.shards();
         let now = Instant::now();
+        let probe_now_ns = self.now_ns();
         let (tx, rx) = mpsc::channel::<(usize, Option<T>)>();
         let mut outcomes: Vec<Option<ShardOutcome>> = vec![None; shards.len()];
         let mut pending = 0usize;
@@ -326,7 +369,7 @@ impl QueryRouter {
             }
             {
                 let sup = self.supervision[i].lock();
-                let probe_due = sup.next_probe_at.is_none_or(|at| now >= at)
+                let probe_due = sup.next_probe_at_ns.is_none_or(|at| probe_now_ns >= at)
                     || shard.role_epoch() != sup.marked_role_epoch;
                 if sup.routed_down && !probe_due {
                     outcomes[i] = Some(ShardOutcome::Down);
@@ -483,13 +526,21 @@ impl QueryRouter {
     }
 
     fn note_ok(&self, i: usize) {
-        let mut sup = self.supervision[i].lock();
-        sup.consecutive_timeouts = 0;
-        if sup.routed_down {
-            sup.routed_down = false;
-            sup.backoff_ms = 0;
-            sup.next_probe_at = None;
-            self.recovered.fetch_add(1, Ordering::Relaxed);
+        let recovered = {
+            let mut sup = self.supervision[i].lock();
+            sup.consecutive_timeouts = 0;
+            if sup.routed_down {
+                sup.routed_down = false;
+                sup.backoff_ms = 0;
+                sup.next_probe_at_ns = None;
+                self.recovered.fetch_add(1, Ordering::Relaxed);
+                true
+            } else {
+                false
+            }
+        };
+        if recovered {
+            self.record(&format!("shard-{i} recovered"));
         }
     }
 
@@ -517,23 +568,30 @@ impl QueryRouter {
     /// escalates to the federation).
     fn strike(&self, i: usize) -> bool {
         let rc = &self.config.reconnect;
-        let mut sup = self.supervision[i].lock();
-        sup.consecutive_timeouts += 1;
-        if sup.routed_down {
-            // Failed probe: double the backoff, capped.
-            let next = ((sup.backoff_ms as f64) * rc.multiplier) as u64;
-            sup.backoff_ms = next.clamp(rc.base_ms, rc.cap_ms);
-            sup.next_probe_at = Some(Instant::now() + Duration::from_millis(sup.backoff_ms));
-            false
-        } else if sup.consecutive_timeouts >= rc.down_threshold {
-            sup.routed_down = true;
-            sup.backoff_ms = rc.base_ms;
-            self.marked_down.fetch_add(1, Ordering::Relaxed);
-            sup.next_probe_at = Some(Instant::now() + Duration::from_millis(sup.backoff_ms));
-            true
-        } else {
-            false
+        let now_ns = self.now_ns();
+        let crossed = {
+            let mut sup = self.supervision[i].lock();
+            sup.consecutive_timeouts += 1;
+            if sup.routed_down {
+                // Failed probe: double the backoff, capped.
+                let next = ((sup.backoff_ms as f64) * rc.multiplier) as u64;
+                sup.backoff_ms = next.clamp(rc.base_ms, rc.cap_ms);
+                sup.next_probe_at_ns = Some(now_ns + sup.backoff_ms * 1_000_000);
+                false
+            } else if sup.consecutive_timeouts >= rc.down_threshold {
+                sup.routed_down = true;
+                sup.backoff_ms = rc.base_ms;
+                self.marked_down.fetch_add(1, Ordering::Relaxed);
+                sup.next_probe_at_ns = Some(now_ns + sup.backoff_ms * 1_000_000);
+                true
+            } else {
+                false
+            }
+        };
+        if crossed {
+            self.record(&format!("shard-{i} routed-down"));
         }
+        crossed
     }
 
     /// Per-shard health rows for `/health` and `/federation`.

@@ -33,6 +33,7 @@
 use dcdb_bus::{MessageBus, OverflowPolicy};
 use dcdb_common::batch::ReadingBatch;
 use dcdb_common::reading::SensorReading;
+use dcdb_common::sim::{EventTrace, SimClock};
 use dcdb_common::time::Timestamp;
 use dcdb_common::topic::Topic;
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -357,14 +358,27 @@ pub struct BusConnection {
     reconnects: u64,
     failed_probes: u64,
     last_error: Option<String>,
+    clock: Arc<SimClock>,
+    trace: Option<(EventTrace, String)>,
     last_now_ns: u64,
     time_in_state_ns: [u64; 3],
     rng: StdRng,
 }
 
 impl BusConnection {
-    /// Wraps `bus` with the given delivery policy.
+    /// Wraps `bus` with the given delivery policy, on a private clock.
     pub fn new(bus: Arc<dyn MessageBus>, config: DeliveryConfig) -> BusConnection {
+        BusConnection::with_clock(bus, config, SimClock::new())
+    }
+
+    /// Wraps `bus` ticking from a shared [`SimClock`]: the supervisor's
+    /// backoff timers then live on the same timeline as the bus and
+    /// storage fault windows, and a stale tick can never rewind them.
+    pub fn with_clock(
+        bus: Arc<dyn MessageBus>,
+        config: DeliveryConfig,
+        clock: Arc<SimClock>,
+    ) -> BusConnection {
         BusConnection {
             bus,
             reconnect: config.reconnect,
@@ -376,10 +390,23 @@ impl BusConnection {
             reconnects: 0,
             failed_probes: 0,
             last_error: None,
+            clock,
+            trace: None,
             last_now_ns: 0,
             time_in_state_ns: [0; 3],
             rng: StdRng::seed_from_u64(config.reconnect.seed),
         }
+    }
+
+    /// Attaches the canonical event trace; connection state transitions
+    /// are appended as `<label> <from>-><to>` under the `delivery` lane.
+    pub fn set_trace(&mut self, trace: EventTrace, label: &str) {
+        self.trace = Some((trace, label.to_string()));
+    }
+
+    /// The shared virtual clock this connection ticks from.
+    pub fn clock(&self) -> Arc<SimClock> {
+        Arc::clone(&self.clock)
     }
 
     /// The underlying bus.
@@ -403,9 +430,22 @@ impl BusConnection {
         self.last_now_ns = now_ns;
     }
 
-    fn on_success(&mut self) {
+    fn record_transition(&self, at_ns: u64, from: ConnectionState, to: ConnectionState) {
+        if let Some((trace, label)) = &self.trace {
+            trace.record(
+                Timestamp(at_ns),
+                "delivery",
+                &format!("{label} {}->{}", from.as_str(), to.as_str()),
+            );
+        }
+    }
+
+    fn on_success(&mut self, now_ns: u64) {
         if self.state == ConnectionState::Down {
             self.reconnects += 1;
+        }
+        if self.state != ConnectionState::Up {
+            self.record_transition(now_ns, self.state, ConnectionState::Up);
         }
         self.state = ConnectionState::Up;
         self.consecutive_failures = 0;
@@ -418,6 +458,7 @@ impl BusConnection {
         self.consecutive_failures += 1;
         match self.state {
             ConnectionState::Up => {
+                self.record_transition(now_ns, self.state, ConnectionState::Degraded);
                 self.state = ConnectionState::Degraded;
             }
             ConnectionState::Degraded => {}
@@ -426,6 +467,9 @@ impl BusConnection {
             }
         }
         if self.consecutive_failures >= self.reconnect.down_threshold.max(1) {
+            if self.state != ConnectionState::Down {
+                self.record_transition(now_ns, self.state, ConnectionState::Down);
+            }
             self.state = ConnectionState::Down;
             // Schedule the next probe: backoff plus seeded jitter, then
             // grow the backoff for the probe after that.
@@ -450,7 +494,9 @@ impl BusConnection {
         now: Timestamp,
         fresh: Vec<(Topic, Vec<SensorReading>)>,
     ) -> DeliveryOutcome {
-        let now_ns = now.as_nanos();
+        // The shared clock absorbs out-of-order ticks: the effective
+        // `now` is monotonic, so backoff timers never rewind.
+        let now_ns = self.clock.advance_to(now).as_nanos();
         self.advance_clock(now_ns);
         let mut out = DeliveryOutcome::default();
 
@@ -471,7 +517,7 @@ impl BusConnection {
                     out.published += n;
                     out.drained += n;
                     self.spool.note_drained(columns.len());
-                    self.on_success();
+                    self.on_success(now_ns);
                 }
                 Err(e) => {
                     out.refused_attempts += 1;
@@ -493,7 +539,7 @@ impl BusConnection {
                 {
                     Ok(()) => {
                         out.published += readings.len() as u64;
-                        self.on_success();
+                        self.on_success(now_ns);
                         continue;
                     }
                     Err(e) => {

@@ -1,0 +1,164 @@
+//! The result of one simulated scenario run: the determinism witness,
+//! the conservation-identity verdicts, and the SLO numbers.
+//!
+//! Everything in here is a pure function of `(scenario, seed, scale)`:
+//! [`CounterSummary`] and the trace witness are compared byte-for-byte
+//! by the determinism property test, so nothing wall-clock-derived may
+//! appear in them (wall durations live in the surrounding bench meta,
+//! never in the report).
+
+use serde::Serialize;
+
+/// Verdicts of the conservation identities the run asserted. Each
+/// identity is a per-layer accounting law that must hold *under*
+/// injected faults — faults move readings between the terms, they never
+/// make the books stop balancing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct IdentityReport {
+    /// Broker tier: `published == delivered + dropped + router_dropped`
+    /// across the federation's internal brokers.
+    pub bus: bool,
+    /// Supervised-connection tier, summed over every connection:
+    /// `offered == published + spool_dropped + spool_depth_end +
+    /// final_errors`.
+    pub delivery: bool,
+    /// Chaos layer → federation chain: every publish the chaos layer
+    /// forwarded (`passed + released`) is accounted by the federation
+    /// as accepted or refused.
+    pub chaos_chain: bool,
+    /// Durable-engine health books on every faulted shard:
+    /// `ingested == durable + buffered + shed`. Vacuously true when the
+    /// scenario runs volatile storage.
+    pub storage: bool,
+    /// Operator runtime: `runs == successes + errors + panics +
+    /// overruns + quarantined_skips`. Vacuously true when the operator
+    /// lane is off.
+    pub operators: bool,
+    /// Every query envelope satisfied `shards_total == shards_ok +
+    /// shards_timed_out + shards_down`.
+    pub envelopes: bool,
+}
+
+impl IdentityReport {
+    /// True when every identity held.
+    pub fn all(&self) -> bool {
+        self.bus
+            && self.delivery
+            && self.chaos_chain
+            && self.storage
+            && self.operators
+            && self.envelopes
+    }
+}
+
+/// Deterministic end-of-run counters. Two runs of the same
+/// `(scenario, seed, scale)` must produce an identical summary — the
+/// determinism test compares this struct with `==` alongside the trace
+/// witness.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct CounterSummary {
+    /// Readings handed to the delivery tier as fresh batches.
+    pub offered: u64,
+    /// Readings the delivery tier published (fresh + drained re-sends).
+    pub published: u64,
+    /// Readings evicted from spools (overflow policy).
+    pub spool_dropped: u64,
+    /// Readings still parked in spools at the end of the run.
+    pub spool_depth_end: u64,
+    /// Readings that could neither be published nor spooled.
+    pub delivery_final_errors: u64,
+    /// Publishes refused by chaos outage windows or partitions.
+    pub chaos_refused: u64,
+    /// Publishes accepted by the chaos layer but silently dropped.
+    pub chaos_dropped: u64,
+    /// Publishes forwarded to the federation inline.
+    pub chaos_passed: u64,
+    /// Delayed publishes released to the federation.
+    pub chaos_released: u64,
+    /// Publishes the federation accepted.
+    pub fed_publishes: u64,
+    /// Publishes the federation refused (owning shard down).
+    pub fed_refused: u64,
+    /// Sum of `ingested` over faulted durable engines (0 if volatile).
+    pub storage_ingested: u64,
+    /// Sum of `durable` over faulted durable engines.
+    pub storage_durable: u64,
+    /// Sum of `buffered` over faulted durable engines.
+    pub storage_buffered: u64,
+    /// Sum of `shed` over faulted durable engines.
+    pub storage_shed: u64,
+    /// Operator computations due (all outcomes).
+    pub operator_runs: u64,
+    /// Contained operator panics.
+    pub operator_panics: u64,
+    /// Operator errors.
+    pub operator_errors: u64,
+    /// Operators currently quarantined at the end of the run.
+    pub operator_quarantined: u64,
+    /// Standby promotions across all shards.
+    pub promotions: u64,
+    /// Shards degraded out of the ring (no standby to promote).
+    pub degraded_removals: u64,
+    /// Kill actions the scheduler applied.
+    pub kills: u64,
+    /// Rejoin actions the scheduler applied.
+    pub rejoins: u64,
+    /// Scatter-gather queries issued (routine probes + storms).
+    pub queries: u64,
+    /// Queries whose envelope was not complete.
+    pub partial_queries: u64,
+    /// Queries issued by flash-crowd storm bursts alone.
+    pub storm_queries: u64,
+}
+
+/// Service-level numbers the harness grades, scenario-independent.
+#[derive(Debug, Clone, Serialize)]
+pub struct SloReport {
+    /// Fraction of queries whose envelope was complete.
+    pub complete_query_ratio: f64,
+    /// Chaos-layer silent losses over readings offered.
+    pub drop_ratio: f64,
+    /// Readings shed by storage over publishes the federation accepted.
+    pub shed_ratio: f64,
+    /// Every kill of a replicated shard was answered by a promotion or
+    /// an explicit degraded removal (no silent zombie shards).
+    pub failovers_resolved: bool,
+    /// The SLO gates held: a majority of queries complete, silent loss
+    /// bounded by the injected drop schedule, failovers resolved.
+    pub ok: bool,
+}
+
+/// The full, serializable outcome of one scenario run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioReport {
+    /// Scenario name (registry key).
+    pub scenario: String,
+    /// The single seed every fault lane derived from.
+    pub seed: u64,
+    /// Scale label (`tiny` / `small` / `large`).
+    pub scale: String,
+    /// Simulated nodes in the topology.
+    pub nodes: usize,
+    /// Islands in the topology.
+    pub islands: usize,
+    /// Collect Agents in the federation.
+    pub agents: usize,
+    /// Ingest rounds driven.
+    pub rounds: u64,
+    /// Events appended to the canonical trace.
+    pub trace_events: u64,
+    /// The determinism witness: `"{events}:{fnv1a64:016x}"` over the
+    /// canonical trace. Two runs of the same `(scenario, seed, scale)`
+    /// must produce identical witnesses.
+    pub trace_hash: String,
+    /// The last few trace lines, for diagnosing a witness mismatch.
+    pub trace_tail: Vec<String>,
+    /// Per-layer conservation verdicts.
+    pub identities: IdentityReport,
+    /// Deterministic end-of-run counters.
+    pub counters: CounterSummary,
+    /// Graded service levels.
+    pub slo: SloReport,
+    /// Identities all held and the SLO gates passed.
+    pub ok: bool,
+}

@@ -24,6 +24,7 @@
 //! implementations honest.
 
 use dcdb_common::error::{DcdbError, Result};
+use dcdb_common::sim::{EventTrace, SimClock};
 use dcdb_common::time::Timestamp;
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
@@ -271,7 +272,8 @@ pub struct FaultIoStats {
 struct FaultState {
     config: Mutex<FaultConfig>,
     rng: Mutex<u64>,
-    now_ns: AtomicU64,
+    clock: Arc<SimClock>,
+    trace: Mutex<Option<(EventTrace, String)>>,
     injected_enospc: AtomicU64,
     injected_eio: AtomicU64,
     injected_fsync_failures: AtomicU64,
@@ -295,6 +297,13 @@ fn xorshift(state: &mut u64) -> u64 {
 }
 
 impl FaultState {
+    /// Appends an injected-fault event to the attached trace, if any.
+    fn record(&self, kind: &str) {
+        if let Some((trace, label)) = self.trace.lock().as_ref() {
+            trace.record(self.clock.now(), "io", &format!("{label} {kind}"));
+        }
+    }
+
     /// Draws a uniform f64 in [0, 1).
     fn draw(&self) -> f64 {
         let x = xorshift(&mut self.rng.lock());
@@ -316,7 +325,7 @@ impl FaultState {
         match config.window_ns {
             None => true,
             Some((from, until)) => {
-                let now = self.now_ns.load(Ordering::Acquire);
+                let now = self.clock.now_ns();
                 now >= from && now < until
             }
         }
@@ -352,14 +361,27 @@ pub struct FaultIo {
 }
 
 impl FaultIo {
-    /// Wraps `inner` behind the fault schedule `config`.
+    /// Wraps `inner` behind the fault schedule `config`, on a private
+    /// clock.
     pub fn new(inner: Arc<dyn StorageIo>, config: FaultConfig) -> FaultIo {
+        FaultIo::with_clock(inner, config, SimClock::new())
+    }
+
+    /// Wraps `inner` ticking from a shared [`SimClock`], so storage
+    /// fault windows and the bus/delivery chaos layers observe one
+    /// timeline.
+    pub fn with_clock(
+        inner: Arc<dyn StorageIo>,
+        config: FaultConfig,
+        clock: Arc<SimClock>,
+    ) -> FaultIo {
         FaultIo {
             inner,
             state: Arc::new(FaultState {
                 rng: Mutex::new(config.seed | 1),
                 config: Mutex::new(config),
-                now_ns: AtomicU64::new(0),
+                clock,
+                trace: Mutex::new(None),
                 injected_enospc: AtomicU64::new(0),
                 injected_eio: AtomicU64::new(0),
                 injected_fsync_failures: AtomicU64::new(0),
@@ -379,11 +401,23 @@ impl FaultIo {
     }
 
     /// Advances virtual time; window-gated faults fire only while the
-    /// clock sits inside the configured window.
+    /// clock sits inside the configured window. The shared [`SimClock`]
+    /// is monotonic (`fetch_max`): out-of-order ticks never rewind the
+    /// window.
     pub fn advance(&self, now: Timestamp) {
-        self.state
-            .now_ns
-            .fetch_max(now.as_nanos(), Ordering::AcqRel);
+        self.state.clock.advance_to(now);
+    }
+
+    /// Attaches the canonical event trace; every injected fault is
+    /// appended as `<label> <kind>` under the `io` lane (the label
+    /// distinguishes per-shard devices sharing one trace).
+    pub fn set_trace(&self, trace: EventTrace, label: &str) {
+        *self.state.trace.lock() = Some((trace, label.to_string()));
+    }
+
+    /// The shared virtual clock this wrapper ticks from.
+    pub fn clock(&self) -> Arc<SimClock> {
+        Arc::clone(&self.state.clock)
     }
 
     /// Replaces the fault schedule (counters and the clock persist).
@@ -423,11 +457,13 @@ impl FaultIo {
         if let Some(budget) = config.enospc_after_bytes {
             if self.state.bytes_written.load(Ordering::Relaxed) >= budget {
                 self.state.injected_enospc.fetch_add(1, Ordering::Relaxed);
+                self.state.record("enospc");
                 return Err(enospc());
             }
         }
         if config.eio_prob > 0.0 && self.state.draw() < config.eio_prob {
             self.state.injected_eio.fetch_add(1, Ordering::Relaxed);
+            self.state.record("eio");
             return Err(eio(what));
         }
         Ok(())
@@ -442,6 +478,7 @@ impl FaultIo {
         self.state.latency(&config);
         if config.eio_prob > 0.0 && self.state.draw() < config.eio_prob {
             self.state.injected_eio.fetch_add(1, Ordering::Relaxed);
+            self.state.record("eio");
             return Err(eio(what));
         }
         Ok(())
@@ -472,6 +509,7 @@ impl IoFile for FaultFile {
                             .fetch_add(room.min(buf.len()) as u64, Ordering::Relaxed);
                     }
                     self.state.injected_enospc.fetch_add(1, Ordering::Relaxed);
+                    self.state.record("enospc");
                     return Err(enospc());
                 }
             }
@@ -487,10 +525,12 @@ impl IoFile for FaultFile {
                 self.state
                     .injected_torn_writes
                     .fetch_add(1, Ordering::Relaxed);
+                self.state.record("torn-write");
                 return Err(eio("torn write"));
             }
             if config.eio_prob > 0.0 && self.state.draw() < config.eio_prob {
                 self.state.injected_eio.fetch_add(1, Ordering::Relaxed);
+                self.state.record("eio");
                 return Err(eio("write"));
             }
         }
@@ -510,6 +550,7 @@ impl IoFile for FaultFile {
                 self.state
                     .injected_fsync_failures
                     .fetch_add(1, Ordering::Relaxed);
+                self.state.record("fsync-fail");
                 // Like a real failing fsync, data may or may not be
                 // durable; the inner sync is deliberately skipped.
                 return Err(eio("fsync"));

@@ -23,6 +23,7 @@
 
 use dcdb_bus::{Broker, ChaosBus, ChaosConfig, MessageBus, OverflowPolicy};
 use dcdb_collectagent::{CollectAgent, CollectAgentConfig};
+use dcdb_common::sim::derive_seed;
 use dcdb_common::time::Timestamp;
 use dcdb_common::topic::Topic;
 use dcdb_pusher::{
@@ -181,7 +182,7 @@ fn run_cell(
                     reconnect: ReconnectConfig {
                         base_ms: config.reconnect_base_ms,
                         jitter: 0.0,
-                        seed: config.seed.wrapping_add(p as u64),
+                        seed: derive_seed(config.seed, p as u64),
                         ..ReconnectConfig::default()
                     },
                     spool: SpoolConfig {

@@ -21,6 +21,7 @@
 //! | [`rollup_query`] | Raw-scan vs tier-served aggregation latency |
 //! | [`federation_scaling`] | Federated ingest scaling + scatter-gather query latency |
 //! | [`failover_resilience`] | Replica-pair promotion under a seeded primary crash |
+//! | [`sim_matrix`] | Fault scenario × scale matrix over the deterministic simulation harness |
 //!
 //! Every binary writes `bench-results/<name>.json` in a normalized
 //! shape: `{"meta": {...}, "data": {...}}` where the [`BenchMeta`]
@@ -40,6 +41,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod query_concurrency;
 pub mod rollup_query;
+pub mod sim_matrix;
 pub mod storage_engine;
 pub mod storage_faults;
 
@@ -59,6 +61,15 @@ pub struct BenchMeta {
     pub config: String,
     /// Wall-clock duration of the run, milliseconds.
     pub duration_ms: u64,
+    /// Named fault scenario the run replayed (null unless the harness
+    /// is driven by the deterministic simulation layer).
+    #[serde(default)]
+    pub scenario: Option<String>,
+    /// Determinism witness (`"{events}:{hash}"`) of the run's canonical
+    /// event trace: re-running the recorded `scenario` + `seed` must
+    /// reproduce this exact value.
+    #[serde(default)]
+    pub trace_hash: Option<String>,
 }
 
 impl BenchMeta {
@@ -75,7 +86,17 @@ impl BenchMeta {
             seed,
             config: format!("{config:?}"),
             duration_ms: started.elapsed().as_millis() as u64,
+            scenario: None,
+            trace_hash: None,
         }
+    }
+
+    /// Records the replayed scenario name and its determinism witness,
+    /// making the result file reproducible from `(scenario, seed)`.
+    pub fn with_scenario(mut self, scenario: &str, trace_hash: &str) -> BenchMeta {
+        self.scenario = Some(scenario.to_string());
+        self.trace_hash = Some(trace_hash.to_string());
+        self
     }
 }
 

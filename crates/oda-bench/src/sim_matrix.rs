@@ -1,0 +1,153 @@
+//! The simulation matrix: every named fault scenario × scale, with the
+//! stack's conservation identities and SLO grades asserted per cell.
+//!
+//! This is the certification harness over the [`dcdb_sim`] deterministic
+//! fault-simulation layer: each cell replays one `(scenario, seed,
+//! scale)` triple through the full production path — supervised
+//! delivery → chaos transport → sharded federation → (fault-injected)
+//! durable storage → scatter-gather queries — and records the trace
+//! witness alongside the per-layer identity verdicts, so any failing
+//! cell is reproducible bit-identically from the three values in the
+//! report. A final determinism probe re-runs one cell and compares
+//! witnesses, making silent nondeterminism a first-class failure.
+
+use dcdb_sim::{run_scenario, Scale, ScenarioReport, SCENARIOS};
+use serde::Serialize;
+
+/// Matrix shape: one seed for every cell, and which scales to sweep.
+#[derive(Debug, Clone)]
+pub struct SimMatrixConfig {
+    /// The single seed every cell derives its fault lanes from.
+    pub seed: u64,
+    /// Scales swept per scenario.
+    pub scales: Vec<Scale>,
+    /// Extra `(scenario, scale)` cells beyond the sweep (quick mode
+    /// keeps one large-scale cell this way).
+    pub extra: Vec<(&'static str, Scale)>,
+}
+
+impl SimMatrixConfig {
+    /// The full matrix: every scenario at CI scale and at the
+    /// 1500-node, multi-island production scale.
+    pub fn paper() -> SimMatrixConfig {
+        SimMatrixConfig {
+            seed: 0xD1CE,
+            scales: vec![Scale::Small, Scale::Large],
+            extra: Vec::new(),
+        }
+    }
+
+    /// CI gate: every scenario at CI scale, plus the compound scenario
+    /// on the 1500-node topology.
+    pub fn quick() -> SimMatrixConfig {
+        SimMatrixConfig {
+            seed: 0xD1CE,
+            scales: vec![Scale::Small],
+            extra: vec![("compound", Scale::Large)],
+        }
+    }
+}
+
+/// Result of the end-of-run determinism probe: one cell re-run from
+/// scratch, witnesses compared byte-for-byte.
+#[derive(Debug, Clone, Serialize)]
+pub struct DeterminismProbe {
+    /// Scenario the probe re-ran.
+    pub scenario: String,
+    /// Witness of the original cell.
+    pub first: String,
+    /// Witness of the re-run.
+    pub second: String,
+    /// The witnesses matched.
+    pub ok: bool,
+}
+
+/// The full matrix report.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimMatrixResult {
+    /// Seed every cell used.
+    pub seed: u64,
+    /// One report per `(scenario, scale)` cell.
+    pub cells: Vec<ScenarioReport>,
+    /// The replay probe.
+    pub determinism: DeterminismProbe,
+    /// Combined FNV-1a over every cell's witness — the whole matrix's
+    /// reproducibility fingerprint.
+    pub matrix_hash: String,
+    /// Every cell's identities and SLOs held and the replay matched.
+    pub ok: bool,
+}
+
+/// Runs the matrix. `progress` is called with each finished cell (the
+/// binary prints a row; tests pass a no-op).
+pub fn run(config: &SimMatrixConfig, mut progress: impl FnMut(&ScenarioReport)) -> SimMatrixResult {
+    let mut cells = Vec::new();
+    for scenario in SCENARIOS {
+        for scale in &config.scales {
+            let report = run_scenario(scenario, config.seed, *scale);
+            progress(&report);
+            cells.push(report);
+        }
+    }
+    for (name, scale) in &config.extra {
+        let scenario = dcdb_sim::find(name).expect("extra cell names a known scenario");
+        let report = run_scenario(scenario, config.seed, *scale);
+        progress(&report);
+        cells.push(report);
+    }
+
+    // Replay the first cell and require a byte-identical witness.
+    let first = &cells[0];
+    let scenario = dcdb_sim::find(&first.scenario).expect("cell scenario registered");
+    let scale = Scale::parse(&first.scale).expect("cell scale parses");
+    let rerun = run_scenario(scenario, config.seed, scale);
+    let determinism = DeterminismProbe {
+        scenario: first.scenario.clone(),
+        first: first.trace_hash.clone(),
+        second: rerun.trace_hash.clone(),
+        ok: first.trace_hash == rerun.trace_hash,
+    };
+
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for cell in &cells {
+        for b in cell.trace_hash.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    let ok = determinism.ok && cells.iter().all(|c| c.ok);
+    SimMatrixResult {
+        seed: config.seed,
+        cells,
+        determinism,
+        matrix_hash: format!("{hash:016x}"),
+        ok,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_matrix_passes_and_replays() {
+        let config = SimMatrixConfig {
+            seed: 7,
+            scales: vec![Scale::Tiny],
+            extra: Vec::new(),
+        };
+        let result = run(&config, |_| {});
+        assert_eq!(result.cells.len(), SCENARIOS.len());
+        assert!(result.determinism.ok, "{:?}", result.determinism);
+        for cell in &result.cells {
+            assert!(cell.ok, "cell failed: {cell:#?}");
+        }
+        assert!(result.ok);
+    }
+
+    #[test]
+    fn quick_config_includes_the_production_scale() {
+        let config = SimMatrixConfig::quick();
+        assert!(config.extra.iter().any(|(_, s)| *s == Scale::Large));
+    }
+}

@@ -25,6 +25,7 @@
 //! `bench-results/storage_faults.json`.
 
 use dcdb_common::reading::SensorReading;
+use dcdb_common::sim::derive_seed;
 use dcdb_common::time::Timestamp;
 use dcdb_common::topic::Topic;
 use dcdb_storage::{
@@ -227,7 +228,7 @@ fn run_cell(
     dir: &Path,
 ) -> StorageFaultCell {
     std::fs::remove_dir_all(dir).ok();
-    let seed = config.seed.wrapping_add(index as u64);
+    let seed = derive_seed(config.seed, index as u64);
     let (from_ms, until_ms) = config.fault_window_ms;
     let fault_cfg = FaultConfig {
         enospc_after_bytes: scenario.enospc_after_bytes,

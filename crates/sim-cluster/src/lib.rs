@@ -6,7 +6,10 @@
 //! real deployment would, so every DCDB/Wintermute code path is
 //! exercised unmodified.
 //!
-//! * [`topology`] — rack/node/core hierarchy and sensor topic layout;
+//! * [`topology`] — rack/node/core hierarchy and sensor topic layout,
+//!   including multi-island machines for facility-scale simulation;
+//! * [`facility`] — seeded island-scale event schedules (power outages,
+//!   thermal throttles, rolling restarts) for the `dcdb-sim` harness;
 //! * [`apps`] — phase-based CPI/power/idle models of HPL, Kripke, AMG,
 //!   Nekbone and LAMMPS, calibrated to the shapes in the paper's
 //!   Figures 6-7;
@@ -20,12 +23,14 @@
 
 pub mod apps;
 pub mod cluster;
+pub mod facility;
 pub mod node;
 pub mod scheduler;
 pub mod topology;
 
 pub use apps::AppModel;
 pub use cluster::{ClusterConfig, ClusterSimulator};
+pub use facility::{FacilityEvent, FacilityEventKind, FacilitySchedule};
 pub use node::{NodeSimulator, ProfileClass, Sample};
 pub use scheduler::{Job, JobScheduler, WorkloadGenerator};
 pub use topology::Topology;

@@ -20,6 +20,18 @@ pub struct Topology {
     pub total_nodes: usize,
     /// CPU cores per node.
     pub cores_per_node: usize,
+    /// Machine islands (facility power/cooling domains). Racks split
+    /// evenly across islands; with more than one island every topic
+    /// gains an `/islandN` prefix, so island-scale facility events
+    /// (power caps, cooling loss, rolling restarts) map to one topic
+    /// subtree. `1` (the default, and what deserializing older configs
+    /// yields) keeps the original single-island layout and paths.
+    #[serde(default = "default_islands")]
+    pub islands: usize,
+}
+
+fn default_islands() -> usize {
+    1
 }
 
 impl Topology {
@@ -30,6 +42,7 @@ impl Topology {
             nodes_per_rack: 4,
             total_nodes: 8,
             cores_per_node: 4,
+            islands: 1,
         }
     }
 
@@ -41,6 +54,7 @@ impl Topology {
             nodes_per_rack: 37,
             total_nodes: 148,
             cores_per_node: 64,
+            islands: 1,
         }
     }
 
@@ -66,7 +80,67 @@ impl Topology {
             nodes_per_rack,
             total_nodes: racks * nodes_per_rack,
             cores_per_node,
+            islands: 1,
         }
+    }
+
+    /// A production-scale multi-island machine for the deterministic
+    /// simulation harness: 3 islands × 32 racks × 16 nodes = 1536 nodes
+    /// (an SuperMUC-NG-style island layout an order of magnitude past
+    /// the paper's 148-node CooLMUC-3 testbed).
+    pub fn multi_island() -> Topology {
+        Topology::new(96, 16, 8).with_islands(3)
+    }
+
+    /// Splits the racks across `islands` facility domains (racks must
+    /// divide evenly). With more than one island every component path
+    /// gains an `/islandN` prefix.
+    pub fn with_islands(mut self, islands: usize) -> Topology {
+        assert!(islands > 0, "at least one island");
+        assert!(
+            self.racks.is_multiple_of(islands),
+            "racks ({}) must divide evenly across islands ({islands})",
+            self.racks
+        );
+        self.islands = islands;
+        self
+    }
+
+    /// Racks per island.
+    pub fn racks_per_island(&self) -> usize {
+        self.racks / self.islands
+    }
+
+    /// The island a rack belongs to.
+    pub fn island_of_rack(&self, rack: usize) -> usize {
+        rack / self.racks_per_island()
+    }
+
+    /// The island a node belongs to.
+    pub fn island_of_node(&self, node: usize) -> usize {
+        self.island_of_rack(self.locate(node).0)
+    }
+
+    /// The topic prefix of an island, e.g. `/island1` — the subtree a
+    /// facility event (power cap, cooling loss) cuts or throttles.
+    /// Panics on a single-island topology, which has no island prefix.
+    pub fn island_topic(&self, island: usize) -> Topic {
+        assert!(self.islands > 1, "single-island topology has no prefix");
+        assert!(island < self.islands, "island {island} out of range");
+        Topic::parse(&format!("/island{island}")).expect("valid path")
+    }
+
+    /// Global node indices belonging to `island`.
+    pub fn island_nodes(&self, island: usize) -> impl Iterator<Item = usize> {
+        assert!(island < self.islands, "island {island} out of range");
+        let per_island = self.total_nodes / self.islands;
+        let start = island * per_island;
+        let end = if island + 1 == self.islands {
+            self.total_nodes
+        } else {
+            start + per_island
+        };
+        start..end
     }
 
     /// Global index -> (rack, node-in-rack).
@@ -74,11 +148,20 @@ impl Topology {
         (node / self.nodes_per_rack, node % self.nodes_per_rack)
     }
 
-    /// The component path of a compute node, e.g. `/rack02/node05`.
+    /// The component path of a compute node: `/rack02/node05`, or
+    /// `/island0/rack02/node05` on a multi-island topology.
     pub fn node_topic(&self, node: usize) -> Topic {
         assert!(node < self.total_nodes, "node {node} out of range");
         let (rack, slot) = self.locate(node);
-        Topic::parse(&format!("/rack{rack:02}/node{slot:02}")).expect("valid path")
+        let path = if self.islands > 1 {
+            format!(
+                "/island{}/rack{rack:02}/node{slot:02}",
+                self.island_of_rack(rack)
+            )
+        } else {
+            format!("/rack{rack:02}/node{slot:02}")
+        };
+        Topic::parse(&path).expect("valid path")
     }
 
     /// The component path of a core, e.g. `/rack02/node05/cpu17`.
@@ -89,10 +172,16 @@ impl Topology {
             .expect("valid path")
     }
 
-    /// The component path of a rack, e.g. `/rack01`.
+    /// The component path of a rack: `/rack01`, or `/island0/rack01` on
+    /// a multi-island topology.
     pub fn rack_topic(&self, rack: usize) -> Topic {
         assert!(rack < self.racks, "rack {rack} out of range");
-        Topic::parse(&format!("/rack{rack:02}")).expect("valid path")
+        let path = if self.islands > 1 {
+            format!("/island{}/rack{rack:02}", self.island_of_rack(rack))
+        } else {
+            format!("/rack{rack:02}")
+        };
+        Topic::parse(&path).expect("valid path")
     }
 
     /// Iterates all node indices.
@@ -202,5 +291,48 @@ mod tests {
         let t = Topology::new(3, 5, 2);
         assert_eq!(t.total_nodes, 15);
         assert_eq!(t.node_topic(14).as_str(), "/rack02/node04");
+    }
+
+    #[test]
+    fn multi_island_reaches_production_scale_with_island_prefixes() {
+        let t = Topology::multi_island();
+        assert!(t.total_nodes >= 1500, "{} nodes", t.total_nodes);
+        assert_eq!(t.islands, 3);
+        assert_eq!(t.racks_per_island(), 32);
+        assert_eq!(t.node_topic(0).as_str(), "/island0/rack00/node00");
+        // Node 512 = rack 32 = first rack of island 1.
+        assert_eq!(t.island_of_node(512), 1);
+        assert_eq!(t.node_topic(512).as_str(), "/island1/rack32/node00");
+        assert_eq!(t.rack_topic(95).as_str(), "/island2/rack95");
+        assert_eq!(t.island_topic(2).as_str(), "/island2");
+        // Island node partitions cover every node exactly once.
+        let mut seen = vec![false; t.total_nodes];
+        for island in 0..t.islands {
+            for n in t.island_nodes(island) {
+                assert!(!seen[n]);
+                seen[n] = true;
+                assert_eq!(t.island_of_node(n), island);
+                // Every sensor topic of the node lives under the
+                // island's subtree — facility events cut one prefix.
+                assert!(t
+                    .node_topic(n)
+                    .as_str()
+                    .starts_with(t.island_topic(island).as_str()));
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn single_island_topologies_keep_legacy_paths() {
+        // islands=1 must not perturb any existing path (golden
+        // compatibility for the seed-era tests and benches).
+        let t = Topology::coolmuc3();
+        assert_eq!(t.islands, 1);
+        assert_eq!(t.node_topic(147).as_str(), "/rack03/node36");
+        // And older serialized configs (no `islands` field) deserialize.
+        let legacy = r#"{"racks":2,"nodes_per_rack":4,"total_nodes":8,"cores_per_node":4}"#;
+        let parsed: Topology = serde_json::from_str(legacy).unwrap();
+        assert_eq!(parsed, Topology::small());
     }
 }

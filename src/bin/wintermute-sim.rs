@@ -10,6 +10,7 @@
 //!
 //! ```text
 //! cargo run --release --bin wintermute-sim -- [--nodes N] [--duration SECS] [--port P]
+//!     [--scenario NAME --seed S [--sim-scale tiny|small|large]] [--list-scenarios]
 //!     [--agents N] [--vnodes N] [--replicas 1|2] [--shard-timeout-ms N]
 //!     [--data-dir DIR] [--fsync always|batch|never] [--retention-secs N]
 //!     [--snapshot-path FILE] [--snapshot-secs N]
@@ -20,6 +21,15 @@
 //!     [--io-fault-seed N] [--enospc-after BYTES] [--eio-prob P]
 //!     [--fsync-fail-prob P] [--io-latency-ms N]
 //! ```
+//!
+//! Deterministic replay (`--scenario NAME --seed S`): instead of the
+//! wall-clock deployment, run one named fault scenario from the
+//! [`dcdb_sim`] harness entirely in virtual time and print its report —
+//! trace witness, conservation-identity verdicts, SLO grades — as JSON.
+//! The same `(scenario, seed, scale)` triple replays bit-identically
+//! anywhere, so a failure seen in CI or a 1500-node soak is reproduced
+//! exactly from three values. `--list-scenarios` prints the registry.
+//! The process exits non-zero if any identity or SLO gate failed.
 //!
 //! Federation (`--agents N`, N > 1): the storage tier becomes a
 //! [`FederatedAgent`] — N Collect Agents, each owning a shard of the
@@ -150,7 +160,51 @@ enum Tier {
     },
 }
 
+/// `--scenario` / `--list-scenarios`: the deterministic replay mode.
+/// Returns true when it handled the invocation (main should return).
+fn scenario_mode() -> bool {
+    use dcdb_wintermute::dcdb_sim::{find, run_scenario, Scale, SCENARIOS};
+
+    if std::env::args().any(|a| a == "--list-scenarios") {
+        println!("named fault scenarios (wintermute-sim --scenario <name> --seed <s>):");
+        for s in SCENARIOS {
+            println!("  {:<16} {}", s.name, s.summary);
+        }
+        return true;
+    }
+    let Some(name) = arg_str("--scenario") else {
+        return false;
+    };
+    let Some(scenario) = find(&name) else {
+        eprintln!("unknown scenario {name:?}; --list-scenarios prints the registry");
+        std::process::exit(2);
+    };
+    let seed = arg("--seed", 0xD1CE);
+    let scale_name = arg_str("--sim-scale").unwrap_or("small".into());
+    let Some(scale) = Scale::parse(&scale_name) else {
+        eprintln!("--sim-scale must be tiny|small|large, got {scale_name:?}");
+        std::process::exit(2);
+    };
+    let report = run_scenario(scenario, seed, scale);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    );
+    eprintln!(
+        "scenario {name} seed {seed:#x} scale {scale_name}: witness {} — {}",
+        report.trace_hash,
+        if report.ok { "OK" } else { "FAILED" },
+    );
+    if !report.ok {
+        std::process::exit(1);
+    }
+    true
+}
+
 fn main() {
+    if scenario_mode() {
+        return;
+    }
     let nodes = arg("--nodes", 4) as usize;
     let duration_s = arg("--duration", 30);
     let port = arg("--port", 0);

@@ -26,6 +26,7 @@
 //! | [`dcdb_pusher`] | sampling daemon with embedded Wintermute |
 //! | [`dcdb_collectagent`] | broker-to-storage daemon with embedded Wintermute |
 //! | [`dcdb_federation`] | multi-agent sharding + scatter-gather query router |
+//! | [`dcdb_sim`] | deterministic fault-simulation harness (one seed, every chaos layer) |
 //! | [`oda_ml`] | random forests, Bayesian GMM, statistics |
 //! | [`sim_cluster`] | synthetic cluster, application models, job scheduler |
 //!
@@ -38,6 +39,7 @@ pub use dcdb_common;
 pub use dcdb_federation;
 pub use dcdb_pusher;
 pub use dcdb_rest;
+pub use dcdb_sim;
 pub use dcdb_storage;
 pub use oda_ml;
 pub use sim_cluster;
